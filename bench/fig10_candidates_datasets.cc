@@ -1,0 +1,48 @@
+// Figure 10: average NN-candidate count per dataset for the five
+// algorithms (SSD, SSSD, PSD, FSD, F+SD).
+//
+// Paper shape to reproduce: SSD <= SSSD <= PSD << FSD <= F+SD on every
+// dataset; the gap widens on large/overlapping data (USA, NBA, GW).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "datagen/surrogates.h"
+
+int main() {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  using namespace osd;
+  using namespace osd::bench;
+
+  struct Entry {
+    const char* name;
+    Dataset dataset;
+  };
+  std::printf("=== Figure 10: candidate size per dataset ===\n");
+  std::printf("(scaled surrogates; see EXPERIMENTS.md for factors)\n\n");
+
+  std::vector<Entry> entries;
+  entries.push_back(
+      {"A-N", GenerateSynthetic(
+                  DefaultSynthetic(CenterDistribution::kAntiCorrelated))});
+  entries.push_back(
+      {"E-N",
+       GenerateSynthetic(DefaultSynthetic(CenterDistribution::kIndependent))});
+  entries.push_back({"HOUSE", HouseLike(1, 8'000)});
+  entries.push_back({"CA", CaLike(1)});
+  entries.push_back({"NBA", NbaLike(1)});
+  entries.push_back({"GW", GowallaLike(1)});
+  entries.push_back({"USA", UsaLike(30'000, 10, 400.0, 1)});
+
+  PrintTableHeader("dataset");
+  for (const auto& entry : entries) {
+    const auto workload = GenerateWorkload(entry.dataset, DefaultWorkload());
+    double row[5];
+    int i = 0;
+    for (Operator op : kAlgorithms) {
+      row[i++] = RunNncWorkload(entry.dataset, workload, op).avg_candidates;
+    }
+    PrintRow(entry.name, row);
+  }
+  return 0;
+}

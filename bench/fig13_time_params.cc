@@ -1,0 +1,123 @@
+// Figure 13: impact of the Table-2 parameters on the average query
+// response time (ms). Panels mirror Figure 11: (a) m_d, (b) h_d, (c) m_q,
+// (d) h_q on A-N; (e) n on USA; (f) d on A-N.
+//
+// Paper shape to reproduce: FSD/F+SD stay fastest as m_d/h_d/m_q/h_q grow;
+// as n grows their candidate blow-up makes SSD/SSSD overtake them; all
+// algorithms get faster as d grows (fewer candidates).
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "datagen/surrogates.h"
+
+namespace {
+
+using namespace osd;
+using namespace osd::bench;
+
+// Parameter sweeps run 24+ dataset/workload combinations, so they use a
+// lighter per-combination workload than the single-table figures.
+WorkloadParams LightWorkload() {
+  WorkloadParams wp = DefaultWorkload();
+  wp.num_queries = 3;
+  return wp;
+}
+
+void RunPanel(const char* title, const char* xlabel,
+              const std::vector<std::pair<std::string, Dataset>>& datasets,
+              const WorkloadParams& wp) {
+  std::printf("\n--- %s ---\n", title);
+  PrintTableHeader(xlabel);
+  for (const auto& [label, dataset] : datasets) {
+    const auto workload = GenerateWorkload(dataset, wp);
+    double row[5];
+    int i = 0;
+    for (Operator op : kAlgorithms) {
+      row[i++] = RunNncWorkload(dataset, workload, op).avg_ms;
+    }
+    PrintRow(label.c_str(), row);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  std::printf("=== Figure 13: avg response time (ms) vs parameters ===\n");
+
+  {
+    std::vector<std::pair<std::string, Dataset>> datasets;
+    for (int md : {20, 40, 60, 80, 100}) {
+      auto p = DefaultSynthetic(CenterDistribution::kAntiCorrelated);
+      p.instances_per_object = md;
+      datasets.emplace_back(std::to_string(md), GenerateSynthetic(p));
+    }
+    RunPanel("(a) object instances m_d (A-N)", "m_d", datasets,
+             LightWorkload());
+  }
+  {
+    std::vector<std::pair<std::string, Dataset>> datasets;
+    for (double hd : {100.0, 200.0, 300.0, 400.0, 500.0}) {
+      auto p = DefaultSynthetic(CenterDistribution::kAntiCorrelated);
+      p.object_edge = hd;
+      datasets.emplace_back(std::to_string(static_cast<int>(hd)),
+                            GenerateSynthetic(p));
+    }
+    RunPanel("(b) object edge h_d (A-N)", "h_d", datasets, LightWorkload());
+  }
+  {
+    const Dataset dataset = GenerateSynthetic(
+        DefaultSynthetic(CenterDistribution::kAntiCorrelated));
+    std::printf("\n--- (c) query instances m_q (A-N) ---\n");
+    PrintTableHeader("m_q");
+    for (int mq : {10, 20, 30, 40, 50}) {
+      auto wp = LightWorkload();
+      wp.query_instances = mq;
+      const auto workload = GenerateWorkload(dataset, wp);
+      double row[5];
+      int i = 0;
+      for (Operator op : kAlgorithms) {
+        row[i++] = RunNncWorkload(dataset, workload, op).avg_ms;
+      }
+      PrintRow(std::to_string(mq).c_str(), row);
+    }
+  }
+  {
+    const Dataset dataset = GenerateSynthetic(
+        DefaultSynthetic(CenterDistribution::kAntiCorrelated));
+    std::printf("\n--- (d) query edge h_q (A-N) ---\n");
+    PrintTableHeader("h_q");
+    for (double hq : {100.0, 200.0, 300.0, 400.0, 500.0}) {
+      auto wp = LightWorkload();
+      wp.query_edge = hq;
+      const auto workload = GenerateWorkload(dataset, wp);
+      double row[5];
+      int i = 0;
+      for (Operator op : kAlgorithms) {
+        row[i++] = RunNncWorkload(dataset, workload, op).avg_ms;
+      }
+      PrintRow(std::to_string(static_cast<int>(hq)).c_str(), row);
+    }
+  }
+  {
+    std::vector<std::pair<std::string, Dataset>> datasets;
+    for (int n : {10'000, 20'000, 30'000, 40'000, 50'000}) {
+      datasets.emplace_back(std::to_string(n / 1000) + "k",
+                            UsaLike(n, 10, 400.0, 1));
+    }
+    RunPanel("(e) objects n (USA, 10 instances each)", "n", datasets,
+             LightWorkload());
+  }
+  {
+    std::vector<std::pair<std::string, Dataset>> datasets;
+    for (int d : {2, 3, 4, 5}) {
+      auto p = DefaultSynthetic(CenterDistribution::kAntiCorrelated);
+      p.dim = d;
+      datasets.emplace_back(std::to_string(d), GenerateSynthetic(p));
+    }
+    RunPanel("(f) dimensionality d (A-N)", "d", datasets, LightWorkload());
+  }
+  return 0;
+}

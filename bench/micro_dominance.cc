@@ -1,0 +1,77 @@
+// Micro-benchmarks of the pairwise dominance checks: per-operator cost as
+// the instance count grows, and the effect of the filter stack.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/dominance_oracle.h"
+#include "datagen/generators.h"
+
+namespace {
+
+using namespace osd;
+
+struct Fixture {
+  UncertainObject query;
+  UncertainObject u;
+  UncertainObject v;
+};
+
+// U contracted toward the query (dominance likely), V independent.
+Fixture MakeFixture(int m, uint64_t seed) {
+  Rng rng(seed);
+  const Point qc = GenerateCenter(CenterDistribution::kIndependent, 3,
+                                  10'000.0, rng);
+  Fixture f{GenerateObjectAt(-1, qc, 200.0, 30, 10'000.0, rng),
+            GenerateObjectAt(0, qc, 300.0, m, 10'000.0, rng),
+            GenerateObjectAt(1, qc, 400.0, m, 10'000.0, rng)};
+  return f;
+}
+
+void BM_DominanceCheck(benchmark::State& state, Operator op,
+                       FilterConfig cfg) {
+  const int m = static_cast<int>(state.range(0));
+  const Fixture f = MakeFixture(m, 42);
+  const QueryContext ctx(f.query);
+  for (auto _ : state) {
+    FilterStats stats;
+    DominanceOracle oracle(ctx, cfg, &stats);
+    ObjectProfile pu(f.u, ctx, &stats);
+    ObjectProfile pv(f.v, ctx, &stats);
+    benchmark::DoNotOptimize(oracle.Dominates(op, pu, pv));
+  }
+  state.SetComplexityN(m);
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_DominanceCheck, ssd_all, Operator::kSSd,
+                  FilterConfig::All())
+    ->RangeMultiplier(2)
+    ->Range(8, 128);
+BENCHMARK_CAPTURE(BM_DominanceCheck, ssd_bruteforce, Operator::kSSd,
+                  FilterConfig::BruteForce())
+    ->RangeMultiplier(2)
+    ->Range(8, 128);
+BENCHMARK_CAPTURE(BM_DominanceCheck, sssd_all, Operator::kSsSd,
+                  FilterConfig::All())
+    ->RangeMultiplier(2)
+    ->Range(8, 128);
+BENCHMARK_CAPTURE(BM_DominanceCheck, psd_all, Operator::kPSd,
+                  FilterConfig::All())
+    ->RangeMultiplier(2)
+    ->Range(8, 128);
+BENCHMARK_CAPTURE(BM_DominanceCheck, psd_bruteforce, Operator::kPSd,
+                  FilterConfig::BruteForce())
+    ->RangeMultiplier(2)
+    ->Range(8, 64);
+BENCHMARK_CAPTURE(BM_DominanceCheck, fsd_all, Operator::kFSd,
+                  FilterConfig::All())
+    ->RangeMultiplier(2)
+    ->Range(8, 128);
+BENCHMARK_CAPTURE(BM_DominanceCheck, fplus_sd, Operator::kFPlusSd,
+                  FilterConfig::All())
+    ->RangeMultiplier(2)
+    ->Range(8, 128);
+
+BENCHMARK_MAIN();

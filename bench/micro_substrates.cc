@@ -1,0 +1,141 @@
+// Micro-benchmarks of the substrates: R-tree bulk load and queries,
+// stochastic-order scans, max-flow feasibility and EMD min-cost flow.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "flow/max_flow.h"
+#include "index/rtree.h"
+#include "nnfun/n3_functions.h"
+#include "nnfun/rank_engine.h"
+#include "prob/stochastic_order.h"
+
+namespace {
+
+using namespace osd;
+
+std::vector<RTree::Entry> MakeEntries(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<RTree::Entry> entries(n);
+  for (int i = 0; i < n; ++i) {
+    Point p{rng.Uniform(0.0, 1000.0), rng.Uniform(0.0, 1000.0),
+            rng.Uniform(0.0, 1000.0)};
+    entries[i] = {Mbr(p), i, 1.0 / n};
+  }
+  return entries;
+}
+
+void BM_RTreeBulkLoad(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto entries = MakeEntries(n, 7);
+  for (auto _ : state) {
+    auto copy = entries;
+    benchmark::DoNotOptimize(RTree::BulkLoad(std::move(copy), 16));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RTreeBulkLoad)->Range(1 << 10, 1 << 16);
+
+void BM_RTreeNnSearch(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const RTree tree = RTree::BulkLoad(MakeEntries(n, 7), 16);
+  Rng rng(9);
+  for (auto _ : state) {
+    Point q{rng.Uniform(0.0, 1000.0), rng.Uniform(0.0, 1000.0),
+            rng.Uniform(0.0, 1000.0)};
+    benchmark::DoNotOptimize(tree.MinDist(q));
+  }
+}
+BENCHMARK(BM_RTreeNnSearch)->Range(1 << 10, 1 << 16);
+
+void BM_StochasticOrderScan(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(11);
+  std::vector<double> xv(n), yv(n), p(n, 1.0 / n);
+  for (int i = 0; i < n; ++i) {
+    xv[i] = rng.Uniform(0.0, 100.0);
+    yv[i] = xv[i] + rng.Uniform(0.0, 5.0);
+  }
+  std::sort(xv.begin(), xv.end());
+  std::sort(yv.begin(), yv.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(StochasticallyLeqSorted(xv, p, yv, p));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_StochasticOrderScan)->Range(1 << 6, 1 << 14);
+
+void BM_MaxFlowFeasibility(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  Rng rng(13);
+  // A random bipartite feasibility instance like a P-SD check.
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) {
+      if (rng.Flip(0.4)) edges.emplace_back(i, j);
+    }
+  }
+  const std::vector<double> probs(m, 1.0 / m);
+  const auto mass = ScaleProbabilities(probs, kProbScale);
+  for (auto _ : state) {
+    MaxFlow flow(2 * m + 2);
+    const int s = 2 * m, t = 2 * m + 1;
+    for (int i = 0; i < m; ++i) flow.AddEdge(s, i, mass[i]);
+    for (int j = 0; j < m; ++j) flow.AddEdge(m + j, t, mass[j]);
+    for (const auto& [i, j] : edges) flow.AddEdge(i, m + j, kProbScale);
+    benchmark::DoNotOptimize(flow.Compute(s, t));
+  }
+}
+BENCHMARK(BM_MaxFlowFeasibility)->RangeMultiplier(2)->Range(8, 128);
+
+void BM_RankEngine(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(19);
+  std::vector<UncertainObject> objects;
+  for (int i = 0; i < n; ++i) {
+    std::vector<double> coords;
+    for (int k = 0; k < 5; ++k) {
+      coords.push_back(rng.Uniform(0.0, 100.0));
+      coords.push_back(rng.Uniform(0.0, 100.0));
+    }
+    objects.push_back(UncertainObject::Uniform(i, 2, coords));
+  }
+  std::vector<double> qcoords;
+  for (int k = 0; k < 4; ++k) {
+    qcoords.push_back(rng.Uniform(0.0, 100.0));
+    qcoords.push_back(rng.Uniform(0.0, 100.0));
+  }
+  const auto query = UncertainObject::Uniform(-1, 2, qcoords);
+  std::vector<const UncertainObject*> ptrs;
+  for (const auto& o : objects) ptrs.push_back(&o);
+  for (auto _ : state) {
+    const RankEngine engine(ptrs, query);
+    benchmark::DoNotOptimize(engine.RankProbability(0, 1));
+  }
+}
+BENCHMARK(BM_RankEngine)->RangeMultiplier(2)->Range(8, 64);
+
+void BM_EmdDistance(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  Rng rng(17);
+  std::vector<double> uc, qc;
+  for (int i = 0; i < m; ++i) {
+    uc.push_back(rng.Uniform(0.0, 100.0));
+    uc.push_back(rng.Uniform(0.0, 100.0));
+    qc.push_back(rng.Uniform(0.0, 100.0));
+    qc.push_back(rng.Uniform(0.0, 100.0));
+  }
+  const auto u = UncertainObject::Uniform(0, 2, uc);
+  const auto q = UncertainObject::Uniform(-1, 2, qc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EmdDistance(u, q));
+  }
+}
+BENCHMARK(BM_EmdDistance)->RangeMultiplier(2)->Range(4, 64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

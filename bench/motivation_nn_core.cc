@@ -1,0 +1,106 @@
+// Motivation experiment (paper Section 1 / Remark 1): how often does the
+// NN-core [Yuen et al. 2010] miss the actual NN object of a popular NN
+// function? The spatial-dominance NNC sets never miss (Theorems 5-7);
+// NN-core has no such guarantee and the paper therefore excludes it from
+// the evaluation. This bench quantifies the motivating claim.
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/nn_core.h"
+#include "nnfun/n1_functions.h"
+#include "nnfun/n3_functions.h"
+
+int main() {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  using namespace osd;
+  using namespace osd::bench;
+
+  auto params = DefaultSynthetic(CenterDistribution::kAntiCorrelated);
+  params.num_objects = 400;   // small n keeps the O(n^2) core affordable
+  params.object_edge = 1'200.0;  // heavy overlap -> interesting cores
+  params.instances_per_object = 10;
+  const Dataset dataset = GenerateSynthetic(params);
+  auto wp = DefaultWorkload();
+  wp.num_queries = 20;
+  wp.query_instances = 10;
+  const auto workload = GenerateWorkload(dataset, wp);
+
+  struct Fn {
+    const char* name;
+    double (*score)(const UncertainObject&, const UncertainObject&);
+  };
+  const Fn kFns[] = {
+      {"min", [](const UncertainObject& u, const UncertainObject& q) {
+         return MinDistance(u, q);
+       }},
+      {"mean", [](const UncertainObject& u, const UncertainObject& q) {
+         return ExpectedDistance(u, q);
+       }},
+      {"max", [](const UncertainObject& u, const UncertainObject& q) {
+         return MaxDistance(u, q);
+       }},
+      {"quan0.3", [](const UncertainObject& u, const UncertainObject& q) {
+         return QuantileDistance(u, q, 0.3);
+       }},
+      {"hausdorff", [](const UncertainObject& u, const UncertainObject& q) {
+         return HausdorffDistance(u, q);
+       }},
+      {"emd", [](const UncertainObject& u, const UncertainObject& q) {
+         return EmdDistance(u, q);
+       }},
+  };
+
+  int core_misses[6] = {0};
+  int nnc_misses[6] = {0};
+  double avg_core = 0.0, avg_nnc = 0.0;
+  for (const auto& entry : workload) {
+    std::vector<UncertainObject> objects;
+    for (int i = 0; i < dataset.size(); ++i) {
+      if (i == entry.seeded_from) continue;
+      objects.push_back(dataset.object(i));
+    }
+    const auto core = NnCore(objects, entry.query);
+    const std::set<int> core_set(core.begin(), core.end());
+    avg_core += static_cast<double>(core.size());
+
+    const Dataset sub(objects);
+    NncOptions options;
+    options.op = Operator::kPSd;
+    const auto nnc = NncSearch(sub, options).Run(entry.query).candidates;
+    const std::set<int> nnc_set(nnc.begin(), nnc.end());
+    avg_nnc += static_cast<double>(nnc.size());
+
+    for (int f = 0; f < 6; ++f) {
+      double best = 1e300;
+      int best_id = -1;
+      for (size_t i = 0; i < objects.size(); ++i) {
+        const double s = kFns[f].score(objects[i], entry.query);
+        if (s < best) {
+          best = s;
+          best_id = static_cast<int>(i);
+        }
+      }
+      if (!core_set.count(best_id)) ++core_misses[f];
+      if (!nnc_set.count(best_id)) ++nnc_misses[f];
+    }
+  }
+
+  std::printf("=== Motivation: NN-core vs NNC(P-SD), %zu queries ===\n\n",
+              workload.size());
+  std::printf("avg set size: NN-core %.1f, NNC(P-SD) %.1f\n\n",
+              avg_core / workload.size(), avg_nnc / workload.size());
+  std::printf("%-10s %18s %18s\n", "NN func", "NN-core misses",
+              "NNC(P-SD) misses");
+  for (int f = 0; f < 6; ++f) {
+    std::printf("%-10s %17d%% %17d%%\n", kFns[f].name,
+                core_misses[f] * 100 / static_cast<int>(workload.size()),
+                nnc_misses[f] * 100 / static_cast<int>(workload.size()));
+  }
+  std::printf("\nNNC(P-SD) must never miss (Theorem 7); any non-zero right "
+              "column is a bug.\n");
+  return 0;
+}

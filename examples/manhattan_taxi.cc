@@ -1,0 +1,94 @@
+// Dispatching under Manhattan distance: find candidate nearest taxis.
+//
+// Taxis report noisy/multi-hypothesis positions (an uncertain object per
+// taxi); street travel follows the L1 metric. A dispatcher wants a
+// shortlist guaranteed to contain the k nearest taxis under ANY covered
+// ranking (expected L1 distance, quantiles, likely-nearest, ...), then
+// makes the final call with a specific function.
+//
+// Demonstrates the two library extensions working together: the L1 metric
+// (where the convex-hull filter degrades safely) and k-candidates.
+//
+//   ./build/examples/manhattan_taxi
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/nnc_search.h"
+#include "nnfun/n1_functions.h"
+#include "nnfun/rank_engine.h"
+
+int main() {
+  using namespace osd;
+  Rng rng(1001);
+
+  // A 100x100-block city; 800 taxis, each with 3-6 position hypotheses
+  // (GPS multipath in street canyons).
+  const int kTaxis = 800;
+  std::vector<UncertainObject> taxis;
+  for (int id = 0; id < kTaxis; ++id) {
+    const double bx = rng.Uniform(0.0, 100.0);
+    const double by = rng.Uniform(0.0, 100.0);
+    const int hypotheses = 3 + static_cast<int>(rng.UniformInt(0, 3));
+    std::vector<double> coords;
+    std::vector<double> weights;
+    for (int h = 0; h < hypotheses; ++h) {
+      coords.push_back(bx + rng.Normal(0.0, 1.5));
+      coords.push_back(by + rng.Normal(0.0, 1.5));
+      weights.push_back(rng.Uniform(0.5, 2.0));  // hypothesis confidence
+    }
+    taxis.push_back(
+        UncertainObject::FromWeighted(id, 2, std::move(coords), std::move(weights)));
+  }
+  const Dataset fleet(std::move(taxis));
+
+  // The rider is also uncertain: a pickup zone with 3 possible corners.
+  const UncertainObject rider = UncertainObject::Uniform(
+      -1, 2, {50.0, 50.0, 50.4, 50.0, 50.0, 50.6});
+
+  const int k = 3;
+  NncOptions options;
+  options.op = Operator::kSsSd;   // covers all possible-world rankings
+  options.metric = Metric::kL1;   // street distance
+  options.k = k;
+  const NncResult shortlist = NncSearch(fleet, options).Run(rider);
+  std::printf("fleet: %d taxis; k=%d shortlist under L1 SS-SD: %zu taxis "
+              "(%.2f ms)\n\n",
+              fleet.size(), k, shortlist.candidates.size(),
+              shortlist.seconds * 1e3);
+
+  // Rank the shortlist by expected street distance...
+  std::vector<std::pair<double, int>> by_mean;
+  for (int id : shortlist.candidates) {
+    by_mean.emplace_back(
+        ExpectedDistance(fleet.object(id), rider, Metric::kL1), id);
+  }
+  std::sort(by_mean.begin(), by_mean.end());
+  std::printf("by expected L1 distance:\n");
+  for (int i = 0; i < 5 && i < static_cast<int>(by_mean.size()); ++i) {
+    std::printf("  taxi %-5d %.2f blocks\n", by_mean[i].second,
+                by_mean[i].first);
+  }
+
+  // ... and by the probability of actually being the nearest (exact,
+  // polynomial-time rank engine over the shortlist).
+  std::vector<const UncertainObject*> ptrs;
+  for (int id : shortlist.candidates) ptrs.push_back(&fleet.object(id));
+  const RankEngine ranks(ptrs, rider, Metric::kL1);
+  std::vector<std::pair<double, int>> by_prob;
+  for (size_t i = 0; i < ptrs.size(); ++i) {
+    by_prob.emplace_back(ranks.RankProbability(static_cast<int>(i), 1),
+                         ptrs[i]->id());
+  }
+  std::sort(by_prob.rbegin(), by_prob.rend());
+  std::printf("\nby probability of being nearest:\n");
+  for (int i = 0; i < 5 && i < static_cast<int>(by_prob.size()); ++i) {
+    std::printf("  taxi %-5d Pr = %.3f\n", by_prob[i].second,
+                by_prob[i].first);
+  }
+  std::printf("\nboth rankings' top-%d are guaranteed inside the shortlist "
+              "(k-candidate property).\n", k);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Quickstart: build a small dataset of multi-instance objects, run the NN
+// candidates search under each spatial dominance operator, and show the
+// trade-off between candidate-set size and NN-function coverage.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/nnc_search.h"
+#include "datagen/generators.h"
+#include "datagen/workload.h"
+
+int main() {
+  using namespace osd;
+
+  // A synthetic dataset: 2,000 objects in 3-d, ~20 instances each
+  // (anti-correlated centers, the paper's default distribution).
+  SyntheticParams params;
+  params.dim = 3;
+  params.num_objects = 2'000;
+  params.instances_per_object = 20;
+  params.object_edge = 400.0;
+  params.seed = 7;
+  const Dataset dataset = GenerateSynthetic(params);
+
+  // A query object with 10 instances near a random object's center.
+  WorkloadParams wp;
+  wp.num_queries = 1;
+  wp.query_instances = 10;
+  wp.query_edge = 200.0;
+  const auto workload = GenerateWorkload(dataset, wp);
+  const UncertainObject& query = workload[0].query;
+
+  std::printf("dataset: %d objects, dim %d; query: %d instances\n\n",
+              dataset.size(), dataset.dim(), query.num_instances());
+  std::printf("%-6s %-28s %10s %10s %12s\n", "op", "covers", "candidates",
+              "time(ms)", "dom-checks");
+
+  const struct {
+    Operator op;
+    const char* covers;
+  } rows[] = {
+      {Operator::kSSd, "N1 (stable aggregates)"},
+      {Operator::kSsSd, "N1+N2 (possible worlds)"},
+      {Operator::kPSd, "N1+N2+N3 (selected pairs)"},
+      {Operator::kFSd, "all, but not complete"},
+      {Operator::kFPlusSd, "all, MBR-level only"},
+  };
+  for (const auto& row : rows) {
+    NncOptions options;
+    options.op = row.op;
+    options.exclude_id = workload[0].seeded_from;
+    const NncResult result = NncSearch(dataset, options).Run(query);
+    std::printf("%-6s %-28s %10zu %10.2f %12ld\n", OperatorName(row.op),
+                row.covers, result.candidates.size(), result.seconds * 1e3,
+                result.stats.dominance_checks);
+  }
+
+  std::printf(
+      "\nEvery candidate set above is guaranteed to contain the nearest\n"
+      "neighbor for every NN function its operator covers (Theorems 5-7).\n");
+  return 0;
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Builds the project, runs the full test suite, and regenerates every
+# reproduced figure of the paper into test_output.txt / bench_output.txt.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+for b in build/bench/*; do
+  if [ -x "$b" ] && [ -f "$b" ]; then
+    echo "=== $b ==="
+    "$b"
+  fi
+done 2>&1 | tee bench_output.txt

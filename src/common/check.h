@@ -1,0 +1,31 @@
+// Lightweight runtime-check macros used across the OSD library.
+//
+// OSD_CHECK aborts with a diagnostic on contract violations in all build
+// modes; OSD_DCHECK compiles away in release builds. Following the database
+// C++ guide idiom, these are used for programmer errors (violated
+// preconditions), never for recoverable conditions.
+
+#ifndef OSD_COMMON_CHECK_H_
+#define OSD_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define OSD_CHECK(cond)                                                      \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "OSD_CHECK failed: %s at %s:%d\n", #cond,         \
+                   __FILE__, __LINE__);                                      \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define OSD_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define OSD_DCHECK(cond) OSD_CHECK(cond)
+#endif
+
+#endif  // OSD_COMMON_CHECK_H_

@@ -1,0 +1,368 @@
+#include "core/dominance_oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "core/cdf_envelope.h"
+#include "flow/max_flow.h"
+#include "prob/stochastic_order.h"
+
+namespace osd {
+
+namespace {
+constexpr double kEps = 1e-9;
+
+// Builds the bipartite feasibility network of Theorem 12 and reports
+// whether a full match exists. `u_mass` / `v_mass` are the probability
+// masses scaled to integers summing to kProbScale.
+//
+// Feasibility is accepted with a slack of (nu + nv) flow units: the
+// largest-remainder rounding perturbs each terminal capacity by less than
+// one unit, and (by total unimodularity) the integral max-flow differs
+// from the exact-probability optimum by less than the summed perturbation.
+// Genuine Hall violations of rational probability vectors are at least
+// kProbScale / (nu * nv) units -- orders of magnitude above the slack --
+// so the decision matches exact arithmetic.
+bool MatchFeasible(int nu, int nv,
+                   const std::vector<std::pair<int, int>>& edges,
+                   const std::vector<int64_t>& u_mass,
+                   const std::vector<int64_t>& v_mass, FilterStats* stats) {
+  // Quick exits: a V unit with no admissible U unit can never be covered.
+  std::vector<char> v_covered(nv, 0);
+  for (const auto& [i, j] : edges) v_covered[j] = 1;
+  for (int j = 0; j < nv; ++j) {
+    if (!v_covered[j]) return false;
+  }
+  if (static_cast<long>(edges.size()) == static_cast<long>(nu) * nv) {
+    return true;  // complete bipartite graphs are always feasible
+  }
+  const int source = nu + nv;
+  const int sink = nu + nv + 1;
+  MaxFlow flow(nu + nv + 2);
+  int64_t total = 0;
+  for (int i = 0; i < nu; ++i) {
+    flow.AddEdge(source, i, u_mass[i]);
+    total += u_mass[i];
+  }
+  for (int j = 0; j < nv; ++j) flow.AddEdge(nu + j, sink, v_mass[j]);
+  for (const auto& [i, j] : edges) flow.AddEdge(i, nu + j, total);
+  if (stats != nullptr) ++stats->flow_runs;
+  const int64_t slack = nu + nv;
+  return flow.Compute(source, sink) >= total - slack;
+}
+
+}  // namespace
+
+DominanceOracle::DominanceOracle(const QueryContext& ctx, FilterConfig config,
+                                 FilterStats* stats)
+    : ctx_(&ctx), config_(config), stats_(stats) {}
+
+const std::vector<int>& DominanceOracle::QIdx() const {
+  return config_.geometric ? ctx_->pruning_indices() : ctx_->all_indices();
+}
+
+bool DominanceOracle::Dominates(Operator op, ObjectProfile& u,
+                                ObjectProfile& v) {
+  if (stats_ != nullptr) ++stats_->dominance_checks;
+  switch (op) {
+    case Operator::kSSd:
+      return SSd(u, v);
+    case Operator::kSsSd:
+      return SsSd(u, v);
+    case Operator::kPSd:
+      return PSd(u, v);
+    case Operator::kFSd:
+      return FSd(u, v);
+    case Operator::kFPlusSd:
+      return FPlusSd(u.object(), v.object());
+  }
+  return false;
+}
+
+bool DominanceOracle::FPlusSd(const UncertainObject& u,
+                              const UncertainObject& v) const {
+  return MbrStrictlyDominatesM(u.mbr(), v.mbr(), ctx_->mbr(),
+                               ctx_->metric());
+}
+
+bool DominanceOracle::SSdOrderHolds(ObjectProfile& u, ObjectProfile& v) {
+  return StochasticallyLeqSorted(
+      u.SortedValues(), u.SortedProbs(), v.SortedValues(), v.SortedProbs(),
+      stats_ != nullptr ? &stats_->scan_steps : nullptr);
+}
+
+bool DominanceOracle::SsSdOrderHolds(ObjectProfile& u, ObjectProfile& v) {
+  for (int qi = 0; qi < ctx_->num_instances(); ++qi) {
+    if (!StochasticallyLeqSorted(
+            u.SortedQValues(qi), u.SortedQProbs(qi), v.SortedQValues(qi),
+            v.SortedQProbs(qi),
+            stats_ != nullptr ? &stats_->scan_steps : nullptr)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool DominanceOracle::DistributionsDiffer(ObjectProfile& u,
+                                          ObjectProfile& v) {
+  return !DiscreteDistribution::ApproxEqual(u.Distribution(),
+                                            v.Distribution());
+}
+
+bool DominanceOracle::StatRefutesAll(ObjectProfile& u, ObjectProfile& v) {
+  const bool refuted = u.MinAll() > v.MinAll() + kEps ||
+                       u.MeanAll() > v.MeanAll() + kEps ||
+                       u.MaxAll() > v.MaxAll() + kEps;
+  if (refuted && stats_ != nullptr) ++stats_->stat_prunes;
+  return refuted;
+}
+
+bool DominanceOracle::StatRefutesPerQ(ObjectProfile& u, ObjectProfile& v) {
+  for (int qi = 0; qi < ctx_->num_instances(); ++qi) {
+    if (u.MinQ(qi) > v.MinQ(qi) + kEps || u.MeanQ(qi) > v.MeanQ(qi) + kEps ||
+        u.MaxQ(qi) > v.MaxQ(qi) + kEps) {
+      if (stats_ != nullptr) ++stats_->stat_prunes;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool DominanceOracle::SSd(ObjectProfile& u, ObjectProfile& v) {
+  if (config_.cover_rules &&
+      MbrStrictlyDominatesM(u.object().mbr(), v.object().mbr(),
+                            ctx_->mbr(), ctx_->metric())) {
+    if (stats_ != nullptr) ++stats_->mbr_validations;
+    return true;
+  }
+  if (config_.level_by_level) {
+    const EnvelopeDecision d = EnvelopeSSd(u.object(), v.object(), *ctx_,
+                                           config_.geometric, stats_);
+    if (d == EnvelopeDecision::kDominates) return true;
+    if (d == EnvelopeDecision::kNotDominates) return false;
+  }
+  if (config_.stat_pruning && StatRefutesAll(u, v)) return false;
+  if (stats_ != nullptr) ++stats_->exact_checks;
+  if (!SSdOrderHolds(u, v)) return false;
+  return DistributionsDiffer(u, v);
+}
+
+bool DominanceOracle::SsSd(ObjectProfile& u, ObjectProfile& v) {
+  if (config_.cover_rules &&
+      MbrStrictlyDominatesM(u.object().mbr(), v.object().mbr(),
+                            ctx_->mbr(), ctx_->metric())) {
+    if (stats_ != nullptr) ++stats_->mbr_validations;
+    return true;
+  }
+  if (config_.level_by_level) {
+    // Per-query-instance envelopes pay |Q| sweeps per round, so they only
+    // out-compete the exact per-q scans at very shallow depth.
+    EnvelopeLimits limits;
+    limits.max_rounds = 2;
+    limits.max_segments = 40;
+    const EnvelopeDecision d = EnvelopeSsSd(u.object(), v.object(), *ctx_,
+                                            config_.geometric, stats_, limits);
+    if (d == EnvelopeDecision::kDominates) return true;
+    if (d == EnvelopeDecision::kNotDominates) return false;
+  }
+  if (config_.stat_pruning &&
+      (StatRefutesAll(u, v) || StatRefutesPerQ(u, v))) {
+    return false;
+  }
+  if (config_.cover_rules) {
+    // Cover-based pruning: not S-SD implies not SS-SD (Theorem 2),
+    // checked at node granularity so a refutation costs no instance work.
+    const EnvelopeDecision d = EnvelopeSSd(u.object(), v.object(), *ctx_,
+                                           config_.geometric, stats_);
+    if (d == EnvelopeDecision::kNotDominates) {
+      if (stats_ != nullptr) ++stats_->cover_prunes;
+      return false;
+    }
+  }
+  if (stats_ != nullptr) ++stats_->exact_checks;
+  if (!SsSdOrderHolds(u, v)) return false;
+  return DistributionsDiffer(u, v);
+}
+
+bool DominanceOracle::InstanceLeq(ObjectProfile& u, int ui, ObjectProfile& v,
+                                  int vj) {
+  long comparisons = 0;
+  bool leq = true;
+  for (int qi : QIdx()) {
+    ++comparisons;
+    if (u.Dist(qi, ui) > v.Dist(qi, vj) + kEps) {
+      leq = false;
+      break;
+    }
+  }
+  if (stats_ != nullptr) stats_->pair_tests += comparisons;
+  return leq;
+}
+
+bool DominanceOracle::FSd(ObjectProfile& u, ObjectProfile& v) {
+  if (config_.cover_rules &&
+      MbrStrictlyDominatesM(u.object().mbr(), v.object().mbr(),
+                            ctx_->mbr(), ctx_->metric())) {
+    if (stats_ != nullptr) ++stats_->mbr_validations;
+    return true;
+  }
+  if (config_.level_by_level) {
+    // Branch-and-bound farthest/nearest searches over the local R-trees
+    // avoid materializing the distance matrices. Only hull query points
+    // need checking: the q-region where U fully dominates V is an
+    // intersection of half-spaces, hence convex.
+    const RTree& tu = u.object().LocalTree();
+    const RTree& tv = v.object().LocalTree();
+    for (int qi : QIdx()) {
+      const Point& q = ctx_->points()[qi];
+      if (stats_ != nullptr) stats_->node_ops += 2;
+      if (tu.MaxDist(q, ctx_->metric()) >
+          tv.MinDist(q, ctx_->metric()) + kEps) {
+        return false;
+      }
+    }
+    return DistributionsDiffer(u, v);
+  }
+  for (int qi : QIdx()) {
+    if (u.MaxQ(qi) > v.MinQ(qi) + kEps) return false;
+  }
+  if (stats_ != nullptr) ++stats_->exact_checks;
+  return DistributionsDiffer(u, v);
+}
+
+DominanceOracle::Tri DominanceOracle::PSdLevel(ObjectProfile& u,
+                                               ObjectProfile& v) {
+  constexpr int kMaxFrontier = 64;
+  const RTree& tu = u.object().LocalTree();
+  const RTree& tv = v.object().LocalTree();
+  std::vector<int32_t> fu = {tu.root()};
+  std::vector<int32_t> fv = {tv.root()};
+
+  auto masses = [](const RTree& tree, const std::vector<int32_t>& frontier) {
+    std::vector<double> w(frontier.size());
+    for (size_t i = 0; i < frontier.size(); ++i) {
+      w[i] = tree.nodes()[frontier[i]].weight;
+    }
+    return ScaleProbabilities(w, kProbScale);
+  };
+
+  while (true) {
+    const int nu = static_cast<int>(fu.size());
+    const int nv = static_cast<int>(fv.size());
+    // G-: validation network. An edge certifies that every instance under
+    // the U node is strictly closer than every instance under the V node
+    // for every possible query instance position.
+    std::vector<std::pair<int, int>> sure_edges;
+    // G+: pruning network. An edge remains possible unless the V node
+    // strictly dominates the U node (then no u <=_Q v pair can exist).
+    std::vector<std::pair<int, int>> possible_edges;
+    for (int i = 0; i < nu; ++i) {
+      const Mbr& bu = tu.nodes()[fu[i]].box;
+      for (int j = 0; j < nv; ++j) {
+        const Mbr& bv = tv.nodes()[fv[j]].box;
+        if (stats_ != nullptr) stats_->node_ops += 2;
+        if (MbrStrictlyDominatesM(bu, bv, ctx_->mbr(), ctx_->metric())) {
+          sure_edges.emplace_back(i, j);
+          possible_edges.emplace_back(i, j);
+        } else if (!MbrStrictlyDominatesM(bv, bu, ctx_->mbr(),
+                                          ctx_->metric())) {
+          possible_edges.emplace_back(i, j);
+        }
+      }
+    }
+    const std::vector<int64_t> mu = masses(tu, fu);
+    const std::vector<int64_t> mv = masses(tv, fv);
+    if (MatchFeasible(nu, nv, sure_edges, mu, mv, stats_)) {
+      if (stats_ != nullptr) ++stats_->level_decisions;
+      return Tri::kTrue;
+    }
+    if (!MatchFeasible(nu, nv, possible_edges, mu, mv, stats_)) {
+      if (stats_ != nullptr) ++stats_->level_decisions;
+      return Tri::kFalse;
+    }
+    // Descend one level on both sides.
+    auto descend = [](const RTree& tree, std::vector<int32_t>& frontier) {
+      std::vector<int32_t> next;
+      bool changed = false;
+      for (int32_t nid : frontier) {
+        const RTree::Node& node = tree.nodes()[nid];
+        if (node.is_leaf) {
+          next.push_back(nid);
+        } else {
+          changed = true;
+          for (int32_t c : node.children) next.push_back(c);
+        }
+      }
+      frontier = std::move(next);
+      return changed;
+    };
+    if (static_cast<int>(fu.size()) > kMaxFrontier ||
+        static_cast<int>(fv.size()) > kMaxFrontier) {
+      return Tri::kUnknown;
+    }
+    const bool du = descend(tu, fu);
+    const bool dv = descend(tv, fv);
+    if (!du && !dv) return Tri::kUnknown;  // leaf granularity reached
+  }
+}
+
+bool DominanceOracle::PSdExactOrder(ObjectProfile& u, ObjectProfile& v) {
+  const int nu = u.num_instances();
+  const int nv = v.num_instances();
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(static_cast<size_t>(nu) * nv / 4);
+  for (int j = 0; j < nv; ++j) {
+    bool covered = false;
+    for (int i = 0; i < nu; ++i) {
+      if (InstanceLeq(u, i, v, j)) {
+        edges.emplace_back(i, j);
+        covered = true;
+      }
+    }
+    if (!covered) return false;  // v_j can never be matched
+  }
+  const std::vector<int64_t> mu =
+      ScaleProbabilities(u.object().probs(), kProbScale);
+  const std::vector<int64_t> mv =
+      ScaleProbabilities(v.object().probs(), kProbScale);
+  return MatchFeasible(nu, nv, edges, mu, mv, stats_);
+}
+
+bool DominanceOracle::PSd(ObjectProfile& u, ObjectProfile& v) {
+  if (config_.cover_rules &&
+      MbrStrictlyDominatesM(u.object().mbr(), v.object().mbr(),
+                            ctx_->mbr(), ctx_->metric())) {
+    if (stats_ != nullptr) ++stats_->mbr_validations;
+    return true;
+  }
+  if (config_.level_by_level) {
+    const Tri d = PSdLevel(u, v);
+    if (d == Tri::kTrue) return true;
+    if (d == Tri::kFalse) return false;
+  }
+  if (config_.stat_pruning &&
+      (StatRefutesAll(u, v) || StatRefutesPerQ(u, v))) {
+    return false;
+  }
+  if (config_.cover_rules) {
+    // Cover-based pruning: not SS-SD implies not P-SD (Theorem 2),
+    // checked at node granularity so a refutation costs no instance work
+    // (the exact flow reduction below has its own cheap refutation exits).
+    EnvelopeLimits limits;
+    limits.max_rounds = 2;
+    limits.max_segments = 40;
+    const EnvelopeDecision d = EnvelopeSsSd(u.object(), v.object(), *ctx_,
+                                            config_.geometric, stats_, limits);
+    if (d == EnvelopeDecision::kNotDominates) {
+      if (stats_ != nullptr) ++stats_->cover_prunes;
+      return false;
+    }
+  }
+  if (stats_ != nullptr) ++stats_->exact_checks;
+  if (!PSdExactOrder(u, v)) return false;
+  return DistributionsDiffer(u, v);
+}
+
+}  // namespace osd

@@ -1,0 +1,91 @@
+// Dominance checks for the four spatial dominance operators.
+//
+// Implements Section 5.1 of the paper:
+//  - S-SD / SS-SD: single merge-scan over sorted pairwise distances
+//    (worst-case optimal, Theorem 10), statistic-based pruning
+//    (Theorem 11), cover-based pruning/validation (Theorems 2 and 4), and
+//    level-by-level refinement on local R-trees.
+//  - P-SD: reduction to max-flow (Theorem 12) over the admissible-pair
+//    bipartite network, with convex-hull reduction of the query, cover
+//    rules, and level-by-level node networks G- (validation) and G+
+//    (pruning).
+//  - F-SD: per-hull-instance farthest/nearest comparisons, either from
+//    local R-trees (level-by-level) or from the profile's distance matrix.
+//  - F+-SD: the MBR-level test of [Emrich et al. 2010].
+//
+// All operators enforce the U_Q != V_Q side condition from Definitions
+// 2/3/5 (we also apply it to F-SD so identical objects never eliminate
+// each other; the paper leaves that case unspecified).
+
+#ifndef OSD_CORE_DOMINANCE_ORACLE_H_
+#define OSD_CORE_DOMINANCE_ORACLE_H_
+
+#include "core/filter_config.h"
+#include "core/object_profile.h"
+#include "core/query_context.h"
+
+namespace osd {
+
+/// Stateful checker bound to one query; reusable across object pairs.
+/// Not thread-safe (shares the FilterStats sink).
+class DominanceOracle {
+ public:
+  DominanceOracle(const QueryContext& ctx, FilterConfig config,
+                  FilterStats* stats);
+
+  /// Does `u` dominate `v` under `op`?
+  bool Dominates(Operator op, ObjectProfile& u, ObjectProfile& v);
+
+  bool SSd(ObjectProfile& u, ObjectProfile& v);
+  bool SsSd(ObjectProfile& u, ObjectProfile& v);
+  bool PSd(ObjectProfile& u, ObjectProfile& v);
+  bool FSd(ObjectProfile& u, ObjectProfile& v);
+
+  /// F+-SD needs no instance data at all.
+  bool FPlusSd(const UncertainObject& u, const UncertainObject& v) const;
+
+  const QueryContext& ctx() const { return *ctx_; }
+  const FilterConfig& config() const { return config_; }
+
+ private:
+  enum class Tri { kTrue, kFalse, kUnknown };
+
+  /// Query-instance indices used by <=_Q style tests: CH(Q) when the
+  /// geometric filter is on, all instances otherwise.
+  const std::vector<int>& QIdx() const;
+
+  /// Exact S-SD order (without the distribution-inequality condition).
+  bool SSdOrderHolds(ObjectProfile& u, ObjectProfile& v);
+
+  /// Exact SS-SD order (without the distribution-inequality condition).
+  bool SsSdOrderHolds(ObjectProfile& u, ObjectProfile& v);
+
+  /// The U_Q != V_Q side condition.
+  bool DistributionsDiffer(ObjectProfile& u, ObjectProfile& v);
+
+  /// Statistic-based pruning on the full distributions (Theorem 11);
+  /// returns true when dominance is refuted.
+  bool StatRefutesAll(ObjectProfile& u, ObjectProfile& v);
+
+  /// Per-query-instance statistic pruning (SS-SD / P-SD / F-SD).
+  bool StatRefutesPerQ(ObjectProfile& u, ObjectProfile& v);
+
+  /// u_i <=_Q v_j: u_i is at least as close as v_j to every query instance
+  /// in QIdx(). Counts one pair test.
+  bool InstanceLeq(ObjectProfile& u, int ui, ObjectProfile& v, int vj);
+
+  /// Level-by-level P-SD over node networks; kUnknown falls to exact.
+  Tri PSdLevel(ObjectProfile& u, ObjectProfile& v);
+
+  /// Exact P-SD via the admissible-pair max-flow (Theorem 12), without the
+  /// distribution-inequality condition.
+  bool PSdExactOrder(ObjectProfile& u, ObjectProfile& v);
+
+  const QueryContext* ctx_;
+  FilterConfig config_;
+  FilterStats* stats_;
+};
+
+}  // namespace osd
+
+#endif  // OSD_CORE_DOMINANCE_ORACLE_H_

@@ -1,0 +1,36 @@
+#include "core/filter_config.h"
+
+namespace osd {
+
+const char* OperatorName(Operator op) {
+  switch (op) {
+    case Operator::kSSd:
+      return "SSD";
+    case Operator::kSsSd:
+      return "SSSD";
+    case Operator::kPSd:
+      return "PSD";
+    case Operator::kFSd:
+      return "FSD";
+    case Operator::kFPlusSd:
+      return "F+SD";
+  }
+  return "?";
+}
+
+FilterStats& FilterStats::operator+=(const FilterStats& other) {
+  dist_evals += other.dist_evals;
+  scan_steps += other.scan_steps;
+  pair_tests += other.pair_tests;
+  node_ops += other.node_ops;
+  flow_runs += other.flow_runs;
+  mbr_validations += other.mbr_validations;
+  stat_prunes += other.stat_prunes;
+  cover_prunes += other.cover_prunes;
+  level_decisions += other.level_decisions;
+  exact_checks += other.exact_checks;
+  dominance_checks += other.dominance_checks;
+  return *this;
+}
+
+}  // namespace osd

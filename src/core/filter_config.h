@@ -1,0 +1,73 @@
+// Filtering-technique switches and instrumentation counters.
+//
+// Section 5.1 of the paper layers four acceleration techniques over the
+// brute-force dominance checks; Appendix C ablates them (Fig. 16) by
+// measuring the number of instance comparisons. FilterConfig selects the
+// techniques (with the same presets as the ablation) and FilterStats is the
+// measurement currency.
+
+#ifndef OSD_CORE_FILTER_CONFIG_H_
+#define OSD_CORE_FILTER_CONFIG_H_
+
+#include <string>
+
+namespace osd {
+
+/// The spatial dominance operators evaluated in the paper (Section 6).
+enum class Operator {
+  kSSd,      // stochastic SD            (optimal w.r.t. N1)
+  kSsSd,     // strict stochastic SD     (optimal w.r.t. N1,2)
+  kPSd,      // peer SD                  (optimal w.r.t. N1,2,3)
+  kFSd,      // full SD on instances     (correct, not complete)
+  kFPlusSd,  // full SD on object MBRs   [Emrich et al. 2010]
+};
+
+/// Short uppercase name as used in the paper's plots (SSD, SSSD, ...).
+const char* OperatorName(Operator op);
+
+/// Switches for the acceleration techniques of Section 5.1.
+struct FilterConfig {
+  /// Level-by-level pruning/validation on local R-trees ("L").
+  bool level_by_level = true;
+  /// Statistic-based pruning on min/mean/max ("P").
+  bool stat_pruning = true;
+  /// Convex-hull reduction of query instances ("G").
+  bool geometric = true;
+  /// Cover-based rules: MBR validation (Theorem 4) and pruning via
+  /// covering operators (Theorem 2).
+  bool cover_rules = true;
+
+  static FilterConfig All() { return {}; }
+  static FilterConfig BruteForce() { return {false, false, false, false}; }
+  static FilterConfig L() { return {true, false, false, false}; }
+  static FilterConfig LP() { return {true, true, false, false}; }
+  static FilterConfig LG() { return {true, false, true, false}; }
+  static FilterConfig LGP() { return {true, true, true, false}; }
+};
+
+/// Work counters accumulated by the dominance checks. The Fig. 16 metric
+/// is InstanceComparisons().
+struct FilterStats {
+  long dist_evals = 0;        ///< instance-to-instance distance evaluations
+  long scan_steps = 0;        ///< CDF merge-scan steps
+  long pair_tests = 0;        ///< u <=_Q v instance-pair tests
+  long node_ops = 0;          ///< node-level MBR bound computations
+  long flow_runs = 0;         ///< max-flow invocations
+  long mbr_validations = 0;   ///< dominance validated from MBRs alone
+  long stat_prunes = 0;       ///< refuted by min/mean/max statistics
+  long cover_prunes = 0;      ///< refuted via a covering operator
+  long level_decisions = 0;   ///< decided at R-tree node level
+  long exact_checks = 0;      ///< fell through to the exact algorithm
+  long dominance_checks = 0;  ///< total pairwise checks requested
+
+  /// The ablation currency of Fig. 16.
+  long InstanceComparisons() const {
+    return dist_evals + scan_steps + pair_tests;
+  }
+
+  FilterStats& operator+=(const FilterStats& other);
+};
+
+}  // namespace osd
+
+#endif  // OSD_CORE_FILTER_CONFIG_H_

@@ -1,0 +1,150 @@
+#include "core/nn_core.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace osd {
+
+namespace {
+
+// Pr[delta(U,q) < delta(V,q)] (+ half ties) for a FIXED query instance,
+// via a two-pointer sweep over the sorted distance lists.
+double BeatProbabilityAt(const std::vector<std::pair<double, double>>& du,
+                         const std::vector<std::pair<double, double>>& dv) {
+  double prob = 0.0;
+  size_t j = 0;
+  double cum_v_below = 0.0;  // mass of V strictly below the current u
+  for (const auto& [u_dist, u_prob] : du) {
+    while (j < dv.size() && dv[j].first < u_dist) {
+      cum_v_below += dv[j].second;
+      ++j;
+    }
+    // Ties at exactly u_dist count half.
+    double tie_mass = 0.0;
+    size_t k = j;
+    while (k < dv.size() && dv[k].first == u_dist) {
+      tie_mass += dv[k].second;
+      ++k;
+    }
+    // U beats the V-mass strictly above u_dist.
+    const double v_above = 1.0 - cum_v_below - tie_mass;
+    prob += u_prob * (v_above + 0.5 * tie_mass);
+  }
+  return prob;
+}
+
+std::vector<std::pair<double, double>> SortedDists(const UncertainObject& o,
+                                                   const Point& q) {
+  std::vector<std::pair<double, double>> dists(o.num_instances());
+  for (int i = 0; i < o.num_instances(); ++i) {
+    dists[i] = {Distance(q, o.Instance(i)), o.Prob(i)};
+  }
+  std::sort(dists.begin(), dists.end());
+  return dists;
+}
+
+}  // namespace
+
+double SupersedeProbability(const UncertainObject& u,
+                            const UncertainObject& v,
+                            const UncertainObject& q) {
+  OSD_CHECK(u.dim() == q.dim() && v.dim() == q.dim());
+  double prob = 0.0;
+  for (int qi = 0; qi < q.num_instances(); ++qi) {
+    const Point qp = q.Instance(qi);
+    prob += q.Prob(qi) *
+            BeatProbabilityAt(SortedDists(u, qp), SortedDists(v, qp));
+  }
+  return std::clamp(prob, 0.0, 1.0);  // absorb +-1e-16 float residue
+}
+
+bool Supersedes(const UncertainObject& u, const UncertainObject& v,
+                const UncertainObject& q) {
+  return SupersedeProbability(u, v, q) > 0.5 + 1e-12;
+}
+
+std::vector<int> NnCore(std::span<const UncertainObject> objects,
+                        const UncertainObject& q) {
+  const int n = static_cast<int>(objects.size());
+  OSD_CHECK(n >= 1);
+  // Closure graph: edge u -> v when u FAILS to supersede v, i.e. if u is
+  // in the core, v must be too.
+  std::vector<std::vector<int>> graph(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (!Supersedes(objects[i], objects[j], q)) graph[i].push_back(j);
+    }
+  }
+  // The unique minimal closed set is the sink SCC of this graph (its
+  // condensation is a DAG whose sink is unique: two distinct sinks would
+  // each need to supersede the other's members, which is impossible).
+  // Iterative Tarjan.
+  std::vector<int> index(n, -1), low(n, 0), comp(n, -1);
+  std::vector<char> on_stack(n, 0);
+  std::vector<int> stack;
+  int next_index = 0, num_comps = 0;
+  struct Frame {
+    int v;
+    size_t child;
+  };
+  for (int root = 0; root < n; ++root) {
+    if (index[root] >= 0) continue;
+    std::vector<Frame> frames = {{root, 0}};
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.child == 0) {
+        index[f.v] = low[f.v] = next_index++;
+        stack.push_back(f.v);
+        on_stack[f.v] = 1;
+      }
+      if (f.child < graph[f.v].size()) {
+        const int w = graph[f.v][f.child++];
+        if (index[w] < 0) {
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          low[f.v] = std::min(low[f.v], index[w]);
+        }
+      } else {
+        if (low[f.v] == index[f.v]) {
+          while (true) {
+            const int w = stack.back();
+            stack.pop_back();
+            on_stack[w] = 0;
+            comp[w] = num_comps;
+            if (w == f.v) break;
+          }
+          ++num_comps;
+        }
+        const int v = f.v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          low[frames.back().v] = std::min(low[frames.back().v], low[v]);
+        }
+      }
+    }
+  }
+  // Sink components have no edges leaving them.
+  std::vector<char> has_out(num_comps, 0);
+  for (int v = 0; v < n; ++v) {
+    for (int w : graph[v]) {
+      if (comp[v] != comp[w]) has_out[comp[v]] = 1;
+    }
+  }
+  int sink = -1;
+  for (int c = 0; c < num_comps; ++c) {
+    if (!has_out[c]) {
+      // Uniqueness can break only under probability ties; prefer the
+      // component containing the strongest object (most supersede wins).
+      if (sink < 0) sink = c;
+    }
+  }
+  std::vector<int> core;
+  for (int v = 0; v < n; ++v) {
+    if (comp[v] == sink) core.push_back(v);
+  }
+  return core;
+}
+
+}  // namespace osd

@@ -1,0 +1,45 @@
+// The NN-core baseline of Yuen et al., "Superseding Nearest Neighbor
+// Search on Uncertain Spatial Databases" (TKDE 22(7), 2010).
+//
+// U *supersedes* V w.r.t. Q when U is more likely than not to be the
+// closer of the two (pairwise-world probability > 1/2; exact ties leave
+// both unsuperseded). The NN-core is the unique minimal set C such that
+// every member of C supersedes every non-member.
+//
+// The paper's Section 1 argues NN-core is too aggressive for NN-candidate
+// search: it can exclude objects that ARE the nearest neighbor under
+// popular NN functions (Fig. 1: the max-distance NN and the
+// expected-distance NN are both outside the core). We implement it as a
+// comparison baseline; see bench/motivation_nn_core.cc and the tests.
+
+#ifndef OSD_CORE_NN_CORE_H_
+#define OSD_CORE_NN_CORE_H_
+
+#include <span>
+#include <vector>
+
+#include "object/uncertain_object.h"
+
+namespace osd {
+
+/// Pr[ delta(U, q) < delta(V, q) ] + 0.5 * Pr[ equal ], over one sampled
+/// instance of each of U, V and Q (objects independent).
+double SupersedeProbability(const UncertainObject& u,
+                            const UncertainObject& v,
+                            const UncertainObject& q);
+
+/// True iff U supersedes V (probability strictly above 1/2).
+bool Supersedes(const UncertainObject& u, const UncertainObject& v,
+                const UncertainObject& q);
+
+/// The NN-core of `objects` w.r.t. `q`: indices into `objects` of the
+/// unique minimal set whose members supersede every non-member. Computed
+/// as the sink strongly-connected component of the "fails-to-supersede"
+/// graph (closure requirement: if U is in the core and U does not
+/// supersede V, V must join the core too).
+std::vector<int> NnCore(std::span<const UncertainObject> objects,
+                        const UncertainObject& q);
+
+}  // namespace osd
+
+#endif  // OSD_CORE_NN_CORE_H_

@@ -1,0 +1,152 @@
+#include "core/nnc_search.h"
+
+#include <chrono>
+#include <memory>
+#include <queue>
+
+#include "common/check.h"
+
+namespace osd {
+
+namespace {
+
+struct HeapItem {
+  double key;  // min distance between boxes under the search metric
+  bool is_object;
+  int32_t id;  // node id or object index
+  friend bool operator>(const HeapItem& a, const HeapItem& b) {
+    return a.key > b.key;
+  }
+};
+
+}  // namespace
+
+NncSearch::NncSearch(const Dataset& dataset, NncOptions options)
+    : dataset_(&dataset), options_(options) {
+  OSD_CHECK(options_.k >= 1);
+}
+
+NncResult NncSearch::Run(
+    const UncertainObject& query,
+    const std::function<void(int, double)>& on_candidate) const {
+  const auto start = std::chrono::steady_clock::now();
+  auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  NncResult result;
+  QueryContext ctx(query, options_.metric);
+  DominanceOracle oracle(ctx, options_.filters, &result.stats);
+  const RTree& tree = dataset_->global_tree();
+
+  struct Member {
+    int object_index;
+    std::unique_ptr<ObjectProfile> profile;
+  };
+  std::vector<Member> members;
+
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  heap.push({MbrMinDist(tree.nodes()[tree.root()].box, ctx.mbr(),
+                        options_.metric),
+             false, tree.root()});
+
+  while (!heap.empty()) {
+    const HeapItem item = heap.top();
+    heap.pop();
+
+    if (!item.is_object) {
+      const RTree::Node& node = tree.nodes()[item.id];
+      // Cover-based entry pruning (Theorem 4): once k confirmed candidates
+      // fully dominate the node's box, nothing below can be a candidate.
+      int node_dominators = 0;
+      for (const Member& m : members) {
+        result.stats.node_ops += 1;
+        if (MbrStrictlyDominatesM(dataset_->object(m.object_index).mbr(),
+                                  node.box, ctx.mbr(), options_.metric)) {
+          if (++node_dominators >= options_.k) break;
+        }
+      }
+      if (node_dominators >= options_.k) {
+        ++result.entries_pruned;
+        continue;
+      }
+      if (node.is_leaf) {
+        for (int32_t e : node.children) {
+          const RTree::Entry& entry = tree.entries()[e];
+          if (entry.id == options_.exclude_id) continue;
+          heap.push({MbrMinDist(entry.box, ctx.mbr(), options_.metric), true,
+                     entry.id});
+        }
+      } else {
+        for (int32_t c : node.children) {
+          heap.push({MbrMinDist(tree.nodes()[c].box, ctx.mbr(),
+                                options_.metric),
+                     false, c});
+        }
+      }
+      continue;
+    }
+
+    // An object: evaluate against the confirmed candidates. An object
+    // with >= k dominators can neither be a candidate nor be needed as a
+    // dominator of later objects (each of its own dominators dominates
+    // them transitively), so it is dropped outright.
+    const UncertainObject& candidate = dataset_->object(item.id);
+    ++result.objects_examined;
+    auto profile =
+        std::make_unique<ObjectProfile>(candidate, ctx, &result.stats);
+    int dominators = 0;
+    for (Member& m : members) {
+      if (oracle.Dominates(options_.op, *m.profile, *profile)) {
+        if (++dominators >= options_.k) break;
+      }
+    }
+    if (dominators >= options_.k) continue;
+    members.push_back({item.id, std::move(profile)});
+    const double t = elapsed();
+    result.timeline.push_back({item.id, t});
+    if (on_candidate) on_candidate(item.id, t);
+  }
+
+  // Final pairwise cleanup: discard any emitted candidate dominated by
+  // another emitted candidate (possible only under min-distance ties or
+  // MBR/exact order inversions; see the header comment). Under F+-SD a
+  // strict MBR dominator always has a strictly smaller heap key, so the
+  // traversal order already guarantees a clean result. For the other
+  // operators the pairs to re-check are gated by the statistic conditions
+  // of Theorem 11, which every operator implies via the cover chain.
+  std::vector<char> dead(members.size(), 0);
+  if (options_.op != Operator::kFPlusSd) {
+    constexpr double kGateEps = 1e-9;
+    std::vector<int> dominators(members.size(), 0);
+    for (size_t j = 0; j < members.size(); ++j) {
+      ObjectProfile& pj = *members[j].profile;
+      // With k == 1, an earlier member cannot dominate a later one (the
+      // later object was checked against it during the traversal), so
+      // only later-emitted dominators need re-checking. With k > 1 a
+      // member may carry up to k-1 dominators from either side.
+      const size_t start = options_.k == 1 ? j + 1 : 0;
+      for (size_t i = start; i < members.size() && dominators[j] < options_.k;
+           ++i) {
+        if (i == j) continue;
+        ObjectProfile& pi = *members[i].profile;
+        if (pi.MinAll() > pj.MinAll() + kGateEps ||
+            pi.MeanAll() > pj.MeanAll() + kGateEps ||
+            pi.MaxAll() > pj.MaxAll() + kGateEps) {
+          continue;
+        }
+        if (oracle.Dominates(options_.op, pi, pj)) ++dominators[j];
+      }
+      if (dominators[j] >= options_.k) dead[j] = 1;
+    }
+  }
+  for (size_t i = 0; i < members.size(); ++i) {
+    if (!dead[i]) result.candidates.push_back(members[i].object_index);
+  }
+  result.seconds = elapsed();
+  return result;
+}
+
+}  // namespace osd

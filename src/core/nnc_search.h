@@ -1,0 +1,85 @@
+// NN candidates computation (Algorithm 1 of the paper).
+//
+// Best-first traversal of the global R-tree in min-distance order,
+// maintaining the set of confirmed candidates. Visited entries are
+// discarded when an existing candidate fully spatially dominates their MBR
+// (cover-based entry pruning, Theorem 4); visited objects are confirmed as
+// candidates iff no existing candidate dominates them under the selected
+// operator.
+//
+// The paper argues (via the access order, the statistic pruning rules and
+// transitivity, Theorem 9) that checking each object only against earlier
+// candidates suffices. MBR min-distance is only a lower bound on the exact
+// minimum pairwise distance, so ties and near-ties can break the access-
+// order argument in degenerate inputs; we therefore finish with a pairwise
+// cleanup among the returned candidates, which (by transitivity) makes the
+// result provably equal to the brute-force NNC while leaving the
+// progressive behaviour of the traversal intact.
+
+#ifndef OSD_CORE_NNC_SEARCH_H_
+#define OSD_CORE_NNC_SEARCH_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/dominance_oracle.h"
+#include "core/filter_config.h"
+#include "object/dataset.h"
+
+namespace osd {
+
+/// Options for one NNC computation.
+struct NncOptions {
+  Operator op = Operator::kPSd;
+  FilterConfig filters = FilterConfig::All();
+  /// Distance metric; the convex-hull filter silently degrades to "all
+  /// query instances" for non-Euclidean metrics (see geom/metric.h).
+  Metric metric = Metric::kL2;
+  /// Object id to skip (the query itself when it is drawn from the
+  /// dataset); -1 keeps everything.
+  int exclude_id = -1;
+  /// k-NN candidates (extension of Definition 6): an object is excluded
+  /// once k distinct objects dominate it. Since SD(U_i, V) implies
+  /// f(U_i) <= f(V) for every covered function f, an object with k
+  /// dominators can never rank among the k nearest under any covered
+  /// function, so the result contains every possible top-k member.
+  int k = 1;
+};
+
+/// One progressive candidate emission.
+struct NncEmission {
+  int object_id = -1;
+  double elapsed_seconds = 0.0;
+};
+
+/// Result of one NNC computation.
+struct NncResult {
+  /// Final candidate object indices, in emission order (after cleanup).
+  std::vector<int> candidates;
+  /// Progressive emissions as produced by the traversal (pre-cleanup).
+  std::vector<NncEmission> timeline;
+  FilterStats stats;
+  double seconds = 0.0;
+  long objects_examined = 0;  ///< objects reaching the dominance check
+  long entries_pruned = 0;    ///< R-tree entries/nodes discarded via MBRs
+};
+
+/// NN-candidate search engine over a dataset.
+class NncSearch {
+ public:
+  NncSearch(const Dataset& dataset, NncOptions options);
+
+  /// Computes NNC(O, Q, SD). `on_candidate(object_index, elapsed_seconds)`
+  /// is invoked for every progressive emission when provided.
+  NncResult Run(const UncertainObject& query,
+                const std::function<void(int, double)>& on_candidate =
+                    nullptr) const;
+
+ private:
+  const Dataset* dataset_;
+  NncOptions options_;
+};
+
+}  // namespace osd
+
+#endif  // OSD_CORE_NNC_SEARCH_H_

@@ -1,0 +1,113 @@
+#include "core/object_profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace osd {
+
+ObjectProfile::ObjectProfile(const UncertainObject& object,
+                             const QueryContext& ctx, FilterStats* stats)
+    : object_(&object), ctx_(&ctx), stats_(stats) {
+  OSD_CHECK(object.dim() == ctx.query().dim());
+}
+
+void ObjectProfile::EnsureMatrix() {
+  if (!matrix_.empty()) return;
+  const int nq = ctx_->num_instances();
+  const int m = num_instances();
+  matrix_.resize(static_cast<size_t>(nq) * m);
+  for (int qi = 0; qi < nq; ++qi) {
+    const Point& q = ctx_->points()[qi];
+    for (int ui = 0; ui < m; ++ui) {
+      matrix_[static_cast<size_t>(qi) * m + ui] =
+          PointDistance(q, object_->Instance(ui), ctx_->metric());
+    }
+  }
+  if (stats_ != nullptr) {
+    stats_->dist_evals += static_cast<long>(nq) * m;
+  }
+}
+
+void ObjectProfile::EnsureStats() {
+  if (have_stats_) return;
+  EnsureMatrix();
+  const int nq = ctx_->num_instances();
+  const int m = num_instances();
+  min_q_.assign(nq, std::numeric_limits<double>::infinity());
+  max_q_.assign(nq, 0.0);
+  mean_q_.assign(nq, 0.0);
+  min_all_ = std::numeric_limits<double>::infinity();
+  max_all_ = 0.0;
+  mean_all_ = 0.0;
+  for (int qi = 0; qi < nq; ++qi) {
+    for (int ui = 0; ui < m; ++ui) {
+      const double d = matrix_[static_cast<size_t>(qi) * m + ui];
+      min_q_[qi] = std::min(min_q_[qi], d);
+      max_q_[qi] = std::max(max_q_[qi], d);
+      mean_q_[qi] += d * object_->Prob(ui);
+    }
+    min_all_ = std::min(min_all_, min_q_[qi]);
+    max_all_ = std::max(max_all_, max_q_[qi]);
+    mean_all_ += mean_q_[qi] * ctx_->probs()[qi];
+  }
+  have_stats_ = true;
+}
+
+void ObjectProfile::EnsureSortedAll() {
+  if (!sorted_values_.empty()) return;
+  EnsureMatrix();
+  const int nq = ctx_->num_instances();
+  const int m = num_instances();
+  const size_t total = static_cast<size_t>(nq) * m;
+  std::vector<int> order(total);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return matrix_[a] < matrix_[b]; });
+  sorted_values_.resize(total);
+  sorted_probs_.resize(total);
+  for (size_t k = 0; k < total; ++k) {
+    const int idx = order[k];
+    const int qi = idx / m;
+    const int ui = idx % m;
+    sorted_values_[k] = matrix_[idx];
+    sorted_probs_[k] = ctx_->probs()[qi] * object_->Prob(ui);
+  }
+}
+
+void ObjectProfile::EnsureSortedPerQ() {
+  if (!sorted_q_values_.empty()) return;
+  EnsureMatrix();
+  const int nq = ctx_->num_instances();
+  const int m = num_instances();
+  sorted_q_values_.resize(nq);
+  sorted_q_probs_.resize(nq);
+  std::vector<int> order(m);
+  for (int qi = 0; qi < nq; ++qi) {
+    std::iota(order.begin(), order.end(), 0);
+    const double* row = matrix_.data() + static_cast<size_t>(qi) * m;
+    std::sort(order.begin(), order.end(),
+              [&](int a, int b) { return row[a] < row[b]; });
+    sorted_q_values_[qi].resize(m);
+    sorted_q_probs_[qi].resize(m);
+    for (int k = 0; k < m; ++k) {
+      sorted_q_values_[qi][k] = row[order[k]];
+      sorted_q_probs_[qi][k] = object_->Prob(order[k]);
+    }
+  }
+}
+
+const DiscreteDistribution& ObjectProfile::Distribution() {
+  if (!have_distribution_) {
+    EnsureSortedAll();
+    distribution_ =
+        DiscreteDistribution::FromArrays(sorted_values_, sorted_probs_);
+    have_distribution_ = true;
+  }
+  return distribution_;
+}
+
+}  // namespace osd

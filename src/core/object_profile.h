@@ -1,0 +1,122 @@
+// Lazily computed per-(object, query) distance state.
+//
+// Every dominance check consumes some view of the pairwise distances
+// between an object's instances and the query's instances: overall and
+// per-query-instance statistics (statistic pruning), the sorted all-pairs
+// distribution U_Q (S-SD), per-q sorted distributions U_q (SS-SD), or the
+// raw matrix (<=_Q tests in P-SD / F-SD). Each view is materialized at
+// most once and only when a check actually needs it — the level-by-level
+// filters frequently decide at R-tree node granularity without ever
+// touching instances, which is exactly the effect the Fig. 16 ablation
+// measures.
+
+#ifndef OSD_CORE_OBJECT_PROFILE_H_
+#define OSD_CORE_OBJECT_PROFILE_H_
+
+#include <span>
+#include <vector>
+
+#include "core/filter_config.h"
+#include "core/query_context.h"
+#include "object/uncertain_object.h"
+#include "prob/discrete_distribution.h"
+
+namespace osd {
+
+/// Distance views of one object w.r.t. one query. Not thread-safe.
+class ObjectProfile {
+ public:
+  ObjectProfile(const UncertainObject& object, const QueryContext& ctx,
+                FilterStats* stats);
+
+  const UncertainObject& object() const { return *object_; }
+  int num_instances() const { return object_->num_instances(); }
+
+  /// delta(q_i, u_j); materializes the full matrix on first call.
+  double Dist(int qi, int ui) {
+    EnsureMatrix();
+    return matrix_[static_cast<size_t>(qi) * num_instances() + ui];
+  }
+
+  /// Row of distances from query instance qi to all object instances.
+  std::span<const double> Row(int qi) {
+    EnsureMatrix();
+    return {matrix_.data() + static_cast<size_t>(qi) * num_instances(),
+            static_cast<size_t>(num_instances())};
+  }
+
+  // Overall statistics of U_Q (Theorem 11 pruning).
+  double MinAll() {
+    EnsureStats();
+    return min_all_;
+  }
+  double MeanAll() {
+    EnsureStats();
+    return mean_all_;
+  }
+  double MaxAll() {
+    EnsureStats();
+    return max_all_;
+  }
+
+  // Per-query-instance statistics of U_q.
+  double MinQ(int qi) {
+    EnsureStats();
+    return min_q_[qi];
+  }
+  double MeanQ(int qi) {
+    EnsureStats();
+    return mean_q_[qi];
+  }
+  double MaxQ(int qi) {
+    EnsureStats();
+    return max_q_[qi];
+  }
+
+  /// Sorted all-pairs distances (values ascending, parallel probabilities).
+  std::span<const double> SortedValues() {
+    EnsureSortedAll();
+    return sorted_values_;
+  }
+  std::span<const double> SortedProbs() {
+    EnsureSortedAll();
+    return sorted_probs_;
+  }
+
+  /// Sorted distances from query instance qi (parallel probabilities).
+  std::span<const double> SortedQValues(int qi) {
+    EnsureSortedPerQ();
+    return sorted_q_values_[qi];
+  }
+  std::span<const double> SortedQProbs(int qi) {
+    EnsureSortedPerQ();
+    return sorted_q_probs_[qi];
+  }
+
+  /// The all-pairs distance distribution U_Q as a merged distribution
+  /// (used for the U_Q != V_Q side condition and by the public API).
+  const DiscreteDistribution& Distribution();
+
+ private:
+  void EnsureMatrix();
+  void EnsureStats();
+  void EnsureSortedAll();
+  void EnsureSortedPerQ();
+
+  const UncertainObject* object_;
+  const QueryContext* ctx_;
+  FilterStats* stats_;
+
+  std::vector<double> matrix_;  // |Q| x m, row-major; empty until needed
+  bool have_stats_ = false;
+  double min_all_ = 0.0, mean_all_ = 0.0, max_all_ = 0.0;
+  std::vector<double> min_q_, mean_q_, max_q_;
+  std::vector<double> sorted_values_, sorted_probs_;
+  std::vector<std::vector<double>> sorted_q_values_, sorted_q_probs_;
+  bool have_distribution_ = false;
+  DiscreteDistribution distribution_;
+};
+
+}  // namespace osd
+
+#endif  // OSD_CORE_OBJECT_PROFILE_H_

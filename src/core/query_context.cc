@@ -1,0 +1,23 @@
+#include "core/query_context.h"
+
+#include <numeric>
+
+#include "geom/convex_hull.h"
+
+namespace osd {
+
+QueryContext::QueryContext(const UncertainObject& query, Metric metric)
+    : query_(&query), metric_(metric), mbr_(query.mbr()) {
+  const int m = query.num_instances();
+  points_.reserve(m);
+  probs_.reserve(m);
+  for (int i = 0; i < m; ++i) {
+    points_.push_back(query.Instance(i));
+    probs_.push_back(query.Prob(i));
+  }
+  hull_ = HullVertexIndices(points_);
+  all_indices_.resize(m);
+  std::iota(all_indices_.begin(), all_indices_.end(), 0);
+}
+
+}  // namespace osd

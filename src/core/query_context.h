@@ -1,0 +1,56 @@
+// Per-query precomputation shared by all dominance checks.
+
+#ifndef OSD_CORE_QUERY_CONTEXT_H_
+#define OSD_CORE_QUERY_CONTEXT_H_
+
+#include <vector>
+
+#include "geom/mbr.h"
+#include "geom/metric.h"
+#include "geom/point.h"
+#include "object/uncertain_object.h"
+
+namespace osd {
+
+/// Materialized query object: instance points, probabilities, MBR, and the
+/// indices of the convex-hull vertices of the instance set (Section 5.1.2:
+/// only hull query points need participating in <=_Q and F-SD tests).
+/// For d >= 4 the hull falls back to all instances (correct superset).
+class QueryContext {
+ public:
+  explicit QueryContext(const UncertainObject& query,
+                        Metric metric = Metric::kL2);
+
+  const UncertainObject& query() const { return *query_; }
+  Metric metric() const { return metric_; }
+  int num_instances() const { return static_cast<int>(points_.size()); }
+  const std::vector<Point>& points() const { return points_; }
+  const std::vector<double>& probs() const { return probs_; }
+  const Mbr& mbr() const { return mbr_; }
+
+  /// Indices of the hull vertices of the query instance set.
+  const std::vector<int>& hull() const { return hull_; }
+
+  /// All instance indices 0..|Q|-1 (used when the geometric filter is off).
+  const std::vector<int>& all_indices() const { return all_indices_; }
+
+  /// Query instances that must participate in <=_Q / F-SD tests: the hull
+  /// under L2 (bisector regions are half-spaces) and every instance under
+  /// other metrics, where the hull reduction is unsound.
+  const std::vector<int>& pruning_indices() const {
+    return metric_ == Metric::kL2 ? hull_ : all_indices_;
+  }
+
+ private:
+  const UncertainObject* query_;
+  Metric metric_;
+  std::vector<Point> points_;
+  std::vector<double> probs_;
+  std::vector<int> hull_;
+  std::vector<int> all_indices_;
+  Mbr mbr_;
+};
+
+}  // namespace osd
+
+#endif  // OSD_CORE_QUERY_CONTEXT_H_

@@ -1,0 +1,103 @@
+#include "datagen/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace osd {
+
+namespace {
+
+double Clamp(double v, double lo, double hi) {
+  return std::min(std::max(v, lo), hi);
+}
+
+// Anti-correlated center (Boerzsoenyi methodology): place the point near
+// the hyperplane sum x_i = d/2 (in the unit cube) and spread mass along
+// the plane so dimensions trade off against each other.
+Point AntiCorrelatedCenter(int dim, double domain, Rng& rng) {
+  // Overall "budget" for the coordinate sum, tight around d/2.
+  const double budget =
+      Clamp(rng.Normal(0.5, 0.0625), 0.0, 1.0) * static_cast<double>(dim);
+  // Random composition of the budget across dimensions via exponential
+  // spacings (uniform over the simplex).
+  std::vector<double> parts(dim);
+  double total = 0.0;
+  for (int i = 0; i < dim; ++i) {
+    parts[i] = rng.Exponential(1.0);
+    total += parts[i];
+  }
+  Point center(dim);
+  for (int i = 0; i < dim; ++i) {
+    center[i] = Clamp(budget * parts[i] / total, 0.0, 1.0) * domain;
+  }
+  return center;
+}
+
+Point IndependentCenter(int dim, double domain, Rng& rng) {
+  Point center(dim);
+  for (int i = 0; i < dim; ++i) center[i] = rng.Uniform(0.0, domain);
+  return center;
+}
+
+}  // namespace
+
+Point GenerateCenter(CenterDistribution dist, int dim, double domain,
+                     Rng& rng) {
+  OSD_CHECK(dim >= 1 && dim <= Point::kMaxDim);
+  switch (dist) {
+    case CenterDistribution::kAntiCorrelated:
+      return AntiCorrelatedCenter(dim, domain, rng);
+    case CenterDistribution::kIndependent:
+      return IndependentCenter(dim, domain, rng);
+  }
+  return Point(dim);
+}
+
+UncertainObject GenerateObjectAt(int id, const Point& center, double edge,
+                                 int instances, double domain, Rng& rng) {
+  const int dim = center.dim();
+  OSD_CHECK(instances >= 1);
+  // Box edges uniform in [0, 2 * edge], clipped into the domain.
+  std::vector<double> lo(dim), hi(dim);
+  for (int i = 0; i < dim; ++i) {
+    const double e = rng.Uniform(0.0, 2.0 * edge);
+    lo[i] = Clamp(center[i] - 0.5 * e, 0.0, domain);
+    hi[i] = Clamp(center[i] + 0.5 * e, 0.0, domain);
+  }
+  std::vector<double> coords;
+  coords.reserve(static_cast<size_t>(instances) * dim);
+  for (int k = 0; k < instances; ++k) {
+    for (int i = 0; i < dim; ++i) {
+      coords.push_back(Clamp(rng.Normal(center[i], edge / 2.0), lo[i], hi[i]));
+    }
+  }
+  return UncertainObject::Uniform(id, dim, std::move(coords));
+}
+
+std::vector<UncertainObject> GenerateSyntheticObjects(
+    const SyntheticParams& params) {
+  OSD_CHECK(params.num_objects >= 1);
+  Rng rng(params.seed);
+  std::vector<UncertainObject> objects;
+  objects.reserve(params.num_objects);
+  for (int id = 0; id < params.num_objects; ++id) {
+    const Point center =
+        GenerateCenter(params.centers, params.dim, params.domain, rng);
+    // "m_d instances on average": counts fluctuate around the mean.
+    const int count = std::max(
+        2, static_cast<int>(std::lround(rng.Normal(
+               params.instances_per_object,
+               std::max(1.0, params.instances_per_object / 10.0)))));
+    objects.push_back(GenerateObjectAt(id, center, params.object_edge, count,
+                                       params.domain, rng));
+  }
+  return objects;
+}
+
+Dataset GenerateSynthetic(const SyntheticParams& params) {
+  return Dataset(GenerateSyntheticObjects(params));
+}
+
+}  // namespace osd

@@ -1,0 +1,212 @@
+#include "datagen/surrogates.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "datagen/generators.h"
+
+namespace osd {
+
+namespace {
+
+constexpr double kDomain = 10'000.0;
+
+double Clamp01Domain(double v) {
+  return std::min(std::max(v, 0.0), kDomain);
+}
+
+// Expands a cloud of centers into objects using the paper's synthetic
+// instance mechanism (box edge h_d, Normal scatter).
+Dataset ExpandCenters(const std::vector<Point>& centers, double edge,
+                      int instances_mean, Rng& rng) {
+  std::vector<UncertainObject> objects;
+  objects.reserve(centers.size());
+  for (size_t id = 0; id < centers.size(); ++id) {
+    const int count = std::max(
+        2, static_cast<int>(std::lround(
+               rng.Normal(instances_mean, std::max(1.0, instances_mean / 10.0)))));
+    objects.push_back(GenerateObjectAt(static_cast<int>(id), centers[id],
+                                       edge, count, kDomain, rng));
+  }
+  return Dataset(std::move(objects));
+}
+
+}  // namespace
+
+Dataset NbaLike(uint64_t seed) {
+  Rng rng(seed);
+  // Player archetypes: (points, assists, rebounds) styles, normalized to
+  // the domain. Centers cluster per archetype; per-game spread is large
+  // relative to the center spread, producing heavily overlapped extents.
+  const int kNumArchetypes = 12;
+  std::vector<Point> archetypes;
+  for (int a = 0; a < kNumArchetypes; ++a) {
+    Point p(3);
+    p[0] = rng.Uniform(1'000.0, 7'000.0);  // scoring level
+    p[1] = rng.Uniform(500.0, 5'000.0);    // playmaking level
+    p[2] = rng.Uniform(500.0, 5'500.0);    // rebounding level
+    archetypes.push_back(p);
+  }
+  const int kNumPlayers = 1'313;
+  std::vector<UncertainObject> players;
+  players.reserve(kNumPlayers);
+  for (int id = 0; id < kNumPlayers; ++id) {
+    const Point& arch = archetypes[rng.UniformInt(0, kNumArchetypes - 1)];
+    Point center(3);
+    for (int i = 0; i < 3; ++i) {
+      center[i] = Clamp01Domain(arch[i] + rng.Normal(0.0, 600.0));
+    }
+    // Career length: lognormal games count, capped (1:4 scale-down).
+    const int games = static_cast<int>(std::min(
+        150.0, std::max(5.0, std::exp(rng.Normal(3.87, 0.7))))); // median ~48
+    // Game-to-game variance is large: spread ~ 18% of the domain.
+    std::vector<double> coords;
+    coords.reserve(static_cast<size_t>(games) * 3);
+    for (int g = 0; g < games; ++g) {
+      for (int i = 0; i < 3; ++i) {
+        coords.push_back(Clamp01Domain(center[i] + rng.Normal(0.0, 1'800.0)));
+      }
+    }
+    players.push_back(UncertainObject::Uniform(id, 3, std::move(coords)));
+  }
+  return Dataset(std::move(players));
+}
+
+Dataset GowallaLike(uint64_t seed) {
+  Rng rng(seed);
+  // City hotspots shared by all users; a user checks in mostly around a
+  // home hotspot and occasionally across others (travel), which makes the
+  // objects' extents overlap heavily like the real check-in data.
+  const int kNumHotspots = 40;
+  std::vector<Point> hotspots;
+  for (int h = 0; h < kNumHotspots; ++h) {
+    Point p(2);
+    p[0] = rng.Uniform(0.0, kDomain);
+    p[1] = rng.Uniform(0.0, kDomain);
+    hotspots.push_back(p);
+  }
+  const int kNumUsers = 5'000;
+  std::vector<UncertainObject> users;
+  users.reserve(kNumUsers);
+  for (int id = 0; id < kNumUsers; ++id) {
+    const Point& home = hotspots[rng.UniformInt(0, kNumHotspots - 1)];
+    // Power-law check-in count in [5, 150] (1:21 user scale-down).
+    const double u = rng.Uniform(0.0, 1.0);
+    const int checkins =
+        static_cast<int>(5.0 + 145.0 * std::pow(u, 3.0));
+    std::vector<double> coords;
+    coords.reserve(static_cast<size_t>(checkins) * 2);
+    for (int c = 0; c < checkins; ++c) {
+      const bool travel = rng.Flip(0.15);
+      const Point& base =
+          travel ? hotspots[rng.UniformInt(0, kNumHotspots - 1)] : home;
+      coords.push_back(Clamp01Domain(base[0] + rng.Normal(0.0, 150.0)));
+      coords.push_back(Clamp01Domain(base[1] + rng.Normal(0.0, 150.0)));
+    }
+    users.push_back(UncertainObject::Uniform(id, 2, std::move(coords)));
+  }
+  return Dataset(std::move(users));
+}
+
+Dataset HouseLike(uint64_t seed, int num_objects, int instances_mean) {
+  OSD_CHECK(num_objects >= 1 && instances_mean >= 2);
+  Rng rng(seed);
+  // Expenditure shares on three categories: shares are anti-correlated by
+  // construction (a family spending more on one category spends less on
+  // the others), i.e. centers lie near a budget plane -- the structural
+  // property of the real HOUSE data.
+  std::vector<Point> centers;
+  centers.reserve(num_objects);
+  for (int i = 0; i < num_objects; ++i) {
+    const double budget =
+        std::min(std::max(rng.Normal(0.55, 0.08), 0.2), 0.9);
+    double parts[3];
+    double total = 0.0;
+    for (double& p : parts) {
+      p = rng.Exponential(1.0);
+      total += p;
+    }
+    Point c(3);
+    for (int d = 0; d < 3; ++d) {
+      c[d] = Clamp01Domain(budget * parts[d] / total * 3.0 * kDomain / 1.8);
+    }
+    centers.push_back(c);
+  }
+  return ExpandCenters(centers, /*edge=*/400.0, instances_mean, rng);
+}
+
+Dataset CaLike(uint64_t seed) {
+  Rng rng(seed);
+  // California-like geography: towns (clusters) plus a coastline arc.
+  const int kNumTowns = 30;
+  std::vector<Point> towns;
+  for (int t = 0; t < kNumTowns; ++t) {
+    Point p(2);
+    p[0] = rng.Uniform(1'000.0, 9'000.0);
+    p[1] = rng.Uniform(1'000.0, 9'000.0);
+    towns.push_back(p);
+  }
+  const int kNumLocations = 12'000;
+  std::vector<Point> centers;
+  centers.reserve(kNumLocations);
+  for (int i = 0; i < kNumLocations; ++i) {
+    Point c(2);
+    if (rng.Flip(0.6)) {  // town resident
+      const Point& town = towns[rng.UniformInt(0, kNumTowns - 1)];
+      c[0] = Clamp01Domain(town[0] + rng.Normal(0.0, 250.0));
+      c[1] = Clamp01Domain(town[1] + rng.Normal(0.0, 250.0));
+    } else {  // along the coastline arc x = f(y)
+      const double t = rng.Uniform(0.0, 1.0);
+      c[1] = t * kDomain;
+      c[0] = Clamp01Domain(1'500.0 + 2'500.0 * std::sin(t * 3.14159) +
+                           rng.Normal(0.0, 400.0));
+    }
+    centers.push_back(c);
+  }
+  return ExpandCenters(centers, /*edge=*/400.0, /*instances_mean=*/40, rng);
+}
+
+Dataset UsaLike(int num_objects, int instances_per_object, double object_edge,
+                uint64_t seed) {
+  OSD_CHECK(num_objects >= 1);
+  Rng rng(seed);
+  // Metro areas with Zipf-ish weights plus sparse rural background.
+  const int kNumMetros = 200;
+  std::vector<Point> metros;
+  std::vector<double> weights;
+  double total_weight = 0.0;
+  for (int m = 0; m < kNumMetros; ++m) {
+    Point p(2);
+    p[0] = rng.Uniform(0.0, kDomain);
+    p[1] = rng.Uniform(0.0, kDomain);
+    metros.push_back(p);
+    const double w = 1.0 / (m + 1.0);
+    weights.push_back(w);
+    total_weight += w;
+  }
+  std::vector<Point> centers;
+  centers.reserve(num_objects);
+  for (int i = 0; i < num_objects; ++i) {
+    Point c(2);
+    if (rng.Flip(0.85)) {  // metro resident
+      double r = rng.Uniform(0.0, total_weight);
+      int m = 0;
+      while (m + 1 < kNumMetros && r > weights[m]) {
+        r -= weights[m];
+        ++m;
+      }
+      c[0] = Clamp01Domain(metros[m][0] + rng.Normal(0.0, 120.0));
+      c[1] = Clamp01Domain(metros[m][1] + rng.Normal(0.0, 120.0));
+    } else {  // rural background
+      c[0] = rng.Uniform(0.0, kDomain);
+      c[1] = rng.Uniform(0.0, kDomain);
+    }
+    centers.push_back(c);
+  }
+  return ExpandCenters(centers, object_edge, instances_per_object, rng);
+}
+
+}  // namespace osd

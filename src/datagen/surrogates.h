@@ -1,0 +1,50 @@
+// Deterministic surrogates for the paper's real datasets.
+//
+// The evaluation uses five real datasets we cannot redistribute: NBA game
+// logs, Gowalla check-ins, HOUSE expenditures, CA locations and USGS USA
+// locations. Each surrogate reproduces the property the evaluation
+// actually exercises — dimensionality, object/instance scale (scaled down
+// by documented factors so every benchmark binary finishes in seconds on a
+// laptop core) and, crucially, the degree of overlap between object
+// extents, which drives candidate-set sizes. See DESIGN.md ("Substitutions")
+// and EXPERIMENTS.md for the mapping and the scale factors.
+
+#ifndef OSD_DATAGEN_SURROGATES_H_
+#define OSD_DATAGEN_SURROGATES_H_
+
+#include <cstdint>
+
+#include "object/dataset.h"
+
+namespace osd {
+
+/// NBA-like: 1,313 player objects in 3-d (points/assists/rebounds axes);
+/// per-player game counts are lognormal (median ~48, capped at 150 — a
+/// documented 1:4 scale-down of the real ~227 average); archetype-clustered
+/// centers with large per-game variance, so object extents overlap heavily.
+Dataset NbaLike(uint64_t seed = 42);
+
+/// Gowalla-like: users with power-law check-in counts around shared city
+/// hotspots in 2-d; 5,000 users (1:21 scale-down of 107k), heavy overlap.
+Dataset GowallaLike(uint64_t seed = 42);
+
+/// HOUSE-like semi-real data: 3-d expenditure-share centers (default
+/// 16,000, a 1:8 scale-down of 127,932) lying near a budget plane,
+/// expanded into objects with the synthetic instance mechanism.
+/// `instances_mean` is the m_d knob of the Fig. 16 ablation.
+Dataset HouseLike(uint64_t seed = 42, int num_objects = 16'000,
+                  int instances_mean = 40);
+
+/// CA-like semi-real data: 12,000 2-d locations (1:5 of 62k) mixing town
+/// clusters and a coastline arc, expanded into objects per Table 2.
+Dataset CaLike(uint64_t seed = 42);
+
+/// USA-like semi-real data: `num_objects` 2-d locations (paper: up to 1M;
+/// default benches use 50k with 10 instances, documented 1:20 / 1:4
+/// scale-downs) mixing dense metro clusters and sparse background.
+Dataset UsaLike(int num_objects = 50'000, int instances_per_object = 10,
+                double object_edge = 400.0, uint64_t seed = 42);
+
+}  // namespace osd
+
+#endif  // OSD_DATAGEN_SURROGATES_H_

@@ -1,0 +1,29 @@
+#include "datagen/workload.h"
+
+#include "common/rng.h"
+#include "datagen/generators.h"
+
+namespace osd {
+
+std::vector<QueryWorkloadEntry> GenerateWorkload(
+    const Dataset& dataset, const WorkloadParams& params) {
+  Rng rng(params.seed);
+  std::vector<QueryWorkloadEntry> workload;
+  workload.reserve(params.num_queries);
+  for (int k = 0; k < params.num_queries; ++k) {
+    const int pick = static_cast<int>(rng.UniformInt(0, dataset.size() - 1));
+    const UncertainObject& seed_obj = dataset.object(pick);
+    Point center(seed_obj.dim());
+    for (int i = 0; i < seed_obj.dim(); ++i) {
+      center[i] = seed_obj.mbr().Center(i);
+    }
+    QueryWorkloadEntry entry;
+    entry.query = GenerateObjectAt(-1, center, params.query_edge,
+                                   params.query_instances, params.domain, rng);
+    entry.seeded_from = pick;
+    workload.push_back(std::move(entry));
+  }
+  return workload;
+}
+
+}  // namespace osd

@@ -1,0 +1,40 @@
+// Query workload generation (Section 6).
+//
+// The paper's workload draws 100 query objects whose centers are randomly
+// selected objects (or centers) of the underlying dataset, with the query
+// instance distribution matching the objects' (m_q instances, edge h_q).
+
+#ifndef OSD_DATAGEN_WORKLOAD_H_
+#define OSD_DATAGEN_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "object/dataset.h"
+
+namespace osd {
+
+/// Parameters of the query workload (Table 2 names).
+struct WorkloadParams {
+  int num_queries = 20;
+  int query_instances = 30;  // m_q
+  double query_edge = 200.0; // h_q
+  double domain = 10'000.0;
+  uint64_t seed = 7;
+};
+
+/// One generated query plus the dataset object whose center seeded it
+/// (excluded from the NNC search so a query never competes with itself).
+struct QueryWorkloadEntry {
+  UncertainObject query;
+  int seeded_from = -1;
+};
+
+/// Builds the workload by sampling dataset objects and scattering
+/// `query_instances` points with edge `query_edge` around their centers.
+std::vector<QueryWorkloadEntry> GenerateWorkload(const Dataset& dataset,
+                                                 const WorkloadParams& params);
+
+}  // namespace osd
+
+#endif  // OSD_DATAGEN_WORKLOAD_H_

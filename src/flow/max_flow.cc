@@ -1,0 +1,112 @@
+#include "flow/max_flow.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+#include "common/check.h"
+
+namespace osd {
+
+MaxFlow::MaxFlow(int num_vertices) : adjacency_(num_vertices) {
+  OSD_CHECK(num_vertices >= 2);
+}
+
+int MaxFlow::AddEdge(int from, int to, int64_t capacity) {
+  OSD_CHECK(from >= 0 && from < num_vertices());
+  OSD_CHECK(to >= 0 && to < num_vertices());
+  OSD_CHECK(capacity >= 0);
+  const int fwd = static_cast<int>(adjacency_[from].size());
+  const int bwd = static_cast<int>(adjacency_[to].size());
+  adjacency_[from].push_back({to, capacity, bwd});
+  adjacency_[to].push_back({from, 0, fwd});
+  edge_refs_.emplace_back(from, fwd);
+  return static_cast<int>(edge_refs_.size()) - 1;
+}
+
+bool MaxFlow::Bfs(int source, int sink) {
+  level_.assign(num_vertices(), -1);
+  std::queue<int> queue;
+  level_[source] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const int v = queue.front();
+    queue.pop();
+    for (const Edge& e : adjacency_[v]) {
+      if (e.capacity > 0 && level_[e.to] < 0) {
+        level_[e.to] = level_[v] + 1;
+        queue.push(e.to);
+      }
+    }
+  }
+  return level_[sink] >= 0;
+}
+
+int64_t MaxFlow::Dfs(int v, int sink, int64_t limit) {
+  if (v == sink) return limit;
+  for (int& i = iter_[v]; i < static_cast<int>(adjacency_[v].size()); ++i) {
+    Edge& e = adjacency_[v][i];
+    if (e.capacity <= 0 || level_[e.to] != level_[v] + 1) continue;
+    const int64_t pushed = Dfs(e.to, sink, std::min(limit, e.capacity));
+    if (pushed > 0) {
+      e.capacity -= pushed;
+      adjacency_[e.to][e.rev].capacity += pushed;
+      return pushed;
+    }
+  }
+  return 0;
+}
+
+int64_t MaxFlow::Compute(int source, int sink) {
+  OSD_CHECK(source != sink);
+  int64_t flow = 0;
+  while (Bfs(source, sink)) {
+    iter_.assign(num_vertices(), 0);
+    while (true) {
+      const int64_t pushed =
+          Dfs(source, sink, std::numeric_limits<int64_t>::max());
+      if (pushed == 0) break;
+      flow += pushed;
+    }
+  }
+  return flow;
+}
+
+int64_t MaxFlow::FlowOn(int edge_index) const {
+  OSD_CHECK(edge_index >= 0 &&
+            edge_index < static_cast<int>(edge_refs_.size()));
+  const auto [v, offset] = edge_refs_[edge_index];
+  const Edge& e = adjacency_[v][offset];
+  // Flow on the forward edge equals the residual capacity of the reverse.
+  return adjacency_[e.to][e.rev].capacity;
+}
+
+std::vector<int64_t> ScaleProbabilities(std::span<const double> probs,
+                                        int64_t total_scale) {
+  OSD_CHECK(!probs.empty());
+  const double sum = std::accumulate(probs.begin(), probs.end(), 0.0);
+  OSD_CHECK(sum > 0.0);
+  const int n = static_cast<int>(probs.size());
+  std::vector<int64_t> scaled(n);
+  std::vector<std::pair<double, int>> remainders(n);
+  int64_t assigned = 0;
+  for (int i = 0; i < n; ++i) {
+    const double exact =
+        probs[i] / sum * static_cast<double>(total_scale);
+    scaled[i] = static_cast<int64_t>(std::floor(exact));
+    remainders[i] = {exact - std::floor(exact), i};
+    assigned += scaled[i];
+  }
+  // Distribute the leftover units to the largest remainders so the total
+  // is exactly total_scale.
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  int64_t leftover = total_scale - assigned;
+  OSD_CHECK(leftover >= 0 && leftover <= n);
+  for (int k = 0; k < leftover; ++k) scaled[remainders[k].second] += 1;
+  return scaled;
+}
+
+}  // namespace osd

@@ -1,0 +1,82 @@
+#include "flow/min_cost_flow.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/check.h"
+
+namespace osd {
+
+MinCostFlow::MinCostFlow(int num_vertices) : adjacency_(num_vertices) {
+  OSD_CHECK(num_vertices >= 2);
+}
+
+void MinCostFlow::AddEdge(int from, int to, int64_t capacity, double cost) {
+  OSD_CHECK(from >= 0 && from < static_cast<int>(adjacency_.size()));
+  OSD_CHECK(to >= 0 && to < static_cast<int>(adjacency_.size()));
+  OSD_CHECK(capacity >= 0 && cost >= 0.0);
+  const int fwd = static_cast<int>(adjacency_[from].size());
+  const int bwd = static_cast<int>(adjacency_[to].size());
+  adjacency_[from].push_back({to, capacity, cost, bwd});
+  adjacency_[to].push_back({from, 0, -cost, fwd});
+}
+
+MinCostFlow::Result MinCostFlow::Compute(int source, int sink) {
+  const int n = static_cast<int>(adjacency_.size());
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> potential(n, 0.0);  // all original costs >= 0
+  Result result;
+
+  while (true) {
+    // Dijkstra on reduced costs.
+    std::vector<double> dist(n, kInf);
+    std::vector<int> prev_vertex(n, -1);
+    std::vector<int> prev_edge(n, -1);
+    using Item = std::pair<double, int>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+    dist[source] = 0.0;
+    heap.emplace(0.0, source);
+    while (!heap.empty()) {
+      const auto [d, v] = heap.top();
+      heap.pop();
+      if (d > dist[v]) continue;
+      for (int i = 0; i < static_cast<int>(adjacency_[v].size()); ++i) {
+        const Edge& e = adjacency_[v][i];
+        if (e.capacity <= 0) continue;
+        // With exact potentials every residual arc has a non-negative
+        // reduced cost; floating error can push it to ~-1e-13, which would
+        // create a bogus negative cycle and hang Dijkstra. Clamping at
+        // zero restores termination and perturbs the optimum negligibly.
+        const double reduced =
+            std::max(0.0, e.cost + potential[v] - potential[e.to]);
+        const double nd = d + reduced;
+        if (nd < dist[e.to]) {
+          dist[e.to] = nd;
+          prev_vertex[e.to] = v;
+          prev_edge[e.to] = i;
+          heap.emplace(nd, e.to);
+        }
+      }
+    }
+    if (dist[sink] == kInf) break;
+    for (int v = 0; v < n; ++v) {
+      if (dist[v] < kInf) potential[v] += dist[v];
+    }
+    // Bottleneck along the path.
+    int64_t push = std::numeric_limits<int64_t>::max();
+    for (int v = sink; v != source; v = prev_vertex[v]) {
+      push = std::min(push, adjacency_[prev_vertex[v]][prev_edge[v]].capacity);
+    }
+    for (int v = sink; v != source; v = prev_vertex[v]) {
+      Edge& e = adjacency_[prev_vertex[v]][prev_edge[v]];
+      e.capacity -= push;
+      adjacency_[e.to][e.rev].capacity += push;
+      result.cost += e.cost * static_cast<double>(push);
+    }
+    result.flow += push;
+  }
+  return result;
+}
+
+}  // namespace osd

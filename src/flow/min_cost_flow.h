@@ -1,0 +1,47 @@
+// Min-cost max-flow via successive shortest augmenting paths with
+// Johnson potentials.
+//
+// Used to compute the Earth Mover's Distance and the Netflow distance
+// (Appendix A of the paper): with unit total mass on both sides the two
+// definitions coincide, and both are the minimum cost of a value-1 flow on
+// the complete bipartite distance network.
+
+#ifndef OSD_FLOW_MIN_COST_FLOW_H_
+#define OSD_FLOW_MIN_COST_FLOW_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace osd {
+
+/// Min-cost flow solver over a directed graph with int64 capacities and
+/// non-negative double edge costs.
+class MinCostFlow {
+ public:
+  explicit MinCostFlow(int num_vertices);
+
+  /// Adds a directed edge; cost must be non-negative (distances are).
+  void AddEdge(int from, int to, int64_t capacity, double cost);
+
+  struct Result {
+    int64_t flow = 0;
+    double cost = 0.0;
+  };
+
+  /// Sends as much flow as possible from source to sink at minimal cost.
+  Result Compute(int source, int sink);
+
+ private:
+  struct Edge {
+    int to;
+    int64_t capacity;
+    double cost;
+    int rev;
+  };
+
+  std::vector<std::vector<Edge>> adjacency_;
+};
+
+}  // namespace osd
+
+#endif  // OSD_FLOW_MIN_COST_FLOW_H_

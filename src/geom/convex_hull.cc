@@ -1,0 +1,313 @@
+#include "geom/convex_hull.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace osd {
+
+namespace {
+
+// Twice the signed area of triangle (a, b, c); positive when c is to the
+// left of the directed line a -> b.
+double Cross2D(const Point& a, const Point& b, const Point& c) {
+  return (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0]);
+}
+
+struct Vec3 {
+  double x, y, z;
+};
+
+Vec3 Sub(const Point& a, const Point& b) {
+  return {a[0] - b[0], a[1] - b[1], a[2] - b[2]};
+}
+
+Vec3 CrossV(const Vec3& a, const Vec3& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+          a.x * b.y - a.y * b.x};
+}
+
+double DotV(const Vec3& a, const Vec3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+double NormV(const Vec3& a) { return std::sqrt(DotV(a, a)); }
+
+// A triangular face of the incremental 3-d hull.
+struct Face {
+  int a, b, c;                 // vertex indices, outward-oriented
+  Vec3 normal;                 // unnormalized outward normal
+  double offset;               // plane offset: dot(normal, x) = offset
+  bool alive = true;
+  std::vector<int> outside;    // points strictly outside this face
+};
+
+double SignedDist(const Face& f, const Point& p) {
+  return f.normal.x * p[0] + f.normal.y * p[1] + f.normal.z * p[2] - f.offset;
+}
+
+Face MakeFace(int a, int b, int c, std::span<const Point> pts) {
+  Face f;
+  f.a = a;
+  f.b = b;
+  f.c = c;
+  const Vec3 ab = Sub(pts[b], pts[a]);
+  const Vec3 ac = Sub(pts[c], pts[a]);
+  f.normal = CrossV(ab, ac);
+  f.offset = f.normal.x * pts[a][0] + f.normal.y * pts[a][1] +
+             f.normal.z * pts[a][2];
+  return f;
+}
+
+std::vector<int> AllIndices(size_t n) {
+  std::vector<int> all(n);
+  std::iota(all.begin(), all.end(), 0);
+  return all;
+}
+
+}  // namespace
+
+std::vector<int> MonotoneChain2D(std::span<const Point> pts) {
+  OSD_CHECK(!pts.empty() && pts[0].dim() == 2);
+  const int n = static_cast<int>(pts.size());
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int i, int j) {
+    if (pts[i][0] != pts[j][0]) return pts[i][0] < pts[j][0];
+    return pts[i][1] < pts[j][1];
+  });
+  // Drop exact duplicates so they cannot create zero-length hull edges.
+  order.erase(std::unique(order.begin(), order.end(),
+                          [&](int i, int j) { return pts[i] == pts[j]; }),
+              order.end());
+  const int m = static_cast<int>(order.size());
+  if (m <= 2) return order;
+
+  std::vector<int> hull(2 * m);
+  int k = 0;
+  for (int idx = 0; idx < m; ++idx) {  // lower hull
+    const int i = order[idx];
+    while (k >= 2 &&
+           Cross2D(pts[hull[k - 2]], pts[hull[k - 1]], pts[i]) <= 0.0) {
+      --k;
+    }
+    hull[k++] = i;
+  }
+  const int lower = k + 1;
+  for (int idx = m - 2; idx >= 0; --idx) {  // upper hull
+    const int i = order[idx];
+    while (k >= lower &&
+           Cross2D(pts[hull[k - 2]], pts[hull[k - 1]], pts[i]) <= 0.0) {
+      --k;
+    }
+    hull[k++] = i;
+  }
+  hull.resize(k - 1);  // last point equals the first
+  return hull;
+}
+
+std::vector<int> QuickHull3D(std::span<const Point> pts) {
+  OSD_CHECK(!pts.empty() && pts[0].dim() == 3);
+  const int n = static_cast<int>(pts.size());
+  if (n <= 4) return AllIndices(n);
+
+  // Scale-aware epsilon.
+  double scale = 0.0;
+  for (const Point& p : pts) {
+    for (int i = 0; i < 3; ++i) scale = std::max(scale, std::abs(p[i]));
+  }
+  const double eps = 1e-9 * std::max(scale, 1.0);
+
+  // Initial simplex: extremes along x, farthest from their line, farthest
+  // from their plane.
+  int i0 = 0, i1 = 0;
+  for (int i = 1; i < n; ++i) {
+    if (pts[i][0] < pts[i0][0]) i0 = i;
+    if (pts[i][0] > pts[i1][0]) i1 = i;
+  }
+  if (SquaredDistance(pts[i0], pts[i1]) < eps * eps) return AllIndices(n);
+
+  const Vec3 axis = Sub(pts[i1], pts[i0]);
+  int i2 = -1;
+  double best = eps;
+  for (int i = 0; i < n; ++i) {
+    const Vec3 d = Sub(pts[i], pts[i0]);
+    const double dist = NormV(CrossV(axis, d)) / std::max(NormV(axis), 1e-30);
+    if (dist > best) {
+      best = dist;
+      i2 = i;
+    }
+  }
+  if (i2 < 0) return AllIndices(n);  // all collinear
+
+  Face base = MakeFace(i0, i1, i2, pts);
+  int i3 = -1;
+  best = eps * std::max(NormV(base.normal), 1.0);
+  for (int i = 0; i < n; ++i) {
+    const double d = std::abs(SignedDist(base, pts[i]));
+    if (d > best) {
+      best = d;
+      i3 = i;
+    }
+  }
+  if (i3 < 0) {
+    // Coplanar point set: a 2-d problem embedded in 3-d. Returning all
+    // indices keeps correctness (hull superset).
+    return AllIndices(n);
+  }
+
+  std::vector<Face> faces;
+  auto add_face = [&](int a, int b, int c, const Point& inside) {
+    Face f = MakeFace(a, b, c, pts);
+    if (SignedDist(f, inside) > 0.0) {  // orient outward
+      std::swap(f.b, f.c);
+      f = MakeFace(f.a, f.b, f.c, pts);
+    }
+    faces.push_back(std::move(f));
+    return static_cast<int>(faces.size()) - 1;
+  };
+
+  // Interior reference point of the initial tetrahedron.
+  Point centroid(3);
+  for (int k = 0; k < 3; ++k) {
+    centroid[k] =
+        0.25 * (pts[i0][k] + pts[i1][k] + pts[i2][k] + pts[i3][k]);
+  }
+  add_face(i0, i1, i2, centroid);
+  add_face(i0, i1, i3, centroid);
+  add_face(i0, i2, i3, centroid);
+  add_face(i1, i2, i3, centroid);
+
+  auto face_eps = [&](const Face& f) {
+    return eps * std::max(NormV(f.normal), 1e-30);
+  };
+
+  // Assign every point to one face it is outside of.
+  for (int i = 0; i < n; ++i) {
+    for (Face& f : faces) {
+      if (SignedDist(f, pts[i]) > face_eps(f)) {
+        f.outside.push_back(i);
+        break;
+      }
+    }
+  }
+
+  // Main quickhull loop.
+  for (size_t fi = 0; fi < faces.size(); ++fi) {
+    if (!faces[fi].alive || faces[fi].outside.empty()) continue;
+
+    // Farthest outside point of this face.
+    int apex = -1;
+    double far = -1.0;
+    for (int i : faces[fi].outside) {
+      const double d = SignedDist(faces[fi], pts[i]);
+      if (d > far) {
+        far = d;
+        apex = i;
+      }
+    }
+
+    // Find all faces visible from the apex and collect the horizon.
+    std::vector<int> visible;
+    std::vector<int> orphan_points;
+    for (size_t fj = 0; fj < faces.size(); ++fj) {
+      if (!faces[fj].alive) continue;
+      if (SignedDist(faces[fj], pts[apex]) > face_eps(faces[fj])) {
+        visible.push_back(static_cast<int>(fj));
+      }
+    }
+    // Horizon edges: edges of visible faces shared with a non-visible face.
+    // Count directed edges of visible faces; an undirected edge appearing
+    // once is on the horizon.
+    std::vector<std::pair<int, int>> edges;
+    for (int fj : visible) {
+      const Face& f = faces[fj];
+      edges.emplace_back(f.a, f.b);
+      edges.emplace_back(f.b, f.c);
+      edges.emplace_back(f.c, f.a);
+    }
+    auto undirected = [](std::pair<int, int> e) {
+      if (e.first > e.second) std::swap(e.first, e.second);
+      return e;
+    };
+    std::vector<std::pair<int, int>> horizon;
+    for (const auto& e : edges) {
+      int count = 0;
+      for (const auto& g : edges) {
+        if (undirected(e) == undirected(g)) ++count;
+      }
+      if (count == 1) horizon.push_back(e);
+    }
+
+    for (int fj : visible) {
+      faces[fj].alive = false;
+      for (int i : faces[fj].outside) {
+        if (i != apex) orphan_points.push_back(i);
+      }
+      faces[fj].outside.clear();
+    }
+
+    std::vector<int> fresh;
+    for (const auto& e : horizon) {
+      fresh.push_back(add_face(e.first, e.second, apex, centroid));
+    }
+    for (int i : orphan_points) {
+      for (int fj : fresh) {
+        if (SignedDist(faces[fj], pts[i]) > face_eps(faces[fj])) {
+          faces[fj].outside.push_back(i);
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<int> verts;
+  for (const Face& f : faces) {
+    if (!f.alive) continue;
+    verts.push_back(f.a);
+    verts.push_back(f.b);
+    verts.push_back(f.c);
+  }
+  std::sort(verts.begin(), verts.end());
+  verts.erase(std::unique(verts.begin(), verts.end()), verts.end());
+  return verts;
+}
+
+std::vector<int> HullVertexIndices(std::span<const Point> pts) {
+  OSD_CHECK(!pts.empty());
+  const int d = pts[0].dim();
+  std::vector<int> result;
+  if (d == 1) {
+    int lo = 0, hi = 0;
+    for (int i = 1; i < static_cast<int>(pts.size()); ++i) {
+      if (pts[i][0] < pts[lo][0]) lo = i;
+      if (pts[i][0] > pts[hi][0]) hi = i;
+    }
+    result = {lo, hi};
+    if (lo == hi) result = {lo};
+  } else if (d == 2) {
+    result = MonotoneChain2D(pts);
+  } else if (d == 3) {
+    result = QuickHull3D(pts);
+  } else {
+    result = AllIndices(pts.size());
+  }
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+bool InsideHull2D(const Point& p, std::span<const Point> pts,
+                  std::span<const int> hull) {
+  if (hull.size() < 3) return false;
+  for (size_t i = 0; i < hull.size(); ++i) {
+    const Point& a = pts[hull[i]];
+    const Point& b = pts[hull[(i + 1) % hull.size()]];
+    if (Cross2D(a, b, p) <= 0.0) return false;
+  }
+  return true;
+}
+
+}  // namespace osd

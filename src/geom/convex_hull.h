@@ -1,0 +1,41 @@
+// Convex hulls of query instance sets.
+//
+// The paper observes (Section 5.1.2) that only the query instances on the
+// convex hull CH(Q) need to participate in the per-pair comparisons
+// "u is not further than v w.r.t. every q in Q" used by P-SD and F-SD.
+// The original system delegates this to qhull; we implement exact hulls in
+// two and three dimensions (monotone chain / quickhull) and fall back to
+// "all instances" for d >= 4, which is always correct but prunes nothing.
+
+#ifndef OSD_GEOM_CONVEX_HULL_H_
+#define OSD_GEOM_CONVEX_HULL_H_
+
+#include <span>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace osd {
+
+/// Indices (into `pts`) of the convex hull vertices, counter-clockwise.
+/// Collinear interior points are dropped. Requires 2-dimensional points.
+std::vector<int> MonotoneChain2D(std::span<const Point> pts);
+
+/// Indices (into `pts`) of the convex hull vertices of a 3-d point set via
+/// quickhull. If the set is degenerate (all points within epsilon of a
+/// common plane), returns all indices, which is always a correct superset.
+std::vector<int> QuickHull3D(std::span<const Point> pts);
+
+/// Dimension-dispatching hull: exact for d in {1, 2, 3}; for d >= 4 returns
+/// every index (a correct superset of the hull vertices). The result is
+/// sorted and duplicate-free.
+std::vector<int> HullVertexIndices(std::span<const Point> pts);
+
+/// True iff `p` lies strictly inside the convex hull of the 2-d points
+/// whose CCW vertex indices are given in `hull`.
+bool InsideHull2D(const Point& p, std::span<const Point> pts,
+                  std::span<const int> hull);
+
+}  // namespace osd
+
+#endif  // OSD_GEOM_CONVEX_HULL_H_

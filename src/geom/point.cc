@@ -1,0 +1,27 @@
+#include "geom/point.h"
+
+#include <limits>
+
+namespace osd {
+
+double MinDistanceToSet(const Point& x, std::span<const Point> set) {
+  OSD_CHECK(!set.empty());
+  double best = std::numeric_limits<double>::infinity();
+  for (const Point& y : set) {
+    const double d = SquaredDistance(x, y);
+    if (d < best) best = d;
+  }
+  return std::sqrt(best);
+}
+
+double MaxDistanceToSet(const Point& x, std::span<const Point> set) {
+  OSD_CHECK(!set.empty());
+  double best = 0.0;
+  for (const Point& y : set) {
+    const double d = SquaredDistance(x, y);
+    if (d > best) best = d;
+  }
+  return std::sqrt(best);
+}
+
+}  // namespace osd

@@ -1,0 +1,96 @@
+// d-dimensional point type and distance metrics.
+//
+// Points have a runtime dimensionality bounded by kMaxDim and inline
+// storage, so they are cheap to copy and never allocate. The paper's
+// experiments use d in [2, 5]; we allow up to 8.
+
+#ifndef OSD_GEOM_POINT_H_
+#define OSD_GEOM_POINT_H_
+
+#include <array>
+#include <cmath>
+#include <initializer_list>
+#include <span>
+
+#include "common/check.h"
+
+namespace osd {
+
+/// A point (instance) in d-dimensional Euclidean space, d <= kMaxDim.
+class Point {
+ public:
+  static constexpr int kMaxDim = 8;
+
+  Point() : dim_(0) { coords_.fill(0.0); }
+
+  /// Zero point of the given dimensionality.
+  explicit Point(int dim) : dim_(dim) {
+    OSD_CHECK(dim >= 0 && dim <= kMaxDim);
+    coords_.fill(0.0);
+  }
+
+  /// Point from an explicit coordinate list, e.g. Point{1.0, 2.0}.
+  Point(std::initializer_list<double> coords) : dim_(0) {
+    OSD_CHECK(static_cast<int>(coords.size()) <= kMaxDim);
+    coords_.fill(0.0);
+    for (double c : coords) coords_[dim_++] = c;
+  }
+
+  /// Point copying `dim` coordinates from a flat buffer.
+  Point(const double* coords, int dim) : dim_(dim) {
+    OSD_CHECK(dim >= 0 && dim <= kMaxDim);
+    coords_.fill(0.0);
+    for (int i = 0; i < dim; ++i) coords_[i] = coords[i];
+  }
+
+  int dim() const { return dim_; }
+
+  double operator[](int i) const {
+    OSD_DCHECK(i >= 0 && i < dim_);
+    return coords_[i];
+  }
+  double& operator[](int i) {
+    OSD_DCHECK(i >= 0 && i < dim_);
+    return coords_[i];
+  }
+
+  const double* data() const { return coords_.data(); }
+
+  friend bool operator==(const Point& a, const Point& b) {
+    if (a.dim_ != b.dim_) return false;
+    for (int i = 0; i < a.dim_; ++i) {
+      if (a.coords_[i] != b.coords_[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::array<double, kMaxDim> coords_;
+  int dim_;
+};
+
+/// Squared Euclidean distance between two points of equal dimensionality.
+inline double SquaredDistance(const Point& a, const Point& b) {
+  OSD_DCHECK(a.dim() == b.dim());
+  double s = 0.0;
+  for (int i = 0; i < a.dim(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+/// Euclidean distance between two points of equal dimensionality.
+inline double Distance(const Point& a, const Point& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+/// delta_min(x, S): minimal Euclidean distance from x to a non-empty set.
+double MinDistanceToSet(const Point& x, std::span<const Point> set);
+
+/// delta_max(x, S): maximal Euclidean distance from x to a non-empty set.
+double MaxDistanceToSet(const Point& x, std::span<const Point> set);
+
+}  // namespace osd
+
+#endif  // OSD_GEOM_POINT_H_

@@ -1,0 +1,193 @@
+#include "io/dataset_io.h"
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+
+namespace osd {
+
+namespace {
+
+constexpr char kTextMagic[] = "osd-dataset";
+constexpr uint32_t kBinaryMagic = 0x0D5Dda7a;
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+bool LoadTextImpl(const std::string& path,
+                  std::vector<UncertainObject>* objects, bool weighted,
+                  std::string* error) {
+  objects->clear();
+  FilePtr file(std::fopen(path.c_str(), "r"));
+  if (file == nullptr) return Fail(error, "cannot open " + path);
+  char magic[32] = {0};
+  uint32_t version = 0;
+  int dim = 0;
+  int64_t count = 0;
+  if (std::fscanf(file.get(), "%31s %" SCNu32 " %d %" SCNd64, magic, &version,
+                  &dim, &count) != 4 ||
+      std::string(magic) != kTextMagic) {
+    return Fail(error, path + ": bad header");
+  }
+  if (version != kVersion) return Fail(error, path + ": unsupported version");
+  if (dim < 1 || dim > Point::kMaxDim || count < 0) {
+    return Fail(error, path + ": invalid dimension or count");
+  }
+  objects->reserve(count);
+  for (int64_t o = 0; o < count; ++o) {
+    int id = 0;
+    int m = 0;
+    if (std::fscanf(file.get(), "%d %d", &id, &m) != 2 || m < 1) {
+      return Fail(error, path + ": bad object header");
+    }
+    std::vector<double> coords(static_cast<size_t>(m) * dim);
+    std::vector<double> mass(m);
+    for (int i = 0; i < m; ++i) {
+      for (int d = 0; d < dim; ++d) {
+        if (std::fscanf(file.get(), "%lf", &coords[i * dim + d]) != 1) {
+          return Fail(error, path + ": bad coordinate");
+        }
+      }
+      if (std::fscanf(file.get(), "%lf", &mass[i]) != 1 || mass[i] <= 0.0) {
+        return Fail(error, path + ": bad probability/weight");
+      }
+    }
+    if (weighted) {
+      objects->push_back(UncertainObject::FromWeighted(
+          id, dim, std::move(coords), std::move(mass)));
+    } else {
+      objects->push_back(
+          UncertainObject(id, dim, std::move(coords), std::move(mass)));
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool SaveText(const std::vector<UncertainObject>& objects,
+              const std::string& path, std::string* error) {
+  if (objects.empty()) return Fail(error, "nothing to save");
+  FilePtr file(std::fopen(path.c_str(), "w"));
+  if (file == nullptr) return Fail(error, "cannot open " + path);
+  const int dim = objects[0].dim();
+  std::fprintf(file.get(), "%s %u %d %zu\n", kTextMagic, kVersion, dim,
+               objects.size());
+  for (const UncertainObject& o : objects) {
+    if (o.dim() != dim) return Fail(error, "mixed dimensionalities");
+    std::fprintf(file.get(), "%d %d\n", o.id(), o.num_instances());
+    for (int i = 0; i < o.num_instances(); ++i) {
+      const Point p = o.Instance(i);
+      for (int d = 0; d < dim; ++d) {
+        std::fprintf(file.get(), "%.17g ", p[d]);
+      }
+      std::fprintf(file.get(), "%.17g\n", o.Prob(i));
+    }
+  }
+  return true;
+}
+
+bool LoadText(const std::string& path, std::vector<UncertainObject>* objects,
+              std::string* error) {
+  return LoadTextImpl(path, objects, /*weighted=*/false, error);
+}
+
+bool LoadTextWeighted(const std::string& path,
+                      std::vector<UncertainObject>* objects,
+                      std::string* error) {
+  return LoadTextImpl(path, objects, /*weighted=*/true, error);
+}
+
+bool SaveBinary(const std::vector<UncertainObject>& objects,
+                const std::string& path, std::string* error) {
+  if (objects.empty()) return Fail(error, "nothing to save");
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) return Fail(error, "cannot open " + path);
+  auto put32 = [&](uint32_t v) {
+    return std::fwrite(&v, sizeof v, 1, file.get()) == 1;
+  };
+  const int dim = objects[0].dim();
+  if (!put32(kBinaryMagic) || !put32(kVersion) ||
+      !put32(static_cast<uint32_t>(dim)) ||
+      !put32(static_cast<uint32_t>(objects.size()))) {
+    return Fail(error, "write failure");
+  }
+  for (const UncertainObject& o : objects) {
+    if (o.dim() != dim) return Fail(error, "mixed dimensionalities");
+    const int32_t id = o.id();
+    const uint32_t m = o.num_instances();
+    if (std::fwrite(&id, sizeof id, 1, file.get()) != 1 || !put32(m)) {
+      return Fail(error, "write failure");
+    }
+    for (int i = 0; i < o.num_instances(); ++i) {
+      const Point p = o.Instance(i);
+      if (std::fwrite(p.data(), sizeof(double), dim, file.get()) !=
+          static_cast<size_t>(dim)) {
+        return Fail(error, "write failure");
+      }
+      const double prob = o.Prob(i);
+      if (std::fwrite(&prob, sizeof prob, 1, file.get()) != 1) {
+        return Fail(error, "write failure");
+      }
+    }
+  }
+  return true;
+}
+
+bool LoadBinary(const std::string& path,
+                std::vector<UncertainObject>* objects, std::string* error) {
+  objects->clear();
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) return Fail(error, "cannot open " + path);
+  auto get32 = [&](uint32_t* v) {
+    return std::fread(v, sizeof *v, 1, file.get()) == 1;
+  };
+  uint32_t magic = 0, version = 0, dim32 = 0, count = 0;
+  if (!get32(&magic) || magic != kBinaryMagic) {
+    return Fail(error, path + ": bad magic");
+  }
+  if (!get32(&version) || version != kVersion) {
+    return Fail(error, path + ": unsupported version");
+  }
+  if (!get32(&dim32) || dim32 < 1 || dim32 > Point::kMaxDim ||
+      !get32(&count)) {
+    return Fail(error, path + ": bad header");
+  }
+  const int dim = static_cast<int>(dim32);
+  objects->reserve(count);
+  for (uint32_t o = 0; o < count; ++o) {
+    int32_t id = 0;
+    uint32_t m = 0;
+    if (std::fread(&id, sizeof id, 1, file.get()) != 1 || !get32(&m) ||
+        m < 1) {
+      return Fail(error, path + ": bad object header");
+    }
+    std::vector<double> coords(static_cast<size_t>(m) * dim);
+    std::vector<double> probs(m);
+    for (uint32_t i = 0; i < m; ++i) {
+      if (std::fread(&coords[i * dim], sizeof(double), dim, file.get()) !=
+          static_cast<size_t>(dim)) {
+        return Fail(error, path + ": truncated coordinates");
+      }
+      if (std::fread(&probs[i], sizeof(double), 1, file.get()) != 1) {
+        return Fail(error, path + ": truncated probabilities");
+      }
+    }
+    objects->push_back(
+        UncertainObject(id, dim, std::move(coords), std::move(probs)));
+  }
+  return true;
+}
+
+}  // namespace osd

@@ -1,0 +1,50 @@
+// Dataset persistence: a simple text format for importing user data and a
+// compact binary format for caching generated datasets.
+//
+// Text format (whitespace separated):
+//   osd-dataset 1 <dim> <num_objects>
+//   <object id> <num_instances>
+//   <x_1> ... <x_dim> <probability>     (num_instances lines)
+//   ...
+//
+// Probabilities of each object must sum to 1 (within tolerance); use
+// weights and LoadTextWeighted() when they do not.
+//
+// Errors are reported through the returned bool plus an error string (the
+// library does not throw across its API, per the database-guide idiom).
+
+#ifndef OSD_IO_DATASET_IO_H_
+#define OSD_IO_DATASET_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "object/uncertain_object.h"
+
+namespace osd {
+
+/// Writes objects in the text format. Returns false (and sets *error) on
+/// I/O failure.
+bool SaveText(const std::vector<UncertainObject>& objects,
+              const std::string& path, std::string* error);
+
+/// Reads objects from the text format; instance values are probabilities.
+bool LoadText(const std::string& path, std::vector<UncertainObject>* objects,
+              std::string* error);
+
+/// Reads objects whose last column holds arbitrary positive weights; they
+/// are normalized to probabilities (multi-valued object import).
+bool LoadTextWeighted(const std::string& path,
+                      std::vector<UncertainObject>* objects,
+                      std::string* error);
+
+/// Binary round-trip (little-endian doubles; not portable across
+/// architectures -- intended as a local cache).
+bool SaveBinary(const std::vector<UncertainObject>& objects,
+                const std::string& path, std::string* error);
+bool LoadBinary(const std::string& path,
+                std::vector<UncertainObject>* objects, std::string* error);
+
+}  // namespace osd
+
+#endif  // OSD_IO_DATASET_IO_H_

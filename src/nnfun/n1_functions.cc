@@ -1,0 +1,56 @@
+#include "nnfun/n1_functions.h"
+
+#include "common/check.h"
+
+namespace osd {
+
+DiscreteDistribution DistanceDistribution(const UncertainObject& u,
+                                          const UncertainObject& q,
+                                          Metric metric) {
+  OSD_CHECK(u.dim() == q.dim());
+  std::vector<DiscreteDistribution::Atom> atoms;
+  atoms.reserve(static_cast<size_t>(u.num_instances()) * q.num_instances());
+  for (int qi = 0; qi < q.num_instances(); ++qi) {
+    const Point qp = q.Instance(qi);
+    for (int ui = 0; ui < u.num_instances(); ++ui) {
+      atoms.push_back(
+          {PointDistance(qp, u.Instance(ui), metric),
+           q.Prob(qi) * u.Prob(ui)});
+    }
+  }
+  return DiscreteDistribution::FromAtoms(std::move(atoms));
+}
+
+DiscreteDistribution DistanceDistribution(const UncertainObject& u,
+                                          const Point& q, Metric metric) {
+  OSD_CHECK(u.dim() == q.dim());
+  std::vector<DiscreteDistribution::Atom> atoms;
+  atoms.reserve(u.num_instances());
+  for (int ui = 0; ui < u.num_instances(); ++ui) {
+    atoms.push_back(
+        {PointDistance(q, u.Instance(ui), metric), u.Prob(ui)});
+  }
+  return DiscreteDistribution::FromAtoms(std::move(atoms));
+}
+
+double MinDistance(const UncertainObject& u, const UncertainObject& q,
+                   Metric metric) {
+  return DistanceDistribution(u, q, metric).Min();
+}
+
+double MaxDistance(const UncertainObject& u, const UncertainObject& q,
+                   Metric metric) {
+  return DistanceDistribution(u, q, metric).Max();
+}
+
+double ExpectedDistance(const UncertainObject& u, const UncertainObject& q,
+                        Metric metric) {
+  return DistanceDistribution(u, q, metric).Mean();
+}
+
+double QuantileDistance(const UncertainObject& u, const UncertainObject& q,
+                        double phi, Metric metric) {
+  return DistanceDistribution(u, q, metric).Quantile(phi);
+}
+
+}  // namespace osd

@@ -1,0 +1,45 @@
+// All-pairs based NN functions (family N1, Section 3.2).
+//
+// f(U) = g(U_Q) where g is a stable aggregate over the all-pairs distance
+// distribution: min, max, mean (expected distance) and phi-quantile are the
+// paper's instantiations. S-SD is optimal w.r.t. this family (Theorem 5).
+
+#ifndef OSD_NNFUN_N1_FUNCTIONS_H_
+#define OSD_NNFUN_N1_FUNCTIONS_H_
+
+#include "geom/metric.h"
+#include "object/uncertain_object.h"
+#include "prob/discrete_distribution.h"
+
+namespace osd {
+
+/// The all-pairs distance distribution U_Q of `u` w.r.t. query `q`.
+DiscreteDistribution DistanceDistribution(const UncertainObject& u,
+                                          const UncertainObject& q,
+                                          Metric metric = Metric::kL2);
+
+/// The per-instance distance distribution U_q of `u` w.r.t. point `q`.
+DiscreteDistribution DistanceDistribution(const UncertainObject& u,
+                                          const Point& q,
+                                          Metric metric = Metric::kL2);
+
+/// min(U_Q): smallest pairwise distance.
+double MinDistance(const UncertainObject& u, const UncertainObject& q,
+                   Metric metric = Metric::kL2);
+
+/// max(U_Q): largest pairwise distance.
+double MaxDistance(const UncertainObject& u, const UncertainObject& q,
+                   Metric metric = Metric::kL2);
+
+/// mean(U_Q): the expected distance.
+double ExpectedDistance(const UncertainObject& u,
+                        const UncertainObject& q,
+                        Metric metric = Metric::kL2);
+
+/// phi-quantile of U_Q (Definition 10), phi in (0, 1].
+double QuantileDistance(const UncertainObject& u, const UncertainObject& q,
+                        double phi, Metric metric = Metric::kL2);
+
+}  // namespace osd
+
+#endif  // OSD_NNFUN_N1_FUNCTIONS_H_

@@ -1,0 +1,53 @@
+#include "nnfun/n2_functions.h"
+
+#include "common/check.h"
+
+namespace osd {
+
+double ParameterizedRankScore(const PossibleWorldEngine& worlds,
+                              int object_index,
+                              std::span<const double> weights) {
+  OSD_CHECK(static_cast<int>(weights.size()) >= worlds.num_objects());
+  double score = 0.0;
+  const std::vector<double>& ranks = worlds.RankDistribution(object_index);
+  for (int i = 0; i < worlds.num_objects(); ++i) {
+    score += weights[i] * ranks[i];
+  }
+  return score;
+}
+
+double NnProbability(const PossibleWorldEngine& worlds, int object_index) {
+  return worlds.RankProbability(object_index, 1);
+}
+
+double NnProbabilityScore(const PossibleWorldEngine& worlds,
+                          int object_index) {
+  return -NnProbability(worlds, object_index);
+}
+
+double ExpectedRankScore(const PossibleWorldEngine& worlds,
+                         int object_index) {
+  double score = 0.0;
+  const std::vector<double>& ranks = worlds.RankDistribution(object_index);
+  for (int i = 0; i < worlds.num_objects(); ++i) {
+    score += static_cast<double>(i + 1) * ranks[i];
+  }
+  return score;
+}
+
+double GlobalTopKScore(const PossibleWorldEngine& worlds, int object_index,
+                       int k) {
+  OSD_CHECK(k >= 1);
+  double in_top_k = 0.0;
+  const std::vector<double>& ranks = worlds.RankDistribution(object_index);
+  for (int i = 0; i < std::min(k, worlds.num_objects()); ++i) {
+    in_top_k += ranks[i];
+  }
+  return -in_top_k;
+}
+
+double UTopKScore(const PossibleWorldEngine& worlds, int object_index) {
+  return NnProbabilityScore(worlds, object_index);
+}
+
+}  // namespace osd

@@ -1,0 +1,46 @@
+// Possible-world based NN functions (family N2, Section 3.3).
+//
+// All are instances of the parameterized ranking model [Li et al. 2011]:
+// Upsilon(U) = sum_i omega(i) * Pr(r(U) = i), with position weights
+// omega non-decreasing in i (closer ranks weigh no more than farther
+// ones). SS-SD is optimal w.r.t. N1 union N2 (Theorem 6). Smaller scores
+// are better throughout.
+
+#ifndef OSD_NNFUN_N2_FUNCTIONS_H_
+#define OSD_NNFUN_N2_FUNCTIONS_H_
+
+#include <span>
+
+#include "nnfun/possible_worlds.h"
+
+namespace osd {
+
+/// Upsilon(U) for arbitrary position weights; weights[i] is omega(i+1) and
+/// must be non-decreasing for the function to belong to N2.
+double ParameterizedRankScore(const PossibleWorldEngine& worlds,
+                              int object_index,
+                              std::span<const double> weights);
+
+/// NN probability: Pr(r(U) = 1). Returned negated so that, like every
+/// other function here, smaller is better.
+double NnProbabilityScore(const PossibleWorldEngine& worlds,
+                          int object_index);
+
+/// Pr(r(U) = 1) itself (for reporting).
+double NnProbability(const PossibleWorldEngine& worlds, int object_index);
+
+/// Expected rank [Cormode et al. 2009]: omega(i) = i.
+double ExpectedRankScore(const PossibleWorldEngine& worlds, int object_index);
+
+/// Global top-k [Zhang & Chomicki 2008]: omega(i) = -1 for i <= k, else 0.
+double GlobalTopKScore(const PossibleWorldEngine& worlds, int object_index,
+                       int k);
+
+/// U-top-k style score [Soliman et al. 2007]: omega(i) = -1 everywhere is
+/// degenerate for NN search, so the conventional NN reading uses k = 1,
+/// i.e. the negated NN probability; provided for completeness.
+double UTopKScore(const PossibleWorldEngine& worlds, int object_index);
+
+}  // namespace osd
+
+#endif  // OSD_NNFUN_N2_FUNCTIONS_H_

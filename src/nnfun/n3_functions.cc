@@ -1,0 +1,105 @@
+#include "nnfun/n3_functions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+#include "flow/max_flow.h"
+#include "flow/min_cost_flow.h"
+
+namespace osd {
+
+namespace {
+
+double MinDistToObject(const Point& p, const UncertainObject& o,
+                       Metric metric) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < o.num_instances(); ++i) {
+    best = std::min(best, PointDistance(p, o.Instance(i), metric));
+  }
+  return best;
+}
+
+}  // namespace
+
+double HausdorffDistance(const UncertainObject& u, const UncertainObject& q,
+                  Metric metric) {
+  OSD_CHECK(u.dim() == q.dim());
+  double u_to_q = 0.0;
+  for (int i = 0; i < u.num_instances(); ++i) {
+    u_to_q = std::max(u_to_q, MinDistToObject(u.Instance(i), q, metric));
+  }
+  double q_to_u = 0.0;
+  for (int i = 0; i < q.num_instances(); ++i) {
+    q_to_u = std::max(q_to_u, MinDistToObject(q.Instance(i), u, metric));
+  }
+  return std::max(u_to_q, q_to_u);
+}
+
+double SumOfMinDistance(const UncertainObject& u, const UncertainObject& q,
+                 Metric metric) {
+  OSD_CHECK(u.dim() == q.dim());
+  double total = 0.0;
+  for (int i = 0; i < u.num_instances(); ++i) {
+    total += u.Prob(i) * MinDistToObject(u.Instance(i), q, metric);
+  }
+  for (int i = 0; i < q.num_instances(); ++i) {
+    total += q.Prob(i) * MinDistToObject(q.Instance(i), u, metric);
+  }
+  return total;
+}
+
+double EmdDistance(const UncertainObject& u, const UncertainObject& q,
+            Metric metric) {
+  OSD_CHECK(u.dim() == q.dim());
+  const int nu = u.num_instances();
+  const int nq = q.num_instances();
+  const int source = nu + nq;
+  const int sink = nu + nq + 1;
+  MinCostFlow flow(nu + nq + 2);
+  const std::vector<int64_t> mu = ScaleProbabilities(u.probs(), kProbScale);
+  const std::vector<int64_t> mq = ScaleProbabilities(q.probs(), kProbScale);
+  for (int i = 0; i < nu; ++i) flow.AddEdge(source, i, mu[i], 0.0);
+  for (int j = 0; j < nq; ++j) flow.AddEdge(nu + j, sink, mq[j], 0.0);
+  for (int i = 0; i < nu; ++i) {
+    const Point pu = u.Instance(i);
+    for (int j = 0; j < nq; ++j) {
+      flow.AddEdge(i, nu + j, kProbScale,
+                   PointDistance(pu, q.Instance(j), metric));
+    }
+  }
+  const MinCostFlow::Result r = flow.Compute(source, sink);
+  OSD_CHECK(r.flow == kProbScale);
+  return r.cost / static_cast<double>(kProbScale);
+}
+
+double NetflowDistance(const UncertainObject& u, const UncertainObject& q,
+                Metric metric) {
+  OSD_CHECK(u.dim() == q.dim());
+  // Definition 12's network: source -> query instances (capacity p(q)),
+  // object instances -> sink (capacity p(u)), complete bipartite edges
+  // q -> u with cost delta(u, q).
+  const int nq = q.num_instances();
+  const int nu = u.num_instances();
+  const int source = nq + nu;
+  const int sink = nq + nu + 1;
+  MinCostFlow flow(nq + nu + 2);
+  const std::vector<int64_t> mq = ScaleProbabilities(q.probs(), kProbScale);
+  const std::vector<int64_t> mu = ScaleProbabilities(u.probs(), kProbScale);
+  for (int j = 0; j < nq; ++j) flow.AddEdge(source, j, mq[j], 0.0);
+  for (int i = 0; i < nu; ++i) flow.AddEdge(nq + i, sink, mu[i], 0.0);
+  for (int j = 0; j < nq; ++j) {
+    const Point pq = q.Instance(j);
+    for (int i = 0; i < nu; ++i) {
+      flow.AddEdge(j, nq + i, kProbScale,
+                   PointDistance(pq, u.Instance(i), metric));
+    }
+  }
+  const MinCostFlow::Result r = flow.Compute(source, sink);
+  OSD_CHECK(r.flow == kProbScale);
+  return r.cost / static_cast<double>(kProbScale);
+}
+
+}  // namespace osd

@@ -1,0 +1,37 @@
+// Selected-pairs based NN functions (family N3, Section 3.4 and
+// Appendix A): Hausdorff distance, Sum of Minimal Distances, Earth
+// Mover's distance and the Netflow distance. With unit probability mass on
+// both sides EMD and Netflow coincide; both are computed by min-cost flow
+// over the complete bipartite distance network. P-SD is optimal w.r.t.
+// N1 union N2 union N3 (Theorem 7).
+
+#ifndef OSD_NNFUN_N3_FUNCTIONS_H_
+#define OSD_NNFUN_N3_FUNCTIONS_H_
+
+#include "geom/metric.h"
+#include "object/uncertain_object.h"
+
+namespace osd {
+
+/// Hausdorff distance D_h(U, Q) (Definition 11).
+double HausdorffDistance(const UncertainObject& u, const UncertainObject& q,
+                  Metric metric = Metric::kL2);
+
+/// Probability-weighted Sum of Minimal Distances [Ramon & Bruynooghe]:
+/// sum_u p(u) * delta_min(u, Q) + sum_q p(q) * delta_min(q, U).
+double SumOfMinDistance(const UncertainObject& u, const UncertainObject& q,
+                 Metric metric = Metric::kL2);
+
+/// Earth Mover's distance between the instance distributions.
+double EmdDistance(const UncertainObject& u, const UncertainObject& q,
+            Metric metric = Metric::kL2);
+
+/// Netflow distance M_nd(U, Q) (Definition 12); equals EmdDistance under
+/// the paper's unit-mass setting but is constructed from its own network
+/// definition (source -> query side).
+double NetflowDistance(const UncertainObject& u, const UncertainObject& q,
+                Metric metric = Metric::kL2);
+
+}  // namespace osd
+
+#endif  // OSD_NNFUN_N3_FUNCTIONS_H_

@@ -1,0 +1,112 @@
+#include "nnfun/possible_worlds.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace osd {
+
+namespace {
+
+// Ranks objects by ascending distance; ties broken by object position.
+// Returns per-object 1-based ranks in `ranks`.
+void RankWorld(std::span<const double> dists, std::vector<int>& order,
+               std::vector<int>& ranks) {
+  const int n = static_cast<int>(dists.size());
+  order.resize(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (dists[a] != dists[b]) return dists[a] < dists[b];
+    return a < b;
+  });
+  ranks.resize(n);
+  for (int r = 0; r < n; ++r) ranks[order[r]] = r + 1;
+}
+
+}  // namespace
+
+PossibleWorldEngine PossibleWorldEngine::Exact(
+    std::span<const UncertainObject* const> objects,
+    const UncertainObject& query) {
+  const int n = static_cast<int>(objects.size());
+  OSD_CHECK(n >= 1);
+  int64_t worlds = query.num_instances();
+  for (const UncertainObject* o : objects) {
+    worlds *= o->num_instances();
+    OSD_CHECK(worlds <= kMaxExactWorlds);
+  }
+
+  PossibleWorldEngine engine;
+  engine.rank_probs_.assign(n, std::vector<double>(n, 0.0));
+
+  std::vector<int> choice(n, 0);  // instance odometer over objects
+  std::vector<double> dists(n);
+  std::vector<int> order, ranks;
+  for (int qi = 0; qi < query.num_instances(); ++qi) {
+    const Point qp = query.Instance(qi);
+    const double qprob = query.Prob(qi);
+    std::fill(choice.begin(), choice.end(), 0);
+    while (true) {
+      double prob = qprob;
+      for (int oi = 0; oi < n; ++oi) {
+        dists[oi] = Distance(qp, objects[oi]->Instance(choice[oi]));
+        prob *= objects[oi]->Prob(choice[oi]);
+      }
+      RankWorld(dists, order, ranks);
+      for (int oi = 0; oi < n; ++oi) {
+        engine.rank_probs_[oi][ranks[oi] - 1] += prob;
+      }
+      // Advance the odometer.
+      int pos = 0;
+      while (pos < n) {
+        if (++choice[pos] < objects[pos]->num_instances()) break;
+        choice[pos] = 0;
+        ++pos;
+      }
+      if (pos == n) break;
+    }
+  }
+  return engine;
+}
+
+PossibleWorldEngine PossibleWorldEngine::Sampled(
+    std::span<const UncertainObject* const> objects,
+    const UncertainObject& query, int num_samples, Rng& rng) {
+  const int n = static_cast<int>(objects.size());
+  OSD_CHECK(n >= 1 && num_samples > 0);
+  PossibleWorldEngine engine;
+  engine.rank_probs_.assign(n, std::vector<double>(n, 0.0));
+
+  auto sample_instance = [&rng](const UncertainObject& o) {
+    double r = rng.Uniform(0.0, 1.0);
+    for (int i = 0; i < o.num_instances(); ++i) {
+      r -= o.Prob(i);
+      if (r <= 0.0) return i;
+    }
+    return o.num_instances() - 1;
+  };
+
+  std::vector<double> dists(n);
+  std::vector<int> order, ranks;
+  for (int s = 0; s < num_samples; ++s) {
+    const Point qp = query.Instance(sample_instance(query));
+    for (int oi = 0; oi < n; ++oi) {
+      dists[oi] = Distance(qp, objects[oi]->Instance(sample_instance(*objects[oi])));
+    }
+    RankWorld(dists, order, ranks);
+    for (int oi = 0; oi < n; ++oi) {
+      engine.rank_probs_[oi][ranks[oi] - 1] += 1.0 / num_samples;
+    }
+  }
+  return engine;
+}
+
+double PossibleWorldEngine::RankProbability(int object_index,
+                                            int rank) const {
+  OSD_CHECK(object_index >= 0 && object_index < num_objects());
+  OSD_CHECK(rank >= 1 && rank <= num_objects());
+  return rank_probs_[object_index][rank - 1];
+}
+
+}  // namespace osd

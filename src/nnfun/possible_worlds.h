@@ -1,0 +1,58 @@
+// Possible-world semantics (Section 3.3).
+//
+// A possible world draws one instance from the query and from every
+// object; its probability is the product of the instance probabilities
+// (objects are independent). Within a world, objects are ranked by their
+// distance to the query instance. The engine enumerates all worlds exactly
+// (for small ensembles, as used in tests and examples) or estimates by
+// Monte Carlo sampling, and exposes the rank distribution Pr(r(U) = i)
+// from which every parameterized-ranking NN function derives.
+
+#ifndef OSD_NNFUN_POSSIBLE_WORLDS_H_
+#define OSD_NNFUN_POSSIBLE_WORLDS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "object/uncertain_object.h"
+
+namespace osd {
+
+/// Exact or sampled possible-world rank distributions.
+class PossibleWorldEngine {
+ public:
+  /// Guard against accidental exponential blow-ups in exact mode.
+  static constexpr int64_t kMaxExactWorlds = 4'000'000;
+
+  /// Exact enumeration. The product of instance counts (query included)
+  /// must not exceed kMaxExactWorlds.
+  static PossibleWorldEngine Exact(
+      std::span<const UncertainObject* const> objects,
+      const UncertainObject& query);
+
+  /// Monte Carlo estimate over `num_samples` sampled worlds.
+  static PossibleWorldEngine Sampled(
+      std::span<const UncertainObject* const> objects,
+      const UncertainObject& query, int num_samples, Rng& rng);
+
+  int num_objects() const { return static_cast<int>(rank_probs_.size()); }
+
+  /// Pr(r(O_i) = rank), rank is 1-based. Ties in world distance are broken
+  /// by object position for determinism.
+  double RankProbability(int object_index, int rank) const;
+
+  /// Rank distribution row of one object (index r-1 holds Pr(rank = r)).
+  const std::vector<double>& RankDistribution(int object_index) const {
+    return rank_probs_[object_index];
+  }
+
+ private:
+  PossibleWorldEngine() = default;
+  std::vector<std::vector<double>> rank_probs_;
+};
+
+}  // namespace osd
+
+#endif  // OSD_NNFUN_POSSIBLE_WORLDS_H_

@@ -1,0 +1,104 @@
+#include "nnfun/rank_engine.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace osd {
+
+namespace {
+
+// Sorted distances of one object's instances from one query instance,
+// with parallel cumulative probabilities for O(log m) tail queries.
+struct SortedColumn {
+  std::vector<double> values;  // ascending
+  std::vector<double> probs;   // parallel instance probabilities
+};
+
+// Pr(column value < x) and Pr(column value <= x).
+void MassBelow(const SortedColumn& col, double x, double* strictly_below,
+               double* at_or_below) {
+  const auto lo = std::lower_bound(col.values.begin(), col.values.end(), x);
+  const auto hi = std::upper_bound(col.values.begin(), col.values.end(), x);
+  double below = 0.0;
+  for (auto it = col.values.begin(); it != lo; ++it) {
+    below += col.probs[it - col.values.begin()];
+  }
+  double ties = 0.0;
+  for (auto it = lo; it != hi; ++it) {
+    ties += col.probs[it - col.values.begin()];
+  }
+  *strictly_below = below;
+  *at_or_below = below + ties;
+}
+
+}  // namespace
+
+RankEngine::RankEngine(std::span<const UncertainObject* const> objects,
+                       const UncertainObject& query, Metric metric) {
+  const int n = static_cast<int>(objects.size());
+  OSD_CHECK(n >= 1);
+  rank_probs_.assign(n, std::vector<double>(n, 0.0));
+
+  std::vector<SortedColumn> columns(n);
+  std::vector<double> closer(n - 1 >= 0 ? n : 0);
+  std::vector<double> dp(n, 0.0);
+
+  for (int qi = 0; qi < query.num_instances(); ++qi) {
+    const Point qp = query.Instance(qi);
+    const double qprob = query.Prob(qi);
+    // Per-object sorted distance columns for this query instance.
+    for (int oi = 0; oi < n; ++oi) {
+      const UncertainObject& o = *objects[oi];
+      std::vector<std::pair<double, double>> pairs(o.num_instances());
+      for (int k = 0; k < o.num_instances(); ++k) {
+        pairs[k] = {PointDistance(qp, o.Instance(k), metric), o.Prob(k)};
+      }
+      std::sort(pairs.begin(), pairs.end());
+      columns[oi].values.resize(pairs.size());
+      columns[oi].probs.resize(pairs.size());
+      for (size_t k = 0; k < pairs.size(); ++k) {
+        columns[oi].values[k] = pairs[k].first;
+        columns[oi].probs[k] = pairs[k].second;
+      }
+    }
+    for (int oi = 0; oi < n; ++oi) {
+      const UncertainObject& o = *objects[oi];
+      for (int k = 0; k < o.num_instances(); ++k) {
+        const double dist = PointDistance(qp, o.Instance(k), metric);
+        const double uprob = o.Prob(k);
+        // p_V = Pr(V is closer than this instance), ties to the earlier
+        // object index (matching PossibleWorldEngine's tie-break).
+        int idx = 0;
+        for (int vj = 0; vj < n; ++vj) {
+          if (vj == oi) continue;
+          double below = 0.0, at_or_below = 0.0;
+          MassBelow(columns[vj], dist, &below, &at_or_below);
+          closer[idx++] = vj < oi ? at_or_below : below;
+        }
+        // Poisson-binomial DP over the n-1 Bernoulli "V closer" events.
+        dp.assign(n, 0.0);
+        dp[0] = 1.0;
+        for (int e = 0; e < idx; ++e) {
+          const double p = closer[e];
+          for (int r = e + 1; r >= 1; --r) {
+            dp[r] = dp[r] * (1.0 - p) + dp[r - 1] * p;
+          }
+          dp[0] *= (1.0 - p);
+        }
+        const double w = qprob * uprob;
+        for (int r = 0; r < n; ++r) {
+          rank_probs_[oi][r] += w * dp[r];
+        }
+      }
+    }
+  }
+}
+
+double RankEngine::RankProbability(int object_index, int rank) const {
+  OSD_CHECK(object_index >= 0 && object_index < num_objects());
+  OSD_CHECK(rank >= 1 && rank <= num_objects());
+  return rank_probs_[object_index][rank - 1];
+}
+
+}  // namespace osd

@@ -1,0 +1,26 @@
+#include "object/dataset.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace osd {
+
+int Dataset::GlobalFanout(int dim) {
+  const int entry_bytes = 2 * dim * 8 + 8;
+  return std::max(8, kPageBytes / entry_bytes);
+}
+
+Dataset::Dataset(std::vector<UncertainObject> objects)
+    : objects_(std::move(objects)) {
+  OSD_CHECK(!objects_.empty());
+  const int d = objects_[0].dim();
+  std::vector<RTree::Entry> entries(objects_.size());
+  for (size_t i = 0; i < objects_.size(); ++i) {
+    OSD_CHECK(objects_[i].dim() == d);
+    entries[i] = {objects_[i].mbr(), static_cast<int32_t>(i), 1.0};
+  }
+  global_tree_ = RTree::BulkLoad(std::move(entries), GlobalFanout(d));
+}
+
+}  // namespace osd

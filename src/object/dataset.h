@@ -1,0 +1,45 @@
+// A dataset of uncertain objects plus its global R-tree.
+//
+// Mirrors the paper's experimental setup (Section 6): a global R-tree over
+// object MBRs whose fan-out is derived from a 4 KiB page, and lazily built
+// fan-out-4 local trees inside each object.
+
+#ifndef OSD_OBJECT_DATASET_H_
+#define OSD_OBJECT_DATASET_H_
+
+#include <vector>
+
+#include "index/rtree.h"
+#include "object/uncertain_object.h"
+
+namespace osd {
+
+/// Immutable object collection with a global MBR index.
+class Dataset {
+ public:
+  /// Page size assumed when deriving the global tree fan-out.
+  static constexpr int kPageBytes = 4096;
+
+  Dataset() = default;
+
+  /// Takes ownership of the objects and builds the global R-tree.
+  explicit Dataset(std::vector<UncertainObject> objects);
+
+  int size() const { return static_cast<int>(objects_.size()); }
+  int dim() const { return objects_.empty() ? 0 : objects_[0].dim(); }
+  const UncertainObject& object(int i) const { return objects_[i]; }
+  const std::vector<UncertainObject>& objects() const { return objects_; }
+  const RTree& global_tree() const { return global_tree_; }
+
+  /// Fan-out of a global R-tree page for d-dimensional boxes: each entry
+  /// stores 2d coordinates plus a child pointer.
+  static int GlobalFanout(int dim);
+
+ private:
+  std::vector<UncertainObject> objects_;
+  RTree global_tree_;
+};
+
+}  // namespace osd
+
+#endif  // OSD_OBJECT_DATASET_H_

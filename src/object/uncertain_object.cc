@@ -1,0 +1,57 @@
+#include "object/uncertain_object.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace osd {
+
+UncertainObject::UncertainObject(int id, int dim, std::vector<double> coords,
+                                 std::vector<double> probs)
+    : id_(id), dim_(dim), coords_(std::move(coords)), probs_(std::move(probs)) {
+  OSD_CHECK(dim_ >= 1 && dim_ <= Point::kMaxDim);
+  OSD_CHECK(!probs_.empty());
+  OSD_CHECK(coords_.size() == probs_.size() * static_cast<size_t>(dim_));
+  double sum = 0.0;
+  for (double p : probs_) {
+    OSD_CHECK(p > 0.0);
+    sum += p;
+  }
+  OSD_CHECK(std::abs(sum - 1.0) < 1e-6);
+  for (int i = 0; i < num_instances(); ++i) mbr_.Expand(Instance(i));
+}
+
+UncertainObject UncertainObject::FromWeighted(int id, int dim,
+                                              std::vector<double> coords,
+                                              std::vector<double> weights) {
+  OSD_CHECK(!weights.empty());
+  const double total =
+      std::accumulate(weights.begin(), weights.end(), 0.0);
+  OSD_CHECK(total > 0.0);
+  for (double& w : weights) w /= total;
+  return UncertainObject(id, dim, std::move(coords), std::move(weights));
+}
+
+UncertainObject UncertainObject::Uniform(int id, int dim,
+                                         std::vector<double> coords) {
+  OSD_CHECK(dim >= 1);
+  OSD_CHECK(coords.size() % dim == 0 && !coords.empty());
+  const size_t m = coords.size() / dim;
+  std::vector<double> probs(m, 1.0 / static_cast<double>(m));
+  return UncertainObject(id, dim, std::move(coords), std::move(probs));
+}
+
+const RTree& UncertainObject::LocalTree() const {
+  if (local_tree_ == nullptr) {
+    std::vector<RTree::Entry> entries(num_instances());
+    for (int i = 0; i < num_instances(); ++i) {
+      entries[i] = {Mbr(Instance(i)), i, probs_[i]};
+    }
+    local_tree_ =
+        std::make_unique<RTree>(RTree::BulkLoad(std::move(entries), kLocalFanout));
+  }
+  return *local_tree_;
+}
+
+}  // namespace osd

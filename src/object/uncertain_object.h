@@ -1,0 +1,105 @@
+// Objects with multiple instances.
+//
+// An UncertainObject is a discrete random variable over points: instances
+// with positive probabilities summing to one. Multi-valued objects (whose
+// instances carry weights instead of probabilities) are normalized on
+// construction, which the paper shows preserves NN ranks for every function
+// family studied as long as total weight mass matches across objects.
+//
+// Instances are stored as a flat coordinate array (m x d doubles) so large
+// datasets stay compact; the per-object local R-tree (fan-out 4 in the
+// paper's experiments) is built on demand because the NNC search touches
+// only a small fraction of objects at instance granularity.
+
+#ifndef OSD_OBJECT_UNCERTAIN_OBJECT_H_
+#define OSD_OBJECT_UNCERTAIN_OBJECT_H_
+
+#include <memory>
+#include <vector>
+
+#include "geom/mbr.h"
+#include "geom/point.h"
+#include "index/rtree.h"
+
+namespace osd {
+
+/// A multi-instance (discrete uncertain) object.
+class UncertainObject {
+ public:
+  /// Default fan-out of per-object instance R-trees (paper Section 6).
+  static constexpr int kLocalFanout = 4;
+
+  UncertainObject() = default;
+
+  /// Copies duplicate the instance data but not the cached local R-tree
+  /// (it is rebuilt on demand).
+  UncertainObject(const UncertainObject& other)
+      : id_(other.id_),
+        dim_(other.dim_),
+        coords_(other.coords_),
+        probs_(other.probs_),
+        mbr_(other.mbr_) {}
+  UncertainObject& operator=(const UncertainObject& other) {
+    if (this != &other) {
+      id_ = other.id_;
+      dim_ = other.dim_;
+      coords_ = other.coords_;
+      probs_ = other.probs_;
+      mbr_ = other.mbr_;
+      local_tree_.reset();
+    }
+    return *this;
+  }
+  UncertainObject(UncertainObject&&) = default;
+  UncertainObject& operator=(UncertainObject&&) = default;
+
+  /// Object with explicit instance probabilities (must sum to 1).
+  UncertainObject(int id, int dim, std::vector<double> coords,
+                  std::vector<double> probs);
+
+  /// Multi-valued object: instance weights are normalized to probabilities
+  /// (p_i = w_i / sum w), per Section 2.1.
+  static UncertainObject FromWeighted(int id, int dim,
+                                      std::vector<double> coords,
+                                      std::vector<double> weights);
+
+  /// Uniform-probability object (the experimental setting of the paper).
+  static UncertainObject Uniform(int id, int dim, std::vector<double> coords);
+
+  int id() const { return id_; }
+  int dim() const { return dim_; }
+  int num_instances() const { return static_cast<int>(probs_.size()); }
+
+  /// The i-th instance as a Point (copied out of the flat array).
+  Point Instance(int i) const {
+    OSD_DCHECK(i >= 0 && i < num_instances());
+    return Point(coords_.data() + static_cast<size_t>(i) * dim_, dim_);
+  }
+
+  /// Probability of the i-th instance.
+  double Prob(int i) const {
+    OSD_DCHECK(i >= 0 && i < num_instances());
+    return probs_[i];
+  }
+
+  const std::vector<double>& probs() const { return probs_; }
+  const Mbr& mbr() const { return mbr_; }
+
+  /// Returns the instance R-tree, building it on first use.
+  const RTree& LocalTree() const;
+
+  /// True iff a local tree has already been built (used by stats).
+  bool HasLocalTree() const { return local_tree_ != nullptr; }
+
+ private:
+  int id_ = -1;
+  int dim_ = 0;
+  std::vector<double> coords_;  // m * dim, row-major
+  std::vector<double> probs_;   // m
+  Mbr mbr_;
+  mutable std::unique_ptr<RTree> local_tree_;
+};
+
+}  // namespace osd
+
+#endif  // OSD_OBJECT_UNCERTAIN_OBJECT_H_

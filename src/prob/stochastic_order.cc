@@ -1,0 +1,101 @@
+#include "prob/stochastic_order.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace osd {
+
+namespace {
+// Probabilities accumulate rounding error over long scans; comparisons use
+// a tolerance proportional to mass 1.
+constexpr double kCdfEps = 1e-9;
+}  // namespace
+
+bool StochasticallyLeqSorted(std::span<const double> x_values,
+                             std::span<const double> x_probs,
+                             std::span<const double> y_values,
+                             std::span<const double> y_probs, long* steps) {
+  OSD_DCHECK(x_values.size() == x_probs.size());
+  OSD_DCHECK(y_values.size() == y_probs.size());
+  size_t i = 0;
+  size_t j = 0;
+  double cum_x = 0.0;
+  double cum_y = 0.0;
+  long local_steps = 0;
+  // Sweep distinct support values ascending. After consuming all atoms at
+  // or below the current value, require cum_x >= cum_y. It suffices to
+  // check right after consuming a Y atom whose value is strictly below the
+  // next unconsumed X atom (the only places the inequality can newly fail).
+  while (j < y_values.size()) {
+    const double v = y_values[j];
+    while (i < x_values.size() && x_values[i] <= v) {
+      cum_x += x_probs[i];
+      ++i;
+      ++local_steps;
+    }
+    cum_y += y_probs[j];
+    ++j;
+    ++local_steps;
+    // Consume further Y atoms with the same value before testing.
+    while (j < y_values.size() && y_values[j] == v) {
+      cum_y += y_probs[j];
+      ++j;
+      ++local_steps;
+    }
+    if (cum_x + kCdfEps < cum_y) {
+      if (steps != nullptr) *steps += local_steps;
+      return false;
+    }
+  }
+  if (steps != nullptr) *steps += local_steps;
+  return true;
+}
+
+bool StochasticallyLeq(const DiscreteDistribution& x,
+                       const DiscreteDistribution& y) {
+  std::vector<double> xv(x.size()), xp(x.size()), yv(y.size()), yp(y.size());
+  for (int i = 0; i < x.size(); ++i) {
+    xv[i] = x.atoms()[i].value;
+    xp[i] = x.atoms()[i].prob;
+  }
+  for (int i = 0; i < y.size(); ++i) {
+    yv[i] = y.atoms()[i].value;
+    yp[i] = y.atoms()[i].prob;
+  }
+  return StochasticallyLeqSorted(xv, xp, yv, yp);
+}
+
+std::vector<MatchTuple> BuildDominatingMatch(const DiscreteDistribution& x,
+                                             const DiscreteDistribution& y) {
+  OSD_CHECK(StochasticallyLeq(x, y));
+  std::vector<MatchTuple> match;
+  // Visit atoms of both sides in nondecreasing order; greedily pair the
+  // smallest unconsumed X mass with the smallest unconsumed Y mass. The
+  // stochastic order guarantees x-value <= y-value at every pairing
+  // (Appendix B.1).
+  size_t i = 0;
+  size_t j = 0;
+  double left_x = x.atoms().empty() ? 0.0 : x.atoms()[0].prob;
+  double left_y = y.atoms().empty() ? 0.0 : y.atoms()[0].prob;
+  while (i < x.atoms().size() && j < y.atoms().size()) {
+    const double take = std::min(left_x, left_y);
+    if (take > 0.0) {
+      match.push_back({x.atoms()[i].value, y.atoms()[j].value, take});
+    }
+    left_x -= take;
+    left_y -= take;
+    if (left_x <= 1e-15) {
+      ++i;
+      if (i < x.atoms().size()) left_x = x.atoms()[i].prob;
+    }
+    if (left_y <= 1e-15) {
+      ++j;
+      if (j < y.atoms().size()) left_y = y.atoms()[j].prob;
+    }
+  }
+  return match;
+}
+
+}  // namespace osd

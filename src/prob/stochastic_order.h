@@ -1,0 +1,48 @@
+// Usual stochastic order and the equivalent match order (Theorem 1).
+//
+// X <=_st Y  iff  Pr(X <= lambda) >= Pr(Y <= lambda) for every lambda.
+// The check is a single linear scan over the merged sorted supports; by
+// Theorem 10 this (plus the sort) is worst-case optimal for comparison-
+// based algorithms. The constructive half of Theorem 1 (building a match
+// witnessing X <=_M Y) is also implemented; it is the bridge between the
+// stochastic operators and the peer/selected-pairs machinery.
+
+#ifndef OSD_PROB_STOCHASTIC_ORDER_H_
+#define OSD_PROB_STOCHASTIC_ORDER_H_
+
+#include <span>
+#include <vector>
+
+#include "prob/discrete_distribution.h"
+
+namespace osd {
+
+/// True iff X <=_st Y (smaller values preferred; non-strict).
+bool StochasticallyLeq(const DiscreteDistribution& x,
+                       const DiscreteDistribution& y);
+
+/// Raw-array variant used on hot paths: `x_values`/`y_values` must be
+/// sorted ascending with parallel positive probabilities. Counts the
+/// number of scan steps into `*steps` when non-null (Fig. 16 currency).
+bool StochasticallyLeqSorted(std::span<const double> x_values,
+                             std::span<const double> x_probs,
+                             std::span<const double> y_values,
+                             std::span<const double> y_probs,
+                             long* steps = nullptr);
+
+/// One tuple of a match M_{X,Y} (Definition 4): probability `prob` of X's
+/// atom `x` is paired with Y's atom `y`.
+struct MatchTuple {
+  double x;
+  double y;
+  double prob;
+};
+
+/// Constructive proof of Theorem 1: given X <=_st Y, builds a match with
+/// t.x <= t.y for every tuple. Requires StochasticallyLeq(x, y).
+std::vector<MatchTuple> BuildDominatingMatch(const DiscreteDistribution& x,
+                                             const DiscreteDistribution& y);
+
+}  // namespace osd
+
+#endif  // OSD_PROB_STOCHASTIC_ORDER_H_

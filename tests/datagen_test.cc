@@ -1,0 +1,174 @@
+// Tests for the data generators: determinism, parameter adherence, the
+// anti-correlation property of the Boerzsoenyi-style centers, and the
+// structural properties of the real-dataset surrogates.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/generators.h"
+#include "datagen/surrogates.h"
+#include "datagen/workload.h"
+
+namespace osd {
+namespace {
+
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  const size_t n = xs.size();
+  double mx = 0, my = 0;
+  for (size_t i = 0; i < n; ++i) {
+    mx += xs[i];
+    my += ys[i];
+  }
+  mx /= n;
+  my /= n;
+  double sxy = 0, sxx = 0, syy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+TEST(GeneratorsTest, Deterministic) {
+  SyntheticParams params;
+  params.num_objects = 50;
+  params.seed = 99;
+  const auto a = GenerateSyntheticObjects(params);
+  const auto b = GenerateSyntheticObjects(params);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].num_instances(), b[i].num_instances());
+    for (int k = 0; k < a[i].num_instances(); ++k) {
+      EXPECT_TRUE(a[i].Instance(k) == b[i].Instance(k));
+    }
+  }
+}
+
+TEST(GeneratorsTest, RespectsParameters) {
+  SyntheticParams params;
+  params.dim = 4;
+  params.num_objects = 200;
+  params.instances_per_object = 25;
+  params.object_edge = 300.0;
+  const auto objects = GenerateSyntheticObjects(params);
+  EXPECT_EQ(objects.size(), 200u);
+  double total_instances = 0;
+  for (const auto& o : objects) {
+    EXPECT_EQ(o.dim(), 4);
+    total_instances += o.num_instances();
+    for (int d = 0; d < 4; ++d) {
+      EXPECT_GE(o.mbr().lo()[d], 0.0);
+      EXPECT_LE(o.mbr().hi()[d], params.domain);
+      // Box edge is bounded by the instance-clipping box (<= 2 h_d).
+      EXPECT_LE(o.mbr().hi()[d] - o.mbr().lo()[d], 2 * params.object_edge);
+    }
+  }
+  EXPECT_NEAR(total_instances / objects.size(), 25.0, 2.0);
+}
+
+TEST(GeneratorsTest, AntiCorrelatedCentersAreAntiCorrelated) {
+  Rng rng(5);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 4000; ++i) {
+    const Point c =
+        GenerateCenter(CenterDistribution::kAntiCorrelated, 2, 10'000.0, rng);
+    xs.push_back(c[0]);
+    ys.push_back(c[1]);
+  }
+  EXPECT_LT(PearsonCorrelation(xs, ys), -0.3);
+}
+
+TEST(GeneratorsTest, IndependentCentersAreUncorrelated) {
+  Rng rng(6);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 4000; ++i) {
+    const Point c =
+        GenerateCenter(CenterDistribution::kIndependent, 2, 10'000.0, rng);
+    xs.push_back(c[0]);
+    ys.push_back(c[1]);
+  }
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), 0.0, 0.1);
+}
+
+TEST(WorkloadTest, QueriesMatchParametersAndSeeds) {
+  SyntheticParams params;
+  params.num_objects = 300;
+  const Dataset dataset = GenerateSynthetic(params);
+  WorkloadParams wp;
+  wp.num_queries = 10;
+  wp.query_instances = 15;
+  wp.query_edge = 150.0;
+  const auto workload = GenerateWorkload(dataset, wp);
+  ASSERT_EQ(workload.size(), 10u);
+  for (const auto& entry : workload) {
+    EXPECT_GE(entry.seeded_from, 0);
+    EXPECT_LT(entry.seeded_from, dataset.size());
+    EXPECT_EQ(entry.query.num_instances(), 15);
+    EXPECT_EQ(entry.query.dim(), dataset.dim());
+  }
+  // Deterministic.
+  const auto workload2 = GenerateWorkload(dataset, wp);
+  EXPECT_EQ(workload2[3].seeded_from, workload[3].seeded_from);
+  EXPECT_TRUE(workload2[3].query.Instance(0) == workload[3].query.Instance(0));
+}
+
+TEST(SurrogatesTest, NbaLikeShape) {
+  const Dataset nba = NbaLike(1);
+  EXPECT_EQ(nba.size(), 1313);
+  EXPECT_EQ(nba.dim(), 3);
+  double total = 0;
+  int max_count = 0;
+  for (const auto& o : nba.objects()) {
+    total += o.num_instances();
+    max_count = std::max(max_count, o.num_instances());
+  }
+  EXPECT_GT(total / nba.size(), 30.0);  // scaled-down game counts
+  EXPECT_LE(max_count, 150);
+}
+
+TEST(SurrogatesTest, GowallaLikeShape) {
+  const Dataset gw = GowallaLike(1);
+  EXPECT_EQ(gw.size(), 5000);
+  EXPECT_EQ(gw.dim(), 2);
+  // Power-law check-in counts: a heavy spread between min and max.
+  int mn = 1 << 30, mx = 0;
+  for (const auto& o : gw.objects()) {
+    mn = std::min(mn, o.num_instances());
+    mx = std::max(mx, o.num_instances());
+  }
+  EXPECT_LE(mn, 10);
+  EXPECT_GE(mx, 100);
+}
+
+TEST(SurrogatesTest, SemiRealShapes) {
+  const Dataset house = HouseLike(1);
+  EXPECT_EQ(house.dim(), 3);
+  EXPECT_EQ(house.size(), 16'000);
+  const Dataset ca = CaLike(1);
+  EXPECT_EQ(ca.dim(), 2);
+  EXPECT_EQ(ca.size(), 12'000);
+  const Dataset usa = UsaLike(2'000, 5, 300.0, 1);
+  EXPECT_EQ(usa.dim(), 2);
+  EXPECT_EQ(usa.size(), 2'000);
+  double avg = 0;
+  for (const auto& o : usa.objects()) avg += o.num_instances();
+  EXPECT_NEAR(avg / usa.size(), 5.0, 1.0);
+}
+
+TEST(SurrogatesTest, HouseCentersAntiCorrelated) {
+  const Dataset house = HouseLike(2);
+  std::vector<double> xs, ys;
+  for (const auto& o : house.objects()) {
+    xs.push_back(o.mbr().Center(0));
+    ys.push_back(o.mbr().Center(1));
+  }
+  // Expenditure shares trade off against each other.
+  EXPECT_LT(PearsonCorrelation(xs, ys), -0.2);
+}
+
+}  // namespace
+}  // namespace osd

@@ -1,0 +1,380 @@
+// Tests for the four spatial dominance operators: hand-checked paper
+// examples, agreement with definition-level brute force under every filter
+// configuration, the cover chain of Theorem 2, the |Q| = 1 collapse of
+// Theorem 3, MBR validation (Theorem 4), transitivity (Theorem 9), and the
+// statistic conditions (Theorem 11).
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dominance_oracle.h"
+#include "core/filter_config.h"
+#include "core/object_profile.h"
+#include "core/query_context.h"
+#include "test_util.h"
+
+namespace osd {
+namespace {
+
+using test::BruteFSd;
+using test::BrutePSd;
+using test::BruteSSd;
+using test::BruteSsSd;
+using test::RandomObject;
+using test::RandomWeightedObject;
+
+bool Check(Operator op, const UncertainObject& u, const UncertainObject& v,
+           const UncertainObject& q,
+           FilterConfig cfg = FilterConfig::All()) {
+  QueryContext ctx(q);
+  FilterStats stats;
+  DominanceOracle oracle(ctx, cfg, &stats);
+  ObjectProfile pu(u, ctx, &stats);
+  ObjectProfile pv(v, ctx, &stats);
+  return oracle.Dominates(op, pu, pv);
+}
+
+UncertainObject Obj1D(int id, std::vector<double> xs) {
+  return UncertainObject::Uniform(id, 1, std::move(xs));
+}
+
+// ---------------------------------------------------------------------------
+// Hand-checked paper examples.
+// ---------------------------------------------------------------------------
+
+TEST(PaperExamples, Example2Figure6a) {
+  // Fig. 6(a) in 1-d: A and B single-instance with A_Q = {3, 17} and
+  // B_Q = {5, 25}, where A is the far one from q1 (A_q1 = {17},
+  // B_q1 = {5}). q1 = 0, q2 = 20; A at 17 (dists 17, 3), B at -5
+  // (dists 5, 25).
+  const UncertainObject q = Obj1D(-1, {0.0, 20.0});
+  const UncertainObject a = Obj1D(0, {17.0});
+  const UncertainObject b = Obj1D(1, {-5.0});
+  EXPECT_TRUE(Check(Operator::kSSd, a, b, q));    // S-SD(A,B,Q)
+  EXPECT_FALSE(Check(Operator::kSsSd, a, b, q));  // not SS-SD: A_q2=17 > 5
+  EXPECT_FALSE(Check(Operator::kPSd, a, b, q));
+  EXPECT_FALSE(Check(Operator::kFSd, a, b, q));
+}
+
+TEST(PaperExamples, Example2Figure6b) {
+  // Fig. 6(b) distances: A_q1 = {5, 8}, A_q2 = {10, 23},
+  // B_q1 = {10, 25}, B_q2 = {10, 25}: SS-SD(A,B,Q) holds.
+  // 2-d realization: q1 = (0,0), q2 = (33,0); A = {(5,0), (10,0)} gives
+  // A_q1 = {5,10}, A_q2 = {28,23}; choose instead coordinates that hit the
+  // quoted values: A = {(5,0),(8,0)} -> A_q1 = {5,8}, A_q2 = {28,25}. To
+  // stay faithful we only need the dominance pattern, so use 1-d points:
+  // q1 = 0, q2 = 33; A = {5, 10} (A_q1 = {5,10}, A_q2 = {28,23});
+  // B = {-10, 58} (B_q1 = {10,58}, B_q2 = {43,25}).
+  const UncertainObject q = Obj1D(-1, {0.0, 33.0});
+  const UncertainObject a = Obj1D(0, {5.0, 10.0});
+  const UncertainObject b = Obj1D(1, {-10.0, 58.0});
+  EXPECT_TRUE(Check(Operator::kSsSd, a, b, q));
+  EXPECT_TRUE(Check(Operator::kSSd, a, b, q));  // covered by SS-SD
+}
+
+TEST(PaperExamples, Figure15SingleInstanceObjects) {
+  // |Q| = 2 with single-instance objects: P-SD = SS-SD requires closeness
+  // to every query instance; F-SD additionally compares across pairs.
+  const UncertainObject q = Obj1D(-1, {0.0, 10.0});
+  const UncertainObject a = Obj1D(0, {4.0});  // dists {4, 6}
+  const UncertainObject b = Obj1D(1, {-1.0});  // dists {1, 11}
+  // a is closer to q2 but farther from q1: no dominance either way.
+  EXPECT_FALSE(Check(Operator::kSSd, a, b, q));
+  EXPECT_FALSE(Check(Operator::kSSd, b, a, q));
+
+  const UncertainObject c = Obj1D(2, {3.0});  // dists {3, 7}
+  // c <=_Q a (3 <= 4 and 7 <= ... no: 7 > 6). Try d at 4.5.
+  const UncertainObject d = Obj1D(3, {5.0});  // dists {5, 5}
+  // d vs a: 5 > 4 at q1: no. a vs d: 4 <= 5, 6 > 5: no.
+  EXPECT_FALSE(Check(Operator::kPSd, d, a, q));
+  EXPECT_FALSE(Check(Operator::kPSd, a, d, q));
+  (void)c;
+}
+
+TEST(PaperExamples, Theorem3Footprint) {
+  // P-SD holds while F-SD fails: U's instances each beat their peer but
+  // not every cross pair.
+  const UncertainObject q = Obj1D(-1, {0.0});
+  const UncertainObject u = Obj1D(0, {1.0, 9.0});
+  const UncertainObject v = Obj1D(1, {2.0, 10.0});
+  EXPECT_TRUE(Check(Operator::kPSd, u, v, q));
+  EXPECT_TRUE(Check(Operator::kSsSd, u, v, q));
+  EXPECT_TRUE(Check(Operator::kSSd, u, v, q));
+  EXPECT_FALSE(Check(Operator::kFSd, u, v, q));  // 9 > 2
+}
+
+TEST(PaperExamples, IdenticalObjectsNeverDominate) {
+  const UncertainObject q = Obj1D(-1, {0.0, 7.0});
+  const UncertainObject u = Obj1D(0, {1.0, 2.0, 3.0});
+  const UncertainObject v = Obj1D(1, {1.0, 2.0, 3.0});
+  for (Operator op : {Operator::kSSd, Operator::kSsSd, Operator::kPSd,
+                      Operator::kFSd, Operator::kFPlusSd}) {
+    EXPECT_FALSE(Check(op, u, v, q)) << OperatorName(op);
+    EXPECT_FALSE(Check(op, v, u, q)) << OperatorName(op);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized agreement with brute force, across filter configurations.
+// ---------------------------------------------------------------------------
+
+struct ConfigCase {
+  const char* name;
+  FilterConfig config;
+};
+
+class DominanceAgreement
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DominanceAgreement, MatchesBruteForce) {
+  const auto [dim, seed] = GetParam();
+  Rng rng(seed * 977 + dim);
+  const ConfigCase configs[] = {
+      {"All", FilterConfig::All()},   {"BF", FilterConfig::BruteForce()},
+      {"L", FilterConfig::L()},       {"LP", FilterConfig::LP()},
+      {"LG", FilterConfig::LG()},     {"LGP", FilterConfig::LGP()},
+  };
+  int dominances_seen = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const int mq = 1 + static_cast<int>(rng.UniformInt(0, 3));
+    const UncertainObject q = RandomObject(-1, dim, mq, 10.0, 3.0, rng);
+    const int mu = 1 + static_cast<int>(rng.UniformInt(0, 4));
+    const int mv = 1 + static_cast<int>(rng.UniformInt(0, 4));
+    UncertainObject u = RandomObject(0, dim, mu, 10.0, 4.0, rng);
+    UncertainObject v = RandomObject(1, dim, mv, 10.0, 4.0, rng);
+    if (rng.Flip(0.5)) {
+      // Bias toward dominance: pull U's instances toward the query MBR
+      // center so interesting positives occur.
+      Point qc(dim);
+      for (int d = 0; d < dim; ++d) qc[d] = q.mbr().Center(d);
+      std::vector<double> coords;
+      for (int i = 0; i < v.num_instances(); ++i) {
+        const Point p = v.Instance(i);
+        for (int d = 0; d < dim; ++d) {
+          coords.push_back(qc[d] + (p[d] - qc[d]) * rng.Uniform(0.0, 0.9));
+        }
+      }
+      u = UncertainObject::Uniform(0, dim, std::move(coords));
+    }
+    const bool expected_s = BruteSSd(u, v, q);
+    const bool expected_ss = BruteSsSd(u, v, q);
+    const bool expected_p = BrutePSd(u, v, q);
+    const bool expected_f = BruteFSd(u, v, q);
+    if (expected_s) ++dominances_seen;
+    for (const auto& c : configs) {
+      EXPECT_EQ(Check(Operator::kSSd, u, v, q, c.config), expected_s)
+          << "S-SD " << c.name << " trial " << trial;
+      EXPECT_EQ(Check(Operator::kSsSd, u, v, q, c.config), expected_ss)
+          << "SS-SD " << c.name << " trial " << trial;
+      EXPECT_EQ(Check(Operator::kPSd, u, v, q, c.config), expected_p)
+          << "P-SD " << c.name << " trial " << trial;
+      EXPECT_EQ(Check(Operator::kFSd, u, v, q, c.config), expected_f)
+          << "F-SD " << c.name << " trial " << trial;
+    }
+  }
+  // The bias above should produce a healthy share of positives.
+  EXPECT_GT(dominances_seen, 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DominanceAgreement,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(DominanceWeighted, NonUniformProbabilitiesAgreeWithBruteForce) {
+  Rng rng(4242);
+  int positives = 0;
+  for (int trial = 0; trial < 80; ++trial) {
+    const UncertainObject q = RandomWeightedObject(-1, 2, 3, 10.0, 3.0, rng);
+    const UncertainObject v = RandomWeightedObject(1, 2, 4, 10.0, 4.0, rng);
+    // Shifted-toward-query U.
+    Point qc(2);
+    for (int d = 0; d < 2; ++d) qc[d] = q.mbr().Center(d);
+    std::vector<double> coords;
+    std::vector<double> weights;
+    for (int i = 0; i < v.num_instances(); ++i) {
+      const Point p = v.Instance(i);
+      for (int d = 0; d < 2; ++d) {
+        coords.push_back(qc[d] + (p[d] - qc[d]) * rng.Uniform(0.0, 0.95));
+      }
+      weights.push_back(v.Prob(i));
+    }
+    const UncertainObject u =
+        UncertainObject::FromWeighted(0, 2, std::move(coords), std::move(weights));
+    for (Operator op :
+         {Operator::kSSd, Operator::kSsSd, Operator::kPSd, Operator::kFSd}) {
+      bool expected = false;
+      switch (op) {
+        case Operator::kSSd:
+          expected = BruteSSd(u, v, q);
+          break;
+        case Operator::kSsSd:
+          expected = BruteSsSd(u, v, q);
+          break;
+        case Operator::kPSd:
+          expected = BrutePSd(u, v, q);
+          break;
+        default:
+          expected = BruteFSd(u, v, q);
+      }
+      if (expected) ++positives;
+      EXPECT_EQ(Check(op, u, v, q), expected)
+          << OperatorName(op) << " trial " << trial;
+    }
+  }
+  EXPECT_GT(positives, 10);
+}
+
+// ---------------------------------------------------------------------------
+// Structural theorems.
+// ---------------------------------------------------------------------------
+
+TEST(CoverChain, Theorem2OnRandomPairs) {
+  Rng rng(31);
+  int f = 0, p = 0, ss = 0, s = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    const int dim = 1 + static_cast<int>(rng.UniformInt(0, 2));
+    const UncertainObject q = RandomObject(-1, dim, 3, 10.0, 2.0, rng);
+    const UncertainObject v = RandomObject(1, dim, 3, 10.0, 3.0, rng);
+    Point qc(dim);
+    for (int d = 0; d < dim; ++d) qc[d] = q.mbr().Center(d);
+    std::vector<double> coords;
+    for (int i = 0; i < v.num_instances(); ++i) {
+      const Point pt = v.Instance(i);
+      for (int d = 0; d < dim; ++d) {
+        coords.push_back(qc[d] + (pt[d] - qc[d]) * rng.Uniform(0.0, 0.9));
+      }
+    }
+    const UncertainObject u = UncertainObject::Uniform(0, dim, std::move(coords));
+    const bool has_f = BruteFSd(u, v, q);
+    const bool has_p = BrutePSd(u, v, q);
+    const bool has_ss = BruteSsSd(u, v, q);
+    const bool has_s = BruteSSd(u, v, q);
+    if (has_f) {
+      EXPECT_TRUE(has_p) << trial;
+    }
+    if (has_p) {
+      EXPECT_TRUE(has_ss) << trial;
+    }
+    if (has_ss) {
+      EXPECT_TRUE(has_s) << trial;
+    }
+    f += has_f;
+    p += has_p;
+    ss += has_ss;
+    s += has_s;
+  }
+  // The chain must be strict overall: each operator fires at least as often
+  // as the ones it covers, with real gaps on this distribution.
+  EXPECT_LT(f, p);
+  EXPECT_LT(p, ss);
+  EXPECT_LE(ss, s);
+  EXPECT_GT(f, 0);
+}
+
+TEST(SingleInstanceQuery, Theorem3Collapse) {
+  Rng rng(77);
+  for (int trial = 0; trial < 150; ++trial) {
+    const int dim = 1 + static_cast<int>(rng.UniformInt(0, 2));
+    const UncertainObject q = RandomObject(-1, dim, 1, 10.0, 0.0, rng);
+    const UncertainObject u = RandomObject(0, dim, 3, 10.0, 4.0, rng);
+    const UncertainObject v = RandomObject(1, dim, 3, 10.0, 4.0, rng);
+    const bool s = Check(Operator::kSSd, u, v, q);
+    const bool ss = Check(Operator::kSsSd, u, v, q);
+    const bool p = Check(Operator::kPSd, u, v, q);
+    EXPECT_EQ(s, ss) << trial;
+    EXPECT_EQ(ss, p) << trial;
+    // F-SD remains strictly stronger (Theorem 3): it implies the others.
+    if (Check(Operator::kFSd, u, v, q)) {
+      EXPECT_TRUE(p) << trial;
+    }
+  }
+}
+
+TEST(MbrValidation, Theorem4) {
+  Rng rng(55);
+  int validated = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    const UncertainObject q = RandomObject(-1, 2, 3, 10.0, 2.0, rng);
+    const UncertainObject u = RandomObject(0, 2, 3, 10.0, 2.0, rng);
+    const UncertainObject v = RandomObject(1, 2, 3, 30.0, 2.0, rng);
+    if (MbrStrictlyDominates(u.mbr(), v.mbr(), q.mbr())) {
+      ++validated;
+      EXPECT_TRUE(BruteFSd(u, v, q));
+      EXPECT_TRUE(BrutePSd(u, v, q));
+      EXPECT_TRUE(BruteSsSd(u, v, q));
+      EXPECT_TRUE(BruteSSd(u, v, q));
+    }
+  }
+  EXPECT_GT(validated, 10);
+}
+
+TEST(Transitivity, Theorem9) {
+  Rng rng(66);
+  int chains = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    const int dim = 1 + static_cast<int>(rng.UniformInt(0, 1));
+    const UncertainObject q = RandomObject(-1, dim, 2, 10.0, 2.0, rng);
+    // Build a chain by repeated contraction toward the query center, which
+    // makes U <= V <= Z likely for all operators.
+    const UncertainObject z = RandomObject(2, dim, 3, 10.0, 3.0, rng);
+    Point qc(dim);
+    for (int d = 0; d < dim; ++d) qc[d] = q.mbr().Center(d);
+    auto contract = [&](const UncertainObject& src, int id, double factor) {
+      std::vector<double> coords;
+      for (int i = 0; i < src.num_instances(); ++i) {
+        const Point pt = src.Instance(i);
+        for (int d = 0; d < dim; ++d) {
+          coords.push_back(qc[d] + (pt[d] - qc[d]) * factor);
+        }
+      }
+      return UncertainObject::Uniform(id, dim, std::move(coords));
+    };
+    const UncertainObject v = contract(z, 1, rng.Uniform(0.3, 0.9));
+    const UncertainObject u = contract(v, 0, rng.Uniform(0.3, 0.9));
+    for (Operator op : {Operator::kSSd, Operator::kSsSd, Operator::kPSd,
+                        Operator::kFSd, Operator::kFPlusSd}) {
+      if (Check(op, u, v, q) && Check(op, v, z, q)) {
+        ++chains;
+        EXPECT_TRUE(Check(op, u, z, q))
+            << OperatorName(op) << " trial " << trial;
+      }
+    }
+  }
+  EXPECT_GT(chains, 30);
+}
+
+TEST(StatisticConditions, Theorem11) {
+  Rng rng(88);
+  for (int trial = 0; trial < 200; ++trial) {
+    const UncertainObject q = RandomObject(-1, 2, 2, 10.0, 2.0, rng);
+    const UncertainObject u = RandomObject(0, 2, 3, 10.0, 3.0, rng);
+    const UncertainObject v = RandomObject(1, 2, 3, 10.0, 3.0, rng);
+    if (BruteSSd(u, v, q)) {
+      const auto du = DistanceDistribution(u, q);
+      const auto dv = DistanceDistribution(v, q);
+      EXPECT_LE(du.Min(), dv.Min() + 1e-9);
+      EXPECT_LE(du.Mean(), dv.Mean() + 1e-9);
+      EXPECT_LE(du.Max(), dv.Max() + 1e-9);
+    }
+  }
+}
+
+TEST(FPlusSd, ImpliesInstanceLevelFSd) {
+  Rng rng(99);
+  int fired = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    const UncertainObject q = RandomObject(-1, 2, 3, 10.0, 2.0, rng);
+    const UncertainObject u = RandomObject(0, 2, 3, 10.0, 2.0, rng);
+    const UncertainObject v = RandomObject(1, 2, 3, 30.0, 2.0, rng);
+    if (Check(Operator::kFPlusSd, u, v, q)) {
+      ++fired;
+      EXPECT_TRUE(Check(Operator::kFSd, u, v, q)) << trial;
+    }
+  }
+  EXPECT_GT(fired, 10);
+}
+
+}  // namespace
+}  // namespace osd

@@ -1,0 +1,173 @@
+// Edge-case tests: degenerate objects and queries, coincident instances,
+// extreme dimensionalities, and boundary parameter values across the
+// whole stack.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/nnc_search.h"
+#include "nnfun/n1_functions.h"
+#include "nnfun/n3_functions.h"
+#include "test_util.h"
+
+namespace osd {
+namespace {
+
+bool Check(Operator op, const UncertainObject& u, const UncertainObject& v,
+           const UncertainObject& q) {
+  QueryContext ctx(q);
+  FilterStats stats;
+  DominanceOracle oracle(ctx, FilterConfig::All(), &stats);
+  ObjectProfile pu(u, ctx, &stats);
+  ObjectProfile pv(v, ctx, &stats);
+  return oracle.Dominates(op, pu, pv);
+}
+
+TEST(EdgeCases, SinglePointEverything) {
+  // All parties are single points: dominance degenerates to plain
+  // distance comparison.
+  const auto q = UncertainObject::Uniform(-1, 2, {0.0, 0.0});
+  const auto near = UncertainObject::Uniform(0, 2, {1.0, 0.0});
+  const auto far = UncertainObject::Uniform(1, 2, {2.0, 0.0});
+  for (Operator op : {Operator::kSSd, Operator::kSsSd, Operator::kPSd,
+                      Operator::kFSd, Operator::kFPlusSd}) {
+    EXPECT_TRUE(Check(op, near, far, q)) << OperatorName(op);
+    EXPECT_FALSE(Check(op, far, near, q)) << OperatorName(op);
+  }
+}
+
+TEST(EdgeCases, AllInstancesCoincide) {
+  // An object whose instances all sit on one point behaves like a single
+  // point with mass 1.
+  const auto q = UncertainObject::Uniform(-1, 2, {0.0, 0.0, 1.0, 1.0});
+  const auto blob = UncertainObject::Uniform(0, 2, {2.0, 2.0, 2.0, 2.0, 2.0, 2.0});
+  const auto single = UncertainObject::Uniform(1, 2, {2.0, 2.0});
+  // Same distance distribution => neither dominates the other.
+  for (Operator op : {Operator::kSSd, Operator::kSsSd, Operator::kPSd,
+                      Operator::kFSd}) {
+    EXPECT_FALSE(Check(op, blob, single, q)) << OperatorName(op);
+    EXPECT_FALSE(Check(op, single, blob, q)) << OperatorName(op);
+  }
+  EXPECT_NEAR(EmdDistance(blob, single), 0.0, 1e-9);
+}
+
+TEST(EdgeCases, EquidistantRingNoDominance) {
+  // Objects on a ring around a single-instance query are all equidistant:
+  // no object may dominate another, and NNC must contain all of them.
+  // Coordinates are 3-4-5 lattice points so every distance is EXACTLY 5
+  // in floating point (trigonometric ring points differ by ~1e-16, and
+  // then dominance genuinely holds mathematically).
+  const auto q = UncertainObject::Uniform(-1, 2, {0.0, 0.0});
+  std::vector<UncertainObject> objects;
+  const double ring[][2] = {{5, 0},  {-5, 0}, {0, 5},  {0, -5},
+                            {3, 4},  {4, 3},  {-3, 4}, {4, -3}};
+  const int n = 8;
+  for (int i = 0; i < n; ++i) {
+    objects.push_back(
+        UncertainObject::Uniform(i, 2, {ring[i][0], ring[i][1]}));
+  }
+  const Dataset dataset(objects);
+  for (Operator op : {Operator::kSSd, Operator::kSsSd, Operator::kPSd,
+                      Operator::kFSd, Operator::kFPlusSd}) {
+    NncOptions options;
+    options.op = op;
+    const auto result = NncSearch(dataset, options).Run(q);
+    EXPECT_EQ(result.candidates.size(), static_cast<size_t>(n))
+        << OperatorName(op);
+  }
+}
+
+TEST(EdgeCases, MaxDimensionality) {
+  Rng rng(61);
+  const int dim = Point::kMaxDim;
+  const auto q = test::RandomObject(-1, dim, 2, 10.0, 2.0, rng);
+  const auto v = test::RandomObject(1, dim, 3, 10.0, 3.0, rng);
+  Point qc(dim);
+  for (int d = 0; d < dim; ++d) qc[d] = q.mbr().Center(d);
+  std::vector<double> coords;
+  for (int k = 0; k < v.num_instances(); ++k) {
+    const Point p = v.Instance(k);
+    for (int d = 0; d < dim; ++d) {
+      coords.push_back(qc[d] + (p[d] - qc[d]) * 0.5);
+    }
+  }
+  const auto u = UncertainObject::Uniform(0, dim, std::move(coords));
+  // d = 8 exceeds the exact-hull dimensions; everything must still agree
+  // with brute force (hull falls back to all query instances).
+  EXPECT_EQ(Check(Operator::kSSd, u, v, q), test::BruteSSd(u, v, q));
+  EXPECT_EQ(Check(Operator::kSsSd, u, v, q), test::BruteSsSd(u, v, q));
+  EXPECT_EQ(Check(Operator::kPSd, u, v, q), test::BrutePSd(u, v, q));
+  EXPECT_EQ(Check(Operator::kFSd, u, v, q), test::BruteFSd(u, v, q));
+}
+
+TEST(EdgeCases, HighlySkewedProbabilities) {
+  // One instance carries almost all mass.
+  const auto q = UncertainObject::Uniform(-1, 1, {0.0});
+  const auto u = UncertainObject(0, 1, {1.0, 100.0}, {0.999, 0.001});
+  const auto v = UncertainObject(1, 1, {2.0, 100.0}, {0.999, 0.001});
+  EXPECT_EQ(Check(Operator::kSSd, u, v, q), test::BruteSSd(u, v, q));
+  EXPECT_EQ(Check(Operator::kPSd, u, v, q), test::BrutePSd(u, v, q));
+  EXPECT_TRUE(Check(Operator::kPSd, u, v, q));
+}
+
+TEST(EdgeCases, VastlyDifferentInstanceCounts) {
+  Rng rng(67);
+  const auto q = test::RandomObject(-1, 2, 2, 10.0, 2.0, rng);
+  const auto big = test::RandomObject(0, 2, 18, 10.0, 3.0, rng);
+  const auto small = test::RandomObject(1, 2, 1, 10.0, 0.0, rng);
+  EXPECT_EQ(Check(Operator::kSSd, big, small, q),
+            test::BruteSSd(big, small, q));
+  EXPECT_EQ(Check(Operator::kSSd, small, big, q),
+            test::BruteSSd(small, big, q));
+  EXPECT_EQ(Check(Operator::kPSd, big, small, q),
+            test::BrutePSd(big, small, q));
+  EXPECT_EQ(Check(Operator::kPSd, small, big, q),
+            test::BrutePSd(small, big, q));
+}
+
+TEST(EdgeCases, QueryCoincidesWithObjectInstance) {
+  // Distances of zero must not confuse the scans or the flow reduction.
+  const auto q = UncertainObject::Uniform(-1, 2, {1.0, 1.0, 3.0, 3.0});
+  const auto u = UncertainObject::Uniform(0, 2, {1.0, 1.0, 3.0, 3.0});
+  const auto v = UncertainObject::Uniform(1, 2, {10.0, 10.0});
+  EXPECT_TRUE(Check(Operator::kPSd, u, v, q));
+  EXPECT_TRUE(Check(Operator::kFSd, u, v, q));
+  EXPECT_FALSE(Check(Operator::kSSd, v, u, q));
+  EXPECT_DOUBLE_EQ(MinDistance(u, q), 0.0);
+}
+
+TEST(EdgeCases, CollinearQueryHull) {
+  // Query instances on a line: the 2-d hull has exactly the 2 endpoints,
+  // and dominance decisions still match brute force.
+  const auto q =
+      UncertainObject::Uniform(-1, 2, {0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0});
+  const QueryContext ctx(q);
+  EXPECT_EQ(ctx.hull().size(), 2u);
+  Rng rng(71);
+  for (int t = 0; t < 50; ++t) {
+    const auto u = test::RandomObject(0, 2, 3, 6.0, 3.0, rng);
+    const auto v = test::RandomObject(1, 2, 3, 6.0, 3.0, rng);
+    EXPECT_EQ(Check(Operator::kPSd, u, v, q), test::BrutePSd(u, v, q)) << t;
+    EXPECT_EQ(Check(Operator::kFSd, u, v, q), test::BruteFSd(u, v, q)) << t;
+  }
+}
+
+TEST(EdgeCases, TwoObjectDatasets) {
+  // Minimal interesting dataset: exactly one object dominates the other.
+  const auto q = UncertainObject::Uniform(-1, 2, {0.0, 0.0});
+  std::vector<UncertainObject> objects = {
+      UncertainObject::Uniform(0, 2, {1.0, 0.0, 0.0, 1.0}),
+      UncertainObject::Uniform(1, 2, {5.0, 0.0, 0.0, 5.0}),
+  };
+  const Dataset dataset(std::move(objects));
+  for (Operator op : {Operator::kSSd, Operator::kPSd, Operator::kFSd}) {
+    NncOptions options;
+    options.op = op;
+    const auto result = NncSearch(dataset, options).Run(q);
+    EXPECT_EQ(result.candidates, std::vector<int>{0}) << OperatorName(op);
+  }
+}
+
+}  // namespace
+}  // namespace osd

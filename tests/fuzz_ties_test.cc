@@ -1,0 +1,104 @@
+// Adversarial fuzzing for the tie handling of the NNC search: objects on
+// integer lattices produce massive distance ties, exact duplicates, and
+// min-distance-order inversions — the regime where Algorithm 1's access-
+// order argument is weakest and the final cleanup must restore exactness.
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/nnc_search.h"
+#include "test_util.h"
+
+namespace osd {
+namespace {
+
+// Lattice object: instances on small-integer coordinates.
+UncertainObject LatticeObject(int id, int dim, int m, int span, Rng& rng) {
+  std::vector<double> coords;
+  for (int k = 0; k < m; ++k) {
+    for (int d = 0; d < dim; ++d) {
+      coords.push_back(static_cast<double>(rng.UniformInt(0, span)));
+    }
+  }
+  return UncertainObject::Uniform(id, dim, std::move(coords));
+}
+
+class TieFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(TieFuzz, NncExactUnderMassiveTies) {
+  Rng rng(GetParam() * 7 + 1);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int dim = 1 + static_cast<int>(rng.UniformInt(0, 1));
+    const int span = 3 + static_cast<int>(rng.UniformInt(0, 3));
+    std::vector<UncertainObject> objects;
+    const int n = 20 + static_cast<int>(rng.UniformInt(0, 15));
+    for (int i = 0; i < n; ++i) {
+      const int m = 1 + static_cast<int>(rng.UniformInt(0, 2));
+      objects.push_back(LatticeObject(i, dim, m, span, rng));
+    }
+    // Inject an exact duplicate of object 0 (the search keys objects by
+    // position, so the shared id field is irrelevant).
+    objects[n - 1] = objects[0];
+    const UncertainObject query = LatticeObject(-1, dim, 2, span, rng);
+
+    for (Operator op : {Operator::kSSd, Operator::kSsSd, Operator::kPSd,
+                        Operator::kFSd}) {
+      auto brute = [op](const UncertainObject& u, const UncertainObject& v,
+                        const UncertainObject& q) {
+        switch (op) {
+          case Operator::kSSd:
+            return test::BruteSSd(u, v, q);
+          case Operator::kSsSd:
+            return test::BruteSsSd(u, v, q);
+          case Operator::kPSd:
+            return test::BrutePSd(u, v, q);
+          default:
+            return test::BruteFSd(u, v, q);
+        }
+      };
+      const auto expected = test::BruteNnc(objects, query, brute);
+      const Dataset dataset(objects);
+      NncOptions options;
+      options.op = op;
+      const auto result = NncSearch(dataset, options).Run(query);
+      EXPECT_EQ(
+          std::set<int>(result.candidates.begin(), result.candidates.end()),
+          std::set<int>(expected.begin(), expected.end()))
+          << OperatorName(op) << " trial " << trial << " span " << span;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TieFuzz, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(TieFuzzDirected, CoLocatedObjectsWithDifferentMixtures) {
+  // Objects sharing support points but with different probability splits:
+  // stochastic dominance reduces to probability-vector comparisons.
+  const UncertainObject q = UncertainObject::Uniform(-1, 1, {0.0});
+  std::vector<UncertainObject> objects;
+  objects.push_back(UncertainObject(0, 1, {1.0, 5.0}, {0.8, 0.2}));
+  objects.push_back(UncertainObject(1, 1, {1.0, 5.0}, {0.5, 0.5}));
+  objects.push_back(UncertainObject(2, 1, {1.0, 5.0}, {0.2, 0.8}));
+  // 0 dominates 1 dominates 2 under every operator that looks at the
+  // distributions (identical supports, shifted mass).
+  EXPECT_TRUE(test::BruteSSd(objects[0], objects[1], q));
+  EXPECT_TRUE(test::BruteSSd(objects[1], objects[2], q));
+  EXPECT_TRUE(test::BrutePSd(objects[0], objects[2], q));
+  const Dataset dataset(objects);
+  for (Operator op : {Operator::kSSd, Operator::kSsSd, Operator::kPSd}) {
+    NncOptions options;
+    options.op = op;
+    const auto result = NncSearch(dataset, options).Run(q);
+    EXPECT_EQ(result.candidates, std::vector<int>{0}) << OperatorName(op);
+  }
+  // F-SD cannot separate them (cross pairs tie), so all three survive.
+  NncOptions options;
+  options.op = Operator::kFSd;
+  const auto result = NncSearch(dataset, options).Run(q);
+  EXPECT_EQ(result.candidates.size(), 3u);
+}
+
+}  // namespace
+}  // namespace osd

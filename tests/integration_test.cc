@@ -1,0 +1,144 @@
+// End-to-end integration tests on generated datasets: the full pipeline
+// (generator -> dataset -> workload -> NNC search -> NN-function ranking)
+// at small scale, validated against brute force.
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/nnc_search.h"
+#include "datagen/generators.h"
+#include "datagen/surrogates.h"
+#include "datagen/workload.h"
+#include "nnfun/n1_functions.h"
+#include "nnfun/n3_functions.h"
+#include "test_util.h"
+
+namespace osd {
+namespace {
+
+TEST(Integration, SyntheticPipelineMatchesBruteForce) {
+  SyntheticParams params;
+  params.dim = 3;
+  params.num_objects = 120;
+  params.instances_per_object = 8;
+  params.object_edge = 800.0;  // large edges -> heavy overlap
+  params.seed = 11;
+  const Dataset dataset = GenerateSynthetic(params);
+
+  WorkloadParams wp;
+  wp.num_queries = 3;
+  wp.query_instances = 6;
+  wp.query_edge = 400.0;
+  const auto workload = GenerateWorkload(dataset, wp);
+
+  for (const auto& entry : workload) {
+    for (Operator op : {Operator::kSSd, Operator::kSsSd, Operator::kPSd,
+                        Operator::kFSd}) {
+      NncOptions options;
+      options.op = op;
+      options.exclude_id = entry.seeded_from;
+      const auto result = NncSearch(dataset, options).Run(entry.query);
+
+      auto brute_dominates = [op](const UncertainObject& u,
+                                  const UncertainObject& v,
+                                  const UncertainObject& q) {
+        switch (op) {
+          case Operator::kSSd:
+            return test::BruteSSd(u, v, q);
+          case Operator::kSsSd:
+            return test::BruteSsSd(u, v, q);
+          case Operator::kPSd:
+            return test::BrutePSd(u, v, q);
+          default:
+            return test::BruteFSd(u, v, q);
+        }
+      };
+      const auto expected =
+          test::BruteNnc(dataset.objects(), entry.query, brute_dominates,
+                         entry.seeded_from);
+      EXPECT_EQ(std::set<int>(result.candidates.begin(),
+                              result.candidates.end()),
+                std::set<int>(expected.begin(), expected.end()))
+          << OperatorName(op);
+    }
+  }
+}
+
+TEST(Integration, SurrogateScaleSmokeRun) {
+  // A reduced USA surrogate end-to-end: candidates found, nesting holds,
+  // the expected-distance optimum is inside NNC(S-SD).
+  const Dataset usa = UsaLike(3'000, 6, 400.0, 3);
+  WorkloadParams wp;
+  wp.num_queries = 2;
+  wp.query_instances = 10;
+  const auto workload = GenerateWorkload(usa, wp);
+
+  for (const auto& entry : workload) {
+    std::vector<std::set<int>> sets;
+    for (Operator op : {Operator::kSSd, Operator::kSsSd, Operator::kPSd,
+                        Operator::kFSd, Operator::kFPlusSd}) {
+      NncOptions options;
+      options.op = op;
+      options.exclude_id = entry.seeded_from;
+      const auto result = NncSearch(usa, options).Run(entry.query);
+      ASSERT_FALSE(result.candidates.empty()) << OperatorName(op);
+      sets.emplace_back(result.candidates.begin(), result.candidates.end());
+    }
+    for (size_t i = 0; i + 1 < sets.size(); ++i) {
+      EXPECT_TRUE(std::includes(sets[i + 1].begin(), sets[i + 1].end(),
+                                sets[i].begin(), sets[i].end()))
+          << "nesting violated between level " << i << " and " << i + 1;
+    }
+    // The expected-distance NN must be inside NNC(S-SD).
+    double best = 1e300;
+    int best_id = -1;
+    for (int i = 0; i < usa.size(); ++i) {
+      if (i == entry.seeded_from) continue;
+      const double d = ExpectedDistance(usa.object(i), entry.query);
+      if (d < best) {
+        best = d;
+        best_id = i;
+      }
+    }
+    EXPECT_TRUE(sets[0].count(best_id));
+    // The EMD NN must be inside NNC(P-SD).
+    double best_emd = 1e300;
+    int best_emd_id = -1;
+    for (int id : sets[3]) {  // F-SD superset keeps this affordable
+      const double d = EmdDistance(usa.object(id), entry.query);
+      if (d < best_emd) {
+        best_emd = d;
+        best_emd_id = id;
+      }
+    }
+    EXPECT_TRUE(sets[2].count(best_emd_id))
+        << "EMD optimum escaped NNC(P-SD)";
+  }
+}
+
+TEST(Integration, ProgressiveEmissionOrderRoughlyByDistance) {
+  // Candidates should stream roughly in min-distance order: the first
+  // emitted candidate has the (equal-)smallest MBR distance among all
+  // candidates.
+  const Dataset ca = CaLike(5);
+  WorkloadParams wp;
+  wp.num_queries = 1;
+  const auto workload = GenerateWorkload(ca, wp);
+  NncOptions options;
+  options.op = Operator::kSsSd;
+  options.exclude_id = workload[0].seeded_from;
+  const auto result = NncSearch(ca, options).Run(workload[0].query);
+  ASSERT_GE(result.timeline.size(), 2u);
+  const Mbr& qmbr = workload[0].query.mbr();
+  const double first =
+      ca.object(result.timeline.front().object_id).mbr().MinSquaredDist(qmbr);
+  for (const auto& e : result.timeline) {
+    EXPECT_GE(ca.object(e.object_id).mbr().MinSquaredDist(qmbr) + 1e-9, first);
+  }
+}
+
+}  // namespace
+}  // namespace osd

@@ -1,0 +1,154 @@
+// Tests for dataset persistence: text and binary round-trips, the
+// weighted import path, and error handling on malformed input.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/dataset_io.h"
+#include "test_util.h"
+
+namespace osd {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::vector<UncertainObject> SampleObjects() {
+  Rng rng(101);
+  std::vector<UncertainObject> objects;
+  for (int i = 0; i < 7; ++i) {
+    objects.push_back(
+        test::RandomWeightedObject(i, 3, 2 + (i % 4), 100.0, 10.0, rng));
+  }
+  return objects;
+}
+
+void ExpectSameObjects(const std::vector<UncertainObject>& a,
+                       const std::vector<UncertainObject>& b,
+                       double tol) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id(), b[i].id());
+    ASSERT_EQ(a[i].dim(), b[i].dim());
+    ASSERT_EQ(a[i].num_instances(), b[i].num_instances());
+    for (int k = 0; k < a[i].num_instances(); ++k) {
+      EXPECT_NEAR(a[i].Prob(k), b[i].Prob(k), tol);
+      for (int d = 0; d < a[i].dim(); ++d) {
+        EXPECT_NEAR(a[i].Instance(k)[d], b[i].Instance(k)[d], tol);
+      }
+    }
+  }
+}
+
+TEST(DatasetIoTest, TextRoundTrip) {
+  const auto objects = SampleObjects();
+  const std::string path = TempPath("roundtrip.txt");
+  std::string error;
+  ASSERT_TRUE(SaveText(objects, path, &error)) << error;
+  std::vector<UncertainObject> loaded;
+  ASSERT_TRUE(LoadText(path, &loaded, &error)) << error;
+  ExpectSameObjects(objects, loaded, 1e-12);
+}
+
+TEST(DatasetIoTest, BinaryRoundTripIsExact) {
+  const auto objects = SampleObjects();
+  const std::string path = TempPath("roundtrip.bin");
+  std::string error;
+  ASSERT_TRUE(SaveBinary(objects, path, &error)) << error;
+  std::vector<UncertainObject> loaded;
+  ASSERT_TRUE(LoadBinary(path, &loaded, &error)) << error;
+  ExpectSameObjects(objects, loaded, 0.0);
+}
+
+TEST(DatasetIoTest, WeightedImportNormalizes) {
+  const std::string path = TempPath("weighted.txt");
+  {
+    std::ofstream out(path);
+    out << "osd-dataset 1 2 1\n";
+    out << "42 3\n";
+    out << "0 0 2\n";
+    out << "1 0 2\n";
+    out << "2 0 4\n";  // weights 2,2,4 -> probabilities .25,.25,.5
+  }
+  std::vector<UncertainObject> loaded;
+  std::string error;
+  ASSERT_TRUE(LoadTextWeighted(path, &loaded, &error)) << error;
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].id(), 42);
+  EXPECT_DOUBLE_EQ(loaded[0].Prob(0), 0.25);
+  EXPECT_DOUBLE_EQ(loaded[0].Prob(2), 0.5);
+}
+
+TEST(DatasetIoTest, RejectsMissingFile) {
+  std::vector<UncertainObject> loaded;
+  std::string error;
+  EXPECT_FALSE(LoadText(TempPath("does_not_exist.txt"), &loaded, &error));
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+TEST(DatasetIoTest, RejectsBadHeader) {
+  const std::string path = TempPath("bad_header.txt");
+  {
+    std::ofstream out(path);
+    out << "not-a-dataset 1 2 3\n";
+  }
+  std::vector<UncertainObject> loaded;
+  std::string error;
+  EXPECT_FALSE(LoadText(path, &loaded, &error));
+  EXPECT_NE(error.find("bad header"), std::string::npos);
+}
+
+TEST(DatasetIoTest, RejectsTruncatedText) {
+  const std::string path = TempPath("truncated.txt");
+  {
+    std::ofstream out(path);
+    out << "osd-dataset 1 2 1\n";
+    out << "0 2\n";
+    out << "1 1 0.5\n";  // second instance missing
+  }
+  std::vector<UncertainObject> loaded;
+  std::string error;
+  EXPECT_FALSE(LoadText(path, &loaded, &error));
+}
+
+TEST(DatasetIoTest, RejectsCorruptBinary) {
+  const std::string path = TempPath("corrupt.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "garbage";
+  }
+  std::vector<UncertainObject> loaded;
+  std::string error;
+  EXPECT_FALSE(LoadBinary(path, &loaded, &error));
+}
+
+TEST(DatasetIoTest, RejectsExcessiveDimension) {
+  const std::string path = TempPath("bad_dim.txt");
+  {
+    std::ofstream out(path);
+    out << "osd-dataset 1 99 1\n";
+  }
+  std::vector<UncertainObject> loaded;
+  std::string error;
+  EXPECT_FALSE(LoadText(path, &loaded, &error));
+}
+
+TEST(DatasetIoTest, LoadedDatasetIsQueryable) {
+  const auto objects = SampleObjects();
+  const std::string path = TempPath("queryable.bin");
+  std::string error;
+  ASSERT_TRUE(SaveBinary(objects, path, &error)) << error;
+  std::vector<UncertainObject> loaded;
+  ASSERT_TRUE(LoadBinary(path, &loaded, &error)) << error;
+  const Dataset dataset(std::move(loaded));
+  EXPECT_EQ(dataset.size(), static_cast<int>(objects.size()));
+  EXPECT_TRUE(dataset.global_tree().bounds().valid());
+}
+
+}  // namespace
+}  // namespace osd

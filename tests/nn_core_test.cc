@@ -1,0 +1,142 @@
+// Tests for the NN-core baseline [Yuen et al. 2010] and the paper's
+// Figure-1 motivation: NN-core can exclude objects that are the NN under
+// popular NN functions, while the spatial-dominance NNC keeps them.
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/nn_core.h"
+#include "core/nnc_search.h"
+#include "nnfun/n1_functions.h"
+#include "test_util.h"
+
+namespace osd {
+namespace {
+
+// The Figure-1 ensemble realized in 1-d: q single-instance at 0; each
+// object has two instances with probabilities 0.6 / 0.4. Constructed so
+// that A supersedes B, A supersedes C, B supersedes C (core = {A}), yet
+// A is the min-distance NN, B the expected-distance NN, and C the
+// max-distance NN.
+struct Figure1 {
+  UncertainObject q = UncertainObject::Uniform(-1, 1, {0.0});
+  UncertainObject a = UncertainObject(0, 1, {1.0, 100.0}, {0.6, 0.4});
+  UncertainObject b = UncertainObject(1, 1, {2.0, 60.0}, {0.6, 0.4});
+  UncertainObject c = UncertainObject(2, 1, {8.0, 55.0}, {0.6, 0.4});
+};
+
+TEST(NnCoreTest, Figure1SupersedeRelations) {
+  const Figure1 f;
+  EXPECT_NEAR(SupersedeProbability(f.a, f.b, f.q), 0.6, 1e-12);
+  EXPECT_TRUE(Supersedes(f.a, f.b, f.q));
+  EXPECT_TRUE(Supersedes(f.a, f.c, f.q));
+  EXPECT_TRUE(Supersedes(f.b, f.c, f.q));
+  EXPECT_FALSE(Supersedes(f.b, f.a, f.q));
+  EXPECT_FALSE(Supersedes(f.c, f.a, f.q));
+}
+
+TEST(NnCoreTest, Figure1CoreIsA) {
+  const Figure1 f;
+  const std::vector<UncertainObject> objects = {f.a, f.b, f.c};
+  EXPECT_EQ(NnCore(objects, f.q), std::vector<int>{0});
+}
+
+TEST(NnCoreTest, Figure1CoreMissesNnObjects) {
+  // The paper's motivating claim: under max distance C is the NN, under
+  // expected distance B is the NN -- both outside the NN-core -- while
+  // NNC(S-SD) retains all three.
+  const Figure1 f;
+  const std::vector<UncertainObject> objects = {f.a, f.b, f.c};
+  EXPECT_LT(MinDistance(f.a, f.q), MinDistance(f.b, f.q));
+  EXPECT_LT(ExpectedDistance(f.b, f.q), ExpectedDistance(f.a, f.q));
+  EXPECT_LT(ExpectedDistance(f.b, f.q), ExpectedDistance(f.c, f.q));
+  EXPECT_LT(MaxDistance(f.c, f.q), MaxDistance(f.a, f.q));
+  EXPECT_LT(MaxDistance(f.c, f.q), MaxDistance(f.b, f.q));
+
+  const Dataset dataset(objects);
+  NncOptions options;
+  options.op = Operator::kSSd;
+  const auto nnc = NncSearch(dataset, options).Run(f.q).candidates;
+  EXPECT_EQ(std::set<int>(nnc.begin(), nnc.end()),
+            (std::set<int>{0, 1, 2}));
+}
+
+TEST(NnCoreTest, NonTransitiveCycleKeepsAllThree) {
+  // Intransitive-dice configuration: supersede relations form a cycle, so
+  // the sink SCC (and hence the core) is all three objects.
+  // Dice values become 1-d distances from q = 0 (smaller wins); with
+  //   A = {2, 4, 9}, B = {1, 6, 8}, C = {3, 5, 7} (uniform thirds)
+  // the 5/9-majority cycle is B beats A, A beats C, C beats B.
+  const UncertainObject q = UncertainObject::Uniform(-1, 1, {0.0});
+  const UncertainObject a = UncertainObject::Uniform(0, 1, {2.0, 4.0, 9.0});
+  const UncertainObject b = UncertainObject::Uniform(1, 1, {1.0, 6.0, 8.0});
+  const UncertainObject c = UncertainObject::Uniform(2, 1, {3.0, 5.0, 7.0});
+  EXPECT_TRUE(Supersedes(b, a, q));
+  EXPECT_TRUE(Supersedes(a, c, q));
+  EXPECT_TRUE(Supersedes(c, b, q));
+  const std::vector<UncertainObject> objects = {a, b, c};
+  EXPECT_EQ(NnCore(objects, q).size(), 3u);
+}
+
+TEST(NnCoreTest, SupersedeProbabilityProperties) {
+  Rng rng(83);
+  for (int t = 0; t < 100; ++t) {
+    const auto q = test::RandomObject(-1, 2, 3, 10.0, 3.0, rng);
+    const auto u = test::RandomWeightedObject(0, 2, 4, 10.0, 4.0, rng);
+    const auto v = test::RandomWeightedObject(1, 2, 3, 10.0, 4.0, rng);
+    const double puv = SupersedeProbability(u, v, q);
+    const double pvu = SupersedeProbability(v, u, q);
+    EXPECT_NEAR(puv + pvu, 1.0, 1e-9);  // complementary with half-ties
+    EXPECT_GE(puv, 0.0);
+    EXPECT_LE(puv, 1.0);
+    EXPECT_NEAR(SupersedeProbability(u, u, q), 0.5, 1e-9);
+  }
+}
+
+TEST(NnCoreTest, FullDominanceImpliesSupersede) {
+  // If U fully spatially dominates V, U beats V in every world.
+  Rng rng(89);
+  int seen = 0;
+  for (int t = 0; t < 200; ++t) {
+    const auto q = test::RandomObject(-1, 2, 3, 10.0, 2.0, rng);
+    const auto u = test::RandomObject(0, 2, 3, 10.0, 2.0, rng);
+    const auto v = test::RandomObject(1, 2, 3, 30.0, 2.0, rng);
+    if (test::BruteFSd(u, v, q)) {
+      ++seen;
+      EXPECT_GE(SupersedeProbability(u, v, q), 0.5);
+    }
+  }
+  EXPECT_GT(seen, 10);
+}
+
+TEST(NnCoreTest, SingleObject) {
+  const UncertainObject q = UncertainObject::Uniform(-1, 1, {0.0});
+  const std::vector<UncertainObject> objects = {
+      UncertainObject::Uniform(0, 1, {5.0})};
+  EXPECT_EQ(NnCore(objects, q), std::vector<int>{0});
+}
+
+TEST(NnCoreTest, CoreIsSubsetOfSsdNnc) {
+  // Empirically on random ensembles: the NN-core is (weakly) more
+  // aggressive than NNC(S-SD) -- the Fig. 5 intuition.
+  Rng rng(97);
+  for (int t = 0; t < 10; ++t) {
+    std::vector<UncertainObject> objects;
+    for (int i = 0; i < 12; ++i) {
+      objects.push_back(test::RandomObject(i, 2, 3, 10.0, 4.0, rng));
+    }
+    const auto q = test::RandomObject(-1, 2, 2, 10.0, 2.0, rng);
+    const auto core = NnCore(objects, q);
+    const Dataset dataset(objects);
+    NncOptions options;
+    options.op = Operator::kSSd;
+    const auto nnc = NncSearch(dataset, options).Run(q).candidates;
+    EXPECT_LE(core.size(), nnc.size()) << "trial " << t;
+  }
+}
+
+}  // namespace
+}  // namespace osd

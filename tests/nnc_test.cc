@@ -1,0 +1,296 @@
+// Tests for the NNC computation (Algorithm 1): equality with the
+// brute-force candidate set for every operator and filter configuration,
+// candidate-set nesting across operators (Fig. 5), query exclusion, and
+// progressive emission behaviour.
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/nnc_search.h"
+#include "nnfun/n1_functions.h"
+#include "test_util.h"
+
+namespace osd {
+namespace {
+
+using test::BruteFSd;
+using test::BruteNnc;
+using test::BrutePSd;
+using test::BruteSSd;
+using test::BruteSsSd;
+using test::RandomObject;
+
+std::set<int> AsSet(const std::vector<int>& v) {
+  return std::set<int>(v.begin(), v.end());
+}
+
+std::vector<UncertainObject> RandomObjects(int n, int dim, double span,
+                                           Rng& rng) {
+  std::vector<UncertainObject> objects;
+  for (int i = 0; i < n; ++i) {
+    const int m = 1 + static_cast<int>(rng.UniformInt(0, 4));
+    objects.push_back(RandomObject(i, dim, m, span, 3.0, rng));
+  }
+  return objects;
+}
+
+// Brute-force F+-SD (MBR-level) for the reference NNC.
+bool BruteFPlusSd(const UncertainObject& u, const UncertainObject& v,
+                  const UncertainObject& q) {
+  return MbrStrictlyDominates(u.mbr(), v.mbr(), q.mbr());
+}
+
+class NncAgreement : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(NncAgreement, MatchesBruteForceAcrossOperatorsAndConfigs) {
+  const auto [dim, seed] = GetParam();
+  Rng rng(seed * 1777 + dim);
+  for (int trial = 0; trial < 6; ++trial) {
+    const int n = 20 + static_cast<int>(rng.UniformInt(0, 30));
+    auto objects = RandomObjects(n, dim, 20.0, rng);
+    const Dataset dataset(std::move(objects));
+    const UncertainObject query = RandomObject(-1, dim, 3, 20.0, 3.0, rng);
+
+    struct OpCase {
+      Operator op;
+      std::vector<int> expected;
+    };
+    std::vector<OpCase> cases = {
+        {Operator::kSSd, BruteNnc(dataset.objects(), query, BruteSSd)},
+        {Operator::kSsSd, BruteNnc(dataset.objects(), query, BruteSsSd)},
+        {Operator::kPSd, BruteNnc(dataset.objects(), query, BrutePSd)},
+        {Operator::kFSd, BruteNnc(dataset.objects(), query, BruteFSd)},
+        {Operator::kFPlusSd,
+         BruteNnc(dataset.objects(), query, BruteFPlusSd)},
+    };
+    for (const auto& c : cases) {
+      for (const FilterConfig& cfg :
+           {FilterConfig::All(), FilterConfig::BruteForce(),
+            FilterConfig::LGP()}) {
+        NncOptions options;
+        options.op = c.op;
+        options.filters = cfg;
+        const NncResult result = NncSearch(dataset, options).Run(query);
+        EXPECT_EQ(AsSet(result.candidates), AsSet(c.expected))
+            << OperatorName(c.op) << " trial " << trial;
+      }
+    }
+
+    // Candidate nesting (Fig. 5): NNC(S) <= NNC(SS) <= NNC(P) <= NNC(F)
+    // <= NNC(F+).
+    const auto s = AsSet(cases[0].expected);
+    const auto ss = AsSet(cases[1].expected);
+    const auto p = AsSet(cases[2].expected);
+    const auto f = AsSet(cases[3].expected);
+    const auto fp = AsSet(cases[4].expected);
+    EXPECT_TRUE(std::includes(ss.begin(), ss.end(), s.begin(), s.end()));
+    EXPECT_TRUE(std::includes(p.begin(), p.end(), ss.begin(), ss.end()));
+    EXPECT_TRUE(std::includes(f.begin(), f.end(), p.begin(), p.end()));
+    EXPECT_TRUE(std::includes(fp.begin(), fp.end(), f.begin(), f.end()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, NncAgreement,
+                         ::testing::Combine(::testing::Values(2, 3),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(NncSearchTest, ExcludesTheQueryObject) {
+  Rng rng(10);
+  auto objects = RandomObjects(25, 2, 15.0, rng);
+  const UncertainObject query = objects[7];  // query drawn from the dataset
+  const Dataset dataset(std::move(objects));
+  NncOptions options;
+  options.op = Operator::kSSd;
+  options.exclude_id = 7;
+  const NncResult result = NncSearch(dataset, options).Run(query);
+  for (int id : result.candidates) EXPECT_NE(id, 7);
+  const auto expected =
+      BruteNnc(dataset.objects(), query, BruteSSd, /*exclude_id=*/7);
+  EXPECT_EQ(AsSet(result.candidates), AsSet(expected));
+}
+
+TEST(NncSearchTest, ProgressiveTimelineIsSupersetOfResult) {
+  Rng rng(20);
+  auto objects = RandomObjects(40, 2, 15.0, rng);
+  const Dataset dataset(std::move(objects));
+  const UncertainObject query = RandomObject(-1, 2, 3, 15.0, 3.0, rng);
+  NncOptions options;
+  options.op = Operator::kPSd;
+  std::vector<int> streamed;
+  const NncResult result = NncSearch(dataset, options)
+                               .Run(query, [&](int id, double elapsed) {
+                                 EXPECT_GE(elapsed, 0.0);
+                                 streamed.push_back(id);
+                               });
+  EXPECT_EQ(streamed.size(), result.timeline.size());
+  const auto emitted = AsSet(streamed);
+  for (int id : result.candidates) {
+    EXPECT_TRUE(emitted.count(id)) << id;
+  }
+  // Timestamps are non-decreasing.
+  for (size_t i = 1; i < result.timeline.size(); ++i) {
+    EXPECT_GE(result.timeline[i].elapsed_seconds,
+              result.timeline[i - 1].elapsed_seconds);
+  }
+}
+
+TEST(NncSearchTest, DuplicateObjectsBothSurvive) {
+  // Identical objects cannot dominate each other (U_Q != V_Q), so both
+  // must be candidates if neither is dominated by a third object.
+  std::vector<UncertainObject> objects;
+  objects.push_back(UncertainObject::Uniform(0, 2, {1.0, 1.0, 2.0, 2.0}));
+  objects.push_back(UncertainObject::Uniform(1, 2, {1.0, 1.0, 2.0, 2.0}));
+  objects.push_back(UncertainObject::Uniform(2, 2, {50.0, 50.0, 60.0, 60.0}));
+  const Dataset dataset(std::move(objects));
+  const UncertainObject query = UncertainObject::Uniform(-1, 2, {0.0, 0.0});
+  for (Operator op : {Operator::kSSd, Operator::kSsSd, Operator::kPSd,
+                      Operator::kFSd, Operator::kFPlusSd}) {
+    NncOptions options;
+    options.op = op;
+    const NncResult result = NncSearch(dataset, options).Run(query);
+    const auto got = AsSet(result.candidates);
+    EXPECT_TRUE(got.count(0)) << OperatorName(op);
+    EXPECT_TRUE(got.count(1)) << OperatorName(op);
+    EXPECT_FALSE(got.count(2)) << OperatorName(op);
+  }
+}
+
+TEST(NncSearchTest, SingleObjectDatasetReturnsIt) {
+  std::vector<UncertainObject> objects;
+  objects.push_back(UncertainObject::Uniform(0, 2, {5.0, 5.0}));
+  const Dataset dataset(std::move(objects));
+  const UncertainObject query = UncertainObject::Uniform(-1, 2, {0.0, 0.0});
+  NncOptions options;
+  const NncResult result = NncSearch(dataset, options).Run(query);
+  EXPECT_EQ(result.candidates, std::vector<int>{0});
+}
+
+TEST(NncSearchTest, StatsAreAccumulated) {
+  Rng rng(30);
+  auto objects = RandomObjects(50, 2, 15.0, rng);
+  const Dataset dataset(std::move(objects));
+  const UncertainObject query = RandomObject(-1, 2, 3, 15.0, 3.0, rng);
+  NncOptions options;
+  options.op = Operator::kSSd;
+  const NncResult result = NncSearch(dataset, options).Run(query);
+  EXPECT_GT(result.stats.dominance_checks, 0);
+  EXPECT_GT(result.objects_examined, 0);
+  EXPECT_GT(result.seconds, 0.0);
+}
+
+// Brute-force k-NNC: an object survives while fewer than k others
+// dominate it.
+template <typename DominatesFn>
+std::vector<int> BruteKNnc(const std::vector<UncertainObject>& objects,
+                           const UncertainObject& query,
+                           DominatesFn dominates, int k) {
+  std::vector<int> result;
+  for (size_t v = 0; v < objects.size(); ++v) {
+    int dominators = 0;
+    for (size_t u = 0; u < objects.size() && dominators < k; ++u) {
+      if (u == v) continue;
+      if (dominates(objects[u], objects[v], query)) ++dominators;
+    }
+    if (dominators < k) result.push_back(static_cast<int>(v));
+  }
+  return result;
+}
+
+class KNncAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(KNncAgreement, MatchesBruteForceForEveryOperator) {
+  const int k = GetParam();
+  Rng rng(k * 331);
+  for (int trial = 0; trial < 5; ++trial) {
+    auto objects = RandomObjects(35, 2, 18.0, rng);
+    const Dataset dataset(objects);
+    const UncertainObject query = RandomObject(-1, 2, 3, 18.0, 3.0, rng);
+    struct OpCase {
+      Operator op;
+      std::vector<int> expected;
+    };
+    const std::vector<OpCase> cases = {
+        {Operator::kSSd, BruteKNnc(objects, query, BruteSSd, k)},
+        {Operator::kSsSd, BruteKNnc(objects, query, BruteSsSd, k)},
+        {Operator::kPSd, BruteKNnc(objects, query, BrutePSd, k)},
+        {Operator::kFSd, BruteKNnc(objects, query, BruteFSd, k)},
+        {Operator::kFPlusSd, BruteKNnc(objects, query, BruteFPlusSd, k)},
+    };
+    for (const auto& c : cases) {
+      NncOptions options;
+      options.op = c.op;
+      options.k = k;
+      const NncResult result = NncSearch(dataset, options).Run(query);
+      EXPECT_EQ(AsSet(result.candidates), AsSet(c.expected))
+          << OperatorName(c.op) << " k=" << k << " trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KNncAgreement, ::testing::Values(1, 2, 3, 5));
+
+TEST(KNncTest, LargerKGivesSupersets) {
+  Rng rng(50);
+  auto objects = RandomObjects(40, 3, 15.0, rng);
+  const Dataset dataset(std::move(objects));
+  const UncertainObject query = RandomObject(-1, 3, 3, 15.0, 3.0, rng);
+  std::set<int> previous;
+  for (int k : {1, 2, 4, 8}) {
+    NncOptions options;
+    options.op = Operator::kSSd;
+    options.k = k;
+    const auto result = NncSearch(dataset, options).Run(query);
+    const auto current = AsSet(result.candidates);
+    EXPECT_TRUE(std::includes(current.begin(), current.end(),
+                              previous.begin(), previous.end()))
+        << "k=" << k;
+    previous = current;
+  }
+}
+
+TEST(KNncTest, TopKOptimumAlwaysInside) {
+  // Every object that ranks in the top-k under a covered function must be
+  // a k-candidate: here, the k nearest by expected distance vs NNC(S-SD).
+  Rng rng(51);
+  auto objects = RandomObjects(30, 2, 12.0, rng);
+  const Dataset dataset(objects);
+  const UncertainObject query = RandomObject(-1, 2, 3, 12.0, 3.0, rng);
+  const int k = 3;
+  NncOptions options;
+  options.op = Operator::kSSd;
+  options.k = k;
+  const auto result = NncSearch(dataset, options).Run(query);
+  const auto candidates = AsSet(result.candidates);
+  std::vector<std::pair<double, int>> ranked;
+  for (int i = 0; i < dataset.size(); ++i) {
+    ranked.emplace_back(DistanceDistribution(dataset.object(i), query).Mean(),
+                        i);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  for (int i = 0; i < k; ++i) {
+    EXPECT_TRUE(candidates.count(ranked[i].second)) << "rank " << i;
+  }
+}
+
+TEST(NncSearchTest, BruteForceConfigDoesMoreInstanceWork) {
+  Rng rng(40);
+  auto objects = RandomObjects(60, 2, 12.0, rng);
+  const Dataset dataset(std::move(objects));
+  const UncertainObject query = RandomObject(-1, 2, 4, 12.0, 3.0, rng);
+  NncOptions all;
+  all.op = Operator::kSSd;
+  all.filters = FilterConfig::All();
+  NncOptions bf = all;
+  bf.filters = FilterConfig::BruteForce();
+  const auto r_all = NncSearch(dataset, all).Run(query);
+  const auto r_bf = NncSearch(dataset, bf).Run(query);
+  EXPECT_EQ(AsSet(r_all.candidates), AsSet(r_bf.candidates));
+  // The filters may only reduce the scan/comparison volume.
+  EXPECT_LE(r_all.stats.scan_steps, r_bf.stats.scan_steps);
+}
+
+}  // namespace
+}  // namespace osd

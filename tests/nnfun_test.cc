@@ -1,0 +1,215 @@
+// Tests for the NN-function library: N1 aggregates, the possible-world
+// engine (exact and Monte Carlo), and the N3 selected-pairs distances.
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nnfun/n1_functions.h"
+#include "nnfun/n2_functions.h"
+#include "nnfun/n3_functions.h"
+#include "nnfun/possible_worlds.h"
+#include "test_util.h"
+
+namespace osd {
+namespace {
+
+using test::RandomObject;
+using test::RandomWeightedObject;
+
+TEST(N1FunctionsTest, HandCheckedDistribution) {
+  // Example 1 of the paper: Q = {q1, q2}, A = {a1, a2}, pairwise distances
+  // {5, 8, 10, 23} each with probability 0.25. 1-d realization:
+  // q1 = 0, q2 = 15; a1 = 5, a2 = -8.
+  const UncertainObject q = UncertainObject::Uniform(-1, 1, {0.0, 15.0});
+  const UncertainObject a = UncertainObject::Uniform(0, 1, {5.0, -8.0});
+  const auto dist = DistanceDistribution(a, q);
+  ASSERT_EQ(dist.size(), 4);
+  EXPECT_DOUBLE_EQ(dist.atoms()[0].value, 5.0);
+  EXPECT_DOUBLE_EQ(dist.atoms()[1].value, 8.0);
+  EXPECT_DOUBLE_EQ(dist.atoms()[2].value, 10.0);
+  EXPECT_DOUBLE_EQ(dist.atoms()[3].value, 23.0);
+  EXPECT_DOUBLE_EQ(MinDistance(a, q), 5.0);
+  EXPECT_DOUBLE_EQ(MaxDistance(a, q), 23.0);
+  EXPECT_DOUBLE_EQ(ExpectedDistance(a, q), (5 + 8 + 10 + 23) / 4.0);
+  EXPECT_DOUBLE_EQ(QuantileDistance(a, q, 0.5), 8.0);
+  // Per-instance distribution A_q1 = {(5, .5), (8, .5)}.
+  const auto aq1 = DistanceDistribution(a, q.Instance(0));
+  ASSERT_EQ(aq1.size(), 2);
+  EXPECT_DOUBLE_EQ(aq1.atoms()[0].value, 5.0);
+  EXPECT_DOUBLE_EQ(aq1.atoms()[1].value, 8.0);
+}
+
+TEST(N1FunctionsTest, QuantileIsStable) {
+  // Stability (Definition 8) of the quantile: X <=_st Y implies
+  // quan_phi(X) <= quan_phi(Y) for all phi.
+  Rng rng(17);
+  for (int trial = 0; trial < 100; ++trial) {
+    const UncertainObject q = RandomObject(-1, 2, 2, 10.0, 3.0, rng);
+    const UncertainObject v = RandomObject(1, 2, 3, 10.0, 4.0, rng);
+    Point qc(2);
+    for (int d = 0; d < 2; ++d) qc[d] = q.mbr().Center(d);
+    std::vector<double> coords;
+    for (int k = 0; k < v.num_instances(); ++k) {
+      const Point p = v.Instance(k);
+      for (int d = 0; d < 2; ++d) {
+        coords.push_back(qc[d] + (p[d] - qc[d]) * rng.Uniform(0.1, 0.9));
+      }
+    }
+    const UncertainObject u = UncertainObject::Uniform(0, 2, std::move(coords));
+    if (!test::BruteSSd(u, v, q)) continue;
+    for (double phi = 0.05; phi <= 1.0; phi += 0.05) {
+      EXPECT_LE(QuantileDistance(u, q, phi),
+                QuantileDistance(v, q, phi) + 1e-9);
+    }
+  }
+}
+
+TEST(PossibleWorldsTest, HandCheckedRankProbabilities) {
+  // q = {0, 10} (p .5 each); A = {1, 2} hugs q1; C = {13, 14.2} hugs q2.
+  // In every q1-world A is 1st and C 2nd; in every q2-world the reverse.
+  const UncertainObject q = UncertainObject::Uniform(-1, 1, {0.0, 10.0});
+  const UncertainObject a = UncertainObject::Uniform(0, 1, {1.0, 2.0});
+  const UncertainObject c = UncertainObject::Uniform(1, 1, {13.0, 14.2});
+  const std::vector<const UncertainObject*> objects = {&a, &c};
+  const auto worlds = PossibleWorldEngine::Exact(objects, q);
+  EXPECT_NEAR(worlds.RankProbability(0, 1), 0.5, 1e-12);
+  EXPECT_NEAR(worlds.RankProbability(0, 2), 0.5, 1e-12);
+  EXPECT_NEAR(worlds.RankProbability(1, 1), 0.5, 1e-12);
+  EXPECT_NEAR(NnProbability(worlds, 0), 0.5, 1e-12);
+  EXPECT_NEAR(ExpectedRankScore(worlds, 0), 1.5, 1e-12);
+  EXPECT_NEAR(GlobalTopKScore(worlds, 0, 2), -1.0, 1e-12);
+}
+
+TEST(PossibleWorldsTest, RankRowsSumToOne) {
+  Rng rng(23);
+  std::vector<UncertainObject> objects;
+  for (int i = 0; i < 4; ++i) {
+    objects.push_back(RandomWeightedObject(i, 2, 3, 10.0, 4.0, rng));
+  }
+  const UncertainObject q = RandomWeightedObject(-1, 2, 2, 10.0, 3.0, rng);
+  std::vector<const UncertainObject*> ptrs;
+  for (const auto& o : objects) ptrs.push_back(&o);
+  const auto worlds = PossibleWorldEngine::Exact(ptrs, q);
+  for (int i = 0; i < worlds.num_objects(); ++i) {
+    const auto& row = worlds.RankDistribution(i);
+    EXPECT_NEAR(std::accumulate(row.begin(), row.end(), 0.0), 1.0, 1e-9);
+  }
+  // Each rank position is occupied by exactly one object per world.
+  for (int r = 1; r <= worlds.num_objects(); ++r) {
+    double col = 0.0;
+    for (int i = 0; i < worlds.num_objects(); ++i) {
+      col += worlds.RankProbability(i, r);
+    }
+    EXPECT_NEAR(col, 1.0, 1e-9);
+  }
+}
+
+TEST(PossibleWorldsTest, MonteCarloConvergesToExact) {
+  Rng data_rng(29);
+  std::vector<UncertainObject> objects;
+  for (int i = 0; i < 3; ++i) {
+    objects.push_back(RandomObject(i, 2, 3, 10.0, 5.0, data_rng));
+  }
+  const UncertainObject q = RandomObject(-1, 2, 2, 10.0, 3.0, data_rng);
+  std::vector<const UncertainObject*> ptrs;
+  for (const auto& o : objects) ptrs.push_back(&o);
+  const auto exact = PossibleWorldEngine::Exact(ptrs, q);
+  Rng mc_rng(31);
+  const auto sampled =
+      PossibleWorldEngine::Sampled(ptrs, q, 200'000, mc_rng);
+  for (int i = 0; i < exact.num_objects(); ++i) {
+    for (int r = 1; r <= exact.num_objects(); ++r) {
+      EXPECT_NEAR(sampled.RankProbability(i, r), exact.RankProbability(i, r),
+                  0.01)
+          << "object " << i << " rank " << r;
+    }
+  }
+}
+
+TEST(N3FunctionsTest, HausdorffHandCase) {
+  const UncertainObject u = UncertainObject::Uniform(0, 1, {0.0, 1.0});
+  const UncertainObject q = UncertainObject::Uniform(-1, 1, {0.0, 5.0});
+  // Directed u -> q: u=0 -> 0, u=1 -> 1. Directed q -> u: 0 -> 0, 5 -> 4.
+  EXPECT_DOUBLE_EQ(HausdorffDistance(u, q), 4.0);
+  EXPECT_DOUBLE_EQ(HausdorffDistance(q, u), 4.0);  // symmetric
+}
+
+TEST(N3FunctionsTest, SumOfMinDistanceHandCase) {
+  const UncertainObject u = UncertainObject::Uniform(0, 1, {0.0, 1.0});
+  const UncertainObject q = UncertainObject::Uniform(-1, 1, {0.0, 5.0});
+  // 0.5*(0 + 1... min(1 to {0,5}) = 1) + 0.5*(0 + 4).
+  EXPECT_DOUBLE_EQ(SumOfMinDistance(u, q), 0.5 * (0.0 + 1.0) + 0.5 * (0.0 + 4.0));
+}
+
+TEST(N3FunctionsTest, EmdIdenticalObjectsIsZero) {
+  const UncertainObject u =
+      UncertainObject::Uniform(0, 2, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_NEAR(EmdDistance(u, u), 0.0, 1e-9);
+}
+
+TEST(N3FunctionsTest, EmdEqualsNetflow) {
+  Rng rng(37);
+  for (int trial = 0; trial < 50; ++trial) {
+    const UncertainObject u = RandomWeightedObject(0, 2, 4, 10.0, 5.0, rng);
+    const UncertainObject q = RandomWeightedObject(-1, 2, 3, 10.0, 5.0, rng);
+    EXPECT_NEAR(EmdDistance(u, q), NetflowDistance(u, q), 1e-6)
+        << "trial " << trial;
+  }
+}
+
+TEST(N3FunctionsTest, EmdMatchesPermutationBruteForce) {
+  // Equal instance counts with uniform masses: the optimal transport is a
+  // permutation (Birkhoff), so brute force over permutations is exact.
+  Rng rng(41);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int m = 2 + static_cast<int>(rng.UniformInt(0, 3));
+    std::vector<double> uc, qc;
+    for (int i = 0; i < m; ++i) {
+      uc.push_back(rng.Uniform(0.0, 10.0));
+      uc.push_back(rng.Uniform(0.0, 10.0));
+      qc.push_back(rng.Uniform(0.0, 10.0));
+      qc.push_back(rng.Uniform(0.0, 10.0));
+    }
+    const UncertainObject u = UncertainObject::Uniform(0, 2, uc);
+    const UncertainObject q = UncertainObject::Uniform(-1, 2, qc);
+    std::vector<int> perm(m);
+    std::iota(perm.begin(), perm.end(), 0);
+    double best = 1e300;
+    do {
+      double cost = 0.0;
+      for (int i = 0; i < m; ++i) {
+        cost += Distance(u.Instance(i), q.Instance(perm[i])) / m;
+      }
+      best = std::min(best, cost);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    EXPECT_NEAR(EmdDistance(u, q), best, 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(N3FunctionsTest, EmdTriangleLikeMonotonicity) {
+  // Moving an object strictly toward the (single-instance) query must not
+  // increase any of the N3 distances.
+  Rng rng(43);
+  for (int trial = 0; trial < 40; ++trial) {
+    const UncertainObject q = RandomObject(-1, 2, 1, 10.0, 0.0, rng);
+    const UncertainObject v = RandomObject(1, 2, 3, 10.0, 4.0, rng);
+    const Point qp = q.Instance(0);
+    std::vector<double> coords;
+    const double f = rng.Uniform(0.2, 0.9);
+    for (int k = 0; k < v.num_instances(); ++k) {
+      const Point p = v.Instance(k);
+      for (int d = 0; d < 2; ++d) coords.push_back(qp[d] + (p[d] - qp[d]) * f);
+    }
+    const UncertainObject u = UncertainObject::Uniform(0, 2, std::move(coords));
+    EXPECT_LE(EmdDistance(u, q), EmdDistance(v, q) + 1e-6);
+    EXPECT_LE(HausdorffDistance(u, q), HausdorffDistance(v, q) + 1e-9);
+    EXPECT_LE(SumOfMinDistance(u, q), SumOfMinDistance(v, q) + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace osd

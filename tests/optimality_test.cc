@@ -1,0 +1,367 @@
+// Tests of the optimality properties (Section 4.2):
+//  - Correctness: SD(U,V,Q) implies f(U) <= f(V) for every f the operator
+//    covers (Theorems 5, 6, 7; F-SD correct w.r.t. everything, Theorem 8).
+//  - Completeness witnesses: when the operator does not hold, some covered
+//    function ranks V strictly better than U (quantile witnesses for S-SD,
+//    per-instance tail witnesses for SS-SD).
+//  - Non-coverage: S-SD fails on N2 (NN probability), SS-SD fails on N3
+//    (selected-pairs functions), F-SD is not complete (Theorem 8).
+//  - The user-facing guarantee: the NNC of a covering operator always
+//    contains an optimal object for every covered NN function.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/nnc_search.h"
+#include "nnfun/n1_functions.h"
+#include "nnfun/n2_functions.h"
+#include "nnfun/n3_functions.h"
+#include "nnfun/possible_worlds.h"
+#include "test_util.h"
+
+namespace osd {
+namespace {
+
+using test::BruteFSd;
+using test::BrutePSd;
+using test::BruteSSd;
+using test::BruteSsSd;
+using test::RandomObject;
+
+constexpr double kTol = 1e-9;
+
+std::vector<const UncertainObject*> Pointers(
+    const std::vector<UncertainObject>& objects) {
+  std::vector<const UncertainObject*> ptrs;
+  for (const auto& o : objects) ptrs.push_back(&o);
+  return ptrs;
+}
+
+// ---------------------------------------------------------------------------
+// Correctness across the families.
+// ---------------------------------------------------------------------------
+
+class OptimalityCorrectness : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimalityCorrectness, CoveredFunctionsRespectDominance) {
+  Rng rng(GetParam() * 7919);
+  int s_pairs = 0, ss_pairs = 0, p_pairs = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const int dim = 1 + static_cast<int>(rng.UniformInt(0, 1));
+    const UncertainObject q = RandomObject(-1, dim, 2, 10.0, 3.0, rng);
+    std::vector<UncertainObject> objects;
+    Point qc(dim);
+    for (int d = 0; d < dim; ++d) qc[d] = q.mbr().Center(d);
+    for (int i = 0; i < 4; ++i) {
+      UncertainObject o = RandomObject(i, dim, 1 + (i % 3), 10.0, 4.0, rng);
+      if (i > 0 && rng.Flip(0.6)) {
+        // Contract a previous object toward the query to force dominance.
+        const UncertainObject& src = objects[rng.UniformInt(0, i - 1)];
+        std::vector<double> coords;
+        for (int k = 0; k < src.num_instances(); ++k) {
+          const Point p = src.Instance(k);
+          for (int d = 0; d < dim; ++d) {
+            coords.push_back(qc[d] + (p[d] - qc[d]) * rng.Uniform(0.2, 0.95));
+          }
+        }
+        o = UncertainObject::Uniform(i, dim, std::move(coords));
+      }
+      objects.push_back(std::move(o));
+    }
+    const auto ptrs = Pointers(objects);
+    const auto worlds = PossibleWorldEngine::Exact(ptrs, q);
+    const int n = static_cast<int>(objects.size());
+    // A random non-decreasing weight vector (parameterized ranking).
+    std::vector<double> weights(n);
+    double w = rng.Uniform(-2.0, 0.0);
+    for (int i = 0; i < n; ++i) {
+      weights[i] = w;
+      w += rng.Uniform(0.0, 1.0);
+    }
+
+    for (int ui = 0; ui < n; ++ui) {
+      for (int vi = 0; vi < n; ++vi) {
+        if (ui == vi) continue;
+        const UncertainObject& u = objects[ui];
+        const UncertainObject& v = objects[vi];
+        if (BruteSSd(u, v, q)) {
+          ++s_pairs;
+          EXPECT_LE(MinDistance(u, q), MinDistance(v, q) + kTol);
+          EXPECT_LE(MaxDistance(u, q), MaxDistance(v, q) + kTol);
+          EXPECT_LE(ExpectedDistance(u, q), ExpectedDistance(v, q) + kTol);
+          for (double phi : {0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+            EXPECT_LE(QuantileDistance(u, q, phi),
+                      QuantileDistance(v, q, phi) + kTol)
+                << "phi=" << phi;
+          }
+        }
+        if (BruteSsSd(u, v, q)) {
+          ++ss_pairs;
+          EXPECT_LE(NnProbabilityScore(worlds, ui),
+                    NnProbabilityScore(worlds, vi) + kTol);
+          EXPECT_LE(ExpectedRankScore(worlds, ui),
+                    ExpectedRankScore(worlds, vi) + kTol);
+          for (int k = 1; k <= 2; ++k) {
+            EXPECT_LE(GlobalTopKScore(worlds, ui, k),
+                      GlobalTopKScore(worlds, vi, k) + kTol);
+          }
+          EXPECT_LE(ParameterizedRankScore(worlds, ui, weights),
+                    ParameterizedRankScore(worlds, vi, weights) + kTol);
+        }
+        if (BrutePSd(u, v, q)) {
+          ++p_pairs;
+          EXPECT_LE(HausdorffDistance(u, q), HausdorffDistance(v, q) + kTol);
+          EXPECT_LE(SumOfMinDistance(u, q), SumOfMinDistance(v, q) + kTol);
+          EXPECT_LE(EmdDistance(u, q), EmdDistance(v, q) + 1e-6);
+          EXPECT_LE(NetflowDistance(u, q), NetflowDistance(v, q) + 1e-6);
+        }
+        if (BruteFSd(u, v, q)) {
+          // F-SD is correct w.r.t. everything (Theorem 8).
+          EXPECT_LE(ExpectedDistance(u, q), ExpectedDistance(v, q) + kTol);
+          EXPECT_LE(EmdDistance(u, q), EmdDistance(v, q) + 1e-6);
+          EXPECT_LE(NnProbabilityScore(worlds, ui),
+                    NnProbabilityScore(worlds, vi) + kTol);
+        }
+      }
+    }
+  }
+  EXPECT_GT(s_pairs, 20);
+  EXPECT_GT(ss_pairs, 10);
+  EXPECT_GT(p_pairs, 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimalityCorrectness,
+                         ::testing::Values(1, 2, 3));
+
+// ---------------------------------------------------------------------------
+// Completeness witnesses.
+// ---------------------------------------------------------------------------
+
+TEST(Completeness, QuantileWitnessWhenSSdFails) {
+  Rng rng(123);
+  int refuted = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const UncertainObject q = RandomObject(-1, 2, 2, 10.0, 3.0, rng);
+    const UncertainObject u = RandomObject(0, 2, 3, 10.0, 4.0, rng);
+    const UncertainObject v = RandomObject(1, 2, 3, 10.0, 4.0, rng);
+    if (BruteSSd(u, v, q)) continue;
+    if (test::DistributionsEqual(u, v, q)) continue;
+    ++refuted;
+    // Theorem 5 (completeness): some phi-quantile ranks V strictly better.
+    const auto du = DistanceDistribution(u, q);
+    const auto dv = DistanceDistribution(v, q);
+    bool witness = false;
+    for (const auto& atom : dv.atoms()) {
+      const double phi = dv.CdfAt(atom.value);
+      if (phi <= 0.0) continue;
+      if (du.Quantile(phi) > dv.Quantile(phi) + kTol) {
+        witness = true;
+        break;
+      }
+    }
+    // Symmetric case: when V <=_st U fails in the other direction the
+    // quantile witness may only exist against U's support; check both.
+    for (const auto& atom : du.atoms()) {
+      const double phi = du.CdfAt(atom.value);
+      if (phi <= 0.0) continue;
+      if (du.Quantile(phi) > dv.Quantile(phi) + kTol) {
+        witness = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(witness) << "trial " << trial;
+  }
+  EXPECT_GT(refuted, 100);
+}
+
+TEST(Completeness, TailWitnessWhenSsSdFails) {
+  Rng rng(321);
+  int refuted = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const UncertainObject q = RandomObject(-1, 2, 3, 10.0, 3.0, rng);
+    const UncertainObject v = RandomObject(1, 2, 3, 10.0, 4.0, rng);
+    // Contracted U: S-SD often holds while SS-SD may fail.
+    Point qc(2);
+    for (int d = 0; d < 2; ++d) qc[d] = q.mbr().Center(d);
+    std::vector<double> coords;
+    for (int k = 0; k < v.num_instances(); ++k) {
+      const Point p = v.Instance(k);
+      for (int d = 0; d < 2; ++d) {
+        coords.push_back(qc[d] + (p[d] - qc[d]) * rng.Uniform(0.5, 1.1));
+      }
+    }
+    const UncertainObject u = UncertainObject::Uniform(0, 2, std::move(coords));
+    if (BruteSsSd(u, v, q) || test::DistributionsEqual(u, v, q)) continue;
+    ++refuted;
+    // Theorem 6 (completeness): there exist q1 and lambda1 such that the
+    // N2 function f(X) = Pr(X_{q1} > lambda1) * p(q1) ranks V better.
+    bool witness = false;
+    for (int qi = 0; qi < q.num_instances() && !witness; ++qi) {
+      const Point qp = q.Instance(qi);
+      const auto duq = DistanceDistribution(u, qp);
+      const auto dvq = DistanceDistribution(v, qp);
+      for (const auto& atom : dvq.atoms()) {
+        const double fu = (1.0 - duq.CdfAt(atom.value)) * q.Prob(qi);
+        const double fv = (1.0 - dvq.CdfAt(atom.value)) * q.Prob(qi);
+        if (fu > fv + kTol) {
+          witness = true;
+          break;
+        }
+      }
+      for (const auto& atom : duq.atoms()) {
+        const double fu = (1.0 - duq.CdfAt(atom.value)) * q.Prob(qi);
+        const double fv = (1.0 - dvq.CdfAt(atom.value)) * q.Prob(qi);
+        if (fu > fv + kTol) {
+          witness = true;
+          break;
+        }
+      }
+    }
+    EXPECT_TRUE(witness) << "trial " << trial;
+  }
+  EXPECT_GT(refuted, 30);
+}
+
+// ---------------------------------------------------------------------------
+// Non-coverage (sharpness of Theorems 5, 6, 8).
+// ---------------------------------------------------------------------------
+
+TEST(NonCoverage, SSdDoesNotCoverPossibleWorldFunctions) {
+  // Constructed analog of Fig. 3: A stochastically dominates C on the
+  // all-pairs distribution, yet C has the (equal or) larger NN probability
+  // because C owns the q2-worlds outright and D steals A's q1-worlds.
+  const UncertainObject q = UncertainObject::Uniform(-1, 1, {0.0, 10.0});
+  const UncertainObject a = UncertainObject::Uniform(0, 1, {1.0, 2.0});
+  const UncertainObject c = UncertainObject::Uniform(2, 1, {13.0, 14.2});
+  const UncertainObject d = UncertainObject::Uniform(3, 1, {0.5, 3.0});
+  ASSERT_TRUE(BruteSSd(a, c, q));   // S-SD(A,C,Q)
+  ASSERT_FALSE(BruteSsSd(a, c, q));  // but not SS-SD (Fig. 3's point)
+  const std::vector<UncertainObject> objects = {a, c, d};
+  const auto worlds = PossibleWorldEngine::Exact(Pointers(objects), q);
+  const double pa = NnProbability(worlds, 0);
+  const double pc = NnProbability(worlds, 1);
+  EXPECT_GT(pc, pa + 0.1) << "C must win under NN probability";
+}
+
+TEST(NonCoverage, SsSdDoesNotCoverSelectedPairFunctions) {
+  // Planar realization of the Fig. 4 phenomenon. With q1 = (0,0),
+  // q2 = (7,0), instances are placed on circle intersections so that the
+  // per-query distance lists are exactly
+  //   A_q1 = {1, 2},    A_q2 = {6.4, 7.0},
+  //   B_q1 = {1, 3},    B_q2 = {6.5, 7.5}.
+  // Elementwise, A dominates B per query instance (SS-SD holds), yet the
+  // optimal transports give EMD(A,Q) = (1 + 7)/2 = 4 and
+  // EMD(B,Q) = (1 + 6.5)/2 = 3.75: the selected-pairs function inverts
+  // the order, so SS-SD does not cover N3 (Theorem 6).
+  auto on_circles = [](double d1, double d2) {
+    const double kD = 7.0;  // |q1 q2|
+    const double x = (d1 * d1 + kD * kD - d2 * d2) / (2.0 * kD);
+    const double y = std::sqrt(d1 * d1 - x * x);
+    return Point{x, y};
+  };
+  const Point a1 = on_circles(1.0, 6.4);
+  const Point a2 = on_circles(2.0, 7.0);
+  const Point b1 = on_circles(1.0, 7.5);
+  const Point b2 = on_circles(3.0, 6.5);
+  const UncertainObject q =
+      UncertainObject::Uniform(-1, 2, {0.0, 0.0, 7.0, 0.0});
+  const UncertainObject a =
+      UncertainObject::Uniform(0, 2, {a1[0], a1[1], a2[0], a2[1]});
+  const UncertainObject b =
+      UncertainObject::Uniform(1, 2, {b1[0], b1[1], b2[0], b2[1]});
+  // Sanity: the construction realizes the intended distances.
+  EXPECT_NEAR(Distance(a1, q.Instance(0)), 1.0, 1e-9);
+  EXPECT_NEAR(Distance(a1, q.Instance(1)), 6.4, 1e-9);
+  EXPECT_NEAR(Distance(b2, q.Instance(1)), 6.5, 1e-9);
+
+  ASSERT_TRUE(BruteSsSd(a, b, q));
+  ASSERT_FALSE(BrutePSd(a, b, q));  // consistent: P-SD covers N3
+  EXPECT_NEAR(EmdDistance(a, q), 4.0, 1e-6);
+  EXPECT_NEAR(EmdDistance(b, q), 3.75, 1e-6);
+  EXPECT_GT(EmdDistance(a, q), EmdDistance(b, q));
+  EXPECT_GT(NetflowDistance(a, q), NetflowDistance(b, q));
+}
+
+TEST(NonCoverage, FSdIsNotComplete) {
+  // Theorem 8: F-SD fails on a pair where P-SD holds, i.e. V is not a
+  // useful candidate for ANY covered function, yet F-SD cannot exclude it.
+  const UncertainObject q = UncertainObject::Uniform(-1, 1, {0.0});
+  const UncertainObject u = UncertainObject::Uniform(0, 1, {1.0, 9.0});
+  const UncertainObject v = UncertainObject::Uniform(1, 1, {2.0, 10.0});
+  EXPECT_TRUE(BrutePSd(u, v, q));
+  EXPECT_FALSE(BruteFSd(u, v, q));
+  // And indeed every sampled function prefers U.
+  EXPECT_LE(ExpectedDistance(u, q), ExpectedDistance(v, q));
+  EXPECT_LE(EmdDistance(u, q), EmdDistance(v, q) + 1e-9);
+  EXPECT_LE(HausdorffDistance(u, q), HausdorffDistance(v, q));
+}
+
+// ---------------------------------------------------------------------------
+// NNC-level guarantee: the candidate set of a covering operator contains an
+// optimal object for every covered function.
+// ---------------------------------------------------------------------------
+
+TEST(NncGuarantee, CandidatesContainEveryFamilysOptimum) {
+  Rng rng(777);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int dim = 1 + static_cast<int>(rng.UniformInt(0, 1));
+    const UncertainObject q = RandomObject(-1, dim, 2, 12.0, 3.0, rng);
+    std::vector<UncertainObject> objects;
+    const int n = 6;
+    for (int i = 0; i < n; ++i) {
+      objects.push_back(RandomObject(i, dim, 2, 12.0, 5.0, rng));
+    }
+    const Dataset dataset(objects);
+    const auto worlds = PossibleWorldEngine::Exact(Pointers(objects), q);
+
+    auto best_over = [&](auto score) {
+      double best = 1e300;
+      for (int i = 0; i < n; ++i) best = std::min(best, score(i));
+      return best;
+    };
+    auto best_in = [&](const std::vector<int>& set, auto score) {
+      double best = 1e300;
+      for (int i : set) best = std::min(best, score(i));
+      return best;
+    };
+    auto run = [&](Operator op) {
+      NncOptions options;
+      options.op = op;
+      return NncSearch(dataset, options).Run(q).candidates;
+    };
+
+    const auto nnc_s = run(Operator::kSSd);
+    const auto nnc_ss = run(Operator::kSsSd);
+    const auto nnc_p = run(Operator::kPSd);
+
+    // N1 functions vs NNC(S-SD).
+    auto mean_score = [&](int i) { return ExpectedDistance(objects[i], q); };
+    auto max_score = [&](int i) { return MaxDistance(objects[i], q); };
+    auto q30_score = [&](int i) {
+      return QuantileDistance(objects[i], q, 0.3);
+    };
+    EXPECT_NEAR(best_in(nnc_s, mean_score), best_over(mean_score), 1e-9);
+    EXPECT_NEAR(best_in(nnc_s, max_score), best_over(max_score), 1e-9);
+    EXPECT_NEAR(best_in(nnc_s, q30_score), best_over(q30_score), 1e-9);
+
+    // N2 functions vs NNC(SS-SD).
+    auto nnp_score = [&](int i) { return NnProbabilityScore(worlds, i); };
+    auto er_score = [&](int i) { return ExpectedRankScore(worlds, i); };
+    EXPECT_NEAR(best_in(nnc_ss, nnp_score), best_over(nnp_score), 1e-9);
+    EXPECT_NEAR(best_in(nnc_ss, er_score), best_over(er_score), 1e-9);
+
+    // N3 functions vs NNC(P-SD).
+    auto emd_score = [&](int i) { return EmdDistance(objects[i], q); };
+    auto hd_score = [&](int i) { return HausdorffDistance(objects[i], q); };
+    auto smd_score = [&](int i) { return SumOfMinDistance(objects[i], q); };
+    EXPECT_NEAR(best_in(nnc_p, emd_score), best_over(emd_score), 1e-6);
+    EXPECT_NEAR(best_in(nnc_p, hd_score), best_over(hd_score), 1e-9);
+    EXPECT_NEAR(best_in(nnc_p, smd_score), best_over(smd_score), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace osd

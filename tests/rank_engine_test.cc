@@ -1,0 +1,153 @@
+// Cross-validation of the polynomial-time RankEngine against the
+// exponential PossibleWorldEngine, plus structural properties.
+
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nnfun/n2_functions.h"
+#include "nnfun/possible_worlds.h"
+#include "nnfun/rank_engine.h"
+#include "test_util.h"
+
+namespace osd {
+namespace {
+
+std::vector<const UncertainObject*> Pointers(
+    const std::vector<UncertainObject>& objects) {
+  std::vector<const UncertainObject*> ptrs;
+  for (const auto& o : objects) ptrs.push_back(&o);
+  return ptrs;
+}
+
+class RankEngineAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(RankEngineAgreement, MatchesEnumerationExactly) {
+  Rng rng(GetParam() * 131);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = 2 + static_cast<int>(rng.UniformInt(0, 3));
+    const int dim = 1 + static_cast<int>(rng.UniformInt(0, 1));
+    std::vector<UncertainObject> objects;
+    for (int i = 0; i < n; ++i) {
+      const int m = 1 + static_cast<int>(rng.UniformInt(0, 3));
+      objects.push_back(
+          rng.Flip(0.5) ? test::RandomObject(i, dim, m, 10.0, 4.0, rng)
+                        : test::RandomWeightedObject(i, dim, m, 10.0, 4.0,
+                                                     rng));
+    }
+    const UncertainObject query =
+        test::RandomWeightedObject(-1, dim, 2, 10.0, 3.0, rng);
+    const auto ptrs = Pointers(objects);
+    const auto enumerated = PossibleWorldEngine::Exact(ptrs, query);
+    const RankEngine engine(ptrs, query);
+    for (int i = 0; i < n; ++i) {
+      for (int r = 1; r <= n; ++r) {
+        EXPECT_NEAR(engine.RankProbability(i, r),
+                    enumerated.RankProbability(i, r), 1e-9)
+            << "trial " << trial << " object " << i << " rank " << r;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RankEngineAgreement,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(RankEngineTest, HandlesTiesLikeTheEnumerator) {
+  // Coincident instances force distance ties; both engines must agree on
+  // the position-based tie-break.
+  const UncertainObject q = UncertainObject::Uniform(-1, 1, {0.0});
+  const UncertainObject a = UncertainObject::Uniform(0, 1, {5.0, 7.0});
+  const UncertainObject b = UncertainObject::Uniform(1, 1, {5.0, 9.0});
+  const UncertainObject c = UncertainObject::Uniform(2, 1, {5.0});
+  const std::vector<UncertainObject> objects = {a, b, c};
+  const auto ptrs = Pointers(objects);
+  const auto enumerated = PossibleWorldEngine::Exact(ptrs, q);
+  const RankEngine engine(ptrs, q);
+  for (int i = 0; i < 3; ++i) {
+    for (int r = 1; r <= 3; ++r) {
+      EXPECT_NEAR(engine.RankProbability(i, r),
+                  enumerated.RankProbability(i, r), 1e-12)
+          << i << "/" << r;
+    }
+  }
+}
+
+TEST(RankEngineTest, RowsAndColumnsAreStochastic) {
+  Rng rng(77);
+  std::vector<UncertainObject> objects;
+  for (int i = 0; i < 12; ++i) {
+    objects.push_back(test::RandomObject(i, 2, 5, 10.0, 4.0, rng));
+  }
+  const UncertainObject query = test::RandomObject(-1, 2, 4, 10.0, 3.0, rng);
+  const RankEngine engine(Pointers(objects), query);
+  for (int i = 0; i < engine.num_objects(); ++i) {
+    const auto& row = engine.RankDistribution(i);
+    EXPECT_NEAR(std::accumulate(row.begin(), row.end(), 0.0), 1.0, 1e-9);
+  }
+  for (int r = 1; r <= engine.num_objects(); ++r) {
+    double col = 0.0;
+    for (int i = 0; i < engine.num_objects(); ++i) {
+      col += engine.RankProbability(i, r);
+    }
+    EXPECT_NEAR(col, 1.0, 1e-9);
+  }
+}
+
+TEST(RankEngineTest, ScalesBeyondEnumeration) {
+  // 40 objects x 6 instances: ~6^40 worlds, far beyond enumeration; the
+  // engine computes exact distributions in milliseconds.
+  Rng rng(88);
+  std::vector<UncertainObject> objects;
+  for (int i = 0; i < 40; ++i) {
+    objects.push_back(test::RandomObject(i, 2, 6, 10.0, 4.0, rng));
+  }
+  const UncertainObject query = test::RandomObject(-1, 2, 4, 10.0, 3.0, rng);
+  const RankEngine engine(Pointers(objects), query);
+  double total_nn = 0.0;
+  for (int i = 0; i < engine.num_objects(); ++i) {
+    total_nn += engine.RankProbability(i, 1);
+  }
+  EXPECT_NEAR(total_nn, 1.0, 1e-9);
+}
+
+TEST(RankEngineTest, SsSdDominanceOrdersDerivedScores) {
+  // The engine's scores are N2 functions, so SS-SD must order them.
+  Rng rng(99);
+  int pairs = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<UncertainObject> objects;
+    const UncertainObject query = test::RandomObject(-1, 2, 2, 10.0, 3.0, rng);
+    Point qc(2);
+    for (int d = 0; d < 2; ++d) qc[d] = query.mbr().Center(d);
+    objects.push_back(test::RandomObject(0, 2, 3, 10.0, 4.0, rng));
+    std::vector<double> coords;
+    for (int kx = 0; kx < objects[0].num_instances(); ++kx) {
+      const Point p = objects[0].Instance(kx);
+      for (int d = 0; d < 2; ++d) {
+        coords.push_back(qc[d] + (p[d] - qc[d]) * rng.Uniform(0.3, 0.95));
+      }
+    }
+    objects.insert(objects.begin(),
+                   UncertainObject::Uniform(1, 2, std::move(coords)));
+    objects.push_back(test::RandomObject(2, 2, 2, 10.0, 4.0, rng));
+    if (!test::BruteSsSd(objects[0], objects[1], query)) continue;
+    ++pairs;
+    const RankEngine engine(Pointers(objects), query);
+    // Expected rank of the dominator is no worse; NN probability no lower.
+    double er0 = 0.0, er1 = 0.0;
+    for (int r = 1; r <= engine.num_objects(); ++r) {
+      er0 += r * engine.RankProbability(0, r);
+      er1 += r * engine.RankProbability(1, r);
+    }
+    EXPECT_LE(er0, er1 + 1e-9) << trial;
+    EXPECT_GE(engine.RankProbability(0, 1),
+              engine.RankProbability(1, 1) - 1e-9)
+        << trial;
+  }
+  EXPECT_GT(pairs, 20);
+}
+
+}  // namespace
+}  // namespace osd

@@ -1,0 +1,175 @@
+// Shared test helpers: definition-level brute-force implementations of the
+// four spatial dominance operators and small random object generators.
+//
+// The brute-force implementations deliberately share no code with the
+// library's checkers: S-SD/SS-SD check the CDF inequality at every support
+// point, P-SD enumerates the Hall condition over instance subsets, and
+// F-SD scans all (q, u, v) triples. They are the oracles the optimized
+// checkers are validated against.
+
+#ifndef OSD_TESTS_TEST_UTIL_H_
+#define OSD_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "nnfun/n1_functions.h"
+#include "object/dataset.h"
+#include "object/uncertain_object.h"
+
+namespace osd {
+namespace test {
+
+inline bool DistributionsEqual(const UncertainObject& u,
+                               const UncertainObject& v,
+                               const UncertainObject& q) {
+  return DiscreteDistribution::ApproxEqual(DistanceDistribution(u, q),
+                                           DistanceDistribution(v, q));
+}
+
+// CDF-definition stochastic order on merged distributions.
+inline bool BruteLeqSt(const DiscreteDistribution& x,
+                       const DiscreteDistribution& y) {
+  std::vector<double> support;
+  for (const auto& a : x.atoms()) support.push_back(a.value);
+  for (const auto& a : y.atoms()) support.push_back(a.value);
+  for (double v : support) {
+    if (x.CdfAt(v) + 1e-9 < y.CdfAt(v)) return false;
+  }
+  return true;
+}
+
+inline bool BruteSSd(const UncertainObject& u, const UncertainObject& v,
+                     const UncertainObject& q) {
+  if (DistributionsEqual(u, v, q)) return false;
+  return BruteLeqSt(DistanceDistribution(u, q), DistanceDistribution(v, q));
+}
+
+inline bool BruteSsSd(const UncertainObject& u, const UncertainObject& v,
+                      const UncertainObject& q) {
+  if (DistributionsEqual(u, v, q)) return false;
+  for (int qi = 0; qi < q.num_instances(); ++qi) {
+    const Point qp = q.Instance(qi);
+    if (!BruteLeqSt(DistanceDistribution(u, qp),
+                    DistanceDistribution(v, qp))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+inline bool BruteFSd(const UncertainObject& u, const UncertainObject& v,
+                     const UncertainObject& q) {
+  if (DistributionsEqual(u, v, q)) return false;
+  for (int qi = 0; qi < q.num_instances(); ++qi) {
+    const Point qp = q.Instance(qi);
+    for (int ui = 0; ui < u.num_instances(); ++ui) {
+      for (int vj = 0; vj < v.num_instances(); ++vj) {
+        if (Distance(qp, u.Instance(ui)) >
+            Distance(qp, v.Instance(vj)) + 1e-12) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+// P-SD via the Hall condition on the admissible-pair bipartite graph:
+// a dominating match exists iff, for every subset T of V's instances,
+// p(T) <= p(N(T)). Requires at most 20 instances per object.
+inline bool BrutePSd(const UncertainObject& u, const UncertainObject& v,
+                     const UncertainObject& q) {
+  if (DistributionsEqual(u, v, q)) return false;
+  const int nu = u.num_instances();
+  const int nv = v.num_instances();
+  if (nu > 20 || nv > 20) return false;  // test fixtures stay small
+  std::vector<uint32_t> neighbors(nv, 0);
+  for (int j = 0; j < nv; ++j) {
+    for (int i = 0; i < nu; ++i) {
+      bool leq = true;
+      for (int qi = 0; qi < q.num_instances() && leq; ++qi) {
+        const Point qp = q.Instance(qi);
+        if (Distance(qp, u.Instance(i)) >
+            Distance(qp, v.Instance(j)) + 1e-12) {
+          leq = false;
+        }
+      }
+      if (leq) neighbors[j] |= (1u << i);
+    }
+    if (neighbors[j] == 0) return false;
+  }
+  for (uint32_t mask = 1; mask < (1u << nv); ++mask) {
+    double demand = 0.0;
+    uint32_t nbr = 0;
+    for (int j = 0; j < nv; ++j) {
+      if (mask & (1u << j)) {
+        demand += v.Prob(j);
+        nbr |= neighbors[j];
+      }
+    }
+    double supply = 0.0;
+    for (int i = 0; i < nu; ++i) {
+      if (nbr & (1u << i)) supply += u.Prob(i);
+    }
+    if (demand > supply + 1e-9) return false;
+  }
+  return true;
+}
+
+/// Random object: `m` instances uniform in a box of the given edge around
+/// a random center in [0, span]^dim; uniform probabilities.
+inline UncertainObject RandomObject(int id, int dim, int m, double span,
+                                    double edge, Rng& rng) {
+  std::vector<double> coords;
+  Point center(dim);
+  for (int d = 0; d < dim; ++d) center[d] = rng.Uniform(0.0, span);
+  for (int k = 0; k < m; ++k) {
+    for (int d = 0; d < dim; ++d) {
+      coords.push_back(center[d] + rng.Uniform(-edge / 2, edge / 2));
+    }
+  }
+  return UncertainObject::Uniform(id, dim, std::move(coords));
+}
+
+/// Random object with non-uniform instance probabilities.
+inline UncertainObject RandomWeightedObject(int id, int dim, int m,
+                                            double span, double edge,
+                                            Rng& rng) {
+  std::vector<double> coords;
+  std::vector<double> weights;
+  Point center(dim);
+  for (int d = 0; d < dim; ++d) center[d] = rng.Uniform(0.0, span);
+  for (int k = 0; k < m; ++k) {
+    for (int d = 0; d < dim; ++d) {
+      coords.push_back(center[d] + rng.Uniform(-edge / 2, edge / 2));
+    }
+    weights.push_back(rng.Uniform(0.5, 2.0));
+  }
+  return UncertainObject::FromWeighted(id, dim, std::move(coords),
+                                       std::move(weights));
+}
+
+/// Brute-force NNC per Definition 6 for a given brute dominance predicate.
+template <typename DominatesFn>
+std::vector<int> BruteNnc(const std::vector<UncertainObject>& objects,
+                          const UncertainObject& query, DominatesFn dominates,
+                          int exclude_id = -1) {
+  std::vector<int> result;
+  for (size_t v = 0; v < objects.size(); ++v) {
+    if (static_cast<int>(v) == exclude_id) continue;
+    bool dominated = false;
+    for (size_t u = 0; u < objects.size() && !dominated; ++u) {
+      if (u == v || static_cast<int>(u) == exclude_id) continue;
+      if (dominates(objects[u], objects[v], query)) dominated = true;
+    }
+    if (!dominated) result.push_back(static_cast<int>(v));
+  }
+  return result;
+}
+
+}  // namespace test
+}  // namespace osd
+
+#endif  // OSD_TESTS_TEST_UTIL_H_

@@ -1,0 +1,205 @@
+// Command-line NN-candidate search over user-provided datasets.
+//
+// Usage:
+//   osd_cli --input data.txt [--weighted] [--binary]
+//           (--query-id N | --query-file q.txt)
+//           [--op ssd|sssd|psd|fsd|f+sd] [--k K] [--metric l2|l1]
+//           [--filters all|bf|l|lp|lg|lgp] [--progressive] [--rank-by f]
+//
+// The input follows the text format of io/dataset_io.h (or the binary
+// cache format with --binary). The query is either an object of the
+// dataset (excluded from the search) or the single object of a separate
+// file. --rank-by additionally orders the candidates by an NN function
+// (mean, max, quantile=PHI, emd, hausdorff).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/nnc_search.h"
+#include "io/dataset_io.h"
+#include "nnfun/n1_functions.h"
+#include "nnfun/n3_functions.h"
+
+namespace {
+
+using namespace osd;
+
+struct Args {
+  std::string input;
+  std::string query_file;
+  int query_id = -1;
+  bool weighted = false;
+  bool binary = false;
+  Operator op = Operator::kPSd;
+  int k = 1;
+  Metric metric = Metric::kL2;
+  FilterConfig filters = FilterConfig::All();
+  bool progressive = false;
+  std::string rank_by;
+};
+
+[[noreturn]] void Die(const std::string& message) {
+  std::fprintf(stderr, "osd_cli: %s\n", message.c_str());
+  std::exit(2);
+}
+
+bool ParseOperator(const std::string& s, Operator* op) {
+  if (s == "ssd") *op = Operator::kSSd;
+  else if (s == "sssd") *op = Operator::kSsSd;
+  else if (s == "psd") *op = Operator::kPSd;
+  else if (s == "fsd") *op = Operator::kFSd;
+  else if (s == "f+sd") *op = Operator::kFPlusSd;
+  else return false;
+  return true;
+}
+
+bool ParseFilters(const std::string& s, FilterConfig* config) {
+  if (s == "all") *config = FilterConfig::All();
+  else if (s == "bf") *config = FilterConfig::BruteForce();
+  else if (s == "l") *config = FilterConfig::L();
+  else if (s == "lp") *config = FilterConfig::LP();
+  else if (s == "lg") *config = FilterConfig::LG();
+  else if (s == "lgp") *config = FilterConfig::LGP();
+  else return false;
+  return true;
+}
+
+Args Parse(int argc, char** argv) {
+  Args args;
+  auto need_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) Die(std::string("missing value for ") + argv[i]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--input") {
+      args.input = need_value(i);
+    } else if (flag == "--query-file") {
+      args.query_file = need_value(i);
+    } else if (flag == "--query-id") {
+      args.query_id = std::atoi(need_value(i).c_str());
+    } else if (flag == "--weighted") {
+      args.weighted = true;
+    } else if (flag == "--binary") {
+      args.binary = true;
+    } else if (flag == "--op") {
+      if (!ParseOperator(need_value(i), &args.op)) Die("unknown --op");
+    } else if (flag == "--k") {
+      args.k = std::atoi(need_value(i).c_str());
+      if (args.k < 1) Die("--k must be >= 1");
+    } else if (flag == "--metric") {
+      const std::string m = need_value(i);
+      if (m == "l2") args.metric = Metric::kL2;
+      else if (m == "l1") args.metric = Metric::kL1;
+      else Die("unknown --metric");
+    } else if (flag == "--filters") {
+      if (!ParseFilters(need_value(i), &args.filters)) Die("unknown --filters");
+    } else if (flag == "--progressive") {
+      args.progressive = true;
+    } else if (flag == "--rank-by") {
+      args.rank_by = need_value(i);
+    } else {
+      Die("unknown flag " + flag);
+    }
+  }
+  if (args.input.empty()) Die("--input is required");
+  if (args.query_file.empty() && args.query_id < 0) {
+    Die("one of --query-id / --query-file is required");
+  }
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = Parse(argc, argv);
+
+  std::vector<UncertainObject> objects;
+  std::string error;
+  bool ok;
+  if (args.binary) {
+    ok = LoadBinary(args.input, &objects, &error);
+  } else if (args.weighted) {
+    ok = LoadTextWeighted(args.input, &objects, &error);
+  } else {
+    ok = LoadText(args.input, &objects, &error);
+  }
+  if (!ok) Die(error);
+
+  UncertainObject query;
+  int exclude = -1;
+  if (!args.query_file.empty()) {
+    std::vector<UncertainObject> qset;
+    if (!LoadText(args.query_file, &qset, &error)) Die(error);
+    if (qset.size() != 1) Die("--query-file must hold exactly one object");
+    query = std::move(qset[0]);
+  } else {
+    if (args.query_id >= static_cast<int>(objects.size())) {
+      Die("--query-id out of range");
+    }
+    query = objects[args.query_id];
+    exclude = args.query_id;
+  }
+
+  const Dataset dataset(std::move(objects));
+  NncOptions options;
+  options.op = args.op;
+  options.k = args.k;
+  options.metric = args.metric;
+  options.filters = args.filters;
+  options.exclude_id = exclude;
+
+  const NncResult result =
+      NncSearch(dataset, options)
+          .Run(query, [&](int id, double t) {
+            if (args.progressive) {
+              std::printf("candidate %d at %.3f ms\n", id, t * 1e3);
+            }
+          });
+
+  std::printf("operator %s, k=%d: %zu candidates of %d objects in %.2f ms\n",
+              OperatorName(args.op), args.k, result.candidates.size(),
+              dataset.size(), result.seconds * 1e3);
+  std::printf("work: %ld dominance checks, %ld instance comparisons, "
+              "%ld flow runs, %ld entries pruned\n",
+              result.stats.dominance_checks,
+              result.stats.InstanceComparisons(), result.stats.flow_runs,
+              result.entries_pruned);
+
+  if (args.rank_by.empty()) {
+    std::printf("candidates:");
+    for (int id : result.candidates) std::printf(" %d", id);
+    std::printf("\n");
+    return 0;
+  }
+
+  std::vector<std::pair<double, int>> ranked;
+  for (int idx : result.candidates) {
+    const UncertainObject& o = dataset.object(idx);
+    double score = 0.0;
+    if (args.rank_by == "mean") {
+      score = ExpectedDistance(o, query, args.metric);
+    } else if (args.rank_by == "max") {
+      score = MaxDistance(o, query, args.metric);
+    } else if (args.rank_by.rfind("quantile=", 0) == 0) {
+      score = QuantileDistance(o, query, std::atof(args.rank_by.c_str() + 9),
+                               args.metric);
+    } else if (args.rank_by == "emd") {
+      score = EmdDistance(o, query, args.metric);
+    } else if (args.rank_by == "hausdorff") {
+      score = HausdorffDistance(o, query, args.metric);
+    } else {
+      Die("unknown --rank-by function");
+    }
+    ranked.emplace_back(score, idx);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  std::printf("candidates by %s:\n", args.rank_by.c_str());
+  for (const auto& [score, idx] : ranked) {
+    std::printf("  %-8d %.4f\n", idx, score);
+  }
+  return 0;
+}
