@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_candidates_datasets.dir/fig10_candidates_datasets.cc.o"
+  "CMakeFiles/fig10_candidates_datasets.dir/fig10_candidates_datasets.cc.o.d"
+  "fig10_candidates_datasets"
+  "fig10_candidates_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_candidates_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

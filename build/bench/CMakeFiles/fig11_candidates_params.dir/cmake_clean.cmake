@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_candidates_params.dir/fig11_candidates_params.cc.o"
+  "CMakeFiles/fig11_candidates_params.dir/fig11_candidates_params.cc.o.d"
+  "fig11_candidates_params"
+  "fig11_candidates_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_candidates_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

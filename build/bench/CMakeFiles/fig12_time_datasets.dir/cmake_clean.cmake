@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_time_datasets.dir/fig12_time_datasets.cc.o"
+  "CMakeFiles/fig12_time_datasets.dir/fig12_time_datasets.cc.o.d"
+  "fig12_time_datasets"
+  "fig12_time_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_time_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_time_params.dir/fig13_time_params.cc.o"
+  "CMakeFiles/fig13_time_params.dir/fig13_time_params.cc.o.d"
+  "fig13_time_params"
+  "fig13_time_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_time_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_progressive.dir/fig14_progressive.cc.o"
+  "CMakeFiles/fig14_progressive.dir/fig14_progressive.cc.o.d"
+  "fig14_progressive"
+  "fig14_progressive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_progressive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_filter_ablation.dir/fig16_filter_ablation.cc.o"
+  "CMakeFiles/fig16_filter_ablation.dir/fig16_filter_ablation.cc.o.d"
+  "fig16_filter_ablation"
+  "fig16_filter_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_filter_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_dominance.dir/micro_dominance.cc.o"
+  "CMakeFiles/micro_dominance.dir/micro_dominance.cc.o.d"
+  "micro_dominance"
+  "micro_dominance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_dominance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motivation_nn_core.dir/motivation_nn_core.cc.o"
+  "CMakeFiles/motivation_nn_core.dir/motivation_nn_core.cc.o.d"
+  "motivation_nn_core"
+  "motivation_nn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation_nn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkin_neighbors.dir/checkin_neighbors.cc.o"
+  "CMakeFiles/checkin_neighbors.dir/checkin_neighbors.cc.o.d"
+  "checkin_neighbors"
+  "checkin_neighbors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkin_neighbors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_emd_search.dir/image_emd_search.cc.o"
+  "CMakeFiles/image_emd_search.dir/image_emd_search.cc.o.d"
+  "image_emd_search"
+  "image_emd_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_emd_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manhattan_taxi.dir/manhattan_taxi.cc.o"
+  "CMakeFiles/manhattan_taxi.dir/manhattan_taxi.cc.o.d"
+  "manhattan_taxi"
+  "manhattan_taxi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manhattan_taxi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;9;osd_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_nba_scouting "/root/repo/build/examples/nba_scouting")
+set_tests_properties(example_nba_scouting PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;10;osd_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_checkin_neighbors "/root/repo/build/examples/checkin_neighbors")
+set_tests_properties(example_checkin_neighbors PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;11;osd_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_image_emd_search "/root/repo/build/examples/image_emd_search")
+set_tests_properties(example_image_emd_search PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;12;osd_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_manhattan_taxi "/root/repo/build/examples/manhattan_taxi")
+set_tests_properties(example_manhattan_taxi PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;13;osd_add_example;/root/repo/examples/CMakeLists.txt;0;")

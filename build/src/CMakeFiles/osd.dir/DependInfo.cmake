@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cdf_envelope.cc" "src/CMakeFiles/osd.dir/core/cdf_envelope.cc.o" "gcc" "src/CMakeFiles/osd.dir/core/cdf_envelope.cc.o.d"
+  "/root/repo/src/core/dominance_oracle.cc" "src/CMakeFiles/osd.dir/core/dominance_oracle.cc.o" "gcc" "src/CMakeFiles/osd.dir/core/dominance_oracle.cc.o.d"
+  "/root/repo/src/core/filter_config.cc" "src/CMakeFiles/osd.dir/core/filter_config.cc.o" "gcc" "src/CMakeFiles/osd.dir/core/filter_config.cc.o.d"
+  "/root/repo/src/core/nn_core.cc" "src/CMakeFiles/osd.dir/core/nn_core.cc.o" "gcc" "src/CMakeFiles/osd.dir/core/nn_core.cc.o.d"
+  "/root/repo/src/core/nnc_search.cc" "src/CMakeFiles/osd.dir/core/nnc_search.cc.o" "gcc" "src/CMakeFiles/osd.dir/core/nnc_search.cc.o.d"
+  "/root/repo/src/core/object_profile.cc" "src/CMakeFiles/osd.dir/core/object_profile.cc.o" "gcc" "src/CMakeFiles/osd.dir/core/object_profile.cc.o.d"
+  "/root/repo/src/core/query_context.cc" "src/CMakeFiles/osd.dir/core/query_context.cc.o" "gcc" "src/CMakeFiles/osd.dir/core/query_context.cc.o.d"
+  "/root/repo/src/datagen/generators.cc" "src/CMakeFiles/osd.dir/datagen/generators.cc.o" "gcc" "src/CMakeFiles/osd.dir/datagen/generators.cc.o.d"
+  "/root/repo/src/datagen/surrogates.cc" "src/CMakeFiles/osd.dir/datagen/surrogates.cc.o" "gcc" "src/CMakeFiles/osd.dir/datagen/surrogates.cc.o.d"
+  "/root/repo/src/datagen/workload.cc" "src/CMakeFiles/osd.dir/datagen/workload.cc.o" "gcc" "src/CMakeFiles/osd.dir/datagen/workload.cc.o.d"
+  "/root/repo/src/flow/max_flow.cc" "src/CMakeFiles/osd.dir/flow/max_flow.cc.o" "gcc" "src/CMakeFiles/osd.dir/flow/max_flow.cc.o.d"
+  "/root/repo/src/flow/min_cost_flow.cc" "src/CMakeFiles/osd.dir/flow/min_cost_flow.cc.o" "gcc" "src/CMakeFiles/osd.dir/flow/min_cost_flow.cc.o.d"
+  "/root/repo/src/geom/convex_hull.cc" "src/CMakeFiles/osd.dir/geom/convex_hull.cc.o" "gcc" "src/CMakeFiles/osd.dir/geom/convex_hull.cc.o.d"
+  "/root/repo/src/geom/mbr.cc" "src/CMakeFiles/osd.dir/geom/mbr.cc.o" "gcc" "src/CMakeFiles/osd.dir/geom/mbr.cc.o.d"
+  "/root/repo/src/geom/metric.cc" "src/CMakeFiles/osd.dir/geom/metric.cc.o" "gcc" "src/CMakeFiles/osd.dir/geom/metric.cc.o.d"
+  "/root/repo/src/geom/point.cc" "src/CMakeFiles/osd.dir/geom/point.cc.o" "gcc" "src/CMakeFiles/osd.dir/geom/point.cc.o.d"
+  "/root/repo/src/index/rtree.cc" "src/CMakeFiles/osd.dir/index/rtree.cc.o" "gcc" "src/CMakeFiles/osd.dir/index/rtree.cc.o.d"
+  "/root/repo/src/io/dataset_io.cc" "src/CMakeFiles/osd.dir/io/dataset_io.cc.o" "gcc" "src/CMakeFiles/osd.dir/io/dataset_io.cc.o.d"
+  "/root/repo/src/nnfun/n1_functions.cc" "src/CMakeFiles/osd.dir/nnfun/n1_functions.cc.o" "gcc" "src/CMakeFiles/osd.dir/nnfun/n1_functions.cc.o.d"
+  "/root/repo/src/nnfun/n2_functions.cc" "src/CMakeFiles/osd.dir/nnfun/n2_functions.cc.o" "gcc" "src/CMakeFiles/osd.dir/nnfun/n2_functions.cc.o.d"
+  "/root/repo/src/nnfun/n3_functions.cc" "src/CMakeFiles/osd.dir/nnfun/n3_functions.cc.o" "gcc" "src/CMakeFiles/osd.dir/nnfun/n3_functions.cc.o.d"
+  "/root/repo/src/nnfun/possible_worlds.cc" "src/CMakeFiles/osd.dir/nnfun/possible_worlds.cc.o" "gcc" "src/CMakeFiles/osd.dir/nnfun/possible_worlds.cc.o.d"
+  "/root/repo/src/nnfun/rank_engine.cc" "src/CMakeFiles/osd.dir/nnfun/rank_engine.cc.o" "gcc" "src/CMakeFiles/osd.dir/nnfun/rank_engine.cc.o.d"
+  "/root/repo/src/object/dataset.cc" "src/CMakeFiles/osd.dir/object/dataset.cc.o" "gcc" "src/CMakeFiles/osd.dir/object/dataset.cc.o.d"
+  "/root/repo/src/object/uncertain_object.cc" "src/CMakeFiles/osd.dir/object/uncertain_object.cc.o" "gcc" "src/CMakeFiles/osd.dir/object/uncertain_object.cc.o.d"
+  "/root/repo/src/prob/discrete_distribution.cc" "src/CMakeFiles/osd.dir/prob/discrete_distribution.cc.o" "gcc" "src/CMakeFiles/osd.dir/prob/discrete_distribution.cc.o.d"
+  "/root/repo/src/prob/stochastic_order.cc" "src/CMakeFiles/osd.dir/prob/stochastic_order.cc.o" "gcc" "src/CMakeFiles/osd.dir/prob/stochastic_order.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

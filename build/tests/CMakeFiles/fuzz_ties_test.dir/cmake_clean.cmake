@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_ties_test.dir/fuzz_ties_test.cc.o"
+  "CMakeFiles/fuzz_ties_test.dir/fuzz_ties_test.cc.o.d"
+  "fuzz_ties_test"
+  "fuzz_ties_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_ties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

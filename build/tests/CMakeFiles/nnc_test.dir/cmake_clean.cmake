@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nnc_test.dir/nnc_test.cc.o"
+  "CMakeFiles/nnc_test.dir/nnc_test.cc.o.d"
+  "nnc_test"
+  "nnc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nnc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nnfun_test.dir/nnfun_test.cc.o"
+  "CMakeFiles/nnfun_test.dir/nnfun_test.cc.o.d"
+  "nnfun_test"
+  "nnfun_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nnfun_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

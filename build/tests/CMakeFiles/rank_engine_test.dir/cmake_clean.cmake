@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rank_engine_test.dir/rank_engine_test.cc.o"
+  "CMakeFiles/rank_engine_test.dir/rank_engine_test.cc.o.d"
+  "rank_engine_test"
+  "rank_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rank_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

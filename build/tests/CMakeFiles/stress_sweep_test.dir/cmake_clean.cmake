@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stress_sweep_test.dir/stress_sweep_test.cc.o"
+  "CMakeFiles/stress_sweep_test.dir/stress_sweep_test.cc.o.d"
+  "stress_sweep_test"
+  "stress_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stress_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osd_cli.dir/osd_cli.cc.o"
+  "CMakeFiles/osd_cli.dir/osd_cli.cc.o.d"
+  "osd_cli"
+  "osd_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osd_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
