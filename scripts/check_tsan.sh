@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Builds the project with ThreadSanitizer and runs the engine concurrency
+# suite (the tests labeled `tsan`). Zero reported races is a merge gate for
+# changes touching src/engine/ or the shared lazy caches in src/object/.
+#
+# Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DOSD_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j"$(nproc)" \
+  --target engine_test engine_concurrency_test
+
+# halt_on_error makes a detected race fail the test run rather than just
+# printing a report.
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  ctest --test-dir "$BUILD_DIR" -L tsan --output-on-failure
+
+echo "check_tsan: OK (no data races reported)"

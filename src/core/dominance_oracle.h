@@ -27,7 +27,13 @@
 namespace osd {
 
 /// Stateful checker bound to one query; reusable across object pairs.
-/// Not thread-safe (shares the FilterStats sink).
+///
+/// Thread-safety: NOT thread-safe — it writes the FilterStats sink and
+/// mutates the (lazy) ObjectProfiles passed to it without synchronization.
+/// Like ObjectProfile, an oracle is per-query-execution state: each
+/// NncSearch::Run call builds its own oracle over its own stats sink, so
+/// concurrent Run calls never share one. The QueryContext it is bound to
+/// is read-only after construction and may be shared.
 class DominanceOracle {
  public:
   DominanceOracle(const QueryContext& ctx, FilterConfig config,

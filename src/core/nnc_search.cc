@@ -52,7 +52,26 @@ NncResult NncSearch::Run(
                         options_.metric),
              false, tree.root()});
 
+  const QueryControl* control = options_.control;
+  long pops = 0;
   while (!heap.empty()) {
+    // Cooperative termination: cancel is one relaxed load per pop; the
+    // deadline costs a clock read every kDeadlineCheckStride pops (and on
+    // the very first pop, so a ~0 budget stops before any traversal work).
+    if (control != nullptr) {
+      if (control->cancel.load(std::memory_order_relaxed)) {
+        result.termination = NncTermination::kCancelled;
+        break;
+      }
+      if (control->has_deadline() &&
+          pops % QueryControl::kDeadlineCheckStride == 0 &&
+          std::chrono::steady_clock::now() >= control->deadline) {
+        result.termination = NncTermination::kDeadlineExceeded;
+        break;
+      }
+    }
+    ++pops;
+
     const HeapItem item = heap.top();
     heap.pop();
 

@@ -19,6 +19,8 @@
 #ifndef OSD_CORE_NNC_SEARCH_H_
 #define OSD_CORE_NNC_SEARCH_H_
 
+#include <atomic>
+#include <chrono>
 #include <functional>
 #include <vector>
 
@@ -27,6 +29,36 @@
 #include "object/dataset.h"
 
 namespace osd {
+
+/// Cooperative cancellation / deadline hook for one in-flight query.
+///
+/// The traversal loop of NncSearch::Run polls the hook at heap pops: the
+/// cancel flag on every pop (one relaxed atomic load) and the deadline
+/// every kDeadlineCheckStride pops (one steady_clock read). The owner (the
+/// query engine, or any caller) keeps the hook alive for the duration of
+/// the Run call; Cancel() may be called from any thread at any time.
+struct QueryControl {
+  /// Pops between steady_clock reads for the deadline check. The first pop
+  /// always checks, so an already-expired deadline terminates before any
+  /// traversal work.
+  static constexpr long kDeadlineCheckStride = 32;
+
+  std::atomic<bool> cancel{false};
+  /// Absolute steady_clock deadline; max() means none.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+
+  bool has_deadline() const {
+    return deadline != std::chrono::steady_clock::time_point::max();
+  }
+};
+
+/// Why a Run call returned.
+enum class NncTermination {
+  kComplete,          ///< traversal exhausted the heap; result is exact
+  kDeadlineExceeded,  ///< stopped at the QueryControl deadline
+  kCancelled,         ///< stopped by the QueryControl cancel flag
+};
 
 /// Options for one NNC computation.
 struct NncOptions {
@@ -44,6 +76,9 @@ struct NncOptions {
   /// dominators can never rank among the k nearest under any covered
   /// function, so the result contains every possible top-k member.
   int k = 1;
+  /// Optional cancellation/deadline hook (not owned; may outlive nothing —
+  /// the caller keeps it alive across Run). Null disables polling.
+  const QueryControl* control = nullptr;
 };
 
 /// One progressive candidate emission.
@@ -52,7 +87,9 @@ struct NncEmission {
   double elapsed_seconds = 0.0;
 };
 
-/// Result of one NNC computation.
+/// Result of one NNC computation. All timing fields (`seconds`, the
+/// timeline's `elapsed_seconds`) are measured with std::chrono::steady_clock
+/// so latency aggregation is immune to wall-clock adjustments.
 struct NncResult {
   /// Final candidate object indices, in emission order (after cleanup).
   std::vector<int> candidates;
@@ -62,9 +99,20 @@ struct NncResult {
   double seconds = 0.0;
   long objects_examined = 0;  ///< objects reaching the dominance check
   long entries_pruned = 0;    ///< R-tree entries/nodes discarded via MBRs
+  /// kComplete for an exhaustive traversal. On early termination the
+  /// candidates emitted so far are still cross-cleaned, so the partial
+  /// result never contains a pair where one member dominates the other.
+  NncTermination termination = NncTermination::kComplete;
 };
 
 /// NN-candidate search engine over a dataset.
+///
+/// Thread-safety: Run is const and keeps all per-query state (QueryContext,
+/// DominanceOracle, ObjectProfiles, the traversal heap) on its own stack,
+/// so any number of threads may call Run concurrently on one NncSearch —
+/// or on distinct NncSearch instances sharing one Dataset. The only shared
+/// mutable state reached from Run is the lazily built per-object local
+/// R-tree, which UncertainObject::LocalTree() builds under std::call_once.
 class NncSearch {
  public:
   NncSearch(const Dataset& dataset, NncOptions options);

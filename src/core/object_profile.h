@@ -23,7 +23,13 @@
 
 namespace osd {
 
-/// Distance views of one object w.r.t. one query. Not thread-safe.
+/// Distance views of one object w.r.t. one query.
+///
+/// Thread-safety: NOT thread-safe — the lazy views mutate on first access
+/// with no synchronization. A profile belongs to exactly one query
+/// execution: NncSearch::Run constructs fresh profiles per call and never
+/// shares them, which is what makes concurrent Run calls safe. Never cache
+/// profiles across queries or hand one to another thread mid-query.
 class ObjectProfile {
  public:
   ObjectProfile(const UncertainObject& object, const QueryContext& ctx,

@@ -1,0 +1,107 @@
+#include "engine/engine_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace osd {
+
+namespace {
+
+/// Bucket b covers (2^(b-1), 2^b] microseconds; bucket 0 covers [0, 1us].
+int BucketIndex(double seconds) {
+  const double us = seconds * 1e6;
+  if (us <= 1.0) return 0;
+  const int b = static_cast<int>(std::floor(std::log2(us))) + 1;
+  return std::clamp(b, 1, LatencyHistogram::kBuckets - 1);
+}
+
+double BucketLowerSeconds(int b) {
+  return b == 0 ? 0.0 : std::ldexp(1.0, b - 1) * 1e-6;
+}
+
+double BucketUpperSeconds(int b) { return std::ldexp(1.0, b) * 1e-6; }
+
+void Append(std::string* out, const char* fmt, auto... args) {
+  char buf[1024];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  *out += buf;
+}
+
+}  // namespace
+
+void LatencyHistogram::Add(double seconds) {
+  seconds = std::max(seconds, 0.0);
+  ++buckets_[BucketIndex(seconds)];
+  if (count_ == 0 || seconds < min_) min_ = seconds;
+  if (seconds > max_) max_ = seconds;
+  total_ += seconds;
+  ++count_;
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * count_;
+  long cum = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    if (cum + buckets_[b] >= target) {
+      const double frac =
+          buckets_[b] > 0 ? (target - cum) / buckets_[b] : 0.0;
+      const double lo = BucketLowerSeconds(b);
+      const double hi = BucketUpperSeconds(b);
+      return std::clamp(lo + frac * (hi - lo), min_, max_);
+    }
+    cum += buckets_[b];
+  }
+  return max_;
+}
+
+std::string EngineStats::ToJson() const {
+  std::string out = "{";
+  Append(&out, "\"threads\":%d", threads);
+  Append(&out, ",\"submitted\":%ld", submitted);
+  Append(&out, ",\"completed\":%ld", completed);
+  Append(&out, ",\"ok\":%ld", ok);
+  Append(&out, ",\"deadline_exceeded\":%ld", deadline_exceeded);
+  Append(&out, ",\"cancelled\":%ld", cancelled);
+  Append(&out, ",\"errors\":%ld", errors);
+  Append(&out, ",\"wall_seconds\":%.6f", wall_seconds);
+  Append(&out, ",\"qps\":%.2f", qps);
+  Append(&out,
+         ",\"latency_ms\":{\"mean\":%.4f,\"p50\":%.4f,\"p95\":%.4f,"
+         "\"p99\":%.4f,\"max\":%.4f}",
+         latency_mean_ms, latency_p50_ms, latency_p95_ms, latency_p99_ms,
+         latency_max_ms);
+  Append(&out,
+         ",\"work\":{\"dominance_checks\":%ld,\"instance_comparisons\":%ld,"
+         "\"dist_evals\":%ld,\"pair_tests\":%ld,\"scan_steps\":%ld,"
+         "\"node_ops\":%ld,\"flow_runs\":%ld,\"stat_prunes\":%ld,"
+         "\"cover_prunes\":%ld,\"level_decisions\":%ld,"
+         "\"mbr_validations\":%ld,\"exact_checks\":%ld,"
+         "\"objects_examined\":%ld,\"entries_pruned\":%ld}",
+         filters.dominance_checks, filters.InstanceComparisons(),
+         filters.dist_evals, filters.pair_tests, filters.scan_steps,
+         filters.node_ops, filters.flow_runs, filters.stat_prunes,
+         filters.cover_prunes, filters.level_decisions,
+         filters.mbr_validations, filters.exact_checks, objects_examined,
+         entries_pruned);
+  out += ",\"operators\":{";
+  bool first = true;
+  for (int i = 0; i < static_cast<int>(per_operator.size()); ++i) {
+    const OperatorStats& op = per_operator[i];
+    if (op.queries == 0) continue;
+    if (!first) out += ",";
+    first = false;
+    Append(&out,
+           "\"%s\":{\"queries\":%ld,\"candidates\":%ld,"
+           "\"busy_seconds\":%.6f,\"qps\":%.2f}",
+           OperatorName(static_cast<Operator>(i)), op.queries, op.candidates,
+           op.busy_seconds, op.Qps());
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace osd

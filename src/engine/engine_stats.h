@@ -1,0 +1,94 @@
+// Cross-query observability for the batch query engine.
+//
+// The engine records one completion event per query (terminal status,
+// end-to-end latency, per-operator work counters). EngineStats is the
+// JSON-serializable snapshot the engine exports: status counts, overall
+// throughput, latency percentiles from a log2-bucketed histogram, summed
+// FilterStats / prune counters, and per-operator throughput.
+//
+// All latencies are steady_clock durations (see NncResult), so the
+// percentiles are immune to wall-clock adjustments.
+
+#ifndef OSD_ENGINE_ENGINE_STATS_H_
+#define OSD_ENGINE_ENGINE_STATS_H_
+
+#include <array>
+#include <string>
+
+#include "core/filter_config.h"
+
+namespace osd {
+
+/// Fixed-size log2 latency histogram: bucket 0 holds <= 1us, bucket b
+/// holds (2^(b-1), 2^b] microseconds. 42 buckets reach ~25 days, far past
+/// any query. Quantiles interpolate linearly inside the hit bucket and are
+/// clamped to the observed [min, max]. Not internally synchronized — the
+/// engine guards it with its stats mutex.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 42;
+
+  void Add(double seconds);
+
+  long count() const { return count_; }
+  double min_seconds() const { return count_ == 0 ? 0.0 : min_; }
+  double max_seconds() const { return max_; }
+  double mean_seconds() const { return count_ == 0 ? 0.0 : total_ / count_; }
+
+  /// q in [0, 1]; 0 with no samples.
+  double Quantile(double q) const;
+
+ private:
+  std::array<long, kBuckets> buckets_{};
+  long count_ = 0;
+  double total_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Work and throughput of one operator across all its completed queries.
+struct OperatorStats {
+  long queries = 0;
+  long candidates = 0;        ///< summed result-set sizes
+  double busy_seconds = 0.0;  ///< summed per-query traversal seconds
+
+  /// Queries per second of traversal compute (per-core throughput).
+  double Qps() const { return busy_seconds > 0 ? queries / busy_seconds : 0; }
+};
+
+/// One immutable snapshot of the engine's counters.
+struct EngineStats {
+  int threads = 0;
+  long submitted = 0;
+  long completed = 0;  ///< reached any terminal state
+  long ok = 0;
+  long deadline_exceeded = 0;
+  long cancelled = 0;
+  long errors = 0;
+
+  /// First submission to latest completion (steady_clock), seconds.
+  double wall_seconds = 0.0;
+  /// completed / wall_seconds — the engine-level throughput.
+  double qps = 0.0;
+
+  double latency_mean_ms = 0.0;
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_max_ms = 0.0;
+
+  /// Summed across completed queries.
+  FilterStats filters;
+  long objects_examined = 0;
+  long entries_pruned = 0;
+
+  /// Indexed by static_cast<int>(Operator).
+  std::array<OperatorStats, 5> per_operator{};
+
+  /// Single-line JSON object with all of the above.
+  std::string ToJson() const;
+};
+
+}  // namespace osd
+
+#endif  // OSD_ENGINE_ENGINE_STATS_H_

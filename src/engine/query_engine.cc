@@ -1,0 +1,173 @@
+#include "engine/query_engine.h"
+
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace osd {
+
+namespace {
+
+int ResolveThreads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+QueryStatus StatusFromTermination(NncTermination t) {
+  switch (t) {
+    case NncTermination::kComplete: return QueryStatus::kOk;
+    case NncTermination::kDeadlineExceeded:
+      return QueryStatus::kDeadlineExceeded;
+    case NncTermination::kCancelled: return QueryStatus::kCancelled;
+  }
+  return QueryStatus::kError;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(Dataset dataset, EngineOptions options)
+    : dataset_(std::move(dataset)),
+      pool_(ResolveThreads(options.num_threads), options.queue_capacity) {}
+
+QueryEngine::~QueryEngine() {
+  Drain();
+  pool_.Shutdown();
+}
+
+std::shared_ptr<QueryTicket> QueryEngine::Submit(QuerySpec spec) {
+  auto ticket = std::make_shared<QueryTicket>();
+  const auto now = std::chrono::steady_clock::now();
+  ticket->submitted_at_ = now;
+  if (spec.deadline_seconds > 0.0) {
+    ticket->control_.deadline =
+        now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(spec.deadline_seconds));
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++submitted_;
+    if (!saw_submission_) {
+      saw_submission_ = true;
+      first_submit_ = now;
+      last_completion_ = now;
+    }
+  }
+  const Operator op = spec.options.op;
+  const bool accepted =
+      pool_.Submit([this, ticket, spec = std::move(spec)]() mutable {
+        Execute(ticket, spec);
+      });
+  if (!accepted) {
+    // Pool shutting down: fail the ticket instead of losing it silently.
+    Complete(ticket, op, QueryStatus::kError, {}, "engine is shutting down");
+  }
+  return ticket;
+}
+
+std::vector<std::shared_ptr<QueryTicket>> QueryEngine::SubmitBatch(
+    std::vector<QuerySpec> specs) {
+  std::vector<std::shared_ptr<QueryTicket>> tickets;
+  tickets.reserve(specs.size());
+  for (QuerySpec& spec : specs) tickets.push_back(Submit(std::move(spec)));
+  return tickets;
+}
+
+void QueryEngine::Drain() { pool_.WaitIdle(); }
+
+void QueryEngine::Execute(const std::shared_ptr<QueryTicket>& ticket,
+                          QuerySpec& spec) {
+  const Operator op = spec.options.op;
+  QueryControl& control = ticket->control_;
+
+  // Fast-fail queries whose fate was sealed while queued.
+  if (control.cancel.load(std::memory_order_relaxed)) {
+    Complete(ticket, op, QueryStatus::kCancelled, {}, "");
+    return;
+  }
+  if (control.has_deadline() &&
+      std::chrono::steady_clock::now() >= control.deadline) {
+    Complete(ticket, op, QueryStatus::kDeadlineExceeded, {}, "");
+    return;
+  }
+
+  ticket->MarkRunning();
+  spec.options.control = &control;
+  try {
+    if (spec.query.dim() != dataset_.dim()) {
+      throw std::invalid_argument(
+          "query dimensionality does not match the dataset");
+    }
+    NncResult result = NncSearch(dataset_, spec.options).Run(spec.query);
+    const QueryStatus status = StatusFromTermination(result.termination);
+    Complete(ticket, op, status, std::move(result), "");
+  } catch (const std::exception& e) {
+    Complete(ticket, op, QueryStatus::kError, {}, e.what());
+  } catch (...) {
+    Complete(ticket, op, QueryStatus::kError, {}, "unknown exception");
+  }
+}
+
+void QueryEngine::Complete(const std::shared_ptr<QueryTicket>& ticket,
+                           Operator op, QueryStatus status, NncResult result,
+                           std::string error) {
+  const auto now = std::chrono::steady_clock::now();
+  const double latency =
+      std::chrono::duration<double>(now - ticket->submitted_at_).count();
+  // Record under the stats lock BEFORE the ticket signals: anyone who
+  // returns from ticket->Wait() then observes a Snapshot that already
+  // includes this query.
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    switch (status) {
+      case QueryStatus::kOk: ++ok_; break;
+      case QueryStatus::kDeadlineExceeded: ++deadline_exceeded_; break;
+      case QueryStatus::kCancelled: ++cancelled_; break;
+      default: ++errors_; break;
+    }
+    latency_.Add(latency);
+    if (status != QueryStatus::kError) {
+      filters_ += result.stats;
+      objects_examined_ += result.objects_examined;
+      entries_pruned_ += result.entries_pruned;
+      OperatorStats& per_op = per_operator_[static_cast<int>(op)];
+      ++per_op.queries;
+      per_op.candidates += static_cast<long>(result.candidates.size());
+      per_op.busy_seconds += result.seconds;
+    }
+    last_completion_ = now;
+  }
+  ticket->Finish(status, std::move(result), std::move(error), latency);
+}
+
+EngineStats QueryEngine::Snapshot() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  EngineStats s;
+  s.threads = pool_.num_threads();
+  s.submitted = submitted_;
+  s.ok = ok_;
+  s.deadline_exceeded = deadline_exceeded_;
+  s.cancelled = cancelled_;
+  s.errors = errors_;
+  s.completed = ok_ + deadline_exceeded_ + cancelled_ + errors_;
+  if (saw_submission_) {
+    s.wall_seconds =
+        std::chrono::duration<double>(last_completion_ - first_submit_)
+            .count();
+  }
+  s.qps = s.wall_seconds > 0 ? s.completed / s.wall_seconds : 0.0;
+  s.latency_mean_ms = latency_.mean_seconds() * 1e3;
+  s.latency_p50_ms = latency_.Quantile(0.50) * 1e3;
+  s.latency_p95_ms = latency_.Quantile(0.95) * 1e3;
+  s.latency_p99_ms = latency_.Quantile(0.99) * 1e3;
+  s.latency_max_ms = latency_.max_seconds() * 1e3;
+  s.filters = filters_;
+  s.objects_examined = objects_examined_;
+  s.entries_pruned = entries_pruned_;
+  s.per_operator = per_operator_;
+  return s;
+}
+
+}  // namespace osd

@@ -1,0 +1,115 @@
+// Concurrent batch NNC query engine.
+//
+// A QueryEngine owns one immutable Dataset (with its prebuilt global
+// R-tree) and executes NNC queries against it on a fixed-size ThreadPool
+// with a bounded submission queue. Each submitted query yields a
+// QueryTicket; per-query deadlines and cancellation are plumbed into the
+// traversal through the QueryControl hook in NncOptions and are honoured
+// at heap pops, so even a mid-flight query stops within a bounded amount
+// of work. Exceptions thrown by a query land on its ticket as kError and
+// never kill a worker.
+//
+// Determinism: NncSearch::Run is deterministic in its inputs and workers
+// share only immutable dataset state (the lazy local R-trees build under
+// std::call_once and come out identical regardless of the winning thread),
+// so a batch executed on N threads returns candidate sets bit-identical to
+// serial execution — only timing fields differ.
+//
+// Thread-safety: Submit / SubmitBatch / Drain / Snapshot may be called
+// from any thread. Destruction drains outstanding queries first.
+
+#ifndef OSD_ENGINE_QUERY_ENGINE_H_
+#define OSD_ENGINE_QUERY_ENGINE_H_
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/nnc_search.h"
+#include "engine/engine_stats.h"
+#include "engine/query_ticket.h"
+#include "engine/thread_pool.h"
+#include "object/dataset.h"
+
+namespace osd {
+
+/// Engine construction parameters.
+struct EngineOptions {
+  /// Worker count; <= 0 selects std::thread::hardware_concurrency().
+  int num_threads = 0;
+  /// Bounded submission queue; Submit blocks when full (backpressure).
+  size_t queue_capacity = 4096;
+};
+
+/// One query to execute: the query object, its NNC options, and an
+/// optional relative deadline. `options.control` is engine-managed; any
+/// caller-provided value is ignored.
+struct QuerySpec {
+  UncertainObject query;
+  NncOptions options;
+  /// End-to-end budget from submission, seconds; <= 0 means none.
+  double deadline_seconds = 0.0;
+};
+
+class QueryEngine {
+ public:
+  /// Takes ownership of the dataset (move it in; copy to keep a caller
+  /// copy). The global R-tree must already be built, which Dataset's
+  /// constructor guarantees.
+  explicit QueryEngine(Dataset dataset, EngineOptions options = {});
+
+  /// Drains outstanding queries, then stops the pool.
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Enqueues one query; blocks while the submission queue is full.
+  std::shared_ptr<QueryTicket> Submit(QuerySpec spec);
+
+  /// Convenience fan-in: submits every spec (blocking on backpressure) and
+  /// returns the tickets in submission order.
+  std::vector<std::shared_ptr<QueryTicket>> SubmitBatch(
+      std::vector<QuerySpec> specs);
+
+  /// Blocks until every submitted query has reached a terminal state.
+  void Drain();
+
+  /// Consistent snapshot of the engine-level counters.
+  EngineStats Snapshot() const;
+
+  const Dataset& dataset() const { return dataset_; }
+  int num_threads() const { return pool_.num_threads(); }
+
+ private:
+  void Execute(const std::shared_ptr<QueryTicket>& ticket, QuerySpec& spec);
+
+  /// Records the terminal event in the engine stats, then transitions the
+  /// ticket (stats first — see Complete's body for the ordering contract).
+  void Complete(const std::shared_ptr<QueryTicket>& ticket, Operator op,
+                QueryStatus status, NncResult result, std::string error);
+
+  Dataset dataset_;
+  ThreadPool pool_;
+
+  mutable std::mutex stats_mu_;
+  long submitted_ = 0;
+  long ok_ = 0;
+  long deadline_exceeded_ = 0;
+  long cancelled_ = 0;
+  long errors_ = 0;
+  LatencyHistogram latency_;
+  FilterStats filters_;
+  long objects_examined_ = 0;
+  long entries_pruned_ = 0;
+  std::array<OperatorStats, 5> per_operator_{};
+  bool saw_submission_ = false;
+  std::chrono::steady_clock::time_point first_submit_{};
+  std::chrono::steady_clock::time_point last_completion_{};
+};
+
+}  // namespace osd
+
+#endif  // OSD_ENGINE_QUERY_ENGINE_H_

@@ -1,0 +1,96 @@
+// Future-style handle for one query submitted to the QueryEngine.
+//
+// A ticket is created at submission and transitions
+//   kPending -> kRunning -> {kOk, kDeadlineExceeded, kCancelled, kError}
+// (kPending can also jump straight to a terminal state when the query is
+// cancelled or its deadline expires before a worker picks it up). Wait()
+// blocks until a terminal state; result() is then valid. Cancel() flips
+// the query's QueryControl flag, which the traversal polls at heap pops.
+//
+// Thread-safety: every public member may be called from any thread. The
+// result reference returned by result() is stable once the ticket is done.
+
+#ifndef OSD_ENGINE_QUERY_TICKET_H_
+#define OSD_ENGINE_QUERY_TICKET_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+
+#include "core/nnc_search.h"
+
+namespace osd {
+
+/// Terminal and in-flight states of a submitted query.
+enum class QueryStatus {
+  kPending,           ///< queued, not yet picked up by a worker
+  kRunning,           ///< a worker is executing the traversal
+  kOk,                ///< completed exhaustively; result() is exact
+  kDeadlineExceeded,  ///< stopped at its deadline; result() is the partial set
+  kCancelled,         ///< stopped via Cancel(); result() is the partial set
+  kError,             ///< the worker caught an exception; see error()
+};
+
+const char* QueryStatusName(QueryStatus status);
+
+class QueryTicket {
+ public:
+  QueryTicket() = default;
+  QueryTicket(const QueryTicket&) = delete;
+  QueryTicket& operator=(const QueryTicket&) = delete;
+
+  /// Current status (may be transient).
+  QueryStatus status() const;
+
+  /// True iff the status is terminal.
+  bool done() const;
+
+  /// Blocks until terminal; returns the terminal status.
+  QueryStatus Wait() const;
+
+  /// Blocks up to `timeout`; true iff terminal within the budget.
+  bool WaitFor(std::chrono::steady_clock::duration timeout) const;
+
+  /// The query's result. Valid once done() (empty for kError and for
+  /// queries cancelled/expired before running). For kDeadlineExceeded /
+  /// kCancelled this is the partial candidate set emitted so far, already
+  /// cross-cleaned (see NncResult::termination).
+  const NncResult& result() const;
+
+  /// Human-readable failure cause; non-empty only for kError.
+  const std::string& error() const;
+
+  /// Requests cooperative cancellation. Safe at any time; a query that
+  /// already finished keeps its terminal status.
+  void Cancel() { control_.cancel.store(true, std::memory_order_relaxed); }
+
+  /// End-to-end latency (submission to terminal state), seconds; 0 until
+  /// done. Measured on steady_clock.
+  double latency_seconds() const;
+
+ private:
+  friend class QueryEngine;
+
+  /// kPending -> kRunning; keeps terminal states untouched.
+  void MarkRunning();
+
+  /// Transition to a terminal state and wake waiters. The engine computes
+  /// `latency_seconds` and records it in its stats BEFORE calling this, so
+  /// a Wait()er always observes an engine snapshot that includes its query.
+  void Finish(QueryStatus status, NncResult result, std::string error,
+              double latency_seconds);
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  QueryStatus status_ = QueryStatus::kPending;
+  NncResult result_;
+  std::string error_;
+  QueryControl control_;
+  std::chrono::steady_clock::time_point submitted_at_{};
+  double latency_seconds_ = 0.0;
+};
+
+}  // namespace osd
+
+#endif  // OSD_ENGINE_QUERY_TICKET_H_

@@ -43,15 +43,22 @@ UncertainObject UncertainObject::Uniform(int id, int dim,
 }
 
 const RTree& UncertainObject::LocalTree() const {
-  if (local_tree_ == nullptr) {
-    std::vector<RTree::Entry> entries(num_instances());
-    for (int i = 0; i < num_instances(); ++i) {
-      entries[i] = {Mbr(Instance(i)), i, probs_[i]};
-    }
-    local_tree_ =
-        std::make_unique<RTree>(RTree::BulkLoad(std::move(entries), kLocalFanout));
+  OSD_DCHECK(lazy_tree_ != nullptr);  // moved-from objects must be reassigned
+  const RTree* tree = lazy_tree_->published.load(std::memory_order_acquire);
+  if (tree == nullptr) {
+    std::call_once(lazy_tree_->once, [this] {
+      std::vector<RTree::Entry> entries(num_instances());
+      for (int i = 0; i < num_instances(); ++i) {
+        entries[i] = {Mbr(Instance(i)), i, probs_[i]};
+      }
+      lazy_tree_->tree = std::make_unique<RTree>(
+          RTree::BulkLoad(std::move(entries), kLocalFanout));
+      lazy_tree_->published.store(lazy_tree_->tree.get(),
+                                  std::memory_order_release);
+    });
+    tree = lazy_tree_->published.load(std::memory_order_acquire);
   }
-  return *local_tree_;
+  return *tree;
 }
 
 }  // namespace osd

@@ -10,11 +10,21 @@
 // datasets stay compact; the per-object local R-tree (fan-out 4 in the
 // paper's experiments) is built on demand because the NNC search touches
 // only a small fraction of objects at instance granularity.
+//
+// Thread-safety contract: after construction an UncertainObject is
+// logically immutable, and every const member — including the lazily built
+// LocalTree() — is safe to call from any number of threads concurrently
+// (the build is synchronized with std::call_once, and at most one tree is
+// ever constructed). Copying/moving/assigning an object concurrently with
+// reads is NOT safe; the query engine never mutates dataset objects after
+// the Dataset is built.
 
 #ifndef OSD_OBJECT_UNCERTAIN_OBJECT_H_
 #define OSD_OBJECT_UNCERTAIN_OBJECT_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "geom/mbr.h"
@@ -46,10 +56,12 @@ class UncertainObject {
       coords_ = other.coords_;
       probs_ = other.probs_;
       mbr_ = other.mbr_;
-      local_tree_.reset();
+      lazy_tree_ = std::make_unique<LazyLocalTree>();
     }
     return *this;
   }
+  // Moves carry the cached tree along; the moved-from object must be
+  // reassigned before further use (its lazy slot is gone).
   UncertainObject(UncertainObject&&) = default;
   UncertainObject& operator=(UncertainObject&&) = default;
 
@@ -85,19 +97,36 @@ class UncertainObject {
   const std::vector<double>& probs() const { return probs_; }
   const Mbr& mbr() const { return mbr_; }
 
-  /// Returns the instance R-tree, building it on first use.
+  /// Returns the instance R-tree, building it on first use. Safe to call
+  /// concurrently: the build runs exactly once (std::call_once) and every
+  /// caller observes the same fully constructed tree.
   const RTree& LocalTree() const;
 
-  /// True iff a local tree has already been built (used by stats).
-  bool HasLocalTree() const { return local_tree_ != nullptr; }
+  /// True iff a local tree has already been built (used by stats). Safe to
+  /// call concurrently with LocalTree(); may lag a build in flight.
+  bool HasLocalTree() const {
+    return lazy_tree_ != nullptr &&
+           lazy_tree_->published.load(std::memory_order_acquire) != nullptr;
+  }
 
  private:
+  // The lazy slot is a stable heap box so that concurrent LocalTree()
+  // callers synchronize on one once_flag even though the object itself is
+  // copyable. `published` lets HasLocalTree() peek without blocking on a
+  // build in progress.
+  struct LazyLocalTree {
+    std::once_flag once;
+    std::unique_ptr<RTree> tree;
+    std::atomic<const RTree*> published{nullptr};
+  };
+
   int id_ = -1;
   int dim_ = 0;
   std::vector<double> coords_;  // m * dim, row-major
   std::vector<double> probs_;   // m
   Mbr mbr_;
-  mutable std::unique_ptr<RTree> local_tree_;
+  mutable std::unique_ptr<LazyLocalTree> lazy_tree_ =
+      std::make_unique<LazyLocalTree>();
 };
 
 }  // namespace osd

@@ -6,12 +6,25 @@
 //           [--op ssd|sssd|psd|fsd|f+sd] [--k K] [--metric l2|l1]
 //           [--filters all|bf|l|lp|lg|lgp] [--progressive] [--rank-by f]
 //
+//   osd_cli serve-batch --input data.txt [--weighted] [--binary]
+//           (--workload queries.txt | --gen-queries N [--seed S])
+//           [--threads T] [--op ...] [--k ...] [--metric ...] [--filters ...]
+//           [--deadline-ms D] [--json]
+//
 // The input follows the text format of io/dataset_io.h (or the binary
 // cache format with --binary). The query is either an object of the
 // dataset (excluded from the search) or the single object of a separate
 // file. --rank-by additionally orders the candidates by an NN function
 // (mean, max, quantile=PHI, emd, hausdorff).
+//
+// serve-batch runs a whole query workload concurrently through the
+// QueryEngine (src/engine/): every object of --workload (same text format
+// as the dataset) — or N generated queries seeded from dataset objects —
+// is submitted to a fixed-size thread pool, optionally with a per-query
+// deadline, and the engine-level stats (throughput, latency percentiles,
+// summed work counters) are printed as JSON.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +32,8 @@
 #include <vector>
 
 #include "core/nnc_search.h"
+#include "datagen/workload.h"
+#include "engine/query_engine.h"
 #include "io/dataset_io.h"
 #include "nnfun/n1_functions.h"
 #include "nnfun/n3_functions.h"
@@ -28,6 +43,7 @@ namespace {
 using namespace osd;
 
 struct Args {
+  bool serve_batch = false;
   std::string input;
   std::string query_file;
   int query_id = -1;
@@ -39,6 +55,12 @@ struct Args {
   FilterConfig filters = FilterConfig::All();
   bool progressive = false;
   std::string rank_by;
+  // serve-batch only:
+  std::string workload_file;
+  int gen_queries = 0;
+  uint64_t seed = 42;
+  int threads = 0;  // 0 = hardware concurrency
+  double deadline_ms = 0.0;
 };
 
 [[noreturn]] void Die(const std::string& message) {
@@ -73,7 +95,12 @@ Args Parse(int argc, char** argv) {
     if (i + 1 >= argc) Die(std::string("missing value for ") + argv[i]);
     return argv[++i];
   };
-  for (int i = 1; i < argc; ++i) {
+  int first = 1;
+  if (argc > 1 && std::strcmp(argv[1], "serve-batch") == 0) {
+    args.serve_batch = true;
+    first = 2;
+  }
+  for (int i = first; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--input") {
       args.input = need_value(i);
@@ -101,15 +128,83 @@ Args Parse(int argc, char** argv) {
       args.progressive = true;
     } else if (flag == "--rank-by") {
       args.rank_by = need_value(i);
+    } else if (args.serve_batch && flag == "--workload") {
+      args.workload_file = need_value(i);
+    } else if (args.serve_batch && flag == "--gen-queries") {
+      args.gen_queries = std::atoi(need_value(i).c_str());
+      if (args.gen_queries < 1) Die("--gen-queries must be >= 1");
+    } else if (args.serve_batch && flag == "--seed") {
+      args.seed = std::strtoull(need_value(i).c_str(), nullptr, 10);
+    } else if (args.serve_batch && flag == "--threads") {
+      args.threads = std::atoi(need_value(i).c_str());
+    } else if (args.serve_batch && flag == "--deadline-ms") {
+      args.deadline_ms = std::atof(need_value(i).c_str());
     } else {
       Die("unknown flag " + flag);
     }
   }
   if (args.input.empty()) Die("--input is required");
-  if (args.query_file.empty() && args.query_id < 0) {
+  if (args.serve_batch) {
+    if (args.workload_file.empty() == (args.gen_queries == 0)) {
+      Die("serve-batch needs exactly one of --workload / --gen-queries");
+    }
+  } else if (args.query_file.empty() && args.query_id < 0) {
     Die("one of --query-id / --query-file is required");
   }
   return args;
+}
+
+/// serve-batch: run a workload through the concurrent engine, print stats.
+int ServeBatch(const Args& args, std::vector<UncertainObject> objects) {
+  Dataset dataset(std::move(objects));
+
+  std::vector<QuerySpec> specs;
+  NncOptions base;
+  base.op = args.op;
+  base.k = args.k;
+  base.metric = args.metric;
+  base.filters = args.filters;
+  const double deadline_s = args.deadline_ms > 0 ? args.deadline_ms / 1e3 : 0;
+
+  if (!args.workload_file.empty()) {
+    std::vector<UncertainObject> queries;
+    std::string error;
+    if (!LoadText(args.workload_file, &queries, &error)) Die(error);
+    if (queries.empty()) Die("--workload holds no query objects");
+    specs.reserve(queries.size());
+    for (UncertainObject& q : queries) {
+      specs.push_back({std::move(q), base, deadline_s});
+    }
+  } else {
+    WorkloadParams wp;
+    wp.num_queries = args.gen_queries;
+    wp.seed = args.seed;
+    for (auto& entry : GenerateWorkload(dataset, wp)) {
+      NncOptions per_query = base;
+      per_query.exclude_id = entry.seeded_from;
+      specs.push_back({std::move(entry.query), per_query, deadline_s});
+    }
+  }
+
+  const size_t num_queries = specs.size();
+  QueryEngine engine(std::move(dataset), {.num_threads = args.threads});
+  std::fprintf(stderr, "serve-batch: %zu queries on %d threads, operator %s\n",
+               num_queries, engine.num_threads(), OperatorName(args.op));
+
+  auto tickets = engine.SubmitBatch(std::move(specs));
+  engine.Drain();
+
+  long failed = 0;
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    const QueryStatus status = tickets[i]->status();
+    if (status == QueryStatus::kError) {
+      ++failed;
+      std::fprintf(stderr, "query %zu: %s (%s)\n", i, QueryStatusName(status),
+                   tickets[i]->error().c_str());
+    }
+  }
+  std::printf("%s\n", engine.Snapshot().ToJson().c_str());
+  return failed == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -128,6 +223,8 @@ int main(int argc, char** argv) {
     ok = LoadText(args.input, &objects, &error);
   }
   if (!ok) Die(error);
+
+  if (args.serve_batch) return ServeBatch(args, std::move(objects));
 
   UncertainObject query;
   int exclude = -1;
