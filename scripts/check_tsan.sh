@@ -9,11 +9,14 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build-tsan}"
 
+# Failpoints are compiled in so the resilience suite can inject faults
+# into concurrent executions (retry storms are where races would hide).
 cmake -B "$BUILD_DIR" -S . \
   -DOSD_SANITIZE=thread \
+  -DOSD_FAILPOINTS=ON \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target engine_test engine_concurrency_test
+  --target engine_test engine_concurrency_test engine_resilience_test
 
 # halt_on_error makes a detected race fail the test run rather than just
 # printing a report.

@@ -1,0 +1,252 @@
+#include "common/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace osd::failpoint {
+
+namespace {
+
+enum class Action { kThrow, kError, kDelay };
+
+struct Trigger {
+  Action action = Action::kThrow;
+  std::string message;
+  double delay_ms = 0.0;
+  long start_hit = 1;   // 1-based hit index of the first firing
+  long max_fires = -1;  // -1 = unlimited
+  long hits = 0;
+  long fires = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Trigger> sites;
+};
+
+// Leaked singleton: failpoints may be evaluated during static destruction
+// of test fixtures, so the registry must never be destroyed first.
+Registry& Reg() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+bool ParseFail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\n\r");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\n\r");
+  return s.substr(b, e - b + 1);
+}
+
+bool ValidSiteName(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool ParseLong(const std::string& s, long* out) {
+  if (s.empty()) return false;
+  long v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    if (v > (1L << 60)) return false;
+    v = v * 10 + (c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+/// Parses one trigger expression; `site` only flavours error messages.
+bool ParseTrigger(const std::string& site, const std::string& expr,
+                  Trigger* t, bool* off, std::string* error) {
+  *off = false;
+  if (expr == "off") {
+    *off = true;
+    return true;
+  }
+  std::string rest = expr;
+
+  // Optional `Nx` fire-count prefix.
+  const size_t x = rest.find('x');
+  if (x != std::string::npos && x > 0 &&
+      rest.find_first_not_of("0123456789") == x) {
+    long n = 0;
+    if (!ParseLong(rest.substr(0, x), &n) || n < 1) {
+      return ParseFail(error, site + ": bad fire count in '" + expr + "'");
+    }
+    t->max_fires = n;
+    rest = rest.substr(x + 1);
+  }
+
+  // Optional `@S` start-hit suffix.
+  const size_t at = rest.rfind('@');
+  if (at != std::string::npos) {
+    long s = 0;
+    if (!ParseLong(rest.substr(at + 1), &s) || s < 1) {
+      return ParseFail(error, site + ": bad start hit in '" + expr + "'");
+    }
+    t->start_hit = s;
+    rest = rest.substr(0, at);
+  }
+
+  // Action with optional parenthesized argument.
+  std::string action = rest;
+  std::string arg;
+  const size_t open = rest.find('(');
+  if (open != std::string::npos) {
+    if (rest.back() != ')') {
+      return ParseFail(error, site + ": unbalanced '(' in '" + expr + "'");
+    }
+    action = rest.substr(0, open);
+    arg = rest.substr(open + 1, rest.size() - open - 2);
+  }
+  if (action == "throw") {
+    t->action = Action::kThrow;
+    t->message = arg;
+  } else if (action == "error") {
+    t->action = Action::kError;
+    if (!arg.empty()) {
+      return ParseFail(error, site + ": 'error' takes no argument");
+    }
+  } else if (action == "delay") {
+    t->action = Action::kDelay;
+    char* end = nullptr;
+    t->delay_ms = std::strtod(arg.c_str(), &end);
+    if (arg.empty() || end == nullptr || *end != '\0' || t->delay_ms < 0) {
+      return ParseFail(error,
+                       site + ": 'delay' needs a millisecond argument, got '" +
+                           arg + "'");
+    }
+  } else {
+    return ParseFail(error, site + ": unknown action '" + action +
+                                "' (expected throw|error|delay|off)");
+  }
+  return true;
+}
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<long> g_configured{0};
+
+bool Hit(const char* site) {
+  Action action;
+  double delay_ms = 0.0;
+  std::string message;
+  {
+    std::lock_guard<std::mutex> lock(Reg().mu);
+    auto it = Reg().sites.find(site);
+    if (it == Reg().sites.end()) return false;
+    Trigger& t = it->second;
+    ++t.hits;
+    if (t.hits < t.start_hit) return false;
+    if (t.max_fires >= 0 && t.fires >= t.max_fires) return false;
+    ++t.fires;
+    action = t.action;
+    delay_ms = t.delay_ms;
+    message = t.message;
+  }
+  // Act outside the lock so a sleeping or throwing trigger never blocks
+  // other sites (or this site on other threads).
+  switch (action) {
+    case Action::kDelay:
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          delay_ms));
+      return false;
+    case Action::kThrow:
+      throw InjectedFault(site,
+                          message.empty() ? "injected fault" : message);
+    case Action::kError:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace internal
+
+bool Configure(const std::string& spec, std::string* error) {
+  // Validate every entry before applying any, so a bad spec is atomic.
+  std::vector<std::pair<std::string, Trigger>> parsed;
+  std::vector<std::string> disarm;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = Trim(spec.substr(pos, comma - pos));
+    pos = comma + 1;
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return ParseFail(error, "missing '=' in '" + entry + "'");
+    }
+    const std::string site = Trim(entry.substr(0, eq));
+    const std::string expr = Trim(entry.substr(eq + 1));
+    if (!ValidSiteName(site)) {
+      return ParseFail(error, "bad site name '" + site + "'");
+    }
+    Trigger t;
+    bool off = false;
+    if (!ParseTrigger(site, expr, &t, &off, error)) return false;
+    if (off) {
+      disarm.push_back(site);
+    } else {
+      parsed.emplace_back(site, t);
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(Reg().mu);
+  for (const std::string& site : disarm) Reg().sites.erase(site);
+  for (auto& [site, trigger] : parsed) Reg().sites[site] = trigger;
+  internal::g_configured.store(static_cast<long>(Reg().sites.size()),
+                               std::memory_order_relaxed);
+  return true;
+}
+
+bool ConfigureFromEnv(std::string* error) {
+  const char* spec = std::getenv("OSD_FAILPOINTS");
+  if (spec == nullptr || *spec == '\0') return true;
+  return Configure(spec, error);
+}
+
+void Clear() {
+  std::lock_guard<std::mutex> lock(Reg().mu);
+  Reg().sites.clear();
+  internal::g_configured.store(0, std::memory_order_relaxed);
+}
+
+long HitCount(const std::string& site) {
+  std::lock_guard<std::mutex> lock(Reg().mu);
+  auto it = Reg().sites.find(site);
+  return it == Reg().sites.end() ? 0 : it->second.hits;
+}
+
+long FireCount(const std::string& site) {
+  std::lock_guard<std::mutex> lock(Reg().mu);
+  auto it = Reg().sites.find(site);
+  return it == Reg().sites.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::string> ArmedSites() {
+  std::lock_guard<std::mutex> lock(Reg().mu);
+  std::vector<std::string> out;
+  out.reserve(Reg().sites.size());
+  for (const auto& [site, trigger] : Reg().sites) out.push_back(site);
+  return out;
+}
+
+}  // namespace osd::failpoint

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "core/cdf_envelope.h"
 #include "flow/max_flow.h"
 #include "prob/stochastic_order.h"
@@ -66,6 +67,7 @@ const std::vector<int>& DominanceOracle::QIdx() const {
 bool DominanceOracle::Dominates(Operator op, ObjectProfile& u,
                                 ObjectProfile& v) {
   if (stats_ != nullptr) ++stats_->dominance_checks;
+  OSD_FAILPOINT("dominance.check");
   switch (op) {
     case Operator::kSSd:
       return SSd(u, v);
@@ -235,6 +237,7 @@ bool DominanceOracle::FSd(ObjectProfile& u, ObjectProfile& v) {
 DominanceOracle::Tri DominanceOracle::PSdLevel(ObjectProfile& u,
                                                ObjectProfile& v) {
   constexpr int kMaxFrontier = 64;
+  OSD_FAILPOINT("dominance.level");
   const RTree& tu = u.object().LocalTree();
   const RTree& tv = v.object().LocalTree();
   std::vector<int32_t> fu = {tu.root()};

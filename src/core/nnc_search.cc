@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 
 namespace osd {
 
@@ -71,11 +72,13 @@ NncResult NncSearch::Run(
       }
     }
     ++pops;
+    OSD_FAILPOINT("nnc.pop");
 
     const HeapItem item = heap.top();
     heap.pop();
 
     if (!item.is_object) {
+      OSD_FAILPOINT("nnc.node_expand");
       const RTree::Node& node = tree.nodes()[item.id];
       // Cover-based entry pruning (Theorem 4): once k confirmed candidates
       // fully dominate the node's box, nothing below can be a candidate.
@@ -112,6 +115,7 @@ NncResult NncSearch::Run(
     // with >= k dominators can neither be a candidate nor be needed as a
     // dominator of later objects (each of its own dominators dominates
     // them transitively), so it is dropped outright.
+    OSD_FAILPOINT("nnc.object_examine");
     const UncertainObject& candidate = dataset_->object(item.id);
     ++result.objects_examined;
     auto profile =
@@ -163,6 +167,42 @@ NncResult NncSearch::Run(
   }
   for (size_t i = 0; i < members.size(); ++i) {
     if (!dead[i]) result.candidates.push_back(members[i].object_index);
+  }
+
+  // Anytime degraded mode: everything still reachable from the heap was
+  // never examined, so it must be presumed a candidate for the result to
+  // stay a superset of the exact answer. Each object and each node sits in
+  // the heap at most once (entries are pushed only when their unique leaf
+  // is expanded), so the drain appends no duplicates.
+  if (result.termination != NncTermination::kComplete &&
+      options_.degraded_superset) {
+    result.degraded = true;
+    std::vector<int32_t> stack;
+    while (!heap.empty()) {
+      const HeapItem item = heap.top();
+      heap.pop();
+      if (item.is_object) {
+        result.candidates.push_back(item.id);
+        ++result.frontier_objects;
+      } else {
+        stack.push_back(item.id);
+        ++result.frontier_nodes;
+      }
+    }
+    while (!stack.empty()) {
+      const RTree::Node& node = tree.nodes()[stack.back()];
+      stack.pop_back();
+      if (node.is_leaf) {
+        for (int32_t e : node.children) {
+          const RTree::Entry& entry = tree.entries()[e];
+          if (entry.id == options_.exclude_id) continue;
+          result.candidates.push_back(entry.id);
+          ++result.frontier_objects;
+        }
+      } else {
+        for (int32_t c : node.children) stack.push_back(c);
+      }
+    }
   }
   result.seconds = elapsed();
   return result;

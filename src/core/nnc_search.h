@@ -79,6 +79,14 @@ struct NncOptions {
   /// Optional cancellation/deadline hook (not owned; may outlive nothing —
   /// the caller keeps it alive across Run). Null disables polling.
   const QueryControl* control = nullptr;
+  /// Anytime mode: when the traversal stops early (deadline or cancel),
+  /// append every object still reachable from the unexpanded frontier to
+  /// the candidates and set NncResult::degraded. Because the best-first
+  /// traversal only ever discards objects certified non-candidates
+  /// (Theorems 4 and 9), "confirmed candidates ∪ frontier" is a certified
+  /// superset of the exact NNC — a no-false-dismissal answer — instead of
+  /// the partial subset returned when this is false.
+  bool degraded_superset = false;
 };
 
 /// One progressive candidate emission.
@@ -103,6 +111,13 @@ struct NncResult {
   /// candidates emitted so far are still cross-cleaned, so the partial
   /// result never contains a pair where one member dominates the other.
   NncTermination termination = NncTermination::kComplete;
+  /// True iff the traversal stopped early AND NncOptions::degraded_superset
+  /// appended the unexpanded frontier: `candidates` is then a certified
+  /// superset of the exact answer (confirmed members first, frontier
+  /// objects after them, unexamined and in heap order).
+  bool degraded = false;
+  long frontier_objects = 0;  ///< objects appended without dominance checks
+  long frontier_nodes = 0;    ///< unexpanded R-tree subtrees drained
 };
 
 /// NN-candidate search engine over a dataset.

@@ -64,9 +64,12 @@ std::string EngineStats::ToJson() const {
   Append(&out, ",\"submitted\":%ld", submitted);
   Append(&out, ",\"completed\":%ld", completed);
   Append(&out, ",\"ok\":%ld", ok);
+  Append(&out, ",\"ok_degraded\":%ld", ok_degraded);
   Append(&out, ",\"deadline_exceeded\":%ld", deadline_exceeded);
   Append(&out, ",\"cancelled\":%ld", cancelled);
   Append(&out, ",\"errors\":%ld", errors);
+  Append(&out, ",\"rejected\":%ld", rejected);
+  Append(&out, ",\"retries\":%ld", retries);
   Append(&out, ",\"wall_seconds\":%.6f", wall_seconds);
   Append(&out, ",\"qps\":%.2f", qps);
   Append(&out,
@@ -80,13 +83,14 @@ std::string EngineStats::ToJson() const {
          "\"node_ops\":%ld,\"flow_runs\":%ld,\"stat_prunes\":%ld,"
          "\"cover_prunes\":%ld,\"level_decisions\":%ld,"
          "\"mbr_validations\":%ld,\"exact_checks\":%ld,"
-         "\"objects_examined\":%ld,\"entries_pruned\":%ld}",
+         "\"objects_examined\":%ld,\"entries_pruned\":%ld,"
+         "\"frontier_objects\":%ld}",
          filters.dominance_checks, filters.InstanceComparisons(),
          filters.dist_evals, filters.pair_tests, filters.scan_steps,
          filters.node_ops, filters.flow_runs, filters.stat_prunes,
          filters.cover_prunes, filters.level_decisions,
          filters.mbr_validations, filters.exact_checks, objects_examined,
-         entries_pruned);
+         entries_pruned, frontier_objects);
   out += ",\"operators\":{";
   bool first = true;
   for (int i = 0; i < static_cast<int>(per_operator.size()); ++i) {

@@ -62,9 +62,13 @@ struct EngineStats {
   long submitted = 0;
   long completed = 0;  ///< reached any terminal state
   long ok = 0;
+  long ok_degraded = 0;  ///< anytime superset answers (kOkDegraded)
   long deadline_exceeded = 0;
   long cancelled = 0;
   long errors = 0;
+  long rejected = 0;  ///< shed at submission (kRejected); excluded from the
+                      ///< latency percentiles — they never ran
+  long retries = 0;   ///< transient-failure re-attempts across all queries
 
   /// First submission to latest completion (steady_clock), seconds.
   double wall_seconds = 0.0;
@@ -81,6 +85,9 @@ struct EngineStats {
   FilterStats filters;
   long objects_examined = 0;
   long entries_pruned = 0;
+  /// Frontier objects returned unrefined in degraded answers — how much
+  /// certification work the deadlines left undone.
+  long frontier_objects = 0;
 
   /// Indexed by static_cast<int>(Operator).
   std::array<OperatorStats, 5> per_operator{};

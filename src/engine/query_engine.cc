@@ -1,10 +1,15 @@
 #include "engine/query_engine.h"
 
+#include <algorithm>
+#include <cmath>
 #include <exception>
+#include <random>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <utility>
+
+#include "common/failpoint.h"
 
 namespace osd {
 
@@ -16,8 +21,9 @@ int ResolveThreads(int requested) {
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
-QueryStatus StatusFromTermination(NncTermination t) {
-  switch (t) {
+QueryStatus StatusFromResult(const NncResult& result) {
+  if (result.degraded) return QueryStatus::kOkDegraded;
+  switch (result.termination) {
     case NncTermination::kComplete: return QueryStatus::kOk;
     case NncTermination::kDeadlineExceeded:
       return QueryStatus::kDeadlineExceeded;
@@ -26,10 +32,39 @@ QueryStatus StatusFromTermination(NncTermination t) {
   return QueryStatus::kError;
 }
 
+/// The failure text stored on tickets: the exception's what() plus the
+/// failpoint name when the fault was injected, so batch failures are
+/// diagnosable from the ticket alone.
+std::string DescribeFailure(const std::exception& e) {
+  std::string text = e.what();
+  if (const auto* injected =
+          dynamic_cast<const failpoint::InjectedFault*>(&e)) {
+    text += " [failpoint " + injected->site() + "]";
+  }
+  return text;
+}
+
+/// Uniform draw in [0, 1) for backoff jitter. Thread-local and seeded from
+/// random_device: jitter must decorrelate workers, not be reproducible.
+double JitterDraw() {
+  thread_local std::mt19937_64 engine{std::random_device{}()};
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine);
+}
+
 }  // namespace
+
+double RetryPolicy::BackoffSeconds(int next_attempt, double u) const {
+  const int steps = std::max(0, next_attempt - 2);
+  double ms = initial_backoff_ms * std::pow(backoff_multiplier, steps);
+  ms = std::min(ms, max_backoff_ms);
+  ms = std::max(ms, 0.0);
+  const double j = std::clamp(jitter, 0.0, 1.0);
+  return ms * (1.0 - j * u) / 1e3;
+}
 
 QueryEngine::QueryEngine(Dataset dataset, EngineOptions options)
     : dataset_(std::move(dataset)),
+      options_(options),
       pool_(ResolveThreads(options.num_threads), options.queue_capacity) {}
 
 QueryEngine::~QueryEngine() {
@@ -56,13 +91,23 @@ std::shared_ptr<QueryTicket> QueryEngine::Submit(QuerySpec spec) {
     }
   }
   const Operator op = spec.options.op;
-  const bool accepted =
-      pool_.Submit([this, ticket, spec = std::move(spec)]() mutable {
-        Execute(ticket, spec);
-      });
+  auto task = [this, ticket, spec = std::move(spec)]() mutable {
+    Execute(ticket, spec);
+  };
+  const bool accepted = options_.shed_on_overload
+                            ? pool_.TrySubmit(std::move(task))
+                            : pool_.Submit(std::move(task));
   if (!accepted) {
-    // Pool shutting down: fail the ticket instead of losing it silently.
-    Complete(ticket, op, QueryStatus::kError, {}, "engine is shutting down");
+    if (options_.shed_on_overload) {
+      // Shedding: fail fast instead of blocking the submitter. (TrySubmit
+      // also refuses during shutdown; either way the queue cannot take it.)
+      Complete(ticket, op, QueryStatus::kRejected, {},
+               "submission queue saturated (overload shedding)", 0);
+    } else {
+      // Pool shutting down: fail the ticket instead of losing it silently.
+      Complete(ticket, op, QueryStatus::kError, {}, "engine is shutting down",
+               0);
+    }
   }
   return ticket;
 }
@@ -84,35 +129,84 @@ void QueryEngine::Execute(const std::shared_ptr<QueryTicket>& ticket,
 
   // Fast-fail queries whose fate was sealed while queued.
   if (control.cancel.load(std::memory_order_relaxed)) {
-    Complete(ticket, op, QueryStatus::kCancelled, {}, "");
+    Complete(ticket, op, QueryStatus::kCancelled, {}, "", 0);
     return;
   }
   if (control.has_deadline() &&
       std::chrono::steady_clock::now() >= control.deadline) {
-    Complete(ticket, op, QueryStatus::kDeadlineExceeded, {}, "");
-    return;
+    // An already-expired deadline in anytime mode still owes the caller a
+    // superset: run the search anyway — the first pop terminates it and
+    // the whole tree drains into the frontier.
+    if (!spec.options.degraded_superset) {
+      Complete(ticket, op, QueryStatus::kDeadlineExceeded, {}, "", 0);
+      return;
+    }
   }
 
   ticket->MarkRunning();
   spec.options.control = &control;
-  try {
-    if (spec.query.dim() != dataset_.dim()) {
-      throw std::invalid_argument(
-          "query dimensionality does not match the dataset");
+  const int max_attempts = std::max(1, spec.retry.max_attempts);
+  std::string failure;
+  int attempt = 0;
+  while (true) {
+    ++attempt;
+    try {
+      OSD_FAILPOINT("engine.execute");
+      if (spec.query.dim() != dataset_.dim()) {
+        throw std::invalid_argument(
+            "query dimensionality does not match the dataset");
+      }
+      NncResult result = NncSearch(dataset_, spec.options).Run(spec.query);
+      Complete(ticket, op, StatusFromResult(result), std::move(result), "",
+               attempt);
+      return;
+    } catch (const TransientError& e) {
+      failure = DescribeFailure(e);
+    } catch (const std::exception& e) {
+      Complete(ticket, op, QueryStatus::kError, {}, DescribeFailure(e),
+               attempt);
+      return;
+    } catch (...) {
+      Complete(ticket, op, QueryStatus::kError, {}, "unknown exception",
+               attempt);
+      return;
     }
-    NncResult result = NncSearch(dataset_, spec.options).Run(spec.query);
-    const QueryStatus status = StatusFromTermination(result.termination);
-    Complete(ticket, op, status, std::move(result), "");
-  } catch (const std::exception& e) {
-    Complete(ticket, op, QueryStatus::kError, {}, e.what());
-  } catch (...) {
-    Complete(ticket, op, QueryStatus::kError, {}, "unknown exception");
+    if (attempt >= max_attempts) break;
+    // Transient failure with attempts left: back off, then retry. The
+    // backoff honours cancellation and never sleeps past the deadline.
+    if (control.cancel.load(std::memory_order_relaxed)) {
+      Complete(ticket, op, QueryStatus::kCancelled, {}, "", attempt);
+      return;
+    }
+    const double backoff_s =
+        spec.retry.BackoffSeconds(attempt + 1, JitterDraw());
+    const auto wake =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(backoff_s));
+    if (control.has_deadline() && wake >= control.deadline) {
+      Complete(ticket, op, QueryStatus::kError, {},
+               failure + " (deadline reached before retry " +
+                   std::to_string(attempt + 1) + ")",
+               attempt);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++retries_;
+    }
+    if (backoff_s > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff_s));
+    }
   }
+  Complete(ticket, op, QueryStatus::kError, {},
+           failure + " (after " + std::to_string(attempt) + " attempts)",
+           attempt);
 }
 
 void QueryEngine::Complete(const std::shared_ptr<QueryTicket>& ticket,
                            Operator op, QueryStatus status, NncResult result,
-                           std::string error) {
+                           std::string error, int attempts) {
   const auto now = std::chrono::steady_clock::now();
   const double latency =
       std::chrono::duration<double>(now - ticket->submitted_at_).count();
@@ -123,15 +217,20 @@ void QueryEngine::Complete(const std::shared_ptr<QueryTicket>& ticket,
     std::lock_guard<std::mutex> lock(stats_mu_);
     switch (status) {
       case QueryStatus::kOk: ++ok_; break;
+      case QueryStatus::kOkDegraded: ++ok_degraded_; break;
       case QueryStatus::kDeadlineExceeded: ++deadline_exceeded_; break;
       case QueryStatus::kCancelled: ++cancelled_; break;
+      case QueryStatus::kRejected: ++rejected_; break;
       default: ++errors_; break;
     }
-    latency_.Add(latency);
-    if (status != QueryStatus::kError) {
+    // Rejected queries never ran; keeping them out of the latency
+    // histogram stops shed storms from dragging the percentiles to ~0.
+    if (status != QueryStatus::kRejected) latency_.Add(latency);
+    if (status != QueryStatus::kError && status != QueryStatus::kRejected) {
       filters_ += result.stats;
       objects_examined_ += result.objects_examined;
       entries_pruned_ += result.entries_pruned;
+      frontier_objects_ += result.frontier_objects;
       OperatorStats& per_op = per_operator_[static_cast<int>(op)];
       ++per_op.queries;
       per_op.candidates += static_cast<long>(result.candidates.size());
@@ -139,7 +238,8 @@ void QueryEngine::Complete(const std::shared_ptr<QueryTicket>& ticket,
     }
     last_completion_ = now;
   }
-  ticket->Finish(status, std::move(result), std::move(error), latency);
+  ticket->Finish(status, std::move(result), std::move(error), latency,
+                 attempts);
 }
 
 EngineStats QueryEngine::Snapshot() const {
@@ -148,10 +248,14 @@ EngineStats QueryEngine::Snapshot() const {
   s.threads = pool_.num_threads();
   s.submitted = submitted_;
   s.ok = ok_;
+  s.ok_degraded = ok_degraded_;
   s.deadline_exceeded = deadline_exceeded_;
   s.cancelled = cancelled_;
   s.errors = errors_;
-  s.completed = ok_ + deadline_exceeded_ + cancelled_ + errors_;
+  s.rejected = rejected_;
+  s.retries = retries_;
+  s.completed = ok_ + ok_degraded_ + deadline_exceeded_ + cancelled_ +
+                errors_ + rejected_;
   if (saw_submission_) {
     s.wall_seconds =
         std::chrono::duration<double>(last_completion_ - first_submit_)
@@ -166,6 +270,7 @@ EngineStats QueryEngine::Snapshot() const {
   s.filters = filters_;
   s.objects_examined = objects_examined_;
   s.entries_pruned = entries_pruned_;
+  s.frontier_objects = frontier_objects_;
   s.per_operator = per_operator_;
   return s;
 }

@@ -9,6 +9,13 @@
 // of work. Exceptions thrown by a query land on its ticket as kError and
 // never kill a worker.
 //
+// Resilience: transient failures (osd::TransientError, which covers
+// injected failpoint faults) are retried per the query's RetryPolicy with
+// jittered exponential backoff; with shed_on_overload the engine rejects
+// (kRejected) rather than blocks when the queue saturates; and queries run
+// with NncOptions::degraded_superset return certified superset answers
+// (kOkDegraded) when a deadline or cancellation stops them mid-traversal.
+//
 // Determinism: NncSearch::Run is deterministic in its inputs and workers
 // share only immutable dataset state (the lazy local R-trees build under
 // std::call_once and come out identical regardless of the winning thread),
@@ -41,16 +48,42 @@ struct EngineOptions {
   int num_threads = 0;
   /// Bounded submission queue; Submit blocks when full (backpressure).
   size_t queue_capacity = 4096;
+  /// Overload shedding: when true, a Submit that finds the submission
+  /// queue saturated fails the ticket fast with QueryStatus::kRejected
+  /// instead of blocking the submitter (load-shedding service contract).
+  bool shed_on_overload = false;
 };
 
-/// One query to execute: the query object, its NNC options, and an
-/// optional relative deadline. `options.control` is engine-managed; any
-/// caller-provided value is ignored.
+/// Per-query retry policy for transient failures. Only exceptions derived
+/// from osd::TransientError (which includes injected failpoint faults) are
+/// retried; programmer errors and malformed queries fail immediately.
+/// Backoff before attempt a (a >= 2) is
+///   min(max_backoff_ms, initial_backoff_ms * multiplier^(a-2))
+/// shrunk by up to `jitter` of itself uniformly at random, so retry storms
+/// decorrelate across workers.
+struct RetryPolicy {
+  int max_attempts = 1;  ///< total attempts including the first; >= 1
+  double initial_backoff_ms = 1.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 100.0;
+  double jitter = 0.5;  ///< fraction of the backoff randomized away, [0, 1]
+
+  /// Backoff before attempt `next_attempt` (2-based) given a uniform draw
+  /// `u` in [0, 1); deterministic for u = 0. Exposed for testability.
+  double BackoffSeconds(int next_attempt, double u) const;
+};
+
+/// One query to execute: the query object, its NNC options, an optional
+/// relative deadline, and a retry policy. `options.control` is
+/// engine-managed; any caller-provided value is ignored. Set
+/// `options.degraded_superset` to turn deadline/cancel terminations into
+/// kOkDegraded superset answers instead of partial sets.
 struct QuerySpec {
   UncertainObject query;
   NncOptions options;
   /// End-to-end budget from submission, seconds; <= 0 means none.
   double deadline_seconds = 0.0;
+  RetryPolicy retry;
 };
 
 class QueryEngine {
@@ -89,17 +122,23 @@ class QueryEngine {
   /// Records the terminal event in the engine stats, then transitions the
   /// ticket (stats first — see Complete's body for the ordering contract).
   void Complete(const std::shared_ptr<QueryTicket>& ticket, Operator op,
-                QueryStatus status, NncResult result, std::string error);
+                QueryStatus status, NncResult result, std::string error,
+                int attempts);
 
   Dataset dataset_;
+  EngineOptions options_;
   ThreadPool pool_;
 
   mutable std::mutex stats_mu_;
   long submitted_ = 0;
   long ok_ = 0;
+  long ok_degraded_ = 0;
   long deadline_exceeded_ = 0;
   long cancelled_ = 0;
   long errors_ = 0;
+  long rejected_ = 0;
+  long retries_ = 0;
+  long frontier_objects_ = 0;
   LatencyHistogram latency_;
   FilterStats filters_;
   long objects_examined_ = 0;

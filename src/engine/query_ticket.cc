@@ -20,6 +20,8 @@ const char* QueryStatusName(QueryStatus status) {
     case QueryStatus::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case QueryStatus::kCancelled: return "CANCELLED";
     case QueryStatus::kError: return "ERROR";
+    case QueryStatus::kOkDegraded: return "OK_DEGRADED";
+    case QueryStatus::kRejected: return "REJECTED";
   }
   return "UNKNOWN";
 }
@@ -57,13 +59,19 @@ double QueryTicket::latency_seconds() const {
   return latency_seconds_;
 }
 
+int QueryTicket::attempts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return attempts_;
+}
+
 void QueryTicket::MarkRunning() {
   std::lock_guard<std::mutex> lock(mu_);
   if (status_ == QueryStatus::kPending) status_ = QueryStatus::kRunning;
 }
 
 void QueryTicket::Finish(QueryStatus status, NncResult result,
-                         std::string error, double latency_seconds) {
+                         std::string error, double latency_seconds,
+                         int attempts) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (IsTerminal(status_)) return;  // first terminal transition wins
@@ -71,6 +79,7 @@ void QueryTicket::Finish(QueryStatus status, NncResult result,
     result_ = std::move(result);
     error_ = std::move(error);
     latency_seconds_ = latency_seconds;
+    attempts_ = attempts;
   }
   cv_.notify_all();
 }

@@ -30,6 +30,10 @@ enum class QueryStatus {
   kDeadlineExceeded,  ///< stopped at its deadline; result() is the partial set
   kCancelled,         ///< stopped via Cancel(); result() is the partial set
   kError,             ///< the worker caught an exception; see error()
+  kOkDegraded,        ///< stopped early in anytime mode; result() is a
+                      ///< certified superset (see NncResult::degraded)
+  kRejected,          ///< shed at submission: the queue was full and the
+                      ///< engine runs with shed_on_overload
 };
 
 const char* QueryStatusName(QueryStatus status);
@@ -52,14 +56,25 @@ class QueryTicket {
   /// Blocks up to `timeout`; true iff terminal within the budget.
   bool WaitFor(std::chrono::steady_clock::duration timeout) const;
 
-  /// The query's result. Valid once done() (empty for kError and for
-  /// queries cancelled/expired before running). For kDeadlineExceeded /
-  /// kCancelled this is the partial candidate set emitted so far, already
-  /// cross-cleaned (see NncResult::termination).
+  /// The query's result. Valid once done() (empty for kError / kRejected
+  /// and for queries cancelled/expired before running). For
+  /// kDeadlineExceeded / kCancelled this is the partial candidate set
+  /// emitted so far, already cross-cleaned (see NncResult::termination);
+  /// for kOkDegraded it is the certified superset (confirmed candidates
+  /// plus the unexpanded frontier).
   const NncResult& result() const;
 
-  /// Human-readable failure cause; non-empty only for kError.
+  /// Human-readable failure cause; non-empty only for kError / kRejected.
+  /// Carries the exception's what() text, the number of attempts when the
+  /// query was retried, and the failpoint name when the failure was
+  /// injected (e.g. "injected fault [failpoint engine.execute] (after 3
+  /// attempts)").
   const std::string& error() const;
+
+  /// Execution attempts consumed (1 with no retries); 0 until a worker
+  /// produced a terminal state (and for queries rejected or resolved
+  /// before running).
+  int attempts() const;
 
   /// Requests cooperative cancellation. Safe at any time; a query that
   /// already finished keeps its terminal status.
@@ -79,7 +94,7 @@ class QueryTicket {
   /// `latency_seconds` and records it in its stats BEFORE calling this, so
   /// a Wait()er always observes an engine snapshot that includes its query.
   void Finish(QueryStatus status, NncResult result, std::string error,
-              double latency_seconds);
+              double latency_seconds, int attempts);
 
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;
@@ -89,6 +104,7 @@ class QueryTicket {
   QueryControl control_;
   std::chrono::steady_clock::time_point submitted_at_{};
   double latency_seconds_ = 0.0;
+  int attempts_ = 0;
 };
 
 }  // namespace osd

@@ -1,9 +1,12 @@
 #include "io/dataset_io.h"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
+
+#include "common/failpoint.h"
 
 namespace osd {
 
@@ -12,6 +15,13 @@ namespace {
 constexpr char kTextMagic[] = "osd-dataset";
 constexpr uint32_t kBinaryMagic = 0x0D5Dda7a;
 constexpr uint32_t kVersion = 1;
+
+// Hard sanity caps on counts declared by (untrusted) input files. Both
+// loaders additionally bound every declared count by what the file's size
+// could possibly hold, so a hostile header is rejected before any
+// allocation is sized from it.
+constexpr int64_t kMaxDeclaredObjects = 1'000'000'000;
+constexpr int64_t kMaxDeclaredInstances = 16'777'216;  // per object
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -25,12 +35,75 @@ bool Fail(std::string* error, const std::string& message) {
   return false;
 }
 
+/// Size of an open file in bytes (via seek-to-end), or -1 on failure.
+/// Restores the read position to the beginning.
+int64_t FileSize(std::FILE* f) {
+  if (std::fseek(f, 0, SEEK_END) != 0) return -1;
+  const long size = std::ftell(f);
+  std::rewind(f);
+  return size < 0 ? -1 : size;
+}
+
+std::string Describe(int object_ordinal, int id) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "object #%d (id %d)", object_ordinal, id);
+  return buf;
+}
+
+/// Validates one object's parsed payload: finite coordinates, positive
+/// finite mass per instance, and (for probability inputs) mass summing to
+/// 1 within the tolerance UncertainObject enforces. Keeping the checks
+/// here means malformed input surfaces as a precise loader error instead
+/// of an OSD_CHECK abort inside the UncertainObject constructor.
+bool ValidatePayload(const std::string& path, int ordinal, int id, int dim,
+                     const std::vector<double>& coords,
+                     const std::vector<double>& mass, bool weighted,
+                     std::string* error) {
+  const int m = static_cast<int>(mass.size());
+  for (int i = 0; i < m; ++i) {
+    for (int d = 0; d < dim; ++d) {
+      const double c = coords[static_cast<size_t>(i) * dim + d];
+      if (!std::isfinite(c)) {
+        return Fail(error, path + ": " + Describe(ordinal, id) +
+                               ": non-finite coordinate at instance " +
+                               std::to_string(i) + ", dimension " +
+                               std::to_string(d));
+      }
+    }
+    if (!std::isfinite(mass[i]) || !(mass[i] > 0.0)) {
+      return Fail(error, path + ": " + Describe(ordinal, id) +
+                             ": non-positive or non-finite " +
+                             (weighted ? "weight" : "probability") +
+                             " at instance " + std::to_string(i));
+    }
+  }
+  double sum = 0.0;
+  for (double v : mass) sum += v;
+  if (!weighted && !(std::abs(sum - 1.0) < 1e-6)) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  ": probabilities sum to %.9g (expected 1 within 1e-6)",
+                  sum);
+    return Fail(error, path + ": " + Describe(ordinal, id) + buf);
+  }
+  if (weighted && !(sum > 0.0 && std::isfinite(sum))) {
+    return Fail(error,
+                path + ": " + Describe(ordinal, id) + ": total weight is " +
+                    "not positive and finite");
+  }
+  return true;
+}
+
 bool LoadTextImpl(const std::string& path,
                   std::vector<UncertainObject>* objects, bool weighted,
                   std::string* error) {
   objects->clear();
   FilePtr file(std::fopen(path.c_str(), "r"));
   if (file == nullptr) return Fail(error, "cannot open " + path);
+  OSD_FAILPOINT_ERROR("io.open",
+                      return Fail(error, path + ": injected open failure "
+                                                "(failpoint io.open)"));
+  const int64_t file_size = FileSize(file.get());
   char magic[32] = {0};
   uint32_t version = 0;
   int dim = 0;
@@ -38,30 +111,93 @@ bool LoadTextImpl(const std::string& path,
   if (std::fscanf(file.get(), "%31s %" SCNu32 " %d %" SCNd64, magic, &version,
                   &dim, &count) != 4 ||
       std::string(magic) != kTextMagic) {
-    return Fail(error, path + ": bad header");
+    return Fail(error, path + ": bad header (expected \"" +
+                           std::string(kTextMagic) +
+                           " <version> <dim> <count>\")");
   }
-  if (version != kVersion) return Fail(error, path + ": unsupported version");
-  if (dim < 1 || dim > Point::kMaxDim || count < 0) {
-    return Fail(error, path + ": invalid dimension or count");
+  OSD_FAILPOINT_ERROR("io.text.header",
+                      return Fail(error,
+                                  path + ": injected header failure "
+                                         "(failpoint io.text.header)"));
+  if (version != kVersion) {
+    return Fail(error, path + ": unsupported version " +
+                           std::to_string(version) + " (expected " +
+                           std::to_string(kVersion) + ")");
+  }
+  if (dim < 1 || dim > Point::kMaxDim) {
+    return Fail(error, path + ": dimension " + std::to_string(dim) +
+                           " out of range [1, " +
+                           std::to_string(Point::kMaxDim) + "]");
+  }
+  if (count < 0 || count > kMaxDeclaredObjects) {
+    return Fail(error, path + ": declared object count " +
+                           std::to_string(count) + " out of range [0, " +
+                           std::to_string(kMaxDeclaredObjects) + "]");
+  }
+  // Every object needs at least ~4 bytes of header text ("0 1\n"), so a
+  // count the file cannot possibly hold is rejected before reserving.
+  if (file_size >= 0 && count > file_size / 2 + 1) {
+    return Fail(error, path + ": declared object count " +
+                           std::to_string(count) +
+                           " is implausible for a file of " +
+                           std::to_string(file_size) + " bytes");
   }
   objects->reserve(count);
   for (int64_t o = 0; o < count; ++o) {
+    OSD_FAILPOINT_ERROR("io.text.object",
+                        return Fail(error,
+                                    path + ": injected read failure at "
+                                           "object " +
+                                        std::to_string(o) +
+                                        " (failpoint io.text.object)"));
     int id = 0;
-    int m = 0;
-    if (std::fscanf(file.get(), "%d %d", &id, &m) != 2 || m < 1) {
-      return Fail(error, path + ": bad object header");
+    int64_t m = 0;
+    if (std::fscanf(file.get(), "%d %" SCNd64, &id, &m) != 2) {
+      return Fail(error, path + ": truncated or malformed object header at "
+                             "object #" +
+                             std::to_string(o));
+    }
+    if (m < 1) {
+      return Fail(error, path + ": " + Describe(o, id) +
+                             ": non-positive instance count " +
+                             std::to_string(m));
+    }
+    if (m > kMaxDeclaredInstances) {
+      return Fail(error, path + ": " + Describe(o, id) +
+                             ": declared instance count " +
+                             std::to_string(m) + " exceeds cap " +
+                             std::to_string(kMaxDeclaredInstances));
+    }
+    // Each instance needs at least 2 bytes per value in text form; reject
+    // impossible counts before sizing the coordinate buffer from them.
+    if (file_size >= 0 && m * (dim + 1) * 2 > file_size) {
+      return Fail(error, path + ": " + Describe(o, id) +
+                             ": declared instance count " +
+                             std::to_string(m) +
+                             " is implausible for a file of " +
+                             std::to_string(file_size) + " bytes");
     }
     std::vector<double> coords(static_cast<size_t>(m) * dim);
     std::vector<double> mass(m);
-    for (int i = 0; i < m; ++i) {
+    for (int64_t i = 0; i < m; ++i) {
       for (int d = 0; d < dim; ++d) {
         if (std::fscanf(file.get(), "%lf", &coords[i * dim + d]) != 1) {
-          return Fail(error, path + ": bad coordinate");
+          return Fail(error, path + ": " + Describe(o, id) +
+                                 ": truncated or malformed coordinate at "
+                                 "instance " +
+                                 std::to_string(i));
         }
       }
-      if (std::fscanf(file.get(), "%lf", &mass[i]) != 1 || mass[i] <= 0.0) {
-        return Fail(error, path + ": bad probability/weight");
+      if (std::fscanf(file.get(), "%lf", &mass[i]) != 1) {
+        return Fail(error, path + ": " + Describe(o, id) +
+                               ": truncated or malformed " +
+                               (weighted ? "weight" : "probability") +
+                               " at instance " + std::to_string(i));
       }
+    }
+    if (!ValidatePayload(path, static_cast<int>(o), id, dim, coords, mass,
+                         weighted, error)) {
+      return false;
     }
     if (weighted) {
       objects->push_back(UncertainObject::FromWeighted(
@@ -150,39 +286,93 @@ bool LoadBinary(const std::string& path,
   objects->clear();
   FilePtr file(std::fopen(path.c_str(), "rb"));
   if (file == nullptr) return Fail(error, "cannot open " + path);
+  OSD_FAILPOINT_ERROR("io.open",
+                      return Fail(error, path + ": injected open failure "
+                                                "(failpoint io.open)"));
+  const int64_t file_size = FileSize(file.get());
   auto get32 = [&](uint32_t* v) {
     return std::fread(v, sizeof *v, 1, file.get()) == 1;
   };
   uint32_t magic = 0, version = 0, dim32 = 0, count = 0;
   if (!get32(&magic) || magic != kBinaryMagic) {
-    return Fail(error, path + ": bad magic");
+    return Fail(error, path + ": bad magic (not an osd binary dataset)");
   }
+  OSD_FAILPOINT_ERROR("io.binary.header",
+                      return Fail(error,
+                                  path + ": injected header failure "
+                                         "(failpoint io.binary.header)"));
   if (!get32(&version) || version != kVersion) {
-    return Fail(error, path + ": unsupported version");
+    return Fail(error, path + ": unsupported version " +
+                           std::to_string(version) + " (expected " +
+                           std::to_string(kVersion) + ")");
   }
-  if (!get32(&dim32) || dim32 < 1 || dim32 > Point::kMaxDim ||
-      !get32(&count)) {
-    return Fail(error, path + ": bad header");
+  if (!get32(&dim32) || !get32(&count)) {
+    return Fail(error, path + ": truncated header");
+  }
+  if (dim32 < 1 || dim32 > static_cast<uint32_t>(Point::kMaxDim)) {
+    return Fail(error, path + ": dimension " + std::to_string(dim32) +
+                           " out of range [1, " +
+                           std::to_string(Point::kMaxDim) + "]");
   }
   const int dim = static_cast<int>(dim32);
+  // Each object occupies at least 8 header bytes, so a declared count the
+  // file cannot hold is rejected before reserving storage for it.
+  if (count > kMaxDeclaredObjects ||
+      (file_size >= 0 && static_cast<int64_t>(count) * 8 > file_size)) {
+    return Fail(error, path + ": declared object count " +
+                           std::to_string(count) +
+                           " is implausible for a file of " +
+                           std::to_string(file_size) + " bytes");
+  }
   objects->reserve(count);
+  const int64_t instance_bytes = static_cast<int64_t>(dim + 1) * 8;
   for (uint32_t o = 0; o < count; ++o) {
+    OSD_FAILPOINT_ERROR("io.binary.object",
+                        return Fail(error,
+                                    path + ": injected read failure at "
+                                           "object " +
+                                        std::to_string(o) +
+                                        " (failpoint io.binary.object)"));
     int32_t id = 0;
     uint32_t m = 0;
-    if (std::fread(&id, sizeof id, 1, file.get()) != 1 || !get32(&m) ||
-        m < 1) {
-      return Fail(error, path + ": bad object header");
+    if (std::fread(&id, sizeof id, 1, file.get()) != 1 || !get32(&m)) {
+      return Fail(error, path + ": truncated object header at object #" +
+                             std::to_string(o));
+    }
+    if (m < 1) {
+      return Fail(error, path + ": " + Describe(o, id) +
+                             ": non-positive instance count");
+    }
+    // Bound the declared instance count by the bytes actually left in the
+    // file before allocating coordinate storage from it.
+    const long at = std::ftell(file.get());
+    const int64_t remaining = file_size >= 0 && at >= 0 ? file_size - at : -1;
+    if (m > kMaxDeclaredInstances ||
+        (remaining >= 0 &&
+         static_cast<int64_t>(m) * instance_bytes > remaining)) {
+      return Fail(error, path + ": " + Describe(o, id) +
+                             ": declared instance count " +
+                             std::to_string(m) +
+                             " exceeds the remaining file size");
     }
     std::vector<double> coords(static_cast<size_t>(m) * dim);
     std::vector<double> probs(m);
     for (uint32_t i = 0; i < m; ++i) {
-      if (std::fread(&coords[i * dim], sizeof(double), dim, file.get()) !=
-          static_cast<size_t>(dim)) {
-        return Fail(error, path + ": truncated coordinates");
+      if (std::fread(&coords[static_cast<size_t>(i) * dim], sizeof(double),
+                     dim, file.get()) != static_cast<size_t>(dim)) {
+        return Fail(error, path + ": " + Describe(o, id) +
+                               ": truncated coordinates at instance " +
+                               std::to_string(i));
       }
       if (std::fread(&probs[i], sizeof(double), 1, file.get()) != 1) {
-        return Fail(error, path + ": truncated probabilities");
+        return Fail(error, path + ": " + Describe(o, id) +
+                               ": truncated probabilities at instance " +
+                               std::to_string(i));
       }
+    }
+    if (!ValidatePayload(path, static_cast<int>(o), id, dim, coords, probs,
+                         /*weighted=*/false, error)) {
+      return false;
     }
     objects->push_back(
         UncertainObject(id, dim, std::move(coords), std::move(probs)));

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 
 namespace osd {
 
@@ -47,6 +48,9 @@ const RTree& UncertainObject::LocalTree() const {
   const RTree* tree = lazy_tree_->published.load(std::memory_order_acquire);
   if (tree == nullptr) {
     std::call_once(lazy_tree_->once, [this] {
+      // A throw here propagates through call_once without setting the
+      // flag, so a later call retries the build — transient by contract.
+      OSD_FAILPOINT("object.local_tree");
       std::vector<RTree::Entry> entries(num_instances());
       for (int i = 0; i < num_instances(); ++i) {
         entries[i] = {Mbr(Instance(i)), i, probs_[i]};

@@ -1,0 +1,275 @@
+// Engine resilience: retry of transient (injected) failures with jittered
+// exponential backoff, failure text that names the failpoint, overload
+// shedding, and worker survival across injected faults. Backoff math runs
+// in every build; injection tests require -DOSD_FAILPOINTS=ON and skip
+// themselves otherwise.
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+#include "datagen/generators.h"
+#include "datagen/workload.h"
+#include "engine/query_engine.h"
+#include "io/dataset_io.h"
+
+namespace osd {
+namespace {
+
+Dataset SmallDataset(int num_objects = 200, uint64_t seed = 5) {
+  SyntheticParams p;
+  p.dim = 2;
+  p.num_objects = num_objects;
+  p.instances_per_object = 5;
+  p.seed = seed;
+  return GenerateSynthetic(p);
+}
+
+QueryWorkloadEntry OneQuery(const Dataset& dataset, uint64_t seed = 17) {
+  WorkloadParams wp;
+  wp.num_queries = 1;
+  wp.query_instances = 4;
+  wp.seed = seed;
+  return GenerateWorkload(dataset, wp)[0];
+}
+
+class EngineResilienceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoint::Clear(); }
+  void TearDown() override { failpoint::Clear(); }
+};
+
+TEST_F(EngineResilienceTest, BackoffGrowsExponentiallyAndCaps) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 4.0;
+  policy.backoff_multiplier = 3.0;
+  policy.max_backoff_ms = 100.0;
+  policy.jitter = 0.0;
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(2, 0.0), 0.004);
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(3, 0.0), 0.012);
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(4, 0.0), 0.036);
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(5, 0.0), 0.100);  // capped
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(9, 0.0), 0.100);
+}
+
+TEST_F(EngineResilienceTest, JitterShrinksBackoffByUpToItsFraction) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 10.0;
+  policy.jitter = 0.5;
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(2, 0.0), 0.010);  // no shrink
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(2, 1.0), 0.005);  // max shrink
+  policy.jitter = 4.0;  // clamped to 1: a full-shrink draw reaches zero
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(2, 1.0), 0.0);
+}
+
+TEST_F(EngineResilienceTest, NonTransientFailureIsNeverRetried) {
+  // A dimensionality mismatch is a caller bug, not a transient fault; even
+  // a generous retry budget must not re-run it. Needs no failpoints.
+  Dataset dataset = SmallDataset();
+  std::vector<double> coords = {0, 0, 0};
+  UncertainObject bad_query(999, 3, std::move(coords), {1.0});
+
+  QueryEngine engine(std::move(dataset), {.num_threads = 1});
+  QuerySpec spec;
+  spec.query = bad_query;
+  spec.retry.max_attempts = 3;
+  spec.retry.initial_backoff_ms = 0.0;
+  auto ticket = engine.Submit(std::move(spec));
+
+  ASSERT_EQ(ticket->Wait(), QueryStatus::kError);
+  EXPECT_EQ(ticket->attempts(), 1);
+  EXPECT_NE(ticket->error().find("dimensionality"), std::string::npos)
+      << ticket->error();
+  EXPECT_EQ(engine.Snapshot().retries, 0);
+}
+
+TEST_F(EngineResilienceTest, TransientFaultIsRetriedToSuccess) {
+  if (!failpoint::Enabled()) GTEST_SKIP() << "failpoint sites not compiled in";
+  Dataset dataset = SmallDataset();
+  const QueryWorkloadEntry entry = OneQuery(dataset);
+  NncOptions options;
+  options.exclude_id = entry.seeded_from;
+  const NncResult serial = NncSearch(dataset, options).Run(entry.query);
+
+  // First two executions throw; the third runs clean.
+  ASSERT_TRUE(failpoint::Configure("engine.execute=2xthrow"));
+  QueryEngine engine(std::move(dataset), {.num_threads = 1});
+  QuerySpec spec;
+  spec.query = entry.query;
+  spec.options = options;
+  spec.retry.max_attempts = 3;
+  spec.retry.initial_backoff_ms = 0.1;
+  auto ticket = engine.Submit(std::move(spec));
+
+  ASSERT_EQ(ticket->Wait(), QueryStatus::kOk);
+  EXPECT_EQ(ticket->attempts(), 3);
+  EXPECT_EQ(ticket->result().candidates, serial.candidates);
+  EXPECT_TRUE(ticket->error().empty());
+
+  const EngineStats stats = engine.Snapshot();
+  EXPECT_EQ(stats.ok, 1);
+  EXPECT_EQ(stats.errors, 0);
+  EXPECT_EQ(stats.retries, 2);
+}
+
+TEST_F(EngineResilienceTest, RetryBudgetExhaustionNamesTheFailpoint) {
+  if (!failpoint::Enabled()) GTEST_SKIP() << "failpoint sites not compiled in";
+  Dataset dataset = SmallDataset();
+  const QueryWorkloadEntry entry = OneQuery(dataset);
+
+  ASSERT_TRUE(failpoint::Configure("engine.execute=throw(kaboom)"));
+  QueryEngine engine(std::move(dataset), {.num_threads = 1});
+  QuerySpec spec;
+  spec.query = entry.query;
+  spec.retry.max_attempts = 2;
+  spec.retry.initial_backoff_ms = 0.1;
+  auto ticket = engine.Submit(std::move(spec));
+
+  ASSERT_EQ(ticket->Wait(), QueryStatus::kError);
+  EXPECT_EQ(ticket->attempts(), 2);
+  // The ticket's error carries the what() text, the failing failpoint, and
+  // the attempt count — diagnosable without engine logs.
+  EXPECT_NE(ticket->error().find("kaboom"), std::string::npos)
+      << ticket->error();
+  EXPECT_NE(ticket->error().find("[failpoint engine.execute]"),
+            std::string::npos)
+      << ticket->error();
+  EXPECT_NE(ticket->error().find("(after 2 attempts)"), std::string::npos)
+      << ticket->error();
+
+  const EngineStats stats = engine.Snapshot();
+  EXPECT_EQ(stats.errors, 1);
+  EXPECT_EQ(stats.retries, 1);
+  failpoint::Clear();
+
+  // Zero crashed workers: the same engine still answers cleanly.
+  auto ok = engine.Submit({entry.query, NncOptions{}, 0.0});
+  EXPECT_EQ(ok->Wait(), QueryStatus::kOk);
+}
+
+TEST_F(EngineResilienceTest, TraversalFaultRetriesToTheExactAnswer) {
+  if (!failpoint::Enabled()) GTEST_SKIP() << "failpoint sites not compiled in";
+  Dataset dataset = SmallDataset();
+  const QueryWorkloadEntry entry = OneQuery(dataset);
+  NncOptions options;
+  options.exclude_id = entry.seeded_from;
+  const NncResult serial = NncSearch(dataset, options).Run(entry.query);
+
+  // Fault deep inside the traversal (first object examination) rather than
+  // at the execution wrapper: the retry must still converge to the exact
+  // serial answer.
+  ASSERT_TRUE(failpoint::Configure("nnc.object_examine=1xthrow"));
+  QueryEngine engine(std::move(dataset), {.num_threads = 1});
+  QuerySpec spec;
+  spec.query = entry.query;
+  spec.options = options;
+  spec.retry.max_attempts = 2;
+  spec.retry.initial_backoff_ms = 0.1;
+  auto ticket = engine.Submit(std::move(spec));
+
+  ASSERT_EQ(ticket->Wait(), QueryStatus::kOk);
+  EXPECT_EQ(ticket->attempts(), 2);
+  EXPECT_EQ(ticket->result().candidates, serial.candidates);
+}
+
+TEST_F(EngineResilienceTest, BackoffNeverSleepsPastTheDeadline) {
+  if (!failpoint::Enabled()) GTEST_SKIP() << "failpoint sites not compiled in";
+  Dataset dataset = SmallDataset();
+  const QueryWorkloadEntry entry = OneQuery(dataset);
+
+  ASSERT_TRUE(failpoint::Configure("engine.execute=throw"));
+  QueryEngine engine(std::move(dataset), {.num_threads = 1});
+  QuerySpec spec;
+  spec.query = entry.query;
+  spec.deadline_seconds = 0.5;
+  spec.retry.max_attempts = 5;
+  spec.retry.initial_backoff_ms = 2000.0;  // first backoff >> deadline
+  spec.retry.max_backoff_ms = 2000.0;
+  spec.retry.jitter = 0.0;
+  auto ticket = engine.Submit(std::move(spec));
+
+  ASSERT_EQ(ticket->Wait(), QueryStatus::kError);
+  EXPECT_EQ(ticket->attempts(), 1);
+  EXPECT_NE(ticket->error().find("deadline reached before retry 2"),
+            std::string::npos)
+      << ticket->error();
+  // Well under the 2 s backoff: the engine gave up instead of sleeping.
+  EXPECT_LT(ticket->latency_seconds(), 1.0);
+}
+
+TEST_F(EngineResilienceTest, TransientIoFaultClearsOnRetry) {
+  if (!failpoint::Enabled()) GTEST_SKIP() << "failpoint sites not compiled in";
+  // The loaders report injected faults as ordinary errors; a caller-level
+  // retry (two failures, then success) recovers without restarting.
+  Dataset dataset = SmallDataset(20);
+  const std::string path = std::string(::testing::TempDir()) + "/retry.bin";
+  std::string error;
+  ASSERT_TRUE(SaveBinary(dataset.objects(), path, &error)) << error;
+
+  ASSERT_TRUE(failpoint::Configure("io.binary.object=2xerror"));
+  std::vector<UncertainObject> loaded;
+  for (int attempt = 1; attempt <= 2; ++attempt) {
+    ASSERT_FALSE(LoadBinary(path, &loaded, &error));
+    EXPECT_NE(error.find("failpoint io.binary.object"), std::string::npos)
+        << error;
+  }
+  ASSERT_TRUE(LoadBinary(path, &loaded, &error)) << error;
+  EXPECT_EQ(loaded.size(), dataset.objects().size());
+}
+
+TEST_F(EngineResilienceTest, OverloadSheddingRejectsInsteadOfBlocking) {
+  if (!failpoint::Enabled()) GTEST_SKIP() << "failpoint sites not compiled in";
+  Dataset dataset = SmallDataset();
+  const QueryWorkloadEntry entry = OneQuery(dataset);
+
+  // One slow worker (100 ms per query), a one-slot queue, shedding on:
+  // a burst of 8 must see at most 1 running + 1 queued accepted and the
+  // rest rejected immediately.
+  ASSERT_TRUE(failpoint::Configure("engine.execute=delay(100)"));
+  QueryEngine engine(std::move(dataset),
+                     {.num_threads = 1, .queue_capacity = 1,
+                      .shed_on_overload = true});
+  std::vector<std::shared_ptr<QueryTicket>> tickets;
+  const auto burst_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 8; ++i) {
+    tickets.push_back(engine.Submit({entry.query, NncOptions{}, 0.0}));
+  }
+  const double burst_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    burst_start)
+          .count();
+  engine.Drain();
+
+  long ok = 0, rejected = 0;
+  for (const auto& t : tickets) {
+    switch (t->Wait()) {
+      case QueryStatus::kOk: ++ok; break;
+      case QueryStatus::kRejected:
+        ++rejected;
+        EXPECT_NE(t->error().find("overload shedding"), std::string::npos);
+        EXPECT_EQ(t->attempts(), 0);
+        break;
+      default: ADD_FAILURE() << QueryStatusName(t->status());
+    }
+  }
+  EXPECT_GE(rejected, 1);
+  EXPECT_GE(ok, 1);
+  EXPECT_EQ(ok + rejected, 8);
+  // Rejection is immediate: the burst must not have blocked on the 100 ms
+  // executions of the accepted queries.
+  EXPECT_LT(burst_seconds, 0.5);
+
+  const EngineStats stats = engine.Snapshot();
+  EXPECT_EQ(stats.rejected, rejected);
+  EXPECT_EQ(stats.ok, ok);
+  EXPECT_EQ(stats.completed, 8);
+  EXPECT_NE(stats.ToJson().find("\"rejected\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace osd

@@ -1,0 +1,208 @@
+// Trigger-registry semantics for the fault-injection layer. The registry
+// is compiled into every build, so most of these tests drive it directly
+// through Evaluate() and run with failpoints ON or OFF; the wired-site
+// tests at the bottom branch on Enabled() to assert injection in ON builds
+// and inertness in OFF builds.
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+#include "io/dataset_io.h"
+
+namespace osd {
+namespace failpoint {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Clear(); }
+  void TearDown() override { Clear(); }
+};
+
+TEST_F(FailpointTest, RejectsMalformedSpecs) {
+  const char* bad[] = {
+      "noequals",          // entry without '='
+      "site=",             // empty trigger
+      "site=explode",      // unknown action
+      "site=xerror",       // missing count before 'x'
+      "site=0xerror",      // zero max-fires
+      "site=error@0",      // 1-based start hit
+      "site=error@abc",    // non-numeric start hit
+      "site=delay",        // delay needs an argument
+      "site=delay(-5)",    // negative delay
+      "site=delay(abc)",   // non-numeric delay
+      "site=error(5)",     // error takes no argument
+      "bad site=error",    // invalid character in site name
+      "=error",            // empty site name
+  };
+  for (const char* spec : bad) {
+    SCOPED_TRACE(spec);
+    std::string error;
+    EXPECT_FALSE(Configure(spec, &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_TRUE(ArmedSites().empty())
+        << "a rejected spec must not arm anything";
+  }
+}
+
+TEST_F(FailpointTest, RejectionIsAtomic) {
+  // One bad entry poisons the whole spec: the valid first entry must not
+  // be applied either.
+  std::string error;
+  ASSERT_FALSE(Configure("good.site=error,bad site=error", &error));
+  EXPECT_TRUE(ArmedSites().empty());
+  EXPECT_FALSE(Evaluate("good.site"));
+}
+
+TEST_F(FailpointTest, ErrorTriggerFiresEveryHit) {
+  ASSERT_TRUE(Configure("s=error"));
+  EXPECT_TRUE(Evaluate("s"));
+  EXPECT_TRUE(Evaluate("s"));
+  EXPECT_EQ(HitCount("s"), 2);
+  EXPECT_EQ(FireCount("s"), 2);
+  EXPECT_FALSE(Evaluate("other"));  // unarmed sites never fire
+  EXPECT_EQ(HitCount("other"), 0);
+}
+
+TEST_F(FailpointTest, MaxFiresAndStartHitCompose) {
+  // 2xerror@2: dormant on hit 1, fires on hits 2 and 3, exhausted after.
+  ASSERT_TRUE(Configure("s=2xerror@2"));
+  EXPECT_FALSE(Evaluate("s"));
+  EXPECT_TRUE(Evaluate("s"));
+  EXPECT_TRUE(Evaluate("s"));
+  EXPECT_FALSE(Evaluate("s"));
+  EXPECT_FALSE(Evaluate("s"));
+  EXPECT_EQ(HitCount("s"), 5);
+  EXPECT_EQ(FireCount("s"), 2);
+}
+
+TEST_F(FailpointTest, ThrowTriggerThrowsInjectedFaultWithSite) {
+  ASSERT_TRUE(Configure("s=throw(boom)"));
+  try {
+    Evaluate("s");
+    FAIL() << "expected InjectedFault";
+  } catch (const InjectedFault& e) {
+    EXPECT_STREQ(e.what(), "boom");
+    EXPECT_EQ(e.site(), "s");
+  }
+  // An injected fault is transient by contract — the engine's retry
+  // machinery keys on exactly this base class.
+  ASSERT_TRUE(Configure("s=throw"));
+  EXPECT_THROW(Evaluate("s"), TransientError);
+}
+
+TEST_F(FailpointTest, ThrowTriggerDefaultMessage) {
+  ASSERT_TRUE(Configure("s=throw"));
+  try {
+    Evaluate("s");
+    FAIL() << "expected InjectedFault";
+  } catch (const InjectedFault& e) {
+    EXPECT_STREQ(e.what(), "injected fault");
+  }
+}
+
+TEST_F(FailpointTest, DelayTriggerSleeps) {
+  ASSERT_TRUE(Configure("s=delay(20)"));
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(Evaluate("s"));  // delay is not an error trigger
+  const double elapsed_ms =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count() *
+      1e3;
+  EXPECT_GE(elapsed_ms, 15.0);
+}
+
+TEST_F(FailpointTest, OffDisarmsOneSiteAndClearDisarmsAll) {
+  ASSERT_TRUE(Configure("a=error,b=error"));
+  EXPECT_EQ(ArmedSites(), (std::vector<std::string>{"a", "b"}));
+  ASSERT_TRUE(Configure("a=off"));
+  EXPECT_EQ(ArmedSites(), (std::vector<std::string>{"b"}));
+  EXPECT_FALSE(Evaluate("a"));
+  EXPECT_TRUE(Evaluate("b"));
+  Clear();
+  EXPECT_TRUE(ArmedSites().empty());
+  EXPECT_FALSE(Evaluate("b"));
+  EXPECT_EQ(HitCount("b"), 0) << "Clear must reset counters";
+}
+
+TEST_F(FailpointTest, ReconfigureResetsCounters) {
+  ASSERT_TRUE(Configure("s=1xerror"));
+  EXPECT_TRUE(Evaluate("s"));
+  EXPECT_FALSE(Evaluate("s"));  // exhausted
+  ASSERT_TRUE(Configure("s=1xerror"));
+  EXPECT_TRUE(Evaluate("s")) << "re-arming must reset hit/fire counts";
+}
+
+TEST_F(FailpointTest, ConfigureFromEnvReadsOsdFailpoints) {
+  ASSERT_EQ(setenv("OSD_FAILPOINTS", "env.site=error", 1), 0);
+  EXPECT_TRUE(ConfigureFromEnv());
+  EXPECT_EQ(ArmedSites(), (std::vector<std::string>{"env.site"}));
+  EXPECT_TRUE(Evaluate("env.site"));
+
+  ASSERT_EQ(unsetenv("OSD_FAILPOINTS"), 0);
+  Clear();
+  EXPECT_TRUE(ConfigureFromEnv()) << "unset env var is a no-op, not an error";
+  EXPECT_TRUE(ArmedSites().empty());
+}
+
+// --- Wired sites ---------------------------------------------------------
+
+std::string WriteValidDataset() {
+  const std::string path =
+      std::string(::testing::TempDir()) + "/failpoint_ds.txt";
+  std::ofstream out(path);
+  out << "osd-dataset 1 2 1\n0 2\n0 0 0.5\n1 1 0.5\n";
+  return path;
+}
+
+TEST_F(FailpointTest, ArmedIoSiteInjectsOnlyWhenCompiledIn) {
+  ASSERT_TRUE(Configure("io.open=error"));
+  std::vector<UncertainObject> loaded;
+  std::string error;
+  const bool ok = LoadText(WriteValidDataset(), &loaded, &error);
+  if (Enabled()) {
+    ASSERT_FALSE(ok);
+    EXPECT_NE(error.find("failpoint io.open"), std::string::npos)
+        << "error was: " << error;
+    EXPECT_GE(FireCount("io.open"), 1);
+  } else {
+    // OFF build: the armed trigger must be completely inert — the load
+    // succeeds and library code never even hits the site.
+    ASSERT_TRUE(ok) << error;
+    ASSERT_EQ(loaded.size(), 1u);
+    EXPECT_EQ(HitCount("io.open"), 0);
+  }
+}
+
+TEST_F(FailpointTest, NthHitErrorTargetsOneObject) {
+  if (!Enabled()) GTEST_SKIP() << "failpoint sites not compiled in";
+  // Two objects; fail the binary read of the second one only.
+  std::vector<UncertainObject> objects;
+  std::string error;
+  ASSERT_TRUE(LoadText(WriteValidDataset(), &objects, &error)) << error;
+  objects.push_back(UncertainObject(1, 2, {5, 5, 6, 6}, {0.5, 0.5}));
+  const std::string bin =
+      std::string(::testing::TempDir()) + "/failpoint_ds.bin";
+  ASSERT_TRUE(SaveBinary(objects, bin, &error)) << error;
+
+  ASSERT_TRUE(Configure("io.binary.object=error@2"));
+  std::vector<UncertainObject> loaded;
+  ASSERT_FALSE(LoadBinary(bin, &loaded, &error));
+  EXPECT_NE(error.find("at object 1"), std::string::npos)
+      << "error was: " << error;
+  EXPECT_NE(error.find("failpoint io.binary.object"), std::string::npos);
+
+  Clear();
+  ASSERT_TRUE(LoadBinary(bin, &loaded, &error)) << error;
+  EXPECT_EQ(loaded.size(), 2u);
+}
+
+}  // namespace
+}  // namespace failpoint
+}  // namespace osd

@@ -1,0 +1,290 @@
+// Malformed-input corpus for the hardened dataset loaders: every case must
+// return false with a non-empty, precise error — never crash, abort on an
+// OSD_CHECK, or allocate from a hostile header. Run under ASan/UBSan by
+// scripts/check_asan.sh.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/dataset_io.h"
+
+namespace osd {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::string WriteTextFile(const char* name, const std::string& content) {
+  const std::string path = TempPath(name);
+  std::ofstream out(path);
+  out << content;
+  return path;
+}
+
+std::string WriteBinaryFile(const char* name, const std::string& bytes) {
+  const std::string path = TempPath(name);
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return path;
+}
+
+void Put32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void PutDouble(std::string* out, double v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+constexpr uint32_t kMagic = 0x0D5Dda7a;
+
+/// A well-formed binary file with one 2-d object of two instances; the
+/// mutators below corrupt individual fields of this baseline.
+std::string ValidBinary(uint32_t declared_objects = 1,
+                        uint32_t declared_instances = 2,
+                        double prob0 = 0.5, double coord0 = 1.0) {
+  std::string bytes;
+  Put32(&bytes, kMagic);
+  Put32(&bytes, 1);  // version
+  Put32(&bytes, 2);  // dim
+  Put32(&bytes, declared_objects);
+  Put32(&bytes, 7);  // id (int32)
+  Put32(&bytes, declared_instances);
+  PutDouble(&bytes, coord0);
+  PutDouble(&bytes, 2.0);
+  PutDouble(&bytes, prob0);
+  PutDouble(&bytes, 3.0);
+  PutDouble(&bytes, 4.0);
+  PutDouble(&bytes, 0.5);
+  return bytes;
+}
+
+void ExpectTextFails(const char* name, const std::string& content,
+                     const std::string& expected_substring,
+                     bool weighted = false) {
+  SCOPED_TRACE(name);
+  const std::string path = WriteTextFile(name, content);
+  std::vector<UncertainObject> loaded;
+  std::string error;
+  const bool ok = weighted ? LoadTextWeighted(path, &loaded, &error)
+                           : LoadText(path, &loaded, &error);
+  ASSERT_FALSE(ok) << "expected load failure";
+  EXPECT_FALSE(error.empty());
+  EXPECT_NE(error.find(expected_substring), std::string::npos)
+      << "error was: " << error;
+}
+
+void ExpectBinaryFails(const char* name, const std::string& bytes,
+                       const std::string& expected_substring) {
+  SCOPED_TRACE(name);
+  const std::string path = WriteBinaryFile(name, bytes);
+  std::vector<UncertainObject> loaded;
+  std::string error;
+  ASSERT_FALSE(LoadBinary(path, &loaded, &error)) << "expected load failure";
+  EXPECT_FALSE(error.empty());
+  EXPECT_NE(error.find(expected_substring), std::string::npos)
+      << "error was: " << error;
+}
+
+TEST(IoHardeningTest, ValidBaselinesLoad) {
+  // Guard against the corpus passing because the baseline itself is bad.
+  const std::string tpath = WriteTextFile(
+      "valid.txt", "osd-dataset 1 2 1\n5 2\n0 0 0.5\n1 1 0.5\n");
+  std::vector<UncertainObject> loaded;
+  std::string error;
+  ASSERT_TRUE(LoadText(tpath, &loaded, &error)) << error;
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].num_instances(), 2);
+
+  const std::string bpath = WriteBinaryFile("valid.bin", ValidBinary());
+  ASSERT_TRUE(LoadBinary(bpath, &loaded, &error)) << error;
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].id(), 7);
+}
+
+// --- Text corpus ---------------------------------------------------------
+
+TEST(IoHardeningTest, TextTruncatedAfterHeader) {
+  ExpectTextFails("trunc_header.txt", "osd-dataset 1 2 3\n",
+                  "truncated or malformed object header");
+}
+
+TEST(IoHardeningTest, TextTruncatedMidInstance) {
+  ExpectTextFails("trunc_instance.txt",
+                  "osd-dataset 1 2 1\n0 2\n1 1 0.5\n2\n",
+                  "truncated or malformed");
+}
+
+TEST(IoHardeningTest, TextWrongDim) {
+  ExpectTextFails("dim_zero.txt", "osd-dataset 1 0 1\n",
+                  "dimension 0 out of range");
+  ExpectTextFails("dim_big.txt", "osd-dataset 1 99 1\n",
+                  "dimension 99 out of range");
+}
+
+TEST(IoHardeningTest, TextWrongVersion) {
+  ExpectTextFails("version.txt", "osd-dataset 9 2 1\n",
+                  "unsupported version 9");
+}
+
+TEST(IoHardeningTest, TextProbabilitiesDoNotSumToOne) {
+  ExpectTextFails("prob_sum.txt",
+                  "osd-dataset 1 2 1\n0 2\n0 0 0.3\n1 1 0.3\n",
+                  "probabilities sum to 0.6");
+}
+
+TEST(IoHardeningTest, TextNegativeInstanceCount) {
+  ExpectTextFails("neg_m.txt", "osd-dataset 1 2 1\n0 -3\n",
+                  "non-positive instance count -3");
+}
+
+TEST(IoHardeningTest, TextObjectCountBeyondAbsoluteCap) {
+  ExpectTextFails("cap_count.txt", "osd-dataset 1 2 2000000000\n0 1\n",
+                  "declared object count 2000000000 out of range");
+}
+
+TEST(IoHardeningTest, TextOversizedDeclaredObjectCount) {
+  // Within the absolute cap but far more than a ~30-byte file could hold.
+  ExpectTextFails("huge_count.txt", "osd-dataset 1 2 1000000\n0 1\n",
+                  "implausible for a file of");
+}
+
+TEST(IoHardeningTest, TextOversizedDeclaredInstanceCount) {
+  ExpectTextFails("huge_m.txt", "osd-dataset 1 2 1\n0 1000000\n0 0 1\n",
+                  "implausible for a file of");
+}
+
+TEST(IoHardeningTest, TextInstanceCapEnforcedEvenForHugeFiles) {
+  // A header may not declare more instances than the absolute cap no
+  // matter what the file size allows.
+  ExpectTextFails("cap_m.txt", "osd-dataset 1 2 1\n0 2147483647\n",
+                  "instance count");
+}
+
+TEST(IoHardeningTest, TextNaNCoordinate) {
+  ExpectTextFails("nan_coord.txt",
+                  "osd-dataset 1 2 1\n0 2\nnan 0 0.5\n1 1 0.5\n",
+                  "non-finite coordinate at instance 0, dimension 0");
+}
+
+TEST(IoHardeningTest, TextInfCoordinate) {
+  ExpectTextFails("inf_coord.txt",
+                  "osd-dataset 1 2 1\n0 2\n0 inf 0.5\n1 1 0.5\n",
+                  "non-finite coordinate at instance 0, dimension 1");
+}
+
+TEST(IoHardeningTest, TextNonPositiveProbability) {
+  ExpectTextFails("zero_prob.txt",
+                  "osd-dataset 1 2 1\n0 2\n0 0 0\n1 1 1\n",
+                  "non-positive or non-finite probability at instance 0");
+  ExpectTextFails("neg_prob.txt",
+                  "osd-dataset 1 2 1\n0 2\n0 0 -0.5\n1 1 1.5\n",
+                  "non-positive or non-finite probability");
+}
+
+TEST(IoHardeningTest, WeightedNonPositiveWeight) {
+  ExpectTextFails("neg_weight.txt",
+                  "osd-dataset 1 2 1\n0 2\n0 0 -2\n1 1 4\n",
+                  "non-positive or non-finite weight", /*weighted=*/true);
+  ExpectTextFails("nan_weight.txt",
+                  "osd-dataset 1 2 1\n0 2\n0 0 nan\n1 1 4\n",
+                  "non-positive or non-finite weight", /*weighted=*/true);
+}
+
+TEST(IoHardeningTest, WeightedDoesNotRequireUnitSum) {
+  // Weights summing to an arbitrary positive total must still load.
+  const std::string path = WriteTextFile(
+      "weights_ok.txt", "osd-dataset 1 2 1\n0 2\n0 0 2\n1 1 6\n");
+  std::vector<UncertainObject> loaded;
+  std::string error;
+  ASSERT_TRUE(LoadTextWeighted(path, &loaded, &error)) << error;
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_NEAR(loaded[0].Prob(0), 0.25, 1e-12);
+  EXPECT_NEAR(loaded[0].Prob(1), 0.75, 1e-12);
+}
+
+// --- Binary corpus -------------------------------------------------------
+
+TEST(IoHardeningTest, BinaryBadMagic) {
+  std::string bytes = ValidBinary();
+  bytes[0] = 'X';
+  ExpectBinaryFails("bad_magic.bin", bytes, "bad magic");
+}
+
+TEST(IoHardeningTest, BinaryWrongVersion) {
+  std::string bytes = ValidBinary();
+  bytes[4] = 42;
+  ExpectBinaryFails("bad_version.bin", bytes, "unsupported version 42");
+}
+
+TEST(IoHardeningTest, BinaryTruncatedHeader) {
+  ExpectBinaryFails("trunc_hdr.bin", ValidBinary().substr(0, 10),
+                    "truncated header");
+}
+
+TEST(IoHardeningTest, BinaryZeroDim) {
+  std::string bytes = ValidBinary();
+  bytes[8] = 0;  // dim field
+  ExpectBinaryFails("zero_dim.bin", bytes, "dimension 0 out of range");
+}
+
+TEST(IoHardeningTest, BinaryOversizedDeclaredObjectCount) {
+  // Declares 4 billion objects in a ~70-byte file: must be rejected before
+  // any reserve() is sized from the claim.
+  ExpectBinaryFails("huge_objects.bin",
+                    ValidBinary(/*declared_objects=*/4'000'000'000u),
+                    "implausible for a file of");
+}
+
+TEST(IoHardeningTest, BinaryOversizedDeclaredInstanceCount) {
+  ExpectBinaryFails("huge_instances.bin",
+                    ValidBinary(1, /*declared_instances=*/3'000'000'000u),
+                    "instance count");
+}
+
+TEST(IoHardeningTest, BinaryTruncatedPayload) {
+  std::string bytes = ValidBinary();
+  bytes.resize(bytes.size() - 12);
+  // The instance-count-vs-remaining-bytes check fires before any read.
+  ExpectBinaryFails("trunc_payload.bin", bytes, "");
+}
+
+TEST(IoHardeningTest, BinaryNegativeInstanceCountField) {
+  // 0xFFFFFFFF reads as a huge unsigned count; the remaining-bytes bound
+  // rejects it.
+  std::string bytes = ValidBinary(1, 0xFFFFFFFFu);
+  ExpectBinaryFails("neg_m.bin", bytes, "instance count");
+}
+
+TEST(IoHardeningTest, BinaryZeroInstanceCount) {
+  ExpectBinaryFails("zero_m.bin", ValidBinary(1, 0),
+                    "non-positive instance count");
+}
+
+TEST(IoHardeningTest, BinaryNaNCoordinate) {
+  ExpectBinaryFails(
+      "nan_coord.bin",
+      ValidBinary(1, 2, 0.5, std::numeric_limits<double>::quiet_NaN()),
+      "non-finite coordinate");
+}
+
+TEST(IoHardeningTest, BinaryProbabilitiesDoNotSumToOne) {
+  ExpectBinaryFails("prob_sum.bin", ValidBinary(1, 2, /*prob0=*/0.25),
+                    "probabilities sum to 0.75");
+}
+
+TEST(IoHardeningTest, BinaryNonPositiveProbability) {
+  ExpectBinaryFails("neg_prob.bin", ValidBinary(1, 2, /*prob0=*/-0.5),
+                    "non-positive or non-finite probability");
+}
+
+}  // namespace
+}  // namespace osd

@@ -5,11 +5,28 @@
 //           (--query-id N | --query-file q.txt)
 //           [--op ssd|sssd|psd|fsd|f+sd] [--k K] [--metric l2|l1]
 //           [--filters all|bf|l|lp|lg|lgp] [--progressive] [--rank-by f]
+//           [--deadline S] [--accept-degraded] [--failpoints SPEC]
 //
 //   osd_cli serve-batch --input data.txt [--weighted] [--binary]
 //           (--workload queries.txt | --gen-queries N [--seed S])
 //           [--threads T] [--op ...] [--k ...] [--metric ...] [--filters ...]
-//           [--deadline-ms D] [--json]
+//           [--deadline-ms D | --deadline S] [--accept-degraded]
+//           [--retries N] [--shed] [--failpoints SPEC]
+//
+// Robustness controls:
+//   --deadline S        per-query budget in seconds (--deadline-ms in ms)
+//   --accept-degraded   anytime mode: a query stopped by its deadline
+//                       returns the confirmed candidates plus the
+//                       unexpanded frontier — a certified superset of the
+//                       exact answer (status OK_DEGRADED) — instead of a
+//                       partial set
+//   --retries N         serve-batch: retry each query up to N extra times
+//                       on transient failures (jittered backoff)
+//   --shed              serve-batch: reject (REJECTED) instead of blocking
+//                       when the submission queue saturates
+//   --failpoints SPEC   arm fault-injection sites (see common/failpoint.h);
+//                       requires a -DOSD_FAILPOINTS=ON build to fire. The
+//                       $OSD_FAILPOINTS env var is honoured too.
 //
 // The input follows the text format of io/dataset_io.h (or the binary
 // cache format with --binary). The query is either an object of the
@@ -24,6 +41,7 @@
 // deadline, and the engine-level stats (throughput, latency percentiles,
 // summed work counters) are printed as JSON.
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +49,7 @@
 #include <string>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "core/nnc_search.h"
 #include "datagen/workload.h"
 #include "engine/query_engine.h"
@@ -55,12 +74,16 @@ struct Args {
   FilterConfig filters = FilterConfig::All();
   bool progressive = false;
   std::string rank_by;
+  double deadline_s = 0.0;
+  bool accept_degraded = false;
+  std::string failpoints;
   // serve-batch only:
   std::string workload_file;
   int gen_queries = 0;
   uint64_t seed = 42;
   int threads = 0;  // 0 = hardware concurrency
-  double deadline_ms = 0.0;
+  int retries = 0;
+  bool shed = false;
 };
 
 [[noreturn]] void Die(const std::string& message) {
@@ -128,6 +151,13 @@ Args Parse(int argc, char** argv) {
       args.progressive = true;
     } else if (flag == "--rank-by") {
       args.rank_by = need_value(i);
+    } else if (flag == "--deadline") {
+      args.deadline_s = std::atof(need_value(i).c_str());
+      if (args.deadline_s <= 0) Die("--deadline must be > 0 seconds");
+    } else if (flag == "--accept-degraded") {
+      args.accept_degraded = true;
+    } else if (flag == "--failpoints") {
+      args.failpoints = need_value(i);
     } else if (args.serve_batch && flag == "--workload") {
       args.workload_file = need_value(i);
     } else if (args.serve_batch && flag == "--gen-queries") {
@@ -138,7 +168,12 @@ Args Parse(int argc, char** argv) {
     } else if (args.serve_batch && flag == "--threads") {
       args.threads = std::atoi(need_value(i).c_str());
     } else if (args.serve_batch && flag == "--deadline-ms") {
-      args.deadline_ms = std::atof(need_value(i).c_str());
+      args.deadline_s = std::atof(need_value(i).c_str()) / 1e3;
+    } else if (args.serve_batch && flag == "--retries") {
+      args.retries = std::atoi(need_value(i).c_str());
+      if (args.retries < 0) Die("--retries must be >= 0");
+    } else if (args.serve_batch && flag == "--shed") {
+      args.shed = true;
     } else {
       Die("unknown flag " + flag);
     }
@@ -164,7 +199,9 @@ int ServeBatch(const Args& args, std::vector<UncertainObject> objects) {
   base.k = args.k;
   base.metric = args.metric;
   base.filters = args.filters;
-  const double deadline_s = args.deadline_ms > 0 ? args.deadline_ms / 1e3 : 0;
+  base.degraded_superset = args.accept_degraded;
+  RetryPolicy retry;
+  retry.max_attempts = 1 + args.retries;
 
   if (!args.workload_file.empty()) {
     std::vector<UncertainObject> queries;
@@ -173,7 +210,7 @@ int ServeBatch(const Args& args, std::vector<UncertainObject> objects) {
     if (queries.empty()) Die("--workload holds no query objects");
     specs.reserve(queries.size());
     for (UncertainObject& q : queries) {
-      specs.push_back({std::move(q), base, deadline_s});
+      specs.push_back({std::move(q), base, args.deadline_s, retry});
     }
   } else {
     WorkloadParams wp;
@@ -182,24 +219,34 @@ int ServeBatch(const Args& args, std::vector<UncertainObject> objects) {
     for (auto& entry : GenerateWorkload(dataset, wp)) {
       NncOptions per_query = base;
       per_query.exclude_id = entry.seeded_from;
-      specs.push_back({std::move(entry.query), per_query, deadline_s});
+      specs.push_back(
+          {std::move(entry.query), per_query, args.deadline_s, retry});
     }
   }
 
   const size_t num_queries = specs.size();
-  QueryEngine engine(std::move(dataset), {.num_threads = args.threads});
+  QueryEngine engine(std::move(dataset),
+                     {.num_threads = args.threads,
+                      .shed_on_overload = args.shed});
   std::fprintf(stderr, "serve-batch: %zu queries on %d threads, operator %s\n",
                num_queries, engine.num_threads(), OperatorName(args.op));
 
   auto tickets = engine.SubmitBatch(std::move(specs));
   engine.Drain();
 
+  // Shed queries are an expected outcome under --shed, so only true errors
+  // fail the exit code; both kinds are reported for diagnosability.
   long failed = 0;
   for (size_t i = 0; i < tickets.size(); ++i) {
     const QueryStatus status = tickets[i]->status();
     if (status == QueryStatus::kError) {
       ++failed;
-      std::fprintf(stderr, "query %zu: %s (%s)\n", i, QueryStatusName(status),
+      std::fprintf(stderr, "query %zu: %s after %d attempt(s): %s\n", i,
+                   QueryStatusName(status), tickets[i]->attempts(),
+                   tickets[i]->error().c_str());
+    } else if (status == QueryStatus::kRejected && !args.shed) {
+      ++failed;
+      std::fprintf(stderr, "query %zu: %s: %s\n", i, QueryStatusName(status),
                    tickets[i]->error().c_str());
     }
   }
@@ -211,6 +258,20 @@ int ServeBatch(const Args& args, std::vector<UncertainObject> objects) {
 
 int main(int argc, char** argv) {
   const Args args = Parse(argc, argv);
+
+  {
+    std::string fp_error;
+    if (!failpoint::ConfigureFromEnv(&fp_error)) Die(fp_error);
+    if (!args.failpoints.empty() &&
+        !failpoint::Configure(args.failpoints, &fp_error)) {
+      Die(fp_error);
+    }
+    if (!failpoint::ArmedSites().empty() && !failpoint::Enabled()) {
+      std::fprintf(stderr,
+                   "osd_cli: warning: failpoints armed but this build has "
+                   "no sites compiled in (rebuild with -DOSD_FAILPOINTS=ON)\n");
+    }
+  }
 
   std::vector<UncertainObject> objects;
   std::string error;
@@ -248,6 +309,16 @@ int main(int argc, char** argv) {
   options.metric = args.metric;
   options.filters = args.filters;
   options.exclude_id = exclude;
+  options.degraded_superset = args.accept_degraded;
+
+  QueryControl control;
+  if (args.deadline_s > 0) {
+    control.deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(args.deadline_s));
+    options.control = &control;
+  }
 
   const NncResult result =
       NncSearch(dataset, options)
@@ -260,6 +331,21 @@ int main(int argc, char** argv) {
   std::printf("operator %s, k=%d: %zu candidates of %d objects in %.2f ms\n",
               OperatorName(args.op), args.k, result.candidates.size(),
               dataset.size(), result.seconds * 1e3);
+  if (result.termination != NncTermination::kComplete) {
+    const char* why = result.termination == NncTermination::kCancelled
+                          ? "cancelled"
+                          : "deadline exceeded";
+    if (result.degraded) {
+      std::printf("status: %s — degraded superset (%ld unrefined frontier "
+                  "objects from %ld subtrees; every true candidate is "
+                  "included)\n",
+                  why, result.frontier_objects, result.frontier_nodes);
+    } else {
+      std::printf("status: %s — partial result (rerun with "
+                  "--accept-degraded for a certified superset)\n",
+                  why);
+    }
+  }
   std::printf("work: %ld dominance checks, %ld instance comparisons, "
               "%ld flow runs, %ld entries pruned\n",
               result.stats.dominance_checks,
