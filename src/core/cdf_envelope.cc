@@ -26,6 +26,23 @@ struct Seg {
 // Checks "X-CDF(x) >= Y-CDF(x) for all x" over two step functions given as
 // unsorted jump lists, reporting whether a strict gap exists anywhere.
 // Returns false as soon as Y's CDF exceeds X's.
+//
+// Jumps within kEps of each other are merged into one cluster and the CDFs
+// are compared only after the whole cluster is absorbed. The envelope
+// bounds are tight only up to floating-point rounding — in particular the
+// instance/node upper bounds maximize over the hull query instances, and
+// in degenerate symmetric configurations (several query instances exactly
+// equidistant from a support point) a non-hull instance's computed
+// distance can exceed the hull maximum by an ulp. With an exact == merge
+// such epsilon-adjacent support points split into separate steps, and a
+// mid-cluster comparison can see one side's mass before the other's:
+// whenever the split mass exceeds the kEps *mass* slack this transiently
+// refutes — i.e. wrongly prunes — a pair the exact merge-scan
+// (stochastic_order.cc) would keep. Tolerance-grouping restores the
+// invariant that every comparison happens at a point where both step
+// functions have absorbed all mass attributable to the same real distance.
+// Clusters anchor at their first value (no chaining drift): well-separated
+// jumps, which genuine dominance gaps are made of, are never merged.
 bool StepLeq(std::vector<std::pair<double, double>> x_jumps,
              std::vector<std::pair<double, double>> y_jumps, bool* strict,
              FilterStats* stats) {
@@ -39,12 +56,13 @@ bool StepLeq(std::vector<std::pair<double, double>> x_jumps,
     double v = std::numeric_limits<double>::infinity();
     if (i < x_jumps.size()) v = x_jumps[i].first;
     if (j < y_jumps.size()) v = std::min(v, y_jumps[j].first);
-    while (i < x_jumps.size() && x_jumps[i].first == v) {
+    const double limit = v + kEps;
+    while (i < x_jumps.size() && x_jumps[i].first <= limit) {
       cum_x += x_jumps[i].second;
       ++i;
       ++steps;
     }
-    while (j < y_jumps.size() && y_jumps[j].first == v) {
+    while (j < y_jumps.size() && y_jumps[j].first <= limit) {
       cum_y += y_jumps[j].second;
       ++j;
       ++steps;

@@ -8,6 +8,7 @@
 #include "common/failpoint.h"
 #include "core/cdf_envelope.h"
 #include "flow/max_flow.h"
+#include "obs/trace.h"
 #include "prob/stochastic_order.h"
 
 namespace osd {
@@ -50,6 +51,7 @@ bool MatchFeasible(int nu, int nv,
   for (int j = 0; j < nv; ++j) flow.AddEdge(nu + j, sink, v_mass[j]);
   for (const auto& [i, j] : edges) flow.AddEdge(i, nu + j, total);
   if (stats != nullptr) ++stats->flow_runs;
+  OSD_TRACE_SPAN(obs::SpanKind::kFlowRun);
   const int64_t slack = nu + nv;
   return flow.Compute(source, sink) >= total - slack;
 }
@@ -68,6 +70,7 @@ bool DominanceOracle::Dominates(Operator op, ObjectProfile& u,
                                 ObjectProfile& v) {
   if (stats_ != nullptr) ++stats_->dominance_checks;
   OSD_FAILPOINT("dominance.check");
+  OSD_TRACE_SPAN(obs::SpanKind::kDominanceCheck);
   switch (op) {
     case Operator::kSSd:
       return SSd(u, v);
@@ -113,7 +116,18 @@ bool DominanceOracle::DistributionsDiffer(ObjectProfile& u,
                                             v.Distribution());
 }
 
+bool DominanceOracle::CoverValidates(ObjectProfile& u, ObjectProfile& v) {
+  OSD_TRACE_SPAN(obs::SpanKind::kCoverFilter);
+  if (!MbrStrictlyDominatesM(u.object().mbr(), v.object().mbr(), ctx_->mbr(),
+                             ctx_->metric())) {
+    return false;
+  }
+  if (stats_ != nullptr) ++stats_->mbr_validations;
+  return true;
+}
+
 bool DominanceOracle::StatRefutesAll(ObjectProfile& u, ObjectProfile& v) {
+  OSD_TRACE_SPAN(obs::SpanKind::kStatFilter);
   const bool refuted = u.MinAll() > v.MinAll() + kEps ||
                        u.MeanAll() > v.MeanAll() + kEps ||
                        u.MaxAll() > v.MaxAll() + kEps;
@@ -122,6 +136,7 @@ bool DominanceOracle::StatRefutesAll(ObjectProfile& u, ObjectProfile& v) {
 }
 
 bool DominanceOracle::StatRefutesPerQ(ObjectProfile& u, ObjectProfile& v) {
+  OSD_TRACE_SPAN(obs::SpanKind::kStatFilter);
   for (int qi = 0; qi < ctx_->num_instances(); ++qi) {
     if (u.MinQ(qi) > v.MinQ(qi) + kEps || u.MeanQ(qi) > v.MeanQ(qi) + kEps ||
         u.MaxQ(qi) > v.MaxQ(qi) + kEps) {
@@ -133,34 +148,27 @@ bool DominanceOracle::StatRefutesPerQ(ObjectProfile& u, ObjectProfile& v) {
 }
 
 bool DominanceOracle::SSd(ObjectProfile& u, ObjectProfile& v) {
-  if (config_.cover_rules &&
-      MbrStrictlyDominatesM(u.object().mbr(), v.object().mbr(),
-                            ctx_->mbr(), ctx_->metric())) {
-    if (stats_ != nullptr) ++stats_->mbr_validations;
-    return true;
-  }
+  if (config_.cover_rules && CoverValidates(u, v)) return true;
   if (config_.level_by_level) {
+    OSD_TRACE_SPAN(obs::SpanKind::kLevelFilter);
     const EnvelopeDecision d = EnvelopeSSd(u.object(), v.object(), *ctx_,
                                            config_.geometric, stats_);
     if (d == EnvelopeDecision::kDominates) return true;
     if (d == EnvelopeDecision::kNotDominates) return false;
   }
   if (config_.stat_pruning && StatRefutesAll(u, v)) return false;
+  OSD_TRACE_SPAN(obs::SpanKind::kExactCheck);
   if (stats_ != nullptr) ++stats_->exact_checks;
   if (!SSdOrderHolds(u, v)) return false;
   return DistributionsDiffer(u, v);
 }
 
 bool DominanceOracle::SsSd(ObjectProfile& u, ObjectProfile& v) {
-  if (config_.cover_rules &&
-      MbrStrictlyDominatesM(u.object().mbr(), v.object().mbr(),
-                            ctx_->mbr(), ctx_->metric())) {
-    if (stats_ != nullptr) ++stats_->mbr_validations;
-    return true;
-  }
+  if (config_.cover_rules && CoverValidates(u, v)) return true;
   if (config_.level_by_level) {
     // Per-query-instance envelopes pay |Q| sweeps per round, so they only
     // out-compete the exact per-q scans at very shallow depth.
+    OSD_TRACE_SPAN(obs::SpanKind::kLevelFilter);
     EnvelopeLimits limits;
     limits.max_rounds = 2;
     limits.max_segments = 40;
@@ -176,6 +184,7 @@ bool DominanceOracle::SsSd(ObjectProfile& u, ObjectProfile& v) {
   if (config_.cover_rules) {
     // Cover-based pruning: not S-SD implies not SS-SD (Theorem 2),
     // checked at node granularity so a refutation costs no instance work.
+    OSD_TRACE_SPAN(obs::SpanKind::kCoverFilter);
     const EnvelopeDecision d = EnvelopeSSd(u.object(), v.object(), *ctx_,
                                            config_.geometric, stats_);
     if (d == EnvelopeDecision::kNotDominates) {
@@ -183,6 +192,7 @@ bool DominanceOracle::SsSd(ObjectProfile& u, ObjectProfile& v) {
       return false;
     }
   }
+  OSD_TRACE_SPAN(obs::SpanKind::kExactCheck);
   if (stats_ != nullptr) ++stats_->exact_checks;
   if (!SsSdOrderHolds(u, v)) return false;
   return DistributionsDiffer(u, v);
@@ -204,17 +214,13 @@ bool DominanceOracle::InstanceLeq(ObjectProfile& u, int ui, ObjectProfile& v,
 }
 
 bool DominanceOracle::FSd(ObjectProfile& u, ObjectProfile& v) {
-  if (config_.cover_rules &&
-      MbrStrictlyDominatesM(u.object().mbr(), v.object().mbr(),
-                            ctx_->mbr(), ctx_->metric())) {
-    if (stats_ != nullptr) ++stats_->mbr_validations;
-    return true;
-  }
+  if (config_.cover_rules && CoverValidates(u, v)) return true;
   if (config_.level_by_level) {
     // Branch-and-bound farthest/nearest searches over the local R-trees
     // avoid materializing the distance matrices. Only hull query points
     // need checking: the q-region where U fully dominates V is an
     // intersection of half-spaces, hence convex.
+    OSD_TRACE_SPAN(obs::SpanKind::kLevelFilter);
     const RTree& tu = u.object().LocalTree();
     const RTree& tv = v.object().LocalTree();
     for (int qi : QIdx()) {
@@ -227,6 +233,7 @@ bool DominanceOracle::FSd(ObjectProfile& u, ObjectProfile& v) {
     }
     return DistributionsDiffer(u, v);
   }
+  OSD_TRACE_SPAN(obs::SpanKind::kExactCheck);
   for (int qi : QIdx()) {
     if (u.MaxQ(qi) > v.MinQ(qi) + kEps) return false;
   }
@@ -334,13 +341,9 @@ bool DominanceOracle::PSdExactOrder(ObjectProfile& u, ObjectProfile& v) {
 }
 
 bool DominanceOracle::PSd(ObjectProfile& u, ObjectProfile& v) {
-  if (config_.cover_rules &&
-      MbrStrictlyDominatesM(u.object().mbr(), v.object().mbr(),
-                            ctx_->mbr(), ctx_->metric())) {
-    if (stats_ != nullptr) ++stats_->mbr_validations;
-    return true;
-  }
+  if (config_.cover_rules && CoverValidates(u, v)) return true;
   if (config_.level_by_level) {
+    OSD_TRACE_SPAN(obs::SpanKind::kLevelFilter);
     const Tri d = PSdLevel(u, v);
     if (d == Tri::kTrue) return true;
     if (d == Tri::kFalse) return false;
@@ -353,6 +356,7 @@ bool DominanceOracle::PSd(ObjectProfile& u, ObjectProfile& v) {
     // Cover-based pruning: not SS-SD implies not P-SD (Theorem 2),
     // checked at node granularity so a refutation costs no instance work
     // (the exact flow reduction below has its own cheap refutation exits).
+    OSD_TRACE_SPAN(obs::SpanKind::kCoverFilter);
     EnvelopeLimits limits;
     limits.max_rounds = 2;
     limits.max_segments = 40;
@@ -363,6 +367,7 @@ bool DominanceOracle::PSd(ObjectProfile& u, ObjectProfile& v) {
       return false;
     }
   }
+  OSD_TRACE_SPAN(obs::SpanKind::kExactCheck);
   if (stats_ != nullptr) ++stats_->exact_checks;
   if (!PSdExactOrder(u, v)) return false;
   return DistributionsDiffer(u, v);

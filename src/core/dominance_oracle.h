@@ -69,6 +69,10 @@ class DominanceOracle {
   /// The U_Q != V_Q side condition.
   bool DistributionsDiffer(ObjectProfile& u, ObjectProfile& v);
 
+  /// Cover-based validation (Theorem 4): u's MBR strictly dominates v's,
+  /// so u dominates v under every operator. Counts one MBR validation.
+  bool CoverValidates(ObjectProfile& u, ObjectProfile& v);
+
   /// Statistic-based pruning on the full distributions (Theorem 11);
   /// returns true when dominance is refuted.
   bool StatRefutesAll(ObjectProfile& u, ObjectProfile& v);

@@ -20,6 +20,15 @@ struct HeapItem {
   }
 };
 
+const char* TerminationName(NncTermination t) {
+  switch (t) {
+    case NncTermination::kComplete: return "complete";
+    case NncTermination::kDeadlineExceeded: return "deadline_exceeded";
+    case NncTermination::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
 }  // namespace
 
 NncSearch::NncSearch(const Dataset& dataset, NncOptions options)
@@ -38,6 +47,7 @@ NncResult NncSearch::Run(
   };
 
   NncResult result;
+  OSD_TRACE_INSTALL(options_.trace);
   QueryContext ctx(query, options_.metric);
   DominanceOracle oracle(ctx, options_.filters, &result.stats);
   const RTree& tree = dataset_->global_tree();
@@ -55,82 +65,85 @@ NncResult NncSearch::Run(
 
   const QueryControl* control = options_.control;
   long pops = 0;
-  while (!heap.empty()) {
-    // Cooperative termination: cancel is one relaxed load per pop; the
-    // deadline costs a clock read every kDeadlineCheckStride pops (and on
-    // the very first pop, so a ~0 budget stops before any traversal work).
-    if (control != nullptr) {
-      if (control->cancel.load(std::memory_order_relaxed)) {
-        result.termination = NncTermination::kCancelled;
-        break;
-      }
-      if (control->has_deadline() &&
-          pops % QueryControl::kDeadlineCheckStride == 0 &&
-          std::chrono::steady_clock::now() >= control->deadline) {
-        result.termination = NncTermination::kDeadlineExceeded;
-        break;
-      }
-    }
-    ++pops;
-    OSD_FAILPOINT("nnc.pop");
-
-    const HeapItem item = heap.top();
-    heap.pop();
-
-    if (!item.is_object) {
-      OSD_FAILPOINT("nnc.node_expand");
-      const RTree::Node& node = tree.nodes()[item.id];
-      // Cover-based entry pruning (Theorem 4): once k confirmed candidates
-      // fully dominate the node's box, nothing below can be a candidate.
-      int node_dominators = 0;
-      for (const Member& m : members) {
-        result.stats.node_ops += 1;
-        if (MbrStrictlyDominatesM(dataset_->object(m.object_index).mbr(),
-                                  node.box, ctx.mbr(), options_.metric)) {
-          if (++node_dominators >= options_.k) break;
+  {
+    OSD_TRACE_SPAN(obs::SpanKind::kTraversal);
+    while (!heap.empty()) {
+      // Cooperative termination: cancel is one relaxed load per pop; the
+      // deadline costs a clock read every kDeadlineCheckStride pops (and on
+      // the very first pop, so a ~0 budget stops before any traversal work).
+      if (control != nullptr) {
+        if (control->cancel.load(std::memory_order_relaxed)) {
+          result.termination = NncTermination::kCancelled;
+          break;
+        }
+        if (control->has_deadline() &&
+            pops % QueryControl::kDeadlineCheckStride == 0 &&
+            std::chrono::steady_clock::now() >= control->deadline) {
+          result.termination = NncTermination::kDeadlineExceeded;
+          break;
         }
       }
-      if (node_dominators >= options_.k) {
-        ++result.entries_pruned;
+      ++pops;
+      OSD_FAILPOINT("nnc.pop");
+
+      const HeapItem item = heap.top();
+      heap.pop();
+
+      if (!item.is_object) {
+        OSD_FAILPOINT("nnc.node_expand");
+        const RTree::Node& node = tree.nodes()[item.id];
+        // Cover-based entry pruning (Theorem 4): once k confirmed candidates
+        // fully dominate the node's box, nothing below can be a candidate.
+        int node_dominators = 0;
+        for (const Member& m : members) {
+          result.stats.node_ops += 1;
+          if (MbrStrictlyDominatesM(dataset_->object(m.object_index).mbr(),
+                                    node.box, ctx.mbr(), options_.metric)) {
+            if (++node_dominators >= options_.k) break;
+          }
+        }
+        if (node_dominators >= options_.k) {
+          ++result.entries_pruned;
+          continue;
+        }
+        if (node.is_leaf) {
+          for (int32_t e : node.children) {
+            const RTree::Entry& entry = tree.entries()[e];
+            if (entry.id == options_.exclude_id) continue;
+            heap.push({MbrMinDist(entry.box, ctx.mbr(), options_.metric),
+                       true, entry.id});
+          }
+        } else {
+          for (int32_t c : node.children) {
+            heap.push({MbrMinDist(tree.nodes()[c].box, ctx.mbr(),
+                                  options_.metric),
+                       false, c});
+          }
+        }
         continue;
       }
-      if (node.is_leaf) {
-        for (int32_t e : node.children) {
-          const RTree::Entry& entry = tree.entries()[e];
-          if (entry.id == options_.exclude_id) continue;
-          heap.push({MbrMinDist(entry.box, ctx.mbr(), options_.metric), true,
-                     entry.id});
-        }
-      } else {
-        for (int32_t c : node.children) {
-          heap.push({MbrMinDist(tree.nodes()[c].box, ctx.mbr(),
-                                options_.metric),
-                     false, c});
-        }
-      }
-      continue;
-    }
 
-    // An object: evaluate against the confirmed candidates. An object
-    // with >= k dominators can neither be a candidate nor be needed as a
-    // dominator of later objects (each of its own dominators dominates
-    // them transitively), so it is dropped outright.
-    OSD_FAILPOINT("nnc.object_examine");
-    const UncertainObject& candidate = dataset_->object(item.id);
-    ++result.objects_examined;
-    auto profile =
-        std::make_unique<ObjectProfile>(candidate, ctx, &result.stats);
-    int dominators = 0;
-    for (Member& m : members) {
-      if (oracle.Dominates(options_.op, *m.profile, *profile)) {
-        if (++dominators >= options_.k) break;
+      // An object: evaluate against the confirmed candidates. An object
+      // with >= k dominators can neither be a candidate nor be needed as a
+      // dominator of later objects (each of its own dominators dominates
+      // them transitively), so it is dropped outright.
+      OSD_FAILPOINT("nnc.object_examine");
+      const UncertainObject& candidate = dataset_->object(item.id);
+      ++result.objects_examined;
+      auto profile =
+          std::make_unique<ObjectProfile>(candidate, ctx, &result.stats);
+      int dominators = 0;
+      for (Member& m : members) {
+        if (oracle.Dominates(options_.op, *m.profile, *profile)) {
+          if (++dominators >= options_.k) break;
+        }
       }
+      if (dominators >= options_.k) continue;
+      members.push_back({item.id, std::move(profile)});
+      const double t = elapsed();
+      result.timeline.push_back({item.id, t});
+      if (on_candidate) on_candidate(item.id, t);
     }
-    if (dominators >= options_.k) continue;
-    members.push_back({item.id, std::move(profile)});
-    const double t = elapsed();
-    result.timeline.push_back({item.id, t});
-    if (on_candidate) on_candidate(item.id, t);
   }
 
   // Final pairwise cleanup: discard any emitted candidate dominated by
@@ -142,6 +155,7 @@ NncResult NncSearch::Run(
   // of Theorem 11, which every operator implies via the cover chain.
   std::vector<char> dead(members.size(), 0);
   if (options_.op != Operator::kFPlusSd) {
+    OSD_TRACE_SPAN(obs::SpanKind::kCleanup);
     constexpr double kGateEps = 1e-9;
     std::vector<int> dominators(members.size(), 0);
     for (size_t j = 0; j < members.size(); ++j) {
@@ -176,6 +190,7 @@ NncResult NncSearch::Run(
   // is expanded), so the drain appends no duplicates.
   if (result.termination != NncTermination::kComplete &&
       options_.degraded_superset) {
+    OSD_TRACE_SPAN(obs::SpanKind::kFrontierDrain);
     result.degraded = true;
     std::vector<int32_t> stack;
     while (!heap.empty()) {
@@ -205,6 +220,12 @@ NncResult NncSearch::Run(
     }
   }
   result.seconds = elapsed();
+  if (options_.trace != nullptr) {
+    options_.trace->SetSummary(
+        result.stats, result.objects_examined, result.entries_pruned,
+        static_cast<long>(result.candidates.size()),
+        TerminationName(result.termination));
+  }
   return result;
 }
 

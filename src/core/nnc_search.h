@@ -27,6 +27,7 @@
 #include "core/dominance_oracle.h"
 #include "core/filter_config.h"
 #include "object/dataset.h"
+#include "obs/trace.h"
 
 namespace osd {
 
@@ -79,6 +80,11 @@ struct NncOptions {
   /// Optional cancellation/deadline hook (not owned; may outlive nothing —
   /// the caller keeps it alive across Run). Null disables polling.
   const QueryControl* control = nullptr;
+  /// Optional per-query trace (not owned; same lifetime contract as
+  /// `control`). Run installs it as the calling thread's current trace so
+  /// deep call sites (filter stages, flow runs, local-tree builds) record
+  /// spans into it; null — the default — disables recording for this query.
+  obs::Trace* trace = nullptr;
   /// Anytime mode: when the traversal stops early (deadline or cancel),
   /// append every object still reachable from the unexpanded frontier to
   /// the candidates and set NncResult::degraded. Because the best-first

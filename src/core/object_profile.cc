@@ -65,8 +65,13 @@ void ObjectProfile::EnsureSortedAll() {
   const size_t total = static_cast<size_t>(nq) * m;
   std::vector<int> order(total);
   std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(),
-            [&](int a, int b) { return matrix_[a] < matrix_[b]; });
+  // Equal distances tie-break on pair index: std::sort is unstable, so
+  // without it the (value, prob) pairing of tied entries — and therefore
+  // every downstream merge-scan — would differ across standard libraries,
+  // breaking the bit-identical determinism contract.
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return matrix_[a] != matrix_[b] ? matrix_[a] < matrix_[b] : a < b;
+  });
   sorted_values_.resize(total);
   sorted_probs_.resize(total);
   for (size_t k = 0; k < total; ++k) {
@@ -89,8 +94,11 @@ void ObjectProfile::EnsureSortedPerQ() {
   for (int qi = 0; qi < nq; ++qi) {
     std::iota(order.begin(), order.end(), 0);
     const double* row = matrix_.data() + static_cast<size_t>(qi) * m;
-    std::sort(order.begin(), order.end(),
-              [&](int a, int b) { return row[a] < row[b]; });
+    // Same determinism contract as EnsureSortedAll: break distance ties on
+    // the instance index so tied probabilities pair identically everywhere.
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return row[a] != row[b] ? row[a] < row[b] : a < b;
+    });
     sorted_q_values_[qi].resize(m);
     sorted_q_probs_[qi].resize(m);
     for (int k = 0; k < m; ++k) {

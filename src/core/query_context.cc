@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "geom/convex_hull.h"
+#include "obs/trace.h"
 
 namespace osd {
 
@@ -15,7 +16,10 @@ QueryContext::QueryContext(const UncertainObject& query, Metric metric)
     points_.push_back(query.Instance(i));
     probs_.push_back(query.Prob(i));
   }
-  hull_ = HullVertexIndices(points_);
+  {
+    OSD_TRACE_SPAN(obs::SpanKind::kGeometricFilter);
+    hull_ = HullVertexIndices(points_);
+  }
   all_indices_.resize(m);
   std::iota(all_indices_.begin(), all_indices_.end(), 0);
 }

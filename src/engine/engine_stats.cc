@@ -3,40 +3,63 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <vector>
+
+#include "obs/export.h"
 
 namespace osd {
 
 namespace {
 
-/// Bucket b covers (2^(b-1), 2^b] microseconds; bucket 0 covers [0, 1us].
-int BucketIndex(double seconds) {
-  const double us = seconds * 1e6;
-  if (us <= 1.0) return 0;
-  const int b = static_cast<int>(std::floor(std::log2(us))) + 1;
-  return std::clamp(b, 1, LatencyHistogram::kBuckets - 1);
-}
+// Bucket math is shared with the obs histograms so every latency
+// distribution in the system is bucket-compatible (see obs/metrics.h).
+static_assert(LatencyHistogram::kBuckets == obs::kLatencyBuckets);
+
+int BucketIndex(double seconds) { return obs::LatencyBucketIndex(seconds); }
 
 double BucketLowerSeconds(int b) {
-  return b == 0 ? 0.0 : std::ldexp(1.0, b - 1) * 1e-6;
+  return b == 0 ? 0.0 : obs::LatencyBucketUpperSeconds(b - 1);
 }
 
-double BucketUpperSeconds(int b) { return std::ldexp(1.0, b) * 1e-6; }
+double BucketUpperSeconds(int b) { return obs::LatencyBucketUpperSeconds(b); }
 
+// Printf-append that never truncates: outputs longer than the stack buffer
+// re-render into a heap buffer sized from the snprintf return value. The
+// stack buffer is deliberately small so the growth path stays exercised by
+// ordinary stats (the `work` block alone can exceed it).
 void Append(std::string* out, const char* fmt, auto... args) {
-  char buf[1024];
-  std::snprintf(buf, sizeof(buf), fmt, args...);
-  *out += buf;
+  char buf[128];
+  const int n = std::snprintf(buf, sizeof(buf), fmt, args...);
+  if (n < 0) return;  // encoding error: drop the piece, keep the JSON valid
+  if (n < static_cast<int>(sizeof(buf))) {
+    out->append(buf, static_cast<size_t>(n));
+    return;
+  }
+  std::vector<char> big(static_cast<size_t>(n) + 1);
+  std::snprintf(big.data(), big.size(), fmt, args...);
+  out->append(big.data(), static_cast<size_t>(n));
 }
 
 }  // namespace
 
 void LatencyHistogram::Add(double seconds) {
+  // NaN survives std::max and log2(NaN) -> float-to-int cast is UB, so
+  // non-finite samples must never reach the bucket math; count them
+  // instead of silently dropping so a poisoned clock stays visible.
+  if (!std::isfinite(seconds)) {
+    ++invalid_;
+    return;
+  }
   seconds = std::max(seconds, 0.0);
   ++buckets_[BucketIndex(seconds)];
   if (count_ == 0 || seconds < min_) min_ = seconds;
   if (seconds > max_) max_ = seconds;
   total_ += seconds;
   ++count_;
+}
+
+double LatencyHistogram::BucketUpperBoundSeconds(int b) {
+  return BucketUpperSeconds(b);
 }
 
 double LatencyHistogram::Quantile(double q) const {
@@ -74,9 +97,22 @@ std::string EngineStats::ToJson() const {
   Append(&out, ",\"qps\":%.2f", qps);
   Append(&out,
          ",\"latency_ms\":{\"mean\":%.4f,\"p50\":%.4f,\"p95\":%.4f,"
-         "\"p99\":%.4f,\"max\":%.4f}",
+         "\"p99\":%.4f,\"max\":%.4f,\"invalid\":%ld}",
          latency_mean_ms, latency_p50_ms, latency_p95_ms, latency_p99_ms,
-         latency_max_ms);
+         latency_max_ms, latency_invalid);
+  // Sparse histogram dump: only occupied buckets, as [upper_bound_ms, n].
+  out += ",\"latency_buckets\":[";
+  {
+    bool first_bucket = true;
+    for (int b = 0; b < LatencyHistogram::kBuckets; ++b) {
+      const long n = latency_histogram.buckets()[b];
+      if (n == 0) continue;
+      Append(&out, "%s[%.4f,%ld]", first_bucket ? "" : ",",
+             LatencyHistogram::BucketUpperBoundSeconds(b) * 1e3, n);
+      first_bucket = false;
+    }
+  }
+  out += "]";
   Append(&out,
          ",\"work\":{\"dominance_checks\":%ld,\"instance_comparisons\":%ld,"
          "\"dist_evals\":%ld,\"pair_tests\":%ld,\"scan_steps\":%ld,"
@@ -104,7 +140,11 @@ std::string EngineStats::ToJson() const {
            OperatorName(static_cast<Operator>(i)), op.queries, op.candidates,
            op.busy_seconds, op.Qps());
   }
-  out += "}}";
+  out += "}";
+  if (!metrics.empty()) {
+    out += ",\"metrics\":" + obs::RenderJsonMetrics(metrics);
+  }
+  out += "}";
   return out;
 }
 

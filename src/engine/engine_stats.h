@@ -14,16 +14,20 @@
 
 #include <array>
 #include <string>
+#include <vector>
 
 #include "core/filter_config.h"
+#include "obs/metrics.h"
 
 namespace osd {
 
 /// Fixed-size log2 latency histogram: bucket 0 holds <= 1us, bucket b
 /// holds (2^(b-1), 2^b] microseconds. 42 buckets reach ~25 days, far past
 /// any query. Quantiles interpolate linearly inside the hit bucket and are
-/// clamped to the observed [min, max]. Not internally synchronized — the
-/// engine guards it with its stats mutex.
+/// clamped to the observed [min, max]. Non-finite samples (NaN, ±inf) are
+/// never mixed into the buckets or the moments — they land in invalid()
+/// so a poisoned clock read cannot corrupt every later percentile.
+/// Not internally synchronized — the engine guards it with its stats mutex.
 class LatencyHistogram {
  public:
   static constexpr int kBuckets = 42;
@@ -31,6 +35,7 @@ class LatencyHistogram {
   void Add(double seconds);
 
   long count() const { return count_; }
+  long invalid() const { return invalid_; }
   double min_seconds() const { return count_ == 0 ? 0.0 : min_; }
   double max_seconds() const { return max_; }
   double mean_seconds() const { return count_ == 0 ? 0.0 : total_ / count_; }
@@ -38,9 +43,16 @@ class LatencyHistogram {
   /// q in [0, 1]; 0 with no samples.
   double Quantile(double q) const;
 
+  /// Per-bucket sample counts (see the class comment for the bounds).
+  const std::array<long, kBuckets>& buckets() const { return buckets_; }
+
+  /// Inclusive upper bound of bucket b in seconds.
+  static double BucketUpperBoundSeconds(int b);
+
  private:
   std::array<long, kBuckets> buckets_{};
   long count_ = 0;
+  long invalid_ = 0;
   double total_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
@@ -80,6 +92,11 @@ struct EngineStats {
   double latency_p95_ms = 0.0;
   double latency_p99_ms = 0.0;
   double latency_max_ms = 0.0;
+  /// Non-finite latency samples rejected by the histogram (see
+  /// LatencyHistogram::invalid()); always 0 on a healthy clock.
+  long latency_invalid = 0;
+  /// The raw latency histogram, for metrics export.
+  LatencyHistogram latency_histogram;
 
   /// Summed across completed queries.
   FilterStats filters;
@@ -91,6 +108,11 @@ struct EngineStats {
 
   /// Indexed by static_cast<int>(Operator).
   std::array<OperatorStats, 5> per_operator{};
+
+  /// The engine's metrics registry, drained at snapshot time (sorted by
+  /// name). Rendered into ToJson under "metrics" and exportable as
+  /// Prometheus text via obs::RenderPrometheusMetrics.
+  std::vector<obs::MetricSnapshot> metrics;
 
   /// Single-line JSON object with all of the above.
   std::string ToJson() const;

@@ -1,7 +1,9 @@
 #include "engine/query_engine.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
+#include <cstdio>
 #include <exception>
 #include <random>
 #include <stdexcept>
@@ -65,7 +67,58 @@ double RetryPolicy::BackoffSeconds(int next_attempt, double u) const {
 QueryEngine::QueryEngine(Dataset dataset, EngineOptions options)
     : dataset_(std::move(dataset)),
       options_(options),
-      pool_(ResolveThreads(options.num_threads), options.queue_capacity) {}
+      pool_(ResolveThreads(options.num_threads), options.queue_capacity),
+      slow_log_(options.slow_query_threshold_ms / 1e3,
+                options.slow_query_log_capacity) {
+  // Resolve every hot-path metric once; Complete then only touches sharded
+  // atomics and never the registry's registration mutex.
+  static constexpr QueryStatus kStatuses[] = {
+      QueryStatus::kPending,   QueryStatus::kRunning,
+      QueryStatus::kOk,        QueryStatus::kDeadlineExceeded,
+      QueryStatus::kCancelled, QueryStatus::kError,
+      QueryStatus::kOkDegraded, QueryStatus::kRejected,
+  };
+  for (QueryStatus status : kStatuses) {
+    if (status == QueryStatus::kPending || status == QueryStatus::kRunning) {
+      continue;  // non-terminal states never reach Complete
+    }
+    std::string label = QueryStatusName(status);
+    std::transform(label.begin(), label.end(), label.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    hot_.by_status[static_cast<int>(status)] = &registry_.GetCounter(
+        "osd_queries_total{status=\"" + label + "\"}",
+        "Completed queries by terminal status");
+  }
+  for (int op = 0; op < 5; ++op) {
+    hot_.by_op[op] = &registry_.GetCounter(
+        std::string("osd_operator_queries_total{op=\"") +
+            OperatorName(static_cast<Operator>(op)) + "\"}",
+        "Completed queries by dominance operator");
+  }
+  hot_.latency = &registry_.GetHistogram(
+      "osd_query_latency_seconds", "End-to-end query latency (seconds)");
+  hot_.retries = &registry_.GetCounter("osd_retries_total",
+                                       "Transient-failure re-attempts");
+  hot_.candidates = &registry_.GetCounter("osd_candidates_total",
+                                          "Summed result-set sizes");
+  hot_.dominance_checks = &registry_.GetCounter(
+      "osd_dominance_checks_total", "Dominance oracle invocations");
+  hot_.instance_comparisons =
+      &registry_.GetCounter("osd_instance_comparisons_total",
+                            "Instance-level comparison work units");
+  hot_.flow_runs =
+      &registry_.GetCounter("osd_flow_runs_total", "Max-flow computations");
+  hot_.objects_examined = &registry_.GetCounter(
+      "osd_objects_examined_total", "Objects reaching the dominance check");
+  hot_.entries_pruned = &registry_.GetCounter(
+      "osd_entries_pruned_total", "R-tree entries discarded via MBR covers");
+  hot_.frontier_objects = &registry_.GetCounter(
+      "osd_frontier_objects_total",
+      "Frontier objects returned unrefined in degraded answers");
+  hot_.threads =
+      &registry_.GetGauge("osd_engine_threads", "Worker thread count");
+  hot_.threads->Set(pool_.num_threads());
+}
 
 QueryEngine::~QueryEngine() {
   Drain();
@@ -76,6 +129,9 @@ std::shared_ptr<QueryTicket> QueryEngine::Submit(QuerySpec spec) {
   auto ticket = std::make_shared<QueryTicket>();
   const auto now = std::chrono::steady_clock::now();
   ticket->submitted_at_ = now;
+  if (spec.collect_trace) {
+    ticket->trace_ = std::make_unique<obs::Trace>(OperatorName(spec.options.op));
+  }
   if (spec.deadline_seconds > 0.0) {
     ticket->control_.deadline =
         now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
@@ -145,6 +201,7 @@ void QueryEngine::Execute(const std::shared_ptr<QueryTicket>& ticket,
 
   ticket->MarkRunning();
   spec.options.control = &control;
+  spec.options.trace = ticket->trace_.get();
   const int max_attempts = std::max(1, spec.retry.max_attempts);
   std::string failure;
   int attempt = 0;
@@ -195,6 +252,7 @@ void QueryEngine::Execute(const std::shared_ptr<QueryTicket>& ticket,
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++retries_;
     }
+    hot_.retries->Increment();
     if (backoff_s > 0.0) {
       std::this_thread::sleep_for(std::chrono::duration<double>(backoff_s));
     }
@@ -238,6 +296,36 @@ void QueryEngine::Complete(const std::shared_ptr<QueryTicket>& ticket,
     }
     last_completion_ = now;
   }
+  // Metric updates are sharded relaxed atomics, deliberately outside the
+  // stats lock. The ordering contract still holds: every update lands
+  // before the ticket signals, and a Wait()er's acquire of the ticket's
+  // mutex makes them visible to its subsequent Snapshot / MetricsText.
+  hot_.by_status[static_cast<int>(status)]->Increment();
+  if (status != QueryStatus::kRejected) hot_.latency->Observe(latency);
+  if (status != QueryStatus::kError && status != QueryStatus::kRejected) {
+    hot_.by_op[static_cast<int>(op)]->Increment();
+    hot_.candidates->Increment(static_cast<long>(result.candidates.size()));
+    hot_.dominance_checks->Increment(result.stats.dominance_checks);
+    hot_.instance_comparisons->Increment(result.stats.InstanceComparisons());
+    hot_.flow_runs->Increment(result.stats.flow_runs);
+    hot_.objects_examined->Increment(result.objects_examined);
+    hot_.entries_pruned->Increment(result.entries_pruned);
+    hot_.frontier_objects->Increment(result.frontier_objects);
+  }
+  if (slow_log_.ShouldRecord(latency)) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"status\":\"%s\",\"op\":\"%s\",\"latency_ms\":%.4f,"
+                  "\"attempts\":%d,\"candidates\":%zu",
+                  QueryStatusName(status), OperatorName(op), latency * 1e3,
+                  attempts, result.candidates.size());
+    std::string entry = buf;
+    if (ticket->trace_ != nullptr) {
+      entry += ",\"trace\":" + ticket->trace_->ToJson();
+    }
+    entry += "}";
+    slow_log_.Record(latency, std::move(entry));
+  }
   ticket->Finish(status, std::move(result), std::move(error), latency,
                  attempts);
 }
@@ -267,12 +355,19 @@ EngineStats QueryEngine::Snapshot() const {
   s.latency_p95_ms = latency_.Quantile(0.95) * 1e3;
   s.latency_p99_ms = latency_.Quantile(0.99) * 1e3;
   s.latency_max_ms = latency_.max_seconds() * 1e3;
+  s.latency_invalid = latency_.invalid();
+  s.latency_histogram = latency_;
   s.filters = filters_;
   s.objects_examined = objects_examined_;
   s.entries_pruned = entries_pruned_;
   s.frontier_objects = frontier_objects_;
   s.per_operator = per_operator_;
+  s.metrics = registry_.Collect();
   return s;
+}
+
+std::string QueryEngine::MetricsText() const {
+  return obs::RenderPrometheusMetrics(registry_.Collect());
 }
 
 }  // namespace osd

@@ -39,6 +39,8 @@
 #include "engine/query_ticket.h"
 #include "engine/thread_pool.h"
 #include "object/dataset.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 
 namespace osd {
 
@@ -52,6 +54,11 @@ struct EngineOptions {
   /// queue saturated fails the ticket fast with QueryStatus::kRejected
   /// instead of blocking the submitter (load-shedding service contract).
   bool shed_on_overload = false;
+  /// Slow-query log: completions at least this slow (end-to-end) are kept
+  /// as JSON entries, slowest first, up to slow_query_log_capacity.
+  /// <= 0 disables the log.
+  double slow_query_threshold_ms = 0.0;
+  int slow_query_log_capacity = 16;
 };
 
 /// Per-query retry policy for transient failures. Only exceptions derived
@@ -84,6 +91,10 @@ struct QuerySpec {
   /// End-to-end budget from submission, seconds; <= 0 means none.
   double deadline_seconds = 0.0;
   RetryPolicy retry;
+  /// Allocate a per-query obs::Trace on the ticket and record spans into
+  /// it (QueryTicket::trace()). Like `options.control`, any caller-set
+  /// `options.trace` is ignored — the hook is engine-managed.
+  bool collect_trace = false;
 };
 
 class QueryEngine {
@@ -110,8 +121,19 @@ class QueryEngine {
   /// Blocks until every submitted query has reached a terminal state.
   void Drain();
 
-  /// Consistent snapshot of the engine-level counters.
+  /// Consistent snapshot of the engine-level counters, including a drain
+  /// of the metrics registry (EngineStats::metrics).
   EngineStats Snapshot() const;
+
+  /// Prometheus text exposition (version 0.0.4) of the current metrics.
+  std::string MetricsText() const;
+
+  /// Slow-query log as JSON ({"threshold_ms":...,"entries":[...]}, slowest
+  /// first). Entries carry status, operator, latency, attempts, candidate
+  /// count, and the trace JSON when the query collected one.
+  std::string SlowQueryDump() const { return slow_log_.DumpJson(); }
+
+  const obs::SlowQueryLog& slow_query_log() const { return slow_log_; }
 
   const Dataset& dataset() const { return dataset_; }
   int num_threads() const { return pool_.num_threads(); }
@@ -128,6 +150,27 @@ class QueryEngine {
   Dataset dataset_;
   EngineOptions options_;
   ThreadPool pool_;
+
+  /// Lock-free hot-path metrics (sharded by thread) plus the slow-query
+  /// log. Pointers into `registry_` are resolved once at construction so
+  /// Complete never takes the registry's registration mutex.
+  obs::MetricsRegistry registry_;
+  obs::SlowQueryLog slow_log_;
+  struct HotMetrics {
+    std::array<obs::Counter*, 8> by_status{};  ///< by QueryStatus
+    std::array<obs::Counter*, 5> by_op{};      ///< by Operator
+    obs::Histogram* latency = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* candidates = nullptr;
+    obs::Counter* dominance_checks = nullptr;
+    obs::Counter* instance_comparisons = nullptr;
+    obs::Counter* flow_runs = nullptr;
+    obs::Counter* objects_examined = nullptr;
+    obs::Counter* entries_pruned = nullptr;
+    obs::Counter* frontier_objects = nullptr;
+    obs::Gauge* threads = nullptr;
+  };
+  HotMetrics hot_;
 
   mutable std::mutex stats_mu_;
   long submitted_ = 0;

@@ -15,10 +15,12 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <string>
 
 #include "core/nnc_search.h"
+#include "obs/trace.h"
 
 namespace osd {
 
@@ -84,6 +86,10 @@ class QueryTicket {
   /// done. Measured on steady_clock.
   double latency_seconds() const;
 
+  /// The query's trace, or null unless QuerySpec::collect_trace was set.
+  /// Safe to read once done(); mutated only by the executing worker.
+  const obs::Trace* trace() const { return trace_.get(); }
+
  private:
   friend class QueryEngine;
 
@@ -102,6 +108,9 @@ class QueryTicket {
   NncResult result_;
   std::string error_;
   QueryControl control_;
+  /// Owned per-query trace; allocated at submission when the spec asks for
+  /// one, written by the worker through NncOptions::trace.
+  std::unique_ptr<obs::Trace> trace_;
   std::chrono::steady_clock::time_point submitted_at_{};
   double latency_seconds_ = 0.0;
   int attempts_ = 0;

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/failpoint.h"
+#include "obs/trace.h"
 
 namespace osd {
 
@@ -51,6 +52,7 @@ const RTree& UncertainObject::LocalTree() const {
       // A throw here propagates through call_once without setting the
       // flag, so a later call retries the build — transient by contract.
       OSD_FAILPOINT("object.local_tree");
+      OSD_TRACE_SPAN(obs::SpanKind::kLocalTreeBuild);
       std::vector<RTree::Entry> entries(num_instances());
       for (int i = 0; i < num_instances(); ++i) {
         entries[i] = {Mbr(Instance(i)), i, probs_[i]};

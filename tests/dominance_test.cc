@@ -361,6 +361,56 @@ TEST(StatisticConditions, Theorem11) {
   }
 }
 
+// Regression for the StepLeq merge in cdf_envelope.cc: the envelope sweep
+// merged jump points with an exact `==` comparison, but the hull-only node
+// upper bounds can sit an ulp below a non-hull instance's exact distance in
+// degenerate symmetric geometry, so near-identical jump values must be
+// grouped within the codebase's 1e-9 distance tolerance before comparing
+// masses. The fuzz builds symmetric configurations perturbed at the last
+// few ulps (±~1e-15 on unit-scale coordinates) — exactly the regime where
+// exact-equality merging and tolerance-grouped merging diverge — and
+// demands full-filter agreement with definition-level brute force.
+TEST(NearTies, PerturbedSymmetricConfigsAgreeWithBruteForce) {
+  Rng rng(777);
+  auto jiggle = [&](double x) {
+    // A few ulps of noise around unit scale; occasionally none at all.
+    const int steps = static_cast<int>(rng.UniformInt(0, 4)) - 2;
+    return x + steps * 1e-15;
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    // Query symmetric about the origin; objects mirror-placed so the
+    // pairwise distance multisets collide up to rounding.
+    const double s = 1.0 + rng.Uniform(0.0, 1.0);
+    const UncertainObject q = UncertainObject::Uniform(
+        -1, 2, {jiggle(-s), 0.0, jiggle(s), 0.0});
+    const double a = rng.Uniform(0.2, 1.0);
+    const double b = rng.Uniform(0.2, 1.0);
+    const UncertainObject u(0, 2,
+                            {jiggle(a), jiggle(a), jiggle(-a), jiggle(-a)},
+                            {0.5, 0.5});
+    const UncertainObject v(1, 2,
+                            {jiggle(b), jiggle(-b), jiggle(-b), jiggle(b)},
+                            {0.5, 0.5});
+    for (Operator op : {Operator::kSSd, Operator::kSsSd, Operator::kPSd,
+                        Operator::kFSd}) {
+      const bool expected = [&] {
+        switch (op) {
+          case Operator::kSSd: return BruteSSd(u, v, q);
+          case Operator::kSsSd: return BruteSsSd(u, v, q);
+          case Operator::kPSd: return BrutePSd(u, v, q);
+          default: return BruteFSd(u, v, q);
+        }
+      }();
+      for (FilterConfig cfg :
+           {FilterConfig::All(), FilterConfig::L(), FilterConfig::LG(),
+            FilterConfig::LGP(), FilterConfig::BruteForce()}) {
+        EXPECT_EQ(Check(op, u, v, q, cfg), expected)
+            << OperatorName(op) << " trial " << trial;
+      }
+    }
+  }
+}
+
 TEST(FPlusSd, ImpliesInstanceLevelFSd) {
   Rng rng(99);
   int fired = 0;

@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include "core/nnc_search.h"
+#include "core/object_profile.h"
+#include "core/query_context.h"
 #include "test_util.h"
 
 namespace osd {
@@ -98,6 +100,73 @@ TEST(TieFuzzDirected, CoLocatedObjectsWithDifferentMixtures) {
   options.op = Operator::kFSd;
   const auto result = NncSearch(dataset, options).Run(q);
   EXPECT_EQ(result.candidates.size(), 3u);
+}
+
+// Regression: ObjectProfile's sorted views used a plain std::sort on
+// (distance, pair-index) data with no tie-break, so the probability pairing
+// of equal distances depended on the standard library's (unstable) sort —
+// different orders on libstdc++ vs libc++, breaking the bit-identical
+// determinism contract. Ties must order by flattened pair index.
+TEST(TieFuzzDirected, SortedAllTieOrderIsDeterministic) {
+  // Query (0,0) w.p. 0.25, (3,0) w.p. 0.75; object (1,0) w.p. 0.9,
+  // (2,0) w.p. 0.1. The 4 pairwise distances are [1, 2, 2, 1] in flattened
+  // (qi, ui) order: two two-way ties whose probabilities all differ, so any
+  // tie-order deviation changes SortedProbs.
+  const UncertainObject query(-1, 2, {0.0, 0.0, 3.0, 0.0}, {0.25, 0.75});
+  const UncertainObject object(0, 2, {1.0, 0.0, 2.0, 0.0}, {0.9, 0.1});
+  QueryContext ctx(query, Metric::kL2);
+  ObjectProfile profile(object, ctx, nullptr);
+  const auto values = profile.SortedValues();
+  const auto probs = profile.SortedProbs();
+  const std::vector<double> expected_values = {1.0, 1.0, 2.0, 2.0};
+  // Index order within ties: pair (q0,u0) before (q1,u1), then (q0,u1)
+  // before (q1,u0).
+  const std::vector<double> expected_probs = {0.25 * 0.9, 0.75 * 0.1,
+                                              0.25 * 0.1, 0.75 * 0.9};
+  ASSERT_EQ(values.size(), expected_values.size());
+  for (size_t i = 0; i < expected_values.size(); ++i) {
+    EXPECT_DOUBLE_EQ(values[i], expected_values[i]) << i;
+    EXPECT_DOUBLE_EQ(probs[i], expected_probs[i]) << i;
+  }
+}
+
+TEST(TieFuzzDirected, SortedPerQTieOrderIsDeterministic) {
+  // Both object instances are at distance 1 from the single query
+  // instance; the per-q sorted probabilities must come out in instance
+  // order regardless of the standard library's sort internals.
+  const UncertainObject query = UncertainObject::Uniform(-1, 2, {0.0, 0.0});
+  const UncertainObject object(0, 2, {1.0, 0.0, -1.0, 0.0}, {0.9, 0.1});
+  QueryContext ctx(query, Metric::kL2);
+  ObjectProfile profile(object, ctx, nullptr);
+  const auto values = profile.SortedQValues(0);
+  const auto probs = profile.SortedQProbs(0);
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_DOUBLE_EQ(values[0], 1.0);
+  EXPECT_DOUBLE_EQ(values[1], 1.0);
+  EXPECT_DOUBLE_EQ(probs[0], 0.9);
+  EXPECT_DOUBLE_EQ(probs[1], 0.1);
+}
+
+// Lattice ties end-to-end: the candidate EMISSION ORDER (not just the set)
+// must be identical across runs — it feeds the timeline and any downstream
+// consumer that relies on replayable output.
+TEST(TieFuzzDirected, LatticeEmissionOrderIsReproducible) {
+  Rng rng(99);
+  std::vector<UncertainObject> objects;
+  for (int i = 0; i < 24; ++i) {
+    objects.push_back(LatticeObject(i, 2, 3, 3, rng));
+  }
+  const UncertainObject query = LatticeObject(-1, 2, 2, 3, rng);
+  const Dataset dataset(objects);
+  for (Operator op : {Operator::kSSd, Operator::kPSd}) {
+    NncOptions options;
+    options.op = op;
+    const auto first = NncSearch(dataset, options).Run(query);
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto again = NncSearch(dataset, options).Run(query);
+      EXPECT_EQ(again.candidates, first.candidates) << OperatorName(op);
+    }
+  }
 }
 
 }  // namespace

@@ -5,13 +5,14 @@
 //           (--query-id N | --query-file q.txt)
 //           [--op ssd|sssd|psd|fsd|f+sd] [--k K] [--metric l2|l1]
 //           [--filters all|bf|l|lp|lg|lgp] [--progressive] [--rank-by f]
-//           [--deadline S] [--accept-degraded] [--failpoints SPEC]
+//           [--deadline S] [--accept-degraded] [--failpoints SPEC] [--trace]
 //
 //   osd_cli serve-batch --input data.txt [--weighted] [--binary]
 //           (--workload queries.txt | --gen-queries N [--seed S])
 //           [--threads T] [--op ...] [--k ...] [--metric ...] [--filters ...]
 //           [--deadline-ms D | --deadline S] [--accept-degraded]
 //           [--retries N] [--shed] [--failpoints SPEC]
+//           [--trace] [--metrics-out FILE] [--slow-query-ms X]
 //
 // Robustness controls:
 //   --deadline S        per-query budget in seconds (--deadline-ms in ms)
@@ -27,6 +28,18 @@
 //   --failpoints SPEC   arm fault-injection sites (see common/failpoint.h);
 //                       requires a -DOSD_FAILPOINTS=ON build to fire. The
 //                       $OSD_FAILPOINTS env var is honoured too.
+//
+// Observability controls (see src/obs/):
+//   --trace             single query: print the per-query trace (nested
+//                       timed spans + filter-stage aggregates) as JSON;
+//                       serve-batch: collect a trace per query so slow-log
+//                       entries carry them. Needs a -DOSD_TRACING=ON build
+//                       (the default) for span timings to be non-empty.
+//   --metrics-out FILE  serve-batch: write the engine metrics in Prometheus
+//                       text exposition format to FILE after the run
+//   --slow-query-ms X   serve-batch: keep the slowest queries at or above
+//                       X ms end-to-end and print them as JSON after the
+//                       engine stats
 //
 // The input follows the text format of io/dataset_io.h (or the binary
 // cache format with --binary). The query is either an object of the
@@ -56,6 +69,7 @@
 #include "io/dataset_io.h"
 #include "nnfun/n1_functions.h"
 #include "nnfun/n3_functions.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -77,7 +91,10 @@ struct Args {
   double deadline_s = 0.0;
   bool accept_degraded = false;
   std::string failpoints;
+  bool trace = false;
   // serve-batch only:
+  std::string metrics_out;
+  double slow_query_ms = 0.0;
   std::string workload_file;
   int gen_queries = 0;
   uint64_t seed = 42;
@@ -158,6 +175,13 @@ Args Parse(int argc, char** argv) {
       args.accept_degraded = true;
     } else if (flag == "--failpoints") {
       args.failpoints = need_value(i);
+    } else if (flag == "--trace") {
+      args.trace = true;
+    } else if (args.serve_batch && flag == "--metrics-out") {
+      args.metrics_out = need_value(i);
+    } else if (args.serve_batch && flag == "--slow-query-ms") {
+      args.slow_query_ms = std::atof(need_value(i).c_str());
+      if (args.slow_query_ms <= 0) Die("--slow-query-ms must be > 0");
     } else if (args.serve_batch && flag == "--workload") {
       args.workload_file = need_value(i);
     } else if (args.serve_batch && flag == "--gen-queries") {
@@ -210,7 +234,8 @@ int ServeBatch(const Args& args, std::vector<UncertainObject> objects) {
     if (queries.empty()) Die("--workload holds no query objects");
     specs.reserve(queries.size());
     for (UncertainObject& q : queries) {
-      specs.push_back({std::move(q), base, args.deadline_s, retry});
+      specs.push_back({std::move(q), base, args.deadline_s, retry,
+                       args.trace});
     }
   } else {
     WorkloadParams wp;
@@ -219,15 +244,16 @@ int ServeBatch(const Args& args, std::vector<UncertainObject> objects) {
     for (auto& entry : GenerateWorkload(dataset, wp)) {
       NncOptions per_query = base;
       per_query.exclude_id = entry.seeded_from;
-      specs.push_back(
-          {std::move(entry.query), per_query, args.deadline_s, retry});
+      specs.push_back({std::move(entry.query), per_query, args.deadline_s,
+                       retry, args.trace});
     }
   }
 
   const size_t num_queries = specs.size();
   QueryEngine engine(std::move(dataset),
                      {.num_threads = args.threads,
-                      .shed_on_overload = args.shed});
+                      .shed_on_overload = args.shed,
+                      .slow_query_threshold_ms = args.slow_query_ms});
   std::fprintf(stderr, "serve-batch: %zu queries on %d threads, operator %s\n",
                num_queries, engine.num_threads(), OperatorName(args.op));
 
@@ -251,6 +277,17 @@ int ServeBatch(const Args& args, std::vector<UncertainObject> objects) {
     }
   }
   std::printf("%s\n", engine.Snapshot().ToJson().c_str());
+  if (!args.metrics_out.empty()) {
+    const std::string text = engine.MetricsText();
+    std::FILE* f = std::fopen(args.metrics_out.c_str(), "w");
+    if (f == nullptr) Die("cannot open --metrics-out " + args.metrics_out);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "metrics written to %s\n", args.metrics_out.c_str());
+  }
+  if (args.slow_query_ms > 0) {
+    std::printf("%s\n", engine.SlowQueryDump().c_str());
+  }
   return failed == 0 ? 0 : 1;
 }
 
@@ -311,6 +348,9 @@ int main(int argc, char** argv) {
   options.exclude_id = exclude;
   options.degraded_superset = args.accept_degraded;
 
+  obs::Trace trace("osd_cli");
+  if (args.trace) options.trace = &trace;
+
   QueryControl control;
   if (args.deadline_s > 0) {
     control.deadline =
@@ -351,6 +391,7 @@ int main(int argc, char** argv) {
               result.stats.dominance_checks,
               result.stats.InstanceComparisons(), result.stats.flow_runs,
               result.entries_pruned);
+  if (args.trace) std::printf("trace: %s\n", trace.ToJson().c_str());
 
   if (args.rank_by.empty()) {
     std::printf("candidates:");
