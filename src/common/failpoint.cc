@@ -1,9 +1,12 @@
 #include "common/failpoint.h"
 
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <mutex>
+#include <new>
 #include <thread>
 #include <utility>
 
@@ -11,7 +14,28 @@ namespace osd::failpoint {
 
 namespace {
 
-enum class Action { kThrow, kError, kDelay };
+enum class Action { kThrow, kBadAlloc, kError, kDelay };
+
+/// Every OSD_FAILPOINT / OSD_FAILPOINT_ERROR site compiled into the
+/// library. Configure rejects any other site name (minus the "test."
+/// escape) so a typo'd spec fails loudly instead of silently arming a
+/// trigger nothing will ever hit. Keep in sync with the site macros.
+constexpr const char* kKnownSites[] = {
+    "dominance.check",    "dominance.level",  "engine.execute",
+    "io.binary.header",   "io.binary.object", "io.open",
+    "io.text.header",     "io.text.object",   "mem.charge",
+    "mem.flow.build",     "mem.nnc.heap",     "mem.profile.matrix",
+    "mem.profile.sorted", "nnc.node_expand",  "nnc.object_examine",
+    "nnc.pop",            "object.local_tree",
+};
+
+bool KnownSite(const std::string& site) {
+  if (site.rfind("test.", 0) == 0) return true;  // reserved for tests
+  for (const char* known : kKnownSites) {
+    if (site == known) return true;
+  }
+  return false;
+}
 
 struct Trigger {
   Action action = Action::kThrow;
@@ -92,8 +116,13 @@ bool ParseTrigger(const std::string& site, const std::string& expr,
     rest = rest.substr(x + 1);
   }
 
-  // Optional `@S` start-hit suffix.
-  const size_t at = rest.rfind('@');
+  // Optional `@S` start-hit suffix. Only an '@' after the argument's
+  // closing ')' is a suffix — `throw(a@b)` carries the '@' in its message.
+  size_t at = rest.rfind('@');
+  const size_t close = rest.rfind(')');
+  if (at != std::string::npos && close != std::string::npos && at < close) {
+    at = std::string::npos;
+  }
   if (at != std::string::npos) {
     long s = 0;
     if (!ParseLong(rest.substr(at + 1), &s) || s < 1) {
@@ -106,34 +135,51 @@ bool ParseTrigger(const std::string& site, const std::string& expr,
   // Action with optional parenthesized argument.
   std::string action = rest;
   std::string arg;
+  bool have_arg = false;
   const size_t open = rest.find('(');
   if (open != std::string::npos) {
-    if (rest.back() != ')') {
-      return ParseFail(error, site + ": unbalanced '(' in '" + expr + "'");
+    const size_t arg_close = rest.find(')', open + 1);
+    if (arg_close == std::string::npos) {
+      return ParseFail(error, site + ": missing ')' in '" + expr + "'");
+    }
+    if (arg_close != rest.size() - 1) {
+      return ParseFail(error, site + ": trailing garbage after ')' in '" +
+                                  expr + "'");
     }
     action = rest.substr(0, open);
-    arg = rest.substr(open + 1, rest.size() - open - 2);
+    arg = rest.substr(open + 1, arg_close - open - 1);
+    have_arg = true;
+  } else if (rest.find(')') != std::string::npos) {
+    return ParseFail(error, site + ": ')' without '(' in '" + expr + "'");
   }
   if (action == "throw") {
     t->action = Action::kThrow;
     t->message = arg;
+  } else if (action == "throw_bad_alloc") {
+    t->action = Action::kBadAlloc;
+    if (have_arg) {
+      return ParseFail(error, site + ": 'throw_bad_alloc' takes no argument");
+    }
   } else if (action == "error") {
     t->action = Action::kError;
-    if (!arg.empty()) {
+    if (have_arg) {
       return ParseFail(error, site + ": 'error' takes no argument");
     }
   } else if (action == "delay") {
     t->action = Action::kDelay;
     char* end = nullptr;
     t->delay_ms = std::strtod(arg.c_str(), &end);
-    if (arg.empty() || end == nullptr || *end != '\0' || t->delay_ms < 0) {
+    if (arg.empty() || end == nullptr || *end != '\0' ||
+        !std::isfinite(t->delay_ms) || t->delay_ms < 0) {
       return ParseFail(error,
-                       site + ": 'delay' needs a millisecond argument, got '" +
+                       site + ": 'delay' needs a finite non-negative "
+                              "millisecond argument, got '" +
                            arg + "'");
     }
   } else {
-    return ParseFail(error, site + ": unknown action '" + action +
-                                "' (expected throw|error|delay|off)");
+    return ParseFail(
+        error, site + ": unknown action '" + action +
+                   "' (expected throw|throw_bad_alloc|error|delay|off)");
   }
   return true;
 }
@@ -171,6 +217,8 @@ bool Hit(const char* site) {
     case Action::kThrow:
       throw InjectedFault(site,
                           message.empty() ? "injected fault" : message);
+    case Action::kBadAlloc:
+      throw std::bad_alloc();
     case Action::kError:
       return true;
   }
@@ -198,6 +246,22 @@ bool Configure(const std::string& spec, std::string* error) {
     const std::string expr = Trim(entry.substr(eq + 1));
     if (!ValidSiteName(site)) {
       return ParseFail(error, "bad site name '" + site + "'");
+    }
+    if (!KnownSite(site)) {
+      return ParseFail(error, "unknown site '" + site +
+                                  "' (not compiled into the library; use "
+                                  "the 'test.' prefix for registry-only "
+                                  "sites)");
+    }
+    for (const auto& [seen_site, seen_trigger] : parsed) {
+      if (seen_site == site) {
+        return ParseFail(error, "duplicate entry for site '" + site + "'");
+      }
+    }
+    for (const std::string& seen_site : disarm) {
+      if (seen_site == site) {
+        return ParseFail(error, "duplicate entry for site '" + site + "'");
+      }
     }
     Trigger t;
     bool off = false;

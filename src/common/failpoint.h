@@ -14,10 +14,12 @@
 //   spec    := entry (',' entry)*
 //   entry   := site '=' trigger
 //   trigger := 'off' | [N 'x'] action ['(' arg ')'] ['@' S]
-//   action  := 'throw' | 'error' | 'delay'
+//   action  := 'throw' | 'throw_bad_alloc' | 'error' | 'delay'
 //
 //   site                site names use [A-Za-z0-9_.-]
 //   throw[(message)]    throw InjectedFault (an osd::TransientError)
+//   throw_bad_alloc     throw std::bad_alloc — simulates an allocation
+//                       failure at the site without exhausting RAM
 //   error               make OSD_FAILPOINT_ERROR sites take their error
 //                       path (a no-op at plain OSD_FAILPOINT sites)
 //   delay(ms)           sleep for `ms` milliseconds, then continue
@@ -28,6 +30,13 @@
 //   nnc.pop=throw@100            throw on the 100th heap pop
 //   io.binary.object=2xerror     fail the first two binary object reads
 //   dominance.check=delay(5)@10  5 ms stall from the 10th check onward
+//   mem.charge=throw_bad_alloc   OOM on the first budget charge
+//
+// Configure rejects malformed specs atomically (missing '=', bad counts,
+// trailing garbage, non-finite delays, duplicate sites) and — so a typo'd
+// spec cannot silently arm nothing — any site name the library does not
+// actually contain. Sites under the reserved "test." prefix bypass the
+// known-site check; tests use them to drive the registry directly.
 //
 // Thread-safety: Configure / Clear / Evaluate / the counters may be called
 // from any thread; triggers fire atomically (a 2xerror spec fires exactly

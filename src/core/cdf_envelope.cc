@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/memory_budget.h"
 #include "index/rtree.h"
 
 namespace osd {
@@ -185,6 +186,13 @@ EnvelopeDecision EnvelopeSSd(const UncertainObject& u,
                              const QueryContext& ctx, bool geometric,
                              FilterStats* stats,
                              const EnvelopeLimits& limits) {
+  // The refinement loop's footprint is bounded by the segment cap: two
+  // frontiers plus the jump lists StepLeq sorts each round. Charged up
+  // front as one transient block so an over-budget query breaches before
+  // the loop allocates anything.
+  memory::ScopedCharge env_mem("envelope.frontier");
+  env_mem.Add(4L * (limits.max_segments + ctx.num_instances() + 8) *
+              static_cast<long>(sizeof(Seg)));
   Frontier fu(u, ctx, geometric, stats);
   Frontier fv(v, ctx, geometric, stats);
   for (int round = 0; round < limits.max_rounds; ++round) {
@@ -222,6 +230,11 @@ EnvelopeDecision EnvelopeSsSd(const UncertainObject& u,
   const RTree& tv = v.LocalTree();
   (void)geometric;  // per-q bounds are exact; the hull plays no role here
 
+  // Same transient up-front charge as EnvelopeSSd: node frontiers plus
+  // the per-q interval lists are all capped by max_segments.
+  memory::ScopedCharge env_mem("envelope.frontier");
+  env_mem.Add(4L * (limits.max_segments + ctx.num_instances() + 8) *
+              static_cast<long>(sizeof(Seg)));
   std::vector<int32_t> frontier_u = {tu.root()};
   std::vector<int32_t> frontier_v = {tv.root()};
 

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/failpoint.h"
+#include "common/memory_budget.h"
 
 namespace osd {
 
@@ -25,6 +26,7 @@ const char* TerminationName(NncTermination t) {
     case NncTermination::kComplete: return "complete";
     case NncTermination::kDeadlineExceeded: return "deadline_exceeded";
     case NncTermination::kCancelled: return "cancelled";
+    case NncTermination::kMemoryExceeded: return "memory_exceeded";
   }
   return "unknown";
 }
@@ -58,7 +60,14 @@ NncResult NncSearch::Run(
   };
   std::vector<Member> members;
 
+  // Live-size accounting for everything the traversal owns: the frontier
+  // heap (Add on push, Sub on pop), the member/timeline entries, and —
+  // inside the profiles themselves — the lazily built distance views. A
+  // breach anywhere below throws MemoryExceeded before the allocation.
+  memory::ScopedCharge run_mem("nnc.run");
+
   std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  run_mem.Add(sizeof(HeapItem));
   heap.push({MbrMinDist(tree.nodes()[tree.root()].box, ctx.mbr(),
                         options_.metric),
              false, tree.root()});
@@ -88,61 +97,93 @@ NncResult NncSearch::Run(
 
       const HeapItem item = heap.top();
       heap.pop();
+      run_mem.Sub(sizeof(HeapItem));
 
-      if (!item.is_object) {
-        OSD_FAILPOINT("nnc.node_expand");
-        const RTree::Node& node = tree.nodes()[item.id];
-        // Cover-based entry pruning (Theorem 4): once k confirmed candidates
-        // fully dominate the node's box, nothing below can be a candidate.
-        int node_dominators = 0;
-        for (const Member& m : members) {
-          result.stats.node_ops += 1;
-          if (MbrStrictlyDominatesM(dataset_->object(m.object_index).mbr(),
-                                    node.box, ctx.mbr(), options_.metric)) {
-            if (++node_dominators >= options_.k) break;
+      // Budget/OOM containment: a breach while this item is examined
+      // returns it to the frontier un-examined, so in anytime mode the
+      // drain below still certifies it. The re-push cannot allocate — the
+      // pop above left the heap's capacity untouched.
+      try {
+        if (!item.is_object) {
+          OSD_FAILPOINT("nnc.node_expand");
+          const RTree::Node& node = tree.nodes()[item.id];
+          // Cover-based entry pruning (Theorem 4): once k confirmed
+          // candidates fully dominate the node's box, nothing below can be
+          // a candidate.
+          int node_dominators = 0;
+          for (const Member& m : members) {
+            result.stats.node_ops += 1;
+            if (MbrStrictlyDominatesM(dataset_->object(m.object_index).mbr(),
+                                      node.box, ctx.mbr(), options_.metric)) {
+              if (++node_dominators >= options_.k) break;
+            }
           }
-        }
-        if (node_dominators >= options_.k) {
-          ++result.entries_pruned;
+          if (node_dominators >= options_.k) {
+            ++result.entries_pruned;
+            continue;
+          }
+          // Charge all of this node's pushes up front: on breach nothing
+          // was pushed yet, so the re-pushed node stays the sole owner of
+          // its subtree and the drain introduces no duplicates.
+          long pushes = 0;
+          if (node.is_leaf) {
+            for (int32_t e : node.children) {
+              if (tree.entries()[e].id != options_.exclude_id) ++pushes;
+            }
+          } else {
+            pushes = static_cast<long>(node.children.size());
+          }
+          OSD_FAILPOINT("mem.nnc.heap");
+          run_mem.Add(pushes * static_cast<long>(sizeof(HeapItem)));
+          if (node.is_leaf) {
+            for (int32_t e : node.children) {
+              const RTree::Entry& entry = tree.entries()[e];
+              if (entry.id == options_.exclude_id) continue;
+              heap.push({MbrMinDist(entry.box, ctx.mbr(), options_.metric),
+                         true, entry.id});
+            }
+          } else {
+            for (int32_t c : node.children) {
+              heap.push({MbrMinDist(tree.nodes()[c].box, ctx.mbr(),
+                                    options_.metric),
+                         false, c});
+            }
+          }
           continue;
         }
-        if (node.is_leaf) {
-          for (int32_t e : node.children) {
-            const RTree::Entry& entry = tree.entries()[e];
-            if (entry.id == options_.exclude_id) continue;
-            heap.push({MbrMinDist(entry.box, ctx.mbr(), options_.metric),
-                       true, entry.id});
-          }
-        } else {
-          for (int32_t c : node.children) {
-            heap.push({MbrMinDist(tree.nodes()[c].box, ctx.mbr(),
-                                  options_.metric),
-                       false, c});
-          }
-        }
-        continue;
-      }
 
-      // An object: evaluate against the confirmed candidates. An object
-      // with >= k dominators can neither be a candidate nor be needed as a
-      // dominator of later objects (each of its own dominators dominates
-      // them transitively), so it is dropped outright.
-      OSD_FAILPOINT("nnc.object_examine");
-      const UncertainObject& candidate = dataset_->object(item.id);
-      ++result.objects_examined;
-      auto profile =
-          std::make_unique<ObjectProfile>(candidate, ctx, &result.stats);
-      int dominators = 0;
-      for (Member& m : members) {
-        if (oracle.Dominates(options_.op, *m.profile, *profile)) {
-          if (++dominators >= options_.k) break;
+        // An object: evaluate against the confirmed candidates. An object
+        // with >= k dominators can neither be a candidate nor be needed as
+        // a dominator of later objects (each of its own dominators
+        // dominates them transitively), so it is dropped outright.
+        OSD_FAILPOINT("nnc.object_examine");
+        const UncertainObject& candidate = dataset_->object(item.id);
+        ++result.objects_examined;
+        auto profile =
+            std::make_unique<ObjectProfile>(candidate, ctx, &result.stats);
+        int dominators = 0;
+        for (Member& m : members) {
+          if (oracle.Dominates(options_.op, *m.profile, *profile)) {
+            if (++dominators >= options_.k) break;
+          }
         }
+        if (dominators >= options_.k) continue;
+        run_mem.Add(sizeof(Member) + sizeof(NncEmission));
+        members.push_back({item.id, std::move(profile)});
+        const double t = elapsed();
+        result.timeline.push_back({item.id, t});
+        if (on_candidate) on_candidate(item.id, t);
+      } catch (const MemoryExceeded&) {
+        if (!options_.degraded_superset) throw;
+        heap.push(item);
+        result.termination = NncTermination::kMemoryExceeded;
+        break;
+      } catch (const std::bad_alloc&) {
+        if (!options_.degraded_superset) throw;
+        heap.push(item);
+        result.termination = NncTermination::kMemoryExceeded;
+        break;
       }
-      if (dominators >= options_.k) continue;
-      members.push_back({item.id, std::move(profile)});
-      const double t = elapsed();
-      result.timeline.push_back({item.id, t});
-      if (on_candidate) on_candidate(item.id, t);
     }
   }
 
@@ -156,27 +197,39 @@ NncResult NncSearch::Run(
   std::vector<char> dead(members.size(), 0);
   if (options_.op != Operator::kFPlusSd) {
     OSD_TRACE_SPAN(obs::SpanKind::kCleanup);
-    constexpr double kGateEps = 1e-9;
-    std::vector<int> dominators(members.size(), 0);
-    for (size_t j = 0; j < members.size(); ++j) {
-      ObjectProfile& pj = *members[j].profile;
-      // With k == 1, an earlier member cannot dominate a later one (the
-      // later object was checked against it during the traversal), so
-      // only later-emitted dominators need re-checking. With k > 1 a
-      // member may carry up to k-1 dominators from either side.
-      const size_t start = options_.k == 1 ? j + 1 : 0;
-      for (size_t i = start; i < members.size() && dominators[j] < options_.k;
-           ++i) {
-        if (i == j) continue;
-        ObjectProfile& pi = *members[i].profile;
-        if (pi.MinAll() > pj.MinAll() + kGateEps ||
-            pi.MeanAll() > pj.MeanAll() + kGateEps ||
-            pi.MaxAll() > pj.MaxAll() + kGateEps) {
-          continue;
+    // Budget/OOM containment, cleanup flavour: cleanup only ever *removes*
+    // candidates, and only ones certified dominated, so on a breach the
+    // kill flags set so far remain sound and the rest of the pass is
+    // simply skipped — the surviving set is still a superset of exact.
+    try {
+      constexpr double kGateEps = 1e-9;
+      std::vector<int> dominators(members.size(), 0);
+      for (size_t j = 0; j < members.size(); ++j) {
+        ObjectProfile& pj = *members[j].profile;
+        // With k == 1, an earlier member cannot dominate a later one (the
+        // later object was checked against it during the traversal), so
+        // only later-emitted dominators need re-checking. With k > 1 a
+        // member may carry up to k-1 dominators from either side.
+        const size_t start = options_.k == 1 ? j + 1 : 0;
+        for (size_t i = start;
+             i < members.size() && dominators[j] < options_.k; ++i) {
+          if (i == j) continue;
+          ObjectProfile& pi = *members[i].profile;
+          if (pi.MinAll() > pj.MinAll() + kGateEps ||
+              pi.MeanAll() > pj.MeanAll() + kGateEps ||
+              pi.MaxAll() > pj.MaxAll() + kGateEps) {
+            continue;
+          }
+          if (oracle.Dominates(options_.op, pi, pj)) ++dominators[j];
         }
-        if (oracle.Dominates(options_.op, pi, pj)) ++dominators[j];
+        if (dominators[j] >= options_.k) dead[j] = 1;
       }
-      if (dominators[j] >= options_.k) dead[j] = 1;
+    } catch (const MemoryExceeded&) {
+      if (!options_.degraded_superset) throw;
+      result.termination = NncTermination::kMemoryExceeded;
+    } catch (const std::bad_alloc&) {
+      if (!options_.degraded_superset) throw;
+      result.termination = NncTermination::kMemoryExceeded;
     }
   }
   for (size_t i = 0; i < members.size(); ++i) {
@@ -188,6 +241,10 @@ NncResult NncSearch::Run(
   // stay a superset of the exact answer. Each object and each node sits in
   // the heap at most once (entries are pushed only when their unique leaf
   // is expanded), so the drain appends no duplicates.
+  // The drain itself is deliberately exempt from budget accounting: it is
+  // the recovery path for a memory breach, so re-charging it could fail
+  // the very mechanism that keeps the answer a certified superset. Its
+  // footprint is bounded by the dataset's object count.
   if (result.termination != NncTermination::kComplete &&
       options_.degraded_superset) {
     OSD_TRACE_SPAN(obs::SpanKind::kFrontierDrain);
@@ -220,11 +277,14 @@ NncResult NncSearch::Run(
     }
   }
   result.seconds = elapsed();
+  if (const memory::QueryBudgetScope* scope = memory::CurrentScope()) {
+    result.mem_peak_bytes = scope->peak_bytes();
+  }
   if (options_.trace != nullptr) {
     options_.trace->SetSummary(
         result.stats, result.objects_examined, result.entries_pruned,
         static_cast<long>(result.candidates.size()),
-        TerminationName(result.termination));
+        TerminationName(result.termination), result.mem_peak_bytes);
   }
   return result;
 }

@@ -59,6 +59,9 @@ enum class NncTermination {
   kComplete,          ///< traversal exhausted the heap; result is exact
   kDeadlineExceeded,  ///< stopped at the QueryControl deadline
   kCancelled,         ///< stopped by the QueryControl cancel flag
+  /// Stopped by a memory-budget breach (or a contained std::bad_alloc)
+  /// with degraded_superset set; without the flag Run throws instead.
+  kMemoryExceeded,
 };
 
 /// Options for one NNC computation.
@@ -85,13 +88,23 @@ struct NncOptions {
   /// deep call sites (filter stages, flow runs, local-tree builds) record
   /// spans into it; null — the default — disables recording for this query.
   obs::Trace* trace = nullptr;
-  /// Anytime mode: when the traversal stops early (deadline or cancel),
-  /// append every object still reachable from the unexpanded frontier to
-  /// the candidates and set NncResult::degraded. Because the best-first
-  /// traversal only ever discards objects certified non-candidates
-  /// (Theorems 4 and 9), "confirmed candidates ∪ frontier" is a certified
-  /// superset of the exact NNC — a no-false-dismissal answer — instead of
-  /// the partial subset returned when this is false.
+  /// Anytime mode: when the traversal stops early (deadline, cancel, or a
+  /// memory-budget breach), append every object still reachable from the
+  /// unexpanded frontier to the candidates and set NncResult::degraded.
+  /// Because the best-first traversal only ever discards objects certified
+  /// non-candidates (Theorems 4 and 9), "confirmed candidates ∪ frontier"
+  /// is a certified superset of the exact NNC — a no-false-dismissal
+  /// answer — instead of the partial subset returned when this is false.
+  ///
+  /// Memory governance: Run charges its large allocations (frontier heap,
+  /// member profiles, distance views, flow networks) against the calling
+  /// thread's memory::QueryBudgetScope, when one is installed (by the
+  /// engine, the CLI, or a test). On breach — or on a std::bad_alloc from
+  /// a real allocation — an item mid-examination is returned to the
+  /// frontier and, with this flag set, the query drains to the same
+  /// certified superset with termination kMemoryExceeded; without the
+  /// flag the exception propagates (MemoryExceeded is a TransientError,
+  /// so the engine may retry it).
   bool degraded_superset = false;
 };
 
@@ -124,6 +137,9 @@ struct NncResult {
   bool degraded = false;
   long frontier_objects = 0;  ///< objects appended without dominance checks
   long frontier_nodes = 0;    ///< unexpanded R-tree subtrees drained
+  /// Peak bytes charged against the query's memory budget scope; 0 when no
+  /// scope was installed (accounting off).
+  long mem_peak_bytes = 0;
 };
 
 /// NN-candidate search engine over a dataset.
@@ -133,7 +149,8 @@ struct NncResult {
 /// so any number of threads may call Run concurrently on one NncSearch —
 /// or on distinct NncSearch instances sharing one Dataset. The only shared
 /// mutable state reached from Run is the lazily built per-object local
-/// R-tree, which UncertainObject::LocalTree() builds under std::call_once.
+/// R-tree, which UncertainObject::LocalTree() builds under a per-object
+/// mutex (double-checked against an atomically published pointer).
 class NncSearch {
  public:
   NncSearch(const Dataset& dataset, NncOptions options);

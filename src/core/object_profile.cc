@@ -6,6 +6,8 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "common/failpoint.h"
+#include "common/memory_budget.h"
 
 namespace osd {
 
@@ -15,10 +17,23 @@ ObjectProfile::ObjectProfile(const UncertainObject& object,
   OSD_CHECK(object.dim() == ctx.query().dim());
 }
 
+ObjectProfile::~ObjectProfile() { memory::Release(charged_bytes_); }
+
+void ObjectProfile::ChargeView(long bytes, const char* what_label) {
+  // Charge-before-allocate: a breach throws here with every lazy flag
+  // still unset, so a later call (e.g. on a retry with a fresh budget)
+  // simply rebuilds the view from scratch.
+  memory::Charge(bytes, what_label);
+  charged_bytes_ += bytes;
+}
+
 void ObjectProfile::EnsureMatrix() {
   if (!matrix_.empty()) return;
   const int nq = ctx_->num_instances();
   const int m = num_instances();
+  OSD_FAILPOINT("mem.profile.matrix");
+  ChargeView(static_cast<long>(nq) * m * static_cast<long>(sizeof(double)),
+             "profile.matrix");
   matrix_.resize(static_cast<size_t>(nq) * m);
   for (int qi = 0; qi < nq; ++qi) {
     const Point& q = ctx_->points()[qi];
@@ -37,6 +52,7 @@ void ObjectProfile::EnsureStats() {
   EnsureMatrix();
   const int nq = ctx_->num_instances();
   const int m = num_instances();
+  ChargeView(3L * nq * static_cast<long>(sizeof(double)), "profile.stats");
   min_q_.assign(nq, std::numeric_limits<double>::infinity());
   max_q_.assign(nq, 0.0);
   mean_q_.assign(nq, 0.0);
@@ -63,6 +79,13 @@ void ObjectProfile::EnsureSortedAll() {
   const int nq = ctx_->num_instances();
   const int m = num_instances();
   const size_t total = static_cast<size_t>(nq) * m;
+  OSD_FAILPOINT("mem.profile.sorted");
+  ChargeView(2L * static_cast<long>(total) * sizeof(double),
+             "profile.sorted_all");
+  // The order scratch is transient: charged for the duration of the sort,
+  // released when this function returns.
+  memory::ScopedCharge order_mem("profile.sort_scratch");
+  order_mem.Add(static_cast<long>(total) * sizeof(int));
   std::vector<int> order(total);
   std::iota(order.begin(), order.end(), 0);
   // Equal distances tie-break on pair index: std::sort is unstable, so
@@ -88,6 +111,9 @@ void ObjectProfile::EnsureSortedPerQ() {
   EnsureMatrix();
   const int nq = ctx_->num_instances();
   const int m = num_instances();
+  OSD_FAILPOINT("mem.profile.sorted");
+  ChargeView(2L * nq * m * static_cast<long>(sizeof(double)),
+             "profile.sorted_per_q");
   sorted_q_values_.resize(nq);
   sorted_q_probs_.resize(nq);
   std::vector<int> order(m);
@@ -111,6 +137,11 @@ void ObjectProfile::EnsureSortedPerQ() {
 const DiscreteDistribution& ObjectProfile::Distribution() {
   if (!have_distribution_) {
     EnsureSortedAll();
+    // The merged distribution holds at most one (value, prob) pair per
+    // sorted entry; charge that upper bound.
+    ChargeView(2L * static_cast<long>(sorted_values_.size()) *
+                   static_cast<long>(sizeof(double)),
+               "profile.distribution");
     distribution_ =
         DiscreteDistribution::FromArrays(sorted_values_, sorted_probs_);
     have_distribution_ = true;

@@ -34,6 +34,13 @@ class ObjectProfile {
  public:
   ObjectProfile(const UncertainObject& object, const QueryContext& ctx,
                 FilterStats* stats);
+  /// Returns every byte the lazy views charged against the active memory
+  /// budget scope (see common/memory_budget.h). A profile must be
+  /// destroyed on the thread — and within the scope — that ran its query,
+  /// which the per-execution ownership contract above already guarantees.
+  ~ObjectProfile();
+  ObjectProfile(const ObjectProfile&) = delete;
+  ObjectProfile& operator=(const ObjectProfile&) = delete;
 
   const UncertainObject& object() const { return *object_; }
   int num_instances() const { return object_->num_instances(); }
@@ -109,9 +116,15 @@ class ObjectProfile {
   void EnsureSortedAll();
   void EnsureSortedPerQ();
 
+  /// Charges `bytes` against the active budget scope (throws
+  /// MemoryExceeded on breach, before any state changes) and remembers it
+  /// for release at destruction.
+  void ChargeView(long bytes, const char* what_label);
+
   const UncertainObject* object_;
   const QueryContext* ctx_;
   FilterStats* stats_;
+  long charged_bytes_ = 0;  // lazy-view bytes owed back to the budget
 
   std::vector<double> matrix_;  // |Q| x m, row-major; empty until needed
   bool have_stats_ = false;

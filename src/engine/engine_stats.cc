@@ -127,6 +127,12 @@ std::string EngineStats::ToJson() const {
          filters.cover_prunes, filters.level_decisions,
          filters.mbr_validations, filters.exact_checks, objects_examined,
          entries_pruned, frontier_objects);
+  Append(&out,
+         ",\"memory\":{\"breaches\":%ld,\"admission_rejected\":%ld,"
+         "\"bad_allocs\":%ld,\"current_bytes\":%ld,\"peak_bytes\":%ld,"
+         "\"engine_cap_bytes\":%ld,\"per_query_cap_bytes\":%ld}",
+         mem_breaches, mem_admission_rejected, bad_allocs, mem_current_bytes,
+         mem_peak_bytes, mem_engine_cap_bytes, mem_per_query_cap_bytes);
   out += ",\"operators\":{";
   bool first = true;
   for (int i = 0; i < static_cast<int>(per_operator.size()); ++i) {

@@ -106,6 +106,15 @@ struct EngineStats {
   /// certification work the deadlines left undone.
   long frontier_objects = 0;
 
+  // Memory governance (see common/memory_budget.h).
+  long mem_breaches = 0;            ///< queries that hit a memory budget
+  long mem_admission_rejected = 0;  ///< submissions shed at the high-water mark
+  long bad_allocs = 0;       ///< std::bad_alloc contained at worker boundary
+  long mem_current_bytes = 0;  ///< engine-wide charged bytes at snapshot time
+  long mem_peak_bytes = 0;     ///< engine-wide peak charged bytes
+  long mem_engine_cap_bytes = 0;     ///< configured cap; 0 = unlimited
+  long mem_per_query_cap_bytes = 0;  ///< configured per-query cap; 0 = none
+
   /// Indexed by static_cast<int>(Operator).
   std::array<OperatorStats, 5> per_operator{};
 

@@ -30,6 +30,10 @@ QueryStatus StatusFromResult(const NncResult& result) {
     case NncTermination::kDeadlineExceeded:
       return QueryStatus::kDeadlineExceeded;
     case NncTermination::kCancelled: return QueryStatus::kCancelled;
+    case NncTermination::kMemoryExceeded:
+      // Reachable only with degraded_superset (handled above); kept for
+      // exhaustiveness.
+      return QueryStatus::kError;
   }
   return QueryStatus::kError;
 }
@@ -67,6 +71,7 @@ double RetryPolicy::BackoffSeconds(int next_attempt, double u) const {
 QueryEngine::QueryEngine(Dataset dataset, EngineOptions options)
     : dataset_(std::move(dataset)),
       options_(options),
+      mem_budget_(options.engine_mem_bytes),
       pool_(ResolveThreads(options.num_threads), options.queue_capacity),
       slow_log_(options.slow_query_threshold_ms / 1e3,
                 options.slow_query_log_capacity) {
@@ -118,6 +123,36 @@ QueryEngine::QueryEngine(Dataset dataset, EngineOptions options)
   hot_.threads =
       &registry_.GetGauge("osd_engine_threads", "Worker thread count");
   hot_.threads->Set(pool_.num_threads());
+  hot_.mem_breaches = &registry_.GetCounter(
+      "osd_mem_breaches_total",
+      "Queries that hit a per-query or engine-wide memory budget");
+  hot_.mem_admission_rejected = &registry_.GetCounter(
+      "osd_mem_admission_rejected_total",
+      "Submissions rejected by memory high-water admission control");
+  hot_.bad_allocs = &registry_.GetCounter(
+      "osd_bad_allocs_total",
+      "std::bad_alloc exceptions contained at the worker boundary");
+  hot_.mem_current = &registry_.GetGauge(
+      "osd_mem_engine_bytes", "Engine-wide charged query memory (bytes)");
+  hot_.mem_peak = &registry_.GetGauge(
+      "osd_mem_engine_peak_bytes",
+      "Peak engine-wide charged query memory (bytes)");
+}
+
+void QueryEngine::NoteMemBreach() {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++mem_breaches_;
+  }
+  hot_.mem_breaches->Increment();
+}
+
+long QueryEngine::AdmissionHighWaterBytes() const {
+  if (options_.engine_mem_bytes <= 0) return 0;
+  const double fraction =
+      std::clamp(options_.mem_high_water_fraction, 0.0, 1.0);
+  return static_cast<long>(
+      static_cast<double>(options_.engine_mem_bytes) * fraction);
 }
 
 QueryEngine::~QueryEngine() {
@@ -147,6 +182,26 @@ std::shared_ptr<QueryTicket> QueryEngine::Submit(QuerySpec spec) {
     }
   }
   const Operator op = spec.options.op;
+  // Memory admission control: above the engine budget's high-water mark,
+  // refuse work before it starts (kRejected, when shedding) or hold the
+  // submitter until in-flight queries release charge (backpressure).
+  if (const long high_water = AdmissionHighWaterBytes(); high_water > 0) {
+    if (mem_budget_.current_bytes() >= high_water) {
+      if (options_.shed_on_overload) {
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++mem_admission_rejected_;
+        }
+        hot_.mem_admission_rejected->Increment();
+        Complete(ticket, op, QueryStatus::kRejected, {},
+                 "engine memory budget above high-water mark (admission "
+                 "control)",
+                 0);
+        return ticket;
+      }
+      mem_budget_.WaitUntilBelow(high_water);
+    }
+  }
   auto task = [this, ticket, spec = std::move(spec)]() mutable {
     Execute(ticket, spec);
   };
@@ -213,12 +268,44 @@ void QueryEngine::Execute(const std::shared_ptr<QueryTicket>& ticket,
         throw std::invalid_argument(
             "query dimensionality does not match the dataset");
       }
-      NncResult result = NncSearch(dataset_, spec.options).Run(spec.query);
+      NncResult result;
+      {
+        // Fresh budget scope per attempt: a retry starts with zero charge
+        // and its own engine-budget reservation, released on scope exit.
+        memory::QueryBudgetScope mem_scope(
+            options_.per_query_mem_bytes,
+            options_.engine_mem_bytes > 0 ? &mem_budget_ : nullptr);
+        result = NncSearch(dataset_, spec.options).Run(spec.query);
+      }
+      if (result.termination == NncTermination::kMemoryExceeded) {
+        // Breach absorbed by the degraded-superset drain inside Run.
+        NoteMemBreach();
+      }
       Complete(ticket, op, StatusFromResult(result), std::move(result), "",
                attempt);
       return;
+    } catch (const MemoryExceeded& e) {
+      // Transient (engine-wide pressure clears as other queries finish);
+      // falls through to the shared retry/backoff logic below.
+      NoteMemBreach();
+      failure = DescribeFailure(e);
     } catch (const TransientError& e) {
       failure = DescribeFailure(e);
+    } catch (const std::bad_alloc&) {
+      // Containment boundary: one query's OOM must not unwind the worker
+      // or poison its siblings. bad_alloc is deliberately not retried —
+      // unlike a budget breach there is no accounting to say the pressure
+      // has cleared.
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++bad_allocs_;
+      }
+      hot_.bad_allocs->Increment();
+      Complete(ticket, op, QueryStatus::kError, {},
+               "out of memory (std::bad_alloc contained at the worker "
+               "boundary)",
+               attempt);
+      return;
     } catch (const std::exception& e) {
       Complete(ticket, op, QueryStatus::kError, {}, DescribeFailure(e),
                attempt);
@@ -331,6 +418,10 @@ void QueryEngine::Complete(const std::shared_ptr<QueryTicket>& ticket,
 }
 
 EngineStats QueryEngine::Snapshot() const {
+  // Refresh the memory gauges before draining the registry so a scrape
+  // and a snapshot tell the same story.
+  hot_.mem_current->Set(mem_budget_.current_bytes());
+  hot_.mem_peak->Set(mem_budget_.peak_bytes());
   std::lock_guard<std::mutex> lock(stats_mu_);
   EngineStats s;
   s.threads = pool_.num_threads();
@@ -361,12 +452,21 @@ EngineStats QueryEngine::Snapshot() const {
   s.objects_examined = objects_examined_;
   s.entries_pruned = entries_pruned_;
   s.frontier_objects = frontier_objects_;
+  s.mem_breaches = mem_breaches_;
+  s.mem_admission_rejected = mem_admission_rejected_;
+  s.bad_allocs = bad_allocs_;
+  s.mem_current_bytes = mem_budget_.current_bytes();
+  s.mem_peak_bytes = mem_budget_.peak_bytes();
+  s.mem_engine_cap_bytes = options_.engine_mem_bytes;
+  s.mem_per_query_cap_bytes = options_.per_query_mem_bytes;
   s.per_operator = per_operator_;
   s.metrics = registry_.Collect();
   return s;
 }
 
 std::string QueryEngine::MetricsText() const {
+  hot_.mem_current->Set(mem_budget_.current_bytes());
+  hot_.mem_peak->Set(mem_budget_.peak_bytes());
   return obs::RenderPrometheusMetrics(registry_.Collect());
 }
 

@@ -16,9 +16,18 @@
 // with NncOptions::degraded_superset return certified superset answers
 // (kOkDegraded) when a deadline or cancellation stops them mid-traversal.
 //
+// Memory governance: per_query_mem_bytes installs a memory budget scope
+// around each execution, so one query's allocations are bounded; a breach
+// degrades the query (with degraded_superset) or fails it with a precise
+// retry-eligible MemoryExceeded, never the process. engine_mem_bytes adds
+// an engine-wide cap with high-water admission control at Submit, and a
+// std::bad_alloc escaping a query is contained at the worker boundary
+// (kError with an "out of memory" message; the pool survives).
+//
 // Determinism: NncSearch::Run is deterministic in its inputs and workers
 // share only immutable dataset state (the lazy local R-trees build under
-// std::call_once and come out identical regardless of the winning thread),
+// a per-object mutex and come out identical regardless of the winning
+// thread),
 // so a batch executed on N threads returns candidate sets bit-identical to
 // serial execution — only timing fields differ.
 //
@@ -34,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "common/memory_budget.h"
 #include "core/nnc_search.h"
 #include "engine/engine_stats.h"
 #include "engine/query_ticket.h"
@@ -59,6 +69,21 @@ struct EngineOptions {
   /// <= 0 disables the log.
   double slow_query_threshold_ms = 0.0;
   int slow_query_log_capacity = 16;
+  /// Per-query memory cap, bytes; <= 0 disables it. Each worker installs a
+  /// memory::QueryBudgetScope with this cap around NncSearch::Run, so a
+  /// query whose frontier/profile/flow allocations pass the cap fails (or
+  /// degrades — see NncOptions::degraded_superset) by itself instead of
+  /// OOM-killing the process.
+  long per_query_mem_bytes = 0;
+  /// Engine-wide memory cap across all in-flight queries, bytes; <= 0
+  /// disables it. Scopes draw on it in chunks; when the charged total
+  /// passes mem_high_water_fraction of the cap, Submit applies admission
+  /// control — kRejected under shed_on_overload, otherwise the submitter
+  /// blocks until usage falls below the high-water mark.
+  long engine_mem_bytes = 0;
+  /// High-water fraction of engine_mem_bytes at which admission control
+  /// engages; clamped to [0, 1].
+  double mem_high_water_fraction = 0.9;
 };
 
 /// Per-query retry policy for transient failures. Only exceptions derived
@@ -138,6 +163,12 @@ class QueryEngine {
   const Dataset& dataset() const { return dataset_; }
   int num_threads() const { return pool_.num_threads(); }
 
+  /// The engine-wide memory budget (always present; caps disabled unless
+  /// EngineOptions::engine_mem_bytes > 0). Exposed so tests and external
+  /// admission logic can observe or pre-charge it.
+  memory::MemoryBudget& memory_budget() { return mem_budget_; }
+  const memory::MemoryBudget& memory_budget() const { return mem_budget_; }
+
  private:
   void Execute(const std::shared_ptr<QueryTicket>& ticket, QuerySpec& spec);
 
@@ -147,8 +178,16 @@ class QueryEngine {
                 QueryStatus status, NncResult result, std::string error,
                 int attempts);
 
+  /// Engine-wide high-water level in bytes, or 0 when admission control is
+  /// off (no engine budget configured).
+  long AdmissionHighWaterBytes() const;
+
+  /// Counts one memory-budget breach (stats + hot metric).
+  void NoteMemBreach();
+
   Dataset dataset_;
   EngineOptions options_;
+  memory::MemoryBudget mem_budget_;
   ThreadPool pool_;
 
   /// Lock-free hot-path metrics (sharded by thread) plus the slow-query
@@ -169,6 +208,11 @@ class QueryEngine {
     obs::Counter* entries_pruned = nullptr;
     obs::Counter* frontier_objects = nullptr;
     obs::Gauge* threads = nullptr;
+    obs::Counter* mem_breaches = nullptr;
+    obs::Counter* mem_admission_rejected = nullptr;
+    obs::Counter* bad_allocs = nullptr;
+    obs::Gauge* mem_current = nullptr;
+    obs::Gauge* mem_peak = nullptr;
   };
   HotMetrics hot_;
 
@@ -182,6 +226,9 @@ class QueryEngine {
   long rejected_ = 0;
   long retries_ = 0;
   long frontier_objects_ = 0;
+  long mem_breaches_ = 0;
+  long mem_admission_rejected_ = 0;
+  long bad_allocs_ = 0;
   LatencyHistogram latency_;
   FilterStats filters_;
   long objects_examined_ = 0;

@@ -7,17 +7,39 @@
 #include <queue>
 
 #include "common/check.h"
+#include "common/failpoint.h"
+#include "common/memory_budget.h"
 
 namespace osd {
 
-MaxFlow::MaxFlow(int num_vertices) : adjacency_(num_vertices) {
+MaxFlow::MaxFlow(int num_vertices) {
   OSD_CHECK(num_vertices >= 2);
+  OSD_FAILPOINT("mem.flow.build");
+  // Per-vertex footprint: the adjacency vector header plus the level_ and
+  // iter_ slots Compute will allocate.
+  const long per_vertex =
+      static_cast<long>(sizeof(std::vector<int>)) + 2 * sizeof(int);
+  memory::Charge(num_vertices * per_vertex, "flow.vertices");
+  charged_bytes_ += num_vertices * per_vertex;
+  adjacency_.resize(num_vertices);
 }
+
+MaxFlow::~MaxFlow() { memory::Release(charged_bytes_); }
 
 int MaxFlow::AddEdge(int from, int to, int64_t capacity) {
   OSD_CHECK(from >= 0 && from < num_vertices());
   OSD_CHECK(to >= 0 && to < num_vertices());
   OSD_CHECK(capacity >= 0);
+  // Chunked accounting keeps budget traffic off the per-edge path: charge
+  // 128 edges' worth whenever the paid-for allowance runs out.
+  if (static_cast<long>(edge_refs_.size()) >= charged_edges_) {
+    constexpr long kEdgeChunk = 128;
+    constexpr long bytes_per_edge =
+        2 * static_cast<long>(sizeof(Edge)) + sizeof(std::pair<int, int>);
+    memory::Charge(kEdgeChunk * bytes_per_edge, "flow.edges");
+    charged_bytes_ += kEdgeChunk * bytes_per_edge;
+    charged_edges_ += kEdgeChunk;
+  }
   const int fwd = static_cast<int>(adjacency_[from].size());
   const int bwd = static_cast<int>(adjacency_[to].size());
   adjacency_[from].push_back({to, capacity, bwd});

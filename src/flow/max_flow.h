@@ -20,6 +20,12 @@ namespace osd {
 class MaxFlow {
  public:
   explicit MaxFlow(int num_vertices);
+  /// Returns the network's charges to the active memory budget scope (see
+  /// common/memory_budget.h); construction and AddEdge charge before they
+  /// allocate, so a breach throws MemoryExceeded with the network intact.
+  ~MaxFlow();
+  MaxFlow(const MaxFlow&) = delete;
+  MaxFlow& operator=(const MaxFlow&) = delete;
 
   /// Adds a directed edge with the given capacity (and a residual reverse
   /// edge of capacity zero). Returns the edge index for inspection.
@@ -47,6 +53,8 @@ class MaxFlow {
   std::vector<int> level_;
   std::vector<int> iter_;
   std::vector<std::pair<int, int>> edge_refs_;  // (vertex, offset) per AddEdge
+  long charged_bytes_ = 0;   // owed back to the budget at destruction
+  long charged_edges_ = 0;   // edges covered by chunked AddEdge charges
 };
 
 /// Scales a probability vector summing to ~1 into int64 weights summing to

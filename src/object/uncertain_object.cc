@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/failpoint.h"
+#include "common/memory_budget.h"
 #include "obs/trace.h"
 
 namespace osd {
@@ -48,11 +49,23 @@ const RTree& UncertainObject::LocalTree() const {
   OSD_DCHECK(lazy_tree_ != nullptr);  // moved-from objects must be reassigned
   const RTree* tree = lazy_tree_->published.load(std::memory_order_acquire);
   if (tree == nullptr) {
-    std::call_once(lazy_tree_->once, [this] {
-      // A throw here propagates through call_once without setting the
-      // flag, so a later call retries the build — transient by contract.
+    std::lock_guard<std::mutex> lock(lazy_tree_->build_mu);
+    tree = lazy_tree_->published.load(std::memory_order_acquire);
+    if (tree == nullptr) {
+      // A throw below (injected fault, budget breach) unwinds through the
+      // lock_guard with nothing published, so a later call retries the
+      // build — transient by contract.
       OSD_FAILPOINT("object.local_tree");
       OSD_TRACE_SPAN(obs::SpanKind::kLocalTreeBuild);
+      // The build is charged transiently against the building query's
+      // budget scope (entry staging plus roughly the packed tree, so ~2x
+      // the entry array): the finished tree is dataset-owned and shared
+      // by every later query, so its bytes are released — not carried —
+      // when the build ends. A breach throws with nothing published, and
+      // some later (better-funded) query retries.
+      memory::ScopedCharge build_mem("object.local_tree_build");
+      build_mem.Add(2L * num_instances() *
+                    static_cast<long>(sizeof(RTree::Entry)));
       std::vector<RTree::Entry> entries(num_instances());
       for (int i = 0; i < num_instances(); ++i) {
         entries[i] = {Mbr(Instance(i)), i, probs_[i]};
@@ -61,8 +74,8 @@ const RTree& UncertainObject::LocalTree() const {
           RTree::BulkLoad(std::move(entries), kLocalFanout));
       lazy_tree_->published.store(lazy_tree_->tree.get(),
                                   std::memory_order_release);
-    });
-    tree = lazy_tree_->published.load(std::memory_order_acquire);
+      tree = lazy_tree_->tree.get();
+    }
   }
   return *tree;
 }

@@ -14,7 +14,7 @@
 // Thread-safety contract: after construction an UncertainObject is
 // logically immutable, and every const member — including the lazily built
 // LocalTree() — is safe to call from any number of threads concurrently
-// (the build is synchronized with std::call_once, and at most one tree is
+// (the build is serialized on a per-object mutex, and at most one tree is
 // ever constructed). Copying/moving/assigning an object concurrently with
 // reads is NOT safe; the query engine never mutates dataset objects after
 // the Dataset is built.
@@ -98,8 +98,10 @@ class UncertainObject {
   const Mbr& mbr() const { return mbr_; }
 
   /// Returns the instance R-tree, building it on first use. Safe to call
-  /// concurrently: the build runs exactly once (std::call_once) and every
-  /// caller observes the same fully constructed tree.
+  /// concurrently: at most one build runs at a time (serialized on a
+  /// mutex) and every caller observes the same fully constructed tree. A
+  /// build that throws (memory breach, injected fault) publishes nothing
+  /// and releases the lock, so a later call simply retries.
   const RTree& LocalTree() const;
 
   /// True iff a local tree has already been built (used by stats). Safe to
@@ -111,11 +113,14 @@ class UncertainObject {
 
  private:
   // The lazy slot is a stable heap box so that concurrent LocalTree()
-  // callers synchronize on one once_flag even though the object itself is
+  // callers synchronize on one mutex even though the object itself is
   // copyable. `published` lets HasLocalTree() peek without blocking on a
-  // build in progress.
+  // build in progress. A plain mutex (not std::call_once) on purpose: the
+  // budget-charged build may throw, and throwing through call_once
+  // deadlocks under TSan's pthread_once interceptor, which is not
+  // exception-safe.
   struct LazyLocalTree {
-    std::once_flag once;
+    std::mutex build_mu;
     std::unique_ptr<RTree> tree;
     std::atomic<const RTree*> published{nullptr};
   };

@@ -74,15 +74,25 @@ void Trace::End() {
   if (open.recorded >= 0) spans_[open.recorded].seconds = seconds;
 }
 
+void Trace::AddBytes(long bytes) {
+  if (bytes <= 0) return;
+  total_bytes_ += bytes;
+  if (open_.empty()) return;
+  const Open& innermost = open_.back();
+  aggregates_[static_cast<int>(innermost.kind)].bytes += bytes;
+  if (innermost.recorded >= 0) spans_[innermost.recorded].bytes += bytes;
+}
+
 void Trace::SetSummary(const FilterStats& filters, long objects_examined,
                        long entries_pruned, long candidates,
-                       const char* termination) {
+                       const char* termination, long mem_peak_bytes) {
   have_summary_ = true;
   filters_ = filters;
   objects_examined_ = objects_examined;
   entries_pruned_ = entries_pruned;
   candidates_ = candidates;
   termination_ = termination;
+  mem_peak_bytes_ = mem_peak_bytes;
 }
 
 std::string Trace::ToJson() const {
@@ -96,33 +106,35 @@ std::string Trace::ToJson() const {
            "\"dist_evals\":%ld,\"pair_tests\":%ld,\"scan_steps\":%ld,"
            "\"node_ops\":%ld,\"flow_runs\":%ld,\"stat_prunes\":%ld,"
            "\"cover_prunes\":%ld,\"level_decisions\":%ld,"
-           "\"mbr_validations\":%ld,\"exact_checks\":%ld}",
+           "\"mbr_validations\":%ld,\"exact_checks\":%ld,"
+           "\"mem_peak_bytes\":%ld}",
            termination_, candidates_, objects_examined_, entries_pruned_,
            filters_.dominance_checks, filters_.InstanceComparisons(),
            filters_.dist_evals, filters_.pair_tests, filters_.scan_steps,
            filters_.node_ops, filters_.flow_runs, filters_.stat_prunes,
            filters_.cover_prunes, filters_.level_decisions,
-           filters_.mbr_validations, filters_.exact_checks);
+           filters_.mbr_validations, filters_.exact_checks, mem_peak_bytes_);
   }
   out += ",\"aggregates\":{";
   bool first = true;
   for (int k = 0; k < kNumSpanKinds; ++k) {
     const SpanAggregate& agg = aggregates_[k];
     if (agg.count == 0) continue;
-    Append(&out, "%s\"%s\":{\"count\":%ld,\"ms\":%.4f}", first ? "" : ",",
-           SpanKindName(static_cast<SpanKind>(k)), agg.count,
-           agg.seconds * 1e3);
+    Append(&out, "%s\"%s\":{\"count\":%ld,\"ms\":%.4f,\"bytes\":%ld}",
+           first ? "" : ",", SpanKindName(static_cast<SpanKind>(k)),
+           agg.count, agg.seconds * 1e3, agg.bytes);
     first = false;
   }
   out += "},\"spans\":[";
   for (size_t s = 0; s < spans_.size(); ++s) {
     const Span& span = spans_[s];
     Append(&out, "%s{\"kind\":\"%s\",\"parent\":%d,\"start_ms\":%.4f,"
-           "\"ms\":%.4f}",
+           "\"ms\":%.4f,\"bytes\":%ld}",
            s == 0 ? "" : ",", SpanKindName(span.kind), span.parent,
-           span.start_seconds * 1e3, span.seconds * 1e3);
+           span.start_seconds * 1e3, span.seconds * 1e3, span.bytes);
   }
-  Append(&out, "],\"dropped_spans\":%ld}", dropped_);
+  Append(&out, "],\"mem_charged_bytes\":%ld,\"dropped_spans\":%ld}",
+         total_bytes_, dropped_);
   return out;
 }
 

@@ -62,10 +62,12 @@ inline constexpr int kNumSpanKinds = 11;
 /// Lower-case stable name ("traversal", "stat_filter", ...).
 const char* SpanKindName(SpanKind kind);
 
-/// Count and summed duration of one span kind within one trace.
+/// Count, summed duration, and attributed bytes of one span kind within
+/// one trace.
 struct SpanAggregate {
   long count = 0;
   double seconds = 0.0;
+  long bytes = 0;  ///< memory charges attributed while a span was open
 };
 
 class Trace {
@@ -79,6 +81,7 @@ class Trace {
     int parent;            ///< index of the enclosing recorded span; -1 at root
     double start_seconds;  ///< offset from the trace epoch
     double seconds;        ///< duration; 0 until the span ends
+    long bytes = 0;        ///< memory charged while this span was innermost
   };
 
   explicit Trace(std::string label = {});
@@ -87,6 +90,13 @@ class Trace {
   /// nested. Prefer ScopedSpan / OSD_TRACE_SPAN.
   void Begin(SpanKind kind);
   void End();
+
+  /// Attributes `bytes` of memory charges to the innermost open span (and
+  /// its kind's aggregate); charges outside any span land only in
+  /// total_bytes(). Called by memory::Charge through the thread's current
+  /// trace — per-span byte attribution mirrors per-span timing.
+  void AddBytes(long bytes);
+  long total_bytes() const { return total_bytes_; }
 
   const std::array<SpanAggregate, kNumSpanKinds>& aggregates() const {
     return aggregates_;
@@ -98,7 +108,7 @@ class Trace {
   /// Query summary, filled by NncSearch::Run before it returns.
   void SetSummary(const FilterStats& filters, long objects_examined,
                   long entries_pruned, long candidates,
-                  const char* termination);
+                  const char* termination, long mem_peak_bytes = 0);
 
   /// Single-line JSON object: label, summary, per-kind aggregates, the
   /// recorded span tree.
@@ -117,6 +127,8 @@ class Trace {
   std::vector<Span> spans_;
   std::vector<Open> open_;
   long dropped_ = 0;
+  long total_bytes_ = 0;
+  long mem_peak_bytes_ = 0;
   bool have_summary_ = false;
   FilterStats filters_{};
   long objects_examined_ = 0;

@@ -7,6 +7,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
+#include <new>
 #include <string>
 #include <vector>
 
@@ -27,19 +28,25 @@ class FailpointTest : public ::testing::Test {
 
 TEST_F(FailpointTest, RejectsMalformedSpecs) {
   const char* bad[] = {
-      "noequals",          // entry without '='
-      "site=",             // empty trigger
-      "site=explode",      // unknown action
-      "site=xerror",       // missing count before 'x'
-      "site=0xerror",      // zero max-fires
-      "site=error@0",      // 1-based start hit
-      "site=error@abc",    // non-numeric start hit
-      "site=delay",        // delay needs an argument
-      "site=delay(-5)",    // negative delay
-      "site=delay(abc)",   // non-numeric delay
-      "site=error(5)",     // error takes no argument
-      "bad site=error",    // invalid character in site name
-      "=error",            // empty site name
+      "noequals",               // entry without '='
+      "test.site=",             // empty trigger
+      "test.site=explode",      // unknown action
+      "test.site=xerror",       // missing count before 'x'
+      "test.site=0xerror",      // zero max-fires
+      "test.site=error@0",      // 1-based start hit
+      "test.site=error@abc",    // non-numeric start hit
+      "test.site=delay",        // delay needs an argument
+      "test.site=delay(-5)",    // negative delay
+      "test.site=delay(abc)",   // non-numeric delay
+      "test.site=delay(inf)",   // non-finite delay
+      "test.site=delay(nan)",   // non-finite delay
+      "test.site=error(5)",     // error takes no argument
+      "test.site=throw(",       // unterminated argument
+      "test.site=throw(x)y",    // trailing garbage after ')'
+      "test.site=throw)",       // ')' without '('
+      "test.site=throw_bad_alloc(msg)",  // throw_bad_alloc takes no argument
+      "bad site=error",         // invalid character in site name
+      "=error",                 // empty site name
   };
   for (const char* spec : bad) {
     SCOPED_TRACE(spec);
@@ -55,52 +62,103 @@ TEST_F(FailpointTest, RejectionIsAtomic) {
   // One bad entry poisons the whole spec: the valid first entry must not
   // be applied either.
   std::string error;
-  ASSERT_FALSE(Configure("good.site=error,bad site=error", &error));
+  ASSERT_FALSE(Configure("test.good=error,bad site=error", &error));
   EXPECT_TRUE(ArmedSites().empty());
-  EXPECT_FALSE(Evaluate("good.site"));
+  EXPECT_FALSE(Evaluate("test.good"));
+}
+
+TEST_F(FailpointTest, RejectsUnknownSites) {
+  // Sites must name a compiled-in OSD_FAILPOINT (or use the reserved
+  // 'test.' prefix); a typo in a site name is an error, not a silent no-op.
+  std::string error;
+  EXPECT_FALSE(Configure("nnc.ppo=error", &error));
+  EXPECT_NE(error.find("unknown site 'nnc.ppo'"), std::string::npos)
+      << "error was: " << error;
+  EXPECT_TRUE(ArmedSites().empty());
+  // Real wired sites and the test escape hatch both pass validation.
+  EXPECT_TRUE(Configure("nnc.pop=error,test.anything=error", &error)) << error;
+}
+
+TEST_F(FailpointTest, RejectsDuplicateSites) {
+  std::string error;
+  EXPECT_FALSE(Configure("test.s=error,test.s=throw", &error));
+  EXPECT_NE(error.find("duplicate"), std::string::npos)
+      << "error was: " << error;
+  EXPECT_TRUE(ArmedSites().empty());
+  // Duplicates across arm/disarm entries are rejected too — the spec
+  // would otherwise be order-dependent.
+  EXPECT_FALSE(Configure("test.s=error,test.s=off", &error));
+  EXPECT_TRUE(ArmedSites().empty());
+}
+
+TEST_F(FailpointTest, ThrowArgumentMayContainTriggerSyntax) {
+  // '@' and 'x' inside a parenthesized message are argument text, not
+  // trigger modifiers.
+  ASSERT_TRUE(Configure("test.s=throw(a@b)"));
+  try {
+    Evaluate("test.s");
+    FAIL() << "expected InjectedFault";
+  } catch (const InjectedFault& e) {
+    EXPECT_STREQ(e.what(), "a@b");
+  }
+  // ...but an '@' after the ')' is still a start-hit modifier.
+  ASSERT_TRUE(Configure("test.s=throw(msg)@2"));
+  EXPECT_FALSE(Evaluate("test.s"));
+  EXPECT_THROW(Evaluate("test.s"), InjectedFault);
+}
+
+TEST_F(FailpointTest, BadAllocTriggerThrowsStdBadAlloc) {
+  ASSERT_TRUE(Configure("test.s=throw_bad_alloc"));
+  EXPECT_THROW(Evaluate("test.s"), std::bad_alloc);
+  EXPECT_EQ(FireCount("test.s"), 1);
+  // Composes with count/start-hit modifiers like every other action.
+  ASSERT_TRUE(Configure("test.s=1xthrow_bad_alloc@2"));
+  EXPECT_FALSE(Evaluate("test.s"));
+  EXPECT_THROW(Evaluate("test.s"), std::bad_alloc);
+  EXPECT_FALSE(Evaluate("test.s"));  // exhausted
 }
 
 TEST_F(FailpointTest, ErrorTriggerFiresEveryHit) {
-  ASSERT_TRUE(Configure("s=error"));
-  EXPECT_TRUE(Evaluate("s"));
-  EXPECT_TRUE(Evaluate("s"));
-  EXPECT_EQ(HitCount("s"), 2);
-  EXPECT_EQ(FireCount("s"), 2);
-  EXPECT_FALSE(Evaluate("other"));  // unarmed sites never fire
-  EXPECT_EQ(HitCount("other"), 0);
+  ASSERT_TRUE(Configure("test.s=error"));
+  EXPECT_TRUE(Evaluate("test.s"));
+  EXPECT_TRUE(Evaluate("test.s"));
+  EXPECT_EQ(HitCount("test.s"), 2);
+  EXPECT_EQ(FireCount("test.s"), 2);
+  EXPECT_FALSE(Evaluate("test.other"));  // unarmed sites never fire
+  EXPECT_EQ(HitCount("test.other"), 0);
 }
 
 TEST_F(FailpointTest, MaxFiresAndStartHitCompose) {
   // 2xerror@2: dormant on hit 1, fires on hits 2 and 3, exhausted after.
-  ASSERT_TRUE(Configure("s=2xerror@2"));
-  EXPECT_FALSE(Evaluate("s"));
-  EXPECT_TRUE(Evaluate("s"));
-  EXPECT_TRUE(Evaluate("s"));
-  EXPECT_FALSE(Evaluate("s"));
-  EXPECT_FALSE(Evaluate("s"));
-  EXPECT_EQ(HitCount("s"), 5);
-  EXPECT_EQ(FireCount("s"), 2);
+  ASSERT_TRUE(Configure("test.s=2xerror@2"));
+  EXPECT_FALSE(Evaluate("test.s"));
+  EXPECT_TRUE(Evaluate("test.s"));
+  EXPECT_TRUE(Evaluate("test.s"));
+  EXPECT_FALSE(Evaluate("test.s"));
+  EXPECT_FALSE(Evaluate("test.s"));
+  EXPECT_EQ(HitCount("test.s"), 5);
+  EXPECT_EQ(FireCount("test.s"), 2);
 }
 
 TEST_F(FailpointTest, ThrowTriggerThrowsInjectedFaultWithSite) {
-  ASSERT_TRUE(Configure("s=throw(boom)"));
+  ASSERT_TRUE(Configure("test.s=throw(boom)"));
   try {
-    Evaluate("s");
+    Evaluate("test.s");
     FAIL() << "expected InjectedFault";
   } catch (const InjectedFault& e) {
     EXPECT_STREQ(e.what(), "boom");
-    EXPECT_EQ(e.site(), "s");
+    EXPECT_EQ(e.site(), "test.s");
   }
   // An injected fault is transient by contract — the engine's retry
   // machinery keys on exactly this base class.
-  ASSERT_TRUE(Configure("s=throw"));
-  EXPECT_THROW(Evaluate("s"), TransientError);
+  ASSERT_TRUE(Configure("test.s=throw"));
+  EXPECT_THROW(Evaluate("test.s"), TransientError);
 }
 
 TEST_F(FailpointTest, ThrowTriggerDefaultMessage) {
-  ASSERT_TRUE(Configure("s=throw"));
+  ASSERT_TRUE(Configure("test.s=throw"));
   try {
-    Evaluate("s");
+    Evaluate("test.s");
     FAIL() << "expected InjectedFault";
   } catch (const InjectedFault& e) {
     EXPECT_STREQ(e.what(), "injected fault");
@@ -108,9 +166,9 @@ TEST_F(FailpointTest, ThrowTriggerDefaultMessage) {
 }
 
 TEST_F(FailpointTest, DelayTriggerSleeps) {
-  ASSERT_TRUE(Configure("s=delay(20)"));
+  ASSERT_TRUE(Configure("test.s=delay(20)"));
   const auto start = std::chrono::steady_clock::now();
-  EXPECT_FALSE(Evaluate("s"));  // delay is not an error trigger
+  EXPECT_FALSE(Evaluate("test.s"));  // delay is not an error trigger
   const double elapsed_ms =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count() *
@@ -119,31 +177,31 @@ TEST_F(FailpointTest, DelayTriggerSleeps) {
 }
 
 TEST_F(FailpointTest, OffDisarmsOneSiteAndClearDisarmsAll) {
-  ASSERT_TRUE(Configure("a=error,b=error"));
-  EXPECT_EQ(ArmedSites(), (std::vector<std::string>{"a", "b"}));
-  ASSERT_TRUE(Configure("a=off"));
-  EXPECT_EQ(ArmedSites(), (std::vector<std::string>{"b"}));
-  EXPECT_FALSE(Evaluate("a"));
-  EXPECT_TRUE(Evaluate("b"));
+  ASSERT_TRUE(Configure("test.a=error,test.b=error"));
+  EXPECT_EQ(ArmedSites(), (std::vector<std::string>{"test.a", "test.b"}));
+  ASSERT_TRUE(Configure("test.a=off"));
+  EXPECT_EQ(ArmedSites(), (std::vector<std::string>{"test.b"}));
+  EXPECT_FALSE(Evaluate("test.a"));
+  EXPECT_TRUE(Evaluate("test.b"));
   Clear();
   EXPECT_TRUE(ArmedSites().empty());
-  EXPECT_FALSE(Evaluate("b"));
-  EXPECT_EQ(HitCount("b"), 0) << "Clear must reset counters";
+  EXPECT_FALSE(Evaluate("test.b"));
+  EXPECT_EQ(HitCount("test.b"), 0) << "Clear must reset counters";
 }
 
 TEST_F(FailpointTest, ReconfigureResetsCounters) {
-  ASSERT_TRUE(Configure("s=1xerror"));
-  EXPECT_TRUE(Evaluate("s"));
-  EXPECT_FALSE(Evaluate("s"));  // exhausted
-  ASSERT_TRUE(Configure("s=1xerror"));
-  EXPECT_TRUE(Evaluate("s")) << "re-arming must reset hit/fire counts";
+  ASSERT_TRUE(Configure("test.s=1xerror"));
+  EXPECT_TRUE(Evaluate("test.s"));
+  EXPECT_FALSE(Evaluate("test.s"));  // exhausted
+  ASSERT_TRUE(Configure("test.s=1xerror"));
+  EXPECT_TRUE(Evaluate("test.s")) << "re-arming must reset hit/fire counts";
 }
 
 TEST_F(FailpointTest, ConfigureFromEnvReadsOsdFailpoints) {
-  ASSERT_EQ(setenv("OSD_FAILPOINTS", "env.site=error", 1), 0);
+  ASSERT_EQ(setenv("OSD_FAILPOINTS", "test.env=error", 1), 0);
   EXPECT_TRUE(ConfigureFromEnv());
-  EXPECT_EQ(ArmedSites(), (std::vector<std::string>{"env.site"}));
-  EXPECT_TRUE(Evaluate("env.site"));
+  EXPECT_EQ(ArmedSites(), (std::vector<std::string>{"test.env"}));
+  EXPECT_TRUE(Evaluate("test.env"));
 
   ASSERT_EQ(unsetenv("OSD_FAILPOINTS"), 0);
   Clear();

@@ -5,22 +5,33 @@
 //           (--query-id N | --query-file q.txt)
 //           [--op ssd|sssd|psd|fsd|f+sd] [--k K] [--metric l2|l1]
 //           [--filters all|bf|l|lp|lg|lgp] [--progressive] [--rank-by f]
-//           [--deadline S] [--accept-degraded] [--failpoints SPEC] [--trace]
+//           [--deadline S] [--accept-degraded] [--mem-budget B]
+//           [--failpoints SPEC] [--trace]
 //
 //   osd_cli serve-batch --input data.txt [--weighted] [--binary]
 //           (--workload queries.txt | --gen-queries N [--seed S])
 //           [--threads T] [--op ...] [--k ...] [--metric ...] [--filters ...]
 //           [--deadline-ms D | --deadline S] [--accept-degraded]
+//           [--mem-budget B] [--engine-mem-budget B]
 //           [--retries N] [--shed] [--failpoints SPEC]
 //           [--trace] [--metrics-out FILE] [--slow-query-ms X]
 //
 // Robustness controls:
 //   --deadline S        per-query budget in seconds (--deadline-ms in ms)
-//   --accept-degraded   anytime mode: a query stopped by its deadline
-//                       returns the confirmed candidates plus the
-//                       unexpanded frontier — a certified superset of the
-//                       exact answer (status OK_DEGRADED) — instead of a
-//                       partial set
+//   --accept-degraded   anytime mode: a query stopped by its deadline or
+//                       memory budget returns the confirmed candidates plus
+//                       the unexpanded frontier — a certified superset of
+//                       the exact answer (status OK_DEGRADED) — instead of
+//                       a partial set
+//   --mem-budget B      per-query memory budget in bytes (k/m/g suffixes
+//                       accepted, e.g. 64m). A query whose tracked
+//                       allocations pass the cap degrades (with
+//                       --accept-degraded) or fails with a retry-eligible
+//                       MemoryExceeded error — never the process.
+//   --engine-mem-budget B
+//                       serve-batch: engine-wide cap across all in-flight
+//                       queries; Submit applies admission control above
+//                       90% of it (reject under --shed, block otherwise)
 //   --retries N         serve-batch: retry each query up to N extra times
 //                       on transient failures (jittered backoff)
 //   --shed              serve-batch: reject (REJECTED) instead of blocking
@@ -63,6 +74,7 @@
 #include <vector>
 
 #include "common/failpoint.h"
+#include "common/memory_budget.h"
 #include "core/nnc_search.h"
 #include "datagen/workload.h"
 #include "engine/query_engine.h"
@@ -90,6 +102,8 @@ struct Args {
   std::string rank_by;
   double deadline_s = 0.0;
   bool accept_degraded = false;
+  long mem_budget_bytes = 0;         // per-query; 0 = unlimited
+  long engine_mem_budget_bytes = 0;  // serve-batch engine-wide; 0 = unlimited
   std::string failpoints;
   bool trace = false;
   // serve-batch only:
@@ -106,6 +120,30 @@ struct Args {
 [[noreturn]] void Die(const std::string& message) {
   std::fprintf(stderr, "osd_cli: %s\n", message.c_str());
   std::exit(2);
+}
+
+/// Parses "64m"-style byte sizes (plain bytes, or a k/m/g binary suffix,
+/// case-insensitive). Returns a strictly positive count or dies.
+long ParseByteSize(const std::string& s, const char* flag) {
+  char* end = nullptr;
+  const double value = std::strtod(s.c_str(), &end);
+  long multiplier = 1;
+  if (end != nullptr && *end != '\0') {
+    switch (*end) {
+      case 'k': case 'K': multiplier = 1L << 10; break;
+      case 'm': case 'M': multiplier = 1L << 20; break;
+      case 'g': case 'G': multiplier = 1L << 30; break;
+      default: Die(std::string(flag) + ": bad byte size '" + s + "'");
+    }
+    if (*(end + 1) != '\0') {
+      Die(std::string(flag) + ": bad byte size '" + s + "'");
+    }
+  }
+  const double bytes = value * static_cast<double>(multiplier);
+  if (!(bytes >= 1) || bytes > 9e18) {
+    Die(std::string(flag) + " must be a positive byte count");
+  }
+  return static_cast<long>(bytes);
 }
 
 bool ParseOperator(const std::string& s, Operator* op) {
@@ -173,6 +211,11 @@ Args Parse(int argc, char** argv) {
       if (args.deadline_s <= 0) Die("--deadline must be > 0 seconds");
     } else if (flag == "--accept-degraded") {
       args.accept_degraded = true;
+    } else if (flag == "--mem-budget") {
+      args.mem_budget_bytes = ParseByteSize(need_value(i), "--mem-budget");
+    } else if (args.serve_batch && flag == "--engine-mem-budget") {
+      args.engine_mem_budget_bytes =
+          ParseByteSize(need_value(i), "--engine-mem-budget");
     } else if (flag == "--failpoints") {
       args.failpoints = need_value(i);
     } else if (flag == "--trace") {
@@ -253,7 +296,9 @@ int ServeBatch(const Args& args, std::vector<UncertainObject> objects) {
   QueryEngine engine(std::move(dataset),
                      {.num_threads = args.threads,
                       .shed_on_overload = args.shed,
-                      .slow_query_threshold_ms = args.slow_query_ms});
+                      .slow_query_threshold_ms = args.slow_query_ms,
+                      .per_query_mem_bytes = args.mem_budget_bytes,
+                      .engine_mem_bytes = args.engine_mem_budget_bytes});
   std::fprintf(stderr, "serve-batch: %zu queries on %d threads, operator %s\n",
                num_queries, engine.num_threads(), OperatorName(args.op));
 
@@ -360,21 +405,33 @@ int main(int argc, char** argv) {
     options.control = &control;
   }
 
-  const NncResult result =
-      NncSearch(dataset, options)
-          .Run(query, [&](int id, double t) {
-            if (args.progressive) {
-              std::printf("candidate %d at %.3f ms\n", id, t * 1e3);
-            }
-          });
+  // A per-query memory budget wraps the whole search; without
+  // --accept-degraded a breach surfaces as MemoryExceeded, which we turn
+  // into a clean exit instead of an unhandled-exception abort.
+  NncResult result;
+  try {
+    memory::QueryBudgetScope mem_scope(args.mem_budget_bytes, nullptr);
+    result = NncSearch(dataset, options)
+                 .Run(query, [&](int id, double t) {
+                   if (args.progressive) {
+                     std::printf("candidate %d at %.3f ms\n", id, t * 1e3);
+                   }
+                 });
+  } catch (const MemoryExceeded& e) {
+    Die(std::string(e.what()) +
+        " (rerun with --accept-degraded for a certified superset, or raise "
+        "--mem-budget)");
+  }
 
   std::printf("operator %s, k=%d: %zu candidates of %d objects in %.2f ms\n",
               OperatorName(args.op), args.k, result.candidates.size(),
               dataset.size(), result.seconds * 1e3);
   if (result.termination != NncTermination::kComplete) {
-    const char* why = result.termination == NncTermination::kCancelled
-                          ? "cancelled"
-                          : "deadline exceeded";
+    const char* why =
+        result.termination == NncTermination::kCancelled ? "cancelled"
+        : result.termination == NncTermination::kMemoryExceeded
+            ? "memory budget exceeded"
+            : "deadline exceeded";
     if (result.degraded) {
       std::printf("status: %s — degraded superset (%ld unrefined frontier "
                   "objects from %ld subtrees; every true candidate is "
