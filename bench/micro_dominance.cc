@@ -1,11 +1,19 @@
 // Micro-benchmarks of the pairwise dominance checks: per-operator cost as
 // the instance count grows, and the effect of the filter stack.
+//
+// Two separately-timed regions so wins are attributable:
+//  - BM_ProfileBuild / BM_ProfileStats: distance-view materialization (the
+//    batched / fused kernel substrate), kernel vs scalar-fallback.
+//  - BM_DominanceCheck: the oracle decision over pre-materialized
+//    profiles, with view construction outside the timer.
 
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
 #include "core/dominance_oracle.h"
+#include "core/profile_scratch.h"
 #include "datagen/generators.h"
+#include "geom/kernels.h"
 
 namespace {
 
@@ -28,22 +36,85 @@ Fixture MakeFixture(int m, uint64_t seed) {
   return f;
 }
 
+// Forces every lazy view an operator might consume, so the check benchmark
+// below times only the decision logic.
+void Prewarm(ObjectProfile& p) {
+  (void)p.MinAll();
+  (void)p.Dist(0, 0);
+  (void)p.SortedValues();
+  (void)p.SortedQValues(0);
+  (void)p.Distribution();
+}
+
+// Matrix materialization per profile (the dominant cost of brute-force
+// checks): one fresh profile per iteration, recycled through a scratch
+// arena exactly like NncSearch::Run does.
+void BM_ProfileBuild(benchmark::State& state, bool scalar) {
+  const int m = static_cast<int>(state.range(0));
+  const Fixture f = MakeFixture(m, 42);
+  const QueryContext ctx(f.query);
+  kernels::SetScalarFallback(scalar);
+  ProfileScratch scratch;
+  for (auto _ : state) {
+    ObjectProfile pu(f.u, ctx, nullptr);
+    benchmark::DoNotOptimize(pu.Dist(0, 0));
+  }
+  kernels::SetScalarFallback(false);
+  state.SetComplexityN(m);
+  state.SetItemsProcessed(state.iterations() * ctx.num_instances() * m);
+}
+
+// Fused statistic pass per profile (the common statistic-only pruning
+// path): never materializes the matrix.
+void BM_ProfileStats(benchmark::State& state, bool scalar) {
+  const int m = static_cast<int>(state.range(0));
+  const Fixture f = MakeFixture(m, 42);
+  const QueryContext ctx(f.query);
+  kernels::SetScalarFallback(scalar);
+  ProfileScratch scratch;
+  for (auto _ : state) {
+    ObjectProfile pu(f.u, ctx, nullptr);
+    benchmark::DoNotOptimize(pu.MinAll());
+  }
+  kernels::SetScalarFallback(false);
+  state.SetComplexityN(m);
+  state.SetItemsProcessed(state.iterations() * ctx.num_instances() * m);
+}
+
+// The check itself, profiles pre-materialized outside the timer.
 void BM_DominanceCheck(benchmark::State& state, Operator op,
                        FilterConfig cfg) {
   const int m = static_cast<int>(state.range(0));
   const Fixture f = MakeFixture(m, 42);
   const QueryContext ctx(f.query);
+  FilterStats stats;
+  DominanceOracle oracle(ctx, cfg, &stats);
+  ObjectProfile pu(f.u, ctx, &stats);
+  ObjectProfile pv(f.v, ctx, &stats);
+  if (op != Operator::kFPlusSd) {
+    Prewarm(pu);
+    Prewarm(pv);
+  }
   for (auto _ : state) {
-    FilterStats stats;
-    DominanceOracle oracle(ctx, cfg, &stats);
-    ObjectProfile pu(f.u, ctx, &stats);
-    ObjectProfile pv(f.v, ctx, &stats);
     benchmark::DoNotOptimize(oracle.Dominates(op, pu, pv));
   }
   state.SetComplexityN(m);
 }
 
 }  // namespace
+
+BENCHMARK_CAPTURE(BM_ProfileBuild, matrix_kernels, false)
+    ->RangeMultiplier(2)
+    ->Range(8, 256);
+BENCHMARK_CAPTURE(BM_ProfileBuild, matrix_scalar, true)
+    ->RangeMultiplier(2)
+    ->Range(8, 256);
+BENCHMARK_CAPTURE(BM_ProfileStats, stats_kernels, false)
+    ->RangeMultiplier(2)
+    ->Range(8, 256);
+BENCHMARK_CAPTURE(BM_ProfileStats, stats_scalar, true)
+    ->RangeMultiplier(2)
+    ->Range(8, 256);
 
 BENCHMARK_CAPTURE(BM_DominanceCheck, ssd_all, Operator::kSSd,
                   FilterConfig::All())

@@ -15,7 +15,7 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build-asan}"
 TARGETS="failpoint_test io_hardening_test io_test degraded_mode_test \
-  engine_resilience_test obs_test mem_budget_test"
+  engine_resilience_test obs_test mem_budget_test kernels_test"
 
 cmake -B "$BUILD_DIR" -S . \
   -DOSD_SANITIZE=address \

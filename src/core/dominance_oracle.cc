@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <vector>
 
 #include "common/check.h"
@@ -137,9 +138,16 @@ bool DominanceOracle::StatRefutesAll(ObjectProfile& u, ObjectProfile& v) {
 
 bool DominanceOracle::StatRefutesPerQ(ObjectProfile& u, ObjectProfile& v) {
   OSD_TRACE_SPAN(obs::SpanKind::kStatFilter);
+  // One EnsureStats branch per profile instead of three per query instance.
+  const std::span<const double> umin = u.MinQs();
+  const std::span<const double> umean = u.MeanQs();
+  const std::span<const double> umax = u.MaxQs();
+  const std::span<const double> vmin = v.MinQs();
+  const std::span<const double> vmean = v.MeanQs();
+  const std::span<const double> vmax = v.MaxQs();
   for (int qi = 0; qi < ctx_->num_instances(); ++qi) {
-    if (u.MinQ(qi) > v.MinQ(qi) + kEps || u.MeanQ(qi) > v.MeanQ(qi) + kEps ||
-        u.MaxQ(qi) > v.MaxQ(qi) + kEps) {
+    if (umin[qi] > vmin[qi] + kEps || umean[qi] > vmean[qi] + kEps ||
+        umax[qi] > vmax[qi] + kEps) {
       if (stats_ != nullptr) ++stats_->stat_prunes;
       return true;
     }
@@ -198,13 +206,14 @@ bool DominanceOracle::SsSd(ObjectProfile& u, ObjectProfile& v) {
   return DistributionsDiffer(u, v);
 }
 
-bool DominanceOracle::InstanceLeq(ObjectProfile& u, int ui, ObjectProfile& v,
-                                  int vj) {
+bool DominanceOracle::InstanceLeq(const double* u_matrix, int u_m, int ui,
+                                  const double* v_matrix, int v_m, int vj) {
   long comparisons = 0;
   bool leq = true;
   for (int qi : QIdx()) {
     ++comparisons;
-    if (u.Dist(qi, ui) > v.Dist(qi, vj) + kEps) {
+    if (u_matrix[static_cast<size_t>(qi) * u_m + ui] >
+        v_matrix[static_cast<size_t>(qi) * v_m + vj] + kEps) {
       leq = false;
       break;
     }
@@ -234,8 +243,10 @@ bool DominanceOracle::FSd(ObjectProfile& u, ObjectProfile& v) {
     return DistributionsDiffer(u, v);
   }
   OSD_TRACE_SPAN(obs::SpanKind::kExactCheck);
+  const std::span<const double> umax = u.MaxQs();
+  const std::span<const double> vmin = v.MinQs();
   for (int qi : QIdx()) {
-    if (u.MaxQ(qi) > v.MinQ(qi) + kEps) return false;
+    if (umax[qi] > vmin[qi] + kEps) return false;
   }
   if (stats_ != nullptr) ++stats_->exact_checks;
   return DistributionsDiffer(u, v);
@@ -321,12 +332,16 @@ DominanceOracle::Tri DominanceOracle::PSdLevel(ObjectProfile& u,
 bool DominanceOracle::PSdExactOrder(ObjectProfile& u, ObjectProfile& v) {
   const int nu = u.num_instances();
   const int nv = v.num_instances();
+  // One matrix materialization branch per profile, hoisted out of the
+  // O(nu * nv * |Q|) pair loops below.
+  const double* um = u.MatrixData();
+  const double* vm = v.MatrixData();
   std::vector<std::pair<int, int>> edges;
   edges.reserve(static_cast<size_t>(nu) * nv / 4);
   for (int j = 0; j < nv; ++j) {
     bool covered = false;
     for (int i = 0; i < nu; ++i) {
-      if (InstanceLeq(u, i, v, j)) {
+      if (InstanceLeq(um, nu, i, vm, nv, j)) {
         edges.emplace_back(i, j);
         covered = true;
       }

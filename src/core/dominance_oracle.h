@@ -81,8 +81,11 @@ class DominanceOracle {
   bool StatRefutesPerQ(ObjectProfile& u, ObjectProfile& v);
 
   /// u_i <=_Q v_j: u_i is at least as close as v_j to every query instance
-  /// in QIdx(). Counts one pair test.
-  bool InstanceLeq(ObjectProfile& u, int ui, ObjectProfile& v, int vj);
+  /// in QIdx(). Counts one pair test. Operates on hoisted matrix base
+  /// pointers (row-major, strides u_m / v_m) so the per-element lazy-init
+  /// branch of ObjectProfile::Dist stays out of the inner loop.
+  bool InstanceLeq(const double* u_matrix, int u_m, int ui,
+                   const double* v_matrix, int v_m, int vj);
 
   /// Level-by-level P-SD over node networks; kUnknown falls to exact.
   Tri PSdLevel(ObjectProfile& u, ObjectProfile& v);

@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/failpoint.h"
 #include "common/memory_budget.h"
+#include "core/profile_scratch.h"
 
 namespace osd {
 
@@ -53,6 +54,11 @@ NncResult NncSearch::Run(
   QueryContext ctx(query, options_.metric);
   DominanceOracle oracle(ctx, options_.filters, &result.stats);
   const RTree& tree = dataset_->global_tree();
+
+  // Scratch arena for profile buffers, installed thread-locally like the
+  // trace and budget scopes. Declared before `members` so the profiles are
+  // destroyed first and can donate their buffers back to the pool.
+  ProfileScratch scratch;
 
   struct Member {
     int object_index;
@@ -280,11 +286,13 @@ NncResult NncSearch::Run(
   if (const memory::QueryBudgetScope* scope = memory::CurrentScope()) {
     result.mem_peak_bytes = scope->peak_bytes();
   }
+  result.mem_scratch_reuse_bytes = scratch.reuse_bytes();
   if (options_.trace != nullptr) {
     options_.trace->SetSummary(
         result.stats, result.objects_examined, result.entries_pruned,
         static_cast<long>(result.candidates.size()),
-        TerminationName(result.termination), result.mem_peak_bytes);
+        TerminationName(result.termination), result.mem_peak_bytes,
+        result.mem_scratch_reuse_bytes);
   }
   return result;
 }

@@ -140,6 +140,10 @@ struct NncResult {
   /// Peak bytes charged against the query's memory budget scope; 0 when no
   /// scope was installed (accounting off).
   long mem_peak_bytes = 0;
+  /// Bytes of profile-buffer allocation avoided by the per-query scratch
+  /// arena (core/profile_scratch.h); the pooled bytes themselves stay
+  /// charged against the memory budget while parked.
+  long mem_scratch_reuse_bytes = 0;
 };
 
 /// NN-candidate search engine over a dataset.

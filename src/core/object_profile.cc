@@ -8,6 +8,8 @@
 #include "common/check.h"
 #include "common/failpoint.h"
 #include "common/memory_budget.h"
+#include "core/profile_scratch.h"
+#include "geom/kernels.h"
 
 namespace osd {
 
@@ -17,7 +19,27 @@ ObjectProfile::ObjectProfile(const UncertainObject& object,
   OSD_CHECK(object.dim() == ctx.query().dim());
 }
 
-ObjectProfile::~ObjectProfile() { memory::Release(charged_bytes_); }
+ObjectProfile::~ObjectProfile() {
+  memory::Release(charged_bytes_);
+  // Donate reusable buffers to the query's scratch arena (Recycle re-charges
+  // their capacity, so the bytes stay budget-visible while parked).
+  RecycleBuffer(std::move(matrix_));
+  RecycleBuffer(std::move(sorted_values_));
+  RecycleBuffer(std::move(sorted_probs_));
+  RecycleBuffer(std::move(min_q_));
+  RecycleBuffer(std::move(mean_q_));
+  RecycleBuffer(std::move(max_q_));
+}
+
+std::vector<double> ObjectProfile::AcquireBuffer(size_t n) {
+  ProfileScratch* scratch = ProfileScratch::Current();
+  return scratch != nullptr ? scratch->Acquire(n) : std::vector<double>{};
+}
+
+void ObjectProfile::RecycleBuffer(std::vector<double>&& buf) noexcept {
+  ProfileScratch* scratch = ProfileScratch::Current();
+  if (scratch != nullptr) scratch->Recycle(std::move(buf));
+}
 
 void ObjectProfile::ChargeView(long bytes, const char* what_label) {
   // Charge-before-allocate: a breach throws here with every lazy flag
@@ -31,17 +53,37 @@ void ObjectProfile::EnsureMatrix() {
   if (!matrix_.empty()) return;
   const int nq = ctx_->num_instances();
   const int m = num_instances();
+  const size_t total = static_cast<size_t>(nq) * m;
   OSD_FAILPOINT("mem.profile.matrix");
-  ChargeView(static_cast<long>(nq) * m * static_cast<long>(sizeof(double)),
-             "profile.matrix");
-  matrix_.resize(static_cast<size_t>(nq) * m);
-  for (int qi = 0; qi < nq; ++qi) {
-    const Point& q = ctx_->points()[qi];
-    for (int ui = 0; ui < m; ++ui) {
-      matrix_[static_cast<size_t>(qi) * m + ui] =
-          PointDistance(q, object_->Instance(ui), ctx_->metric());
+  std::vector<double> buf = AcquireBuffer(total);
+  try {
+    ChargeView(static_cast<long>(total) * static_cast<long>(sizeof(double)),
+               "profile.matrix");
+  } catch (...) {
+    RecycleBuffer(std::move(buf));
+    throw;
+  }
+  buf.resize(total);
+  // The matrix stays row-major with stride m (no padding): the flattened
+  // pair-index tie-break in EnsureSortedAll depends on that layout.
+  if (kernels::ScalarFallback()) {
+    for (int qi = 0; qi < nq; ++qi) {
+      const Point& q = ctx_->points()[qi];
+      for (int ui = 0; ui < m; ++ui) {
+        buf[static_cast<size_t>(qi) * m + ui] =
+            PointDistance(q, object_->Instance(ui), ctx_->metric());
+      }
+    }
+  } else {
+    const kernels::KernelSet& ks = ctx_->kernels();
+    const double* block = object_->soa_coords();
+    const size_t stride = object_->soa_stride();
+    for (int qi = 0; qi < nq; ++qi) {
+      ks.batch_distance(ctx_->points()[qi].data(), block, stride, m,
+                        buf.data() + static_cast<size_t>(qi) * m);
     }
   }
+  matrix_ = std::move(buf);
   if (stats_ != nullptr) {
     stats_->dist_evals += static_cast<long>(nq) * m;
   }
@@ -49,27 +91,73 @@ void ObjectProfile::EnsureMatrix() {
 
 void ObjectProfile::EnsureStats() {
   if (have_stats_) return;
-  EnsureMatrix();
   const int nq = ctx_->num_instances();
   const int m = num_instances();
-  ChargeView(3L * nq * static_cast<long>(sizeof(double)), "profile.stats");
-  min_q_.assign(nq, std::numeric_limits<double>::infinity());
-  max_q_.assign(nq, 0.0);
-  mean_q_.assign(nq, 0.0);
+  std::vector<double> mn = AcquireBuffer(nq);
+  std::vector<double> mean = AcquireBuffer(nq);
+  std::vector<double> mx = AcquireBuffer(nq);
+  try {
+    ChargeView(3L * nq * static_cast<long>(sizeof(double)), "profile.stats");
+  } catch (...) {
+    RecycleBuffer(std::move(mn));
+    RecycleBuffer(std::move(mean));
+    RecycleBuffer(std::move(mx));
+    throw;
+  }
+  mn.assign(nq, std::numeric_limits<double>::infinity());
+  mx.assign(nq, 0.0);
+  mean.assign(nq, 0.0);
   min_all_ = std::numeric_limits<double>::infinity();
   max_all_ = 0.0;
   mean_all_ = 0.0;
-  for (int qi = 0; qi < nq; ++qi) {
-    for (int ui = 0; ui < m; ++ui) {
-      const double d = matrix_[static_cast<size_t>(qi) * m + ui];
-      min_q_[qi] = std::min(min_q_[qi], d);
-      max_q_[qi] = std::max(max_q_[qi], d);
-      mean_q_[qi] += d * object_->Prob(ui);
+  if (!matrix_.empty()) {
+    // The matrix already exists — fold over it rather than recomputing
+    // distances (and without re-counting dist_evals).
+    for (int qi = 0; qi < nq; ++qi) {
+      for (int ui = 0; ui < m; ++ui) {
+        const double d = matrix_[static_cast<size_t>(qi) * m + ui];
+        mn[qi] = std::min(mn[qi], d);
+        mx[qi] = std::max(mx[qi], d);
+        mean[qi] += d * object_->Prob(ui);
+      }
     }
-    min_all_ = std::min(min_all_, min_q_[qi]);
-    max_all_ = std::max(max_all_, max_q_[qi]);
-    mean_all_ += mean_q_[qi] * ctx_->probs()[qi];
+  } else if (kernels::ScalarFallback()) {
+    // Statistic-only profile, scalar path: same fold with on-the-fly
+    // distances — still no matrix materialized or charged.
+    for (int qi = 0; qi < nq; ++qi) {
+      const Point& q = ctx_->points()[qi];
+      for (int ui = 0; ui < m; ++ui) {
+        const double d = PointDistance(q, object_->Instance(ui),
+                                       ctx_->metric());
+        mn[qi] = std::min(mn[qi], d);
+        mx[qi] = std::max(mx[qi], d);
+        mean[qi] += d * object_->Prob(ui);
+      }
+    }
+    if (stats_ != nullptr) stats_->dist_evals += static_cast<long>(nq) * m;
+  } else {
+    // Statistic-only profile: fused one-pass kernel per query instance.
+    // Distances and the probability-weighted mean fold in exactly the
+    // (qi, ui) order of the matrix scan above, so results are bit-identical
+    // — but O(nq + m) memory instead of O(nq * m).
+    const kernels::KernelSet& ks = ctx_->kernels();
+    const double* block = object_->soa_coords();
+    const size_t stride = object_->soa_stride();
+    const double* w = object_->probs().data();
+    for (int qi = 0; qi < nq; ++qi) {
+      ks.fused_row_stats(ctx_->points()[qi].data(), block, stride, m, w,
+                         &mn[qi], &mean[qi], &mx[qi]);
+    }
+    if (stats_ != nullptr) stats_->dist_evals += static_cast<long>(nq) * m;
   }
+  for (int qi = 0; qi < nq; ++qi) {
+    min_all_ = std::min(min_all_, mn[qi]);
+    max_all_ = std::max(max_all_, mx[qi]);
+    mean_all_ += mean[qi] * ctx_->probs()[qi];
+  }
+  min_q_ = std::move(mn);
+  mean_q_ = std::move(mean);
+  max_q_ = std::move(mx);
   have_stats_ = true;
 }
 
@@ -80,8 +168,16 @@ void ObjectProfile::EnsureSortedAll() {
   const int m = num_instances();
   const size_t total = static_cast<size_t>(nq) * m;
   OSD_FAILPOINT("mem.profile.sorted");
-  ChargeView(2L * static_cast<long>(total) * sizeof(double),
-             "profile.sorted_all");
+  std::vector<double> values = AcquireBuffer(total);
+  std::vector<double> probs = AcquireBuffer(total);
+  try {
+    ChargeView(2L * static_cast<long>(total) * sizeof(double),
+               "profile.sorted_all");
+  } catch (...) {
+    RecycleBuffer(std::move(values));
+    RecycleBuffer(std::move(probs));
+    throw;
+  }
   // The order scratch is transient: charged for the duration of the sort,
   // released when this function returns.
   memory::ScopedCharge order_mem("profile.sort_scratch");
@@ -95,15 +191,17 @@ void ObjectProfile::EnsureSortedAll() {
   std::sort(order.begin(), order.end(), [&](int a, int b) {
     return matrix_[a] != matrix_[b] ? matrix_[a] < matrix_[b] : a < b;
   });
-  sorted_values_.resize(total);
-  sorted_probs_.resize(total);
+  values.resize(total);
+  probs.resize(total);
   for (size_t k = 0; k < total; ++k) {
     const int idx = order[k];
     const int qi = idx / m;
     const int ui = idx % m;
-    sorted_values_[k] = matrix_[idx];
-    sorted_probs_[k] = ctx_->probs()[qi] * object_->Prob(ui);
+    values[k] = matrix_[idx];
+    probs[k] = ctx_->probs()[qi] * object_->Prob(ui);
   }
+  sorted_values_ = std::move(values);
+  sorted_probs_ = std::move(probs);
 }
 
 void ObjectProfile::EnsureSortedPerQ() {

@@ -9,6 +9,14 @@
 // filters frequently decide at R-tree node granularity without ever
 // touching instances, which is exactly the effect the Fig. 16 ablation
 // measures.
+//
+// The views are computed by the batched distance kernels dispatched on the
+// QueryContext (geom/kernels.h) over the object's padded SoA coordinate
+// block, and the statistics use the fused one-pass kernel: a profile that
+// only ever answers statistic pruning never materializes — or charges the
+// memory budget for — the full matrix. Buffers are drawn from / returned
+// to the per-query ProfileScratch arena when one is installed
+// (core/profile_scratch.h).
 
 #ifndef OSD_CORE_OBJECT_PROFILE_H_
 #define OSD_CORE_OBJECT_PROFILE_H_
@@ -58,6 +66,14 @@ class ObjectProfile {
             static_cast<size_t>(num_instances())};
   }
 
+  /// Base pointer of the |Q| x m row-major matrix (materializes it): row
+  /// qi starts at MatrixData() + qi * num_instances(). Lets checker inner
+  /// loops hoist the lazy-init branch out of per-element Dist() calls.
+  const double* MatrixData() {
+    EnsureMatrix();
+    return matrix_.data();
+  }
+
   // Overall statistics of U_Q (Theorem 11 pruning).
   double MinAll() {
     EnsureStats();
@@ -84,6 +100,21 @@ class ObjectProfile {
   double MaxQ(int qi) {
     EnsureStats();
     return max_q_[qi];
+  }
+
+  // Whole per-q statistic vectors, indexed by qi (one EnsureStats branch
+  // for a loop over many query instances).
+  std::span<const double> MinQs() {
+    EnsureStats();
+    return min_q_;
+  }
+  std::span<const double> MeanQs() {
+    EnsureStats();
+    return mean_q_;
+  }
+  std::span<const double> MaxQs() {
+    EnsureStats();
+    return max_q_;
   }
 
   /// Sorted all-pairs distances (values ascending, parallel probabilities).
@@ -115,6 +146,13 @@ class ObjectProfile {
   void EnsureStats();
   void EnsureSortedAll();
   void EnsureSortedPerQ();
+
+  /// Pulls a buffer for n doubles from the installed ProfileScratch arena
+  /// (empty vector if none / no fit). The caller charges its view bytes
+  /// before resizing, preserving charge-before-allocate.
+  static std::vector<double> AcquireBuffer(size_t n);
+  /// Hands a buffer back to the arena (no-op without one). Never throws.
+  static void RecycleBuffer(std::vector<double>&& buf) noexcept;
 
   /// Charges `bytes` against the active budget scope (throws
   /// MemoryExceeded on breach, before any state changes) and remembers it

@@ -1,0 +1,67 @@
+#include "core/profile_scratch.h"
+
+#include <new>
+#include <utility>
+
+#include "common/memory_budget.h"
+
+namespace osd {
+
+namespace {
+
+ProfileScratch*& CurrentSlot() {
+  thread_local ProfileScratch* current = nullptr;
+  return current;
+}
+
+}  // namespace
+
+ProfileScratch::ProfileScratch() : prev_(CurrentSlot()) {
+  CurrentSlot() = this;
+}
+
+ProfileScratch::~ProfileScratch() {
+  CurrentSlot() = prev_;
+  memory::Release(pooled_bytes_);
+}
+
+ProfileScratch* ProfileScratch::Current() { return CurrentSlot(); }
+
+std::vector<double> ProfileScratch::Acquire(size_t n) {
+  // Best fit: the smallest pooled buffer that covers the request, so big
+  // matrix buffers are not burned on tiny stat vectors.
+  size_t best = pool_.size();
+  for (size_t i = 0; i < pool_.size(); ++i) {
+    if (pool_[i].capacity() < n) continue;
+    if (best == pool_.size() || pool_[i].capacity() < pool_[best].capacity()) {
+      best = i;
+    }
+  }
+  if (best == pool_.size()) return {};
+  std::vector<double> buf = std::move(pool_[best]);
+  pool_[best] = std::move(pool_.back());
+  pool_.pop_back();
+  const long cap_bytes =
+      static_cast<long>(buf.capacity()) * static_cast<long>(sizeof(double));
+  pooled_bytes_ -= cap_bytes;
+  memory::Release(cap_bytes);
+  reuse_bytes_ += static_cast<long>(n) * static_cast<long>(sizeof(double));
+  return buf;
+}
+
+void ProfileScratch::Recycle(std::vector<double>&& buf) noexcept {
+  if (buf.capacity() == 0) return;
+  if (pool_.size() >= kMaxBuffers) return;  // drop: buf frees on scope exit
+  const long cap_bytes =
+      static_cast<long>(buf.capacity()) * static_cast<long>(sizeof(double));
+  try {
+    memory::Charge(cap_bytes, "profile.scratch");
+    pool_.push_back(std::move(buf));
+    pooled_bytes_ += cap_bytes;
+  } catch (...) {
+    // Budget breach (or pool vector growth failure): just let the buffer
+    // die — correctness never depends on the pool.
+  }
+}
+
+}  // namespace osd

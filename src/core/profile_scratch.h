@@ -1,0 +1,78 @@
+// Per-query scratch arena for ObjectProfile buffers.
+//
+// A single query execution constructs hundreds of ObjectProfiles, and each
+// used to allocate its matrix / sorted / statistic vectors from the global
+// heap and free them at destruction. The arena recycles those buffers
+// across profiles of the same query: a destroyed profile donates its
+// vectors back to the pool, and the next profile adopts one instead of
+// allocating.
+//
+// Accounting: pooled (idle) buffers stay charged against the active memory
+// budget scope under "profile.scratch" — recycling never hides bytes from
+// the budget. Acquire() releases the pool's charge for the adopted buffer,
+// after which the profile immediately re-charges its view bytes through
+// the usual ChargeView path; Recycle() re-charges the donated capacity and,
+// if that charge breaches the budget (or the pool is full), simply frees
+// the buffer instead — Recycle never throws, because it runs in
+// destructors.
+//
+// Ownership/threading contract mirrors ObjectProfile's: an arena belongs
+// to exactly one query execution. NncSearch::Run installs one thread-
+// locally (RAII, like obs::Trace and memory::QueryBudgetScope), and every
+// profile of that run uses it via Current(). Never share an arena between
+// threads or cache it across queries.
+
+#ifndef OSD_CORE_PROFILE_SCRATCH_H_
+#define OSD_CORE_PROFILE_SCRATCH_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace osd {
+
+class ProfileScratch {
+ public:
+  /// Installs this arena thread-locally for the lifetime of the object
+  /// (saving and restoring any outer arena, so nested Run calls work).
+  ProfileScratch();
+  /// Uninstalls and releases the budget charge held for pooled buffers.
+  ~ProfileScratch();
+  ProfileScratch(const ProfileScratch&) = delete;
+  ProfileScratch& operator=(const ProfileScratch&) = delete;
+
+  /// The arena installed on this thread, or nullptr outside a Run.
+  static ProfileScratch* Current();
+
+  /// A buffer with capacity for at least `n` doubles if the pool has one
+  /// (its pooled-byte charge is released and `n * sizeof(double)` is added
+  /// to reuse_bytes()); otherwise a fresh empty vector. The returned
+  /// buffer's size is unspecified — callers charge their view bytes first
+  /// and then resize, preserving charge-before-allocate.
+  std::vector<double> Acquire(size_t n);
+
+  /// Donates a buffer to the pool, charging its capacity bytes to the
+  /// active budget scope. If the pool is full or the charge breaches the
+  /// budget, the buffer is freed instead. Never throws (runs in dtors).
+  void Recycle(std::vector<double>&& buf) noexcept;
+
+  /// Total bytes of allocation avoided by pool hits so far.
+  long reuse_bytes() const { return reuse_bytes_; }
+
+  /// Logical bytes currently parked in the pool (charged to the budget).
+  long pooled_bytes() const { return pooled_bytes_; }
+
+ private:
+  // Small fixed pool: profile buffers within one query cluster around a
+  // few sizes (nq*m matrices, m-sized rows, nq-sized stat vectors), so a
+  // handful of slots capture nearly all the reuse.
+  static constexpr size_t kMaxBuffers = 16;
+
+  std::vector<std::vector<double>> pool_;
+  long pooled_bytes_ = 0;
+  long reuse_bytes_ = 0;
+  ProfileScratch* prev_;  // outer arena restored at destruction
+};
+
+}  // namespace osd
+
+#endif  // OSD_CORE_PROFILE_SCRATCH_H_

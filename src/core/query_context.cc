@@ -8,7 +8,10 @@
 namespace osd {
 
 QueryContext::QueryContext(const UncertainObject& query, Metric metric)
-    : query_(&query), metric_(metric), mbr_(query.mbr()) {
+    : query_(&query),
+      metric_(metric),
+      kernels_(&kernels::Get(query.dim(), metric)),
+      mbr_(query.mbr()) {
   const int m = query.num_instances();
   points_.reserve(m);
   probs_.reserve(m);

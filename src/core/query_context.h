@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "geom/kernels.h"
 #include "geom/mbr.h"
 #include "geom/metric.h"
 #include "geom/point.h"
@@ -41,9 +42,14 @@ class QueryContext {
     return metric_ == Metric::kL2 ? hull_ : all_indices_;
   }
 
+  /// Distance kernels for (dim, metric), dispatched once at construction so
+  /// the per-profile hot loops pay no dispatch cost (geom/kernels.h).
+  const kernels::KernelSet& kernels() const { return *kernels_; }
+
  private:
   const UncertainObject* query_;
   Metric metric_;
+  const kernels::KernelSet* kernels_;
   std::vector<Point> points_;
   std::vector<double> probs_;
   std::vector<int> hull_;

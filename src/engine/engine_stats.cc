@@ -130,9 +130,11 @@ std::string EngineStats::ToJson() const {
   Append(&out,
          ",\"memory\":{\"breaches\":%ld,\"admission_rejected\":%ld,"
          "\"bad_allocs\":%ld,\"current_bytes\":%ld,\"peak_bytes\":%ld,"
-         "\"engine_cap_bytes\":%ld,\"per_query_cap_bytes\":%ld}",
+         "\"engine_cap_bytes\":%ld,\"per_query_cap_bytes\":%ld,"
+         "\"scratch_reuse_bytes\":%ld}",
          mem_breaches, mem_admission_rejected, bad_allocs, mem_current_bytes,
-         mem_peak_bytes, mem_engine_cap_bytes, mem_per_query_cap_bytes);
+         mem_peak_bytes, mem_engine_cap_bytes, mem_per_query_cap_bytes,
+         mem_scratch_reuse_bytes);
   out += ",\"operators\":{";
   bool first = true;
   for (int i = 0; i < static_cast<int>(per_operator.size()); ++i) {

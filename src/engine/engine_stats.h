@@ -114,6 +114,9 @@ struct EngineStats {
   long mem_peak_bytes = 0;     ///< engine-wide peak charged bytes
   long mem_engine_cap_bytes = 0;     ///< configured cap; 0 = unlimited
   long mem_per_query_cap_bytes = 0;  ///< configured per-query cap; 0 = none
+  /// Bytes of profile-buffer allocation avoided by the per-query scratch
+  /// arenas, summed across completed queries.
+  long mem_scratch_reuse_bytes = 0;
 
   /// Indexed by static_cast<int>(Operator).
   std::array<OperatorStats, 5> per_operator{};

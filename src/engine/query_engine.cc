@@ -120,6 +120,9 @@ QueryEngine::QueryEngine(Dataset dataset, EngineOptions options)
   hot_.frontier_objects = &registry_.GetCounter(
       "osd_frontier_objects_total",
       "Frontier objects returned unrefined in degraded answers");
+  hot_.mem_scratch_reuse = &registry_.GetCounter(
+      "osd_mem_scratch_reuse_bytes_total",
+      "Profile-buffer bytes recycled by the per-query scratch arena");
   hot_.threads =
       &registry_.GetGauge("osd_engine_threads", "Worker thread count");
   hot_.threads->Set(pool_.num_threads());
@@ -376,6 +379,7 @@ void QueryEngine::Complete(const std::shared_ptr<QueryTicket>& ticket,
       objects_examined_ += result.objects_examined;
       entries_pruned_ += result.entries_pruned;
       frontier_objects_ += result.frontier_objects;
+      mem_scratch_reuse_bytes_ += result.mem_scratch_reuse_bytes;
       OperatorStats& per_op = per_operator_[static_cast<int>(op)];
       ++per_op.queries;
       per_op.candidates += static_cast<long>(result.candidates.size());
@@ -398,6 +402,7 @@ void QueryEngine::Complete(const std::shared_ptr<QueryTicket>& ticket,
     hot_.objects_examined->Increment(result.objects_examined);
     hot_.entries_pruned->Increment(result.entries_pruned);
     hot_.frontier_objects->Increment(result.frontier_objects);
+    hot_.mem_scratch_reuse->Increment(result.mem_scratch_reuse_bytes);
   }
   if (slow_log_.ShouldRecord(latency)) {
     char buf[160];
@@ -453,6 +458,7 @@ EngineStats QueryEngine::Snapshot() const {
   s.entries_pruned = entries_pruned_;
   s.frontier_objects = frontier_objects_;
   s.mem_breaches = mem_breaches_;
+  s.mem_scratch_reuse_bytes = mem_scratch_reuse_bytes_;
   s.mem_admission_rejected = mem_admission_rejected_;
   s.bad_allocs = bad_allocs_;
   s.mem_current_bytes = mem_budget_.current_bytes();

@@ -207,6 +207,7 @@ class QueryEngine {
     obs::Counter* objects_examined = nullptr;
     obs::Counter* entries_pruned = nullptr;
     obs::Counter* frontier_objects = nullptr;
+    obs::Counter* mem_scratch_reuse = nullptr;
     obs::Gauge* threads = nullptr;
     obs::Counter* mem_breaches = nullptr;
     obs::Counter* mem_admission_rejected = nullptr;
@@ -226,6 +227,7 @@ class QueryEngine {
   long rejected_ = 0;
   long retries_ = 0;
   long frontier_objects_ = 0;
+  long mem_scratch_reuse_bytes_ = 0;
   long mem_breaches_ = 0;
   long mem_admission_rejected_ = 0;
   long bad_allocs_ = 0;

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "geom/kernels.h"
 
 namespace osd {
 
@@ -67,6 +68,12 @@ double PointDistance(const Point& a, const Point& b, Metric metric) {
 }
 
 double MbrMinDist(const Mbr& box, const Point& q, Metric metric) {
+  // Dimension-specialized kernel (bit-identical per-axis terms, same
+  // accumulation order as the scalar loops below).
+  if (!kernels::ScalarFallback()) {
+    return kernels::Get(box.dim(), metric)
+        .box_min(q.data(), box.lo().data(), box.hi().data());
+  }
   switch (metric) {
     case Metric::kL2:
       return std::sqrt(box.MinSquaredDist(q));
@@ -82,6 +89,10 @@ double MbrMinDist(const Mbr& box, const Point& q, Metric metric) {
 }
 
 double MbrMaxDist(const Mbr& box, const Point& q, Metric metric) {
+  if (!kernels::ScalarFallback()) {
+    return kernels::Get(box.dim(), metric)
+        .box_max(q.data(), box.lo().data(), box.hi().data());
+  }
   switch (metric) {
     case Metric::kL2:
       return std::sqrt(box.MaxSquaredDist(q));

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <utility>
 
 namespace osd {
 
@@ -138,13 +139,17 @@ double RTree::MinDist(const Point& q, Metric metric) const {
         best = std::min(best, MbrMinDist(entries_[e].box, q, metric));
       }
     } else {
-      // Push farther children first so nearer ones are popped first.
-      std::vector<int32_t> kids = node.children;
-      std::sort(kids.begin(), kids.end(), [&](int32_t a, int32_t b) {
-        return MbrMinDist(nodes_[a].box, q, metric) >
-               MbrMinDist(nodes_[b].box, q, metric);
-      });
-      for (int32_t c : kids) stack.push_back(c);
+      // Push farther children first so nearer ones are popped first. Each
+      // child's distance is computed once up front — the comparator used to
+      // recompute MbrMinDist on every comparison inside the sort.
+      std::vector<std::pair<double, int32_t>> kids;
+      kids.reserve(node.children.size());
+      for (int32_t c : node.children) {
+        kids.emplace_back(MbrMinDist(nodes_[c].box, q, metric), c);
+      }
+      std::sort(kids.begin(), kids.end(),
+                [](const auto& a, const auto& b) { return a > b; });
+      for (const auto& [dist, c] : kids) stack.push_back(c);
     }
   }
   return best;
@@ -163,12 +168,15 @@ double RTree::MaxDist(const Point& q, Metric metric) const {
         best = std::max(best, MbrMaxDist(entries_[e].box, q, metric));
       }
     } else {
-      std::vector<int32_t> kids = node.children;
-      std::sort(kids.begin(), kids.end(), [&](int32_t a, int32_t b) {
-        return MbrMaxDist(nodes_[a].box, q, metric) <
-               MbrMaxDist(nodes_[b].box, q, metric);
-      });
-      for (int32_t c : kids) stack.push_back(c);
+      // Same hoist as MinDist: one distance per child, not one per
+      // comparison.
+      std::vector<std::pair<double, int32_t>> kids;
+      kids.reserve(node.children.size());
+      for (int32_t c : node.children) {
+        kids.emplace_back(MbrMaxDist(nodes_[c].box, q, metric), c);
+      }
+      std::sort(kids.begin(), kids.end());
+      for (const auto& [dist, c] : kids) stack.push_back(c);
     }
   }
   return best;

@@ -23,6 +23,22 @@ UncertainObject::UncertainObject(int id, int dim, std::vector<double> coords,
   }
   OSD_CHECK(std::abs(sum - 1.0) < 1e-6);
   for (int i = 0; i < num_instances(); ++i) mbr_.Expand(Instance(i));
+
+  // Column-major (SoA) coordinate block for the batched kernels: component
+  // k of instance j at soa_[k * stride + j], columns padded to a kBlockPad
+  // multiple with the last instance replicated so padded lanes stay finite.
+  const int m = num_instances();
+  soa_stride_ = kernels::PaddedCount(m);
+  soa_.resize(static_cast<size_t>(dim_) * soa_stride_);
+  for (int k = 0; k < dim_; ++k) {
+    double* col = soa_.data() + static_cast<size_t>(k) * soa_stride_;
+    for (int j = 0; j < m; ++j) {
+      col[j] = coords_[static_cast<size_t>(j) * dim_ + k];
+    }
+    for (size_t j = m; j < soa_stride_; ++j) {
+      col[j] = col[m - 1];
+    }
+  }
 }
 
 UncertainObject UncertainObject::FromWeighted(int id, int dim,

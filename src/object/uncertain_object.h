@@ -9,7 +9,10 @@
 // Instances are stored as a flat coordinate array (m x d doubles) so large
 // datasets stay compact; the per-object local R-tree (fan-out 4 in the
 // paper's experiments) is built on demand because the NNC search touches
-// only a small fraction of objects at instance granularity.
+// only a small fraction of objects at instance granularity. Construction
+// additionally lays the coordinates out as a padded column-major (SoA)
+// block so the batched distance kernels (geom/kernels.h) stream them with
+// unit-stride vector loads.
 //
 // Thread-safety contract: after construction an UncertainObject is
 // logically immutable, and every const member — including the lazily built
@@ -27,6 +30,7 @@
 #include <mutex>
 #include <vector>
 
+#include "geom/kernels.h"
 #include "geom/mbr.h"
 #include "geom/point.h"
 #include "index/rtree.h"
@@ -48,6 +52,8 @@ class UncertainObject {
         dim_(other.dim_),
         coords_(other.coords_),
         probs_(other.probs_),
+        soa_(other.soa_),
+        soa_stride_(other.soa_stride_),
         mbr_(other.mbr_) {}
   UncertainObject& operator=(const UncertainObject& other) {
     if (this != &other) {
@@ -55,6 +61,8 @@ class UncertainObject {
       dim_ = other.dim_;
       coords_ = other.coords_;
       probs_ = other.probs_;
+      soa_ = other.soa_;
+      soa_stride_ = other.soa_stride_;
       mbr_ = other.mbr_;
       lazy_tree_ = std::make_unique<LazyLocalTree>();
     }
@@ -97,6 +105,13 @@ class UncertainObject {
   const std::vector<double>& probs() const { return probs_; }
   const Mbr& mbr() const { return mbr_; }
 
+  /// Kernel-friendly coordinate block (geom/kernels.h): component k of
+  /// instance j lives at soa_coords()[k * soa_stride() + j]. Every column
+  /// is padded to a multiple of kernels::kBlockPad doubles; padding lanes
+  /// replicate the last instance so out-of-range lanes read finite values.
+  const double* soa_coords() const { return soa_.data(); }
+  size_t soa_stride() const { return soa_stride_; }
+
   /// Returns the instance R-tree, building it on first use. Safe to call
   /// concurrently: at most one build runs at a time (serialized on a
   /// mutex) and every caller observes the same fully constructed tree. A
@@ -129,6 +144,8 @@ class UncertainObject {
   int dim_ = 0;
   std::vector<double> coords_;  // m * dim, row-major
   std::vector<double> probs_;   // m
+  std::vector<double> soa_;     // dim * soa_stride_, column-major, padded
+  size_t soa_stride_ = 0;
   Mbr mbr_;
   mutable std::unique_ptr<LazyLocalTree> lazy_tree_ =
       std::make_unique<LazyLocalTree>();

@@ -23,6 +23,8 @@
 #include "common/failpoint.h"
 #include "common/memory_budget.h"
 #include "core/nnc_search.h"
+#include "core/object_profile.h"
+#include "core/query_context.h"
 #include "datagen/generators.h"
 #include "datagen/workload.h"
 #include "engine/query_engine.h"
@@ -232,6 +234,46 @@ TEST_F(MemBudgetTest, OverReleaseClampsAtZero) {
   EXPECT_THROW(memory::Charge(1500, "b"), MemoryExceeded);
 }
 
+TEST_F(MemBudgetTest, StatisticOnlyProfileNeverChargesMatrix) {
+  const Dataset dataset = SmallDataset();
+  const UncertainObject& obj = dataset.object(0);
+  QueryContext ctx(dataset.object(1));
+  const int nq = ctx.num_instances();
+  const long stat_bytes = 3L * nq * static_cast<long>(sizeof(double));
+  memory::QueryBudgetScope scope(64L << 20, nullptr);
+  {
+    ObjectProfile profile(obj, ctx, nullptr);
+    (void)profile.MinAll();
+    (void)profile.MaxQ(0);
+    // The fused statistic pass must charge only the three per-q vectors —
+    // never the |Q| x m matrix.
+    EXPECT_EQ(scope.charged_bytes(), stat_bytes);
+    (void)profile.Dist(0, 0);
+    EXPECT_EQ(scope.charged_bytes(),
+              stat_bytes + static_cast<long>(nq) * obj.num_instances() *
+                               static_cast<long>(sizeof(double)))
+        << "the matrix is charged only once it is actually materialized";
+  }
+  EXPECT_EQ(scope.charged_bytes(), 0);
+}
+
+TEST_F(MemBudgetTest, ScratchArenaReuseIsAccountedAndReported) {
+  const Dataset dataset = SmallDataset();
+  const QueryWorkloadEntry entry = OneQuery(dataset);
+  NncOptions options;
+  options.op = Operator::kPSd;  // matrix-heavy: plenty of profile churn
+  options.exclude_id = entry.seeded_from;
+  NncResult result;
+  {
+    memory::QueryBudgetScope scope(64L << 20, nullptr);
+    result = NncSearch(dataset, options).Run(entry.query);
+    EXPECT_EQ(scope.charged_bytes(), 0)
+        << "pooled scratch bytes must be released when the arena dies";
+  }
+  EXPECT_GT(result.mem_scratch_reuse_bytes, 0)
+      << "recycled profile buffers should be visible in the result";
+}
+
 // --- Search-layer breach behaviour ---------------------------------------
 
 TEST_F(MemBudgetTest, BudgetBreachYieldsSupersetForEveryOperator) {
@@ -246,18 +288,27 @@ TEST_F(MemBudgetTest, BudgetBreachYieldsSupersetForEveryOperator) {
     const NncResult exact = NncSearch(dataset, options).Run(entry.query);
     ASSERT_EQ(exact.termination, NncTermination::kComplete);
 
-    // A cap far below the operator's working set: the traversal breaches
-    // mid-flight and must drain to a certified superset.
+    // Calibrate a cap below the operator's measured working set (the fused
+    // statistic pass means some operators now fit in a few hundred bytes,
+    // so no fixed cap breaches all four): the traversal must breach
+    // mid-flight and drain to a certified superset.
+    long peak = 0;
+    {
+      memory::QueryBudgetScope scope(64L << 20, nullptr);
+      peak = NncSearch(dataset, options).Run(entry.query).mem_peak_bytes;
+    }
+    ASSERT_GT(peak, 0);
+    const long cap = peak / 2;
     options.degraded_superset = true;
     NncResult degraded;
     {
-      memory::QueryBudgetScope scope(2048, nullptr);
+      memory::QueryBudgetScope scope(cap, nullptr);
       degraded = NncSearch(dataset, options).Run(entry.query);
     }
     EXPECT_EQ(degraded.termination, NncTermination::kMemoryExceeded);
     ExpectCertifiedSuperset(degraded, exact.candidates);
     EXPECT_GT(degraded.mem_peak_bytes, 0);
-    EXPECT_LE(degraded.mem_peak_bytes, 2048)
+    EXPECT_LE(degraded.mem_peak_bytes, cap)
         << "nothing may be charged past the cap";
     // The excluded query object must not ride in via the frontier drain.
     EXPECT_EQ(std::count(degraded.candidates.begin(),
@@ -447,12 +498,15 @@ TEST_F(MemBudgetTest, InjectedBadAllocIsContainedAtTheWorkerBoundary) {
     serial.push_back(NncSearch(dataset, options).Run(e.query));
   }
 
-  // One bad_alloc somewhere in the concurrent batch (the charge site fires
-  // only under an installed scope, which the per-query budget provides).
-  // Exactly one query dies with a clean error; which one is scheduling-
-  // dependent, but every surviving query must be bit-identical to serial,
-  // and the pool must survive to run more queries.
-  ASSERT_TRUE(failpoint::Configure("mem.charge=1xthrow_bad_alloc@40"));
+  // One bad_alloc somewhere in the concurrent batch, injected at the
+  // frontier-heap charge inside the traversal — a site whose exception
+  // must reach the worker boundary (the generic mem.charge site is no
+  // longer suitable: ProfileScratch::Recycle charges through it and is
+  // contractually allowed to absorb the failure). Exactly one query dies
+  // with a clean error; which one is scheduling-dependent, but every
+  // surviving query must be bit-identical to serial, and the pool must
+  // survive to run more queries.
+  ASSERT_TRUE(failpoint::Configure("mem.nnc.heap=1xthrow_bad_alloc@10"));
   QueryEngine engine(std::move(dataset),
                      {.num_threads = 4, .per_query_mem_bytes = 64L << 20});
   std::vector<QuerySpec> specs;
