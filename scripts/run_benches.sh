@@ -9,12 +9,19 @@
 # OSD_SCALAR_KERNELS=1 — so the comparison isolates the kernel substrate
 # from everything else.
 #
+# The service tier gets its own pass: server_throughput pushes queries
+# through a real OsdServer on loopback and writes BENCH_server.json
+# (QPS, latency percentiles, time-to-first-candidate per concurrency).
+#
 # Usage: scripts/run_benches.sh [build-dir]   (default: build-bench)
 # Env:   OSD_BENCH_MIN_TIME    google-benchmark min seconds/case (default 0.1)
 #        OSD_BENCH_FIG12_REPS  fig12 repetitions per mode (default 3); the
 #                              JSON records the per-cell minimum, which is
 #                              the noise-robust estimator for end-to-end
 #                              runs on a shared machine
+#        OSD_BENCH_SERVER_QUERIES  queries per server_throughput round
+#                              (default 128)
+#        OSD_BENCH_SERVER_CLIENTS  client concurrencies (default 1,2,4)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,7 +34,14 @@ trap 'rm -rf "$TMP"' EXIT
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target micro_dominance micro_substrates fig12_time_datasets
+  --target micro_dominance micro_substrates fig12_time_datasets \
+           server_throughput
+
+echo "== server_throughput (service tier -> BENCH_server.json) =="
+"$BUILD_DIR/bench/server_throughput" \
+  --queries "${OSD_BENCH_SERVER_QUERIES:-128}" \
+  --clients "${OSD_BENCH_SERVER_CLIENTS:-1,2,4}" \
+  --out BENCH_server.json
 
 echo "== micro_dominance (kernel + scalar captures) =="
 "$BUILD_DIR/bench/micro_dominance" \

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the service tier: starts a real osd_server on an
+# ephemeral loopback port, drives it with concurrent osd_cli query
+# clients (a plain query, a mid-flight cancel, a deadline-degraded run),
+# then SIGTERMs the server mid-flight and asserts a clean drain — every
+# in-flight ticket finished, summary printed, exit code 0.
+#
+# Usage: scripts/server_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+SERVER="$BUILD_DIR/tools/osd_server"
+CLI="$BUILD_DIR/tools/osd_cli"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target osd_server osd_cli
+
+TMP="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [[ -n "$SERVER_PID" ]] && kill -9 "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+"$SERVER" --gen-data 1000 --gen-dim 2 --port 0 --threads 2 \
+  >"$TMP/server.out" 2>"$TMP/server.err" &
+SERVER_PID=$!
+
+# The server prints one machine-readable line once the listener is live.
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/^listening on [^:]*:\([0-9]*\)$/\1/p' "$TMP/server.out")"
+  [[ -n "$PORT" ]] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || {
+    echo "FAIL: server died during startup"; cat "$TMP/server.err"; exit 1; }
+  sleep 0.1
+done
+[[ -n "$PORT" ]] || { echo "FAIL: no listening line"; exit 1; }
+echo "server up on port $PORT"
+
+# Three concurrent clients: a plain streamed query, a mid-flight cancel,
+# and a tight deadline with --accept-degraded.
+"$CLI" query --port "$PORT" --query-id 5 --op psd \
+  >"$TMP/plain.out" 2>&1 &
+PLAIN=$!
+"$CLI" query --port "$PORT" --query-id 17 --op fsd --k 3 \
+  --cancel-after-ms 5 >"$TMP/cancel.out" 2>&1 &
+CANCEL=$!
+"$CLI" query --port "$PORT" --query-id 42 --op fsd --k 2 \
+  --deadline-ms 2 --accept-degraded >"$TMP/degraded.out" 2>&1 &
+DEGRADED=$!
+
+wait "$PLAIN" || { echo "FAIL: plain query client failed"
+                   cat "$TMP/plain.out"; exit 1; }
+grep -q '"type":"candidate"' "$TMP/plain.out" \
+  || { echo "FAIL: no progressive frame"; cat "$TMP/plain.out"; exit 1; }
+grep -q '"status":"OK"' "$TMP/plain.out" \
+  || { echo "FAIL: plain query not OK"; cat "$TMP/plain.out"; exit 1; }
+
+# The cancel and deadline clients race real execution: any consistent
+# terminal frame is correct, hanging or crashing is not.
+wait "$CANCEL" || true
+grep -q '"type":"result"' "$TMP/cancel.out" \
+  || { echo "FAIL: cancel client got no terminal frame"
+       cat "$TMP/cancel.out"; exit 1; }
+wait "$DEGRADED" || true
+grep -q '"type":"result"' "$TMP/degraded.out" \
+  || { echo "FAIL: degraded client got no terminal frame"
+       cat "$TMP/degraded.out"; exit 1; }
+echo "concurrent clients OK"
+
+# SIGTERM with a query in flight: the drain must finish the ticket, the
+# client must still get its terminal frame, and the server must exit 0.
+"$CLI" query --port "$PORT" --query-id 0 --op fsd --k 8 \
+  >"$TMP/inflight.out" 2>&1 &
+INFLIGHT=$!
+sleep 0.05
+kill -TERM "$SERVER_PID"
+SERVER_RC=0
+wait "$SERVER_PID" || SERVER_RC=$?
+SERVER_PID=""
+[[ "$SERVER_RC" -eq 0 ]] \
+  || { echo "FAIL: server exited $SERVER_RC"; cat "$TMP/server.err"; exit 1; }
+grep -q 'drained;' "$TMP/server.err" \
+  || { echo "FAIL: no drain summary"; cat "$TMP/server.err"; exit 1; }
+grep -q '0 in flight' "$TMP/server.err" \
+  || { echo "FAIL: drain left tickets in flight"
+       cat "$TMP/server.err"; exit 1; }
+wait "$INFLIGHT" || true
+grep -q '"type":"result"' "$TMP/inflight.out" \
+  || { echo "FAIL: in-flight client lost its terminal frame on drain"
+       cat "$TMP/inflight.out"; exit 1; }
+echo "drain OK: $(grep 'drained;' "$TMP/server.err")"
+echo "PASS: server smoke"

@@ -25,7 +25,8 @@ constexpr const char* kKnownSites[] = {
     "io.binary.header",   "io.binary.object", "io.open",
     "io.text.header",     "io.text.object",   "mem.charge",
     "mem.flow.build",     "mem.nnc.heap",     "mem.profile.matrix",
-    "mem.profile.sorted", "nnc.node_expand",  "nnc.object_examine",
+    "mem.profile.sorted", "net.accept",       "net.read",
+    "net.write",          "nnc.node_expand",  "nnc.object_examine",
     "nnc.pop",            "object.local_tree",
 };
 

@@ -167,6 +167,9 @@ std::shared_ptr<QueryTicket> QueryEngine::Submit(QuerySpec spec) {
   auto ticket = std::make_shared<QueryTicket>();
   const auto now = std::chrono::steady_clock::now();
   ticket->submitted_at_ = now;
+  // Install the terminal hook before ANY Complete path can run (admission
+  // rejection included) so it fires exactly once per submitted ticket.
+  ticket->on_finish_ = std::move(spec.on_finish);
   if (spec.collect_trace) {
     ticket->trace_ = std::make_unique<obs::Trace>(OperatorName(spec.options.op));
   }
@@ -275,10 +278,24 @@ void QueryEngine::Execute(const std::shared_ptr<QueryTicket>& ticket,
       {
         // Fresh budget scope per attempt: a retry starts with zero charge
         // and its own engine-budget reservation, released on scope exit.
+        // The spec's per-query cap (per-tenant governance) overrides the
+        // engine-wide default when set.
+        const long per_query_cap = spec.per_query_mem_bytes > 0
+                                       ? spec.per_query_mem_bytes
+                                       : options_.per_query_mem_bytes;
         memory::QueryBudgetScope mem_scope(
-            options_.per_query_mem_bytes,
+            per_query_cap,
             options_.engine_mem_bytes > 0 ? &mem_budget_ : nullptr);
-        result = NncSearch(dataset_, spec.options).Run(spec.query);
+        std::function<void(int, double)> emit;
+        if (spec.on_emission) {
+          // Attempt-stamped forwarding: a retry restarts the stream, and
+          // the consumer disambiguates by the attempt number.
+          const int this_attempt = attempt;
+          emit = [&spec, this_attempt](int id, double elapsed) {
+            spec.on_emission(NncEmission{id, elapsed}, this_attempt);
+          };
+        }
+        result = NncSearch(dataset_, spec.options).Run(spec.query, emit);
       }
       if (result.termination == NncTermination::kMemoryExceeded) {
         // Breach absorbed by the degraded-superset drain inside Run.
@@ -358,6 +375,16 @@ void QueryEngine::Complete(const std::shared_ptr<QueryTicket>& ticket,
   const auto now = std::chrono::steady_clock::now();
   const double latency =
       std::chrono::duration<double>(now - ticket->submitted_at_).count();
+  // Queries resolved without running (cancelled/expired while queued, or
+  // cancelled between retry attempts) carry a default-constructed result
+  // whose termination still says kComplete. Terminal consumers (the wire
+  // protocol's terminal frame) report both fields, so keep them
+  // consistent; results coming out of Run already agree and are untouched.
+  if (status == QueryStatus::kCancelled) {
+    result.termination = NncTermination::kCancelled;
+  } else if (status == QueryStatus::kDeadlineExceeded) {
+    result.termination = NncTermination::kDeadlineExceeded;
+  }
   // Record under the stats lock BEFORE the ticket signals: anyone who
   // returns from ticket->Wait() then observes a Snapshot that already
   // includes this query.

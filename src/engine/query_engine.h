@@ -38,6 +38,7 @@
 #define OSD_ENGINE_QUERY_ENGINE_H_
 
 #include <chrono>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -120,6 +121,25 @@ struct QuerySpec {
   /// it (QueryTicket::trace()). Like `options.control`, any caller-set
   /// `options.trace` is ignored — the hook is engine-managed.
   bool collect_trace = false;
+  /// Per-query memory cap override, bytes; <= 0 uses
+  /// EngineOptions::per_query_mem_bytes. Lets a multi-tenant front end
+  /// (net/server.h) give each tenant its own budget on one engine.
+  long per_query_mem_bytes = 0;
+  /// Progressive-emission hook: invoked from the executing worker for every
+  /// candidate the traversal emits (pre-cleanup), with the 1-based
+  /// execution attempt — a retried query restarts its stream, so consumers
+  /// key their state on the attempt. Every call for a query
+  /// happens-before its on_finish hook; no emission is ever delivered
+  /// after the ticket is terminal.
+  std::function<void(const NncEmission&, int attempt)> on_emission;
+  /// Terminal hook: runs exactly once per ticket — on the thread that
+  /// completes it, immediately after the ticket transitions to a terminal
+  /// state (the ticket is safe to read inside the hook). It runs for every
+  /// ticket Submit returns, including rejected and fast-failed ones, and
+  /// Drain() does not return before the hook of every completed query has
+  /// finished — the progressive-streaming contract the network service
+  /// relies on to always send a terminal frame.
+  std::function<void(const QueryTicket&)> on_finish;
 };
 
 class QueryEngine {

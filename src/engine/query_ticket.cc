@@ -72,6 +72,7 @@ void QueryTicket::MarkRunning() {
 void QueryTicket::Finish(QueryStatus status, NncResult result,
                          std::string error, double latency_seconds,
                          int attempts) {
+  std::function<void(const QueryTicket&)> hook;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (IsTerminal(status_)) return;  // first terminal transition wins
@@ -80,8 +81,13 @@ void QueryTicket::Finish(QueryStatus status, NncResult result,
     error_ = std::move(error);
     latency_seconds_ = latency_seconds;
     attempts_ = attempts;
+    hook = std::move(on_finish_);  // winning transition consumes the hook
   }
   cv_.notify_all();
+  // Outside the lock: the hook may read any ticket member (all terminal
+  // state is published above) and must be free to block or call back into
+  // the engine without deadlocking waiters.
+  if (hook) hook(*this);
 }
 
 }  // namespace osd

@@ -15,6 +15,7 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -99,6 +100,8 @@ class QueryTicket {
   /// Transition to a terminal state and wake waiters. The engine computes
   /// `latency_seconds` and records it in its stats BEFORE calling this, so
   /// a Wait()er always observes an engine snapshot that includes its query.
+  /// The winning transition additionally runs the on_finish hook (set at
+  /// submission from QuerySpec::on_finish) outside the lock, exactly once.
   void Finish(QueryStatus status, NncResult result, std::string error,
               double latency_seconds, int attempts);
 
@@ -108,6 +111,10 @@ class QueryTicket {
   NncResult result_;
   std::string error_;
   QueryControl control_;
+  /// Terminal hook (QuerySpec::on_finish), installed at submission before
+  /// the ticket is shared with any other thread; consumed by the first
+  /// terminal transition.
+  std::function<void(const QueryTicket&)> on_finish_;
   /// Owned per-query trace; allocated at submission when the spec asks for
   /// one, written by the worker through NncOptions::trace.
   std::unique_ptr<obs::Trace> trace_;

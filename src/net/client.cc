@@ -1,0 +1,86 @@
+#include "net/client.h"
+
+#include <cstring>
+#include <errno.h>
+
+#include "net/protocol.h"
+
+namespace osd {
+namespace net {
+
+bool OsdClient::Connect(const std::string& host, int port,
+                        const std::string& tenant, std::string* error) {
+  if (!ConnectTcp(host, port, &sock_, error)) return false;
+  decoder_ = FrameDecoder(kMaxFrameBytes);
+  if (!Send(BuildHelloMessage(tenant), error)) {
+    sock_.Close();
+    return false;
+  }
+  JsonValue reply;
+  if (!Read(&reply, error)) {
+    sock_.Close();
+    return false;
+  }
+  const std::string type = MessageType(reply);
+  if (type != "hello_ok") {
+    if (error != nullptr) {
+      const JsonValue* message = reply.Find("message");
+      *error = "handshake refused (" + type + ")";
+      if (message != nullptr && message->type() == JsonValue::Type::kString) {
+        *error += ": " + message->AsString();
+      }
+    }
+    sock_.Close();
+    return false;
+  }
+  hello_ok_ = std::move(reply);
+  return true;
+}
+
+bool OsdClient::Send(const std::string& payload, std::string* error) {
+  if (!sock_.valid()) {
+    if (error != nullptr) *error = "not connected";
+    return false;
+  }
+  const std::string frame = EncodeFrame(payload, kMaxFrameBytes);
+  if (frame.empty()) {
+    if (error != nullptr) *error = "payload exceeds the frame cap";
+    return false;
+  }
+  return SendAll(sock_.fd(), frame.data(), frame.size(), error);
+}
+
+bool OsdClient::Read(JsonValue* msg, std::string* error, std::string* raw) {
+  if (!sock_.valid()) {
+    if (error != nullptr) *error = "not connected";
+    return false;
+  }
+  std::string payload;
+  while (!decoder_.Next(&payload)) {
+    if (decoder_.failed()) {
+      if (error != nullptr) *error = decoder_.error();
+      return false;
+    }
+    char buf[64 * 1024];
+    const ssize_t n = RecvSome(sock_.fd(), buf, sizeof(buf));
+    if (n == 0) {
+      if (error != nullptr) *error = "connection closed by server";
+      return false;
+    }
+    if (n < 0) {
+      if (error != nullptr) {
+        *error = std::string("recv: ") + std::strerror(errno);
+      }
+      return false;
+    }
+    if (!decoder_.Feed(buf, static_cast<size_t>(n))) {
+      if (error != nullptr) *error = decoder_.error();
+      return false;
+    }
+  }
+  if (raw != nullptr) *raw = payload;
+  return ParseJson(payload, msg, error);
+}
+
+}  // namespace net
+}  // namespace osd

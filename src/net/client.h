@@ -1,0 +1,60 @@
+// Minimal blocking client for the OSD wire protocol.
+//
+// One OsdClient owns one connection and speaks one frame at a time:
+// Connect performs the hello/hello_ok handshake, Send frames and writes a
+// JSON payload, Read blocks for the next complete frame and parses it.
+// Streaming consumers (the CLI's `query` subcommand, the throughput
+// bench) loop on Read and dispatch on the message "type" — candidate
+// events until the terminal result/error frame.
+//
+// Not thread-safe; use one client per thread.
+
+#ifndef OSD_NET_CLIENT_H_
+#define OSD_NET_CLIENT_H_
+
+#include <string>
+
+#include "net/json.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace osd {
+namespace net {
+
+class OsdClient {
+ public:
+  OsdClient() = default;
+
+  /// Connects and completes the hello handshake under `tenant`. On success
+  /// hello_ok() holds the server's greeting (dataset shape included).
+  bool Connect(const std::string& host, int port, const std::string& tenant,
+               std::string* error);
+
+  bool connected() const { return sock_.valid(); }
+  const JsonValue& hello_ok() const { return hello_ok_; }
+
+  /// Raw socket descriptor, for callers that need to batch several frames
+  /// into one write (tests) or poll alongside other descriptors.
+  int fd() const { return sock_.fd(); }
+
+  /// Frames and writes one JSON payload.
+  bool Send(const std::string& payload, std::string* error);
+
+  /// Blocks for the next complete frame and parses it into *msg. False on
+  /// EOF, I/O error, framing violation or invalid JSON (the connection is
+  /// unusable afterwards). When `raw` is non-null it receives the
+  /// undecoded payload text.
+  bool Read(JsonValue* msg, std::string* error, std::string* raw = nullptr);
+
+  void Close() { sock_.Close(); }
+
+ private:
+  Socket sock_;
+  FrameDecoder decoder_;
+  JsonValue hello_ok_;
+};
+
+}  // namespace net
+}  // namespace osd
+
+#endif  // OSD_NET_CLIENT_H_

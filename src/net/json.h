@@ -1,0 +1,103 @@
+// Strict JSON for the wire protocol (net/wire.h, net/protocol.h).
+//
+// Payloads come off a socket, so parsing holds the same standard as the
+// hardened binary dataset loader (io/dataset_io.cc): every structural
+// bound is checked before the corresponding allocation, nothing is trusted
+// because it parsed, and errors are reported through bool + message — the
+// parser never throws on malformed input.
+//
+// Strictness (deliberately tighter than "whatever strtod accepts"):
+//  - RFC 8259 grammar only: no trailing garbage, no comments, no trailing
+//    commas, no single quotes, no unquoted keys.
+//  - No NaN/Infinity literals (they are not JSON), and numeric values that
+//    overflow double (1e999) are rejected rather than returned as inf, so
+//    a finite-looking schema field can never smuggle a non-finite value.
+//  - Strings must be valid UTF-8 (raw bytes) and valid escapes; \uD800-
+//    style lone surrogates are rejected.
+//  - Nesting depth is capped (kMaxJsonDepth) so a "[[[[..." bomb fails
+//    fast instead of exhausting the stack.
+//
+// JsonValue is a plain tagged value; object members keep insertion order
+// and are looked up linearly (protocol messages have < 20 keys).
+
+#ifndef OSD_NET_JSON_H_
+#define OSD_NET_JSON_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace osd {
+namespace net {
+
+/// Maximum nesting depth ParseJson accepts.
+inline constexpr int kMaxJsonDepth = 64;
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; valid only for the matching type (callers branch on
+  /// the is_* predicates first — schema validation, not assertions).
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+  const std::vector<JsonValue>& Items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& Members() const {
+    return members_;
+  }
+
+  /// Object member by key, or nullptr when absent (or not an object).
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Construction (used by the parser and tests).
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double v);
+  static JsonValue String(std::string s);
+  static JsonValue Array(std::vector<JsonValue> items);
+  static JsonValue Object(std::vector<std::pair<std::string, JsonValue>> m);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses exactly one JSON document spanning all of `text`. On failure
+/// returns false, leaves *out unspecified, and sets *error (optional) to a
+/// message with a byte offset.
+bool ParseJson(std::string_view text, JsonValue* out,
+               std::string* error = nullptr);
+
+/// Appends `s` as a JSON string literal (quotes included) to *out,
+/// escaping quotes, backslashes and control characters.
+void AppendJsonString(std::string* out, std::string_view s);
+
+/// Renders a double as a JSON number that round-trips bit-exactly through
+/// ParseJson (%.17g); non-finite inputs render as null (callers validate
+/// before emitting — this is a backstop, not a feature).
+std::string JsonNumber(double value);
+
+/// True iff `bytes` is well-formed UTF-8. Exposed for the hardening tests.
+bool IsValidUtf8(std::string_view bytes);
+
+}  // namespace net
+}  // namespace osd
+
+#endif  // OSD_NET_JSON_H_

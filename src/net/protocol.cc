@@ -1,0 +1,461 @@
+#include "net/protocol.h"
+
+#include <cmath>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+namespace osd {
+namespace net {
+
+namespace {
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+/// A JSON number that is an exact integer within [min, max].
+bool AsInteger(const JsonValue& v, long min, long max, long* out) {
+  if (!v.is_number()) return false;
+  const double d = v.AsNumber();
+  if (!(d >= static_cast<double>(min)) || !(d <= static_cast<double>(max))) {
+    return false;
+  }
+  if (d != std::floor(d)) return false;
+  *out = static_cast<long>(d);
+  return true;
+}
+
+bool ParseOperatorName(const std::string& s, Operator* op) {
+  if (s == "ssd") *op = Operator::kSSd;
+  else if (s == "sssd") *op = Operator::kSsSd;
+  else if (s == "psd") *op = Operator::kPSd;
+  else if (s == "fsd") *op = Operator::kFSd;
+  else if (s == "f+sd") *op = Operator::kFPlusSd;
+  else return false;
+  return true;
+}
+
+bool ParseFilterName(const std::string& s, FilterConfig* config) {
+  if (s == "all") *config = FilterConfig::All();
+  else if (s == "bf") *config = FilterConfig::BruteForce();
+  else if (s == "l") *config = FilterConfig::L();
+  else if (s == "lp") *config = FilterConfig::LP();
+  else if (s == "lg") *config = FilterConfig::LG();
+  else if (s == "lgp") *config = FilterConfig::LGP();
+  else return false;
+  return true;
+}
+
+/// Rejects unknown keys: a typo'd field must fail loudly, not silently
+/// run with defaults (same stance as the failpoint spec parser).
+bool CheckKnownKeys(const JsonValue& msg,
+                    std::initializer_list<const char*> known,
+                    std::string* error) {
+  for (const auto& [key, value] : msg.Members()) {
+    (void)value;
+    bool found = false;
+    for (const char* k : known) {
+      if (key == k) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return Fail(error, "unknown field '" + key + "'");
+  }
+  return true;
+}
+
+/// Builds the inline query from "instances": [[x_1..x_d, w], ...] with
+/// every bound checked before the flat arrays are filled.
+bool ParseInlineQuery(const JsonValue& instances, UncertainObject* out,
+                      std::string* error) {
+  if (!instances.is_array()) {
+    return Fail(error, "query.instances must be an array");
+  }
+  const auto& rows = instances.Items();
+  if (rows.empty()) return Fail(error, "query.instances is empty");
+  if (rows.size() > static_cast<size_t>(kMaxQueryInstances)) {
+    return Fail(error, "query.instances exceeds the cap of " +
+                           std::to_string(kMaxQueryInstances));
+  }
+  if (!rows[0].is_array()) {
+    return Fail(error, "query.instances rows must be arrays");
+  }
+  const size_t row_len = rows[0].Items().size();
+  if (row_len < 2) {
+    return Fail(error, "query.instances rows need >= 1 coordinate + weight");
+  }
+  const int dim = static_cast<int>(row_len) - 1;
+  if (dim > kMaxQueryDim) {
+    return Fail(error, "query dimensionality exceeds the cap of " +
+                           std::to_string(kMaxQueryDim));
+  }
+  std::vector<double> coords;
+  std::vector<double> weights;
+  coords.reserve(rows.size() * static_cast<size_t>(dim));
+  weights.reserve(rows.size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (!rows[r].is_array() || rows[r].Items().size() != row_len) {
+      return Fail(error, "query.instances row " + std::to_string(r) +
+                             " has inconsistent length");
+    }
+    const auto& cells = rows[r].Items();
+    for (size_t c = 0; c < row_len; ++c) {
+      if (!cells[c].is_number()) {
+        return Fail(error, "query.instances row " + std::to_string(r) +
+                               " holds a non-number");
+      }
+    }
+    for (int d = 0; d < dim; ++d) {
+      const double x = cells[static_cast<size_t>(d)].AsNumber();
+      // The JSON layer already refuses NaN/Inf; keep the explicit check so
+      // this function is safe against any other JsonValue producer.
+      if (!std::isfinite(x)) {
+        return Fail(error, "non-finite coordinate in query.instances");
+      }
+      coords.push_back(x);
+    }
+    const double w = cells[row_len - 1].AsNumber();
+    if (!std::isfinite(w) || w <= 0.0) {
+      return Fail(error, "query instance weights must be finite and > 0");
+    }
+    weights.push_back(w);
+  }
+  *out = UncertainObject::FromWeighted(-1, dim, std::move(coords),
+                                       std::move(weights));
+  return true;
+}
+
+}  // namespace
+
+bool ValidTenantName(const std::string& tenant) {
+  if (tenant.empty() || tenant.size() > kMaxTenantName) return false;
+  for (const char c : tenant) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string MessageType(const JsonValue& msg) {
+  const JsonValue* type = msg.Find("type");
+  if (type == nullptr || !type->is_string()) return "";
+  return type->AsString();
+}
+
+bool ParseHello(const JsonValue& msg, HelloRequest* out, std::string* error) {
+  if (!msg.is_object()) return Fail(error, "hello must be an object");
+  if (!CheckKnownKeys(msg, {"type", "version", "tenant"}, error)) {
+    return false;
+  }
+  const JsonValue* version = msg.Find("version");
+  long v = 0;
+  if (version == nullptr || !AsInteger(*version, 1, 1'000'000, &v)) {
+    return Fail(error, "hello.version must be a positive integer");
+  }
+  out->version = static_cast<int>(v);
+  out->tenant = "default";
+  if (const JsonValue* tenant = msg.Find("tenant"); tenant != nullptr) {
+    if (!tenant->is_string() || !ValidTenantName(tenant->AsString())) {
+      return Fail(error,
+                  "hello.tenant must match [A-Za-z0-9_-]{1,64}");
+    }
+    out->tenant = tenant->AsString();
+  }
+  return true;
+}
+
+bool ParseSubmit(const JsonValue& msg, SubmitRequest* out,
+                 std::string* error) {
+  if (!msg.is_object()) return Fail(error, "submit must be an object");
+  if (!CheckKnownKeys(msg,
+                      {"type", "id", "query", "op", "k", "metric", "filters",
+                       "deadline_ms", "accept_degraded", "retries",
+                       "mem_budget_bytes", "stream", "trace"},
+                      error)) {
+    return false;
+  }
+  const JsonValue* id = msg.Find("id");
+  if (id == nullptr || !AsInteger(*id, 0, kMaxRequestId, &out->id)) {
+    return Fail(error, "submit.id must be an integer in [0, 2^53]");
+  }
+  const JsonValue* query = msg.Find("query");
+  if (query == nullptr || !query->is_object()) {
+    return Fail(error, "submit.query must be an object");
+  }
+  if (!CheckKnownKeys(*query, {"object_id", "instances"}, error)) {
+    return false;
+  }
+  const JsonValue* object_id = query->Find("object_id");
+  const JsonValue* instances = query->Find("instances");
+  if ((object_id != nullptr) == (instances != nullptr)) {
+    return Fail(error,
+                "submit.query needs exactly one of object_id / instances");
+  }
+  out->options = NncOptions{};
+  if (object_id != nullptr) {
+    long oid = -1;
+    if (!AsInteger(*object_id, 0, 1L << 40, &oid)) {
+      return Fail(error, "submit.query.object_id must be an integer >= 0");
+    }
+    out->inline_query = false;
+    out->object_id = static_cast<int>(oid);
+    // A dataset object never competes with itself (Definition 6 excludes
+    // the query); the server re-checks the range against the dataset.
+    out->options.exclude_id = out->object_id;
+  } else {
+    out->inline_query = true;
+    out->object_id = -1;
+    if (!ParseInlineQuery(*instances, &out->query, error)) return false;
+  }
+  if (const JsonValue* op = msg.Find("op"); op != nullptr) {
+    if (!op->is_string() ||
+        !ParseOperatorName(op->AsString(), &out->options.op)) {
+      return Fail(error,
+                  "submit.op must be one of ssd|sssd|psd|fsd|f+sd");
+    }
+  }
+  if (const JsonValue* k = msg.Find("k"); k != nullptr) {
+    long kk = 0;
+    if (!AsInteger(*k, 1, kMaxK, &kk)) {
+      return Fail(error, "submit.k must be an integer in [1, " +
+                             std::to_string(kMaxK) + "]");
+    }
+    out->options.k = static_cast<int>(kk);
+  }
+  if (const JsonValue* metric = msg.Find("metric"); metric != nullptr) {
+    if (!metric->is_string()) return Fail(error, "submit.metric must be a string");
+    const std::string& m = metric->AsString();
+    if (m == "l2") out->options.metric = Metric::kL2;
+    else if (m == "l1") out->options.metric = Metric::kL1;
+    else return Fail(error, "submit.metric must be l2|l1");
+  }
+  if (const JsonValue* filters = msg.Find("filters"); filters != nullptr) {
+    if (!filters->is_string() ||
+        !ParseFilterName(filters->AsString(), &out->options.filters)) {
+      return Fail(error,
+                  "submit.filters must be one of all|bf|l|lp|lg|lgp");
+    }
+  }
+  out->deadline_seconds = 0.0;
+  if (const JsonValue* deadline = msg.Find("deadline_ms");
+      deadline != nullptr) {
+    if (!deadline->is_number()) {
+      return Fail(error, "submit.deadline_ms must be a number");
+    }
+    const double ms = deadline->AsNumber();
+    if (!std::isfinite(ms) || ms <= 0.0 || ms > 1e9) {
+      return Fail(error, "submit.deadline_ms must be finite and in (0, 1e9]");
+    }
+    out->deadline_seconds = ms / 1e3;
+  }
+  out->options.degraded_superset = false;
+  if (const JsonValue* degraded = msg.Find("accept_degraded");
+      degraded != nullptr) {
+    if (!degraded->is_bool()) {
+      return Fail(error, "submit.accept_degraded must be a bool");
+    }
+    out->options.degraded_superset = degraded->AsBool();
+  }
+  out->retries = 0;
+  if (const JsonValue* retries = msg.Find("retries"); retries != nullptr) {
+    long r = 0;
+    if (!AsInteger(*retries, 0, kMaxRetries, &r)) {
+      return Fail(error, "submit.retries must be an integer in [0, " +
+                             std::to_string(kMaxRetries) + "]");
+    }
+    out->retries = static_cast<int>(r);
+  }
+  out->mem_budget_bytes = 0;
+  if (const JsonValue* mem = msg.Find("mem_budget_bytes"); mem != nullptr) {
+    if (!AsInteger(*mem, 0, 1L << 50, &out->mem_budget_bytes)) {
+      return Fail(error,
+                  "submit.mem_budget_bytes must be an integer in [0, 2^50]");
+    }
+  }
+  out->stream = true;
+  if (const JsonValue* stream = msg.Find("stream"); stream != nullptr) {
+    if (!stream->is_bool()) return Fail(error, "submit.stream must be a bool");
+    out->stream = stream->AsBool();
+  }
+  out->trace = false;
+  if (const JsonValue* trace = msg.Find("trace"); trace != nullptr) {
+    if (!trace->is_bool()) return Fail(error, "submit.trace must be a bool");
+    out->trace = trace->AsBool();
+  }
+  return true;
+}
+
+bool ParseCancel(const JsonValue& msg, CancelRequest* out,
+                 std::string* error) {
+  if (!msg.is_object()) return Fail(error, "cancel must be an object");
+  if (!CheckKnownKeys(msg, {"type", "id"}, error)) return false;
+  const JsonValue* id = msg.Find("id");
+  if (id == nullptr || !AsInteger(*id, 0, kMaxRequestId, &out->id)) {
+    return Fail(error, "cancel.id must be an integer in [0, 2^53]");
+  }
+  return true;
+}
+
+std::string BuildHelloMessage(const std::string& tenant) {
+  std::string msg = "{\"type\":\"hello\",\"version\":" +
+                    std::to_string(kProtocolVersion);
+  if (!tenant.empty()) {
+    msg += ",\"tenant\":";
+    AppendJsonString(&msg, tenant);
+  }
+  msg += "}";
+  return msg;
+}
+
+std::string BuildSubmitMessage(const SubmitParams& params) {
+  std::string msg = "{\"type\":\"submit\",\"id\":" + std::to_string(params.id);
+  msg += ",\"query\":";
+  if (params.query != nullptr) {
+    msg += "{\"instances\":[";
+    const UncertainObject& q = *params.query;
+    for (int i = 0; i < q.num_instances(); ++i) {
+      if (i > 0) msg += ",";
+      msg += "[";
+      const Point p = q.Instance(i);
+      for (int d = 0; d < q.dim(); ++d) {
+        msg += JsonNumber(p[d]) + ",";
+      }
+      msg += JsonNumber(q.Prob(i));
+      msg += "]";
+    }
+    msg += "]}";
+  } else {
+    msg += "{\"object_id\":" + std::to_string(params.object_id) + "}";
+  }
+  msg += ",\"op\":";
+  AppendJsonString(&msg, params.op);
+  msg += ",\"k\":" + std::to_string(params.k);
+  msg += ",\"metric\":";
+  AppendJsonString(&msg, params.metric);
+  msg += ",\"filters\":";
+  AppendJsonString(&msg, params.filters);
+  if (params.deadline_ms > 0.0) {
+    msg += ",\"deadline_ms\":" + JsonNumber(params.deadline_ms);
+  }
+  if (params.accept_degraded) msg += ",\"accept_degraded\":true";
+  if (params.retries > 0) {
+    msg += ",\"retries\":" + std::to_string(params.retries);
+  }
+  if (params.mem_budget_bytes > 0) {
+    msg += ",\"mem_budget_bytes\":" + std::to_string(params.mem_budget_bytes);
+  }
+  msg += params.stream ? ",\"stream\":true" : ",\"stream\":false";
+  if (params.trace) msg += ",\"trace\":true";
+  msg += "}";
+  return msg;
+}
+
+std::string BuildCancelMessage(long id) {
+  return "{\"type\":\"cancel\",\"id\":" + std::to_string(id) + "}";
+}
+
+std::string BuildHelloOkMessage(int dataset_objects, int dataset_dim,
+                                const std::string& tenant) {
+  std::string msg = "{\"type\":\"hello_ok\",\"version\":" +
+                    std::to_string(kProtocolVersion) +
+                    ",\"server\":\"osd_server\",\"dataset\":{\"objects\":" +
+                    std::to_string(dataset_objects) +
+                    ",\"dim\":" + std::to_string(dataset_dim) +
+                    "},\"tenant\":";
+  AppendJsonString(&msg, tenant);
+  msg += "}";
+  return msg;
+}
+
+std::string BuildCandidateMessage(long id, long seq, int attempt,
+                                  int object_id, double elapsed_seconds) {
+  return "{\"type\":\"candidate\",\"id\":" + std::to_string(id) +
+         ",\"seq\":" + std::to_string(seq) +
+         ",\"attempt\":" + std::to_string(attempt) +
+         ",\"object_id\":" + std::to_string(object_id) +
+         ",\"elapsed_ms\":" + JsonNumber(elapsed_seconds * 1e3) + "}";
+}
+
+const char* TerminationName(NncTermination termination) {
+  switch (termination) {
+    case NncTermination::kComplete: return "complete";
+    case NncTermination::kDeadlineExceeded: return "deadline";
+    case NncTermination::kCancelled: return "cancelled";
+    case NncTermination::kMemoryExceeded: return "memory";
+  }
+  return "unknown";
+}
+
+std::string BuildResultMessage(long id, const QueryTicket& ticket) {
+  const NncResult& result = ticket.result();
+  const FilterStats& stats = result.stats;
+  std::string msg = "{\"type\":\"result\",\"id\":" + std::to_string(id);
+  msg += ",\"status\":\"";
+  msg += QueryStatusName(ticket.status());
+  msg += "\",\"termination\":\"";
+  msg += TerminationName(result.termination);
+  msg += "\",\"degraded\":";
+  msg += result.degraded ? "true" : "false";
+  msg += ",\"candidates\":[";
+  for (size_t i = 0; i < result.candidates.size(); ++i) {
+    if (i > 0) msg += ",";
+    msg += std::to_string(result.candidates[i]);
+  }
+  msg += "],\"frontier_objects\":" + std::to_string(result.frontier_objects);
+  msg += ",\"stats\":{\"dominance_checks\":" +
+         std::to_string(stats.dominance_checks) +
+         ",\"instance_comparisons\":" +
+         std::to_string(stats.InstanceComparisons()) +
+         ",\"flow_runs\":" + std::to_string(stats.flow_runs) +
+         ",\"objects_examined\":" + std::to_string(result.objects_examined) +
+         ",\"entries_pruned\":" + std::to_string(result.entries_pruned) + "}";
+  msg += ",\"run_ms\":" + JsonNumber(result.seconds * 1e3);
+  msg += ",\"latency_ms\":" + JsonNumber(ticket.latency_seconds() * 1e3);
+  msg += ",\"attempts\":" + std::to_string(ticket.attempts());
+  msg += ",\"mem_peak_bytes\":" + std::to_string(result.mem_peak_bytes);
+  if (!ticket.error().empty()) {
+    msg += ",\"error\":";
+    AppendJsonString(&msg, ticket.error());
+  }
+  if (ticket.trace() != nullptr) {
+    msg += ",\"trace\":" + ticket.trace()->ToJson();
+  }
+  msg += "}";
+  return msg;
+}
+
+std::string BuildCancelOkMessage(long id, bool found) {
+  return "{\"type\":\"cancel_ok\",\"id\":" + std::to_string(id) +
+         ",\"found\":" + (found ? "true" : "false") + "}";
+}
+
+std::string BuildDrainOkMessage(long inflight) {
+  return "{\"type\":\"drain_ok\",\"inflight\":" + std::to_string(inflight) +
+         "}";
+}
+
+std::string BuildMetricsOkMessage(const std::string& text) {
+  std::string msg = "{\"type\":\"metrics_ok\",\"text\":";
+  AppendJsonString(&msg, text);
+  msg += "}";
+  return msg;
+}
+
+std::string BuildErrorMessage(long id, const char* code,
+                              const std::string& message) {
+  std::string msg = "{\"type\":\"error\"";
+  if (id >= 0) msg += ",\"id\":" + std::to_string(id);
+  msg += ",\"code\":\"";
+  msg += code;
+  msg += "\",\"message\":";
+  AppendJsonString(&msg, message);
+  msg += "}";
+  return msg;
+}
+
+}  // namespace net
+}  // namespace osd

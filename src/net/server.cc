@@ -1,0 +1,620 @@
+#include "net/server.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <exception>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "obs/export.h"
+
+namespace osd {
+namespace net {
+
+namespace {
+
+/// Poll timeout. The wake pipe makes the loop reactive; the timeout is the
+/// fallback cadence for drain-progress checks when a wake is missed.
+constexpr int kPollTimeoutMs = 100;
+
+}  // namespace
+
+OsdServer::OsdServer(QueryEngine* engine, ServerOptions options)
+    : engine_(engine), options_(std::move(options)) {
+  hot_.accepted = &registry_.GetCounter(
+      "osd_net_connections_accepted_total",
+      "TCP connections accepted by the service listener.");
+  hot_.disconnects = &registry_.GetCounter(
+      "osd_net_disconnects_total",
+      "Connections closed for any reason (EOF, error, overflow, drain).");
+  hot_.frames_read = &registry_.GetCounter(
+      "osd_net_frames_read_total", "Complete request frames decoded.");
+  hot_.frames_sent = &registry_.GetCounter(
+      "osd_net_frames_sent_total", "Response/event frames queued for send.");
+  hot_.bytes_read = &registry_.GetCounter("osd_net_bytes_read_total",
+                                          "Bytes read from client sockets.");
+  hot_.bytes_sent = &registry_.GetCounter("osd_net_bytes_sent_total",
+                                          "Bytes written to client sockets.");
+  hot_.protocol_errors = &registry_.GetCounter(
+      "osd_net_protocol_errors_total",
+      "Frames rejected for framing, syntax or schema violations.");
+  hot_.active = &registry_.GetGauge("osd_net_connections_active",
+                                    "Currently open client connections.");
+  hot_.draining = &registry_.GetGauge(
+      "osd_net_draining", "1 while a graceful drain is in progress.");
+}
+
+OsdServer::~OsdServer() { Shutdown(); }
+
+bool OsdServer::Start(std::string* error) {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (started_) {
+    if (error != nullptr) *error = "server already started";
+    return false;
+  }
+  if (!ListenTcp(options_.host, options_.port, &listener_, error)) {
+    return false;
+  }
+  port_ = LocalPort(listener_);
+  int fds[2];
+  if (pipe2(fds, O_NONBLOCK | O_CLOEXEC) != 0) {
+    if (error != nullptr) {
+      *error = std::string("pipe2: ") + std::strerror(errno);
+    }
+    listener_.Close();
+    return false;
+  }
+  wake_rd_ = Socket(fds[0]);
+  wake_wr_ = Socket(fds[1]);
+  started_ = true;
+  loop_thread_ = std::thread([this] { Loop(); });
+  return true;
+}
+
+void OsdServer::RequestDrain() {
+  // Async-signal-safe: one atomic store and one pipe write.
+  drain_requested_.store(true, std::memory_order_release);
+  Wake();
+}
+
+void OsdServer::Wake() {
+  const int fd = wake_wr_.fd();
+  if (fd < 0) return;
+  const char byte = 'w';
+  // A full pipe means a wake is already pending; any other failure is
+  // covered by the poll timeout.
+  [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+}
+
+void OsdServer::Wait() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (started_ && !joined_ && loop_thread_.joinable()) {
+    loop_thread_.join();
+    joined_ = true;
+  }
+}
+
+void OsdServer::Shutdown() {
+  RequestDrain();
+  Wait();
+}
+
+std::string OsdServer::MetricsText() const {
+  return engine_->MetricsText() +
+         obs::RenderPrometheusMetrics(registry_.Collect());
+}
+
+OsdServer::TenantState* OsdServer::ResolveTenant(const std::string& name) {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    it = tenants_.try_emplace(name).first;
+    TenantState& state = it->second;
+    const auto policy_it = options_.tenants.find(name);
+    state.policy = policy_it != options_.tenants.end()
+                       ? policy_it->second
+                       : options_.default_policy;
+    const std::string label = "{tenant=\"" + name + "\"}";
+    state.queries = &registry_.GetCounter(
+        "osd_tenant_queries_total" + label,
+        "Queries admitted per tenant (including ones the engine shed).");
+    state.rejected = &registry_.GetCounter(
+        "osd_tenant_rejected_total" + label,
+        "Submits refused per tenant (inflight cap or drain).");
+    state.candidates_streamed = &registry_.GetCounter(
+        "osd_tenant_candidates_streamed_total" + label,
+        "Progressive candidate frames emitted per tenant.");
+    state.inflight_gauge = &registry_.GetGauge(
+        "osd_tenant_inflight" + label,
+        "Queries currently in flight per tenant.");
+  }
+  return &it->second;
+}
+
+void OsdServer::AppendFrame(Connection& conn, const std::string& payload) {
+  const std::string frame = EncodeFrame(payload, options_.max_frame_bytes);
+  std::lock_guard<std::mutex> lock(conn.mu);
+  if (conn.closed) return;
+  if (frame.empty()) {
+    // Payload over the frame cap (a pathological metrics dump): the stream
+    // would desynchronize if we sent a partial frame, so drop the payload
+    // and count it.
+    hot_.protocol_errors->Increment();
+    return;
+  }
+  conn.out += frame;
+  hot_.frames_sent->Increment();
+  if (conn.out.size() > options_.max_output_buffer_bytes) {
+    // Slow or stalled reader under a progressive stream: cut it loose
+    // rather than buffer without bound. The loop closes doomed
+    // connections and cancels their in-flight queries.
+    conn.doomed = true;
+    conn.closed = true;
+    conn.out.clear();
+  }
+}
+
+void OsdServer::Loop() {
+  std::vector<pollfd> pfds;
+  std::vector<ConnPtr> polled;
+  while (true) {
+    if (drain_requested_.load(std::memory_order_acquire) && !draining_) {
+      EnterDrain();
+    }
+
+    pfds.clear();
+    polled.clear();
+    pfds.push_back({wake_rd_.fd(), POLLIN, 0});
+    size_t listener_index = 0;  // 0 = not polled (slot 0 is the wake pipe)
+    if (listener_.valid()) {
+      listener_index = pfds.size();
+      pfds.push_back({listener_.fd(), POLLIN, 0});
+    }
+    const size_t first_conn = pfds.size();
+    for (const ConnPtr& conn : conns_) {
+      short events = 0;
+      if (!conn->closing) events |= POLLIN;
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        if (!conn->out.empty()) events |= POLLOUT;
+      }
+      pfds.push_back({conn->sock.fd(), events, 0});
+      polled.push_back(conn);
+    }
+
+    ::poll(pfds.data(), pfds.size(), kPollTimeoutMs);
+
+    if ((pfds[0].revents & POLLIN) != 0) {
+      char buf[256];
+      while (::read(wake_rd_.fd(), buf, sizeof(buf)) > 0) {
+      }
+    }
+    if (listener_index != 0 && (pfds[listener_index].revents & POLLIN) != 0) {
+      AcceptNew();
+    }
+
+    for (size_t i = 0; i < polled.size(); ++i) {
+      const ConnPtr& conn = polled[i];
+      const short revents = pfds[first_conn + i].revents;
+      if (!conn->sock.valid()) continue;
+      if ((revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 && !conn->closing) {
+        // Peer went away; flush nothing, cancel its queries.
+        CloseConnection(conn);
+        continue;
+      }
+      if ((revents & POLLOUT) != 0) FlushWrites(conn);
+      if ((revents & POLLIN) != 0 && !conn->closing) HandleReadable(conn);
+    }
+
+    // Retire doomed connections (output overflow flagged off-loop) and
+    // closing connections whose output has flushed.
+    for (size_t i = 0; i < conns_.size();) {
+      const ConnPtr conn = conns_[i];
+      bool doomed, flushed;
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        doomed = conn->doomed;
+        flushed = conn->out.empty();
+      }
+      if (doomed || (conn->closing && flushed) ||
+          (draining_ && flushed && ConnIdle(*conn))) {
+        CloseConnection(conn);
+        // CloseConnection erased it; do not advance.
+        continue;
+      }
+      ++i;
+    }
+
+    if (draining_ && inflight_total_.load(std::memory_order_acquire) == 0 &&
+        conns_.empty()) {
+      break;
+    }
+  }
+  // Every query this server ever submitted is terminal (inflight == 0) and
+  // Drain additionally waits out the tail of each on_finish hook, so no
+  // engine worker can touch this server or its connections after this
+  // point.
+  engine_->Drain();
+  conns_.clear();
+  listener_.Close();
+}
+
+bool OsdServer::ConnIdle(Connection& conn) {
+  std::lock_guard<std::mutex> lock(conn.mu);
+  return conn.inflight.empty();
+}
+
+void OsdServer::EnterDrain() {
+  draining_ = true;
+  hot_.draining->Set(1.0);
+  listener_.Close();
+}
+
+void OsdServer::AcceptNew() {
+  while (!draining_ && listener_.valid()) {
+    const int fd = ::accept4(listener_.fd(), nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) break;  // EAGAIN or transient accept failure
+    bool refuse = conns_.size() >= options_.max_connections;
+    try {
+      OSD_FAILPOINT_ERROR("net.accept", refuse = true);
+    } catch (const std::exception&) {
+      refuse = true;
+    }
+    if (refuse) {
+      ::close(fd);
+      hot_.disconnects->Increment();
+      continue;
+    }
+    conns_.push_back(std::make_shared<Connection>(Socket(fd)));
+    conns_.back()->decoder = FrameDecoder(options_.max_frame_bytes);
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    hot_.accepted->Increment();
+    hot_.active->Set(static_cast<double>(conns_.size()));
+  }
+}
+
+void OsdServer::HandleReadable(const ConnPtr& conn) {
+  try {
+    OSD_FAILPOINT_ERROR("net.read", {
+      CloseConnection(conn);
+      return;
+    });
+  } catch (const std::exception&) {
+    CloseConnection(conn);
+    return;
+  }
+  char buf[64 * 1024];
+  while (true) {
+    const ssize_t n = ::recv(conn->sock.fd(), buf, sizeof(buf), 0);
+    if (n > 0) {
+      hot_.bytes_read->Increment(n);
+      if (!conn->decoder.Feed(buf, static_cast<size_t>(n))) {
+        hot_.protocol_errors->Increment();
+        FailConnection(conn, conn->decoder.error());
+        return;
+      }
+      std::string payload;
+      while (conn->decoder.Next(&payload)) {
+        hot_.frames_read->Increment();
+        HandleFrame(conn, payload);
+        if (conn->closing || !conn->sock.valid()) return;
+      }
+      if (conn->decoder.failed()) {
+        hot_.protocol_errors->Increment();
+        FailConnection(conn, conn->decoder.error());
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {  // orderly EOF
+      CloseConnection(conn);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    CloseConnection(conn);
+    return;
+  }
+}
+
+void OsdServer::FlushWrites(const ConnPtr& conn) {
+  try {
+    OSD_FAILPOINT_ERROR("net.write", {
+      CloseConnection(conn);
+      return;
+    });
+  } catch (const std::exception&) {
+    CloseConnection(conn);
+    return;
+  }
+  // Nonblocking sends while holding the buffer mutex: a worker appending a
+  // frame waits at most one bounded send, never a blocked socket.
+  std::lock_guard<std::mutex> lock(conn->mu);
+  size_t off = 0;
+  while (off < conn->out.size()) {
+    const ssize_t n = ::send(conn->sock.fd(), conn->out.data() + off,
+                             conn->out.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      hot_.bytes_sent->Increment(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    // Write error: the peer is gone. Mark and let the loop retire it.
+    conn->closed = true;
+    conn->doomed = true;
+    conn->out.clear();
+    return;
+  }
+  conn->out.erase(0, off);
+}
+
+void OsdServer::HandleFrame(const ConnPtr& conn, const std::string& payload) {
+  JsonValue msg;
+  std::string error;
+  if (!ParseJson(payload, &msg, &error)) {
+    // A frame that is not valid JSON means the client is broken; the
+    // stream has no future.
+    hot_.protocol_errors->Increment();
+    FailConnection(conn, "invalid JSON: " + error);
+    return;
+  }
+  const std::string type = MessageType(msg);
+  if (!conn->hello_done) {
+    if (type != "hello") {
+      hot_.protocol_errors->Increment();
+      FailConnection(conn, "expected hello, got '" + type + "'");
+      return;
+    }
+    HandleHello(conn, msg);
+    return;
+  }
+  if (type == "submit") {
+    HandleSubmit(conn, msg);
+  } else if (type == "cancel") {
+    HandleCancel(conn, msg);
+  } else if (type == "status") {
+    HandleStatus(conn);
+  } else if (type == "metrics") {
+    AppendFrame(*conn, BuildMetricsOkMessage(MetricsText()));
+  } else if (type == "drain") {
+    AppendFrame(*conn,
+                BuildDrainOkMessage(inflight_total_.load()));
+    RequestDrain();
+  } else if (type == "bye") {
+    conn->closing = true;
+  } else {
+    hot_.protocol_errors->Increment();
+    AppendFrame(*conn, BuildErrorMessage(-1, kErrBadRequest,
+                                         "unknown message type '" + type +
+                                             "'"));
+  }
+}
+
+void OsdServer::HandleHello(const ConnPtr& conn, const JsonValue& msg) {
+  HelloRequest req;
+  std::string error;
+  if (!ParseHello(msg, &req, &error)) {
+    hot_.protocol_errors->Increment();
+    FailConnection(conn, error);
+    return;
+  }
+  if (req.version != kProtocolVersion) {
+    hot_.protocol_errors->Increment();
+    FailConnection(conn, "unsupported protocol version " +
+                             std::to_string(req.version));
+    return;
+  }
+  conn->tenant = ResolveTenant(req.tenant);
+  conn->hello_done = true;
+  AppendFrame(*conn, BuildHelloOkMessage(engine_->dataset().size(),
+                                         engine_->dataset().dim(),
+                                         req.tenant));
+}
+
+void OsdServer::HandleSubmit(const ConnPtr& conn, const JsonValue& msg) {
+  SubmitRequest req;
+  std::string error;
+  if (!ParseSubmit(msg, &req, &error)) {
+    hot_.protocol_errors->Increment();
+    AppendFrame(*conn, BuildErrorMessage(req.id, kErrBadRequest, error));
+    return;
+  }
+  TenantState* tenant = conn->tenant;
+  if (draining_) {
+    tenant->rejected->Increment();
+    AppendFrame(*conn, BuildErrorMessage(req.id, kErrDraining,
+                                         "server is draining"));
+    return;
+  }
+  bool duplicate;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    duplicate = conn->inflight.count(req.id) != 0;
+  }
+  if (duplicate) {
+    hot_.protocol_errors->Increment();
+    AppendFrame(*conn, BuildErrorMessage(req.id, kErrBadRequest,
+                                         "duplicate in-flight request id"));
+    return;
+  }
+  if (tenant->policy.max_inflight > 0 &&
+      tenant->inflight.load(std::memory_order_relaxed) >=
+          tenant->policy.max_inflight) {
+    tenant->rejected->Increment();
+    AppendFrame(*conn,
+                BuildErrorMessage(req.id, kErrOverInflightLimit,
+                                  "tenant in-flight limit reached"));
+    return;
+  }
+
+  QuerySpec spec;
+  if (req.inline_query) {
+    if (req.query.dim() != engine_->dataset().dim()) {
+      hot_.protocol_errors->Increment();
+      AppendFrame(*conn,
+                  BuildErrorMessage(
+                      req.id, kErrBadRequest,
+                      "query dimensionality " + std::to_string(req.query.dim()) +
+                          " != dataset dimensionality " +
+                          std::to_string(engine_->dataset().dim())));
+      return;
+    }
+    spec.query = req.query;
+  } else {
+    if (req.object_id < 0 || req.object_id >= engine_->dataset().size()) {
+      hot_.protocol_errors->Increment();
+      AppendFrame(*conn, BuildErrorMessage(req.id, kErrBadRequest,
+                                           "object_id out of range"));
+      return;
+    }
+    spec.query = engine_->dataset().object(req.object_id);
+  }
+  spec.options = req.options;
+  spec.deadline_seconds = req.deadline_seconds;
+  spec.collect_trace = req.trace;
+  const int retries =
+      tenant->policy.retries >= 0 ? tenant->policy.retries : req.retries;
+  spec.retry.max_attempts = 1 + retries;
+  // The tenant's budget caps the request's: a request may ask for less
+  // than its tenant allows, never more.
+  long budget = req.mem_budget_bytes;
+  if (tenant->policy.per_query_mem_bytes > 0) {
+    budget = budget > 0
+                 ? std::min(budget, tenant->policy.per_query_mem_bytes)
+                 : tenant->policy.per_query_mem_bytes;
+  }
+  spec.per_query_mem_bytes = budget;
+
+  const long id = req.id;
+  std::weak_ptr<Connection> weak = conn;
+  if (req.stream) {
+    auto seq = std::make_shared<std::atomic<long>>(0);
+    spec.on_emission = [this, weak, id, seq, tenant](const NncEmission& e,
+                                                     int attempt) {
+      const long s = seq->fetch_add(1, std::memory_order_relaxed);
+      tenant->candidates_streamed->Increment();
+      if (ConnPtr c = weak.lock()) {
+        AppendFrame(*c, BuildCandidateMessage(id, s, attempt, e.object_id,
+                                              e.elapsed_seconds));
+        Wake();
+      }
+    };
+  }
+  spec.on_finish = [this, weak, id, tenant](const QueryTicket& ticket) {
+    if (ConnPtr c = weak.lock()) {
+      // Terminal frame FIRST, then retire the inflight entry: the drain
+      // path may close a connection that looks idle with nothing left to
+      // flush, and the frame must be queued before the entry disappears.
+      AppendFrame(*c, BuildResultMessage(id, ticket));
+      {
+        std::lock_guard<std::mutex> lock(c->mu);
+        c->inflight.erase(id);
+      }
+    }
+    tenant->inflight.fetch_sub(1, std::memory_order_relaxed);
+    tenant->inflight_gauge->Set(static_cast<double>(
+        tenant->inflight.load(std::memory_order_relaxed)));
+    queries_completed_.fetch_add(1, std::memory_order_relaxed);
+    Wake();
+    // Last: the loop's drain exit gate reads this, and engine_->Drain()
+    // then waits out the task this hook runs in.
+    inflight_total_.fetch_sub(1, std::memory_order_release);
+  };
+
+  // Register before Submit: a rejected or fast-failed ticket runs
+  // on_finish synchronously inside Submit, and the hook must find its
+  // entry to retire.
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->inflight[id] = Pending{};
+  }
+  tenant->inflight.fetch_add(1, std::memory_order_relaxed);
+  tenant->inflight_gauge->Set(static_cast<double>(
+      tenant->inflight.load(std::memory_order_relaxed)));
+  tenant->queries->Increment();
+  inflight_total_.fetch_add(1, std::memory_order_relaxed);
+  queries_submitted_.fetch_add(1, std::memory_order_relaxed);
+
+  std::shared_ptr<QueryTicket> ticket = engine_->Submit(std::move(spec));
+
+  std::lock_guard<std::mutex> lock(conn->mu);
+  const auto it = conn->inflight.find(id);
+  if (it != conn->inflight.end()) it->second.ticket = std::move(ticket);
+}
+
+void OsdServer::HandleCancel(const ConnPtr& conn, const JsonValue& msg) {
+  CancelRequest req;
+  std::string error;
+  if (!ParseCancel(msg, &req, &error)) {
+    hot_.protocol_errors->Increment();
+    AppendFrame(*conn, BuildErrorMessage(req.id, kErrBadRequest, error));
+    return;
+  }
+  bool found = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    const auto it = conn->inflight.find(req.id);
+    if (it != conn->inflight.end() && it->second.ticket != nullptr) {
+      it->second.ticket->Cancel();
+      found = true;
+    }
+  }
+  AppendFrame(*conn, BuildCancelOkMessage(req.id, found));
+}
+
+void OsdServer::HandleStatus(const ConnPtr& conn) {
+  std::string msg = "{\"type\":\"status_ok\",\"inflight\":";
+  msg += std::to_string(inflight_total_.load());
+  msg += ",\"connections\":";
+  msg += std::to_string(conns_.size());
+  msg += ",\"draining\":";
+  msg += draining_ ? "true" : "false";
+  msg += ",\"submitted\":";
+  msg += std::to_string(queries_submitted_.load());
+  msg += ",\"completed\":";
+  msg += std::to_string(queries_completed_.load());
+  msg += ",\"engine\":";
+  msg += engine_->Snapshot().ToJson();
+  msg += "}";
+  AppendFrame(*conn, msg);
+}
+
+void OsdServer::FailConnection(const ConnPtr& conn,
+                               const std::string& message) {
+  AppendFrame(*conn, BuildErrorMessage(-1, kErrProtocol, message));
+  conn->closing = true;  // stop reading; close once the frame flushes
+}
+
+void OsdServer::CloseConnection(const ConnPtr& conn) {
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->closed = true;
+    conn->out.clear();
+    // Cancel this connection's queries; their on_finish hooks still run
+    // (zero leaked tickets), see the closed flag and only retire
+    // accounting. Entries stay until each hook erases its own.
+    for (auto& [id, pending] : conn->inflight) {
+      (void)id;
+      if (pending.ticket != nullptr) pending.ticket->Cancel();
+    }
+  }
+  const auto it = std::find(conns_.begin(), conns_.end(), conn);
+  if (it != conns_.end()) {
+    conns_.erase(it);
+    hot_.disconnects->Increment();
+    hot_.active->Set(static_cast<double>(conns_.size()));
+  }
+  conn->sock.Close();
+}
+
+}  // namespace net
+}  // namespace osd

@@ -1,0 +1,231 @@
+// Standalone OSD network service: a poll-based TCP front end over one
+// QueryEngine.
+//
+// Architecture: one event-loop thread owns the listener, the wake pipe and
+// every connection's socket; engine workers execute queries and talk back
+// to connections only through two narrow, mutex-guarded channels — the
+// per-connection output buffer (progressive "candidate" frames and the
+// terminal "result" frame are appended there by the QuerySpec hooks) and
+// the server-level inflight accounting. No socket is ever touched off the
+// loop thread.
+//
+// Per-connection lifecycle: accept -> hello (names the tenant) ->
+// submit/cancel/status/metrics until bye, disconnect or drain. A framing
+// or JSON-syntax error desynchronizes the byte stream and is fatal to the
+// connection (error frame, then close after flush); a schema violation is
+// request-scoped (error frame, connection lives). A mid-query disconnect
+// cancels that connection's in-flight tickets; concurrent tenants are
+// untouched and every ticket still completes through the engine (zero
+// leaked tickets by construction — the terminal hook always runs).
+//
+// Tenant governance rides the existing machinery: the per-tenant policy
+// caps each query's memory budget (QuerySpec::per_query_mem_bytes ->
+// QueryBudgetScope), bounds in-flight queries per tenant (shed with an
+// over_inflight_limit error), pins the retry policy, and labels the
+// Prometheus export (osd_tenant_*{tenant="..."} series in MetricsText).
+//
+// Graceful drain (SIGTERM or a "drain" frame): stop accepting, refuse new
+// submits, let in-flight tickets finish and their terminal frames flush,
+// then engine.Drain() and exit the loop. RequestDrain() is callable from a
+// signal handler (one atomic store plus a pipe write).
+//
+// Failpoint sites: net.accept, net.read, net.write — an injected fault
+// closes the affected connection only; the loop and every other
+// connection keep serving.
+
+#ifndef OSD_NET_SERVER_H_
+#define OSD_NET_SERVER_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/query_engine.h"
+#include "net/json.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+
+namespace osd {
+namespace net {
+
+/// Per-tenant governance knobs. The zero value means "inherit the server
+/// default" (which itself may be unlimited).
+struct TenantPolicy {
+  /// Per-query memory cap for this tenant's queries; caps (never raises)
+  /// any budget the request asks for. 0 = server default.
+  long per_query_mem_bytes = 0;
+  /// Concurrent in-flight queries; submits above it are shed with an
+  /// over_inflight_limit error. 0 = unlimited.
+  int max_inflight = 0;
+  /// Retry policy override: >= 0 pins the transient-failure retry count
+  /// for this tenant; -1 honours the request's "retries" field.
+  int retries = -1;
+};
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  ///< 0 picks a free port; read it back with port()
+  size_t max_connections = 256;
+  size_t max_frame_bytes = kMaxFrameBytes;
+  /// A connection whose unflushed output passes this is dropped (slow or
+  /// stalled client; progressive streams would otherwise buffer without
+  /// bound).
+  size_t max_output_buffer_bytes = 16u << 20;
+  /// Policy for tenants without an explicit entry in `tenants`.
+  TenantPolicy default_policy;
+  std::map<std::string, TenantPolicy> tenants;
+};
+
+/// The service front end. Does not own the engine: construct the engine
+/// first (its options decide threads, shedding and the engine-wide memory
+/// budget) and keep it alive until the server is destroyed. Run the engine
+/// with shed_on_overload for serving — a blocking Submit would stall the
+/// event loop.
+class OsdServer {
+ public:
+  OsdServer(QueryEngine* engine, ServerOptions options);
+
+  /// Drains and joins (see Shutdown).
+  ~OsdServer();
+
+  OsdServer(const OsdServer&) = delete;
+  OsdServer& operator=(const OsdServer&) = delete;
+
+  /// Binds, listens and starts the event loop. False + *error on failure.
+  bool Start(std::string* error);
+
+  /// The bound port (valid after Start; resolves port 0).
+  int port() const { return port_; }
+
+  /// Initiates graceful drain: stop accepting, refuse new submits, flush
+  /// in-flight queries, then exit the loop. Async-signal-safe (an atomic
+  /// store and a self-pipe write), so SIGTERM handlers may call it.
+  void RequestDrain();
+
+  /// Blocks until the event loop has exited (i.e. a drain completed).
+  void Wait();
+
+  /// RequestDrain + Wait; idempotent, implied by the destructor.
+  void Shutdown();
+
+  /// Prometheus text exposition: the engine's metrics followed by the
+  /// server's (connection/frame/tenant series).
+  std::string MetricsText() const;
+
+  // Observability for tests and the smoke harness.
+  long inflight() const { return inflight_total_.load(); }
+  long queries_submitted() const { return queries_submitted_.load(); }
+  long queries_completed() const { return queries_completed_.load(); }
+  long connections_accepted() const { return connections_accepted_.load(); }
+  bool draining() const { return drain_requested_.load(); }
+
+ private:
+  struct TenantState {
+    TenantPolicy policy;
+    std::atomic<int> inflight{0};
+    obs::Counter* queries = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* candidates_streamed = nullptr;
+    obs::Gauge* inflight_gauge = nullptr;
+  };
+
+  struct Pending {
+    std::shared_ptr<QueryTicket> ticket;
+  };
+
+  struct Connection {
+    explicit Connection(Socket s) : sock(std::move(s)) {}
+
+    // Loop-thread-only state.
+    Socket sock;
+    FrameDecoder decoder{kMaxFrameBytes};
+    bool hello_done = false;
+    bool closing = false;  ///< stop reading; close once output flushes
+    TenantState* tenant = nullptr;
+
+    // Cross-thread state: engine workers append frames and retire
+    // inflight entries under `mu`.
+    std::mutex mu;
+    std::string out;
+    bool closed = false;  ///< no further output accepted
+    bool doomed = false;  ///< loop must close (output overflow)
+    std::map<long, Pending> inflight;
+  };
+  using ConnPtr = std::shared_ptr<Connection>;
+
+  void Loop();
+  void EnterDrain();
+  void AcceptNew();
+  void HandleReadable(const ConnPtr& conn);
+  void FlushWrites(const ConnPtr& conn);
+  void HandleFrame(const ConnPtr& conn, const std::string& payload);
+  void HandleHello(const ConnPtr& conn, const JsonValue& msg);
+  void HandleSubmit(const ConnPtr& conn, const JsonValue& msg);
+  void HandleCancel(const ConnPtr& conn, const JsonValue& msg);
+  void HandleStatus(const ConnPtr& conn);
+  void CloseConnection(const ConnPtr& conn);
+  /// True when the connection has no in-flight queries (drain may retire
+  /// it once its output flushes).
+  bool ConnIdle(Connection& conn);
+  /// Error frame + stop reading; the connection closes once the frame has
+  /// flushed (fatal protocol-level failures).
+  void FailConnection(const ConnPtr& conn, const std::string& message);
+
+  /// Appends one framed payload to the connection's output buffer (drops
+  /// it when the connection is closed; dooms the connection when the
+  /// buffer cap is passed). Safe from any thread.
+  void AppendFrame(Connection& conn, const std::string& payload);
+
+  /// Wakes the poll loop (safe from any thread and from signal handlers).
+  void Wake();
+
+  TenantState* ResolveTenant(const std::string& name);
+
+  QueryEngine* engine_;
+  ServerOptions options_;
+  int port_ = -1;
+
+  Socket listener_;
+  Socket wake_rd_, wake_wr_;
+  std::thread loop_thread_;
+  bool started_ = false;
+  bool joined_ = false;
+  std::mutex lifecycle_mu_;  // guards Start/Wait/Shutdown transitions
+
+  std::vector<ConnPtr> conns_;  // loop-thread-only
+  bool draining_ = false;       // loop-thread-only (mirrors drain_requested_)
+
+  std::atomic<bool> drain_requested_{false};
+  std::atomic<long> inflight_total_{0};
+  std::atomic<long> queries_submitted_{0};
+  std::atomic<long> queries_completed_{0};
+  std::atomic<long> connections_accepted_{0};
+
+  std::mutex tenants_mu_;
+  std::map<std::string, TenantState> tenants_;
+
+  obs::MetricsRegistry registry_;
+  struct HotMetrics {
+    obs::Counter* accepted = nullptr;
+    obs::Counter* disconnects = nullptr;
+    obs::Counter* frames_read = nullptr;
+    obs::Counter* frames_sent = nullptr;
+    obs::Counter* bytes_read = nullptr;
+    obs::Counter* bytes_sent = nullptr;
+    obs::Counter* protocol_errors = nullptr;
+    obs::Gauge* active = nullptr;
+    obs::Gauge* draining = nullptr;
+  };
+  HotMetrics hot_;
+};
+
+}  // namespace net
+}  // namespace osd
+
+#endif  // OSD_NET_SERVER_H_

@@ -1,0 +1,69 @@
+#include "net/wire.h"
+
+namespace osd {
+namespace net {
+
+std::string EncodeFrame(std::string_view payload, size_t max_frame_bytes) {
+  if (payload.empty() || payload.size() > max_frame_bytes) return {};
+  const uint32_t n = static_cast<uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  frame.push_back(static_cast<char>((n >> 24) & 0xFF));
+  frame.push_back(static_cast<char>((n >> 16) & 0xFF));
+  frame.push_back(static_cast<char>((n >> 8) & 0xFF));
+  frame.push_back(static_cast<char>(n & 0xFF));
+  frame.append(payload.data(), payload.size());
+  return frame;
+}
+
+bool FrameDecoder::Feed(const char* data, size_t size) {
+  if (failed_) return false;
+  // Validate the header as soon as it is complete — BEFORE buffering the
+  // payload — so a hostile length prefix never drives an allocation.
+  // Feeding in arbitrary chunk sizes keeps the invariant because the
+  // check runs on every Feed once 4 header bytes are visible.
+  buffer_.append(data, size);
+  if (buffer_.size() >= kFrameHeaderBytes) {
+    const uint32_t declared =
+        (static_cast<uint32_t>(static_cast<unsigned char>(buffer_[0])) << 24) |
+        (static_cast<uint32_t>(static_cast<unsigned char>(buffer_[1])) << 16) |
+        (static_cast<uint32_t>(static_cast<unsigned char>(buffer_[2])) << 8) |
+        static_cast<uint32_t>(static_cast<unsigned char>(buffer_[3]));
+    if (declared == 0) {
+      failed_ = true;
+      error_ = "zero-length frame";
+      return false;
+    }
+    if (declared > max_frame_bytes_) {
+      failed_ = true;
+      error_ = "frame of " + std::to_string(declared) +
+               " bytes exceeds the " + std::to_string(max_frame_bytes_) +
+               "-byte cap";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool FrameDecoder::Next(std::string* payload) {
+  if (failed_ || buffer_.size() < kFrameHeaderBytes) return false;
+  const uint32_t declared =
+      (static_cast<uint32_t>(static_cast<unsigned char>(buffer_[0])) << 24) |
+      (static_cast<uint32_t>(static_cast<unsigned char>(buffer_[1])) << 16) |
+      (static_cast<uint32_t>(static_cast<unsigned char>(buffer_[2])) << 8) |
+      static_cast<uint32_t>(static_cast<unsigned char>(buffer_[3]));
+  if (buffer_.size() < kFrameHeaderBytes + declared) return false;
+  payload->assign(buffer_, kFrameHeaderBytes, declared);
+  buffer_.erase(0, kFrameHeaderBytes + declared);
+  // The next frame's header (if buffered) was already validated by the
+  // Feed call that completed it only if it was visible then; re-check so
+  // a stream like [good frame][bad header] fails at the right moment.
+  if (buffer_.size() >= kFrameHeaderBytes) {
+    std::string empty;
+    Feed(empty.data(), 0);
+  }
+  return true;
+}
+
+}  // namespace net
+}  // namespace osd

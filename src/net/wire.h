@@ -1,0 +1,71 @@
+// Length-prefixed framing for the OSD wire protocol.
+//
+// A frame is a 4-byte big-endian unsigned payload length followed by that
+// many bytes of UTF-8 JSON. Framing is the only binary part of the
+// protocol; everything above it (net/protocol.h) is declarative JSON.
+//
+// Hardening contract (mirrors LoadBinary): the declared length is checked
+// against the frame cap BEFORE any payload buffer grows, so a hostile
+// 0xFFFFFFFF prefix costs four bytes of buffering, not 4 GiB of
+// allocation. Zero-length frames are protocol errors (every message is at
+// least "{}"), and a decoder that has reported an error stays failed —
+// the byte stream is desynchronized and the connection must be dropped.
+
+#ifndef OSD_NET_WIRE_H_
+#define OSD_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace osd {
+namespace net {
+
+/// Default cap on one frame's payload bytes. Large enough for a query
+/// object at the protocol's instance caps, small enough that a handful of
+/// hostile connections cannot balloon server memory.
+inline constexpr size_t kMaxFrameBytes = 1u << 20;
+
+/// Frame header bytes (big-endian uint32 payload length).
+inline constexpr size_t kFrameHeaderBytes = 4;
+
+/// Encodes `payload` as one frame. The payload must not exceed
+/// `max_frame_bytes` (checked; oversized input returns an empty string,
+/// which is never a valid frame).
+std::string EncodeFrame(std::string_view payload,
+                        size_t max_frame_bytes = kMaxFrameBytes);
+
+/// Incremental frame decoder: feed raw socket bytes in, pop complete
+/// payloads out. Single-owner (one per connection), not thread-safe.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_frame_bytes = kMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Appends raw bytes. Returns false iff the stream violates the framing
+  /// contract (oversized or zero declared length); the decoder is then
+  /// permanently failed and error() explains why.
+  bool Feed(const char* data, size_t size);
+
+  /// Pops the next complete payload into *payload; false when no complete
+  /// frame is buffered (or the decoder has failed).
+  bool Next(std::string* payload);
+
+  bool failed() const { return failed_; }
+  const std::string& error() const { return error_; }
+
+  /// Bytes currently buffered (diagnostics / backpressure accounting).
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  size_t max_frame_bytes_;
+  std::string buffer_;
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace net
+}  // namespace osd
+
+#endif  // OSD_NET_WIRE_H_

@@ -6,6 +6,7 @@
 //  - a ~0-budget deadline terminates cleanly while the rest of the batch
 //    keeps running.
 
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <thread>
@@ -141,6 +142,82 @@ TEST(EngineConcurrencyTest, DeadlineInsideBusyBatchIsIsolated) {
   const EngineStats stats = engine.Snapshot();
   EXPECT_EQ(stats.deadline_exceeded, expired);
   EXPECT_EQ(stats.completed, static_cast<long>(tickets.size()));
+}
+
+// Drain racing progressive queries: every ticket runs its on_finish hook
+// exactly once before Drain returns, no emission is delivered after its
+// ticket turned terminal, and the terminal (status, termination) pair is
+// consistent even on the fast-fail paths (cancelled / expired while
+// queued, where no traversal ever ran) — the contract the network
+// service's terminal frames are built on.
+TEST(EngineConcurrencyTest, DrainRacingProgressiveQueriesKeepsTerminalsConsistent) {
+  Dataset dataset = TestDataset();
+  const auto workload = TestWorkload(dataset);
+
+  struct PerQuery {
+    std::atomic<long> emissions{0};
+    std::atomic<long> finishes{0};
+    std::atomic<bool> emission_after_finish{false};
+  };
+  constexpr int kQueries = 60;
+  std::vector<PerQuery> state(kQueries);
+  std::atomic<long> finish_hooks{0};
+
+  QueryEngine engine(std::move(dataset), {.num_threads = 4});
+  std::vector<std::shared_ptr<QueryTicket>> tickets;
+  tickets.reserve(kQueries);
+  for (int i = 0; i < kQueries; ++i) {
+    const auto& entry = workload[static_cast<size_t>(i) % workload.size()];
+    QuerySpec spec;
+    spec.query = entry.query;
+    spec.options.op = Operator::kPSd;
+    spec.options.exclude_id = entry.seeded_from;
+    // Every third query expires while queued (fast-fail path).
+    if (i % 3 == 1) spec.deadline_seconds = 1e-9;
+    PerQuery* pq = &state[static_cast<size_t>(i)];
+    spec.on_emission = [pq](const NncEmission&, int attempt) {
+      EXPECT_GE(attempt, 1);
+      if (pq->finishes.load(std::memory_order_acquire) != 0) {
+        pq->emission_after_finish.store(true, std::memory_order_relaxed);
+      }
+      pq->emissions.fetch_add(1, std::memory_order_relaxed);
+    };
+    spec.on_finish = [pq, &finish_hooks](const QueryTicket& ticket) {
+      EXPECT_TRUE(ticket.done());
+      pq->finishes.fetch_add(1, std::memory_order_release);
+      finish_hooks.fetch_add(1, std::memory_order_relaxed);
+    };
+    tickets.push_back(engine.Submit(std::move(spec)));
+    // Every third query is cancelled right away, racing the in-flight
+    // emission stream.
+    if (i % 3 == 2) tickets.back()->Cancel();
+  }
+
+  engine.Drain();  // must not return before every on_finish has finished
+  EXPECT_EQ(finish_hooks.load(), kQueries);
+
+  for (int i = 0; i < kQueries; ++i) {
+    SCOPED_TRACE(i);
+    const QueryTicket& ticket = *tickets[static_cast<size_t>(i)];
+    ASSERT_TRUE(ticket.done());
+    EXPECT_EQ(state[static_cast<size_t>(i)].finishes.load(), 1);
+    EXPECT_FALSE(state[static_cast<size_t>(i)].emission_after_finish.load());
+    switch (ticket.status()) {
+      case QueryStatus::kOk:
+        EXPECT_EQ(ticket.result().termination, NncTermination::kComplete);
+        break;
+      case QueryStatus::kCancelled:
+        EXPECT_EQ(ticket.result().termination, NncTermination::kCancelled);
+        break;
+      case QueryStatus::kDeadlineExceeded:
+        EXPECT_EQ(ticket.result().termination,
+                  NncTermination::kDeadlineExceeded);
+        break;
+      default:
+        ADD_FAILURE() << "unexpected terminal status "
+                      << QueryStatusName(ticket.status());
+    }
+  }
 }
 
 }  // namespace

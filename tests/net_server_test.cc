@@ -1,0 +1,479 @@
+// End-to-end tests of the OSD network service over loopback: progressive
+// streaming bit-identical to an embedded NncSearch::Run, cancellation,
+// tenant isolation under mid-query disconnects and injected read faults,
+// per-tenant governance (inflight caps, memory budgets, labeled metrics),
+// and graceful drain with zero leaked tickets.
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+#include "core/nnc_search.h"
+#include "datagen/generators.h"
+#include "engine/query_engine.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+
+namespace osd {
+namespace net {
+namespace {
+
+Dataset TestDataset() {
+  SyntheticParams p;
+  p.dim = 2;
+  p.num_objects = 400;
+  p.instances_per_object = 6;
+  p.seed = 99;
+  return GenerateSynthetic(p);
+}
+
+/// A query heavy enough to pin a worker for a while: the instance-level
+/// operators scale linearly in |Q|, so a few hundred instances spread
+/// across the domain buys orders of magnitude over the 6-instance
+/// dataset objects.
+UncertainObject SlowQuery() {
+  constexpr int kInstances = 512;
+  std::vector<double> coords;
+  std::vector<double> weights;
+  coords.reserve(kInstances * 2);
+  weights.reserve(kInstances);
+  for (int i = 0; i < kInstances; ++i) {
+    coords.push_back(1000.0 + 8000.0 * (i % 32) / 31.0);
+    coords.push_back(1000.0 + 8000.0 * (i / 32) / 15.0);
+    weights.push_back(1.0);
+  }
+  return UncertainObject::FromWeighted(-1, 2, std::move(coords),
+                                       std::move(weights));
+}
+
+/// The embedded-run equivalent of a submit-by-object-id request.
+NncOptions OptionsFor(const SubmitParams& params) {
+  NncOptions options;
+  if (params.op == "ssd") options.op = Operator::kSSd;
+  else if (params.op == "sssd") options.op = Operator::kSsSd;
+  else if (params.op == "psd") options.op = Operator::kPSd;
+  else if (params.op == "fsd") options.op = Operator::kFSd;
+  else options.op = Operator::kFPlusSd;
+  options.k = params.k;
+  options.exclude_id = params.object_id;
+  return options;
+}
+
+/// Everything one query produced on the wire.
+struct StreamedQuery {
+  std::vector<int> streamed;          ///< candidate events, in seq order
+  std::vector<int> final_candidates;  ///< the terminal frame's array
+  std::string status;
+  std::string termination;
+  bool got_result = false;
+};
+
+/// Reads frames for `id` until its terminal frame.
+StreamedQuery ReadUntilTerminal(OsdClient& client, long id) {
+  StreamedQuery out;
+  std::string error;
+  for (;;) {
+    JsonValue msg;
+    EXPECT_TRUE(client.Read(&msg, &error)) << error;
+    if (!error.empty()) return out;
+    const std::string type = MessageType(msg);
+    const JsonValue* msg_id = msg.Find("id");
+    if (msg_id == nullptr ||
+        static_cast<long>(msg_id->AsNumber()) != id) {
+      continue;  // unrelated frame (cancel_ok for another id, ...)
+    }
+    if (type == "candidate") {
+      out.streamed.push_back(
+          static_cast<int>(msg.Find("object_id")->AsNumber()));
+    } else if (type == "result") {
+      out.got_result = true;
+      out.status = msg.Find("status")->AsString();
+      out.termination = msg.Find("termination")->AsString();
+      for (const JsonValue& c : msg.Find("candidates")->Items()) {
+        out.final_candidates.push_back(static_cast<int>(c.AsNumber()));
+      }
+      return out;
+    } else if (type == "error") {
+      return out;
+    }
+  }
+}
+
+class NetServerTest : public ::testing::Test {
+ protected:
+  void StartServer(EngineOptions engine_options, ServerOptions options) {
+    engine_options.shed_on_overload = true;
+    engine_ = std::make_unique<QueryEngine>(TestDataset(),
+                                            engine_options);
+    server_ = std::make_unique<OsdServer>(engine_.get(), std::move(options));
+    std::string error;
+    ASSERT_TRUE(server_->Start(&error)) << error;
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) {
+      server_->Shutdown();
+      // Zero leaked tickets: every submit reached a terminal hook.
+      EXPECT_EQ(server_->inflight(), 0);
+      EXPECT_EQ(server_->queries_submitted(), server_->queries_completed());
+    }
+    failpoint::Clear();
+  }
+
+  OsdClient Connect(const std::string& tenant) {
+    OsdClient client;
+    std::string error;
+    EXPECT_TRUE(
+        client.Connect("127.0.0.1", server_->port(), tenant, &error))
+        << error;
+    return client;
+  }
+
+  std::unique_ptr<QueryEngine> engine_;
+  std::unique_ptr<OsdServer> server_;
+};
+
+TEST_F(NetServerTest, StreamedQueryMatchesEmbeddedRunBitIdentically) {
+  StartServer({.num_threads = 2}, {});
+  OsdClient client = Connect("default");
+
+  const JsonValue* dataset_info = client.hello_ok().Find("dataset");
+  ASSERT_NE(dataset_info, nullptr);
+  EXPECT_EQ(dataset_info->Find("objects")->AsNumber(), 400.0);
+  EXPECT_EQ(dataset_info->Find("dim")->AsNumber(), 2.0);
+
+  const int query_ids[] = {0, 17, 399};
+  const char* ops[] = {"psd", "ssd", "fsd"};
+  long next_id = 1;
+  for (int qi = 0; qi < 3; ++qi) {
+    SCOPED_TRACE(query_ids[qi]);
+    SubmitParams params;
+    params.id = next_id++;
+    params.object_id = query_ids[qi];
+    params.op = ops[qi];
+    params.k = 2;
+    std::string error;
+    ASSERT_TRUE(client.Send(BuildSubmitMessage(params), &error)) << error;
+    const StreamedQuery got = ReadUntilTerminal(client, params.id);
+    ASSERT_TRUE(got.got_result);
+    EXPECT_EQ(got.status, "OK");
+    EXPECT_EQ(got.termination, "complete");
+    // At least one progressive frame arrived before the terminal frame.
+    EXPECT_GE(got.streamed.size(), 1u);
+
+    // Embedded ground truth with the same spec on a cold dataset copy.
+    const NncOptions options = OptionsFor(params);
+    const Dataset cold = TestDataset();
+    const NncResult truth =
+        NncSearch(cold, options).Run(cold.object(query_ids[qi]));
+    EXPECT_EQ(got.final_candidates, truth.candidates);
+    // The pre-cleanup stream matches the embedded emission timeline too.
+    std::vector<int> truth_stream;
+    for (const NncEmission& e : truth.timeline) {
+      truth_stream.push_back(e.object_id);
+    }
+    EXPECT_EQ(got.streamed, truth_stream);
+  }
+}
+
+TEST_F(NetServerTest, CancelMidQueryDeliversConsistentTerminalFrame) {
+  StartServer({.num_threads = 1}, {});
+  OsdClient client = Connect("default");
+
+  // Pin the single worker with a slow query so the cancel target sits in
+  // the queue when the cancel frame lands: its terminal frame must still
+  // arrive.
+  const UncertainObject slow = SlowQuery();
+  SubmitParams blocker;
+  blocker.id = 1;
+  blocker.query = &slow;
+  blocker.op = "fsd";
+  blocker.k = 3;
+  SubmitParams target;
+  target.id = 2;
+  target.object_id = 1;
+  std::string error;
+  ASSERT_TRUE(client.Send(BuildSubmitMessage(blocker), &error)) << error;
+  ASSERT_TRUE(client.Send(BuildSubmitMessage(target), &error)) << error;
+  ASSERT_TRUE(client.Send(BuildCancelMessage(target.id), &error)) << error;
+
+  // Terminal frames arrive in either order; collect both in one pass.
+  StreamedQuery terminal[2];
+  while (!terminal[0].got_result || !terminal[1].got_result) {
+    JsonValue msg;
+    ASSERT_TRUE(client.Read(&msg, &error)) << error;
+    const std::string type = MessageType(msg);
+    const JsonValue* id_field = msg.Find("id");
+    ASSERT_NE(id_field, nullptr) << type;
+    const long id = static_cast<long>(id_field->AsNumber());
+    ASSERT_TRUE(id == 1 || id == 2);
+    if (type != "result") continue;  // candidate / cancel_ok frames
+    StreamedQuery& out = terminal[id - 1];
+    out.got_result = true;
+    out.status = msg.Find("status")->AsString();
+    out.termination = msg.Find("termination")->AsString();
+  }
+
+  // The cancel races execution: either it won (CANCELLED) or the query
+  // finished first (OK) — but the (status, termination) pair is always
+  // consistent.
+  const StreamedQuery& cancelled = terminal[target.id - 1];
+  if (cancelled.status == "CANCELLED") {
+    EXPECT_EQ(cancelled.termination, "cancelled");
+  } else {
+    EXPECT_EQ(cancelled.status, "OK");
+    EXPECT_EQ(cancelled.termination, "complete");
+  }
+  EXPECT_EQ(terminal[blocker.id - 1].status, "OK");
+}
+
+TEST_F(NetServerTest, MidQueryDisconnectLeavesOtherTenantsUnharmed) {
+  StartServer({.num_threads = 2}, {});
+
+  // Tenant A submits and vanishes mid-query.
+  {
+    OsdClient doomed = Connect("tenant-a");
+    SubmitParams params;
+    params.id = 1;
+    params.object_id = 0;
+    params.op = "fsd";
+    params.k = 3;
+    std::string error;
+    ASSERT_TRUE(doomed.Send(BuildSubmitMessage(params), &error)) << error;
+    doomed.Close();  // mid-query disconnect
+  }
+
+  // Tenant B gets full, correct service throughout.
+  OsdClient client = Connect("tenant-b");
+  SubmitParams params;
+  params.id = 1;
+  params.object_id = 42;
+  std::string error;
+  ASSERT_TRUE(client.Send(BuildSubmitMessage(params), &error)) << error;
+  const StreamedQuery got = ReadUntilTerminal(client, params.id);
+  ASSERT_TRUE(got.got_result);
+  EXPECT_EQ(got.status, "OK");
+
+  const Dataset cold = TestDataset();
+  EXPECT_EQ(got.final_candidates,
+            NncSearch(cold, OptionsFor(params)).Run(cold.object(42)).candidates);
+  // TearDown then proves the orphaned ticket was not leaked.
+}
+
+TEST_F(NetServerTest, InjectedReadFaultIsContainedToOneConnection) {
+  if (!failpoint::Enabled()) {
+    GTEST_SKIP() << "failpoint sites not compiled in";
+  }
+  StartServer({.num_threads = 2}, {});
+  OsdClient healthy = Connect("tenant-a");
+
+  // Arm one read fault; the next readable connection eats it and dies.
+  std::string error;
+  ASSERT_TRUE(failpoint::Configure("net.read=1xthrow", &error)) << error;
+  OsdClient victim;
+  if (victim.Connect("127.0.0.1", server_->port(), "tenant-b", &error)) {
+    // The handshake read may or may not have eaten the fault; either way
+    // the victim's connection is expendable. Poke it until it dies or
+    // the fault has clearly fired elsewhere.
+    JsonValue msg;
+    victim.Send(BuildCancelMessage(1), &error);
+    victim.Read(&msg, &error);
+  }
+  failpoint::Clear();
+
+  // The healthy tenant's service is unaffected.
+  SubmitParams params;
+  params.id = 1;
+  params.object_id = 7;
+  ASSERT_TRUE(healthy.Send(BuildSubmitMessage(params), &error)) << error;
+  const StreamedQuery got = ReadUntilTerminal(healthy, params.id);
+  ASSERT_TRUE(got.got_result);
+  EXPECT_EQ(got.status, "OK");
+}
+
+TEST_F(NetServerTest, TenantInflightCapShedsExcessLoad) {
+  ServerOptions options;
+  TenantPolicy capped;
+  capped.max_inflight = 1;
+  options.tenants["capped"] = capped;
+  StartServer({.num_threads = 1}, std::move(options));
+  OsdClient client = Connect("capped");
+
+  // The first query occupies the tenant's single slot for a long time (a
+  // heavy inline query), so the second is shed.
+  const UncertainObject heavy = SlowQuery();
+  SubmitParams slow;
+  slow.id = 1;
+  slow.query = &heavy;
+  slow.op = "fsd";
+  slow.k = 3;
+  SubmitParams second;
+  second.id = 2;
+  second.object_id = 1;
+  std::string error;
+  ASSERT_TRUE(client.Send(BuildSubmitMessage(slow), &error)) << error;
+  ASSERT_TRUE(client.Send(BuildSubmitMessage(second), &error)) << error;
+
+  bool shed = false;
+  bool completed = false;
+  int terminals = 0;
+  while (terminals < 2) {
+    JsonValue msg;
+    ASSERT_TRUE(client.Read(&msg, &error)) << error;
+    const std::string type = MessageType(msg);
+    if (type == "error") {
+      EXPECT_EQ(msg.Find("code")->AsString(), kErrOverInflightLimit);
+      EXPECT_EQ(static_cast<long>(msg.Find("id")->AsNumber()), 2);
+      shed = true;
+      ++terminals;
+    } else if (type == "result") {
+      EXPECT_EQ(static_cast<long>(msg.Find("id")->AsNumber()), 1);
+      completed = true;
+      ++terminals;
+    } else {
+      ASSERT_EQ(type, "candidate");
+    }
+  }
+  EXPECT_TRUE(shed);
+  EXPECT_TRUE(completed);
+
+  // With the slot free again, the tenant is served normally.
+  SubmitParams third = second;
+  third.id = 3;
+  ASSERT_TRUE(client.Send(BuildSubmitMessage(third), &error)) << error;
+  const StreamedQuery got = ReadUntilTerminal(client, third.id);
+  ASSERT_TRUE(got.got_result);
+  EXPECT_EQ(got.status, "OK");
+}
+
+TEST_F(NetServerTest, TenantMemoryBudgetGovernsQueries) {
+  ServerOptions options;
+  TenantPolicy tiny;
+  tiny.per_query_mem_bytes = 512;  // no real query fits in this
+  tiny.retries = 0;
+  options.tenants["tiny"] = tiny;
+  StartServer({.num_threads = 1}, std::move(options));
+
+  OsdClient client = Connect("tiny");
+  SubmitParams params;
+  params.id = 1;
+  params.object_id = 0;
+  std::string error;
+  ASSERT_TRUE(client.Send(BuildSubmitMessage(params), &error)) << error;
+  JsonValue msg;
+  std::string type;
+  do {
+    ASSERT_TRUE(client.Read(&msg, &error)) << error;
+    type = MessageType(msg);
+  } while (type == "candidate");
+  ASSERT_EQ(type, "result");
+  EXPECT_EQ(msg.Find("status")->AsString(), "ERROR");
+  const JsonValue* err = msg.Find("error");
+  ASSERT_NE(err, nullptr);
+  EXPECT_NE(err->AsString().find("memory"), std::string::npos)
+      << err->AsString();
+
+  // An uncapped tenant on the same engine runs the same query fine.
+  OsdClient rich = Connect("rich");
+  ASSERT_TRUE(rich.Send(BuildSubmitMessage(params), &error)) << error;
+  const StreamedQuery got = ReadUntilTerminal(rich, params.id);
+  ASSERT_TRUE(got.got_result);
+  EXPECT_EQ(got.status, "OK");
+}
+
+TEST_F(NetServerTest, MetricsCarryTenantLabels) {
+  StartServer({.num_threads = 1}, {});
+  OsdClient client = Connect("alpha");
+  SubmitParams params;
+  params.id = 1;
+  params.object_id = 3;
+  std::string error;
+  ASSERT_TRUE(client.Send(BuildSubmitMessage(params), &error)) << error;
+  const StreamedQuery got = ReadUntilTerminal(client, params.id);
+  ASSERT_TRUE(got.got_result);
+
+  // Over the wire...
+  ASSERT_TRUE(client.Send("{\"type\":\"metrics\"}", &error)) << error;
+  JsonValue msg;
+  ASSERT_TRUE(client.Read(&msg, &error)) << error;
+  ASSERT_EQ(MessageType(msg), "metrics_ok");
+  const std::string text = msg.Find("text")->AsString();
+  EXPECT_NE(text.find("osd_tenant_queries_total{tenant=\"alpha\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("osd_net_connections_accepted_total"),
+            std::string::npos);
+  // ...and in-process, the engine's and the server's series share one
+  // exposition.
+  const std::string direct = server_->MetricsText();
+  EXPECT_NE(direct.find("osd_queries_total"), std::string::npos);
+  EXPECT_NE(direct.find("osd_tenant_candidates_streamed_total"),
+            std::string::npos);
+}
+
+TEST_F(NetServerTest, StatusReportsEngineAndServerState) {
+  StartServer({.num_threads = 1}, {});
+  OsdClient client = Connect("default");
+  std::string error;
+  ASSERT_TRUE(client.Send("{\"type\":\"status\"}", &error)) << error;
+  JsonValue msg;
+  ASSERT_TRUE(client.Read(&msg, &error)) << error;
+  ASSERT_EQ(MessageType(msg), "status_ok");
+  EXPECT_EQ(msg.Find("draining")->AsBool(), false);
+  EXPECT_NE(msg.Find("engine"), nullptr);
+}
+
+TEST_F(NetServerTest, DrainFinishesInflightQueriesThenExits) {
+  StartServer({.num_threads = 1}, {});
+  OsdClient client = Connect("default");
+
+  // Queue up several queries, then request drain while they are in
+  // flight: every terminal frame must still arrive.
+  std::string error;
+  constexpr int kQueries = 4;
+  for (int i = 0; i < kQueries; ++i) {
+    SubmitParams params;
+    params.id = i + 1;
+    params.object_id = i;
+    params.op = "fsd";
+    params.k = 2;
+    ASSERT_TRUE(client.Send(BuildSubmitMessage(params), &error)) << error;
+  }
+  server_->RequestDrain();
+
+  int results = 0;
+  for (int i = 0; i < kQueries; ++i) {
+    const StreamedQuery got = ReadUntilTerminal(client, i + 1);
+    if (got.got_result) ++results;
+  }
+  EXPECT_EQ(results, kQueries);
+
+  // A submit after the drain began is refused...
+  SubmitParams late;
+  late.id = 100;
+  late.object_id = 0;
+  if (client.Send(BuildSubmitMessage(late), &error)) {
+    JsonValue msg;
+    if (client.Read(&msg, &error)) {
+      EXPECT_EQ(MessageType(msg), "error");
+      EXPECT_EQ(msg.Find("code")->AsString(), kErrDraining);
+    }
+  }
+  // ...and the loop exits with nothing in flight.
+  server_->Wait();
+  EXPECT_EQ(server_->inflight(), 0);
+  EXPECT_TRUE(server_->draining());
+  // New connections are refused after drain.
+  OsdClient refused;
+  EXPECT_FALSE(
+      refused.Connect("127.0.0.1", server_->port(), "default", &error));
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace osd

@@ -8,6 +8,13 @@
 //           [--deadline S] [--accept-degraded] [--mem-budget B]
 //           [--failpoints SPEC] [--trace]
 //
+//   osd_cli query --port P [--host H] [--tenant NAME]
+//           (--query-id N | --query-file q.txt)
+//           [--op ...] [--k ...] [--metric ...] [--filters ...]
+//           [--deadline-ms D] [--accept-degraded] [--retries N]
+//           [--mem-budget B] [--no-stream] [--trace]
+//           [--cancel-after-ms X]
+//
 //   osd_cli serve-batch --input data.txt [--weighted] [--binary]
 //           (--workload queries.txt | --gen-queries N [--seed S])
 //           [--threads T] [--op ...] [--k ...] [--metric ...] [--filters ...]
@@ -58,6 +65,15 @@
 // file. --rank-by additionally orders the candidates by an NN function
 // (mean, max, quantile=PHI, emd, hausdorff).
 //
+// query is a one-shot network client for a running osd_server (see
+// tools/osd_server.cc and src/net/): it connects, submits one query over
+// the wire protocol and prints every received frame — progressive
+// "candidate" events, then the terminal "result" — as one JSON object per
+// line. --cancel-after-ms sends a cancel that long after submitting (the
+// degraded/cancel paths of the smoke harness). The exit code is 0 for
+// OK / OK_DEGRADED, 1 for any other terminal status, 2 for usage or
+// connection errors.
+//
 // serve-batch runs a whole query workload concurrently through the
 // QueryEngine (src/engine/): every object of --workload (same text format
 // as the dataset) — or N generated queries seeded from dataset objects —
@@ -73,12 +89,16 @@
 #include <string>
 #include <vector>
 
+#include <thread>
+
 #include "common/failpoint.h"
 #include "common/memory_budget.h"
 #include "core/nnc_search.h"
 #include "datagen/workload.h"
 #include "engine/query_engine.h"
 #include "io/dataset_io.h"
+#include "net/client.h"
+#include "net/protocol.h"
 #include "nnfun/n1_functions.h"
 #include "nnfun/n3_functions.h"
 #include "obs/trace.h"
@@ -277,8 +297,13 @@ int ServeBatch(const Args& args, std::vector<UncertainObject> objects) {
     if (queries.empty()) Die("--workload holds no query objects");
     specs.reserve(queries.size());
     for (UncertainObject& q : queries) {
-      specs.push_back({std::move(q), base, args.deadline_s, retry,
-                       args.trace});
+      QuerySpec spec;
+      spec.query = std::move(q);
+      spec.options = base;
+      spec.deadline_seconds = args.deadline_s;
+      spec.retry = retry;
+      spec.collect_trace = args.trace;
+      specs.push_back(std::move(spec));
     }
   } else {
     WorkloadParams wp;
@@ -287,8 +312,13 @@ int ServeBatch(const Args& args, std::vector<UncertainObject> objects) {
     for (auto& entry : GenerateWorkload(dataset, wp)) {
       NncOptions per_query = base;
       per_query.exclude_id = entry.seeded_from;
-      specs.push_back({std::move(entry.query), per_query, args.deadline_s,
-                       retry, args.trace});
+      QuerySpec spec;
+      spec.query = std::move(entry.query);
+      spec.options = per_query;
+      spec.deadline_seconds = args.deadline_s;
+      spec.retry = retry;
+      spec.collect_trace = args.trace;
+      specs.push_back(std::move(spec));
     }
   }
 
@@ -336,9 +366,159 @@ int ServeBatch(const Args& args, std::vector<UncertainObject> objects) {
   return failed == 0 ? 0 : 1;
 }
 
+// --- `query` network-client subcommand -----------------------------------
+
+struct QueryClientArgs {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string tenant = "default";
+  std::string query_file;
+  int query_id = -1;
+  std::string op = "psd";
+  int k = 1;
+  std::string metric = "l2";
+  std::string filters = "all";
+  double deadline_ms = 0.0;
+  bool accept_degraded = false;
+  int retries = 0;
+  long mem_budget_bytes = 0;
+  bool stream = true;
+  bool trace = false;
+  double cancel_after_ms = -1.0;
+};
+
+QueryClientArgs ParseQueryClient(int argc, char** argv) {
+  QueryClientArgs args;
+  auto need_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) Die(std::string("missing value for ") + argv[i]);
+    return argv[++i];
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--host") {
+      args.host = need_value(i);
+    } else if (flag == "--port") {
+      args.port = std::atoi(need_value(i).c_str());
+    } else if (flag == "--tenant") {
+      args.tenant = need_value(i);
+    } else if (flag == "--query-file") {
+      args.query_file = need_value(i);
+    } else if (flag == "--query-id") {
+      args.query_id = std::atoi(need_value(i).c_str());
+    } else if (flag == "--op") {
+      args.op = need_value(i);
+      Operator op;
+      if (!ParseOperator(args.op, &op)) Die("unknown --op");
+    } else if (flag == "--k") {
+      args.k = std::atoi(need_value(i).c_str());
+      if (args.k < 1) Die("--k must be >= 1");
+    } else if (flag == "--metric") {
+      args.metric = need_value(i);
+      if (args.metric != "l2" && args.metric != "l1") Die("unknown --metric");
+    } else if (flag == "--filters") {
+      args.filters = need_value(i);
+      FilterConfig config;
+      if (!ParseFilters(args.filters, &config)) Die("unknown --filters");
+    } else if (flag == "--deadline-ms") {
+      args.deadline_ms = std::atof(need_value(i).c_str());
+      if (args.deadline_ms <= 0) Die("--deadline-ms must be > 0");
+    } else if (flag == "--accept-degraded") {
+      args.accept_degraded = true;
+    } else if (flag == "--retries") {
+      args.retries = std::atoi(need_value(i).c_str());
+      if (args.retries < 0) Die("--retries must be >= 0");
+    } else if (flag == "--mem-budget") {
+      args.mem_budget_bytes = ParseByteSize(need_value(i), "--mem-budget");
+    } else if (flag == "--no-stream") {
+      args.stream = false;
+    } else if (flag == "--trace") {
+      args.trace = true;
+    } else if (flag == "--cancel-after-ms") {
+      args.cancel_after_ms = std::atof(need_value(i).c_str());
+      if (args.cancel_after_ms < 0) Die("--cancel-after-ms must be >= 0");
+    } else {
+      Die("unknown flag " + flag);
+    }
+  }
+  if (args.port <= 0) Die("query needs --port");
+  if (args.query_file.empty() == (args.query_id < 0)) {
+    Die("query needs exactly one of --query-id / --query-file");
+  }
+  return args;
+}
+
+int RunQueryClient(const QueryClientArgs& args) {
+  UncertainObject inline_query;
+  net::SubmitParams params;
+  params.id = 1;
+  params.op = args.op;
+  params.k = args.k;
+  params.metric = args.metric;
+  params.filters = args.filters;
+  params.deadline_ms = args.deadline_ms;
+  params.accept_degraded = args.accept_degraded;
+  params.retries = args.retries;
+  params.mem_budget_bytes = args.mem_budget_bytes;
+  params.stream = args.stream;
+  params.trace = args.trace;
+  if (!args.query_file.empty()) {
+    std::vector<UncertainObject> qset;
+    std::string error;
+    if (!LoadText(args.query_file, &qset, &error)) Die(error);
+    if (qset.size() != 1) Die("--query-file must hold exactly one object");
+    inline_query = std::move(qset[0]);
+    params.query = &inline_query;
+  } else {
+    params.object_id = args.query_id;
+  }
+
+  net::OsdClient client;
+  std::string error;
+  if (!client.Connect(args.host, args.port, args.tenant, &error)) {
+    Die("connect: " + error);
+  }
+  if (!client.Send(net::BuildSubmitMessage(params), &error)) {
+    Die("submit: " + error);
+  }
+  if (args.cancel_after_ms >= 0) {
+    // Sequential on purpose: candidate frames buffer in the socket while
+    // we sleep, and the client is not thread-safe.
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(args.cancel_after_ms));
+    if (!client.Send(net::BuildCancelMessage(params.id), &error)) {
+      Die("cancel: " + error);
+    }
+  }
+
+  // Print every frame as one JSON line until the terminal frame for our id.
+  while (true) {
+    net::JsonValue msg;
+    std::string raw;
+    if (!client.Read(&msg, &error, &raw)) Die("read: " + error);
+    std::printf("%s\n", raw.c_str());
+    const std::string type = net::MessageType(msg);
+    if (type == "result") {
+      std::fflush(stdout);
+      const net::JsonValue* status = msg.Find("status");
+      if (status != nullptr && status->is_string() &&
+          (status->AsString() == "OK" || status->AsString() == "OK_DEGRADED")) {
+        return 0;
+      }
+      return 1;
+    }
+    if (type == "error") {
+      std::fflush(stdout);
+      return 1;
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "query") == 0) {
+    return RunQueryClient(ParseQueryClient(argc, argv));
+  }
   const Args args = Parse(argc, argv);
 
   {

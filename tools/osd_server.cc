@@ -1,0 +1,305 @@
+// Standalone OSD network service (see src/net/server.h).
+//
+// Usage:
+//   osd_server --input data.txt [--weighted] [--binary]
+//   osd_server --gen-data N [--gen-dim D] [--gen-instances M] [--seed S]
+//
+// plus, for either data source:
+//   [--host H] [--port P]            loopback:auto by default; the bound
+//                                    address is printed as
+//                                    "listening on H:P" once ready
+//   [--threads T] [--queue N]        engine sizing
+//   [--mem-budget B]                 default per-query memory cap
+//   [--engine-mem-budget B]          engine-wide memory cap
+//   [--slow-query-ms X]              keep a slow-query log
+//   [--no-shed]                      block instead of shedding on overload
+//                                    (not recommended: a blocked Submit
+//                                    stalls the event loop)
+//   [--max-connections N]
+//   [--tenant NAME:mem=SIZE,inflight=N,retries=R]
+//                                    per-tenant policy, repeatable; the
+//                                    name "default" sets the policy for
+//                                    tenants without an explicit entry
+//   [--metrics-out FILE]             write Prometheus metrics on exit
+//   [--failpoints SPEC]              arm fault-injection sites
+//
+// SIGTERM / SIGINT initiate a graceful drain: the listener closes, new
+// submits are refused, in-flight queries finish and their terminal frames
+// flush, and the process exits 0 with a summary on stderr.
+
+#include <signal.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "datagen/generators.h"
+#include "engine/query_engine.h"
+#include "io/dataset_io.h"
+#include "net/server.h"
+
+namespace {
+
+using namespace osd;
+
+struct Args {
+  std::string input;
+  bool weighted = false;
+  bool binary = false;
+  int gen_data = 0;
+  int gen_dim = 2;
+  int gen_instances = 8;
+  uint64_t seed = 42;
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int threads = 0;
+  size_t queue = 4096;
+  long mem_budget_bytes = 0;
+  long engine_mem_budget_bytes = 0;
+  double slow_query_ms = 0.0;
+  bool shed = true;
+  size_t max_connections = 256;
+  net::TenantPolicy default_policy;
+  std::map<std::string, net::TenantPolicy> tenants;
+  std::string metrics_out;
+  std::string failpoints;
+};
+
+[[noreturn]] void Die(const std::string& message) {
+  std::fprintf(stderr, "osd_server: %s\n", message.c_str());
+  std::exit(2);
+}
+
+long ParseByteSize(const std::string& s, const char* what) {
+  char* end = nullptr;
+  const double value = std::strtod(s.c_str(), &end);
+  long multiplier = 1;
+  if (end != nullptr && *end != '\0') {
+    switch (*end) {
+      case 'k': case 'K': multiplier = 1L << 10; break;
+      case 'm': case 'M': multiplier = 1L << 20; break;
+      case 'g': case 'G': multiplier = 1L << 30; break;
+      default: Die(std::string(what) + ": bad byte size '" + s + "'");
+    }
+    if (*(end + 1) != '\0') {
+      Die(std::string(what) + ": bad byte size '" + s + "'");
+    }
+  }
+  const double bytes = value * static_cast<double>(multiplier);
+  if (!(bytes >= 1) || bytes > 9e18) {
+    Die(std::string(what) + " must be a positive byte count");
+  }
+  return static_cast<long>(bytes);
+}
+
+/// Parses "NAME:mem=64m,inflight=4,retries=1" (every key optional).
+void ParseTenantFlag(const std::string& spec, Args* args) {
+  const size_t colon = spec.find(':');
+  if (colon == std::string::npos || colon == 0) {
+    Die("--tenant must look like NAME:mem=SIZE,inflight=N,retries=R");
+  }
+  const std::string name = spec.substr(0, colon);
+  if (name != "default" && !net::ValidTenantName(name)) {
+    Die("--tenant: invalid tenant name '" + name + "'");
+  }
+  net::TenantPolicy policy;
+  std::string rest = spec.substr(colon + 1);
+  while (!rest.empty()) {
+    const size_t comma = rest.find(',');
+    const std::string item = rest.substr(0, comma);
+    rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos) Die("--tenant: bad item '" + item + "'");
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "mem") {
+      policy.per_query_mem_bytes = ParseByteSize(value, "--tenant mem");
+    } else if (key == "inflight") {
+      policy.max_inflight = std::atoi(value.c_str());
+      if (policy.max_inflight < 1) Die("--tenant: inflight must be >= 1");
+    } else if (key == "retries") {
+      policy.retries = std::atoi(value.c_str());
+      if (policy.retries < 0) Die("--tenant: retries must be >= 0");
+    } else {
+      Die("--tenant: unknown key '" + key + "'");
+    }
+  }
+  if (name == "default") {
+    args->default_policy = policy;
+  } else {
+    args->tenants[name] = policy;
+  }
+}
+
+Args Parse(int argc, char** argv) {
+  Args args;
+  auto need_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) Die(std::string("missing value for ") + argv[i]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--input") {
+      args.input = need_value(i);
+    } else if (flag == "--weighted") {
+      args.weighted = true;
+    } else if (flag == "--binary") {
+      args.binary = true;
+    } else if (flag == "--gen-data") {
+      args.gen_data = std::atoi(need_value(i).c_str());
+      if (args.gen_data < 1) Die("--gen-data must be >= 1");
+    } else if (flag == "--gen-dim") {
+      args.gen_dim = std::atoi(need_value(i).c_str());
+      if (args.gen_dim < 1) Die("--gen-dim must be >= 1");
+    } else if (flag == "--gen-instances") {
+      args.gen_instances = std::atoi(need_value(i).c_str());
+      if (args.gen_instances < 1) Die("--gen-instances must be >= 1");
+    } else if (flag == "--seed") {
+      args.seed = std::strtoull(need_value(i).c_str(), nullptr, 10);
+    } else if (flag == "--host") {
+      args.host = need_value(i);
+    } else if (flag == "--port") {
+      args.port = std::atoi(need_value(i).c_str());
+      if (args.port < 0 || args.port > 65535) Die("--port out of range");
+    } else if (flag == "--threads") {
+      args.threads = std::atoi(need_value(i).c_str());
+    } else if (flag == "--queue") {
+      const int q = std::atoi(need_value(i).c_str());
+      if (q < 1) Die("--queue must be >= 1");
+      args.queue = static_cast<size_t>(q);
+    } else if (flag == "--mem-budget") {
+      args.mem_budget_bytes = ParseByteSize(need_value(i), "--mem-budget");
+    } else if (flag == "--engine-mem-budget") {
+      args.engine_mem_budget_bytes =
+          ParseByteSize(need_value(i), "--engine-mem-budget");
+    } else if (flag == "--slow-query-ms") {
+      args.slow_query_ms = std::atof(need_value(i).c_str());
+      if (args.slow_query_ms <= 0) Die("--slow-query-ms must be > 0");
+    } else if (flag == "--no-shed") {
+      args.shed = false;
+    } else if (flag == "--max-connections") {
+      const int n = std::atoi(need_value(i).c_str());
+      if (n < 1) Die("--max-connections must be >= 1");
+      args.max_connections = static_cast<size_t>(n);
+    } else if (flag == "--tenant") {
+      ParseTenantFlag(need_value(i), &args);
+    } else if (flag == "--metrics-out") {
+      args.metrics_out = need_value(i);
+    } else if (flag == "--failpoints") {
+      args.failpoints = need_value(i);
+    } else {
+      Die("unknown flag " + flag);
+    }
+  }
+  if (args.input.empty() == (args.gen_data == 0)) {
+    Die("exactly one of --input / --gen-data is required");
+  }
+  return args;
+}
+
+net::OsdServer* g_server = nullptr;
+
+extern "C" void HandleSignal(int) {
+  // RequestDrain is async-signal-safe by contract.
+  if (g_server != nullptr) g_server->RequestDrain();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = Parse(argc, argv);
+
+  {
+    std::string fp_error;
+    if (!failpoint::ConfigureFromEnv(&fp_error)) Die(fp_error);
+    if (!args.failpoints.empty() &&
+        !failpoint::Configure(args.failpoints, &fp_error)) {
+      Die(fp_error);
+    }
+    if (!failpoint::ArmedSites().empty() && !failpoint::Enabled()) {
+      std::fprintf(stderr,
+                   "osd_server: warning: failpoints armed but this build has "
+                   "no sites compiled in (rebuild with -DOSD_FAILPOINTS=ON)\n");
+    }
+  }
+
+  std::vector<UncertainObject> objects;
+  if (!args.input.empty()) {
+    std::string error;
+    bool ok;
+    if (args.binary) {
+      ok = LoadBinary(args.input, &objects, &error);
+    } else if (args.weighted) {
+      ok = LoadTextWeighted(args.input, &objects, &error);
+    } else {
+      ok = LoadText(args.input, &objects, &error);
+    }
+    if (!ok) Die(error);
+  } else {
+    SyntheticParams params;
+    params.num_objects = args.gen_data;
+    params.dim = args.gen_dim;
+    params.instances_per_object = args.gen_instances;
+    params.seed = args.seed;
+    objects = GenerateSyntheticObjects(params);
+  }
+  if (objects.empty()) Die("dataset holds no objects");
+
+  QueryEngine engine(Dataset(std::move(objects)),
+                     {.num_threads = args.threads,
+                      .queue_capacity = args.queue,
+                      .shed_on_overload = args.shed,
+                      .slow_query_threshold_ms = args.slow_query_ms,
+                      .per_query_mem_bytes = args.mem_budget_bytes,
+                      .engine_mem_bytes = args.engine_mem_budget_bytes});
+
+  net::ServerOptions options;
+  options.host = args.host;
+  options.port = args.port;
+  options.max_connections = args.max_connections;
+  options.default_policy = args.default_policy;
+  options.tenants = args.tenants;
+
+  net::OsdServer server(&engine, options);
+  std::string error;
+  if (!server.Start(&error)) Die(error);
+  g_server = &server;
+
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = HandleSignal;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+
+  std::fprintf(stderr,
+               "osd_server: %d objects, dim %d, %d worker thread(s)\n",
+               engine.dataset().size(), engine.dataset().dim(),
+               engine.num_threads());
+  // The machine-readable ready line; the smoke harness parses it.
+  std::printf("listening on %s:%d\n", args.host.c_str(), server.port());
+  std::fflush(stdout);
+
+  server.Wait();
+  g_server = nullptr;
+
+  std::fprintf(stderr,
+               "osd_server: drained; %ld submitted, %ld completed, "
+               "%ld in flight, %ld connection(s) served\n",
+               server.queries_submitted(), server.queries_completed(),
+               server.inflight(), server.connections_accepted());
+  if (!args.metrics_out.empty()) {
+    const std::string text = server.MetricsText();
+    std::FILE* f = std::fopen(args.metrics_out.c_str(), "w");
+    if (f == nullptr) Die("cannot open --metrics-out " + args.metrics_out);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+  }
+  if (args.slow_query_ms > 0) {
+    std::fprintf(stderr, "%s\n", engine.SlowQueryDump().c_str());
+  }
+  return server.inflight() == 0 ? 0 : 1;
+}
