@@ -3,7 +3,9 @@
 # ephemeral loopback port, drives it with concurrent osd_cli query
 # clients (a plain query, a mid-flight cancel, a deadline-degraded run),
 # then SIGTERMs the server mid-flight and asserts a clean drain — every
-# in-flight ticket finished, summary printed, exit code 0.
+# in-flight ticket finished, summary printed, exit code 0. Finishes with
+# a quick osd_chaos soak (adversarial clients + failpoint storms + drain
+# cycles, all resilience invariants asserted).
 #
 # Usage: scripts/server_smoke.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -12,9 +14,10 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 SERVER="$BUILD_DIR/tools/osd_server"
 CLI="$BUILD_DIR/tools/osd_cli"
+CHAOS="$BUILD_DIR/tools/osd_chaos"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD_DIR" -j"$(nproc)" --target osd_server osd_cli
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target osd_server osd_cli osd_chaos
 
 TMP="$(mktemp -d)"
 SERVER_PID=""
@@ -93,4 +96,9 @@ grep -q '"type":"result"' "$TMP/inflight.out" \
   || { echo "FAIL: in-flight client lost its terminal frame on drain"
        cat "$TMP/inflight.out"; exit 1; }
 echo "drain OK: $(grep 'drained;' "$TMP/server.err")"
+
+# Quick chaos soak: in-process server under hostile clients, failpoint
+# storms and SIGTERM cycles; fails on any resilience-invariant violation.
+"$CHAOS" --quick \
+  || { echo "FAIL: chaos soak"; exit 1; }
 echo "PASS: server smoke"

@@ -1,5 +1,6 @@
 #include "common/failpoint.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
@@ -7,6 +8,7 @@
 #include <map>
 #include <mutex>
 #include <new>
+#include <random>
 #include <thread>
 #include <utility>
 
@@ -22,9 +24,10 @@ enum class Action { kThrow, kBadAlloc, kError, kDelay };
 /// trigger nothing will ever hit. Keep in sync with the site macros.
 constexpr const char* kKnownSites[] = {
     "dominance.check",    "dominance.level",  "engine.execute",
-    "io.binary.header",   "io.binary.object", "io.open",
-    "io.text.header",     "io.text.object",   "mem.charge",
-    "mem.flow.build",     "mem.nnc.heap",     "mem.profile.matrix",
+    "envelope.round",     "flow.augment",     "io.binary.header",
+    "io.binary.object",   "io.open",          "io.text.header",
+    "io.text.object",     "mem.charge",       "mem.flow.build",
+    "mem.nnc.heap",       "mem.profile.matrix",
     "mem.profile.sorted", "net.accept",       "net.read",
     "net.write",          "nnc.node_expand",  "nnc.object_examine",
     "nnc.pop",            "object.local_tree",
@@ -42,15 +45,32 @@ struct Trigger {
   Action action = Action::kThrow;
   std::string message;
   double delay_ms = 0.0;
-  long start_hit = 1;   // 1-based hit index of the first firing
-  long max_fires = -1;  // -1 = unlimited
+  long start_hit = 1;        // 1-based hit index of the first firing
+  long max_fires = -1;       // -1 = unlimited
+  double probability = 1.0;  // per-hit fire probability (from @p=)
   long hits = 0;
   long fires = 0;
 };
 
+/// Fixed default seed for the @p= RNG: probabilistic chaos runs replay
+/// identically unless the caller chooses otherwise ($OSD_FAILPOINT_SEED or
+/// SeedRng).
+constexpr unsigned long long kDefaultSeed = 0x05DC'0D5Dull;
+
 struct Registry {
+  Registry() {
+    unsigned long long seed = kDefaultSeed;
+    if (const char* env = std::getenv("OSD_FAILPOINT_SEED");
+        env != nullptr && *env != '\0') {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(env, &end, 10);
+      if (end != nullptr && *end == '\0') seed = v;
+    }
+    rng.seed(seed);
+  }
   std::mutex mu;
   std::map<std::string, Trigger> sites;
+  std::mt19937_64 rng;  // draws happen under mu, so replays are exact
 };
 
 // Leaked singleton: failpoints may be evaluated during static destruction
@@ -117,19 +137,38 @@ bool ParseTrigger(const std::string& site, const std::string& expr,
     rest = rest.substr(x + 1);
   }
 
-  // Optional `@S` start-hit suffix. Only an '@' after the argument's
-  // closing ')' is a suffix — `throw(a@b)` carries the '@' in its message.
+  // Optional `@S` start-hit or `@p=P` probability suffix. Only an '@'
+  // after the argument's closing ')' is a suffix — `throw(a@b)` carries
+  // the '@' in its message.
   size_t at = rest.rfind('@');
   const size_t close = rest.rfind(')');
   if (at != std::string::npos && close != std::string::npos && at < close) {
     at = std::string::npos;
   }
   if (at != std::string::npos) {
-    long s = 0;
-    if (!ParseLong(rest.substr(at + 1), &s) || s < 1) {
-      return ParseFail(error, site + ": bad start hit in '" + expr + "'");
+    const std::string suffix = rest.substr(at + 1);
+    if (suffix.rfind("p=", 0) == 0) {
+      const std::string num = suffix.substr(2);
+      char* end = nullptr;
+      const double p = std::strtod(num.c_str(), &end);
+      if (num.empty() || end == nullptr || *end != '\0' ||
+          !std::isfinite(p)) {
+        return ParseFail(error, site + ": bad probability in '" + expr +
+                                    "' (want @p=<number>)");
+      }
+      if (p <= 0.0 || p > 1.0) {
+        return ParseFail(error,
+                         site + ": probability " + num +
+                             " out of range; @p= needs p in (0, 1]");
+      }
+      t->probability = p;
+    } else {
+      long s = 0;
+      if (!ParseLong(suffix, &s) || s < 1) {
+        return ParseFail(error, site + ": bad start hit in '" + expr + "'");
+      }
+      t->start_hit = s;
     }
-    t->start_hit = s;
     rest = rest.substr(0, at);
   }
 
@@ -203,6 +242,13 @@ bool Hit(const char* site) {
     ++t.hits;
     if (t.hits < t.start_hit) return false;
     if (t.max_fires >= 0 && t.fires >= t.max_fires) return false;
+    if (t.probability < 1.0) {
+      // Draw under the registry lock: a fixed seed then yields one global
+      // deterministic decision sequence, so storms replay exactly when the
+      // workload's hit order is deterministic.
+      std::uniform_real_distribution<double> uniform(0.0, 1.0);
+      if (uniform(Reg().rng) >= t.probability) return false;
+    }
     ++t.fires;
     action = t.action;
     delay_ms = t.delay_ms;
@@ -312,6 +358,18 @@ std::vector<std::string> ArmedSites() {
   out.reserve(Reg().sites.size());
   for (const auto& [site, trigger] : Reg().sites) out.push_back(site);
   return out;
+}
+
+std::vector<std::string> KnownSiteNames() {
+  std::vector<std::string> out(std::begin(kKnownSites),
+                               std::end(kKnownSites));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void SeedRng(unsigned long long seed) {
+  std::lock_guard<std::mutex> lock(Reg().mu);
+  Reg().rng.seed(seed);
 }
 
 }  // namespace osd::failpoint

@@ -13,7 +13,7 @@
 //
 //   spec    := entry (',' entry)*
 //   entry   := site '=' trigger
-//   trigger := 'off' | [N 'x'] action ['(' arg ')'] ['@' S]
+//   trigger := 'off' | [N 'x'] action ['(' arg ')'] ['@' S | '@p=' P]
 //   action  := 'throw' | 'throw_bad_alloc' | 'error' | 'delay'
 //
 //   site                site names use [A-Za-z0-9_.-]
@@ -25,12 +25,18 @@
 //   delay(ms)           sleep for `ms` milliseconds, then continue
 //   Nx                  fire at most N times, then stay dormant
 //   @S                  first firing on the S-th hit (1-based)
+//   @p=P                probabilistic: each hit fires with probability P,
+//                       P in (0, 1], drawn from the registry RNG (seeded
+//                       via $OSD_FAILPOINT_SEED or SeedRng() so chaos runs
+//                       replay identically). Mutually exclusive with @S;
+//                       composes with Nx (at most N probabilistic fires).
 //
 // Examples:
 //   nnc.pop=throw@100            throw on the 100th heap pop
 //   io.binary.object=2xerror     fail the first two binary object reads
 //   dominance.check=delay(5)@10  5 ms stall from the 10th check onward
 //   mem.charge=throw_bad_alloc   OOM on the first budget charge
+//   flow.augment=throw@p=0.01    each augmenting phase fails w.p. 1%
 //
 // Configure rejects malformed specs atomically (missing '=', bad counts,
 // trailing garbage, non-finite delays, duplicate sites) and — so a typo'd
@@ -106,6 +112,16 @@ long FireCount(const std::string& site);
 
 /// Names of currently configured sites, sorted.
 std::vector<std::string> ArmedSites();
+
+/// Every site name compiled into the library (the Configure whitelist),
+/// sorted. Chaos drivers use this to build random multi-site storms
+/// without hard-coding the site list.
+std::vector<std::string> KnownSiteNames();
+
+/// Reseeds the registry RNG that `@p=` triggers draw from. Defaults to a
+/// fixed constant (overridable via $OSD_FAILPOINT_SEED) so probabilistic
+/// chaos runs are reproducible by construction.
+void SeedRng(unsigned long long seed);
 
 namespace internal {
 /// Number of configured sites; lets Evaluate skip the registry lock (one

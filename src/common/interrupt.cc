@@ -1,0 +1,23 @@
+#include "common/interrupt.h"
+
+namespace osd {
+namespace interrupt {
+namespace internal {
+
+thread_local Scope* g_scope = nullptr;
+
+void PollSlow(Scope* scope) {
+  if (scope->cancel_ != nullptr &&
+      scope->cancel_->load(std::memory_order_relaxed)) {
+    throw Interrupted(Kind::kCancelled);
+  }
+  if (scope->has_deadline_ &&
+      scope->polls_++ % Scope::kDeadlineStride == 0 &&
+      std::chrono::steady_clock::now() >= scope->deadline_) {
+    throw Interrupted(Kind::kDeadlineExceeded);
+  }
+}
+
+}  // namespace internal
+}  // namespace interrupt
+}  // namespace osd

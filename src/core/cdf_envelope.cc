@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/failpoint.h"
+#include "common/interrupt.h"
 #include "common/memory_budget.h"
 #include "index/rtree.h"
 
@@ -196,6 +198,12 @@ EnvelopeDecision EnvelopeSSd(const UncertainObject& u,
   Frontier fu(u, ctx, geometric, stats);
   Frontier fv(v, ctx, geometric, stats);
   for (int round = 0; round < limits.max_rounds; ++round) {
+    // Each refinement round doubles the frontier work, so rounds are
+    // interrupt points: a query past its deadline stops here instead of
+    // finishing the envelope (NncSearch turns the throw into its usual
+    // early-termination result).
+    interrupt::Poll();
+    OSD_FAILPOINT("envelope.round");
     // Validation: lowCDF_U (mass at seg.hi) >= upCDF_V (mass at seg.lo).
     bool strict = false;
     if (StepLeq(JumpsAt(fu.segs(), /*at_hi=*/true),
@@ -269,6 +277,8 @@ EnvelopeDecision EnvelopeSsSd(const UncertainObject& u,
   };
 
   for (int round = 0; round < limits.max_rounds; ++round) {
+    interrupt::Poll();
+    OSD_FAILPOINT("envelope.round");
     bool all_validated = true;
     bool any_strict = false;
     for (int qi = 0; qi < ctx.num_instances(); ++qi) {

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/failpoint.h"
+#include "common/interrupt.h"
 #include "common/memory_budget.h"
 #include "core/profile_scratch.h"
 
@@ -21,6 +22,12 @@ struct HeapItem {
     return a.key > b.key;
   }
 };
+
+NncTermination TerminationFor(interrupt::Kind kind) {
+  return kind == interrupt::Kind::kCancelled
+             ? NncTermination::kCancelled
+             : NncTermination::kDeadlineExceeded;
+}
 
 const char* TerminationName(NncTermination t) {
   switch (t) {
@@ -51,6 +58,15 @@ NncResult NncSearch::Run(
 
   NncResult result;
   OSD_TRACE_INSTALL(options_.trace);
+  // Mirror the query's cancel flag and deadline into the thread-local
+  // interrupt scope so layers below core (max-flow runs, envelope rounds)
+  // can poll them without a dependency on QueryControl. The throws land in
+  // the per-item containment handlers below.
+  interrupt::Scope interrupt_scope(
+      options_.control != nullptr ? &options_.control->cancel : nullptr,
+      options_.control != nullptr
+          ? options_.control->deadline
+          : std::chrono::steady_clock::time_point::max());
   QueryContext ctx(query, options_.metric);
   DominanceOracle oracle(ctx, options_.filters, &result.stats);
   const RTree& tree = dataset_->global_tree();
@@ -179,6 +195,15 @@ NncResult NncSearch::Run(
         const double t = elapsed();
         result.timeline.push_back({item.id, t});
         if (on_candidate) on_candidate(item.id, t);
+      } catch (const interrupt::Interrupted& e) {
+        // Deep-poll termination (a max-flow or envelope loop saw the
+        // deadline/cancel mid-item). Same contract as the pop-site checks
+        // above: never an error, just an early stop — with the in-flight
+        // item returned to the frontier so a degraded drain still
+        // certifies it.
+        heap.push(item);
+        result.termination = TerminationFor(e.kind());
+        break;
       } catch (const MemoryExceeded&) {
         if (!options_.degraded_superset) throw;
         heap.push(item);
@@ -229,6 +254,12 @@ NncResult NncSearch::Run(
           if (oracle.Dominates(options_.op, pi, pj)) ++dominators[j];
         }
         if (dominators[j] >= options_.k) dead[j] = 1;
+      }
+    } catch (const interrupt::Interrupted& e) {
+      // Cleanup only removes certified-dominated candidates, so stopping
+      // it early is sound; keep the flags set so far and move on.
+      if (result.termination == NncTermination::kComplete) {
+        result.termination = TerminationFor(e.kind());
       }
     } catch (const MemoryExceeded&) {
       if (!options_.degraded_superset) throw;

@@ -92,6 +92,8 @@ std::string EngineStats::ToJson() const {
   Append(&out, ",\"cancelled\":%ld", cancelled);
   Append(&out, ",\"errors\":%ld", errors);
   Append(&out, ",\"rejected\":%ld", rejected);
+  Append(&out, ",\"stalled\":%ld", stalled);
+  Append(&out, ",\"workers_poisoned\":%ld", workers_poisoned);
   Append(&out, ",\"retries\":%ld", retries);
   Append(&out, ",\"wall_seconds\":%.6f", wall_seconds);
   Append(&out, ",\"qps\":%.2f", qps);

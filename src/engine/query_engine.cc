@@ -82,6 +82,7 @@ QueryEngine::QueryEngine(Dataset dataset, EngineOptions options)
       QueryStatus::kOk,        QueryStatus::kDeadlineExceeded,
       QueryStatus::kCancelled, QueryStatus::kError,
       QueryStatus::kOkDegraded, QueryStatus::kRejected,
+      QueryStatus::kStalled,
   };
   for (QueryStatus status : kStatuses) {
     if (status == QueryStatus::kPending || status == QueryStatus::kRunning) {
@@ -140,6 +141,9 @@ QueryEngine::QueryEngine(Dataset dataset, EngineOptions options)
   hot_.mem_peak = &registry_.GetGauge(
       "osd_mem_engine_peak_bytes",
       "Peak engine-wide charged query memory (bytes)");
+  if (options_.watchdog) {
+    watchdog_thread_ = std::thread([this] { WatchdogLoop(); });
+  }
 }
 
 void QueryEngine::NoteMemBreach() {
@@ -160,7 +164,98 @@ long QueryEngine::AdmissionHighWaterBytes() const {
 
 QueryEngine::~QueryEngine() {
   Drain();
+  {
+    std::lock_guard<std::mutex> lock(watch_mu_);
+    watch_stop_ = true;
+  }
+  watch_cv_.notify_all();
+  if (watchdog_thread_.joinable()) watchdog_thread_.join();
   pool_.Shutdown();
+}
+
+long QueryEngine::WatchRegister(const std::shared_ptr<QueryTicket>& ticket,
+                                Operator op) {
+  if (!options_.watchdog) return -1;
+  const QueryControl& control = ticket->control_;
+  std::chrono::steady_clock::time_point hard;
+  if (control.has_deadline()) {
+    const double budget_s =
+        std::chrono::duration<double>(control.deadline - ticket->submitted_at_)
+            .count();
+    const double grace_s =
+        std::max(budget_s * std::max(options_.watchdog_grace_fraction, 0.0),
+                 std::max(options_.watchdog_min_grace_ms, 0.0) / 1e3);
+    hard = control.deadline +
+           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+               std::chrono::duration<double>(grace_s));
+  } else if (options_.watchdog_no_deadline_ms > 0.0) {
+    hard = std::chrono::steady_clock::now() +
+           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+               std::chrono::duration<double>(
+                   options_.watchdog_no_deadline_ms / 1e3));
+  } else {
+    return -1;  // no hard limit to enforce
+  }
+  std::lock_guard<std::mutex> lock(watch_mu_);
+  const long id = ++next_watch_id_;
+  running_[id] = Watched{ticket, op, hard, std::this_thread::get_id()};
+  watch_cv_.notify_all();
+  return id;
+}
+
+void QueryEngine::WatchUnregister(long id) {
+  if (id < 0) return;
+  std::lock_guard<std::mutex> lock(watch_mu_);
+  // Absent means the watchdog already expired this execution; nothing to do
+  // — the ticket's completion claim settles who reported the outcome.
+  running_.erase(id);
+}
+
+void QueryEngine::WatchdogLoop() {
+  std::unique_lock<std::mutex> lock(watch_mu_);
+  while (!watch_stop_) {
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<Watched> expired;
+    for (auto it = running_.begin(); it != running_.end();) {
+      if (it->second.hard_deadline <= now) {
+        expired.push_back(std::move(it->second));
+        it = running_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (!expired.empty()) {
+      // Act outside the registry lock: FailStalled completes tickets and
+      // runs their on_finish hooks, which may block or call back into the
+      // engine.
+      lock.unlock();
+      for (Watched& w : expired) FailStalled(w);
+      lock.lock();
+      continue;
+    }
+    watch_cv_.wait_for(lock, std::chrono::duration<double, std::milli>(
+                                 std::max(options_.watchdog_poll_ms, 0.5)));
+  }
+}
+
+void QueryEngine::FailStalled(Watched& watched) {
+  // Cooperative signal first: if the stuck worker ever reaches a poll
+  // point, it stops immediately instead of finishing the doomed work (its
+  // completion loses the claim below either way).
+  watched.ticket->Cancel();
+  const bool won = Complete(
+      watched.ticket, watched.op, QueryStatus::kStalled, {},
+      "query exceeded its hard wall-clock limit without reaching a "
+      "cooperative poll point (engine watchdog)",
+      0);
+  if (won && options_.watchdog_respawn) {
+    // The worker is genuinely wedged (it did not complete first): poison it
+    // so it exits once the stalled task finally returns, with an immediate
+    // replacement keeping pool capacity whole.
+    pool_.PoisonWorker(watched.worker);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++workers_poisoned_;
+  }
 }
 
 std::shared_ptr<QueryTicket> QueryEngine::Submit(QuerySpec spec) {
@@ -263,6 +358,13 @@ void QueryEngine::Execute(const std::shared_ptr<QueryTicket>& ticket,
   ticket->MarkRunning();
   spec.options.control = &control;
   spec.options.trace = ticket->trace_.get();
+  // Watchdog supervision for the whole execution, retries included; the
+  // guard unregisters on every exit path.
+  struct WatchGuard {
+    QueryEngine* engine;
+    long id;
+    ~WatchGuard() { engine->WatchUnregister(id); }
+  } watch_guard{this, WatchRegister(ticket, op)};
   const int max_attempts = std::max(1, spec.retry.max_attempts);
   std::string failure;
   int attempt = 0;
@@ -291,7 +393,14 @@ void QueryEngine::Execute(const std::shared_ptr<QueryTicket>& ticket,
           // Attempt-stamped forwarding: a retry restarts the stream, and
           // the consumer disambiguates by the attempt number.
           const int this_attempt = attempt;
-          emit = [&spec, this_attempt](int id, double elapsed) {
+          emit = [&spec, &ticket, this_attempt](int id, double elapsed) {
+            // A watchdog-stalled ticket is already terminal; its worker may
+            // still be running, but no emission may follow the terminal
+            // hook (best-effort — the claim is checked right before the
+            // forward).
+            if (ticket->completion_claimed_.load(std::memory_order_acquire)) {
+              return;
+            }
             spec.on_emission(NncEmission{id, elapsed}, this_attempt);
           };
         }
@@ -369,9 +478,16 @@ void QueryEngine::Execute(const std::shared_ptr<QueryTicket>& ticket,
            attempt);
 }
 
-void QueryEngine::Complete(const std::shared_ptr<QueryTicket>& ticket,
+bool QueryEngine::Complete(const std::shared_ptr<QueryTicket>& ticket,
                            Operator op, QueryStatus status, NncResult result,
                            std::string error, int attempts) {
+  // Claim the ticket before touching any counter: with the watchdog armed,
+  // a stalled query has two potential completers (the watchdog's kStalled
+  // verdict and the stuck worker's eventual return), and only the first
+  // may record stats or transition the ticket.
+  if (ticket->completion_claimed_.exchange(true, std::memory_order_acq_rel)) {
+    return false;
+  }
   const auto now = std::chrono::steady_clock::now();
   const double latency =
       std::chrono::duration<double>(now - ticket->submitted_at_).count();
@@ -382,7 +498,8 @@ void QueryEngine::Complete(const std::shared_ptr<QueryTicket>& ticket,
   // consistent; results coming out of Run already agree and are untouched.
   if (status == QueryStatus::kCancelled) {
     result.termination = NncTermination::kCancelled;
-  } else if (status == QueryStatus::kDeadlineExceeded) {
+  } else if (status == QueryStatus::kDeadlineExceeded ||
+             status == QueryStatus::kStalled) {
     result.termination = NncTermination::kDeadlineExceeded;
   }
   // Record under the stats lock BEFORE the ticket signals: anyone who
@@ -396,6 +513,7 @@ void QueryEngine::Complete(const std::shared_ptr<QueryTicket>& ticket,
       case QueryStatus::kDeadlineExceeded: ++deadline_exceeded_; break;
       case QueryStatus::kCancelled: ++cancelled_; break;
       case QueryStatus::kRejected: ++rejected_; break;
+      case QueryStatus::kStalled: ++stalled_; break;
       default: ++errors_; break;
     }
     // Rejected queries never ran; keeping them out of the latency
@@ -447,6 +565,7 @@ void QueryEngine::Complete(const std::shared_ptr<QueryTicket>& ticket,
   }
   ticket->Finish(status, std::move(result), std::move(error), latency,
                  attempts);
+  return true;
 }
 
 EngineStats QueryEngine::Snapshot() const {
@@ -464,9 +583,11 @@ EngineStats QueryEngine::Snapshot() const {
   s.cancelled = cancelled_;
   s.errors = errors_;
   s.rejected = rejected_;
+  s.stalled = stalled_;
+  s.workers_poisoned = workers_poisoned_;
   s.retries = retries_;
   s.completed = ok_ + ok_degraded_ + deadline_exceeded_ + cancelled_ +
-                errors_ + rejected_;
+                errors_ + rejected_ + stalled_;
   if (saw_submission_) {
     s.wall_seconds =
         std::chrono::duration<double>(last_completion_ - first_submit_)

@@ -38,10 +38,13 @@
 #define OSD_ENGINE_QUERY_ENGINE_H_
 
 #include <chrono>
+#include <condition_variable>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/memory_budget.h"
@@ -85,6 +88,25 @@ struct EngineOptions {
   /// High-water fraction of engine_mem_bytes at which admission control
   /// engages; clamped to [0, 1].
   double mem_high_water_fraction = 0.9;
+
+  /// Hard stall watchdog: a background thread that fails any query still
+  /// running past its hard wall-clock limit as kStalled — the last resort
+  /// for code paths that never reach a cooperative poll point (the
+  /// cooperative layer is common/interrupt.h). A query with deadline
+  /// budget D is killed at deadline + max(D * watchdog_grace_fraction,
+  /// watchdog_min_grace_ms); queries without a deadline use
+  /// watchdog_no_deadline_ms when > 0, and are otherwise exempt. The
+  /// ticket fails as kStalled, the query's cancel flag is set (hurrying
+  /// the worker to the next poll point), and with watchdog_respawn the
+  /// stuck worker is poisoned and replaced immediately so pool capacity
+  /// self-heals; its eventual completion is discarded via the ticket's
+  /// completion claim.
+  bool watchdog = false;
+  double watchdog_poll_ms = 5.0;
+  double watchdog_grace_fraction = 1.0;
+  double watchdog_min_grace_ms = 5.0;
+  double watchdog_no_deadline_ms = 0.0;
+  bool watchdog_respawn = true;
 };
 
 /// Per-query retry policy for transient failures. Only exceptions derived
@@ -194,9 +216,28 @@ class QueryEngine {
 
   /// Records the terminal event in the engine stats, then transitions the
   /// ticket (stats first — see Complete's body for the ordering contract).
-  void Complete(const std::shared_ptr<QueryTicket>& ticket, Operator op,
+  /// Returns true iff this call won the ticket's completion claim; a false
+  /// return means another completer (worker vs. watchdog) got there first
+  /// and this call changed nothing.
+  bool Complete(const std::shared_ptr<QueryTicket>& ticket, Operator op,
                 QueryStatus status, NncResult result, std::string error,
                 int attempts);
+
+  /// One execution under watchdog supervision (see EngineOptions).
+  struct Watched {
+    std::shared_ptr<QueryTicket> ticket;
+    Operator op = Operator::kPSd;
+    std::chrono::steady_clock::time_point hard_deadline{};
+    std::thread::id worker;
+  };
+
+  /// Registers the calling worker's execution with the watchdog; returns a
+  /// registration id, or -1 when the watchdog is off or the query has no
+  /// hard limit (no deadline and no watchdog_no_deadline_ms).
+  long WatchRegister(const std::shared_ptr<QueryTicket>& ticket, Operator op);
+  void WatchUnregister(long id);
+  void WatchdogLoop();
+  void FailStalled(Watched& watched);
 
   /// Engine-wide high-water level in bytes, or 0 when admission control is
   /// off (no engine budget configured).
@@ -216,7 +257,7 @@ class QueryEngine {
   obs::MetricsRegistry registry_;
   obs::SlowQueryLog slow_log_;
   struct HotMetrics {
-    std::array<obs::Counter*, 8> by_status{};  ///< by QueryStatus
+    std::array<obs::Counter*, 9> by_status{};  ///< by QueryStatus
     std::array<obs::Counter*, 5> by_op{};      ///< by Operator
     obs::Histogram* latency = nullptr;
     obs::Counter* retries = nullptr;
@@ -237,6 +278,16 @@ class QueryEngine {
   };
   HotMetrics hot_;
 
+  /// Watchdog state: the registry of supervised executions and the thread
+  /// that scans it. Guarded by watch_mu_; the thread exists only when
+  /// EngineOptions::watchdog is set.
+  std::mutex watch_mu_;
+  std::condition_variable watch_cv_;
+  std::map<long, Watched> running_;
+  long next_watch_id_ = 0;
+  bool watch_stop_ = false;
+  std::thread watchdog_thread_;
+
   mutable std::mutex stats_mu_;
   long submitted_ = 0;
   long ok_ = 0;
@@ -245,6 +296,8 @@ class QueryEngine {
   long cancelled_ = 0;
   long errors_ = 0;
   long rejected_ = 0;
+  long stalled_ = 0;
+  long workers_poisoned_ = 0;
   long retries_ = 0;
   long frontier_objects_ = 0;
   long mem_scratch_reuse_bytes_ = 0;

@@ -13,6 +13,7 @@
 #ifndef OSD_ENGINE_QUERY_TICKET_H_
 #define OSD_ENGINE_QUERY_TICKET_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <functional>
@@ -37,6 +38,9 @@ enum class QueryStatus {
                       ///< certified superset (see NncResult::degraded)
   kRejected,          ///< shed at submission: the queue was full and the
                       ///< engine runs with shed_on_overload
+  kStalled,           ///< killed by the engine watchdog: the query ran past
+                      ///< its hard wall-clock limit without ever reaching a
+                      ///< cooperative poll point (see EngineOptions::watchdog)
 };
 
 const char* QueryStatusName(QueryStatus status);
@@ -104,6 +108,13 @@ class QueryTicket {
   /// submission from QuerySpec::on_finish) outside the lock, exactly once.
   void Finish(QueryStatus status, NncResult result, std::string error,
               double latency_seconds, int attempts);
+
+  /// Completion claim: QueryEngine::Complete is the only path that records
+  /// terminal stats, and with the watchdog two completers can race (the
+  /// stuck worker's eventual return vs. the watchdog's kStalled verdict).
+  /// The first exchange wins; the loser's Complete is a no-op, so engine
+  /// counters never double-count a ticket.
+  std::atomic<bool> completion_claimed_{false};
 
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;

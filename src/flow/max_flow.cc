@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "common/failpoint.h"
+#include "common/interrupt.h"
 #include "common/memory_budget.h"
 
 namespace osd {
@@ -84,13 +85,21 @@ int64_t MaxFlow::Dfs(int v, int sink, int64_t limit) {
 int64_t MaxFlow::Compute(int source, int sink) {
   OSD_CHECK(source != sink);
   int64_t flow = 0;
+  // A single Compute on a dense possible-world instance can outlive a
+  // query deadline many times over, so every Dinic phase and every
+  // augmenting path is an interrupt point (common/interrupt.h). The
+  // network's budget charges are released by the destructor, so an
+  // Interrupted thrown here unwinds with the accounting intact.
   while (Bfs(source, sink)) {
+    interrupt::Poll();
+    OSD_FAILPOINT("flow.augment");
     iter_.assign(num_vertices(), 0);
     while (true) {
       const int64_t pushed =
           Dfs(source, sink, std::numeric_limits<int64_t>::max());
       if (pushed == 0) break;
       flow += pushed;
+      interrupt::Poll();
     }
   }
   return flow;

@@ -380,6 +380,23 @@ std::string BuildCandidateMessage(long id, long seq, int attempt,
          ",\"elapsed_ms\":" + JsonNumber(elapsed_seconds * 1e3) + "}";
 }
 
+std::string BuildCoalescedMessage(long id, int attempt, long count,
+                                  const std::vector<int>& object_ids,
+                                  bool truncated) {
+  std::string msg = "{\"type\":\"candidates_coalesced\",\"id\":" +
+                    std::to_string(id) +
+                    ",\"attempt\":" + std::to_string(attempt) +
+                    ",\"count\":" + std::to_string(count) +
+                    ",\"truncated\":" + (truncated ? "true" : "false") +
+                    ",\"object_ids\":[";
+  for (size_t i = 0; i < object_ids.size(); ++i) {
+    if (i != 0) msg += ",";
+    msg += std::to_string(object_ids[i]);
+  }
+  msg += "]}";
+  return msg;
+}
+
 const char* TerminationName(NncTermination termination) {
   switch (termination) {
     case NncTermination::kComplete: return "complete";

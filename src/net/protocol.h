@@ -24,6 +24,10 @@
 //   {"type":"hello_ok","version":1,"server":...,"dataset":{...},...}
 //   {"type":"candidate","id":7,"seq":0,"attempt":1,"object_id":42,
 //    "elapsed_ms":0.173}                      (streaming submits only)
+//   {"type":"candidates_coalesced","id":7,"attempt":1,"count":900,
+//    "truncated":false,"object_ids":[...]}    (slow readers only: candidate
+//     events folded into one frame while the connection's output buffer is
+//     above its high watermark; the terminal frame stays authoritative)
 //   {"type":"result","id":7,"status":"OK","termination":"complete",...}
 //   {"type":"cancel_ok","id":7,"found":true}
 //   {"type":"status_ok",...} {"type":"metrics_ok","text":"..."}
@@ -44,6 +48,7 @@
 #define OSD_NET_PROTOCOL_H_
 
 #include <string>
+#include <vector>
 
 #include "engine/query_engine.h"
 #include "net/json.h"
@@ -68,6 +73,10 @@ inline constexpr const char* kErrOverInflightLimit = "over_inflight_limit";
 inline constexpr const char* kErrRejected = "rejected";
 inline constexpr const char* kErrDraining = "draining";
 inline constexpr const char* kErrProtocol = "protocol_error";
+/// Eviction codes: the final frame a connection receives (best-effort — a
+/// non-reading peer may never see it) before the server closes it.
+inline constexpr const char* kErrSlowConsumer = "slow_consumer";
+inline constexpr const char* kErrTimeout = "timeout";
 
 /// True iff `tenant` is a valid tenant identifier: [A-Za-z0-9_-]{1,64}.
 /// Tenant names become Prometheus label values, so the charset is locked
@@ -141,6 +150,13 @@ std::string BuildHelloOkMessage(int dataset_objects, int dataset_dim,
                                 const std::string& tenant);
 std::string BuildCandidateMessage(long id, long seq, int attempt,
                                   int object_id, double elapsed_seconds);
+/// One frame standing in for `count` individual candidate events of query
+/// `id` that were coalesced while the connection's output buffer was above
+/// its high watermark. `object_ids` may be truncated (the terminal result
+/// frame carries the authoritative candidate set either way).
+std::string BuildCoalescedMessage(long id, int attempt, long count,
+                                  const std::vector<int>& object_ids,
+                                  bool truncated);
 /// The terminal frame for a completed ticket: status, termination reason,
 /// the authoritative candidate set, work stats, and the error text / trace
 /// when present.

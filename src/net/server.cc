@@ -20,8 +20,13 @@ namespace net {
 namespace {
 
 /// Poll timeout. The wake pipe makes the loop reactive; the timeout is the
-/// fallback cadence for drain-progress checks when a wake is missed.
+/// fallback cadence for drain-progress checks and timeout scans when a
+/// wake is missed.
 constexpr int kPollTimeoutMs = 100;
+
+/// Cap on the ids a coalesced summary carries; beyond it only the count
+/// grows (the terminal frame holds the authoritative candidate set).
+constexpr size_t kMaxCoalescedIds = 4096;
 
 }  // namespace
 
@@ -44,10 +49,36 @@ OsdServer::OsdServer(QueryEngine* engine, ServerOptions options)
   hot_.protocol_errors = &registry_.GetCounter(
       "osd_net_protocol_errors_total",
       "Frames rejected for framing, syntax or schema violations.");
+  hot_.evictions = &registry_.GetCounter(
+      "osd_net_evictions_total",
+      "Connections evicted by the server (output overflow, write stall, "
+      "idle timeout).");
+  hot_.candidates_coalesced = &registry_.GetCounter(
+      "osd_net_candidates_coalesced_total",
+      "Candidate events folded into summary frames above the output high "
+      "watermark.");
   hot_.active = &registry_.GetGauge("osd_net_connections_active",
                                     "Currently open client connections.");
   hot_.draining = &registry_.GetGauge(
       "osd_net_draining", "1 while a graceful drain is in progress.");
+  // Normalize the watermarks once: low defaults to high/2 and may never
+  // sit above high.
+  if (options_.output_high_watermark_bytes > 0) {
+    if (options_.output_low_watermark_bytes == 0 ||
+        options_.output_low_watermark_bytes >
+            options_.output_high_watermark_bytes) {
+      options_.output_low_watermark_bytes =
+          options_.output_high_watermark_bytes / 2;
+    }
+  } else {
+    options_.output_low_watermark_bytes = 0;
+  }
+}
+
+long OsdServer::evictions() const { return hot_.evictions->Value(); }
+
+long OsdServer::candidates_coalesced() const {
+  return hot_.candidates_coalesced->Value();
 }
 
 OsdServer::~OsdServer() { Shutdown(); }
@@ -138,9 +169,17 @@ OsdServer::TenantState* OsdServer::ResolveTenant(const std::string& name) {
 }
 
 void OsdServer::AppendFrame(Connection& conn, const std::string& payload) {
-  const std::string frame = EncodeFrame(payload, options_.max_frame_bytes);
-  std::lock_guard<std::mutex> lock(conn.mu);
+  {
+    std::lock_guard<std::mutex> lock(conn.mu);
+    AppendFrameLocked(conn, payload);
+  }
+  Wake();  // an evicted connection must be retired promptly
+}
+
+void OsdServer::AppendFrameLocked(Connection& conn,
+                                  const std::string& payload) {
   if (conn.closed) return;
+  const std::string frame = EncodeFrame(payload, options_.max_frame_bytes);
   if (frame.empty()) {
     // Payload over the frame cap (a pathological metrics dump): the stream
     // would desynchronize if we sent a partial frame, so drop the payload
@@ -148,16 +187,77 @@ void OsdServer::AppendFrame(Connection& conn, const std::string& payload) {
     hot_.protocol_errors->Increment();
     return;
   }
+  if (conn.out.empty()) conn.stall_since = std::chrono::steady_clock::now();
   conn.out += frame;
   hot_.frames_sent->Increment();
   if (conn.out.size() > options_.max_output_buffer_bytes) {
     // Slow or stalled reader under a progressive stream: cut it loose
     // rather than buffer without bound. The loop closes doomed
     // connections and cancels their in-flight queries.
-    conn.doomed = true;
-    conn.closed = true;
-    conn.out.clear();
+    EvictLocked(conn, kErrSlowConsumer,
+                "output buffer overflow (" +
+                    std::to_string(options_.max_output_buffer_bytes) +
+                    " bytes): client is not reading");
   }
+}
+
+void OsdServer::EvictLocked(Connection& conn, const char* code,
+                            const std::string& message) {
+  if (conn.doomed) return;
+  conn.out.clear();
+  conn.coalesced.clear();
+  conn.coalescing = false;
+  // The error frame replaces everything pending: it is small enough to fit
+  // whatever kernel buffer space remains, and a client that is reading at
+  // all sees a precise reason instead of a bare close. Delivery is
+  // best-effort by construction — a hard-stalled peer has no window left.
+  conn.out =
+      EncodeFrame(BuildErrorMessage(-1, code, message), options_.max_frame_bytes);
+  conn.stall_since = std::chrono::steady_clock::now();
+  conn.closed = true;  // no further output accepted
+  conn.doomed = true;  // loop: best-effort flush, then close
+  hot_.frames_sent->Increment();
+  hot_.evictions->Increment();
+}
+
+void OsdServer::EmitCoalescedLocked(Connection& conn) {
+  for (auto& [id, st] : conn.coalesced) {
+    AppendFrameLocked(conn, BuildCoalescedMessage(id, st.attempt, st.count,
+                                                  st.object_ids,
+                                                  st.truncated));
+    if (conn.closed) break;  // eviction mid-emit: the rest is moot
+  }
+  conn.coalesced.clear();
+  conn.coalescing = false;
+}
+
+void OsdServer::AppendCandidate(Connection& conn, long id, long seq,
+                                int attempt, int object_id,
+                                double elapsed_seconds) {
+  {
+    std::lock_guard<std::mutex> lock(conn.mu);
+    if (conn.closed) return;
+    const size_t high = options_.output_high_watermark_bytes;
+    if (high > 0 && !conn.coalescing && conn.out.size() > high) {
+      conn.coalescing = true;
+    }
+    if (conn.coalescing) {
+      CoalesceState& st = conn.coalesced[id];
+      st.attempt = attempt;
+      ++st.count;
+      if (st.object_ids.size() < kMaxCoalescedIds) {
+        st.object_ids.push_back(object_id);
+      } else {
+        st.truncated = true;
+      }
+      hot_.candidates_coalesced->Increment();
+      return;
+    }
+    AppendFrameLocked(conn, BuildCandidateMessage(id, seq, attempt,
+                                                  object_id,
+                                                  elapsed_seconds));
+  }
+  Wake();
 }
 
 void OsdServer::Loop() {
@@ -212,17 +312,29 @@ void OsdServer::Loop() {
       if ((revents & POLLIN) != 0 && !conn->closing) HandleReadable(conn);
     }
 
-    // Retire doomed connections (output overflow flagged off-loop) and
-    // closing connections whose output has flushed.
+    // Evict write-stalled and idle connections, then retire doomed
+    // connections (eviction flagged on- or off-loop) and closing
+    // connections whose output has flushed.
+    const auto now = std::chrono::steady_clock::now();
     for (size_t i = 0; i < conns_.size();) {
       const ConnPtr conn = conns_[i];
+      ScanTimeouts(conn, now);
       bool doomed, flushed;
       {
         std::lock_guard<std::mutex> lock(conn->mu);
         doomed = conn->doomed;
         flushed = conn->out.empty();
       }
-      if (doomed || (conn->closing && flushed) ||
+      if (doomed) {
+        // One best-effort flush so the eviction error frame reaches any
+        // peer that is still reading, then close regardless.
+        if (!flushed && conn->sock.valid()) FlushWrites(conn);
+        if (std::find(conns_.begin(), conns_.end(), conn) != conns_.end()) {
+          CloseConnection(conn);
+        }
+        continue;  // conns_[i] changed; do not advance
+      }
+      if ((conn->closing && flushed) ||
           (draining_ && flushed && ConnIdle(*conn))) {
         CloseConnection(conn);
         // CloseConnection erased it; do not advance.
@@ -243,6 +355,30 @@ void OsdServer::Loop() {
   engine_->Drain();
   conns_.clear();
   listener_.Close();
+}
+
+void OsdServer::ScanTimeouts(const ConnPtr& conn,
+                             std::chrono::steady_clock::time_point now) {
+  std::lock_guard<std::mutex> lock(conn->mu);
+  if (conn->doomed || conn->closed) return;
+  if (options_.write_stall_timeout_s > 0 && !conn->out.empty() &&
+      conn->stall_since != std::chrono::steady_clock::time_point{} &&
+      std::chrono::duration<double>(now - conn->stall_since).count() >
+          options_.write_stall_timeout_s) {
+    EvictLocked(*conn, kErrTimeout,
+                "write stalled: no send progress for " +
+                    std::to_string(options_.write_stall_timeout_s) +
+                    "s (receive window closed)");
+    return;
+  }
+  if (options_.idle_timeout_s > 0 && !conn->closing && conn->out.empty() &&
+      conn->inflight.empty() &&
+      std::chrono::duration<double>(now - conn->last_read).count() >
+          options_.idle_timeout_s) {
+    EvictLocked(*conn, kErrTimeout,
+                "idle timeout: no requests for " +
+                    std::to_string(options_.idle_timeout_s) + "s");
+  }
 }
 
 bool OsdServer::ConnIdle(Connection& conn) {
@@ -295,6 +431,7 @@ void OsdServer::HandleReadable(const ConnPtr& conn) {
     const ssize_t n = ::recv(conn->sock.fd(), buf, sizeof(buf), 0);
     if (n > 0) {
       hot_.bytes_read->Increment(n);
+      conn->last_read = std::chrono::steady_clock::now();
       if (!conn->decoder.Feed(buf, static_cast<size_t>(n))) {
         hot_.protocol_errors->Increment();
         FailConnection(conn, conn->decoder.error());
@@ -355,6 +492,18 @@ void OsdServer::FlushWrites(const ConnPtr& conn) {
     return;
   }
   conn->out.erase(0, off);
+  if (off > 0) {
+    // Send progress resets the write-stall clock; an empty buffer stops it.
+    conn->stall_since = conn->out.empty()
+                            ? std::chrono::steady_clock::time_point{}
+                            : std::chrono::steady_clock::now();
+  }
+  if (conn->coalescing &&
+      conn->out.size() <= options_.output_low_watermark_bytes) {
+    // Drained below the low watermark: the reader caught up, release the
+    // withheld summaries and resume per-event streaming.
+    EmitCoalescedLocked(*conn);
+  }
 }
 
 void OsdServer::HandleFrame(const ConnPtr& conn, const std::string& payload) {
@@ -503,9 +652,7 @@ void OsdServer::HandleSubmit(const ConnPtr& conn, const JsonValue& msg) {
       const long s = seq->fetch_add(1, std::memory_order_relaxed);
       tenant->candidates_streamed->Increment();
       if (ConnPtr c = weak.lock()) {
-        AppendFrame(*c, BuildCandidateMessage(id, s, attempt, e.object_id,
-                                              e.elapsed_seconds));
-        Wake();
+        AppendCandidate(*c, id, s, attempt, e.object_id, e.elapsed_seconds);
       }
     };
   }
@@ -514,9 +661,20 @@ void OsdServer::HandleSubmit(const ConnPtr& conn, const JsonValue& msg) {
       // Terminal frame FIRST, then retire the inflight entry: the drain
       // path may close a connection that looks idle with nothing left to
       // flush, and the frame must be queued before the entry disappears.
-      AppendFrame(*c, BuildResultMessage(id, ticket));
+      // Any coalesced summary this query accumulated under watermark
+      // pressure precedes its terminal frame so event/result ordering
+      // holds even for a reader that never caught up.
       {
         std::lock_guard<std::mutex> lock(c->mu);
+        const auto it = c->coalesced.find(id);
+        if (it != c->coalesced.end()) {
+          AppendFrameLocked(*c, BuildCoalescedMessage(
+                                    id, it->second.attempt, it->second.count,
+                                    it->second.object_ids,
+                                    it->second.truncated));
+          c->coalesced.erase(it);
+        }
+        AppendFrameLocked(*c, BuildResultMessage(id, ticket));
         c->inflight.erase(id);
       }
     }
@@ -599,6 +757,7 @@ void OsdServer::CloseConnection(const ConnPtr& conn) {
     std::lock_guard<std::mutex> lock(conn->mu);
     conn->closed = true;
     conn->out.clear();
+    conn->coalesced.clear();
     // Cancel this connection's queries; their on_finish hooks still run
     // (zero leaked tickets), see the closed flag and only retire
     // accounting. Entries stay until each hook erases its own.

@@ -24,6 +24,17 @@
 // over_inflight_limit error), pins the retry policy, and labels the
 // Prometheus export (osd_tenant_*{tenant="..."} series in MetricsText).
 //
+// Adversarial-load posture: every per-connection output buffer is bounded.
+// Above the soft high watermark, progressive candidate frames coalesce
+// into one bounded summary per query (flushed below the low watermark and
+// before that query's terminal frame); past the hard cap the connection is
+// evicted with a slow_consumer error frame. The loop additionally evicts
+// idle connections and write-stalled connections (peer not draining its
+// receive window) on configurable timeouts, and caps total connections at
+// accept time. A client disconnect immediately cancels that connection's
+// in-flight tickets; tenant inflight slots are released when each ticket
+// finishes — never early, never twice.
+//
 // Graceful drain (SIGTERM or a "drain" frame): stop accepting, refuse new
 // submits, let in-flight tickets finish and their terminal frames flush,
 // then engine.Drain() and exit the loop. RequestDrain() is callable from a
@@ -37,6 +48,7 @@
 #define OSD_NET_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -73,10 +85,28 @@ struct ServerOptions {
   int port = 0;  ///< 0 picks a free port; read it back with port()
   size_t max_connections = 256;
   size_t max_frame_bytes = kMaxFrameBytes;
-  /// A connection whose unflushed output passes this is dropped (slow or
-  /// stalled client; progressive streams would otherwise buffer without
-  /// bound).
+  /// Hard cap: a connection whose unflushed output passes this is evicted
+  /// (pending output replaced by one slow_consumer error frame, delivered
+  /// best-effort, then closed). Progressive streams would otherwise buffer
+  /// without bound behind a reader that stopped reading.
   size_t max_output_buffer_bytes = 16u << 20;
+  /// Soft watermarks on the per-connection output buffer (0 = off). Above
+  /// the high watermark, progressive "candidate" frames stop being queued
+  /// individually: each query's events are folded into one bounded
+  /// "candidates_coalesced" summary that is flushed once the buffer drains
+  /// below the low watermark (default high/2) and, at the latest,
+  /// immediately before that query's terminal frame. Terminal frames are
+  /// never coalesced; the hard cap above still evicts.
+  size_t output_high_watermark_bytes = 0;
+  size_t output_low_watermark_bytes = 0;
+  /// Evict connections with no read activity, no in-flight queries and no
+  /// pending output for this long (timeout error frame, then close).
+  /// 0 = off.
+  double idle_timeout_s = 0.0;
+  /// Evict connections whose pending output makes no send progress for
+  /// this long — the peer's receive window is closed and it is not
+  /// draining it. 0 = off.
+  double write_stall_timeout_s = 0.0;
   /// Policy for tenants without an explicit entry in `tenants`.
   TenantPolicy default_policy;
   std::map<std::string, TenantPolicy> tenants;
@@ -124,6 +154,8 @@ class OsdServer {
   long queries_completed() const { return queries_completed_.load(); }
   long connections_accepted() const { return connections_accepted_.load(); }
   bool draining() const { return drain_requested_.load(); }
+  long evictions() const;
+  long candidates_coalesced() const;
 
  private:
   struct TenantState {
@@ -139,8 +171,20 @@ class OsdServer {
     std::shared_ptr<QueryTicket> ticket;
   };
 
+  /// Per-query accumulator for candidate events withheld while the output
+  /// buffer is above its high watermark. Bounded: ids stop growing at the
+  /// truncation cap, only the count keeps counting.
+  struct CoalesceState {
+    int attempt = 0;
+    long count = 0;
+    bool truncated = false;
+    std::vector<int> object_ids;
+  };
+
   struct Connection {
-    explicit Connection(Socket s) : sock(std::move(s)) {}
+    explicit Connection(Socket s)
+        : sock(std::move(s)),
+          last_read(std::chrono::steady_clock::now()) {}
 
     // Loop-thread-only state.
     Socket sock;
@@ -148,13 +192,18 @@ class OsdServer {
     bool hello_done = false;
     bool closing = false;  ///< stop reading; close once output flushes
     TenantState* tenant = nullptr;
+    std::chrono::steady_clock::time_point last_read;  ///< idle-timeout clock
 
     // Cross-thread state: engine workers append frames and retire
     // inflight entries under `mu`.
     std::mutex mu;
     std::string out;
     bool closed = false;  ///< no further output accepted
-    bool doomed = false;  ///< loop must close (output overflow)
+    bool doomed = false;  ///< loop must evict (overflow / stall / idle)
+    bool coalescing = false;  ///< above high watermark; candidates coalesce
+    /// Last send progress while `out` is non-empty; epoch when empty.
+    std::chrono::steady_clock::time_point stall_since{};
+    std::map<long, CoalesceState> coalesced;
     std::map<long, Pending> inflight;
   };
   using ConnPtr = std::shared_ptr<Connection>;
@@ -178,9 +227,28 @@ class OsdServer {
   void FailConnection(const ConnPtr& conn, const std::string& message);
 
   /// Appends one framed payload to the connection's output buffer (drops
-  /// it when the connection is closed; dooms the connection when the
-  /// buffer cap is passed). Safe from any thread.
+  /// it when the connection is closed; evicts the connection when the
+  /// hard buffer cap is passed). Safe from any thread.
   void AppendFrame(Connection& conn, const std::string& payload);
+  /// AppendFrame body; requires `conn.mu` held.
+  void AppendFrameLocked(Connection& conn, const std::string& payload);
+  /// Queues one progressive candidate event, coalescing it into the
+  /// per-query summary while the output buffer is above the high
+  /// watermark. Safe from any thread.
+  void AppendCandidate(Connection& conn, long id, long seq, int attempt,
+                       int object_id, double elapsed_seconds);
+  /// Replaces pending output with one final error frame and dooms the
+  /// connection; the loop makes one best-effort flush before closing.
+  /// Requires `conn.mu` held.
+  void EvictLocked(Connection& conn, const char* code,
+                   const std::string& message);
+  /// Emits every pending coalesced summary and leaves coalescing mode.
+  /// Requires `conn.mu` held.
+  void EmitCoalescedLocked(Connection& conn);
+  /// Loop-thread scan: evicts write-stalled and idle connections per
+  /// ServerOptions timeouts.
+  void ScanTimeouts(const ConnPtr& conn,
+                    std::chrono::steady_clock::time_point now);
 
   /// Wakes the poll loop (safe from any thread and from signal handlers).
   void Wake();
@@ -219,6 +287,8 @@ class OsdServer {
     obs::Counter* bytes_read = nullptr;
     obs::Counter* bytes_sent = nullptr;
     obs::Counter* protocol_errors = nullptr;
+    obs::Counter* evictions = nullptr;
+    obs::Counter* candidates_coalesced = nullptr;
     obs::Gauge* active = nullptr;
     obs::Gauge* draining = nullptr;
   };

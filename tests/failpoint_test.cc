@@ -4,6 +4,7 @@
 // tests at the bottom branch on Enabled() to assert injection in ON builds
 // and inertness in OFF builds.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -47,6 +48,13 @@ TEST_F(FailpointTest, RejectsMalformedSpecs) {
       "test.site=throw_bad_alloc(msg)",  // throw_bad_alloc takes no argument
       "bad site=error",         // invalid character in site name
       "=error",                 // empty site name
+      "test.site=error@p=",     // empty probability
+      "test.site=error@p=abc",  // non-numeric probability
+      "test.site=error@p=0",    // p must be in (0, 1]
+      "test.site=error@p=-0.5",
+      "test.site=error@p=1.5",
+      "test.site=error@p=inf",  // non-finite probability
+      "test.site=error@p=nan",
   };
   for (const char* spec : bad) {
     SCOPED_TRACE(spec);
@@ -195,6 +203,79 @@ TEST_F(FailpointTest, ReconfigureResetsCounters) {
   EXPECT_FALSE(Evaluate("test.s"));  // exhausted
   ASSERT_TRUE(Configure("test.s=1xerror"));
   EXPECT_TRUE(Evaluate("test.s")) << "re-arming must reset hit/fire counts";
+}
+
+TEST_F(FailpointTest, ProbabilityErrorsArePrecise) {
+  std::string error;
+  ASSERT_FALSE(Configure("test.s=error@p=zzz", &error));
+  EXPECT_NE(error.find("bad probability"), std::string::npos)
+      << "error was: " << error;
+  ASSERT_FALSE(Configure("test.s=error@p=1.5", &error));
+  EXPECT_NE(error.find("out of range"), std::string::npos)
+      << "error was: " << error;
+  EXPECT_NE(error.find("(0, 1]"), std::string::npos)
+      << "error was: " << error;
+}
+
+TEST_F(FailpointTest, ProbabilityOneFiresEveryHit) {
+  // p=1 is a valid edge: behaves exactly like an unconditional trigger.
+  ASSERT_TRUE(Configure("test.s=error@p=1"));
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(Evaluate("test.s"));
+  EXPECT_EQ(FireCount("test.s"), 8);
+}
+
+TEST_F(FailpointTest, ProbabilisticTriggerIsSeededAndReplayable) {
+  // Two runs under the same seed see the same coin flips in the same
+  // order; a different seed (very likely) differs. p=0.5 over 64 hits
+  // makes an all-fire or no-fire pattern astronomically unlikely.
+  constexpr int kHits = 64;
+  auto pattern = [&] {
+    std::vector<bool> fired;
+    for (int i = 0; i < kHits; ++i) fired.push_back(Evaluate("test.s"));
+    return fired;
+  };
+  SeedRng(12345);
+  ASSERT_TRUE(Configure("test.s=error@p=0.5"));
+  const std::vector<bool> first = pattern();
+  SeedRng(12345);
+  ASSERT_TRUE(Configure("test.s=error@p=0.5"));
+  EXPECT_EQ(pattern(), first);
+
+  int fires = 0;
+  for (const bool f : first) fires += f ? 1 : 0;
+  EXPECT_GT(fires, 0);
+  EXPECT_LT(fires, kHits);
+  // Every hit is counted whether or not the coin fired.
+  EXPECT_EQ(HitCount("test.s"), kHits);
+  EXPECT_EQ(FireCount("test.s"), fires);
+}
+
+TEST_F(FailpointTest, ProbabilityComposesWithMaxFires) {
+  // 2xerror@p=1: probabilistic gate passes every hit, the fire budget
+  // still caps at two.
+  ASSERT_TRUE(Configure("test.s=2xerror@p=1"));
+  EXPECT_TRUE(Evaluate("test.s"));
+  EXPECT_TRUE(Evaluate("test.s"));
+  EXPECT_FALSE(Evaluate("test.s"));
+  // ...and @p= is mutually exclusive with the @N start-hit form.
+  std::string error;
+  EXPECT_FALSE(Configure("test.s=error@2@p=0.5", &error));
+}
+
+TEST_F(FailpointTest, KnownSiteNamesFeedStormBuilders) {
+  // The whitelist is the contract chaos storms build specs from: sorted,
+  // non-empty, and every name round-trips through Configure.
+  const std::vector<std::string> sites = KnownSiteNames();
+  ASSERT_FALSE(sites.empty());
+  EXPECT_TRUE(std::is_sorted(sites.begin(), sites.end()));
+  std::string spec;
+  for (const std::string& site : sites) {
+    if (!spec.empty()) spec += ',';
+    spec += site + "=error@p=0.01";
+  }
+  std::string error;
+  EXPECT_TRUE(Configure(spec, &error)) << error;
+  EXPECT_EQ(ArmedSites().size(), sites.size());
 }
 
 TEST_F(FailpointTest, ConfigureFromEnvReadsOsdFailpoints) {

@@ -4,8 +4,10 @@
 // against a live server over loopback — the connection under attack dies
 // (or gets a precise error), the server and its other tenants do not.
 
+#include <chrono>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -211,11 +213,17 @@ TEST(SchemaHardeningTest, HelloCorpusIsRejected) {
 
 class LiveServerHardeningTest : public ::testing::Test {
  protected:
-  void SetUp() override {
+  void SetUp() override { StartServer(ServerOptions{}); }
+
+  /// (Re)starts the engine + server pair; tests that need non-default
+  /// buffer/timeout knobs call this again over the SetUp default.
+  void StartServer(ServerOptions options) {
+    server_.reset();
+    engine_.reset();
     engine_ = std::make_unique<QueryEngine>(
         TestDataset(), EngineOptions{.num_threads = 2,
                                      .shed_on_overload = true});
-    server_ = std::make_unique<OsdServer>(engine_.get(), ServerOptions{});
+    server_ = std::make_unique<OsdServer>(engine_.get(), std::move(options));
     std::string error;
     ASSERT_TRUE(server_->Start(&error)) << error;
   }
@@ -416,6 +424,151 @@ TEST_F(LiveServerHardeningTest, DuplicateInflightIdIsRejected) {
   }
   EXPECT_TRUE(saw_duplicate_error);
   EXPECT_TRUE(saw_result);
+}
+
+// --- adversarial-load resilience ------------------------------------------
+
+TEST_F(LiveServerHardeningTest, SlowReaderIsEvictedAtHardBufferCap) {
+  ServerOptions options;
+  options.max_output_buffer_bytes = 256u << 10;
+  StartServer(options);
+
+  OsdClient slow;
+  std::string error;
+  ASSERT_TRUE(slow.Connect("127.0.0.1", server_->port(), "slow", &error))
+      << error;
+
+  // One burst of metrics requests, never reading a byte back. The loop
+  // thread answers every frame of a read batch before any flush runs, so
+  // the multi-KiB responses pile up app-side and cross the 256 KiB hard
+  // cap deterministically — kernel socket buffers cannot hide them.
+  const std::string req = EncodeFrame(R"({"type":"metrics"})");
+  std::string burst;
+  burst.reserve(500 * req.size());
+  for (int i = 0; i < 500; ++i) burst += req;
+  ASSERT_TRUE(SendAll(slow.fd(), burst.data(), burst.size(), &error)) << error;
+
+  for (int i = 0; i < 500 && server_->evictions() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server_->evictions(), 1);
+
+  // The evicted peer is closed (clean FIN after the best-effort error
+  // frame, or a reset if part of the burst was still unread). Either way
+  // the read side terminates instead of buffering forever.
+  char buf[4096];
+  ssize_t n;
+  do {
+    n = RecvSome(slow.fd(), buf, sizeof(buf));
+  } while (n > 0);
+  EXPECT_LE(n, 0);
+
+  // Eviction is connection-scoped: a well-behaved tenant gets full
+  // service afterwards.
+  OsdClient good;
+  ASSERT_TRUE(good.Connect("127.0.0.1", server_->port(), "good", &error))
+      << error;
+  SubmitParams params;
+  params.id = 1;
+  params.object_id = 0;
+  ASSERT_TRUE(good.Send(BuildSubmitMessage(params), &error)) << error;
+  JsonValue msg;
+  std::string type;
+  do {
+    ASSERT_TRUE(good.Read(&msg, &error)) << error;
+    type = MessageType(msg);
+  } while (type == "candidate");
+  ASSERT_EQ(type, "result");
+  EXPECT_EQ(msg.Find("status")->AsString(), "OK");
+}
+
+TEST_F(LiveServerHardeningTest, CandidatesCoalesceAboveHighWatermark) {
+  ServerOptions options;
+  options.max_output_buffer_bytes = 64u << 20;  // far above the burst
+  options.output_high_watermark_bytes = 64u << 10;
+  StartServer(options);
+
+  OsdClient client;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), "t", &error))
+      << error;
+
+  // Megabytes of unread metrics responses hold the output buffer far
+  // above the high watermark, then a streaming submit rides the same
+  // burst: its progressive candidate events must fold into one bounded
+  // summary instead of queueing individually.
+  const std::string metrics = EncodeFrame(R"({"type":"metrics"})");
+  std::string burst;
+  burst.reserve(4000 * metrics.size() + 256);
+  for (int i = 0; i < 4000; ++i) burst += metrics;
+  SubmitParams params;
+  params.id = 7;
+  params.object_id = 5;
+  params.k = 3;
+  burst += EncodeFrame(BuildSubmitMessage(params));
+  ASSERT_TRUE(SendAll(client.fd(), burst.data(), burst.size(), &error))
+      << error;
+
+  // Let the query finish server-side while the client has not read a
+  // byte; the coalesced summary and result frame are then already queued
+  // behind the metrics responses.
+  for (int i = 0; i < 1000 && server_->queries_completed() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_GE(server_->queries_completed(), 1);
+
+  long individual = 0;
+  long summaries = 0;
+  long summarized_events = 0;
+  bool got_result = false;
+  while (!got_result) {
+    JsonValue msg;
+    ASSERT_TRUE(client.Read(&msg, &error)) << error;
+    const std::string type = MessageType(msg);
+    if (type == "candidate") {
+      ++individual;
+    } else if (type == "candidates_coalesced") {
+      ++summaries;
+      EXPECT_EQ(static_cast<long>(msg.Find("id")->AsNumber()), 7);
+      summarized_events = static_cast<long>(msg.Find("count")->AsNumber());
+      EXPECT_FALSE(msg.Find("truncated")->AsBool());
+      EXPECT_EQ(static_cast<long>(msg.Find("object_ids")->Items().size()),
+                summarized_events);
+    } else if (type == "result") {
+      EXPECT_EQ(msg.Find("status")->AsString(), "OK");
+      got_result = true;
+    } else {
+      ASSERT_EQ(type, "metrics_ok");
+    }
+  }
+  EXPECT_EQ(individual, 0) << "no candidate may bypass coalescing above "
+                              "the high watermark";
+  EXPECT_EQ(summaries, 1) << "exactly one summary per query, flushed "
+                             "before its result frame";
+  EXPECT_GE(summarized_events, 1);
+  EXPECT_GE(server_->candidates_coalesced(), summarized_events);
+}
+
+TEST_F(LiveServerHardeningTest, IdleConnectionIsEvictedWithTimeoutError) {
+  ServerOptions options;
+  options.idle_timeout_s = 0.3;
+  StartServer(options);
+
+  OsdClient client;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), "t", &error))
+      << error;
+
+  // No requests, no in-flight queries, no pending output: the idle scan
+  // evicts with a frame-aligned timeout error (unlike mid-stream
+  // evictions, delivery here is guaranteed — the buffer was empty).
+  JsonValue msg;
+  ASSERT_TRUE(client.Read(&msg, &error)) << error;
+  EXPECT_EQ(MessageType(msg), "error");
+  EXPECT_EQ(msg.Find("code")->AsString(), kErrTimeout);
+  EXPECT_NE(msg.Find("message")->AsString().find("idle"), std::string::npos);
+  EXPECT_FALSE(client.Read(&msg, &error));
+  EXPECT_EQ(server_->evictions(), 1);
 }
 
 }  // namespace

@@ -297,6 +297,134 @@ TEST_F(NetServerTest, InjectedReadFaultIsContainedToOneConnection) {
   EXPECT_EQ(got.status, "OK");
 }
 
+TEST_F(NetServerTest, DisconnectReleasesTenantSlotOnTicketFinishNotClose) {
+  // Regression: the tenant's inflight slot must be released exactly once,
+  // when the orphaned ticket finishes — not when the connection object is
+  // destroyed. Releasing at close would free the slot while the query
+  // still runs (cap bypass); releasing at both would drive the counter
+  // negative. Asserting the gauge is exactly 0 after completion catches
+  // either defect.
+  ServerOptions options;
+  TenantPolicy capped;
+  capped.max_inflight = 1;
+  options.tenants["ghost"] = capped;
+  StartServer({.num_threads = 1}, std::move(options));
+
+  const long completed_before = server_->queries_completed();
+  {
+    OsdClient doomed = Connect("ghost");
+    const UncertainObject heavy = SlowQuery();
+    SubmitParams params;
+    params.id = 1;
+    params.query = &heavy;
+    params.op = "fsd";
+    params.k = 3;
+    std::string error;
+    ASSERT_TRUE(doomed.Send(BuildSubmitMessage(params), &error)) << error;
+    // Make sure the query is in flight before vanishing.
+    JsonValue msg;
+    ASSERT_TRUE(doomed.Read(&msg, &error)) << error;
+    doomed.Close();  // mid-stream disconnect
+  }
+
+  // The orphaned (now cancelled) ticket still completes through the
+  // engine; wait for its terminal hook.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server_->queries_completed() == completed_before &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_GT(server_->queries_completed(), completed_before);
+
+  // Slot released exactly once: the gauge reads 0, not 1, not -1.
+  const std::string metrics = server_->MetricsText();
+  const std::string needle = "osd_tenant_inflight{tenant=\"ghost\"} 0";
+  EXPECT_NE(metrics.find(needle), std::string::npos) << metrics;
+
+  // And the freed slot is usable: a new connection under the same tenant
+  // completes a query under the cap of 1.
+  OsdClient fresh = Connect("ghost");
+  SubmitParams params;
+  params.id = 1;
+  params.object_id = 3;
+  std::string error;
+  ASSERT_TRUE(fresh.Send(BuildSubmitMessage(params), &error)) << error;
+  const StreamedQuery got = ReadUntilTerminal(fresh, params.id);
+  ASSERT_TRUE(got.got_result);
+  EXPECT_EQ(got.status, "OK");
+}
+
+TEST_F(NetServerTest, WatchdogTerminatesStalledQueryWithinTwiceDeadline) {
+  if (!failpoint::Enabled()) {
+    GTEST_SKIP() << "failpoint sites not compiled in";
+  }
+  // A failpoint-injected sleep inside the MaxFlow augmenting-path loop
+  // wedges the worker between cooperative poll points for far longer than
+  // the deadline. The cooperative machinery cannot fire until the sleep
+  // returns; the watchdog must fail the ticket at its hard wall-clock
+  // limit — deadline + grace = 1.5x deadline here, comfortably inside the
+  // 2x acceptance bound — and poison the wedged worker.
+  EngineOptions engine_options;
+  engine_options.num_threads = 1;
+  engine_options.watchdog = true;
+  engine_options.watchdog_grace_fraction = 0.5;
+  engine_options.watchdog_poll_ms = 2.0;
+  StartServer(engine_options, {});
+  OsdClient client = Connect("default");
+
+  // Deadline + 0.5 grace puts the hard limit at 1.5x; the 2x assertion
+  // then leaves half a deadline of slack for scheduling noise when the
+  // suite runs in parallel with CPU-bound tests.
+  constexpr double kDeadlineMs = 400.0;
+  constexpr double kSleepMs = 2500.0;  // >> 2x deadline: only the watchdog
+                                       // can explain an early terminal frame
+  std::string error;
+  ASSERT_TRUE(failpoint::Configure(
+      "flow.augment=1xdelay(" + std::to_string(kSleepMs) + ")", &error))
+      << error;
+
+  SubmitParams params;
+  params.id = 1;
+  params.object_id = 0;
+  params.op = "psd";  // runs MaxFlow on every candidate (no cheaper filter
+                      // can decide kPSd), so flow.augment is guaranteed hit
+  params.k = 2;
+  params.deadline_ms = kDeadlineMs;
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(client.Send(BuildSubmitMessage(params), &error)) << error;
+  const StreamedQuery got = ReadUntilTerminal(client, params.id);
+  const double elapsed_ms =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count() *
+      1e3;
+  ASSERT_TRUE(got.got_result);
+  EXPECT_EQ(got.status, "STALLED");
+  EXPECT_EQ(got.termination, "deadline");
+  EXPECT_LT(elapsed_ms, 2 * kDeadlineMs)
+      << "watchdog must terminate a wedged query within 2x its deadline";
+
+  // Complete() (which delivered the terminal frame) returns before
+  // FailStalled poisons the wedged worker, so poll briefly.
+  EngineStats stats = engine_->Snapshot();
+  for (int i = 0; i < 200 && stats.workers_poisoned < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    stats = engine_->Snapshot();
+  }
+  EXPECT_GE(stats.stalled, 1);
+  EXPECT_GE(stats.workers_poisoned, 1);
+
+  // The respawned worker serves the next query normally (the zombie is
+  // still sleeping in the failpoint at this point).
+  SubmitParams next;
+  next.id = 2;
+  next.object_id = 5;
+  ASSERT_TRUE(client.Send(BuildSubmitMessage(next), &error)) << error;
+  const StreamedQuery after = ReadUntilTerminal(client, next.id);
+  ASSERT_TRUE(after.got_result);
+  EXPECT_EQ(after.status, "OK");
+}
+
 TEST_F(NetServerTest, TenantInflightCapShedsExcessLoad) {
   ServerOptions options;
   TenantPolicy capped;
@@ -443,6 +571,12 @@ TEST_F(NetServerTest, DrainFinishesInflightQueriesThenExits) {
     params.op = "fsd";
     params.k = 2;
     ASSERT_TRUE(client.Send(BuildSubmitMessage(params), &error)) << error;
+  }
+  // Send() returning only proves the bytes left this process; wait until
+  // the server has accepted all four submits, or a loaded machine lets
+  // the drain win the race and refuse them with `draining` errors.
+  while (server_->queries_submitted() < kQueries) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   server_->RequestDrain();
 

@@ -1,0 +1,531 @@
+// osd_chaos: adversarial soak of the service tier.
+//
+// Runs repeated epochs of a live in-process osd server under hostile load:
+// verifying clients that check every answer against precomputed exact
+// results, slow clients that burst requests and never read, clients that
+// abort mid-stream, random failpoint storms across every compiled-in site,
+// and SIGTERM/drain cycles raised mid-traffic. After every epoch the
+// harness asserts the resilience invariants:
+//
+//   * server inflight count is zero and submitted == completed
+//     (zero leaked tickets),
+//   * the engine-wide memory budget has drained to zero charged bytes,
+//   * every osd_tenant_inflight gauge in the Prometheus export reads 0
+//     (no leaked tenant slots, no double releases),
+//   * zero verification mismatches: an OK result equals the exact answer;
+//     a degraded result is a certified superset of it,
+//   * the server drained cleanly (SIGTERM epochs exercise the
+//     async-signal-safe RequestDrain path).
+//
+// Any violation fails the run (exit 1). The storm RNG and every persona
+// RNG derive from --seed, so a failing run replays identically.
+//
+// Usage: osd_chaos [--seconds N] [--quick] [--seed S] [--threads T]
+//   --quick   ~3 second smoke (for scripts/server_smoke.sh)
+//   default   30 second soak; CI nightly runs --seconds 180 under ASan
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "datagen/generators.h"
+#include "engine/query_engine.h"
+#include "net/client.h"
+#include "net/json.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "net/wire.h"
+
+namespace {
+
+using osd::Dataset;
+using osd::EngineOptions;
+using osd::Operator;
+using osd::QueryEngine;
+using osd::QuerySpec;
+using osd::SyntheticParams;
+using osd::net::BuildSubmitMessage;
+using osd::net::EncodeFrame;
+using osd::net::JsonValue;
+using osd::net::MessageType;
+using osd::net::OsdClient;
+using osd::net::OsdServer;
+using osd::net::SendAll;
+using osd::net::ServerOptions;
+using osd::net::SubmitParams;
+using osd::net::TenantPolicy;
+
+// --- SIGTERM plumbing -------------------------------------------------------
+
+std::atomic<OsdServer*> g_server{nullptr};
+
+extern "C" void OnSigterm(int) {
+  OsdServer* server = g_server.load(std::memory_order_acquire);
+  if (server != nullptr) server->RequestDrain();  // async-signal-safe
+}
+
+// --- verification table -----------------------------------------------------
+
+struct Combo {
+  const char* op_name;
+  Operator op;
+  int object;
+  int k;
+  std::vector<int> exact;  ///< sorted exact candidate set (no failpoints)
+};
+
+Dataset MakeDataset() {
+  SyntheticParams p;
+  p.dim = 2;
+  p.num_objects = 300;
+  p.instances_per_object = 5;
+  p.seed = 42;
+  return osd::GenerateSynthetic(p);
+}
+
+/// Computes the exact answer for every combo on a clean engine (failpoints
+/// off, no deadlines). These are the ground truth the verifier personas
+/// hold every live answer against.
+std::vector<Combo> PrecomputeExact() {
+  std::vector<Combo> combos;
+  const struct {
+    const char* name;
+    Operator op;
+  } ops[] = {{"psd", Operator::kPSd},
+             {"fsd", Operator::kFSd},
+             {"ssd", Operator::kSSd}};
+  for (const auto& op : ops) {
+    for (int object : {0, 5, 17, 33, 101}) {
+      for (int k : {1, 3}) {
+        combos.push_back(Combo{op.name, op.op, object, k, {}});
+      }
+    }
+  }
+  QueryEngine engine(MakeDataset(), EngineOptions{.num_threads = 2});
+  for (Combo& combo : combos) {
+    QuerySpec spec;
+    spec.query = engine.dataset().object(combo.object);
+    spec.options.op = combo.op;
+    spec.options.k = combo.k;
+    spec.options.exclude_id = combo.object;
+    auto ticket = engine.Submit(std::move(spec));
+    ticket->Wait();
+    if (ticket->status() != osd::QueryStatus::kOk) {
+      std::fprintf(stderr, "FAIL: exact precompute %s obj=%d k=%d -> %s\n",
+                   combo.op_name, combo.object, combo.k,
+                   osd::QueryStatusName(ticket->status()));
+      std::exit(1);
+    }
+    combo.exact = ticket->result().candidates;
+    std::sort(combo.exact.begin(), combo.exact.end());
+  }
+  return combos;
+}
+
+// --- shared epoch state -----------------------------------------------------
+
+struct Tally {
+  std::atomic<long> ok{0};
+  std::atomic<long> degraded{0};
+  std::atomic<long> other_terminal{0};  ///< deadline/cancel/error/stalled
+  std::atomic<long> shed{0};            ///< over_inflight / rejected / draining
+  std::atomic<long> read_failures{0};   ///< disconnects, timeouts, evictions
+  std::atomic<long> mismatches{0};      ///< verification violations
+};
+
+void SetRecvTimeout(int fd, int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+/// Reads frames until the terminal frame (result, or an error carrying our
+/// id or none). Returns false on any transport failure.
+bool ReadTerminal(OsdClient& client, long id, JsonValue* out) {
+  std::string error;
+  for (;;) {
+    if (!client.Read(out, &error)) return false;
+    const std::string type = MessageType(out == nullptr ? JsonValue() : *out);
+    if (type == "result") {
+      const JsonValue* mid = out->Find("id");
+      if (mid != nullptr && static_cast<long>(mid->AsNumber()) == id) {
+        return true;
+      }
+    } else if (type == "error") {
+      const JsonValue* mid = out->Find("id");
+      if (mid == nullptr || static_cast<long>(mid->AsNumber()) == id) {
+        return true;
+      }
+    }
+    // candidate / candidates_coalesced / metrics_ok / stale frames: skip.
+  }
+}
+
+/// Persona 1: well-behaved clients that verify every answer.
+void VerifierLoop(int port, const std::vector<Combo>& combos,
+                  unsigned long long seed, const std::atomic<bool>& stop,
+                  Tally* tally) {
+  std::mt19937_64 rng(seed);
+  while (!stop.load(std::memory_order_acquire)) {
+    OsdClient client;
+    std::string error;
+    if (!client.Connect("127.0.0.1", port, "verify", &error)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    SetRecvTimeout(client.fd(), 5000);
+    long next_id = 1;
+    while (!stop.load(std::memory_order_acquire)) {
+      const Combo& combo = combos[rng() % combos.size()];
+      SubmitParams params;
+      params.id = next_id++;
+      params.object_id = combo.object;
+      params.op = combo.op_name;
+      params.k = combo.k;
+      switch (rng() % 4) {
+        case 0: break;  // no deadline: the watchdog's no-deadline clock
+        case 1: params.deadline_ms = 30.0; break;
+        default:
+          params.deadline_ms = 2.0;
+          params.accept_degraded = true;
+          break;
+      }
+      if (!client.Send(BuildSubmitMessage(params), &error)) break;
+      JsonValue msg;
+      if (!ReadTerminal(client, params.id, &msg)) {
+        tally->read_failures.fetch_add(1);
+        break;
+      }
+      if (MessageType(msg) == "error") {
+        tally->shed.fetch_add(1);
+        continue;
+      }
+      const std::string status = msg.Find("status")->AsString();
+      const bool degraded = msg.Find("degraded")->AsBool();
+      std::vector<int> got;
+      for (const JsonValue& v : msg.Find("candidates")->Items()) {
+        got.push_back(static_cast<int>(v.AsNumber()));
+      }
+      std::sort(got.begin(), got.end());
+      if (status == "OK") {
+        tally->ok.fetch_add(1);
+        if (got != combo.exact) {
+          tally->mismatches.fetch_add(1);
+          std::fprintf(stderr,
+                       "VIOLATION: OK result differs from exact (%s obj=%d "
+                       "k=%d: got %zu, want %zu)\n",
+                       combo.op_name, combo.object, combo.k, got.size(),
+                       combo.exact.size());
+        }
+      } else if (degraded) {
+        // Certified superset contract: every exact answer is in the
+        // degraded set, whatever terminated the query early.
+        tally->degraded.fetch_add(1);
+        if (!std::includes(got.begin(), got.end(), combo.exact.begin(),
+                           combo.exact.end())) {
+          tally->mismatches.fetch_add(1);
+          std::fprintf(stderr,
+                       "VIOLATION: degraded result is not a superset of the "
+                       "exact answer (%s obj=%d k=%d, status=%s)\n",
+                       combo.op_name, combo.object, combo.k, status.c_str());
+        }
+      } else {
+        tally->other_terminal.fetch_add(1);
+      }
+    }
+    client.Close();
+  }
+}
+
+/// Persona 2: a slow consumer — bursts of unread requests that push the
+/// connection through the watermark/coalescing/eviction machinery, then
+/// either an abrupt close or a late drain.
+void SlowReaderLoop(int port, unsigned long long seed,
+                    const std::atomic<bool>& stop, Tally* tally) {
+  std::mt19937_64 rng(seed);
+  const std::string metrics = EncodeFrame(R"({"type":"metrics"})");
+  while (!stop.load(std::memory_order_acquire)) {
+    OsdClient client;
+    std::string error;
+    if (!client.Connect("127.0.0.1", port, "capped", &error)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    SetRecvTimeout(client.fd(), 2000);
+    std::string burst;
+    const int n = 50 + static_cast<int>(rng() % 200);
+    burst.reserve(n * metrics.size() + 128);
+    for (int i = 0; i < n; ++i) burst += metrics;
+    SubmitParams params;
+    params.id = 1;
+    params.object_id = static_cast<int>(rng() % 300);
+    params.k = 2;
+    burst += EncodeFrame(BuildSubmitMessage(params));
+    if (SendAll(client.fd(), burst.data(), burst.size(), &error)) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(50 + rng() % 200));
+      if (rng() % 2 == 0) {
+        // Drain late: tolerate eviction, drain errors, disconnects.
+        JsonValue msg;
+        if (!ReadTerminal(client, params.id, &msg)) {
+          tally->read_failures.fetch_add(1);
+        }
+      }
+    }
+    client.Close();  // otherwise: abrupt close with frames still queued
+  }
+}
+
+/// Persona 3: aborts connections with queries still in flight, exercising
+/// disconnect-cancels-tickets and tenant slot release.
+void AborterLoop(int port, unsigned long long seed,
+                 const std::atomic<bool>& stop, Tally* /*tally*/) {
+  std::mt19937_64 rng(seed);
+  while (!stop.load(std::memory_order_acquire)) {
+    OsdClient client;
+    std::string error;
+    if (!client.Connect("127.0.0.1", port, "abort", &error)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    const int submits = 1 + static_cast<int>(rng() % 3);
+    for (int i = 0; i < submits; ++i) {
+      SubmitParams params;
+      params.id = i + 1;
+      params.object_id = static_cast<int>(rng() % 300);
+      params.op = (rng() % 2 == 0) ? "psd" : "fsd";
+      params.k = 1 + static_cast<int>(rng() % 3);
+      if (!client.Send(BuildSubmitMessage(params), &error)) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(rng() % 20));
+    client.Close();
+  }
+}
+
+/// Persona 4: random failpoint storms — every ~250 ms a fresh spec arms a
+/// handful of random sites with probabilistic faults, then clears.
+void StormLoop(unsigned long long seed, const std::atomic<bool>& stop) {
+  if (!osd::failpoint::Enabled()) return;
+  std::mt19937_64 rng(seed);
+  osd::failpoint::SeedRng(seed);
+  const std::vector<std::string> sites = osd::failpoint::KnownSiteNames();
+  const char* actions[] = {"error", "throw", "delay(2)", "delay(5)"};
+  while (!stop.load(std::memory_order_acquire)) {
+    std::vector<size_t> picks(sites.size());
+    for (size_t i = 0; i < picks.size(); ++i) picks[i] = i;
+    std::shuffle(picks.begin(), picks.end(), rng);
+    const size_t count = 3 + rng() % 4;
+    std::string spec;
+    for (size_t i = 0; i < count && i < picks.size(); ++i) {
+      if (!spec.empty()) spec += ',';
+      spec += sites[picks[i]];
+      spec += '=';
+      spec += actions[rng() % 4];
+      spec += "@p=0.05";
+    }
+    std::string error;
+    if (!osd::failpoint::Configure(spec, &error)) {
+      std::fprintf(stderr, "FAIL: storm spec rejected: %s\n", error.c_str());
+      std::exit(1);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    osd::failpoint::Clear();
+  }
+  osd::failpoint::Clear();
+}
+
+// --- epoch ------------------------------------------------------------------
+
+struct EpochReport {
+  int violations = 0;
+};
+
+/// Asserts one invariant; prints and counts the violation when false.
+void Check(bool ok, const char* what, EpochReport* report) {
+  if (ok) return;
+  ++report->violations;
+  std::fprintf(stderr, "VIOLATION: %s\n", what);
+}
+
+EpochReport RunEpoch(int epoch, const std::vector<Combo>& combos,
+                     unsigned long long seed, double epoch_seconds,
+                     int threads, bool sigterm_cycle, Tally* tally) {
+  EngineOptions engine_options;
+  engine_options.num_threads = threads;
+  engine_options.shed_on_overload = true;
+  engine_options.per_query_mem_bytes = 8 << 20;
+  engine_options.engine_mem_bytes = 64 << 20;
+  engine_options.watchdog = true;
+  engine_options.watchdog_no_deadline_ms = 2000.0;
+  QueryEngine engine(MakeDataset(), engine_options);
+
+  ServerOptions server_options;
+  // Low enough that the slow reader's biggest bursts cross it (eviction
+  // path exercised), high enough that cooperative clients never do.
+  server_options.max_output_buffer_bytes = 512u << 10;
+  server_options.output_high_watermark_bytes = 32u << 10;
+  server_options.idle_timeout_s = 5.0;
+  server_options.write_stall_timeout_s = 2.0;
+  TenantPolicy capped;
+  capped.max_inflight = 2;
+  server_options.tenants["capped"] = capped;
+  OsdServer server(&engine, server_options);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "FAIL: server start: %s\n", error.c_str());
+    std::exit(1);
+  }
+  g_server.store(&server, std::memory_order_release);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> personas;
+  personas.emplace_back(VerifierLoop, server.port(), std::cref(combos),
+                        seed * 31 + 1, std::cref(stop), tally);
+  personas.emplace_back(VerifierLoop, server.port(), std::cref(combos),
+                        seed * 31 + 2, std::cref(stop), tally);
+  personas.emplace_back(SlowReaderLoop, server.port(), seed * 31 + 3,
+                        std::cref(stop), tally);
+  personas.emplace_back(AborterLoop, server.port(), seed * 31 + 4,
+                        std::cref(stop), tally);
+  personas.emplace_back(StormLoop, seed * 31 + 5, std::cref(stop));
+
+  std::this_thread::sleep_for(std::chrono::duration<double>(epoch_seconds));
+
+  if (sigterm_cycle) {
+    // Drain raised from a real signal handler, mid-traffic: personas keep
+    // hammering a draining server until they see it refuse them.
+    ::raise(SIGTERM);
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : personas) t.join();
+  osd::failpoint::Clear();
+  server.Shutdown();  // no-op wait if the SIGTERM drain already ran
+
+  EpochReport report;
+  Check(server.inflight() == 0, "server inflight != 0 after drain", &report);
+  Check(server.queries_submitted() == server.queries_completed(),
+        "submitted != completed after drain (leaked tickets)", &report);
+  Check(engine.memory_budget().current_bytes() == 0,
+        "engine memory budget did not drain to zero", &report);
+  const osd::EngineStats stats = engine.Snapshot();
+  Check(stats.submitted == stats.completed,
+        "engine submitted != completed (leaked engine tickets)", &report);
+  Check(tally->mismatches.load() == 0, "verification mismatches", &report);
+
+  // Every per-tenant inflight gauge must read exactly 0: a leak shows 1+,
+  // a double release shows a negative value.
+  const std::string metrics = server.MetricsText();
+  size_t pos = 0;
+  while ((pos = metrics.find("osd_tenant_inflight{", pos)) !=
+         std::string::npos) {
+    size_t eol = metrics.find('\n', pos);
+    if (eol == std::string::npos) eol = metrics.size();
+    const std::string line = metrics.substr(pos, eol - pos);
+    const size_t space = line.rfind(' ');
+    const std::string value = line.substr(space + 1);
+    if (value != "0") {
+      ++report.violations;
+      std::fprintf(stderr, "VIOLATION: leaked tenant slot: %s\n",
+                   line.c_str());
+    }
+    pos = eol;
+  }
+
+  g_server.store(nullptr, std::memory_order_release);
+  std::printf(
+      "epoch %d%s: submitted=%ld completed=%ld evictions=%ld coalesced=%ld "
+      "stalled=%ld poisoned=%ld retries=%ld %s\n",
+      epoch, sigterm_cycle ? " (sigterm)" : "", server.queries_submitted(),
+      server.queries_completed(), server.evictions(),
+      server.candidates_coalesced(), stats.stalled, stats.workers_poisoned,
+      stats.retries, report.violations == 0 ? "invariants OK" : "VIOLATED");
+  std::fflush(stdout);
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double total_seconds = 30.0;
+  unsigned long long seed = 1;
+  int threads = 3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seconds") {
+      total_seconds = std::atof(next());
+    } else if (arg == "--quick") {
+      total_seconds = 3.0;
+    } else if (arg == "--seed") {
+      seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--threads") {
+      threads = std::atoi(next());
+    } else {
+      std::fprintf(stderr,
+                   "usage: osd_chaos [--seconds N] [--quick] [--seed S] "
+                   "[--threads T]\n");
+      return 2;
+    }
+  }
+
+  if (!osd::failpoint::Enabled()) {
+    std::printf("note: failpoints not compiled in; storms disabled "
+                "(build with -DOSD_FAILPOINTS=ON for full chaos)\n");
+  }
+  ::signal(SIGTERM, OnSigterm);
+
+  std::printf("precomputing exact answers...\n");
+  const std::vector<Combo> combos = PrecomputeExact();
+
+  Tally tally;
+  int violations = 0;
+  int epoch = 0;
+  const auto start = std::chrono::steady_clock::now();
+  const double epoch_seconds = std::min(1.5, total_seconds / 2.0);
+  while (std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+             .count() < total_seconds) {
+    violations += RunEpoch(epoch, combos, seed + epoch, epoch_seconds,
+                           threads, epoch % 2 == 1, &tally)
+                      .violations;
+    ++epoch;
+  }
+
+  std::printf(
+      "soak done: %d epochs, verified ok=%ld degraded=%ld other=%ld "
+      "shed=%ld read_failures=%ld mismatches=%ld\n",
+      epoch, tally.ok.load(), tally.degraded.load(),
+      tally.other_terminal.load(), tally.shed.load(),
+      tally.read_failures.load(), tally.mismatches.load());
+  if (tally.ok.load() == 0) {
+    std::fprintf(stderr, "FAIL: no query was ever verified OK\n");
+    return 1;
+  }
+  if (violations > 0) {
+    std::fprintf(stderr, "FAIL: %d invariant violations\n", violations);
+    return 1;
+  }
+  std::printf("PASS: chaos soak\n");
+  return 0;
+}

@@ -16,6 +16,19 @@
 //                                    (not recommended: a blocked Submit
 //                                    stalls the event loop)
 //   [--max-connections N]
+//   [--max-output-buffer SIZE]       hard per-connection output cap; a
+//                                    connection past it is evicted with a
+//                                    slow_consumer error frame
+//   [--high-watermark SIZE]          coalesce candidate frames above this
+//   [--low-watermark SIZE]           resume streaming below this (default
+//                                    high/2)
+//   [--idle-timeout-s X]             evict idle connections after X s
+//   [--write-stall-timeout-s X]      evict connections whose peer stops
+//                                    reading for X s
+//   [--watchdog-ms X]                engine watchdog: hard-fail queries
+//                                    that overrun their deadline's grace
+//                                    (and no-deadline queries after X ms),
+//                                    poisoning + respawning stuck workers
 //   [--tenant NAME:mem=SIZE,inflight=N,retries=R]
 //                                    per-tenant policy, repeatable; the
 //                                    name "default" sets the policy for
@@ -63,6 +76,12 @@ struct Args {
   double slow_query_ms = 0.0;
   bool shed = true;
   size_t max_connections = 256;
+  long max_output_buffer_bytes = 0;  // 0 = server default
+  long high_watermark_bytes = 0;
+  long low_watermark_bytes = 0;
+  double idle_timeout_s = 0.0;
+  double write_stall_timeout_s = 0.0;
+  double watchdog_ms = 0.0;
   net::TenantPolicy default_policy;
   std::map<std::string, net::TenantPolicy> tenants;
   std::string metrics_out;
@@ -185,6 +204,26 @@ Args Parse(int argc, char** argv) {
       const int n = std::atoi(need_value(i).c_str());
       if (n < 1) Die("--max-connections must be >= 1");
       args.max_connections = static_cast<size_t>(n);
+    } else if (flag == "--max-output-buffer") {
+      args.max_output_buffer_bytes =
+          ParseByteSize(need_value(i), "--max-output-buffer");
+    } else if (flag == "--high-watermark") {
+      args.high_watermark_bytes =
+          ParseByteSize(need_value(i), "--high-watermark");
+    } else if (flag == "--low-watermark") {
+      args.low_watermark_bytes =
+          ParseByteSize(need_value(i), "--low-watermark");
+    } else if (flag == "--idle-timeout-s") {
+      args.idle_timeout_s = std::atof(need_value(i).c_str());
+      if (args.idle_timeout_s <= 0) Die("--idle-timeout-s must be > 0");
+    } else if (flag == "--write-stall-timeout-s") {
+      args.write_stall_timeout_s = std::atof(need_value(i).c_str());
+      if (args.write_stall_timeout_s <= 0) {
+        Die("--write-stall-timeout-s must be > 0");
+      }
+    } else if (flag == "--watchdog-ms") {
+      args.watchdog_ms = std::atof(need_value(i).c_str());
+      if (args.watchdog_ms <= 0) Die("--watchdog-ms must be > 0");
     } else if (flag == "--tenant") {
       ParseTenantFlag(need_value(i), &args);
     } else if (flag == "--metrics-out") {
@@ -249,18 +288,37 @@ int main(int argc, char** argv) {
   }
   if (objects.empty()) Die("dataset holds no objects");
 
-  QueryEngine engine(Dataset(std::move(objects)),
-                     {.num_threads = args.threads,
-                      .queue_capacity = args.queue,
-                      .shed_on_overload = args.shed,
-                      .slow_query_threshold_ms = args.slow_query_ms,
-                      .per_query_mem_bytes = args.mem_budget_bytes,
-                      .engine_mem_bytes = args.engine_mem_budget_bytes});
+  EngineOptions engine_options{.num_threads = args.threads,
+                               .queue_capacity = args.queue,
+                               .shed_on_overload = args.shed,
+                               .slow_query_threshold_ms = args.slow_query_ms,
+                               .per_query_mem_bytes = args.mem_budget_bytes,
+                               .engine_mem_bytes =
+                                   args.engine_mem_budget_bytes};
+  if (args.watchdog_ms > 0) {
+    engine_options.watchdog = true;
+    engine_options.watchdog_no_deadline_ms = args.watchdog_ms;
+  }
+  QueryEngine engine(Dataset(std::move(objects)), engine_options);
 
   net::ServerOptions options;
   options.host = args.host;
   options.port = args.port;
   options.max_connections = args.max_connections;
+  if (args.max_output_buffer_bytes > 0) {
+    options.max_output_buffer_bytes =
+        static_cast<size_t>(args.max_output_buffer_bytes);
+  }
+  if (args.high_watermark_bytes > 0) {
+    options.output_high_watermark_bytes =
+        static_cast<size_t>(args.high_watermark_bytes);
+    options.output_low_watermark_bytes =
+        args.low_watermark_bytes > 0
+            ? static_cast<size_t>(args.low_watermark_bytes)
+            : 0;
+  }
+  options.idle_timeout_s = args.idle_timeout_s;
+  options.write_stall_timeout_s = args.write_stall_timeout_s;
   options.default_policy = args.default_policy;
   options.tenants = args.tenants;
 
