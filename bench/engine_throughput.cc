@@ -126,7 +126,10 @@ int main(int argc, char** argv) {
       NncOptions options;
       options.op = cfg.op;
       options.exclude_id = entry.seeded_from;
-      specs.push_back({entry.query, options, 0.0});
+      QuerySpec spec;
+      spec.query = entry.query;
+      spec.options = options;
+      specs.push_back(std::move(spec));
     }
     const auto t0 = std::chrono::steady_clock::now();
     auto tickets = engine.SubmitBatch(std::move(specs));

@@ -13,6 +13,10 @@
 # through a real OsdServer on loopback and writes BENCH_server.json
 # (QPS, latency percentiles, time-to-first-candidate per concurrency).
 #
+# The epoch-snapshot store gets a third pass: dynamic_throughput measures
+# read QPS/latency under concurrent write rates plus Fold() latency vs.
+# delta size, and writes BENCH_dynamic.json.
+#
 # Usage: scripts/run_benches.sh [build-dir]   (default: build-bench)
 # Env:   OSD_BENCH_MIN_TIME    google-benchmark min seconds/case (default 0.1)
 #        OSD_BENCH_FIG12_REPS  fig12 repetitions per mode (default 3); the
@@ -22,6 +26,9 @@
 #        OSD_BENCH_SERVER_QUERIES  queries per server_throughput round
 #                              (default 128)
 #        OSD_BENCH_SERVER_CLIENTS  client concurrencies (default 1,2,4)
+#        OSD_BENCH_DYNAMIC_SECONDS seconds per dynamic_throughput round
+#                              (default 1.5)
+#        OSD_BENCH_DYNAMIC_RATES   write rates in ops/s (default 0,500,5000)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -35,13 +42,19 @@ trap 'rm -rf "$TMP"' EXIT
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target micro_dominance micro_substrates fig12_time_datasets \
-           server_throughput
+           server_throughput dynamic_throughput
 
 echo "== server_throughput (service tier -> BENCH_server.json) =="
 "$BUILD_DIR/bench/server_throughput" \
   --queries "${OSD_BENCH_SERVER_QUERIES:-128}" \
   --clients "${OSD_BENCH_SERVER_CLIENTS:-1,2,4}" \
   --out BENCH_server.json
+
+echo "== dynamic_throughput (epoch store -> BENCH_dynamic.json) =="
+"$BUILD_DIR/bench/dynamic_throughput" \
+  --seconds "${OSD_BENCH_DYNAMIC_SECONDS:-1.5}" \
+  --write-rates "${OSD_BENCH_DYNAMIC_RATES:-0,500,5000}" \
+  --out BENCH_dynamic.json
 
 echo "== micro_dominance (kernel + scalar captures) =="
 "$BUILD_DIR/bench/micro_dominance" \

@@ -46,6 +46,13 @@ NncSearch::NncSearch(const Dataset& dataset, NncOptions options)
   OSD_CHECK(options_.k >= 1);
 }
 
+NncSearch::NncSearch(const VersionedDataset::Snapshot& snapshot,
+                     NncOptions options)
+    : snapshot_(&snapshot), options_(options) {
+  OSD_CHECK(options_.k >= 1);
+  OSD_CHECK(!snapshot.empty());
+}
+
 NncResult NncSearch::Run(
     const UncertainObject& query,
     const std::function<void(int, double)>& on_candidate) const {
@@ -69,7 +76,18 @@ NncResult NncSearch::Run(
           : std::chrono::steady_clock::time_point::max());
   QueryContext ctx(query, options_.metric);
   DominanceOracle oracle(ctx, options_.filters, &result.stats);
-  const RTree& tree = dataset_->global_tree();
+  // Snapshot mode reads through the pinned epoch: the base R-tree plus a
+  // tombstone check per leaf entry, and the delta objects seeded into the
+  // frontier below. Plain mode is the original immutable-dataset path.
+  const RTree& tree = snapshot_ != nullptr ? snapshot_->global_tree()
+                                           : dataset_->global_tree();
+  auto object_at = [&](int i) -> const UncertainObject& {
+    return snapshot_ != nullptr ? snapshot_->object(i) : dataset_->object(i);
+  };
+  auto is_deleted = [&](int32_t i) {
+    return snapshot_ != nullptr && snapshot_->deleted(i);
+  };
+  if (snapshot_ != nullptr) result.epoch = snapshot_->epoch();
 
   // Scratch arena for profile buffers, installed thread-locally like the
   // trace and budget scopes. Declared before `members` so the profiles are
@@ -89,10 +107,34 @@ NncResult NncSearch::Run(
   memory::ScopedCharge run_mem("nnc.run");
 
   std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
-  run_mem.Add(sizeof(HeapItem));
-  heap.push({MbrMinDist(tree.nodes()[tree.root()].box, ctx.mbr(),
-                        options_.metric),
-             false, tree.root()});
+  // An empty tree (empty dataset, or a snapshot whose base drained) seeds
+  // nothing; the traversal then answers from the delta alone, or returns
+  // an empty exact result.
+  if (!tree.empty()) {
+    run_mem.Add(sizeof(HeapItem));
+    heap.push({MbrMinDist(tree.nodes()[tree.root()].box, ctx.mbr(),
+                          options_.metric),
+               false, tree.root()});
+  }
+  if (snapshot_ != nullptr) {
+    // Delta objects are not in the base tree: seed each one directly as an
+    // object item, keyed by its MBR min-distance like a leaf entry would
+    // be, so the best-first order (and with it Theorem 9's access-order
+    // argument) is preserved across base and delta uniformly.
+    const int nbase = snapshot_->base_size();
+    const int ntotal = snapshot_->size();
+    long pushes = 0;
+    for (int i = nbase; i < ntotal; ++i) {
+      if (i != options_.exclude_id) ++pushes;
+    }
+    run_mem.Add(pushes * static_cast<long>(sizeof(HeapItem)));
+    for (int i = nbase; i < ntotal; ++i) {
+      if (i == options_.exclude_id) continue;
+      heap.push({MbrMinDist(snapshot_->object(i).mbr(), ctx.mbr(),
+                            options_.metric),
+                 true, i});
+    }
+  }
 
   const QueryControl* control = options_.control;
   long pops = 0;
@@ -135,7 +177,7 @@ NncResult NncSearch::Run(
           int node_dominators = 0;
           for (const Member& m : members) {
             result.stats.node_ops += 1;
-            if (MbrStrictlyDominatesM(dataset_->object(m.object_index).mbr(),
+            if (MbrStrictlyDominatesM(object_at(m.object_index).mbr(),
                                       node.box, ctx.mbr(), options_.metric)) {
               if (++node_dominators >= options_.k) break;
             }
@@ -150,7 +192,8 @@ NncResult NncSearch::Run(
           long pushes = 0;
           if (node.is_leaf) {
             for (int32_t e : node.children) {
-              if (tree.entries()[e].id != options_.exclude_id) ++pushes;
+              const int32_t id = tree.entries()[e].id;
+              if (id != options_.exclude_id && !is_deleted(id)) ++pushes;
             }
           } else {
             pushes = static_cast<long>(node.children.size());
@@ -161,6 +204,7 @@ NncResult NncSearch::Run(
             for (int32_t e : node.children) {
               const RTree::Entry& entry = tree.entries()[e];
               if (entry.id == options_.exclude_id) continue;
+              if (is_deleted(entry.id)) continue;  // tombstoned base slot
               heap.push({MbrMinDist(entry.box, ctx.mbr(), options_.metric),
                          true, entry.id});
             }
@@ -179,7 +223,7 @@ NncResult NncSearch::Run(
         // a dominator of later objects (each of its own dominators
         // dominates them transitively), so it is dropped outright.
         OSD_FAILPOINT("nnc.object_examine");
-        const UncertainObject& candidate = dataset_->object(item.id);
+        const UncertainObject& candidate = object_at(item.id);
         ++result.objects_examined;
         auto profile =
             std::make_unique<ObjectProfile>(candidate, ctx, &result.stats);
@@ -305,6 +349,7 @@ NncResult NncSearch::Run(
         for (int32_t e : node.children) {
           const RTree::Entry& entry = tree.entries()[e];
           if (entry.id == options_.exclude_id) continue;
+          if (is_deleted(entry.id)) continue;  // tombstoned base slot
           result.candidates.push_back(entry.id);
           ++result.frontier_objects;
         }

@@ -27,6 +27,7 @@
 #include "core/dominance_oracle.h"
 #include "core/filter_config.h"
 #include "object/dataset.h"
+#include "object/versioned_dataset.h"
 #include "obs/trace.h"
 
 namespace osd {
@@ -144,6 +145,9 @@ struct NncResult {
   /// arena (core/profile_scratch.h); the pooled bytes themselves stay
   /// charged against the memory budget while parked.
   long mem_scratch_reuse_bytes = 0;
+  /// Epoch of the VersionedDataset snapshot this query ran against; 0 when
+  /// the search was constructed over a plain (unversioned) Dataset.
+  uint64_t epoch = 0;
 };
 
 /// NN-candidate search engine over a dataset.
@@ -159,6 +163,15 @@ class NncSearch {
  public:
   NncSearch(const Dataset& dataset, NncOptions options);
 
+  /// Search over one pinned epoch of a VersionedDataset. The snapshot is
+  /// borrowed, not copied (same lifetime contract as NncOptions::control):
+  /// the caller keeps it alive — and thereby the epoch pinned — across
+  /// every Run call. Object indices in results and NncOptions::exclude_id
+  /// are *snapshot* indices: base-tree traversal skips tombstoned slots,
+  /// and the delta objects [base_size(), size()) are seeded straight into
+  /// the frontier (they are not in the base R-tree).
+  NncSearch(const VersionedDataset::Snapshot& snapshot, NncOptions options);
+
   /// Computes NNC(O, Q, SD). `on_candidate(object_index, elapsed_seconds)`
   /// is invoked for every progressive emission when provided.
   NncResult Run(const UncertainObject& query,
@@ -166,7 +179,8 @@ class NncSearch {
                     nullptr) const;
 
  private:
-  const Dataset* dataset_;
+  const Dataset* dataset_ = nullptr;               // plain mode
+  const VersionedDataset::Snapshot* snapshot_ = nullptr;  // snapshot mode
   NncOptions options_;
 };
 

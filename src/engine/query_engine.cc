@@ -69,9 +69,10 @@ double RetryPolicy::BackoffSeconds(int next_attempt, double u) const {
 }
 
 QueryEngine::QueryEngine(Dataset dataset, EngineOptions options)
-    : dataset_(std::move(dataset)),
-      options_(options),
+    : options_(options),
       mem_budget_(options.engine_mem_bytes),
+      versioned_(std::make_shared<VersionedDataset>(std::move(dataset),
+                                                    &mem_budget_)),
       pool_(ResolveThreads(options.num_threads), options.queue_capacity),
       slow_log_(options.slow_query_threshold_ms / 1e3,
                 options.slow_query_log_capacity) {
@@ -144,6 +145,10 @@ QueryEngine::QueryEngine(Dataset dataset, EngineOptions options)
   if (options_.watchdog) {
     watchdog_thread_ = std::thread([this] { WatchdogLoop(); });
   }
+  if (options_.fold_interval_s > 0 || options_.fold_delta_threshold > 0) {
+    versioned_->StartFoldThread(options_.fold_interval_s,
+                                options_.fold_delta_threshold);
+  }
 }
 
 void QueryEngine::NoteMemBreach() {
@@ -163,6 +168,7 @@ long QueryEngine::AdmissionHighWaterBytes() const {
 }
 
 QueryEngine::~QueryEngine() {
+  versioned_->StopFoldThread();
   Drain();
   {
     std::lock_guard<std::mutex> lock(watch_mu_);
@@ -303,6 +309,10 @@ std::shared_ptr<QueryTicket> QueryEngine::Submit(QuerySpec spec) {
       mem_budget_.WaitUntilBelow(high_water);
     }
   }
+  // Pin the store's current epoch for this query — after admission control
+  // so rejected submissions never hold a pin. The worker releases it inside
+  // Execute (not via closure destruction, which can outlive WaitIdle).
+  spec.snapshot = versioned_->Acquire();
   auto task = [this, ticket, spec = std::move(spec)]() mutable {
     Execute(ticket, spec);
   };
@@ -339,6 +349,16 @@ void QueryEngine::Execute(const std::shared_ptr<QueryTicket>& ticket,
   const Operator op = spec.options.op;
   QueryControl& control = ticket->control_;
 
+  // Release the epoch pin on every exit path, and do it HERE rather than
+  // letting the task closure's destructor handle it: the pool destroys the
+  // closure after decrementing its active count, so a pin held by the
+  // closure could still be live when Drain() returns. Releasing inside
+  // Execute makes "Drain returned" imply "no query holds an epoch".
+  struct SnapshotRelease {
+    QuerySpec* spec;
+    ~SnapshotRelease() { spec->snapshot = VersionedDataset::Snapshot(); }
+  } snapshot_release{&spec};
+
   // Fast-fail queries whose fate was sealed while queued.
   if (control.cancel.load(std::memory_order_relaxed)) {
     Complete(ticket, op, QueryStatus::kCancelled, {}, "", 0);
@@ -358,6 +378,25 @@ void QueryEngine::Execute(const std::shared_ptr<QueryTicket>& ticket,
   ticket->MarkRunning();
   spec.options.control = &control;
   spec.options.trace = ticket->trace_.get();
+
+  // Resolve an index-named query against the pinned snapshot. The index was
+  // typically prechecked by the submitter against *its* snapshot; a write
+  // that raced the submission can still have tombstoned it by the pinned
+  // epoch, which lands here as a precise recoverable error — never an
+  // abort, never a read of a deleted slot.
+  const UncertainObject* query = &spec.query;
+  if (spec.query_index >= 0) {
+    if (spec.snapshot.empty() || spec.query_index >= spec.snapshot.size() ||
+        spec.snapshot.deleted(spec.query_index)) {
+      Complete(ticket, op, QueryStatus::kError, {},
+               "query object " + std::to_string(spec.query_index) +
+                   " is not live at epoch " +
+                   std::to_string(spec.snapshot.epoch()),
+               1);
+      return;
+    }
+    query = &spec.snapshot.object(spec.query_index);
+  }
   // Watchdog supervision for the whole execution, retries included; the
   // guard unregisters on every exit path.
   struct WatchGuard {
@@ -372,7 +411,11 @@ void QueryEngine::Execute(const std::shared_ptr<QueryTicket>& ticket,
     ++attempt;
     try {
       OSD_FAILPOINT("engine.execute");
-      if (spec.query.dim() != dataset_.dim()) {
+      // Dimensionality check against the pinned epoch. A store whose dim
+      // is still unset (constructed empty, nothing inserted yet) accepts
+      // any query and answers it exactly: zero candidates.
+      const int store_dim = spec.snapshot.dim();
+      if (store_dim != 0 && query->dim() != store_dim) {
         throw std::invalid_argument(
             "query dimensionality does not match the dataset");
       }
@@ -404,7 +447,7 @@ void QueryEngine::Execute(const std::shared_ptr<QueryTicket>& ticket,
             spec.on_emission(NncEmission{id, elapsed}, this_attempt);
           };
         }
-        result = NncSearch(dataset_, spec.options).Run(spec.query, emit);
+        result = NncSearch(spec.snapshot, spec.options).Run(*query, emit);
       }
       if (result.termination == NncTermination::kMemoryExceeded) {
         // Breach absorbed by the degraded-superset drain inside Run.

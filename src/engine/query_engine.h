@@ -53,6 +53,7 @@
 #include "engine/query_ticket.h"
 #include "engine/thread_pool.h"
 #include "object/dataset.h"
+#include "object/versioned_dataset.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 
@@ -107,6 +108,15 @@ struct EngineOptions {
   double watchdog_min_grace_ms = 5.0;
   double watchdog_no_deadline_ms = 0.0;
   bool watchdog_respawn = true;
+
+  /// Background fold policy for the versioned store (see
+  /// object/versioned_dataset.h): fold when the delta reaches
+  /// fold_delta_threshold mutations, and/or every fold_interval_s seconds
+  /// while the delta is non-empty. Both <= 0 (the default) disables the
+  /// fold thread — mutations still work, the delta just grows until
+  /// someone calls versioned().Fold() explicitly.
+  double fold_interval_s = 0.0;
+  int fold_delta_threshold = 0;
 };
 
 /// Per-query retry policy for transient failures. Only exceptions derived
@@ -138,6 +148,17 @@ struct QuerySpec {
   NncOptions options;
   /// End-to-end budget from submission, seconds; <= 0 means none.
   double deadline_seconds = 0.0;
+  /// Alternative to `query`: >= 0 names a snapshot index whose object (at
+  /// the epoch pinned for this query) becomes the query. Resolution happens
+  /// on the worker against the pinned snapshot; an index that is out of
+  /// range or tombstoned there fails the ticket with a precise kError —
+  /// never an abort. `query` is ignored when this is set.
+  int query_index = -1;
+  /// Engine-managed: the epoch snapshot this query runs against, pinned at
+  /// Submit (after admission control) and released on the worker before
+  /// the ticket's terminal hook can be observed by Drain. Any caller-set
+  /// value is overwritten.
+  VersionedDataset::Snapshot snapshot;
   RetryPolicy retry;
   /// Allocate a per-query obs::Trace on the ticket and record spans into
   /// it (QueryTicket::trace()). Like `options.control`, any caller-set
@@ -167,8 +188,8 @@ struct QuerySpec {
 class QueryEngine {
  public:
   /// Takes ownership of the dataset (move it in; copy to keep a caller
-  /// copy). The global R-tree must already be built, which Dataset's
-  /// constructor guarantees.
+  /// copy) as epoch 0 of the engine's versioned store. The global R-tree
+  /// must already be built, which Dataset's constructor guarantees.
   explicit QueryEngine(Dataset dataset, EngineOptions options = {});
 
   /// Drains outstanding queries, then stops the pool.
@@ -202,7 +223,18 @@ class QueryEngine {
 
   const obs::SlowQueryLog& slow_query_log() const { return slow_log_; }
 
-  const Dataset& dataset() const { return dataset_; }
+  /// The immortal epoch-0 dataset the engine was constructed with (the
+  /// versioned store's seed). Static-data callers — benchmarks, the CLI's
+  /// info path, tests over immutable data — keep working unchanged;
+  /// anything epoch-aware goes through versioned() instead.
+  const Dataset& dataset() const { return versioned_->seed(); }
+
+  /// The engine's mutable store. Writers call versioned().Apply(); each
+  /// query pins the then-current epoch at Submit and is immune to later
+  /// writes.
+  VersionedDataset& versioned() { return *versioned_; }
+  const VersionedDataset& versioned() const { return *versioned_; }
+
   int num_threads() const { return pool_.num_threads(); }
 
   /// The engine-wide memory budget (always present; caps disabled unless
@@ -246,9 +278,13 @@ class QueryEngine {
   /// Counts one memory-budget breach (stats + hot metric).
   void NoteMemBreach();
 
-  Dataset dataset_;
   EngineOptions options_;
   memory::MemoryBudget mem_budget_;
+  /// Declared after mem_budget_ on purpose: delta objects release their
+  /// budget charge from their deleters, so the store (and with it the last
+  /// delta references) must be destroyed before the budget it charges.
+  /// pool_ below is destroyed first of all, so no worker outlives either.
+  std::shared_ptr<VersionedDataset> versioned_;
   ThreadPool pool_;
 
   /// Lock-free hot-path metrics (sharded by thread) plus the slow-query

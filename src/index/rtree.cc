@@ -47,10 +47,10 @@ void StrPartition(std::vector<int32_t>& items, int begin, int end, int dim,
 }  // namespace
 
 RTree RTree::BulkLoad(std::vector<Entry> entries, int fanout) {
-  OSD_CHECK(!entries.empty());
   OSD_CHECK(fanout >= 2);
   RTree tree;
   tree.fanout_ = fanout;
+  if (entries.empty()) return tree;  // valid empty tree: root() == -1
   tree.entries_ = std::move(entries);
   const int dims = tree.entries_[0].box.dim();
 
@@ -126,8 +126,10 @@ void RTree::ForEachIntersecting(
 }
 
 double RTree::MinDist(const Point& q, Metric metric) const {
-  OSD_CHECK(!empty());
+  // An empty tree has no entry at any distance: the infimum over an empty
+  // set is +inf, which every caller's comparison treats as "nothing there".
   double best = std::numeric_limits<double>::infinity();
+  if (empty()) return best;
   // Depth-first branch & bound; children visited nearest-first.
   std::vector<int32_t> stack = {root_};
   while (!stack.empty()) {
@@ -156,8 +158,9 @@ double RTree::MinDist(const Point& q, Metric metric) const {
 }
 
 double RTree::MaxDist(const Point& q, Metric metric) const {
-  OSD_CHECK(!empty());
+  // Supremum over an empty set: 0, the identity of max.
   double best = 0.0;
+  if (empty()) return best;
   std::vector<int32_t> stack = {root_};
   while (!stack.empty()) {
     const Node& node = nodes_[stack.back()];

@@ -46,7 +46,10 @@ class RTree {
   };
 
   /// Builds a tree over `entries` with the given fan-out (>= 2) using
-  /// Sort-Tile-Recursive packing. `entries` must be non-empty.
+  /// Sort-Tile-Recursive packing. Empty input yields a valid empty tree
+  /// (empty() is true, root() is -1): datasets can become empty once
+  /// deletes exist, and an empty tree simply answers every traversal with
+  /// nothing.
   static RTree BulkLoad(std::vector<Entry> entries, int fanout);
 
   RTree() = default;
@@ -56,8 +59,12 @@ class RTree {
   int32_t root() const { return root_; }
   const std::vector<Node>& nodes() const { return nodes_; }
   const std::vector<Entry>& entries() const { return entries_; }
-  const Mbr& bounds() const { return nodes_[root_].box; }
-  int height() const { return nodes_[root_].level + 1; }
+  /// Root MBR; an empty (invalid) box for an empty tree.
+  const Mbr& bounds() const {
+    static const Mbr kEmpty;
+    return empty() ? kEmpty : nodes_[root_].box;
+  }
+  int height() const { return empty() ? 0 : nodes_[root_].level + 1; }
 
   /// Invokes `fn(entry)` for every entry whose box intersects `range`.
   void ForEachIntersecting(const Mbr& range,

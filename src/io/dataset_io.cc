@@ -50,48 +50,20 @@ std::string Describe(int object_ordinal, int id) {
   return buf;
 }
 
-/// Validates one object's parsed payload: finite coordinates, positive
-/// finite mass per instance, and (for probability inputs) mass summing to
-/// 1 within the tolerance UncertainObject enforces. Keeping the checks
-/// here means malformed input surfaces as a precise loader error instead
-/// of an OSD_CHECK abort inside the UncertainObject constructor.
+/// Validates one object's parsed payload via the shared
+/// UncertainObject::ValidateInstances (finite coordinates, positive finite
+/// mass, probability sum), prefixing its message with the file path and
+/// object position. Anything this accepts is guaranteed not to trip an
+/// OSD_CHECK abort inside the UncertainObject constructors.
 bool ValidatePayload(const std::string& path, int ordinal, int id, int dim,
                      const std::vector<double>& coords,
                      const std::vector<double>& mass, bool weighted,
                      std::string* error) {
-  const int m = static_cast<int>(mass.size());
-  for (int i = 0; i < m; ++i) {
-    for (int d = 0; d < dim; ++d) {
-      const double c = coords[static_cast<size_t>(i) * dim + d];
-      if (!std::isfinite(c)) {
-        return Fail(error, path + ": " + Describe(ordinal, id) +
-                               ": non-finite coordinate at instance " +
-                               std::to_string(i) + ", dimension " +
-                               std::to_string(d));
-      }
-    }
-    if (!std::isfinite(mass[i]) || !(mass[i] > 0.0)) {
-      return Fail(error, path + ": " + Describe(ordinal, id) +
-                             ": non-positive or non-finite " +
-                             (weighted ? "weight" : "probability") +
-                             " at instance " + std::to_string(i));
-    }
+  std::string msg;
+  if (UncertainObject::ValidateInstances(dim, coords, mass, weighted, &msg)) {
+    return true;
   }
-  double sum = 0.0;
-  for (double v : mass) sum += v;
-  if (!weighted && !(std::abs(sum - 1.0) < 1e-6)) {
-    char buf[160];
-    std::snprintf(buf, sizeof(buf),
-                  ": probabilities sum to %.9g (expected 1 within 1e-6)",
-                  sum);
-    return Fail(error, path + ": " + Describe(ordinal, id) + buf);
-  }
-  if (weighted && !(sum > 0.0 && std::isfinite(sum))) {
-    return Fail(error,
-                path + ": " + Describe(ordinal, id) + ": total weight is " +
-                    "not positive and finite");
-  }
-  return true;
+  return Fail(error, path + ": " + Describe(ordinal, id) + ": " + msg);
 }
 
 bool LoadTextImpl(const std::string& path,

@@ -67,29 +67,34 @@ bool CheckKnownKeys(const JsonValue& msg,
   return true;
 }
 
-/// Builds the inline query from "instances": [[x_1..x_d, w], ...] with
-/// every bound checked before the flat arrays are filled.
-bool ParseInlineQuery(const JsonValue& instances, UncertainObject* out,
-                      std::string* error) {
+/// Builds an object from an "instances" array [[x_1..x_d, w], ...] with
+/// every bound checked before the flat arrays are filled. `what` prefixes
+/// error messages ("query.instances", "ops[3].instances"); `id` becomes
+/// the object's id. Construction goes through TryFromWeighted so wire
+/// input can never trip a constructor OSD_CHECK — notably a row length
+/// within the schema cap but past Point::kMaxDim, which used to abort the
+/// process in the UncertainObject constructor.
+bool ParseInstanceRows(const JsonValue& instances, const std::string& what,
+                       int id, UncertainObject* out, std::string* error) {
   if (!instances.is_array()) {
-    return Fail(error, "query.instances must be an array");
+    return Fail(error, what + " must be an array");
   }
   const auto& rows = instances.Items();
-  if (rows.empty()) return Fail(error, "query.instances is empty");
+  if (rows.empty()) return Fail(error, what + " is empty");
   if (rows.size() > static_cast<size_t>(kMaxQueryInstances)) {
-    return Fail(error, "query.instances exceeds the cap of " +
+    return Fail(error, what + " exceeds the cap of " +
                            std::to_string(kMaxQueryInstances));
   }
   if (!rows[0].is_array()) {
-    return Fail(error, "query.instances rows must be arrays");
+    return Fail(error, what + " rows must be arrays");
   }
   const size_t row_len = rows[0].Items().size();
   if (row_len < 2) {
-    return Fail(error, "query.instances rows need >= 1 coordinate + weight");
+    return Fail(error, what + " rows need >= 1 coordinate + weight");
   }
   const int dim = static_cast<int>(row_len) - 1;
   if (dim > kMaxQueryDim) {
-    return Fail(error, "query dimensionality exceeds the cap of " +
+    return Fail(error, what + " dimensionality exceeds the cap of " +
                            std::to_string(kMaxQueryDim));
   }
   std::vector<double> coords;
@@ -98,13 +103,13 @@ bool ParseInlineQuery(const JsonValue& instances, UncertainObject* out,
   weights.reserve(rows.size());
   for (size_t r = 0; r < rows.size(); ++r) {
     if (!rows[r].is_array() || rows[r].Items().size() != row_len) {
-      return Fail(error, "query.instances row " + std::to_string(r) +
+      return Fail(error, what + " row " + std::to_string(r) +
                              " has inconsistent length");
     }
     const auto& cells = rows[r].Items();
     for (size_t c = 0; c < row_len; ++c) {
       if (!cells[c].is_number()) {
-        return Fail(error, "query.instances row " + std::to_string(r) +
+        return Fail(error, what + " row " + std::to_string(r) +
                                " holds a non-number");
       }
     }
@@ -113,19 +118,28 @@ bool ParseInlineQuery(const JsonValue& instances, UncertainObject* out,
       // The JSON layer already refuses NaN/Inf; keep the explicit check so
       // this function is safe against any other JsonValue producer.
       if (!std::isfinite(x)) {
-        return Fail(error, "non-finite coordinate in query.instances");
+        return Fail(error, "non-finite coordinate in " + what);
       }
       coords.push_back(x);
     }
     const double w = cells[row_len - 1].AsNumber();
     if (!std::isfinite(w) || w <= 0.0) {
-      return Fail(error, "query instance weights must be finite and > 0");
+      return Fail(error, what + " weights must be finite and > 0");
     }
     weights.push_back(w);
   }
-  *out = UncertainObject::FromWeighted(-1, dim, std::move(coords),
-                                       std::move(weights));
+  std::string verr;
+  if (!UncertainObject::TryFromWeighted(id, dim, std::move(coords),
+                                        std::move(weights), out, &verr)) {
+    return Fail(error, what + ": " + verr);
+  }
   return true;
+}
+
+bool ParseInlineQuery(const JsonValue& instances, UncertainObject* out,
+                      std::string* error) {
+  return ParseInstanceRows(instances, "query.instances", /*id=*/-1, out,
+                           error);
 }
 
 }  // namespace
@@ -300,6 +314,72 @@ bool ParseCancel(const JsonValue& msg, CancelRequest* out,
   return true;
 }
 
+bool ParseMutate(const JsonValue& msg, MutateRequest* out,
+                 std::string* error) {
+  if (!msg.is_object()) return Fail(error, "mutate must be an object");
+  if (!CheckKnownKeys(msg, {"type", "id", "ops"}, error)) return false;
+  const JsonValue* id = msg.Find("id");
+  if (id == nullptr || !AsInteger(*id, 0, kMaxRequestId, &out->id)) {
+    return Fail(error, "mutate.id must be an integer in [0, 2^53]");
+  }
+  const JsonValue* ops = msg.Find("ops");
+  if (ops == nullptr || !ops->is_array()) {
+    return Fail(error, "mutate.ops must be an array");
+  }
+  const auto& items = ops->Items();
+  if (items.empty()) return Fail(error, "mutate.ops is empty");
+  if (items.size() > static_cast<size_t>(kMaxMutationOps)) {
+    return Fail(error, "mutate.ops exceeds the cap of " +
+                           std::to_string(kMaxMutationOps));
+  }
+  out->ops.clear();
+  out->ops.reserve(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    const std::string where = "mutate.ops[" + std::to_string(i) + "]";
+    const JsonValue& item = items[i];
+    if (!item.is_object()) return Fail(error, where + " must be an object");
+    if (!CheckKnownKeys(item, {"action", "object_id", "instances"}, error)) {
+      return false;
+    }
+    const JsonValue* action = item.Find("action");
+    if (action == nullptr || !action->is_string()) {
+      return Fail(error, where + ".action must be a string");
+    }
+    Mutation op;
+    const std::string& a = action->AsString();
+    if (a == "insert") op.kind = Mutation::Kind::kInsert;
+    else if (a == "update") op.kind = Mutation::Kind::kUpdate;
+    else if (a == "delete") op.kind = Mutation::Kind::kDelete;
+    else {
+      return Fail(error, where + ".action must be insert|update|delete");
+    }
+    const JsonValue* object_id = item.Find("object_id");
+    long oid = -1;
+    if (object_id == nullptr || !AsInteger(*object_id, 0, 1L << 40, &oid)) {
+      return Fail(error, where + ".object_id must be an integer >= 0");
+    }
+    op.id = static_cast<int>(oid);
+    const JsonValue* instances = item.Find("instances");
+    if (op.kind == Mutation::Kind::kDelete) {
+      if (instances != nullptr) {
+        return Fail(error, where + ": delete takes no instances");
+      }
+    } else {
+      if (instances == nullptr) {
+        return Fail(error, where + ".instances is required for " + a);
+      }
+      auto obj = std::make_shared<UncertainObject>();
+      if (!ParseInstanceRows(*instances, where + ".instances", op.id,
+                             obj.get(), error)) {
+        return false;
+      }
+      op.object = std::move(obj);
+    }
+    out->ops.push_back(std::move(op));
+  }
+  return true;
+}
+
 std::string BuildHelloMessage(const std::string& tenant) {
   std::string msg = "{\"type\":\"hello\",\"version\":" +
                     std::to_string(kProtocolVersion);
@@ -358,13 +438,42 @@ std::string BuildCancelMessage(long id) {
   return "{\"type\":\"cancel\",\"id\":" + std::to_string(id) + "}";
 }
 
+std::string BuildMutateMessage(long id, const std::vector<MutateOp>& ops) {
+  std::string msg = "{\"type\":\"mutate\",\"id\":" + std::to_string(id) +
+                    ",\"ops\":[";
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const MutateOp& op = ops[i];
+    if (i > 0) msg += ",";
+    msg += "{\"action\":";
+    AppendJsonString(&msg, op.action);
+    msg += ",\"object_id\":" + std::to_string(op.object_id);
+    if (op.action != "delete") {
+      msg += ",\"instances\":[";
+      for (size_t r = 0; r < op.instances.size(); ++r) {
+        if (r > 0) msg += ",";
+        msg += "[";
+        for (size_t c = 0; c < op.instances[r].size(); ++c) {
+          if (c > 0) msg += ",";
+          msg += JsonNumber(op.instances[r][c]);
+        }
+        msg += "]";
+      }
+      msg += "]";
+    }
+    msg += "}";
+  }
+  msg += "]}";
+  return msg;
+}
+
 std::string BuildHelloOkMessage(int dataset_objects, int dataset_dim,
-                                const std::string& tenant) {
+                                uint64_t epoch, const std::string& tenant) {
   std::string msg = "{\"type\":\"hello_ok\",\"version\":" +
                     std::to_string(kProtocolVersion) +
                     ",\"server\":\"osd_server\",\"dataset\":{\"objects\":" +
                     std::to_string(dataset_objects) +
                     ",\"dim\":" + std::to_string(dataset_dim) +
+                    ",\"epoch\":" + std::to_string(epoch) +
                     "},\"tenant\":";
   AppendJsonString(&msg, tenant);
   msg += "}";
@@ -434,6 +543,7 @@ std::string BuildResultMessage(long id, const QueryTicket& ticket) {
   msg += ",\"latency_ms\":" + JsonNumber(ticket.latency_seconds() * 1e3);
   msg += ",\"attempts\":" + std::to_string(ticket.attempts());
   msg += ",\"mem_peak_bytes\":" + std::to_string(result.mem_peak_bytes);
+  msg += ",\"epoch\":" + std::to_string(result.epoch);
   if (!ticket.error().empty()) {
     msg += ",\"error\":";
     AppendJsonString(&msg, ticket.error());
@@ -448,6 +558,12 @@ std::string BuildResultMessage(long id, const QueryTicket& ticket) {
 std::string BuildCancelOkMessage(long id, bool found) {
   return "{\"type\":\"cancel_ok\",\"id\":" + std::to_string(id) +
          ",\"found\":" + (found ? "true" : "false") + "}";
+}
+
+std::string BuildMutateOkMessage(long id, uint64_t epoch, int applied) {
+  return "{\"type\":\"mutate_ok\",\"id\":" + std::to_string(id) +
+         ",\"epoch\":" + std::to_string(epoch) +
+         ",\"applied\":" + std::to_string(applied) + "}";
 }
 
 std::string BuildDrainOkMessage(long inflight) {

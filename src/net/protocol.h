@@ -12,6 +12,10 @@
 //    "accept_degraded":true,"retries":1,"mem_budget_bytes":67108864,
 //    "stream":true,"trace":false}
 //   {"type":"cancel","id":7}
+//   {"type":"mutate","id":9,"ops":[
+//     {"action":"insert","object_id":1000,"instances":[[x_1..x_d, w],...]},
+//     {"action":"update","object_id":1000,"instances":[...]},
+//     {"action":"delete","object_id":17}]}
 //   {"type":"status"}        {"type":"metrics"}
 //   {"type":"drain"}         {"type":"bye"}
 //
@@ -28,8 +32,10 @@
 //    "truncated":false,"object_ids":[...]}    (slow readers only: candidate
 //     events folded into one frame while the connection's output buffer is
 //     above its high watermark; the terminal frame stays authoritative)
-//   {"type":"result","id":7,"status":"OK","termination":"complete",...}
+//   {"type":"result","id":7,"status":"OK","termination":"complete",
+//    "epoch":3,...}          ("epoch" = the snapshot the query ran against)
 //   {"type":"cancel_ok","id":7,"found":true}
+//   {"type":"mutate_ok","id":9,"epoch":4,"applied":3}
 //   {"type":"status_ok",...} {"type":"metrics_ok","text":"..."}
 //   {"type":"drain_ok","inflight":N}
 //   {"type":"error","id":7,"code":"bad_request","message":"..."}
@@ -66,6 +72,9 @@ inline constexpr int kMaxRetries = 10;
 inline constexpr long kMaxRequestId = (1L << 53);  // exact in a double
 inline constexpr int kMaxK = 1'000'000;
 inline constexpr size_t kMaxTenantName = 64;
+/// Maximum ops in one mutate batch (per-request; tenants may be capped
+/// lower via TenantPolicy::max_mutation_ops).
+inline constexpr int kMaxMutationOps = 256;
 
 /// Machine-readable error codes carried by "error" frames.
 inline constexpr const char* kErrBadRequest = "bad_request";
@@ -77,6 +86,12 @@ inline constexpr const char* kErrProtocol = "protocol_error";
 /// non-reading peer may never see it) before the server closes it.
 inline constexpr const char* kErrSlowConsumer = "slow_consumer";
 inline constexpr const char* kErrTimeout = "timeout";
+/// The tenant's policy forbids writes (TenantPolicy::allow_writes).
+inline constexpr const char* kErrWriteDenied = "write_denied";
+/// A syntactically valid mutate batch the store refused (unknown id,
+/// duplicate insert, dimension mismatch, budget refusal). The batch was
+/// applied all-or-nothing: nothing changed.
+inline constexpr const char* kErrBadMutation = "bad_mutation";
 
 /// True iff `tenant` is a valid tenant identifier: [A-Za-z0-9_-]{1,64}.
 /// Tenant names become Prometheus label values, so the charset is locked
@@ -108,6 +123,15 @@ struct CancelRequest {
   long id = -1;
 };
 
+/// Parsed mutate batch: ops are fully constructed (payloads validated
+/// through UncertainObject::TryFromWeighted — wire input can never trip a
+/// constructor OSD_CHECK) and addressed by external object id. The server
+/// hands them to VersionedDataset::Apply unchanged.
+struct MutateRequest {
+  long id = -1;
+  std::vector<Mutation> ops;
+};
+
 /// Message parsers: strict schema validation over an already-parsed JSON
 /// value. On failure they return false with a precise *error and leave the
 /// output unspecified.
@@ -115,6 +139,8 @@ bool ParseHello(const JsonValue& msg, HelloRequest* out, std::string* error);
 bool ParseSubmit(const JsonValue& msg, SubmitRequest* out,
                  std::string* error);
 bool ParseCancel(const JsonValue& msg, CancelRequest* out,
+                 std::string* error);
+bool ParseMutate(const JsonValue& msg, MutateRequest* out,
                  std::string* error);
 
 /// The "type" member of a parsed message ("" when absent or not a string).
@@ -144,10 +170,20 @@ struct SubmitParams {
 std::string BuildSubmitMessage(const SubmitParams& params);
 std::string BuildCancelMessage(long id);
 
+/// Declarative client-side mutate op, mirroring the schema one-to-one.
+struct MutateOp {
+  std::string action;  ///< "insert" | "update" | "delete"
+  int object_id = -1;
+  /// Rows of [x_1..x_d, w]; ignored for "delete".
+  std::vector<std::vector<double>> instances;
+};
+
+std::string BuildMutateMessage(long id, const std::vector<MutateOp>& ops);
+
 // --- server-side builders -------------------------------------------------
 
 std::string BuildHelloOkMessage(int dataset_objects, int dataset_dim,
-                                const std::string& tenant);
+                                uint64_t epoch, const std::string& tenant);
 std::string BuildCandidateMessage(long id, long seq, int attempt,
                                   int object_id, double elapsed_seconds);
 /// One frame standing in for `count` individual candidate events of query
@@ -162,6 +198,7 @@ std::string BuildCoalescedMessage(long id, int attempt, long count,
 /// when present.
 std::string BuildResultMessage(long id, const QueryTicket& ticket);
 std::string BuildCancelOkMessage(long id, bool found);
+std::string BuildMutateOkMessage(long id, uint64_t epoch, int applied);
 std::string BuildDrainOkMessage(long inflight);
 std::string BuildMetricsOkMessage(const std::string& text);
 std::string BuildErrorMessage(long id, const char* code,

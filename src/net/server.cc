@@ -57,6 +57,13 @@ OsdServer::OsdServer(QueryEngine* engine, ServerOptions options)
       "osd_net_candidates_coalesced_total",
       "Candidate events folded into summary frames above the output high "
       "watermark.");
+  hot_.mutations = &registry_.GetCounter(
+      "osd_net_mutations_total",
+      "Mutation ops applied through the wire (sum over mutate batches).");
+  hot_.mutations_rejected = &registry_.GetCounter(
+      "osd_net_mutations_rejected_total",
+      "Mutate frames refused (write_denied, bad_mutation, batch caps, "
+      "drain).");
   hot_.active = &registry_.GetGauge("osd_net_connections_active",
                                     "Currently open client connections.");
   hot_.draining = &registry_.GetGauge(
@@ -80,6 +87,8 @@ long OsdServer::evictions() const { return hot_.evictions->Value(); }
 long OsdServer::candidates_coalesced() const {
   return hot_.candidates_coalesced->Value();
 }
+
+long OsdServer::mutations_applied() const { return hot_.mutations->Value(); }
 
 OsdServer::~OsdServer() { Shutdown(); }
 
@@ -528,6 +537,8 @@ void OsdServer::HandleFrame(const ConnPtr& conn, const std::string& payload) {
   }
   if (type == "submit") {
     HandleSubmit(conn, msg);
+  } else if (type == "mutate") {
+    HandleMutate(conn, msg);
   } else if (type == "cancel") {
     HandleCancel(conn, msg);
   } else if (type == "status") {
@@ -564,9 +575,9 @@ void OsdServer::HandleHello(const ConnPtr& conn, const JsonValue& msg) {
   }
   conn->tenant = ResolveTenant(req.tenant);
   conn->hello_done = true;
-  AppendFrame(*conn, BuildHelloOkMessage(engine_->dataset().size(),
-                                         engine_->dataset().dim(),
-                                         req.tenant));
+  const VersionedDataset::Snapshot snap = engine_->versioned().Acquire();
+  AppendFrame(*conn, BuildHelloOkMessage(snap.live_size(), snap.dim(),
+                                         snap.epoch(), req.tenant));
 }
 
 void OsdServer::HandleSubmit(const ConnPtr& conn, const JsonValue& msg) {
@@ -606,26 +617,35 @@ void OsdServer::HandleSubmit(const ConnPtr& conn, const JsonValue& msg) {
   }
 
   QuerySpec spec;
-  if (req.inline_query) {
-    if (req.query.dim() != engine_->dataset().dim()) {
-      hot_.protocol_errors->Increment();
-      AppendFrame(*conn,
-                  BuildErrorMessage(
-                      req.id, kErrBadRequest,
-                      "query dimensionality " + std::to_string(req.query.dim()) +
-                          " != dataset dimensionality " +
-                          std::to_string(engine_->dataset().dim())));
-      return;
+  {
+    // Precheck against the store as it is now; the query runs against the
+    // snapshot the engine pins at Submit, so a mutation racing past this
+    // check still yields a precise error result rather than an abort.
+    const VersionedDataset::Snapshot snap = engine_->versioned().Acquire();
+    if (req.inline_query) {
+      if (snap.dim() != 0 && req.query.dim() != snap.dim()) {
+        hot_.protocol_errors->Increment();
+        AppendFrame(
+            *conn,
+            BuildErrorMessage(
+                req.id, kErrBadRequest,
+                "query dimensionality " + std::to_string(req.query.dim()) +
+                    " != dataset dimensionality " +
+                    std::to_string(snap.dim())));
+        return;
+      }
+      spec.query = req.query;
+    } else {
+      if (req.object_id < 0 || req.object_id >= snap.size() ||
+          snap.deleted(req.object_id)) {
+        hot_.protocol_errors->Increment();
+        AppendFrame(*conn,
+                    BuildErrorMessage(req.id, kErrBadRequest,
+                                      "object_id out of range or deleted"));
+        return;
+      }
+      spec.query_index = req.object_id;
     }
-    spec.query = req.query;
-  } else {
-    if (req.object_id < 0 || req.object_id >= engine_->dataset().size()) {
-      hot_.protocol_errors->Increment();
-      AppendFrame(*conn, BuildErrorMessage(req.id, kErrBadRequest,
-                                           "object_id out of range"));
-      return;
-    }
-    spec.query = engine_->dataset().object(req.object_id);
   }
   spec.options = req.options;
   spec.deadline_seconds = req.deadline_seconds;
@@ -709,6 +729,53 @@ void OsdServer::HandleSubmit(const ConnPtr& conn, const JsonValue& msg) {
   if (it != conn->inflight.end()) it->second.ticket = std::move(ticket);
 }
 
+void OsdServer::HandleMutate(const ConnPtr& conn, const JsonValue& msg) {
+  MutateRequest req;
+  std::string error;
+  if (!ParseMutate(msg, &req, &error)) {
+    hot_.protocol_errors->Increment();
+    AppendFrame(*conn, BuildErrorMessage(req.id, kErrBadRequest, error));
+    return;
+  }
+  TenantState* tenant = conn->tenant;
+  if (draining_) {
+    hot_.mutations_rejected->Increment();
+    AppendFrame(*conn, BuildErrorMessage(req.id, kErrDraining,
+                                         "server is draining"));
+    return;
+  }
+  if (!tenant->policy.allow_writes) {
+    hot_.mutations_rejected->Increment();
+    AppendFrame(*conn, BuildErrorMessage(req.id, kErrWriteDenied,
+                                         "tenant policy forbids writes"));
+    return;
+  }
+  if (tenant->policy.max_mutation_ops > 0 &&
+      static_cast<int>(req.ops.size()) > tenant->policy.max_mutation_ops) {
+    hot_.mutations_rejected->Increment();
+    AppendFrame(*conn,
+                BuildErrorMessage(
+                    req.id, kErrBadRequest,
+                    "mutate batch exceeds tenant cap of " +
+                        std::to_string(tenant->policy.max_mutation_ops) +
+                        " ops"));
+    return;
+  }
+  // Apply is a validate + copy-on-write publish — no index rebuild, no
+  // blocking on in-flight queries — so running it on the loop thread keeps
+  // writes strictly ordered per connection without stalling reads. Folds
+  // happen on the engine's background fold thread.
+  const int applied = static_cast<int>(req.ops.size());
+  uint64_t epoch = 0;
+  if (!engine_->versioned().Apply(std::move(req.ops), &error, &epoch)) {
+    hot_.mutations_rejected->Increment();
+    AppendFrame(*conn, BuildErrorMessage(req.id, kErrBadMutation, error));
+    return;
+  }
+  hot_.mutations->Increment(applied);
+  AppendFrame(*conn, BuildMutateOkMessage(req.id, epoch, applied));
+}
+
 void OsdServer::HandleCancel(const ConnPtr& conn, const JsonValue& msg) {
   CancelRequest req;
   std::string error;
@@ -740,6 +807,13 @@ void OsdServer::HandleStatus(const ConnPtr& conn) {
   msg += std::to_string(queries_submitted_.load());
   msg += ",\"completed\":";
   msg += std::to_string(queries_completed_.load());
+  const VersionedDataset::Stats vstats = engine_->versioned().GetStats();
+  msg += ",\"epoch\":";
+  msg += std::to_string(vstats.epoch);
+  msg += ",\"delta\":";
+  msg += std::to_string(vstats.delta_size);
+  msg += ",\"folds\":";
+  msg += std::to_string(vstats.folds);
   msg += ",\"engine\":";
   msg += engine_->Snapshot().ToJson();
   msg += "}";

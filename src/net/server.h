@@ -21,7 +21,8 @@
 // Tenant governance rides the existing machinery: the per-tenant policy
 // caps each query's memory budget (QuerySpec::per_query_mem_bytes ->
 // QueryBudgetScope), bounds in-flight queries per tenant (shed with an
-// over_inflight_limit error), pins the retry policy, and labels the
+// over_inflight_limit error), pins the retry policy, gates writes
+// (allow_writes / max_mutation_ops on "mutate" frames), and labels the
 // Prometheus export (osd_tenant_*{tenant="..."} series in MetricsText).
 //
 // Adversarial-load posture: every per-connection output buffer is bounded.
@@ -78,6 +79,12 @@ struct TenantPolicy {
   /// Retry policy override: >= 0 pins the transient-failure retry count
   /// for this tenant; -1 honours the request's "retries" field.
   int retries = -1;
+  /// Whether this tenant may send "mutate" frames; a denied write is
+  /// answered with a write_denied error and changes nothing.
+  bool allow_writes = true;
+  /// Per-batch op cap for this tenant's mutate frames; caps (never raises)
+  /// the protocol-wide kMaxMutationOps. 0 = protocol default.
+  int max_mutation_ops = 0;
 };
 
 struct ServerOptions {
@@ -156,6 +163,8 @@ class OsdServer {
   bool draining() const { return drain_requested_.load(); }
   long evictions() const;
   long candidates_coalesced() const;
+  /// Mutation ops applied through the wire (sum of mutate_ok "applied").
+  long mutations_applied() const;
 
  private:
   struct TenantState {
@@ -216,6 +225,7 @@ class OsdServer {
   void HandleFrame(const ConnPtr& conn, const std::string& payload);
   void HandleHello(const ConnPtr& conn, const JsonValue& msg);
   void HandleSubmit(const ConnPtr& conn, const JsonValue& msg);
+  void HandleMutate(const ConnPtr& conn, const JsonValue& msg);
   void HandleCancel(const ConnPtr& conn, const JsonValue& msg);
   void HandleStatus(const ConnPtr& conn);
   void CloseConnection(const ConnPtr& conn);
@@ -289,6 +299,8 @@ class OsdServer {
     obs::Counter* protocol_errors = nullptr;
     obs::Counter* evictions = nullptr;
     obs::Counter* candidates_coalesced = nullptr;
+    obs::Counter* mutations = nullptr;
+    obs::Counter* mutations_rejected = nullptr;
     obs::Gauge* active = nullptr;
     obs::Gauge* draining = nullptr;
   };

@@ -13,7 +13,10 @@ int Dataset::GlobalFanout(int dim) {
 
 Dataset::Dataset(std::vector<UncertainObject> objects)
     : objects_(std::move(objects)) {
-  OSD_CHECK(!objects_.empty());
+  // An empty dataset is valid (a store drained by deletes, or an empty
+  // load): its global tree stays empty and every search answers with zero
+  // candidates.
+  if (objects_.empty()) return;
   const int d = objects_[0].dim();
   std::vector<RTree::Entry> entries(objects_.size());
   for (size_t i = 0; i < objects_.size(); ++i) {

@@ -22,7 +22,9 @@ class Dataset {
 
   Dataset() = default;
 
-  /// Takes ownership of the objects and builds the global R-tree.
+  /// Takes ownership of the objects and builds the global R-tree. An empty
+  /// vector yields a valid empty dataset (size() == 0, empty global tree);
+  /// every search over it answers with zero candidates.
   explicit Dataset(std::vector<UncertainObject> objects);
 
   int size() const { return static_cast<int>(objects_.size()); }

@@ -1,7 +1,9 @@
 #include "object/uncertain_object.h"
 
 #include <cmath>
+#include <cstdio>
 #include <numeric>
+#include <stdexcept>
 
 #include "common/check.h"
 #include "common/failpoint.h"
@@ -9,6 +11,81 @@
 #include "obs/trace.h"
 
 namespace osd {
+
+namespace {
+
+bool Fail(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+}  // namespace
+
+bool UncertainObject::ValidateInstances(int dim,
+                                        const std::vector<double>& coords,
+                                        const std::vector<double>& mass,
+                                        bool weighted, std::string* error) {
+  if (dim < 1 || dim > Point::kMaxDim) {
+    return Fail(error, "dimension " + std::to_string(dim) +
+                           " out of range [1, " +
+                           std::to_string(Point::kMaxDim) + "]");
+  }
+  if (mass.empty()) return Fail(error, "object has no instances");
+  if (coords.size() != mass.size() * static_cast<size_t>(dim)) {
+    return Fail(error, "coordinate count " + std::to_string(coords.size()) +
+                           " does not match " + std::to_string(mass.size()) +
+                           " instances of dimension " + std::to_string(dim));
+  }
+  const int m = static_cast<int>(mass.size());
+  for (int i = 0; i < m; ++i) {
+    for (int d = 0; d < dim; ++d) {
+      if (!std::isfinite(coords[static_cast<size_t>(i) * dim + d])) {
+        return Fail(error, "non-finite coordinate at instance " +
+                               std::to_string(i) + ", dimension " +
+                               std::to_string(d));
+      }
+    }
+    if (!std::isfinite(mass[i]) || !(mass[i] > 0.0)) {
+      return Fail(error, std::string("non-positive or non-finite ") +
+                             (weighted ? "weight" : "probability") +
+                             " at instance " + std::to_string(i));
+    }
+  }
+  double sum = 0.0;
+  for (double v : mass) sum += v;
+  if (!weighted && !(std::abs(sum - 1.0) < 1e-6)) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "probabilities sum to %.9g (expected 1 within 1e-6)", sum);
+    return Fail(error, buf);
+  }
+  if (weighted && !(sum > 0.0 && std::isfinite(sum))) {
+    return Fail(error, "total weight is not positive and finite");
+  }
+  return true;
+}
+
+bool UncertainObject::TryCreate(int id, int dim, std::vector<double> coords,
+                                std::vector<double> probs,
+                                UncertainObject* out, std::string* error) {
+  if (!ValidateInstances(dim, coords, probs, /*weighted=*/false, error)) {
+    return false;
+  }
+  *out = UncertainObject(id, dim, std::move(coords), std::move(probs));
+  return true;
+}
+
+bool UncertainObject::TryFromWeighted(int id, int dim,
+                                      std::vector<double> coords,
+                                      std::vector<double> weights,
+                                      UncertainObject* out,
+                                      std::string* error) {
+  if (!ValidateInstances(dim, coords, weights, /*weighted=*/true, error)) {
+    return false;
+  }
+  *out = FromWeighted(id, dim, std::move(coords), std::move(weights));
+  return true;
+}
 
 UncertainObject::UncertainObject(int id, int dim, std::vector<double> coords,
                                  std::vector<double> probs)
@@ -62,7 +139,14 @@ UncertainObject UncertainObject::Uniform(int id, int dim,
 }
 
 const RTree& UncertainObject::LocalTree() const {
-  OSD_DCHECK(lazy_tree_ != nullptr);  // moved-from objects must be reassigned
+  // Hard error in every build mode: a moved-from object's lazy slot is
+  // gone, and dereferencing it under NDEBUG used to be a silent null
+  // deref. The versioned store never exposes moved-from objects, so this
+  // firing means a caller kept a reference across a move.
+  if (lazy_tree_ == nullptr) {
+    throw std::logic_error(
+        "UncertainObject::LocalTree called on a moved-from object");
+  }
   const RTree* tree = lazy_tree_->published.load(std::memory_order_acquire);
   if (tree == nullptr) {
     std::lock_guard<std::mutex> lock(lazy_tree_->build_mu);

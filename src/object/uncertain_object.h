@@ -28,6 +28,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "geom/kernels.h"
@@ -86,6 +87,30 @@ class UncertainObject {
   /// Uniform-probability object (the experimental setting of the paper).
   static UncertainObject Uniform(int id, int dim, std::vector<double> coords);
 
+  /// Validates an instance payload without constructing anything: dimension
+  /// range, non-empty mass, coordinate/mass size agreement, finite
+  /// coordinates, positive finite mass, and (probability inputs) mass
+  /// summing to 1 within the constructor's tolerance. Returns false with a
+  /// precise *error on the first violation. This is the single shared
+  /// validation for every untrusted-input path (file loaders, wire-supplied
+  /// instances, mutations): anything it accepts is guaranteed not to trip
+  /// an OSD_CHECK in the constructors below.
+  static bool ValidateInstances(int dim, const std::vector<double>& coords,
+                                const std::vector<double>& mass,
+                                bool weighted, std::string* error);
+
+  /// Validating, error-returning counterpart of the probability
+  /// constructor. On failure returns false with *error set and leaves *out
+  /// untouched; never aborts.
+  static bool TryCreate(int id, int dim, std::vector<double> coords,
+                        std::vector<double> probs, UncertainObject* out,
+                        std::string* error);
+
+  /// Validating, error-returning counterpart of FromWeighted.
+  static bool TryFromWeighted(int id, int dim, std::vector<double> coords,
+                              std::vector<double> weights,
+                              UncertainObject* out, std::string* error);
+
   int id() const { return id_; }
   int dim() const { return dim_; }
   int num_instances() const { return static_cast<int>(probs_.size()); }
@@ -116,7 +141,10 @@ class UncertainObject {
   /// concurrently: at most one build runs at a time (serialized on a
   /// mutex) and every caller observes the same fully constructed tree. A
   /// build that throws (memory breach, injected fault) publishes nothing
-  /// and releases the lock, so a later call simply retries.
+  /// and releases the lock, so a later call simply retries. Calling this
+  /// on a moved-from object throws std::logic_error in every build mode
+  /// (a moved-from object's lazy slot is gone; dereferencing it would be a
+  /// release-build null deref).
   const RTree& LocalTree() const;
 
   /// True iff a local tree has already been built (used by stats). Safe to

@@ -1,0 +1,255 @@
+// Epoch-snapshotted mutable object store.
+//
+// The paper's algorithms (and everything built on them here) assume an
+// immutable Dataset: a global STR-packed R-tree over object MBRs, stable
+// object indices, deterministic traversal. This layer adds mutability
+// without giving any of that up, LSM-style:
+//
+//  - Every published version of the store is an immutable `State`: a bulk-
+//    loaded base Dataset plus a small delta (inserted/updated objects held
+//    by shared_ptr) and a tombstone bitmap over the base. States are
+//    refcounted; readers pin one with Acquire() and run lock-free against
+//    it for as long as they like.
+//  - Apply() validates a mutation batch all-or-nothing against the current
+//    state, then publishes a new State at epoch E+1 by copy-on-write (the
+//    delta vector copies shared_ptrs, not objects). Readers pinned at E
+//    are untouched: a query is bit-identical no matter how many writes
+//    land mid-flight.
+//  - Fold() (synchronous, or via the background fold thread) merges the
+//    delta into a fresh STR-built base. It captures the current state,
+//    builds the new base off-lock, then replays the mutation-log suffix
+//    that accumulated during the build — writers never stall on a fold.
+//    Old states retire when their last snapshot releases.
+//
+// Index spaces. A Snapshot exposes one contiguous index space:
+// [0, base_size()) are base objects (some possibly tombstoned — check
+// deleted(i)), [base_size(), size()) are delta objects. Indices are
+// per-snapshot; the stable name of an object across epochs is its
+// *external id* (UncertainObject::id()), which is what mutations address.
+//
+// Memory governance. Delta objects are charged against the engine
+// MemoryBudget when a batch is admitted (TryCharge refusal makes the whole
+// batch fail with a recoverable error) and released when the object's last
+// shared_ptr dies — i.e. when every state/snapshot referencing it has
+// retired. Folded bases are uncharged, matching the seed dataset, so a
+// store that folds and drains its snapshots returns the budget to zero.
+//
+// Thread-safety: all public members are safe to call concurrently.
+// Acquire() is a mutex-protected pointer copy plus a pin-table bump;
+// Apply() serializes on the state mutex; Fold() additionally serializes on
+// a fold mutex so at most one merge builds at a time.
+
+#ifndef OSD_OBJECT_VERSIONED_DATASET_H_
+#define OSD_OBJECT_VERSIONED_DATASET_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/memory_budget.h"
+#include "object/dataset.h"
+#include "object/uncertain_object.h"
+
+namespace osd {
+
+/// One write against the store, addressed by external object id.
+struct Mutation {
+  enum class Kind { kInsert, kDelete, kUpdate };
+
+  Kind kind = Kind::kInsert;
+  int id = -1;  // external object id (UncertainObject::id())
+  /// Payload for kInsert/kUpdate; its id() must equal `id`. Ignored for
+  /// kDelete.
+  std::shared_ptr<const UncertainObject> object;
+};
+
+/// Epoch-versioned mutable store over uncertain objects; see file comment.
+class VersionedDataset {
+ public:
+  struct PinTable;
+  struct State;
+
+  /// A pinned, immutable view of one epoch. Copyable (copies re-pin) and
+  /// cheap to pass by value; releases its pin on destruction. A default-
+  /// constructed Snapshot is empty() and pins nothing.
+  class Snapshot {
+   public:
+    Snapshot() = default;
+    Snapshot(const Snapshot& other);
+    Snapshot& operator=(const Snapshot& other);
+    Snapshot(Snapshot&& other) noexcept;
+    Snapshot& operator=(Snapshot&& other) noexcept;
+    ~Snapshot();
+
+    bool empty() const { return state_ == nullptr; }
+    uint64_t epoch() const;
+    int dim() const;
+
+    /// Number of base-dataset slots (tombstoned ones included).
+    int base_size() const;
+    /// Total index-space size: base slots plus delta objects.
+    int size() const;
+    /// Live objects: size() minus tombstoned base slots.
+    int live_size() const;
+
+    /// The object at snapshot index i (valid even when deleted(i); a
+    /// tombstoned slot still holds its object for the epochs that saw it).
+    const UncertainObject& object(int i) const;
+    /// True iff snapshot index i is a tombstoned base slot.
+    bool deleted(int i) const;
+    /// Global R-tree over the *base* objects (leaf entry ids are base
+    /// indices). Delta objects are not in the tree; traversals must scan
+    /// [base_size(), size()) separately — NncSearch seeds them into its
+    /// frontier directly.
+    const RTree& global_tree() const;
+
+    /// Snapshot index of the live object with external id `ext_id`, or -1
+    /// if no live object has that id in this epoch.
+    int IndexOf(int ext_id) const;
+
+   private:
+    friend class VersionedDataset;
+    Snapshot(std::shared_ptr<const State> state,
+             std::shared_ptr<PinTable> pins);
+    void Unpin();
+
+    std::shared_ptr<const State> state_;
+    std::shared_ptr<PinTable> pins_;
+  };
+
+  /// Wraps `base` as epoch 0. `budget` (may be null) is charged for every
+  /// admitted delta object; the base itself is uncharged, matching how the
+  /// engine accounts its seed dataset.
+  explicit VersionedDataset(Dataset base,
+                            memory::MemoryBudget* budget = nullptr);
+  ~VersionedDataset();
+
+  VersionedDataset(const VersionedDataset&) = delete;
+  VersionedDataset& operator=(const VersionedDataset&) = delete;
+
+  /// Pins the current epoch and returns a lock-free read view of it.
+  Snapshot Acquire() const;
+
+  /// Applies `ops` as one atomic batch: either every op is valid against
+  /// the current epoch and a new epoch containing all of them is
+  /// published, or nothing changes and false is returned with a precise
+  /// *error. Validation covers payload presence and id agreement, external
+  /// id freshness (insert) / liveness (delete, update), dimension
+  /// agreement with the store, and the memory budget (a TryCharge refusal
+  /// fails the batch recoverably — never an abort). On success *epoch_out
+  /// (if non-null) receives the new epoch.
+  bool Apply(std::vector<Mutation> ops, std::string* error,
+             uint64_t* epoch_out = nullptr);
+
+  /// Synchronously merges the current delta + tombstones into a fresh
+  /// STR-built base and publishes it as a new epoch. Concurrent Apply()
+  /// calls proceed during the build; their ops are replayed onto the
+  /// folded state before it is published. No-op (returns current epoch)
+  /// when there is nothing to fold. Serialized: concurrent Fold() calls
+  /// queue on the fold mutex.
+  uint64_t Fold();
+
+  /// Starts the background fold thread: folds whenever the delta reaches
+  /// `delta_threshold` ops (checked on every Apply) or `interval_s`
+  /// seconds elapse with a non-empty delta. Either trigger may be disabled
+  /// with <= 0; starting with both disabled is a no-op. Idempotent-ish:
+  /// call at most once before StopFoldThread.
+  void StartFoldThread(double interval_s, int delta_threshold);
+  /// Stops and joins the fold thread (no final fold). Safe to call when no
+  /// thread is running; the destructor calls it too.
+  void StopFoldThread();
+
+  /// Current epoch (0 until the first successful Apply or Fold).
+  uint64_t epoch() const;
+  /// Outstanding Snapshot pins across all epochs (0 when every reader has
+  /// released — the leak check used by tests and the chaos harness).
+  long live_snapshots() const;
+
+  /// The immortal epoch-0 base this store was constructed with. Never
+  /// retired; serves legacy callers that want "the dataset" without
+  /// pinning (CLI info, benchmarks over static data).
+  const Dataset& seed() const { return *seed_; }
+
+  /// Store dimensionality: fixed at construction from the base, or by the
+  /// first inserted object when the base was empty; 0 while unset.
+  int dim() const;
+
+  struct Stats {
+    uint64_t epoch = 0;
+    int delta_size = 0;      // objects in the current delta
+    int tombstones = 0;      // tombstoned base slots in the current epoch
+    uint64_t folds = 0;      // completed Fold() merges
+    uint64_t mutations = 0;  // ops accepted across all Apply() batches
+    long live_snapshots = 0;
+  };
+  Stats GetStats() const;
+
+  /// Immutable published version; an implementation detail exposed only so
+  /// Snapshot can be defined out-of-line. Treat as opaque.
+  struct State {
+    uint64_t epoch = 0;
+    std::shared_ptr<const Dataset> base;
+    // External id -> base index (first occurrence wins on duplicate ids).
+    std::shared_ptr<const std::unordered_map<int, int>> base_ids;
+    std::vector<std::shared_ptr<const UncertainObject>> delta;
+    std::unordered_map<int, int> delta_ids;  // external id -> delta index
+    std::vector<char> tombstone;             // size == base->size()
+    int tombstone_count = 0;
+    size_t log_pos = 0;  // mutation-log length when this state was built
+  };
+
+  /// Epoch pin accounting shared by every Snapshot of this store; outlives
+  /// the store itself so a late-released Snapshot never dangles.
+  struct PinTable {
+    mutable std::mutex mu;
+    std::map<uint64_t, long> pins;  // epoch -> outstanding snapshot count
+    long total = 0;
+    void Pin(uint64_t epoch);
+    void Unpin(uint64_t epoch);
+  };
+
+ private:
+  static std::shared_ptr<State> MakeState(std::shared_ptr<const Dataset> base,
+                                          uint64_t epoch, size_t log_pos);
+  // Applies one already-validated op to a mutable state (the copy-on-write
+  // successor under Apply, or the folded state under replay).
+  static void ApplyOne(State* s, const Mutation& op);
+  // Validates `op` against `s` given the effective store dim; reports the
+  // batch-relative op position in messages.
+  static bool ValidateOp(const State& s, const Mutation& op, int op_index,
+                         int dim, std::string* error);
+  static long ApproxObjectBytes(const UncertainObject& obj);
+
+  void FoldThreadMain(double interval_s, int delta_threshold);
+
+  const std::shared_ptr<const Dataset> seed_;
+  memory::MemoryBudget* const budget_;
+  std::shared_ptr<PinTable> pins_;
+
+  mutable std::mutex state_mu_;
+  std::shared_ptr<const State> current_;
+  std::vector<Mutation> log_;  // ops since the state Fold last consumed
+  int dim_ = 0;
+  uint64_t folds_ = 0;
+  uint64_t mutations_ = 0;
+
+  std::mutex fold_mu_;  // serializes Fold() builds
+
+  std::mutex fold_thread_mu_;
+  std::condition_variable fold_cv_;
+  std::thread fold_thread_;
+  bool fold_stop_ = false;
+  bool fold_kick_ = false;  // delta crossed the threshold
+};
+
+}  // namespace osd
+
+#endif  // OSD_OBJECT_VERSIONED_DATASET_H_

@@ -165,7 +165,11 @@ TEST(DegradedModeTest, EngineReportsOkDegradedWithStats) {
 
   QueryEngine engine(std::move(dataset), {.num_threads = 1});
   options.degraded_superset = true;
-  auto ticket = engine.Submit({entry.query, options, /*deadline=*/1e-9});
+  QuerySpec spec;
+  spec.query = entry.query;
+  spec.options = options;
+  spec.deadline_seconds = 1e-9;
+  auto ticket = engine.Submit(std::move(spec));
 
   ASSERT_EQ(ticket->Wait(), QueryStatus::kOkDegraded);
   EXPECT_TRUE(ticket->result().degraded);

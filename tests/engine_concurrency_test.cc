@@ -72,7 +72,10 @@ TEST(EngineConcurrencyTest, BatchIdenticalToSerialForAllOperators) {
     for (const auto& entry : workload) {
       NncOptions per_query = options;
       per_query.exclude_id = entry.seeded_from;
-      specs.push_back({entry.query, per_query, 0.0});
+      QuerySpec spec;
+      spec.query = entry.query;
+      spec.options = per_query;
+      specs.push_back(std::move(spec));
     }
     auto tickets = engine.SubmitBatch(std::move(specs));
     for (size_t i = 0; i < tickets.size(); ++i) {
@@ -127,7 +130,11 @@ TEST(EngineConcurrencyTest, DeadlineInsideBusyBatchIsIsolated) {
     per_query.exclude_id = entry.seeded_from;
     // Every fourth query gets a ~0 budget.
     const double deadline = (i % 4 == 3) ? 1e-9 : 0.0;
-    tickets.push_back(engine.Submit({entry.query, per_query, deadline}));
+    QuerySpec spec;
+    spec.query = entry.query;
+    spec.options = per_query;
+    spec.deadline_seconds = deadline;
+    tickets.push_back(engine.Submit(std::move(spec)));
   }
   long expired = 0;
   for (size_t i = 0; i < tickets.size(); ++i) {

@@ -44,6 +44,13 @@ class EngineResilienceTest : public ::testing::Test {
   void TearDown() override { failpoint::Clear(); }
 };
 
+
+QuerySpec PlainSpec(const UncertainObject& query) {
+  QuerySpec spec;
+  spec.query = query;
+  return spec;
+}
+
 TEST_F(EngineResilienceTest, BackoffGrowsExponentiallyAndCaps) {
   RetryPolicy policy;
   policy.initial_backoff_ms = 4.0;
@@ -148,7 +155,7 @@ TEST_F(EngineResilienceTest, RetryBudgetExhaustionNamesTheFailpoint) {
   failpoint::Clear();
 
   // Zero crashed workers: the same engine still answers cleanly.
-  auto ok = engine.Submit({entry.query, NncOptions{}, 0.0});
+  auto ok = engine.Submit(PlainSpec(entry.query));
   EXPECT_EQ(ok->Wait(), QueryStatus::kOk);
 }
 
@@ -237,7 +244,7 @@ TEST_F(EngineResilienceTest, OverloadSheddingRejectsInsteadOfBlocking) {
   std::vector<std::shared_ptr<QueryTicket>> tickets;
   const auto burst_start = std::chrono::steady_clock::now();
   for (int i = 0; i < 8; ++i) {
-    tickets.push_back(engine.Submit({entry.query, NncOptions{}, 0.0}));
+    tickets.push_back(engine.Submit(PlainSpec(entry.query)));
   }
   const double burst_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -

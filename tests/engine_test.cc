@@ -35,6 +35,15 @@ std::vector<QueryWorkloadEntry> SmallWorkload(const Dataset& dataset, int n,
   return GenerateWorkload(dataset, wp);
 }
 
+QuerySpec MakeSpec(const UncertainObject& query, const NncOptions& options,
+                   double deadline_seconds) {
+  QuerySpec spec;
+  spec.query = query;
+  spec.options = options;
+  spec.deadline_seconds = deadline_seconds;
+  return spec;
+}
+
 TEST(ThreadPoolTest, ExecutesEverySubmittedTask) {
   ThreadPool pool(4, 16);
   std::atomic<int> ran{0};
@@ -92,7 +101,7 @@ TEST(QueryEngineTest, SingleQueryMatchesSerialRun) {
   const NncResult serial = NncSearch(dataset, options).Run(workload[0].query);
 
   QueryEngine engine(std::move(dataset), {.num_threads = 2});
-  auto ticket = engine.Submit({workload[0].query, options, 0.0});
+  auto ticket = engine.Submit(MakeSpec(workload[0].query, options, 0.0));
   EXPECT_EQ(ticket->Wait(), QueryStatus::kOk);
   EXPECT_EQ(ticket->result().candidates, serial.candidates);
   EXPECT_EQ(ticket->result().termination, NncTermination::kComplete);
@@ -106,12 +115,12 @@ TEST(QueryEngineTest, ZeroBudgetDeadlineExpiresWithoutKillingPool) {
   options.op = Operator::kPSd;
 
   QueryEngine engine(std::move(dataset), {.num_threads = 2});
-  QuerySpec doomed{workload[0].query, options, 1e-9};
+  QuerySpec doomed = MakeSpec(workload[0].query, options, 1e-9);
   auto t1 = engine.Submit(std::move(doomed));
   EXPECT_EQ(t1->Wait(), QueryStatus::kDeadlineExceeded);
 
   // The pool must still serve queries afterwards.
-  auto t2 = engine.Submit({workload[1].query, options, 0.0});
+  auto t2 = engine.Submit(MakeSpec(workload[1].query, options, 0.0));
   EXPECT_EQ(t2->Wait(), QueryStatus::kOk);
   EXPECT_FALSE(t2->result().candidates.empty());
 
@@ -132,7 +141,7 @@ TEST(QueryEngineTest, CancelledTicketTerminatesCleanly) {
   QueryEngine engine(std::move(dataset), {.num_threads = 1});
   std::vector<std::shared_ptr<QueryTicket>> tickets;
   for (const auto& entry : workload) {
-    tickets.push_back(engine.Submit({entry.query, options, 0.0}));
+    tickets.push_back(engine.Submit(MakeSpec(entry.query, options, 0.0)));
   }
   tickets.back()->Cancel();
   const QueryStatus last = tickets.back()->Wait();
@@ -154,11 +163,11 @@ TEST(QueryEngineTest, MismatchedQueryDimensionIsIsolatedAsError) {
   QueryEngine engine(std::move(dataset), {.num_threads = 2});
   const UncertainObject bad =
       UncertainObject::Uniform(-7, 3, {1.0, 2.0, 3.0, 4.0, 5.0, 6.0});
-  auto t_bad = engine.Submit({bad, options, 0.0});
+  auto t_bad = engine.Submit(MakeSpec(bad, options, 0.0));
   EXPECT_EQ(t_bad->Wait(), QueryStatus::kError);
   EXPECT_FALSE(t_bad->error().empty());
 
-  auto t_ok = engine.Submit({workload[0].query, options, 0.0});
+  auto t_ok = engine.Submit(MakeSpec(workload[0].query, options, 0.0));
   EXPECT_EQ(t_ok->Wait(), QueryStatus::kOk);
 
   const EngineStats stats = engine.Snapshot();
@@ -177,7 +186,7 @@ TEST(QueryEngineTest, SnapshotAggregatesAndSerializes) {
   for (const auto& entry : workload) {
     NncOptions per_query = options;
     per_query.exclude_id = entry.seeded_from;
-    specs.push_back({entry.query, per_query, 0.0});
+    specs.push_back(MakeSpec(entry.query, per_query, 0.0));
   }
   auto tickets = engine.SubmitBatch(std::move(specs));
   engine.Drain();

@@ -278,13 +278,100 @@ TEST(ProtocolTest, ErrorAndEventBuildersEmitValidJson) {
   EXPECT_EQ(cand.Find("object_id")->AsNumber(), 99.0);
   EXPECT_DOUBLE_EQ(cand.Find("elapsed_ms")->AsNumber(), 250.0);
 
-  EXPECT_EQ(MessageType(MustParse(BuildHelloOkMessage(10, 2, "t"))),
+  EXPECT_EQ(MessageType(MustParse(BuildHelloOkMessage(10, 2, 0, "t"))),
             "hello_ok");
   EXPECT_EQ(MessageType(MustParse(BuildCancelOkMessage(3, true))),
             "cancel_ok");
   EXPECT_EQ(MessageType(MustParse(BuildDrainOkMessage(4))), "drain_ok");
   EXPECT_EQ(MessageType(MustParse(BuildMetricsOkMessage("# HELP x\n"))),
             "metrics_ok");
+}
+
+TEST(ProtocolTest, MutateRoundTripsThroughParseAndBuilders) {
+  std::vector<MutateOp> ops(3);
+  ops[0] = {"insert", 9001, {{1.0, 2.0, 0.5}, {3.0, 4.0, 1.5}}};
+  ops[1] = {"update", 9001, {{5.0, 6.0, 1.0}}};
+  ops[2] = {"delete", 7, {}};
+  const JsonValue msg = MustParse(BuildMutateMessage(4, ops));
+  EXPECT_EQ(MessageType(msg), "mutate");
+
+  MutateRequest req;
+  std::string error;
+  ASSERT_TRUE(ParseMutate(msg, &req, &error)) << error;
+  EXPECT_EQ(req.id, 4);
+  ASSERT_EQ(req.ops.size(), 3u);
+  EXPECT_EQ(req.ops[0].kind, Mutation::Kind::kInsert);
+  EXPECT_EQ(req.ops[0].id, 9001);
+  ASSERT_NE(req.ops[0].object, nullptr);
+  EXPECT_EQ(req.ops[0].object->id(), 9001);
+  EXPECT_EQ(req.ops[0].object->dim(), 2);
+  EXPECT_EQ(req.ops[0].object->num_instances(), 2);
+  EXPECT_DOUBLE_EQ(req.ops[0].object->Prob(0), 0.25);  // weights 0.5 / 1.5
+  EXPECT_EQ(req.ops[1].kind, Mutation::Kind::kUpdate);
+  EXPECT_EQ(req.ops[2].kind, Mutation::Kind::kDelete);
+  EXPECT_EQ(req.ops[2].id, 7);
+  EXPECT_EQ(req.ops[2].object, nullptr);
+
+  const JsonValue ok = MustParse(BuildMutateOkMessage(4, 17, 3));
+  EXPECT_EQ(MessageType(ok), "mutate_ok");
+  EXPECT_EQ(ok.Find("id")->AsNumber(), 4.0);
+  EXPECT_EQ(ok.Find("epoch")->AsNumber(), 17.0);
+  EXPECT_EQ(ok.Find("applied")->AsNumber(), 3.0);
+}
+
+TEST(ProtocolTest, MutateRejectsHostileFramesWithPreciseErrors) {
+  // Every entry must parse as JSON (the framing layer already vetted
+  // that) and then fail ParseMutate with an error — never an abort. The
+  // 10-wide and 33-wide rows pin the dim regression: the submit path once
+  // accepted dims up to 32 on the wire while Point::kMaxDim is 8, so a
+  // row in the 9..32 gap aborted the server inside the object
+  // constructor.
+  const char* kHostile[] = {
+      R"({"type":"mutate"})",
+      R"({"type":"mutate","id":-1,"ops":[{"action":"delete","object_id":1}]})",
+      R"({"type":"mutate","id":1})",
+      R"({"type":"mutate","id":1,"ops":{}})",
+      R"({"type":"mutate","id":1,"ops":[]})",
+      R"({"type":"mutate","id":1,"ops":[42]})",
+      R"({"type":"mutate","id":1,"surprise":0,"ops":[{"action":"delete","object_id":1}]})",
+      R"({"type":"mutate","id":1,"ops":[{"object_id":1}]})",
+      R"({"type":"mutate","id":1,"ops":[{"action":"upsert","object_id":1}]})",
+      R"({"type":"mutate","id":1,"ops":[{"action":"delete"}]})",
+      R"({"type":"mutate","id":1,"ops":[{"action":"delete","object_id":-3}]})",
+      R"({"type":"mutate","id":1,"ops":[{"action":"delete","object_id":1,"instances":[[1,2,1]]}]})",
+      R"({"type":"mutate","id":1,"ops":[{"action":"insert","object_id":1}]})",
+      R"({"type":"mutate","id":1,"ops":[{"action":"insert","object_id":1,"instances":7}]})",
+      R"({"type":"mutate","id":1,"ops":[{"action":"insert","object_id":1,"instances":[]}]})",
+      R"({"type":"mutate","id":1,"ops":[{"action":"insert","object_id":1,"instances":[7]}]})",
+      R"({"type":"mutate","id":1,"ops":[{"action":"insert","object_id":1,"instances":[[1.0]]}]})",
+      R"({"type":"mutate","id":1,"ops":[{"action":"insert","object_id":1,"instances":[[1.0,"x",1.0]]}]})",
+      R"({"type":"mutate","id":1,"ops":[{"action":"insert","object_id":1,"instances":[[1.0,2.0,0.0]]}]})",
+      R"({"type":"mutate","id":1,"ops":[{"action":"insert","object_id":1,"instances":[[1.0,2.0,1.0],[1.0,2.0,3.0,1.0]]}]})",
+      // dim 9: one past Point::kMaxDim.
+      R"({"type":"mutate","id":1,"ops":[{"action":"insert","object_id":1,"instances":[[1,2,3,4,5,6,7,8,9,1]]}]})",
+      // dim 32: the top of the old wire gap.
+      R"({"type":"mutate","id":1,"ops":[{"action":"insert","object_id":1,"instances":[[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20,21,22,23,24,25,26,27,28,29,30,31,32,1]]}]})",
+  };
+  for (const char* text : kHostile) {
+    SCOPED_TRACE(text);
+    const JsonValue msg = MustParse(text);
+    MutateRequest req;
+    std::string error;
+    EXPECT_FALSE(ParseMutate(msg, &req, &error));
+    EXPECT_FALSE(error.empty());
+  }
+
+  // One over the protocol-wide ops cap.
+  std::string big = R"({"type":"mutate","id":1,"ops":[)";
+  for (int i = 0; i <= kMaxMutationOps; ++i) {
+    if (i > 0) big += ',';
+    big += R"({"action":"delete","object_id":)" + std::to_string(i) + "}";
+  }
+  big += "]}";
+  MutateRequest req;
+  std::string error;
+  EXPECT_FALSE(ParseMutate(MustParse(big), &req, &error));
+  EXPECT_NE(error.find("cap"), std::string::npos) << error;
 }
 
 }  // namespace

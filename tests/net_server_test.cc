@@ -608,6 +608,100 @@ TEST_F(NetServerTest, DrainFinishesInflightQueriesThenExits) {
       refused.Connect("127.0.0.1", server_->port(), "default", &error));
 }
 
+TEST_F(NetServerTest, MutateAdvancesTheEpochVisibleInResults) {
+  StartServer({.num_threads = 1}, {});
+  OsdClient client = Connect("default");
+  std::string error;
+
+  // Far-away insert: changes the epoch, not this query's answer.
+  std::vector<MutateOp> ops(1);
+  ops[0] = {"insert", 9001, {{9000.0, 9000.0, 1.0}}};
+  ASSERT_TRUE(client.Send(BuildMutateMessage(5, ops), &error)) << error;
+  JsonValue msg;
+  ASSERT_TRUE(client.Read(&msg, &error)) << error;
+  ASSERT_EQ(MessageType(msg), "mutate_ok") << BuildMutateMessage(5, ops);
+  EXPECT_EQ(msg.Find("id")->AsNumber(), 5.0);
+  EXPECT_EQ(msg.Find("epoch")->AsNumber(), 1.0);
+  EXPECT_EQ(msg.Find("applied")->AsNumber(), 1.0);
+
+  SubmitParams params;
+  params.id = 6;
+  params.object_id = 0;
+  params.op = "ssd";
+  params.stream = false;
+  ASSERT_TRUE(client.Send(BuildSubmitMessage(params), &error)) << error;
+  for (;;) {
+    ASSERT_TRUE(client.Read(&msg, &error)) << error;
+    if (MessageType(msg) == "result") break;
+  }
+  EXPECT_EQ(msg.Find("status")->AsString(), "OK");
+  ASSERT_NE(msg.Find("epoch"), nullptr) << "results must carry their epoch";
+  EXPECT_EQ(msg.Find("epoch")->AsNumber(), 1.0);
+
+  // A rejected batch (delete of an id that was never inserted) returns
+  // bad_mutation and leaves the epoch alone.
+  ops[0] = {"delete", 424242, {}};
+  ASSERT_TRUE(client.Send(BuildMutateMessage(7, ops), &error)) << error;
+  ASSERT_TRUE(client.Read(&msg, &error)) << error;
+  ASSERT_EQ(MessageType(msg), "error");
+  EXPECT_EQ(msg.Find("code")->AsString(), kErrBadMutation);
+  EXPECT_EQ(engine_->versioned().epoch(), 1u);
+
+  // Submitting by the id of a tombstoned object is a precise refusal.
+  ops[0] = {"delete", 0, {}};
+  ASSERT_TRUE(client.Send(BuildMutateMessage(8, ops), &error)) << error;
+  ASSERT_TRUE(client.Read(&msg, &error)) << error;
+  ASSERT_EQ(MessageType(msg), "mutate_ok");
+  params.id = 9;
+  params.object_id = 0;
+  ASSERT_TRUE(client.Send(BuildSubmitMessage(params), &error)) << error;
+  ASSERT_TRUE(client.Read(&msg, &error)) << error;
+  ASSERT_EQ(MessageType(msg), "error");
+  EXPECT_EQ(msg.Find("code")->AsString(), kErrBadRequest);
+}
+
+TEST_F(NetServerTest, WriteGovernanceGatesTenants) {
+  ServerOptions options;
+  options.default_policy.allow_writes = false;
+  TenantPolicy writer;
+  writer.max_mutation_ops = 2;
+  options.tenants["writer"] = writer;
+  StartServer({.num_threads = 1}, std::move(options));
+  std::string error;
+  JsonValue msg;
+
+  // The default policy forbids writes outright.
+  OsdClient readonly = Connect("readonly");
+  std::vector<MutateOp> ops(1);
+  ops[0] = {"insert", 9001, {{9000.0, 9000.0, 1.0}}};
+  ASSERT_TRUE(readonly.Send(BuildMutateMessage(1, ops), &error)) << error;
+  ASSERT_TRUE(readonly.Read(&msg, &error)) << error;
+  ASSERT_EQ(MessageType(msg), "error");
+  EXPECT_EQ(msg.Find("code")->AsString(), kErrWriteDenied);
+  EXPECT_EQ(engine_->versioned().epoch(), 0u);
+
+  // The writer tenant may write, but only within its batch cap.
+  OsdClient writer_client = Connect("writer");
+  std::vector<MutateOp> three(3);
+  three[0] = {"insert", 9001, {{9000.0, 9000.0, 1.0}}};
+  three[1] = {"insert", 9002, {{9001.0, 9001.0, 1.0}}};
+  three[2] = {"insert", 9003, {{9002.0, 9002.0, 1.0}}};
+  ASSERT_TRUE(writer_client.Send(BuildMutateMessage(2, three), &error))
+      << error;
+  ASSERT_TRUE(writer_client.Read(&msg, &error)) << error;
+  ASSERT_EQ(MessageType(msg), "error");
+  EXPECT_EQ(msg.Find("code")->AsString(), kErrBadRequest);
+  EXPECT_NE(msg.Find("message")->AsString().find("cap"), std::string::npos);
+
+  three.resize(2);
+  ASSERT_TRUE(writer_client.Send(BuildMutateMessage(3, three), &error))
+      << error;
+  ASSERT_TRUE(writer_client.Read(&msg, &error)) << error;
+  ASSERT_EQ(MessageType(msg), "mutate_ok");
+  EXPECT_EQ(msg.Find("applied")->AsNumber(), 2.0);
+  EXPECT_EQ(engine_->versioned().epoch(), 1u);
+}
+
 }  // namespace
 }  // namespace net
 }  // namespace osd

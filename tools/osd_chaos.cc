@@ -3,17 +3,26 @@
 // Runs repeated epochs of a live in-process osd server under hostile load:
 // verifying clients that check every answer against precomputed exact
 // results, slow clients that burst requests and never read, clients that
-// abort mid-stream, random failpoint storms across every compiled-in site,
-// and SIGTERM/drain cycles raised mid-traffic. After every epoch the
-// harness asserts the resilience invariants:
+// abort mid-stream, a mutator that streams insert/update/delete batches
+// through the wire (with the background fold thread merging them), random
+// failpoint storms across every compiled-in site, and SIGTERM/drain cycles
+// raised mid-traffic. After every epoch the harness asserts the resilience
+// invariants:
 //
 //   * server inflight count is zero and submitted == completed
 //     (zero leaked tickets),
-//   * the engine-wide memory budget has drained to zero charged bytes,
+//   * the engine-wide memory budget has drained to zero charged bytes
+//     (after a final fold retires the mutation delta),
+//   * no snapshot pin outlives the drain (live_snapshots == 0),
 //   * every osd_tenant_inflight gauge in the Prometheus export reads 0
 //     (no leaked tenant slots, no double releases),
 //   * zero verification mismatches: an OK result equals the exact answer;
-//     a degraded result is a certified superset of it,
+//     a degraded result is a certified superset of it. The mutator only
+//     touches fresh external ids (>= 1000) placed ~1e6 away from the seed
+//     data, so the precomputed exact answers stay exact at every store
+//     epoch — mutation visibility must never bleed into them,
+//   * writes are governed: non-mutator tenants get write_denied; the
+//     mutator's own well-formed batches are never refused as bad_mutation,
 //   * the server drained cleanly (SIGTERM epochs exercise the
 //     async-signal-safe RequestDrain path).
 //
@@ -57,8 +66,10 @@ using osd::Operator;
 using osd::QueryEngine;
 using osd::QuerySpec;
 using osd::SyntheticParams;
+using osd::net::BuildMutateMessage;
 using osd::net::BuildSubmitMessage;
 using osd::net::EncodeFrame;
+using osd::net::MutateOp;
 using osd::net::JsonValue;
 using osd::net::MessageType;
 using osd::net::OsdClient;
@@ -144,6 +155,8 @@ struct Tally {
   std::atomic<long> shed{0};            ///< over_inflight / rejected / draining
   std::atomic<long> read_failures{0};   ///< disconnects, timeouts, evictions
   std::atomic<long> mismatches{0};      ///< verification violations
+  std::atomic<long> mutated{0};         ///< ops confirmed by mutate_ok
+  std::atomic<long> write_denials{0};   ///< write_denied seen by non-writers
 };
 
 void SetRecvTimeout(int fd, int ms) {
@@ -316,6 +329,152 @@ void AborterLoop(int port, unsigned long long seed,
   }
 }
 
+/// Reads frames until a mutate_ok or error frame. Returns false on any
+/// transport failure.
+bool ReadMutateTerminal(OsdClient& client, JsonValue* out) {
+  std::string error;
+  for (;;) {
+    if (!client.Read(out, &error)) return false;
+    const std::string type = MessageType(*out);
+    if (type == "mutate_ok" || type == "error") return true;
+  }
+}
+
+/// The error "code" member of a frame ("" when absent).
+std::string ErrorCode(const JsonValue& msg) {
+  const JsonValue* code = msg.Find("code");
+  return code != nullptr && code->is_string() ? code->AsString() : "";
+}
+
+/// Persona 5: a writer streaming insert/update/delete batches. It only
+/// ever touches fresh external ids >= 1000 placed ~1e6 away from the seed
+/// data, so every precomputed exact answer stays exact no matter which
+/// epoch a verifier's query pins. Targets of updates/deletes come only
+/// from ids confirmed live by a previous mutate_ok; after any transport
+/// failure the confirmed set is discarded (the fate of the in-flight batch
+/// is unknown) and the persona continues with fresh inserts. A well-formed
+/// batch refused as bad_mutation is a violation; draining/shed errors are
+/// tolerated.
+void MutatorLoop(int port, unsigned long long seed,
+                 const std::atomic<bool>& stop, Tally* tally) {
+  std::mt19937_64 rng(seed);
+  int next_id = 1000;
+  auto far_rows = [&rng]() {
+    std::vector<std::vector<double>> rows;
+    const int n = 1 + static_cast<int>(rng() % 3);
+    for (int i = 0; i < n; ++i) {
+      const double x = 1e6 + static_cast<double>(rng() % 10'000) / 100.0;
+      const double y = 1e6 + static_cast<double>(rng() % 10'000) / 100.0;
+      rows.push_back({x, y, 1.0 + static_cast<double>(rng() % 3)});
+    }
+    return rows;
+  };
+  while (!stop.load(std::memory_order_acquire)) {
+    OsdClient client;
+    std::string error;
+    if (!client.Connect("127.0.0.1", port, "mutator", &error)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    SetRecvTimeout(client.fd(), 5000);
+    std::vector<int> live;  // ids confirmed live by mutate_ok
+    long frame_id = 1;
+    while (!stop.load(std::memory_order_acquire)) {
+      std::vector<MutateOp> ops;
+      std::vector<int> live_after = live;
+      const int n = 1 + static_cast<int>(rng() % 4);
+      for (int i = 0; i < n; ++i) {
+        MutateOp op;
+        const int choice = static_cast<int>(rng() % 3);
+        if (choice == 0 || live_after.empty()) {
+          op.action = "insert";
+          op.object_id = next_id++;
+          op.instances = far_rows();
+          live_after.push_back(op.object_id);
+        } else if (choice == 1) {
+          op.action = "update";
+          op.object_id = live_after[rng() % live_after.size()];
+          op.instances = far_rows();
+        } else {
+          const size_t idx = rng() % live_after.size();
+          op.action = "delete";
+          op.object_id = live_after[idx];
+          live_after.erase(live_after.begin() + idx);
+        }
+        ops.push_back(std::move(op));
+      }
+      if (!client.Send(BuildMutateMessage(frame_id++, ops), &error)) break;
+      JsonValue msg;
+      if (!ReadMutateTerminal(client, &msg)) {
+        tally->read_failures.fetch_add(1);
+        live.clear();  // the in-flight batch's fate is unknown
+        break;
+      }
+      if (MessageType(msg) == "mutate_ok") {
+        tally->mutated.fetch_add(static_cast<long>(ops.size()));
+        live = std::move(live_after);
+        continue;
+      }
+      const std::string code = ErrorCode(msg);
+      const JsonValue* detail = msg.Find("message");
+      const std::string text =
+          detail != nullptr && detail->is_string() ? detail->AsString() : "";
+      const bool budget_refusal = text.find("memory budget") !=
+                                  std::string::npos;  // recoverable, not a bug
+      if (code == "write_denied" ||
+          (code == "bad_mutation" && !budget_refusal)) {
+        // All ops were well-formed against the confirmed live set and the
+        // mutator tenant is allowed to write: the store broke its contract.
+        tally->mismatches.fetch_add(1);
+        std::fprintf(stderr,
+                     "VIOLATION: valid mutate batch refused (%s: %s)\n",
+                     code.c_str(), text.c_str());
+      }
+      // draining / budget refusal: tolerated, keep going until stop.
+    }
+    client.Close();
+  }
+}
+
+/// Persona 6: a would-be writer on a read-only tenant. Every mutate must
+/// come back write_denied — anything else (an applied write, a different
+/// refusal) is a governance violation.
+void DeniedWriterLoop(int port, unsigned long long seed,
+                      const std::atomic<bool>& stop, Tally* tally) {
+  std::mt19937_64 rng(seed);
+  while (!stop.load(std::memory_order_acquire)) {
+    OsdClient client;
+    std::string error;
+    if (!client.Connect("127.0.0.1", port, "readonly", &error)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    SetRecvTimeout(client.fd(), 5000);
+    MutateOp op;
+    op.action = "insert";
+    op.object_id = 5'000'000 + static_cast<int>(rng() % 1000);
+    op.instances = {{2e6, 2e6, 1.0}};
+    if (client.Send(BuildMutateMessage(1, {op}), &error)) {
+      JsonValue msg;
+      if (ReadMutateTerminal(client, &msg)) {
+        const std::string code = ErrorCode(msg);
+        if (MessageType(msg) == "mutate_ok") {
+          tally->mismatches.fetch_add(1);
+          std::fprintf(stderr,
+                       "VIOLATION: read-only tenant's mutate was applied\n");
+        } else if (code == "write_denied") {
+          tally->write_denials.fetch_add(1);
+        }
+        // draining: tolerated.
+      } else {
+        tally->read_failures.fetch_add(1);
+      }
+    }
+    client.Close();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20 + rng() % 60));
+  }
+}
+
 /// Persona 4: random failpoint storms — every ~250 ms a fresh spec arms a
 /// handful of random sites with probabilistic faults, then clears.
 void StormLoop(unsigned long long seed, const std::atomic<bool>& stop) {
@@ -371,6 +530,10 @@ EpochReport RunEpoch(int epoch, const std::vector<Combo>& combos,
   engine_options.engine_mem_bytes = 64 << 20;
   engine_options.watchdog = true;
   engine_options.watchdog_no_deadline_ms = 2000.0;
+  // Background fold: both triggers armed so epochs exercise threshold
+  // folds under write bursts and interval folds during lulls.
+  engine_options.fold_interval_s = 0.2;
+  engine_options.fold_delta_threshold = 64;
   QueryEngine engine(MakeDataset(), engine_options);
 
   ServerOptions server_options;
@@ -383,6 +546,13 @@ EpochReport RunEpoch(int epoch, const std::vector<Combo>& combos,
   TenantPolicy capped;
   capped.max_inflight = 2;
   server_options.tenants["capped"] = capped;
+  // Writes are opt-in: only the mutator tenant may send mutate frames, and
+  // its batches are capped. Everyone else (readonly persona included) must
+  // see write_denied.
+  server_options.default_policy.allow_writes = false;
+  TenantPolicy mutator;
+  mutator.max_mutation_ops = 8;
+  server_options.tenants["mutator"] = mutator;
   OsdServer server(&engine, server_options);
   std::string error;
   if (!server.Start(&error)) {
@@ -402,6 +572,10 @@ EpochReport RunEpoch(int epoch, const std::vector<Combo>& combos,
   personas.emplace_back(AborterLoop, server.port(), seed * 31 + 4,
                         std::cref(stop), tally);
   personas.emplace_back(StormLoop, seed * 31 + 5, std::cref(stop));
+  personas.emplace_back(MutatorLoop, server.port(), seed * 31 + 6,
+                        std::cref(stop), tally);
+  personas.emplace_back(DeniedWriterLoop, server.port(), seed * 31 + 7,
+                        std::cref(stop), tally);
 
   std::this_thread::sleep_for(std::chrono::duration<double>(epoch_seconds));
 
@@ -420,6 +594,12 @@ EpochReport RunEpoch(int epoch, const std::vector<Combo>& combos,
   Check(server.inflight() == 0, "server inflight != 0 after drain", &report);
   Check(server.queries_submitted() == server.queries_completed(),
         "submitted != completed after drain (leaked tickets)", &report);
+  // Every query released its snapshot pin (Drain waits them out) and a
+  // final fold retires whatever delta the mutator left, so the budget's
+  // delta charges must drain to exactly zero.
+  Check(engine.versioned().live_snapshots() == 0,
+        "snapshot pins outlived the drain", &report);
+  engine.versioned().Fold();
   Check(engine.memory_budget().current_bytes() == 0,
         "engine memory budget did not drain to zero", &report);
   const osd::EngineStats stats = engine.Snapshot();
@@ -447,13 +627,18 @@ EpochReport RunEpoch(int epoch, const std::vector<Combo>& combos,
   }
 
   g_server.store(nullptr, std::memory_order_release);
+  const osd::VersionedDataset::Stats vstats = engine.versioned().GetStats();
   std::printf(
       "epoch %d%s: submitted=%ld completed=%ld evictions=%ld coalesced=%ld "
-      "stalled=%ld poisoned=%ld retries=%ld %s\n",
+      "stalled=%ld poisoned=%ld retries=%ld store_epoch=%llu folds=%llu "
+      "mutations=%llu %s\n",
       epoch, sigterm_cycle ? " (sigterm)" : "", server.queries_submitted(),
       server.queries_completed(), server.evictions(),
       server.candidates_coalesced(), stats.stalled, stats.workers_poisoned,
-      stats.retries, report.violations == 0 ? "invariants OK" : "VIOLATED");
+      stats.retries, static_cast<unsigned long long>(vstats.epoch),
+      static_cast<unsigned long long>(vstats.folds),
+      static_cast<unsigned long long>(vstats.mutations),
+      report.violations == 0 ? "invariants OK" : "VIOLATED");
   std::fflush(stdout);
   return report;
 }
@@ -514,12 +699,22 @@ int main(int argc, char** argv) {
 
   std::printf(
       "soak done: %d epochs, verified ok=%ld degraded=%ld other=%ld "
-      "shed=%ld read_failures=%ld mismatches=%ld\n",
+      "shed=%ld read_failures=%ld mismatches=%ld mutated=%ld "
+      "write_denials=%ld\n",
       epoch, tally.ok.load(), tally.degraded.load(),
       tally.other_terminal.load(), tally.shed.load(),
-      tally.read_failures.load(), tally.mismatches.load());
+      tally.read_failures.load(), tally.mismatches.load(),
+      tally.mutated.load(), tally.write_denials.load());
   if (tally.ok.load() == 0) {
     std::fprintf(stderr, "FAIL: no query was ever verified OK\n");
+    return 1;
+  }
+  if (tally.mutated.load() == 0) {
+    std::fprintf(stderr, "FAIL: no mutation was ever applied\n");
+    return 1;
+  }
+  if (tally.write_denials.load() == 0) {
+    std::fprintf(stderr, "FAIL: write governance was never exercised\n");
     return 1;
   }
   if (violations > 0) {

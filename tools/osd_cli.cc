@@ -15,6 +15,14 @@
 //           [--mem-budget B] [--no-stream] [--trace]
 //           [--cancel-after-ms X]
 //
+//   osd_cli mutate --port P [--host H] [--tenant NAME]
+//           [--insert ID:ROWS] [--update ID:ROWS] [--delete ID] ...
+//     ROWS is a semicolon-separated instance list, each instance being
+//     "x_1,...,x_d,w" (d coordinates plus a positive weight), e.g.
+//     --insert "1000:0.1,0.2,1;0.3,0.4,2". Ops repeat and apply in order
+//     as ONE all-or-nothing batch; the reply is mutate_ok with the new
+//     epoch, or a write_denied / bad_mutation error frame.
+//
 //   osd_cli serve-batch --input data.txt [--weighted] [--binary]
 //           (--workload queries.txt | --gen-queries N [--seed S])
 //           [--threads T] [--op ...] [--k ...] [--metric ...] [--filters ...]
@@ -513,11 +521,129 @@ int RunQueryClient(const QueryClientArgs& args) {
   }
 }
 
+// --- `mutate` network-client subcommand ----------------------------------
+
+struct MutateClientArgs {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string tenant = "default";
+  std::vector<net::MutateOp> ops;
+};
+
+/// Parses "x_1,..,x_d,w;x_1,..,x_d,w;..." into instance rows.
+std::vector<std::vector<double>> ParseInstanceRows(const std::string& spec) {
+  std::vector<std::vector<double>> rows;
+  std::string rest = spec;
+  while (!rest.empty()) {
+    const size_t semi = rest.find(';');
+    const std::string row = rest.substr(0, semi);
+    rest = semi == std::string::npos ? "" : rest.substr(semi + 1);
+    std::vector<double> values;
+    const char* p = row.c_str();
+    while (*p != '\0') {
+      char* end = nullptr;
+      const double v = std::strtod(p, &end);
+      if (end == p) Die("bad instance row '" + row + "'");
+      values.push_back(v);
+      p = end;
+      if (*p == ',') ++p;
+      else if (*p != '\0') Die("bad instance row '" + row + "'");
+    }
+    if (values.size() < 2) {
+      Die("instance row needs at least one coordinate and a weight: '" +
+          row + "'");
+    }
+    rows.push_back(std::move(values));
+  }
+  if (rows.empty()) Die("empty instance list");
+  return rows;
+}
+
+/// Parses "ID:ROWS" into one insert/update op ("ID" alone for delete).
+net::MutateOp ParseMutateOp(const std::string& action,
+                            const std::string& spec) {
+  net::MutateOp op;
+  op.action = action;
+  if (action == "delete") {
+    op.object_id = std::atoi(spec.c_str());
+    if (op.object_id < 0) Die("--delete: bad object id '" + spec + "'");
+    return op;
+  }
+  const size_t colon = spec.find(':');
+  if (colon == std::string::npos || colon == 0) {
+    Die("--" + action + " must look like ID:x,..,w;x,..,w");
+  }
+  op.object_id = std::atoi(spec.substr(0, colon).c_str());
+  if (op.object_id < 0) Die("--" + action + ": bad object id");
+  op.instances = ParseInstanceRows(spec.substr(colon + 1));
+  return op;
+}
+
+MutateClientArgs ParseMutateClient(int argc, char** argv) {
+  MutateClientArgs args;
+  auto need_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) Die(std::string("missing value for ") + argv[i]);
+    return argv[++i];
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--host") {
+      args.host = need_value(i);
+    } else if (flag == "--port") {
+      args.port = std::atoi(need_value(i).c_str());
+    } else if (flag == "--tenant") {
+      args.tenant = need_value(i);
+    } else if (flag == "--insert") {
+      args.ops.push_back(ParseMutateOp("insert", need_value(i)));
+    } else if (flag == "--update") {
+      args.ops.push_back(ParseMutateOp("update", need_value(i)));
+    } else if (flag == "--delete") {
+      args.ops.push_back(ParseMutateOp("delete", need_value(i)));
+    } else {
+      Die("unknown flag " + flag);
+    }
+  }
+  if (args.port <= 0) Die("mutate needs --port");
+  if (args.ops.empty()) {
+    Die("mutate needs at least one --insert / --update / --delete");
+  }
+  return args;
+}
+
+int RunMutateClient(const MutateClientArgs& args) {
+  net::OsdClient client;
+  std::string error;
+  if (!client.Connect(args.host, args.port, args.tenant, &error)) {
+    Die("connect: " + error);
+  }
+  if (!client.Send(net::BuildMutateMessage(1, args.ops), &error)) {
+    Die("mutate: " + error);
+  }
+  while (true) {
+    net::JsonValue msg;
+    std::string raw;
+    if (!client.Read(&msg, &error, &raw)) Die("read: " + error);
+    std::printf("%s\n", raw.c_str());
+    const std::string type = net::MessageType(msg);
+    if (type == "mutate_ok") {
+      std::fflush(stdout);
+      return 0;
+    }
+    if (type == "error") {
+      std::fflush(stdout);
+      return 1;
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "query") == 0) {
     return RunQueryClient(ParseQueryClient(argc, argv));
+  }
+  if (argc > 1 && std::strcmp(argv[1], "mutate") == 0) {
+    return RunMutateClient(ParseMutateClient(argc, argv));
   }
   const Args args = Parse(argc, argv);
 

@@ -29,10 +29,16 @@
 //                                    that overrun their deadline's grace
 //                                    (and no-deadline queries after X ms),
 //                                    poisoning + respawning stuck workers
-//   [--tenant NAME:mem=SIZE,inflight=N,retries=R]
+//   [--fold-interval-s X]            background fold: merge the mutation
+//                                    delta into a fresh base every X s
+//   [--fold-delta N]                 background fold: merge once the delta
+//                                    reaches N objects
+//   [--tenant NAME:mem=SIZE,inflight=N,retries=R,writes=0|1,mutops=N]
 //                                    per-tenant policy, repeatable; the
 //                                    name "default" sets the policy for
 //                                    tenants without an explicit entry
+//                                    (writes gates "mutate" frames, mutops
+//                                    caps ops per mutate batch)
 //   [--metrics-out FILE]             write Prometheus metrics on exit
 //   [--failpoints SPEC]              arm fault-injection sites
 //
@@ -82,6 +88,8 @@ struct Args {
   double idle_timeout_s = 0.0;
   double write_stall_timeout_s = 0.0;
   double watchdog_ms = 0.0;
+  double fold_interval_s = 0.0;
+  int fold_delta = 0;
   net::TenantPolicy default_policy;
   std::map<std::string, net::TenantPolicy> tenants;
   std::string metrics_out;
@@ -143,6 +151,14 @@ void ParseTenantFlag(const std::string& spec, Args* args) {
     } else if (key == "retries") {
       policy.retries = std::atoi(value.c_str());
       if (policy.retries < 0) Die("--tenant: retries must be >= 0");
+    } else if (key == "writes") {
+      if (value != "0" && value != "1") {
+        Die("--tenant: writes must be 0 or 1");
+      }
+      policy.allow_writes = value == "1";
+    } else if (key == "mutops") {
+      policy.max_mutation_ops = std::atoi(value.c_str());
+      if (policy.max_mutation_ops < 1) Die("--tenant: mutops must be >= 1");
     } else {
       Die("--tenant: unknown key '" + key + "'");
     }
@@ -224,6 +240,12 @@ Args Parse(int argc, char** argv) {
     } else if (flag == "--watchdog-ms") {
       args.watchdog_ms = std::atof(need_value(i).c_str());
       if (args.watchdog_ms <= 0) Die("--watchdog-ms must be > 0");
+    } else if (flag == "--fold-interval-s") {
+      args.fold_interval_s = std::atof(need_value(i).c_str());
+      if (args.fold_interval_s <= 0) Die("--fold-interval-s must be > 0");
+    } else if (flag == "--fold-delta") {
+      args.fold_delta = std::atoi(need_value(i).c_str());
+      if (args.fold_delta < 1) Die("--fold-delta must be >= 1");
     } else if (flag == "--tenant") {
       ParseTenantFlag(need_value(i), &args);
     } else if (flag == "--metrics-out") {
@@ -299,6 +321,8 @@ int main(int argc, char** argv) {
     engine_options.watchdog = true;
     engine_options.watchdog_no_deadline_ms = args.watchdog_ms;
   }
+  engine_options.fold_interval_s = args.fold_interval_s;
+  engine_options.fold_delta_threshold = args.fold_delta;
   QueryEngine engine(Dataset(std::move(objects)), engine_options);
 
   net::ServerOptions options;
