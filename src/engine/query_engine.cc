@@ -379,23 +379,31 @@ void QueryEngine::Execute(const std::shared_ptr<QueryTicket>& ticket,
   spec.options.control = &control;
   spec.options.trace = ticket->trace_.get();
 
-  // Resolve an index-named query against the pinned snapshot. The index was
-  // typically prechecked by the submitter against *its* snapshot; a write
-  // that raced the submission can still have tombstoned it by the pinned
-  // epoch, which lands here as a precise recoverable error — never an
-  // abort, never a read of a deleted slot.
+  // Resolve an id-named query against the pinned snapshot. The id is an
+  // EXTERNAL id — stable across epochs, unlike snapshot indices, which a
+  // fold compacts — so a submitter's precheck against an earlier snapshot
+  // can never make this silently resolve to a different object. A write
+  // that killed the id by the pinned epoch lands here as a precise
+  // recoverable error — never an abort, never a read of a deleted slot.
   const UncertainObject* query = &spec.query;
-  if (spec.query_index >= 0) {
-    if (spec.snapshot.empty() || spec.query_index >= spec.snapshot.size() ||
-        spec.snapshot.deleted(spec.query_index)) {
+  if (spec.query_object_id >= 0) {
+    const int idx = spec.snapshot.empty()
+                        ? -1
+                        : spec.snapshot.IndexOf(spec.query_object_id);
+    if (idx < 0) {
       Complete(ticket, op, QueryStatus::kError, {},
-               "query object " + std::to_string(spec.query_index) +
+               "query object id " + std::to_string(spec.query_object_id) +
                    " is not live at epoch " +
                    std::to_string(spec.snapshot.epoch()),
                1);
       return;
     }
-    query = &spec.snapshot.object(spec.query_index);
+    query = &spec.snapshot.object(idx);
+    // Definition 6: a dataset object never competes with itself. The
+    // exclusion index must be resolved HERE, against the pinned snapshot —
+    // any earlier resolution would race folds the same way the query
+    // object itself would.
+    spec.options.exclude_id = idx;
   }
   // Watchdog supervision for the whole execution, retries included; the
   // guard unregisters on every exit path.

@@ -113,8 +113,9 @@ struct EngineOptions {
   /// object/versioned_dataset.h): fold when the delta reaches
   /// fold_delta_threshold mutations, and/or every fold_interval_s seconds
   /// while the delta is non-empty. Both <= 0 (the default) disables the
-  /// fold thread — mutations still work, the delta just grows until
-  /// someone calls versioned().Fold() explicitly.
+  /// fold thread; mutations still work, and the store's synchronous fold
+  /// backstop (VersionedDataset::kDefaultFoldBackstop un-folded ops) still
+  /// bounds the mutation log and its budget charges.
   double fold_interval_s = 0.0;
   int fold_delta_threshold = 0;
 };
@@ -148,12 +149,18 @@ struct QuerySpec {
   NncOptions options;
   /// End-to-end budget from submission, seconds; <= 0 means none.
   double deadline_seconds = 0.0;
-  /// Alternative to `query`: >= 0 names a snapshot index whose object (at
-  /// the epoch pinned for this query) becomes the query. Resolution happens
-  /// on the worker against the pinned snapshot; an index that is out of
-  /// range or tombstoned there fails the ticket with a precise kError —
-  /// never an abort. `query` is ignored when this is set.
-  int query_index = -1;
+  /// Alternative to `query`: >= 0 names the *external id*
+  /// (UncertainObject::id()) of a store object to use as the query.
+  /// External ids are stable across epochs — unlike snapshot indices,
+  /// which compact on every fold — so resolving on the worker against the
+  /// pinned snapshot is exact no matter how many writes or folds land
+  /// between a caller's precheck and execution. An id with no live object
+  /// at the pinned epoch fails the ticket with a precise kError — never
+  /// an abort, never a silently re-mapped object. Resolution also sets
+  /// `options.exclude_id` to the resolved snapshot index (Definition 6: a
+  /// dataset object never competes with itself). `query` is ignored when
+  /// this is set.
+  int query_object_id = -1;
   /// Engine-managed: the epoch snapshot this query runs against, pinned at
   /// Submit (after admission control) and released on the worker before
   /// the ticket's terminal hook can be observed by Drain. Any caller-set

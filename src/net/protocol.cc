@@ -212,14 +212,19 @@ bool ParseSubmit(const JsonValue& msg, SubmitRequest* out,
   out->options = NncOptions{};
   if (object_id != nullptr) {
     long oid = -1;
-    if (!AsInteger(*object_id, 0, 1L << 40, &oid)) {
-      return Fail(error, "submit.query.object_id must be an integer >= 0");
+    // object_id is an external id stored in an int (UncertainObject::id());
+    // the bound must be INT_MAX exactly or larger wire values would
+    // silently truncate into a DIFFERENT object's id.
+    if (!AsInteger(*object_id, 0, kMaxObjectId, &oid)) {
+      return Fail(error,
+                  "submit.query.object_id must be an integer in [0, 2^31)");
     }
     out->inline_query = false;
     out->object_id = static_cast<int>(oid);
-    // A dataset object never competes with itself (Definition 6 excludes
-    // the query); the server re-checks the range against the dataset.
-    out->options.exclude_id = out->object_id;
+    // Self-exclusion (Definition 6: a dataset object never competes with
+    // itself) is resolved by the engine against the snapshot pinned for
+    // the query — NncOptions::exclude_id is a per-snapshot index, which
+    // only exists once that snapshot does.
   } else {
     out->inline_query = true;
     out->object_id = -1;
@@ -355,8 +360,11 @@ bool ParseMutate(const JsonValue& msg, MutateRequest* out,
     }
     const JsonValue* object_id = item.Find("object_id");
     long oid = -1;
-    if (object_id == nullptr || !AsInteger(*object_id, 0, 1L << 40, &oid)) {
-      return Fail(error, where + ".object_id must be an integer >= 0");
+    // Same bound as submit: Mutation::id is an int, and a wider wire value
+    // would wrap into (or insert as) a different object with no error.
+    if (object_id == nullptr || !AsInteger(*object_id, 0, kMaxObjectId, &oid)) {
+      return Fail(error,
+                  where + ".object_id must be an integer in [0, 2^31)");
     }
     op.id = static_cast<int>(oid);
     const JsonValue* instances = item.Find("instances");

@@ -70,6 +70,10 @@ inline constexpr int kMaxQueryInstances = 4096;
 inline constexpr int kMaxQueryDim = 32;
 inline constexpr int kMaxRetries = 10;
 inline constexpr long kMaxRequestId = (1L << 53);  // exact in a double
+/// Wire object ids land in `int` fields (Mutation::id,
+/// UncertainObject::id()); a looser bound would let a wider wire value
+/// truncate into a different object's id with no error.
+inline constexpr long kMaxObjectId = 2147483647;  // INT_MAX, exact in a double
 inline constexpr int kMaxK = 1'000'000;
 inline constexpr size_t kMaxTenantName = 64;
 /// Maximum ops in one mutate batch (per-request; tenants may be capped
@@ -104,13 +108,15 @@ struct HelloRequest {
 };
 
 /// Parsed submit, decoupled from the dataset: the query is either inline
-/// (`query` holds a constructed object) or a dataset reference
-/// (`object_id` >= 0) that the server range-checks and resolves.
+/// (`query` holds a constructed object) or a store reference
+/// (`object_id` >= 0) — an *external* object id, the fold-stable name the
+/// mutate path uses, prechecked by the server and resolved by the engine
+/// against the snapshot pinned for the query.
 struct SubmitRequest {
   long id = -1;
   bool inline_query = false;
   UncertainObject query;  // valid iff inline_query
-  int object_id = -1;     // valid iff !inline_query
+  int object_id = -1;     // external id; valid iff !inline_query
   NncOptions options;     // op/k/metric/filters/degraded; control unset
   double deadline_seconds = 0.0;
   int retries = 0;

@@ -636,15 +636,20 @@ void OsdServer::HandleSubmit(const ConnPtr& conn, const JsonValue& msg) {
       }
       spec.query = req.query;
     } else {
-      if (req.object_id < 0 || req.object_id >= snap.size() ||
-          snap.deleted(req.object_id)) {
+      // The wire object_id is an EXTERNAL id (UncertainObject::id()) — the
+      // same stable name the mutate path uses. A fold between this precheck
+      // and the engine's pin at Submit compacts snapshot indices but never
+      // renames an object, so the id cannot silently resolve to a different
+      // one; an id that dies in that window fails at worker resolution with
+      // a precise error instead.
+      if (snap.IndexOf(req.object_id) < 0) {
         hot_.protocol_errors->Increment();
         AppendFrame(*conn,
                     BuildErrorMessage(req.id, kErrBadRequest,
-                                      "object_id out of range or deleted"));
+                                      "object_id unknown or deleted"));
         return;
       }
-      spec.query_index = req.object_id;
+      spec.query_object_id = req.object_id;
     }
   }
   spec.options = req.options;

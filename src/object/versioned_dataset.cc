@@ -269,6 +269,7 @@ bool VersionedDataset::Apply(std::vector<Mutation> ops, std::string* error,
     return false;
   }
   uint64_t published = 0;
+  bool force_fold = false;
   {
     std::lock_guard<std::mutex> lock(state_mu_);
     // Copy-on-write successor: shared_ptr copies for base/base_ids/delta
@@ -285,6 +286,13 @@ bool VersionedDataset::Apply(std::vector<Mutation> ops, std::string* error,
       if (!ValidateOp(work, op, static_cast<int>(i), dim, error)) {
         return false;
       }
+      // A delete's payload is documented as ignored, and ValidateOp
+      // deliberately skips payload checks for deletes — so drop any stray
+      // payload HERE, before the charge/dim logic below can bill the
+      // budget for it or fix an empty store's dimension from an
+      // unvalidated object. (The wire parser rejects delete+instances;
+      // this closes the same hole for the public Apply API.)
+      if (op.kind == Mutation::Kind::kDelete) op.object = nullptr;
       if (op.object != nullptr) {
         if (dim == 0) dim = op.object->dim();
         const long bytes = ApproxObjectBytes(*op.object);
@@ -317,6 +325,8 @@ bool VersionedDataset::Apply(std::vector<Mutation> ops, std::string* error,
     mutations_ += ops.size();
     published = work.epoch;
     current_ = std::make_shared<const State>(std::move(work));
+    force_fold = fold_backstop_ > 0 &&
+                 log_.size() >= static_cast<size_t>(fold_backstop_);
   }
   if (epoch_out != nullptr) *epoch_out = published;
   {
@@ -324,7 +334,22 @@ bool VersionedDataset::Apply(std::vector<Mutation> ops, std::string* error,
     fold_kick_ = true;
   }
   fold_cv_.notify_all();
+  // Backstop: without it, a store whose owner never folds (fold thread
+  // disabled, no manual Fold) accumulates every accepted op in log_
+  // forever — insert/update budget charges never drain (turning "retry
+  // later" refusals permanent) and delete-only storms grow the log and
+  // tombstone set without any budget cap at all. Past the threshold the
+  // writer folds synchronously; when a fold thread is configured its
+  // (smaller) trigger normally fires first, and a writer racing a fold
+  // already in flight just blocks on fold_mu_ and no-ops once that fold
+  // has drained the log — natural backpressure, still bounded.
+  if (force_fold) Fold();
   return true;
+}
+
+void VersionedDataset::SetFoldBackstop(int max_unfolded_ops) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  fold_backstop_ = max_unfolded_ops;
 }
 
 uint64_t VersionedDataset::Fold() {

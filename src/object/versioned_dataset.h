@@ -19,7 +19,10 @@
 //    delta into a fresh STR-built base. It captures the current state,
 //    builds the new base off-lock, then replays the mutation-log suffix
 //    that accumulated during the build — writers never stall on a fold.
-//    Old states retire when their last snapshot releases.
+//    Old states retire when their last snapshot releases. A fold
+//    *backstop* (SetFoldBackstop, default 4096 ops) bounds the un-folded
+//    log even when no fold policy is configured: the writer that crosses
+//    it folds synchronously, so budget charges always eventually drain.
 //
 // Index spaces. A Snapshot exposes one contiguous index space:
 // [0, base_size()) are base objects (some possibly tombstoned — check
@@ -167,6 +170,15 @@ class VersionedDataset {
   /// thread is running; the destructor calls it too.
   void StopFoldThread();
 
+  /// Backstop bound on un-folded ops, independent of the fold thread: when
+  /// an Apply leaves the mutation log at or above this many ops, the
+  /// writer folds synchronously before returning. Keeps log_, tombstones,
+  /// and delta budget charges bounded even for a store whose owner never
+  /// configures folding (the default server/engine policy). <= 0 disables
+  /// the backstop (tests only — an unbounded log grows forever).
+  void SetFoldBackstop(int max_unfolded_ops);
+  static constexpr int kDefaultFoldBackstop = 4096;
+
   /// Current epoch (0 until the first successful Apply or Fold).
   uint64_t epoch() const;
   /// Outstanding Snapshot pins across all epochs (0 when every reader has
@@ -237,6 +249,7 @@ class VersionedDataset {
   mutable std::mutex state_mu_;
   std::shared_ptr<const State> current_;
   std::vector<Mutation> log_;  // ops since the state Fold last consumed
+  int fold_backstop_ = kDefaultFoldBackstop;  // guarded by state_mu_
   int dim_ = 0;
   uint64_t folds_ = 0;
   uint64_t mutations_ = 0;

@@ -237,9 +237,32 @@ TEST(ProtocolTest, SubmitByObjectIdRoundTrips) {
   ASSERT_TRUE(ParseSubmit(msg, &req, &error)) << error;
   EXPECT_FALSE(req.inline_query);
   EXPECT_EQ(req.object_id, 123);
-  // A dataset query is excluded from its own search.
-  EXPECT_EQ(req.options.exclude_id, 123);
+  // Self-exclusion is NOT resolved at parse time: exclude_id is a
+  // per-snapshot index, which the engine resolves against the snapshot it
+  // pins for the query (object_id is a fold-stable external id).
+  EXPECT_EQ(req.options.exclude_id, -1);
   EXPECT_TRUE(req.stream);
+}
+
+TEST(ProtocolTest, ObjectIdsWiderThanIntAreRejectedNotTruncated) {
+  // Regression (review): ids land in int fields; 2^32 used to truncate to
+  // 0 and silently address a different object. The bound is INT_MAX.
+  {
+    const JsonValue msg = MustParse(
+        R"({"type":"submit","id":1,"query":{"object_id":4294967296}})");
+    SubmitRequest req;
+    std::string error;
+    EXPECT_FALSE(ParseSubmit(msg, &req, &error));
+    EXPECT_NE(error.find("object_id"), std::string::npos) << error;
+  }
+  {
+    const JsonValue msg = MustParse(
+        R"({"type":"submit","id":1,"query":{"object_id":2147483647}})");
+    SubmitRequest req;
+    std::string error;
+    EXPECT_TRUE(ParseSubmit(msg, &req, &error)) << error;
+    EXPECT_EQ(req.object_id, 2147483647);
+  }
 }
 
 TEST(ProtocolTest, CancelRoundTrips) {
@@ -338,6 +361,8 @@ TEST(ProtocolTest, MutateRejectsHostileFramesWithPreciseErrors) {
       R"({"type":"mutate","id":1,"ops":[{"action":"upsert","object_id":1}]})",
       R"({"type":"mutate","id":1,"ops":[{"action":"delete"}]})",
       R"({"type":"mutate","id":1,"ops":[{"action":"delete","object_id":-3}]})",
+      // 2^32: wider than int — must be rejected, not truncated to id 0.
+      R"({"type":"mutate","id":1,"ops":[{"action":"delete","object_id":4294967296}]})",
       R"({"type":"mutate","id":1,"ops":[{"action":"delete","object_id":1,"instances":[[1,2,1]]}]})",
       R"({"type":"mutate","id":1,"ops":[{"action":"insert","object_id":1}]})",
       R"({"type":"mutate","id":1,"ops":[{"action":"insert","object_id":1,"instances":7}]})",

@@ -3,7 +3,7 @@
 // constructors (including the dim-9..32 wire regression), moved-from
 // LocalTree(), snapshot visibility and pinned-epoch determinism under
 // writes, fold equivalence, all-or-nothing mutation batches, memory-budget
-// charge/drain accounting, and the engine's pin-at-submit query_index
+// charge/drain accounting, and the engine's pin-at-submit query_object_id
 // resolution.
 
 #include <cmath>
@@ -418,6 +418,65 @@ TEST(VersionedDatasetTest, BudgetChargesAndDrainsToZero) {
       << "fold + snapshot retirement must return the budget to zero";
 }
 
+// Regression (review): a kDelete carrying a stray payload must behave
+// exactly like a payload-free delete. ValidateOp deliberately skips
+// payload checks for deletes, so before the fix the unvalidated payload
+// was still budget-charged — big enough, it turned a legitimate delete
+// into a spurious "memory budget refused" failure.
+TEST(VersionedDatasetTest, StrayDeletePayloadIsIgnored) {
+  memory::MemoryBudget budget(1 << 20);
+  {
+    VersionedDataset store(SmallDataset(10), &budget);
+    std::string error;
+    ASSERT_TRUE(store.Apply({Insert(9001)}, &error)) << error;
+    const long charged = budget.current_bytes();
+
+    // Stray payload big enough that charging it would exhaust the budget.
+    Mutation del = Delete(9001);
+    std::vector<double> coords(2 * 80000, 1.0);
+    del.object = std::make_shared<const UncertainObject>(
+        UncertainObject::Uniform(9001, 2, std::move(coords)));
+    ASSERT_TRUE(store.Apply({std::move(del)}, &error)) << error;
+    EXPECT_EQ(store.Acquire().IndexOf(9001), -1);
+    EXPECT_LE(budget.current_bytes(), charged)
+        << "a delete must never add budget charge";
+    EXPECT_EQ(store.dim(), 2) << "a delete payload must never fix the dim";
+  }
+  EXPECT_EQ(budget.current_bytes(), 0);
+}
+
+// Regression (review): with no fold thread and no manual Fold, accepted
+// mutations used to accumulate in log_ forever — insert/update budget
+// charges never drained (turning "retry later" refusals permanent) and
+// delete-only storms grew the log and tombstone set without any cap. The
+// synchronous backstop folds once the un-folded log crosses the threshold.
+TEST(VersionedDatasetTest, FoldBackstopBoundsTheLogWithoutAFoldThread) {
+  memory::MemoryBudget budget(8L << 20);
+  {
+    VersionedDataset store(SmallDataset(10), &budget);
+    store.SetFoldBackstop(8);
+    std::string error;
+    for (int i = 0; i < 30; ++i) {
+      ASSERT_TRUE(store.Apply({Insert(10000 + i)}, &error)) << error;
+    }
+    VersionedDataset::Stats stats = store.GetStats();
+    EXPECT_GE(stats.folds, 3u) << "backstop never fired";
+    EXPECT_LT(stats.delta_size, 8);
+
+    // Delete-only storms are bounded by the same backstop: every forced
+    // fold compacts the tombstones and clears the log.
+    for (int i = 0; i < 30; ++i) {
+      ASSERT_TRUE(store.Apply({Delete(10000 + i)}, &error)) << error;
+    }
+    stats = store.GetStats();
+    EXPECT_GE(stats.folds, 6u);
+    EXPECT_LT(stats.tombstones, 8);
+    EXPECT_EQ(budget.current_bytes(), 0)
+        << "with no snapshot pinned, backstop folds drain every charge";
+  }
+  EXPECT_EQ(budget.current_bytes(), 0);
+}
+
 TEST(VersionedDatasetTest, SnapshotPinsAreRefcountedAcrossCopies) {
   VersionedDataset store(SmallDataset(20));
   EXPECT_EQ(store.live_snapshots(), 0);
@@ -437,10 +496,11 @@ TEST(VersionedDatasetTest, SnapshotPinsAreRefcountedAcrossCopies) {
 }
 
 // ---------------------------------------------------------------------------
-// Engine integration: the snapshot is pinned at Submit, and index-named
-// queries resolve against that pinned epoch with precise errors.
+// Engine integration: the snapshot is pinned at Submit, and id-named
+// queries resolve against that pinned epoch with precise errors. The wire
+// name is an EXTERNAL id — stable across folds, unlike snapshot indices.
 
-TEST(VersionedEngineTest, QueryIndexResolvesAgainstThePinnedEpoch) {
+TEST(VersionedEngineTest, QueryObjectIdResolvesAgainstThePinnedEpoch) {
   const Dataset dataset = SmallDataset();
   QueryEngine engine(dataset, {.num_threads = 1});
 
@@ -455,22 +515,22 @@ TEST(VersionedEngineTest, QueryIndexResolvesAgainstThePinnedEpoch) {
   auto inline_ticket = engine.Submit(std::move(inline_spec));
   ASSERT_EQ(inline_ticket->Wait(), QueryStatus::kOk);
 
-  QuerySpec indexed;
-  indexed.options = options;
-  indexed.query_index = 5;
-  auto indexed_ticket = engine.Submit(std::move(indexed));
-  ASSERT_EQ(indexed_ticket->Wait(), QueryStatus::kOk);
-  EXPECT_EQ(indexed_ticket->result().candidates,
+  QuerySpec named;
+  named.options = options;
+  named.query_object_id = 5;
+  auto named_ticket = engine.Submit(std::move(named));
+  ASSERT_EQ(named_ticket->Wait(), QueryStatus::kOk);
+  EXPECT_EQ(named_ticket->result().candidates,
             inline_ticket->result().candidates);
 }
 
-TEST(VersionedEngineTest, DeadQueryIndexFailsPreciselyNeverAborts) {
+TEST(VersionedEngineTest, DeadQueryObjectIdFailsPreciselyNeverAborts) {
   QueryEngine engine(SmallDataset(30), {.num_threads = 1});
 
-  // Out of range.
+  // No object ever had this id.
   QuerySpec spec;
   spec.options.op = Operator::kSSd;
-  spec.query_index = 1000;
+  spec.query_object_id = 1000;
   auto ticket = engine.Submit(std::move(spec));
   EXPECT_EQ(ticket->Wait(), QueryStatus::kError);
   EXPECT_NE(ticket->error().find("not live"), std::string::npos)
@@ -481,11 +541,51 @@ TEST(VersionedEngineTest, DeadQueryIndexFailsPreciselyNeverAborts) {
   ASSERT_TRUE(engine.versioned().Apply({Delete(3)}, &error)) << error;
   QuerySpec dead;
   dead.options.op = Operator::kSSd;
-  dead.query_index = 3;
+  dead.query_object_id = 3;
   auto dead_ticket = engine.Submit(std::move(dead));
   EXPECT_EQ(dead_ticket->Wait(), QueryStatus::kError);
   EXPECT_NE(dead_ticket->error().find("not live"), std::string::npos)
       << dead_ticket->error();
+  engine.Drain();
+}
+
+// Regression (review): the query name must survive a fold that compacts
+// snapshot indices. Under index addressing, deleting id 0 and folding made
+// "object 3" silently resolve to the object formerly known as 4 — status
+// OK, results for the wrong query object. External ids cannot move.
+TEST(VersionedEngineTest, QueryObjectIdIsStableAcrossFolds) {
+  // Six single-instance objects on a line, 100 apart: id 3's nearest
+  // neighbors (and therefore its whole SSd candidate set) are drawn from
+  // {2, 4}; id 0 is far away and never a candidate.
+  std::vector<UncertainObject> objs;
+  for (int i = 0; i < 6; ++i) {
+    objs.push_back(UncertainObject::Uniform(i, 2, {i * 100.0, 0.0}));
+  }
+  QueryEngine engine(Dataset(std::move(objs)), {.num_threads = 1});
+
+  QuerySpec spec;
+  spec.options.op = Operator::kSSd;
+  spec.query_object_id = 3;
+  auto before = engine.Submit(spec);
+  ASSERT_EQ(before->Wait(), QueryStatus::kOk);
+  // Epoch 0: snapshot indices coincide with external ids.
+  const std::set<int> ids_before(before->result().candidates.begin(),
+                                 before->result().candidates.end());
+  ASSERT_TRUE(ids_before.count(3) == 0) << "query excluded itself";
+
+  std::string error;
+  ASSERT_TRUE(engine.versioned().Apply({Delete(0)}, &error)) << error;
+  const uint64_t folded_epoch = engine.versioned().Fold();
+
+  auto after = engine.Submit(std::move(spec));
+  ASSERT_EQ(after->Wait(), QueryStatus::kOk);
+  EXPECT_EQ(after->result().epoch, folded_epoch);
+  const auto snap = engine.versioned().Acquire();
+  std::set<int> ids_after;
+  for (int idx : after->result().candidates) {
+    ids_after.insert(snap.object(idx).id());
+  }
+  EXPECT_EQ(ids_after, ids_before);
   engine.Drain();
 }
 

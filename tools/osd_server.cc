@@ -32,7 +32,12 @@
 //   [--fold-interval-s X]            background fold: merge the mutation
 //                                    delta into a fresh base every X s
 //   [--fold-delta N]                 background fold: merge once the delta
-//                                    reaches N objects
+//                                    reaches N objects (default 1024 —
+//                                    tenants may write by default, so the
+//                                    server always folds; 0 disables the
+//                                    fold thread, leaving the store's
+//                                    synchronous backstop as the only
+//                                    bound on un-folded mutations)
 //   [--tenant NAME:mem=SIZE,inflight=N,retries=R,writes=0|1,mutops=N]
 //                                    per-tenant policy, repeatable; the
 //                                    name "default" sets the policy for
@@ -89,7 +94,7 @@ struct Args {
   double write_stall_timeout_s = 0.0;
   double watchdog_ms = 0.0;
   double fold_interval_s = 0.0;
-  int fold_delta = 0;
+  int fold_delta = 1024;  // default ON: any tenant may write by default
   net::TenantPolicy default_policy;
   std::map<std::string, net::TenantPolicy> tenants;
   std::string metrics_out;
@@ -245,7 +250,7 @@ Args Parse(int argc, char** argv) {
       if (args.fold_interval_s <= 0) Die("--fold-interval-s must be > 0");
     } else if (flag == "--fold-delta") {
       args.fold_delta = std::atoi(need_value(i).c_str());
-      if (args.fold_delta < 1) Die("--fold-delta must be >= 1");
+      if (args.fold_delta < 0) Die("--fold-delta must be >= 0 (0 disables)");
     } else if (flag == "--tenant") {
       ParseTenantFlag(need_value(i), &args);
     } else if (flag == "--metrics-out") {
