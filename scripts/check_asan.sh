@@ -17,7 +17,7 @@ BUILD_DIR="${1:-build-asan}"
 TARGETS="failpoint_test io_hardening_test io_test degraded_mode_test \
   engine_resilience_test obs_test mem_budget_test kernels_test \
   net_protocol_test net_hardening_test net_server_test \
-  versioned_dataset_test"
+  versioned_dataset_test durability_test"
 
 cmake -B "$BUILD_DIR" -S . \
   -DOSD_SANITIZE=address \
@@ -37,7 +37,7 @@ cmake -B "$BUILD_DIR-off" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR-off" -j"$(nproc)" \
   --target failpoint_test engine_resilience_test mem_budget_test \
-  net_server_test
+  net_server_test durability_test
 ASAN_OPTIONS="halt_on_error=1 detect_leaks=1" \
 UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
   ctest --test-dir "$BUILD_DIR-off" -L failpoint --output-on-failure

@@ -3,9 +3,13 @@
 # ephemeral loopback port, drives it with concurrent osd_cli query
 # clients (a plain query, a mid-flight cancel, a deadline-degraded run),
 # then SIGTERMs the server mid-flight and asserts a clean drain — every
-# in-flight ticket finished, summary printed, exit code 0. Finishes with
+# in-flight ticket finished, summary printed, exit code 0. A durability
+# leg then runs a --wal-dir server through an acked write, a sealed
+# SIGTERM shutdown, and a restart that must recover the write; wal-dump
+# and checkpoint-info must accept the surviving directory. Finishes with
 # a quick osd_chaos soak (adversarial clients + failpoint storms + drain
-# cycles, all resilience invariants asserted).
+# cycles, all resilience invariants asserted) and a short SIGKILL
+# crash-recovery soak (scripts/check_crash.sh runs the long one).
 #
 # Usage: scripts/server_smoke.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -97,8 +101,96 @@ grep -q '"type":"result"' "$TMP/inflight.out" \
        cat "$TMP/inflight.out"; exit 1; }
 echo "drain OK: $(grep 'drained;' "$TMP/server.err")"
 
+# Durability: a --wal-dir server must make an acked write durable, seal
+# its log on SIGTERM, and serve the write again after a restart.
+WAL_DIR="$TMP/wal"
+"$SERVER" --gen-data 100 --gen-dim 2 --wal-dir "$WAL_DIR" --port 0 \
+  --threads 2 >"$TMP/dur1.out" 2>"$TMP/dur1.err" &
+SERVER_PID=$!
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/^listening on [^:]*:\([0-9]*\)$/\1/p' "$TMP/dur1.out")"
+  [[ -n "$PORT" ]] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || {
+    echo "FAIL: durable server died during startup"
+    cat "$TMP/dur1.err"; exit 1; }
+  sleep 0.1
+done
+[[ -n "$PORT" ]] || { echo "FAIL: no listening line (durable)"; exit 1; }
+
+"$CLI" mutate --port "$PORT" \
+  --insert '9000:0.31,0.62,2;0.33,0.64,1' >"$TMP/mutate.out" 2>&1 \
+  || { echo "FAIL: mutate client failed"; cat "$TMP/mutate.out"; exit 1; }
+grep -q '"seq":1' "$TMP/mutate.out" \
+  || { echo "FAIL: mutate_ok carries no durable seq"
+       cat "$TMP/mutate.out"; exit 1; }
+
+kill -TERM "$SERVER_PID"
+SERVER_RC=0
+wait "$SERVER_PID" || SERVER_RC=$?
+SERVER_PID=""
+[[ "$SERVER_RC" -eq 0 ]] \
+  || { echo "FAIL: durable server exited $SERVER_RC"
+       cat "$TMP/dur1.err"; exit 1; }
+grep -q 'WAL sealed at seq 1' "$TMP/dur1.err" \
+  || { echo "FAIL: shutdown did not seal the WAL"
+       cat "$TMP/dur1.err"; exit 1; }
+
+# Offline inspection of the sealed directory: the acked batch must be
+# visible in the log and every checkpoint must load cleanly.
+"$CLI" wal-dump "$WAL_DIR" >"$TMP/waldump.out" \
+  || { echo "FAIL: wal-dump rejected a sealed log"
+       cat "$TMP/waldump.out"; exit 1; }
+grep -q '"kind":"batch"' "$TMP/waldump.out" \
+  || { echo "FAIL: acked batch missing from wal-dump"
+       cat "$TMP/waldump.out"; exit 1; }
+"$CLI" checkpoint-info "$WAL_DIR" >/dev/null \
+  || { echo "FAIL: checkpoint-info"; exit 1; }
+
+# Restart from the directory alone: the 100 generated objects plus the
+# inserted one must come back, and the inserted object must be queryable.
+"$SERVER" --wal-dir "$WAL_DIR" --port 0 --threads 2 \
+  >"$TMP/dur2.out" 2>"$TMP/dur2.err" &
+SERVER_PID=$!
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/^listening on [^:]*:\([0-9]*\)$/\1/p' "$TMP/dur2.out")"
+  [[ -n "$PORT" ]] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || {
+    echo "FAIL: restarted server died during recovery"
+    cat "$TMP/dur2.err"; exit 1; }
+  sleep 0.1
+done
+[[ -n "$PORT" ]] || { echo "FAIL: no listening line (restart)"; exit 1; }
+grep -q 'recovered 101 object(s) at seq 1' "$TMP/dur2.err" \
+  || { echo "FAIL: restart did not recover 100 generated + 1 inserted"
+       cat "$TMP/dur2.err"; exit 1; }
+grep -q ', clean shutdown' "$TMP/dur2.err" \
+  || { echo "FAIL: restart did not report a clean-shutdown recovery"
+       cat "$TMP/dur2.err"; exit 1; }
+"$CLI" query --port "$PORT" --query-id 9000 --op psd >"$TMP/recq.out" 2>&1 \
+  || { echo "FAIL: query against recovered object failed"
+       cat "$TMP/recq.out"; exit 1; }
+grep -q '"status":"OK"' "$TMP/recq.out" \
+  || { echo "FAIL: recovered object not queryable"
+       cat "$TMP/recq.out"; exit 1; }
+kill -TERM "$SERVER_PID"
+SERVER_RC=0
+wait "$SERVER_PID" || SERVER_RC=$?
+SERVER_PID=""
+[[ "$SERVER_RC" -eq 0 ]] \
+  || { echo "FAIL: restarted server exited $SERVER_RC"
+       cat "$TMP/dur2.err"; exit 1; }
+echo "durability OK: acked write survived seal + restart"
+
 # Quick chaos soak: in-process server under hostile clients, failpoint
 # storms and SIGTERM cycles; fails on any resilience-invariant violation.
 "$CHAOS" --quick \
   || { echo "FAIL: chaos soak"; exit 1; }
+
+# Short crash-recovery soak: forked --wal-dir servers SIGKILLed mid-storm,
+# every acked write verified after each restart. The 20-cycle version is
+# scripts/check_crash.sh (nightly CI).
+"$CHAOS" --crash-cycles 4 --wal-dir "$TMP/crash" \
+  || { echo "FAIL: crash soak"; exit 1; }
 echo "PASS: server smoke"

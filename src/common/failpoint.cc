@@ -16,7 +16,7 @@ namespace osd::failpoint {
 
 namespace {
 
-enum class Action { kThrow, kBadAlloc, kError, kDelay };
+enum class Action { kThrow, kBadAlloc, kError, kDelay, kAbort };
 
 /// Every OSD_FAILPOINT / OSD_FAILPOINT_ERROR site compiled into the
 /// library. Configure rejects any other site name (minus the "test."
@@ -25,8 +25,10 @@ enum class Action { kThrow, kBadAlloc, kError, kDelay };
 constexpr const char* kKnownSites[] = {
     "dominance.check",    "dominance.level",  "engine.execute",
     "envelope.round",     "flow.augment",     "io.binary.header",
-    "io.binary.object",   "io.open",          "io.text.header",
-    "io.text.object",     "mem.charge",       "mem.flow.build",
+    "io.binary.object",   "io.checkpoint.write",
+    "io.open",            "io.recover.replay",
+    "io.text.header",     "io.text.object",   "io.wal.append",
+    "io.wal.fsync",       "mem.charge",       "mem.flow.build",
     "mem.nnc.heap",       "mem.profile.matrix",
     "mem.profile.sorted", "net.accept",       "net.read",
     "net.write",          "nnc.node_expand",  "nnc.object_examine",
@@ -205,6 +207,11 @@ bool ParseTrigger(const std::string& site, const std::string& expr,
     if (have_arg) {
       return ParseFail(error, site + ": 'error' takes no argument");
     }
+  } else if (action == "abort") {
+    t->action = Action::kAbort;
+    if (have_arg) {
+      return ParseFail(error, site + ": 'abort' takes no argument");
+    }
   } else if (action == "delay") {
     t->action = Action::kDelay;
     char* end = nullptr;
@@ -218,8 +225,9 @@ bool ParseTrigger(const std::string& site, const std::string& expr,
     }
   } else {
     return ParseFail(
-        error, site + ": unknown action '" + action +
-                   "' (expected throw|throw_bad_alloc|error|delay|off)");
+        error,
+        site + ": unknown action '" + action +
+            "' (expected throw|throw_bad_alloc|error|delay|abort|off)");
   }
   return true;
 }
@@ -268,6 +276,11 @@ bool Hit(const char* site) {
       throw std::bad_alloc();
     case Action::kError:
       return true;
+    case Action::kAbort:
+      // Simulated crash for kill-injection tests: die without unwinding or
+      // flushing, exactly like SIGKILL mid-write (modulo the partial-write
+      // torn tails, which the tests synthesize separately).
+      std::abort();
   }
   return false;
 }

@@ -14,7 +14,7 @@
 //   spec    := entry (',' entry)*
 //   entry   := site '=' trigger
 //   trigger := 'off' | [N 'x'] action ['(' arg ')'] ['@' S | '@p=' P]
-//   action  := 'throw' | 'throw_bad_alloc' | 'error' | 'delay'
+//   action  := 'throw' | 'throw_bad_alloc' | 'error' | 'delay' | 'abort'
 //
 //   site                site names use [A-Za-z0-9_.-]
 //   throw[(message)]    throw InjectedFault (an osd::TransientError)
@@ -23,6 +23,8 @@
 //   error               make OSD_FAILPOINT_ERROR sites take their error
 //                       path (a no-op at plain OSD_FAILPOINT sites)
 //   delay(ms)           sleep for `ms` milliseconds, then continue
+//   abort               std::abort() — simulated crash (no unwinding, no
+//                       flushes) for kill-injection durability tests
 //   Nx                  fire at most N times, then stay dormant
 //   @S                  first firing on the S-th hit (1-based)
 //   @p=P                probabilistic: each hit fires with probability P,

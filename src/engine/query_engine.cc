@@ -168,8 +168,7 @@ long QueryEngine::AdmissionHighWaterBytes() const {
 }
 
 QueryEngine::~QueryEngine() {
-  versioned_->StopFoldThread();
-  Drain();
+  Drain();  // stops the fold thread first, then waits out the pool
   {
     std::lock_guard<std::mutex> lock(watch_mu_);
     watch_stop_ = true;
@@ -342,7 +341,17 @@ std::vector<std::shared_ptr<QueryTicket>> QueryEngine::SubmitBatch(
   return tickets;
 }
 
-void QueryEngine::Drain() { pool_.WaitIdle(); }
+void QueryEngine::Drain() {
+  // Stop the background fold thread BEFORE waiting out the pool: a fold
+  // kicked by the last in-flight mutation could otherwise still be
+  // publishing states (and pinning snapshots) after Drain returned, so a
+  // caller that tears down right after — the server loop exit, a test's
+  // last line — would race it. Drain returning means the store is quiesced:
+  // no worker holds an epoch and no fold is in flight. StartFoldThread can
+  // re-arm folding afterwards if the engine keeps serving.
+  versioned_->StopFoldThread();
+  pool_.WaitIdle();
+}
 
 void QueryEngine::Execute(const std::shared_ptr<QueryTicket>& ticket,
                           QuerySpec& spec) {

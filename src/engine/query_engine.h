@@ -213,7 +213,10 @@ class QueryEngine {
   std::vector<std::shared_ptr<QueryTicket>> SubmitBatch(
       std::vector<QuerySpec> specs);
 
-  /// Blocks until every submitted query has reached a terminal state.
+  /// Stops the background fold thread, then blocks until every submitted
+  /// query has reached a terminal state. On return the store is quiesced:
+  /// no worker holds an epoch pin and no fold is publishing — safe to
+  /// detach durability, seal the WAL, or destroy the engine.
   void Drain();
 
   /// Consistent snapshot of the engine-level counters, including a drain

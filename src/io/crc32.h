@@ -1,0 +1,41 @@
+// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum
+// behind the binary dataset footer and every WAL record frame. Header-only
+// and dependency-free; incremental use chains the previous return value
+// through `crc`:
+//
+//   uint32_t crc = 0;
+//   crc = Crc32(a, alen, crc);
+//   crc = Crc32(b, blen, crc);
+
+#ifndef OSD_IO_CRC32_H_
+#define OSD_IO_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace osd::io {
+
+inline uint32_t Crc32(const void* data, size_t len, uint32_t crc = 0) {
+  static const std::array<uint32_t, 256> kTable = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc ^= 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace osd::io
+
+#endif  // OSD_IO_CRC32_H_

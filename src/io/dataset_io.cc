@@ -1,5 +1,7 @@
 #include "io/dataset_io.h"
 
+#include <unistd.h>
+
 #include <cinttypes>
 #include <cmath>
 #include <cstdint>
@@ -7,6 +9,7 @@
 #include <memory>
 
 #include "common/failpoint.h"
+#include "io/crc32.h"
 
 namespace osd {
 
@@ -14,7 +17,10 @@ namespace {
 
 constexpr char kTextMagic[] = "osd-dataset";
 constexpr uint32_t kBinaryMagic = 0x0D5Dda7a;
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 1;           // text format
+constexpr uint32_t kBinaryVersionLegacy = 1;  // no checksum footer
+constexpr uint32_t kBinaryVersion = 2;     // CRC32 footer + wal_seq
+constexpr uint32_t kFooterMagic = 0x0D5DF007;
 
 // Hard sanity caps on counts declared by (untrusted) input files. Both
 // loaders additionally bound every declared count by what the file's size
@@ -217,71 +223,120 @@ bool LoadTextWeighted(const std::string& path,
   return LoadTextImpl(path, objects, /*weighted=*/true, error);
 }
 
-bool SaveBinary(const std::vector<UncertainObject>& objects,
-                const std::string& path, std::string* error) {
-  if (objects.empty()) return Fail(error, "nothing to save");
+namespace {
+
+/// fwrite wrapper that folds every written byte into a running CRC32, so
+/// the version-2 footer checksum is computed in one pass with the write.
+struct CrcFile {
+  std::FILE* f = nullptr;
+  uint32_t crc = 0;
+  bool Write(const void* p, size_t n) {
+    if (std::fwrite(p, 1, n, f) != n) return false;
+    crc = io::Crc32(p, n, crc);
+    return true;
+  }
+  bool Put32(uint32_t v) { return Write(&v, sizeof v); }
+  bool Put64(uint64_t v) { return Write(&v, sizeof v); }
+};
+
+bool SaveBinaryImpl(const std::vector<UncertainObject>& objects,
+                    uint64_t wal_seq, bool allow_empty, bool sync,
+                    const std::string& path, std::string* error) {
+  if (objects.empty() && !allow_empty) return Fail(error, "nothing to save");
   FilePtr file(std::fopen(path.c_str(), "wb"));
   if (file == nullptr) return Fail(error, "cannot open " + path);
-  auto put32 = [&](uint32_t v) {
-    return std::fwrite(&v, sizeof v, 1, file.get()) == 1;
-  };
-  const int dim = objects[0].dim();
-  if (!put32(kBinaryMagic) || !put32(kVersion) ||
-      !put32(static_cast<uint32_t>(dim)) ||
-      !put32(static_cast<uint32_t>(objects.size()))) {
+  CrcFile out{file.get()};
+  // dim 0 is the empty-checkpoint encoding: legal iff count == 0.
+  const int dim = objects.empty() ? 0 : objects[0].dim();
+  if (!out.Put32(kBinaryMagic) || !out.Put32(kBinaryVersion) ||
+      !out.Put32(static_cast<uint32_t>(dim)) ||
+      !out.Put32(static_cast<uint32_t>(objects.size()))) {
     return Fail(error, "write failure");
   }
   for (const UncertainObject& o : objects) {
     if (o.dim() != dim) return Fail(error, "mixed dimensionalities");
     const int32_t id = o.id();
-    const uint32_t m = o.num_instances();
-    if (std::fwrite(&id, sizeof id, 1, file.get()) != 1 || !put32(m)) {
+    if (!out.Write(&id, sizeof id) ||
+        !out.Put32(static_cast<uint32_t>(o.num_instances()))) {
       return Fail(error, "write failure");
     }
     for (int i = 0; i < o.num_instances(); ++i) {
       const Point p = o.Instance(i);
-      if (std::fwrite(p.data(), sizeof(double), dim, file.get()) !=
-          static_cast<size_t>(dim)) {
-        return Fail(error, "write failure");
-      }
       const double prob = o.Prob(i);
-      if (std::fwrite(&prob, sizeof prob, 1, file.get()) != 1) {
+      if (!out.Write(p.data(), sizeof(double) * dim) ||
+          !out.Write(&prob, sizeof prob)) {
         return Fail(error, "write failure");
       }
     }
   }
+  // Footer: magic + wal_seq folded into the CRC, then the CRC itself.
+  if (!out.Put32(kFooterMagic) || !out.Put64(wal_seq)) {
+    return Fail(error, "write failure");
+  }
+  const uint32_t crc = out.crc;
+  if (std::fwrite(&crc, sizeof crc, 1, file.get()) != 1 ||
+      std::fflush(file.get()) != 0) {
+    return Fail(error, "write failure");
+  }
+  // Checkpoints must be durable before the WAL segments they supersede are
+  // pruned; plain caches (SaveBinary) skip the fsync.
+  if (sync && ::fsync(::fileno(file.get())) != 0) {
+    return Fail(error, path + ": fsync failed");
+  }
   return true;
 }
 
-bool LoadBinary(const std::string& path,
-                std::vector<UncertainObject>* objects, std::string* error) {
+/// fread wrapper mirroring CrcFile: folds every consumed byte into the
+/// running CRC so version-2 loads verify the footer in one pass.
+struct CrcReader {
+  std::FILE* f = nullptr;
+  uint32_t crc = 0;
+  bool Read(void* p, size_t n) {
+    if (std::fread(p, 1, n, f) != n) return false;
+    crc = io::Crc32(p, n, crc);
+    return true;
+  }
+  bool Get32(uint32_t* v) { return Read(v, sizeof *v); }
+  bool Get64(uint64_t* v) { return Read(v, sizeof *v); }
+};
+
+bool LoadBinaryImpl(const std::string& path,
+                    std::vector<UncertainObject>* objects, uint64_t* wal_seq,
+                    bool require_footer, std::string* error) {
   objects->clear();
+  if (wal_seq != nullptr) *wal_seq = 0;
   FilePtr file(std::fopen(path.c_str(), "rb"));
   if (file == nullptr) return Fail(error, "cannot open " + path);
   OSD_FAILPOINT_ERROR("io.open",
                       return Fail(error, path + ": injected open failure "
                                                 "(failpoint io.open)"));
   const int64_t file_size = FileSize(file.get());
-  auto get32 = [&](uint32_t* v) {
-    return std::fread(v, sizeof *v, 1, file.get()) == 1;
-  };
+  CrcReader in{file.get()};
   uint32_t magic = 0, version = 0, dim32 = 0, count = 0;
-  if (!get32(&magic) || magic != kBinaryMagic) {
+  if (!in.Get32(&magic) || magic != kBinaryMagic) {
     return Fail(error, path + ": bad magic (not an osd binary dataset)");
   }
   OSD_FAILPOINT_ERROR("io.binary.header",
                       return Fail(error,
                                   path + ": injected header failure "
                                          "(failpoint io.binary.header)"));
-  if (!get32(&version) || version != kVersion) {
+  if (!in.Get32(&version) ||
+      (version != kBinaryVersionLegacy && version != kBinaryVersion)) {
     return Fail(error, path + ": unsupported version " +
                            std::to_string(version) + " (expected " +
-                           std::to_string(kVersion) + ")");
+                           std::to_string(kBinaryVersionLegacy) + " or " +
+                           std::to_string(kBinaryVersion) + ")");
   }
-  if (!get32(&dim32) || !get32(&count)) {
+  const bool has_footer = version >= kBinaryVersion;
+  if (require_footer && !has_footer) {
+    return Fail(error, path + ": version " + std::to_string(version) +
+                           " file has no checksum footer (not a checkpoint)");
+  }
+  if (!in.Get32(&dim32) || !in.Get32(&count)) {
     return Fail(error, path + ": truncated header");
   }
-  if (dim32 < 1 || dim32 > static_cast<uint32_t>(Point::kMaxDim)) {
+  if ((dim32 < 1 && !(dim32 == 0 && count == 0)) ||
+      dim32 > static_cast<uint32_t>(Point::kMaxDim)) {
     return Fail(error, path + ": dimension " + std::to_string(dim32) +
                            " out of range [1, " +
                            std::to_string(Point::kMaxDim) + "]");
@@ -307,7 +362,7 @@ bool LoadBinary(const std::string& path,
                                         " (failpoint io.binary.object)"));
     int32_t id = 0;
     uint32_t m = 0;
-    if (std::fread(&id, sizeof id, 1, file.get()) != 1 || !get32(&m)) {
+    if (!in.Read(&id, sizeof id) || !in.Get32(&m)) {
       return Fail(error, path + ": truncated object header at object #" +
                              std::to_string(o));
     }
@@ -330,13 +385,13 @@ bool LoadBinary(const std::string& path,
     std::vector<double> coords(static_cast<size_t>(m) * dim);
     std::vector<double> probs(m);
     for (uint32_t i = 0; i < m; ++i) {
-      if (std::fread(&coords[static_cast<size_t>(i) * dim], sizeof(double),
-                     dim, file.get()) != static_cast<size_t>(dim)) {
+      if (!in.Read(&coords[static_cast<size_t>(i) * dim],
+                   sizeof(double) * dim)) {
         return Fail(error, path + ": " + Describe(o, id) +
                                ": truncated coordinates at instance " +
                                std::to_string(i));
       }
-      if (std::fread(&probs[i], sizeof(double), 1, file.get()) != 1) {
+      if (!in.Read(&probs[i], sizeof(double))) {
         return Fail(error, path + ": " + Describe(o, id) +
                                ": truncated probabilities at instance " +
                                std::to_string(i));
@@ -349,7 +404,68 @@ bool LoadBinary(const std::string& path,
     objects->push_back(
         UncertainObject(id, dim, std::move(coords), std::move(probs)));
   }
+  if (has_footer) {
+    uint32_t footer_magic = 0;
+    uint64_t seq = 0;
+    if (!in.Get32(&footer_magic) || footer_magic != kFooterMagic ||
+        !in.Get64(&seq)) {
+      return Fail(error,
+                  path + ": missing or corrupt checksum footer (truncated "
+                         "file?)");
+    }
+    const uint32_t computed = in.crc;
+    uint32_t stored = 0;
+    if (std::fread(&stored, sizeof stored, 1, file.get()) != 1) {
+      return Fail(error, path + ": truncated checksum footer");
+    }
+    if (stored != computed) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf),
+                    "checksum mismatch (stored %08x, computed %08x): "
+                    "corrupt or truncated file",
+                    stored, computed);
+      return Fail(error, path + ": " + buf);
+    }
+    unsigned char extra = 0;
+    if (std::fread(&extra, 1, 1, file.get()) == 1) {
+      return Fail(error, path + ": trailing garbage after checksum footer");
+    }
+    if (wal_seq != nullptr) *wal_seq = seq;
+  }
   return true;
+}
+
+}  // namespace
+
+bool SaveBinary(const std::vector<UncertainObject>& objects,
+                const std::string& path, std::string* error) {
+  return SaveBinaryImpl(objects, /*wal_seq=*/0, /*allow_empty=*/false,
+                        /*sync=*/false, path, error);
+}
+
+bool LoadBinary(const std::string& path,
+                std::vector<UncertainObject>* objects, std::string* error) {
+  return LoadBinaryImpl(path, objects, /*wal_seq=*/nullptr,
+                        /*require_footer=*/false, error);
+}
+
+bool SaveCheckpoint(const std::vector<UncertainObject>& objects,
+                    uint64_t wal_seq, const std::string& path,
+                    std::string* error) {
+  OSD_FAILPOINT_ERROR("io.checkpoint.write",
+                      return Fail(error,
+                                  path + ": injected checkpoint write "
+                                         "failure (failpoint "
+                                         "io.checkpoint.write)"));
+  return SaveBinaryImpl(objects, wal_seq, /*allow_empty=*/true, /*sync=*/true,
+                        path, error);
+}
+
+bool LoadCheckpoint(const std::string& path,
+                    std::vector<UncertainObject>* objects, uint64_t* wal_seq,
+                    std::string* error) {
+  return LoadBinaryImpl(path, objects, wal_seq, /*require_footer=*/true,
+                        error);
 }
 
 }  // namespace osd

@@ -16,6 +16,7 @@
 #ifndef OSD_IO_DATASET_IO_H_
 #define OSD_IO_DATASET_IO_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -39,11 +40,28 @@ bool LoadTextWeighted(const std::string& path,
                       std::string* error);
 
 /// Binary round-trip (little-endian doubles; not portable across
-/// architectures -- intended as a local cache).
+/// architectures -- intended as a local cache). SaveBinary writes format
+/// version 2: the version-1 layout plus a CRC32 checksum footer covering
+/// every preceding byte, so truncation or bit flips are rejected with a
+/// precise error instead of a partial load. LoadBinary reads version 2 and
+/// still accepts legacy version-1 files (which carry no footer).
 bool SaveBinary(const std::vector<UncertainObject>& objects,
                 const std::string& path, std::string* error);
 bool LoadBinary(const std::string& path,
                 std::vector<UncertainObject>* objects, std::string* error);
+
+/// Checkpoint container for the durability tier: the version-2 binary
+/// format with the footer additionally carrying `wal_seq`, the last WAL
+/// sequence number the snapshot covers. Unlike SaveBinary, an empty object
+/// set is a valid checkpoint (a store drained by deletes must still
+/// recover). LoadCheckpoint validates the CRC footer (version 2 required)
+/// and returns the embedded sequence number via *wal_seq (may be null).
+bool SaveCheckpoint(const std::vector<UncertainObject>& objects,
+                    uint64_t wal_seq, const std::string& path,
+                    std::string* error);
+bool LoadCheckpoint(const std::string& path,
+                    std::vector<UncertainObject>* objects, uint64_t* wal_seq,
+                    std::string* error);
 
 }  // namespace osd
 

@@ -1,0 +1,404 @@
+#include "io/durable_store.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "io/dataset_io.h"
+
+namespace osd::io {
+
+namespace {
+
+constexpr char kWalPrefix[] = "wal-";
+constexpr char kWalSuffix[] = ".log";
+constexpr char kCkptPrefix[] = "checkpoint-";
+constexpr char kCkptSuffix[] = ".ckpt";
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+void Warn(const std::string& message) {
+  std::fprintf(stderr, "[durable] WARNING: %s\n", message.c_str());
+}
+
+/// Extracts the 20-digit sequence number from `wal-<seq>.log` /
+/// `checkpoint-<seq>.ckpt`; false for any other name.
+bool ParseSeqName(const std::string& name, const char* prefix,
+                  const char* suffix, uint64_t* seq) {
+  const size_t plen = std::strlen(prefix);
+  const size_t slen = std::strlen(suffix);
+  if (name.size() != plen + 20 + slen) return false;
+  if (name.compare(0, plen, prefix) != 0) return false;
+  if (name.compare(name.size() - slen, slen, suffix) != 0) return false;
+  uint64_t v = 0;
+  for (size_t i = plen; i < plen + 20; ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *seq = v;
+  return true;
+}
+
+bool FsyncDir(const std::string& dir, std::string* error) {
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_CLOEXEC);
+  if (dfd < 0 || ::fsync(dfd) != 0) {
+    if (dfd >= 0) ::close(dfd);
+    return Fail(error, "cannot fsync directory " + dir + ": " +
+                           std::strerror(errno));
+  }
+  ::close(dfd);
+  return true;
+}
+
+}  // namespace
+
+std::string DurableStore::WalSegmentName(uint64_t start_seq) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s%020llu%s", kWalPrefix,
+                static_cast<unsigned long long>(start_seq), kWalSuffix);
+  return buf;
+}
+
+std::string DurableStore::CheckpointName(uint64_t covers_seq) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s%020llu%s", kCkptPrefix,
+                static_cast<unsigned long long>(covers_seq), kCkptSuffix);
+  return buf;
+}
+
+bool DurableStore::ListFiles(const std::string& dir,
+                             std::vector<std::string>* wal_paths,
+                             std::vector<std::string>* checkpoint_paths,
+                             std::string* error) {
+  wal_paths->clear();
+  checkpoint_paths->clear();
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return Fail(error,
+                "cannot open " + dir + ": " + std::strerror(errno));
+  }
+  std::vector<std::pair<uint64_t, std::string>> wals, ckpts;
+  for (struct dirent* ent = ::readdir(d); ent != nullptr;
+       ent = ::readdir(d)) {
+    const std::string name = ent->d_name;
+    uint64_t seq = 0;
+    if (ParseSeqName(name, kWalPrefix, kWalSuffix, &seq)) {
+      wals.emplace_back(seq, dir + "/" + name);
+    } else if (ParseSeqName(name, kCkptPrefix, kCkptSuffix, &seq)) {
+      ckpts.emplace_back(seq, dir + "/" + name);
+    }
+  }
+  ::closedir(d);
+  std::sort(wals.begin(), wals.end());
+  std::sort(ckpts.begin(), ckpts.end());
+  for (auto& [seq, path] : wals) wal_paths->push_back(std::move(path));
+  for (auto& [seq, path] : ckpts) {
+    checkpoint_paths->push_back(std::move(path));
+  }
+  return true;
+}
+
+// ------------------------------------------------------------------ Recover
+
+bool DurableStore::Recover(const std::string& dir, RecoverResult* out,
+                           std::string* error) {
+  *out = RecoverResult();
+  struct stat st {};
+  if (::stat(dir.c_str(), &st) != 0) {
+    if (errno == ENOENT) return true;  // fresh store
+    return Fail(error, "cannot stat " + dir + ": " + std::strerror(errno));
+  }
+  if (!S_ISDIR(st.st_mode)) {
+    return Fail(error, dir + " is not a directory");
+  }
+  std::vector<std::string> wal_paths, ckpt_paths;
+  if (!ListFiles(dir, &wal_paths, &ckpt_paths, error)) return false;
+  if (wal_paths.empty() && ckpt_paths.empty()) return true;  // fresh store
+  out->initialized = true;
+
+  // Newest loadable checkpoint wins; corrupt ones warn and fall back (the
+  // WAL segments an older checkpoint needs were pruned only after a newer
+  // one was durable, so a longer replay reconstructs the same state).
+  std::map<int, UncertainObject> model;
+  uint64_t base_seq = 0;
+  for (auto it = ckpt_paths.rbegin(); it != ckpt_paths.rend(); ++it) {
+    std::vector<UncertainObject> objs;
+    uint64_t seq = 0;
+    std::string lerr;
+    if (!LoadCheckpoint(*it, &objs, &seq, &lerr)) {
+      out->warnings.push_back("skipping unreadable checkpoint: " + lerr);
+      continue;
+    }
+    for (UncertainObject& obj : objs) {
+      const int id = obj.id();
+      if (!model.emplace(id, std::move(obj)).second) {
+        return Fail(error, *it + ": duplicate object id " +
+                               std::to_string(id) + " in checkpoint");
+      }
+    }
+    base_seq = seq;
+    out->checkpoint_seq = seq;
+    break;
+  }
+  if (model.empty() && out->checkpoint_seq == 0 && !ckpt_paths.empty() &&
+      out->warnings.size() == ckpt_paths.size()) {
+    out->warnings.push_back(
+        "no loadable checkpoint; replaying the full WAL chain");
+  }
+
+  OSD_FAILPOINT_ERROR("io.recover.replay",
+                      return Fail(error,
+                                  dir + ": injected recovery failure "
+                                        "(failpoint io.recover.replay)"));
+
+  // Replay segments in start-order. Batch sequence numbers must continue
+  // densely from the checkpoint: a gap or regression means acknowledged
+  // history is missing or ambiguous, and recovery must refuse rather than
+  // serve fabricated state.
+  uint64_t expected = base_seq + 1;
+  for (size_t si = 0; si < wal_paths.size(); ++si) {
+    const std::string& path = wal_paths[si];
+    WalScanResult scan = ScanWal(path);
+    if (scan.status == WalScanStatus::kCorrupt) {
+      return Fail(error, scan.detail);
+    }
+    if (scan.status == WalScanStatus::kTornTail) {
+      out->warnings.push_back("truncating torn WAL tail: " + scan.detail);
+    }
+    if (si + 1 == wal_paths.size()) out->sealed = scan.sealed;
+    for (const WalRecordInfo& rec : scan.records) {
+      if (rec.seal) continue;
+      if (rec.seq <= base_seq) continue;  // superseded by the checkpoint
+      if (rec.seq != expected) {
+        return Fail(error,
+                    path + ": sequence gap: expected batch " +
+                        std::to_string(expected) + ", found " +
+                        std::to_string(rec.seq) +
+                        " (acknowledged history is missing; refusing to "
+                        "recover)");
+      }
+      for (const Mutation& op : rec.ops) {
+        switch (op.kind) {
+          case Mutation::Kind::kInsert: {
+            if (!model.emplace(op.id, *op.object).second) {
+              return Fail(error, path + ": replay inconsistency: insert of "
+                                     "already-live object id " +
+                                     std::to_string(op.id) + " at batch " +
+                                     std::to_string(rec.seq));
+            }
+            break;
+          }
+          case Mutation::Kind::kDelete: {
+            if (model.erase(op.id) == 0) {
+              return Fail(error, path + ": replay inconsistency: delete of "
+                                     "unknown object id " +
+                                     std::to_string(op.id) + " at batch " +
+                                     std::to_string(rec.seq));
+            }
+            break;
+          }
+          case Mutation::Kind::kUpdate: {
+            auto mit = model.find(op.id);
+            if (mit == model.end()) {
+              return Fail(error, path + ": replay inconsistency: update of "
+                                     "unknown object id " +
+                                     std::to_string(op.id) + " at batch " +
+                                     std::to_string(rec.seq));
+            }
+            mit->second = *op.object;
+            break;
+          }
+        }
+      }
+      ++out->replayed_batches;
+      ++expected;
+    }
+  }
+  out->last_seq = expected - 1;
+  out->objects.reserve(model.size());
+  for (auto& [id, obj] : model) out->objects.push_back(std::move(obj));
+  return true;
+}
+
+// ----------------------------------------------------------------- instance
+
+bool DurableStore::Open(const std::string& dir, uint64_t last_seq,
+                        std::string* error) {
+  if (::mkdir(dir.c_str(), 0777) != 0 && errno != EEXIST) {
+    return Fail(error,
+                "cannot create " + dir + ": " + std::strerror(errno));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  dir_ = dir;
+  read_only_ = false;
+  degraded_reason_.clear();
+  auto writer = std::make_unique<WalWriter>();
+  const std::string path = dir + "/" + WalSegmentName(last_seq + 1);
+  if (!writer->Open(path, last_seq + 1, error)) return false;
+  writer_ = std::move(writer);
+  return true;
+}
+
+bool DurableStore::FailUnavailable(std::string* error,
+                                   const std::string& reason) {
+  if (error != nullptr) {
+    *error = std::string(kStorageUnavailable) + ": " + reason;
+  }
+  return false;
+}
+
+bool DurableStore::Append(uint64_t seq, const std::vector<Mutation>& ops,
+                          std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (read_only_) {
+    ++append_failures_;
+    return FailUnavailable(error, degraded_reason_);
+  }
+  if (writer_ == nullptr || !writer_->is_open()) {
+    ++append_failures_;
+    return FailUnavailable(error, "no active WAL segment");
+  }
+  std::string werr;
+  if (!writer_->AppendBatch(seq, ops, &werr)) {
+    // The disk's state is unknown past this point; latch read-only
+    // degraded mode. Reads keep serving, writes fail fast and precisely.
+    ++append_failures_;
+    read_only_ = true;
+    degraded_reason_ = werr;
+    Warn("WAL append failed; entering read-only degraded mode: " + werr);
+    return FailUnavailable(error, werr);
+  }
+  ++appends_;
+  return true;
+}
+
+void DurableStore::Rotate(uint64_t covers_seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (read_only_) return;
+  auto next = std::make_unique<WalWriter>();
+  const std::string path = dir_ + "/" + WalSegmentName(covers_seq + 1);
+  std::string werr;
+  if (!next->Open(path, covers_seq + 1, &werr)) {
+    // Keep appending to the current segment: per-record sequence numbers
+    // make an over-long segment harmless, and PruneObsolete never deletes
+    // the active writer. Rotation is retried at the next fold.
+    Warn("WAL rotation failed (keeping current segment): " + werr);
+    return;
+  }
+  writer_ = std::move(next);
+}
+
+void DurableStore::Checkpoint(const VersionedDataset::Snapshot& snapshot,
+                              uint64_t covers_seq) {
+  // Runs off the store's write lock (fold-serialized upstream), so the
+  // slow save must not hold mu_ — writers keep appending meanwhile.
+  std::vector<UncertainObject> objs;
+  objs.reserve(snapshot.live_size());
+  for (int i = 0; i < snapshot.size(); ++i) {
+    if (!snapshot.deleted(i)) objs.push_back(snapshot.object(i));
+  }
+  std::string dir;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    dir = dir_;
+  }
+  const std::string final_path = dir + "/" + CheckpointName(covers_seq);
+  const std::string tmp_path = final_path + ".tmp";
+  std::string cerr_;
+  bool ok = SaveCheckpoint(objs, covers_seq, tmp_path, &cerr_);
+  if (ok && ::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    cerr_ = "cannot rename " + tmp_path + ": " + std::strerror(errno);
+    ok = false;
+  }
+  if (ok && !FsyncDir(dir, &cerr_)) ok = false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!ok) {
+    // Absorbed: the previous checkpoint and every WAL segment stay, so
+    // recovery still reconstructs the acked state — the chain is longer.
+    ++checkpoint_failures_;
+    ::unlink(tmp_path.c_str());
+    Warn("checkpoint failed (keeping previous checkpoint and WAL): " +
+         cerr_);
+    return;
+  }
+  ++checkpoints_;
+  PruneObsolete(covers_seq);
+}
+
+void DurableStore::PruneObsolete(uint64_t covers_seq) {
+  std::vector<std::string> wal_paths, ckpt_paths;
+  std::string lerr;
+  if (!ListFiles(dir_, &wal_paths, &ckpt_paths, &lerr)) {
+    Warn("prune skipped: " + lerr);
+    return;
+  }
+  const std::string active =
+      writer_ != nullptr ? writer_->path() : std::string();
+  // A segment's records all precede its successor's start_seq (the
+  // successor was created only after the segment was retired), so segment
+  // i is fully covered by the checkpoint iff start(i + 1) <= covers + 1.
+  // The last segment and the active writer are never pruned.
+  for (size_t i = 0; i + 1 < wal_paths.size(); ++i) {
+    uint64_t next_start = 0;
+    const std::string next_name =
+        wal_paths[i + 1].substr(wal_paths[i + 1].rfind('/') + 1);
+    if (!ParseSeqName(next_name, kWalPrefix, kWalSuffix, &next_start)) {
+      continue;
+    }
+    if (next_start <= covers_seq + 1 && wal_paths[i] != active) {
+      ::unlink(wal_paths[i].c_str());
+    }
+  }
+  for (const std::string& path : ckpt_paths) {
+    uint64_t seq = 0;
+    const std::string name = path.substr(path.rfind('/') + 1);
+    if (!ParseSeqName(name, kCkptPrefix, kCkptSuffix, &seq)) continue;
+    if (seq < covers_seq) ::unlink(path.c_str());
+  }
+}
+
+bool DurableStore::Seal(uint64_t last_seq, std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (read_only_) return FailUnavailable(error, degraded_reason_);
+  if (writer_ == nullptr || !writer_->is_open()) {
+    return Fail(error, "no active WAL segment to seal");
+  }
+  return writer_->AppendSeal(last_seq, error);
+}
+
+bool DurableStore::read_only() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return read_only_;
+}
+
+std::string DurableStore::degraded_reason() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return degraded_reason_;
+}
+
+DurableStore::Stats DurableStore::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats st;
+  st.read_only = read_only_;
+  st.appends = appends_;
+  st.append_failures = append_failures_;
+  st.checkpoints = checkpoints_;
+  st.checkpoint_failures = checkpoint_failures_;
+  st.wal_bytes = writer_ != nullptr ? writer_->bytes_written() : 0;
+  return st;
+}
+
+}  // namespace osd::io

@@ -1,0 +1,139 @@
+// Durability tier for the versioned object store: a directory of WAL
+// segments plus epoch checkpoints, implementing
+// VersionedDataset::DurabilitySink.
+//
+// Directory layout (names embed 20-digit zero-padded sequence numbers so
+// lexicographic order == numeric order):
+//
+//   wal-<start_seq>.log          append-only segment; first batch >= start
+//   checkpoint-<covers_seq>.ckpt dataset_io v2 checkpoint covering exactly
+//                                sequence numbers [1, covers_seq]
+//
+// Lifecycle:
+//   Recover(dir)   -> objects + last_seq   (static; before the store exists)
+//   Open(dir, last_seq)                    (starts segment last_seq + 1)
+//   AttachDurability(&store, last_seq)     (VersionedDataset)
+//   ... Append / Rotate / Checkpoint callbacks ...
+//   DetachDurability(); Seal(last_seq)     (clean shutdown)
+//
+// Failure policy: a WAL append/fsync failure latches *read-only degraded
+// mode* — the store keeps serving reads, every later write fails fast with
+// an error prefixed kStorageUnavailable (mapped to the wire code
+// `storage_unavailable`), and nothing half-applies. Checkpoint failures
+// are absorbed (warn + counter): the previous checkpoint and all WAL
+// segments are kept, so recovery still works — the chain is just longer.
+//
+// Recovery policy (crash-exact, matching ScanWal):
+//   - newest loadable checkpoint wins; a corrupt checkpoint logs a warning
+//     and falls back to the next older one (its covering WAL segments were
+//     only pruned after it was durable, so older checkpoints + longer
+//     replay reconstruct the same state);
+//   - WAL segments replay in start_seq order; batch sequence numbers must
+//     continue densely from the checkpoint (a gap means acked history is
+//     missing: refuse);
+//   - a torn tail truncates with a warning; mid-log corruption refuses.
+
+#ifndef OSD_IO_DURABLE_STORE_H_
+#define OSD_IO_DURABLE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "io/wal.h"
+#include "object/versioned_dataset.h"
+
+namespace osd::io {
+
+/// Error-message prefix for writes refused in degraded mode; the server
+/// maps it to the wire error code `storage_unavailable`.
+inline constexpr const char* kStorageUnavailable = "storage unavailable";
+
+class DurableStore : public VersionedDataset::DurabilitySink {
+ public:
+  struct RecoverResult {
+    std::vector<UncertainObject> objects;  // live set, ascending external id
+    uint64_t last_seq = 0;       // last durable (acked) sequence number
+    bool initialized = false;    // dir held a store (checkpoint or WAL)
+    uint64_t checkpoint_seq = 0; // covers_seq of the checkpoint used
+    uint64_t replayed_batches = 0;
+    bool sealed = false;         // last segment ended in a clean seal
+    std::vector<std::string> warnings;  // torn tails, skipped checkpoints
+  };
+
+  /// Reconstructs the durable state from `dir`. A missing or empty
+  /// directory succeeds with initialized == false (fresh store). Returns
+  /// false only when acked history cannot be reconstructed faithfully —
+  /// mid-log corruption, a sequence gap, replay inconsistency — in which
+  /// case serving would fabricate state and startup must refuse.
+  static bool Recover(const std::string& dir, RecoverResult* out,
+                      std::string* error);
+
+  DurableStore() = default;
+  ~DurableStore() override = default;
+  DurableStore(const DurableStore&) = delete;
+  DurableStore& operator=(const DurableStore&) = delete;
+
+  /// Creates `dir` if needed and opens the active WAL segment at
+  /// last_seq + 1 (truncating any same-named torn leftover, whose valid
+  /// prefix recovery has already absorbed).
+  bool Open(const std::string& dir, uint64_t last_seq, std::string* error);
+
+  // VersionedDataset::DurabilitySink --------------------------------------
+  bool Append(uint64_t seq, const std::vector<Mutation>& ops,
+              std::string* error) override;
+  void Rotate(uint64_t covers_seq) override;
+  void Checkpoint(const VersionedDataset::Snapshot& snapshot,
+                  uint64_t covers_seq) override;
+
+  /// Writes the clean-shutdown seal record and closes the active segment.
+  /// Call after DetachDurability (no Append can race it).
+  bool Seal(uint64_t last_seq, std::string* error);
+
+  bool read_only() const;
+  /// Why the store degraded (empty while healthy).
+  std::string degraded_reason() const;
+
+  struct Stats {
+    bool read_only = false;
+    uint64_t appends = 0;
+    uint64_t append_failures = 0;
+    uint64_t checkpoints = 0;
+    uint64_t checkpoint_failures = 0;
+    int64_t wal_bytes = 0;  // bytes in the active segment
+  };
+  Stats GetStats() const;
+
+  const std::string& dir() const { return dir_; }
+
+  /// File-name helpers (shared with osd_cli's wal-dump/checkpoint-info).
+  static std::string WalSegmentName(uint64_t start_seq);
+  static std::string CheckpointName(uint64_t covers_seq);
+  /// Lists `dir`'s WAL segments and checkpoints, each sorted ascending by
+  /// embedded sequence number. Unrelated files are ignored. Returns false
+  /// when the directory cannot be read (missing dir included).
+  static bool ListFiles(const std::string& dir,
+                        std::vector<std::string>* wal_paths,
+                        std::vector<std::string>* checkpoint_paths,
+                        std::string* error);
+
+ private:
+  bool FailUnavailable(std::string* error, const std::string& reason);
+  void PruneObsolete(uint64_t covers_seq);
+
+  mutable std::mutex mu_;
+  std::string dir_;
+  std::unique_ptr<WalWriter> writer_;
+  bool read_only_ = false;
+  std::string degraded_reason_;
+  uint64_t appends_ = 0;
+  uint64_t append_failures_ = 0;
+  uint64_t checkpoints_ = 0;
+  uint64_t checkpoint_failures_ = 0;
+};
+
+}  // namespace osd::io
+
+#endif  // OSD_IO_DURABLE_STORE_H_

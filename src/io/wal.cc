@@ -1,0 +1,459 @@
+#include "io/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/failpoint.h"
+#include "io/crc32.h"
+
+namespace osd::io {
+
+namespace {
+
+constexpr uint8_t kRecBatch = 1;
+constexpr uint8_t kRecSeal = 2;
+constexpr uint8_t kOpInsert = 0;
+constexpr uint8_t kOpDelete = 1;
+constexpr uint8_t kOpUpdate = 2;
+
+void Append(std::string* buf, const void* p, size_t n) {
+  buf->append(static_cast<const char*>(p), n);
+}
+void Append8(std::string* buf, uint8_t v) { Append(buf, &v, sizeof v); }
+void Append32(std::string* buf, uint32_t v) { Append(buf, &v, sizeof v); }
+void Append64(std::string* buf, uint64_t v) { Append(buf, &v, sizeof v); }
+
+std::string EncodeSealPayload(uint64_t seq) {
+  std::string payload;
+  Append8(&payload, kRecSeal);
+  Append64(&payload, seq);
+  return payload;
+}
+
+std::string EncodeBatchPayload(uint64_t seq,
+                               const std::vector<Mutation>& ops) {
+  std::string payload;
+  Append8(&payload, kRecBatch);
+  Append64(&payload, seq);
+  Append32(&payload, static_cast<uint32_t>(ops.size()));
+  for (const Mutation& op : ops) {
+    switch (op.kind) {
+      case Mutation::Kind::kInsert: Append8(&payload, kOpInsert); break;
+      case Mutation::Kind::kDelete: Append8(&payload, kOpDelete); break;
+      case Mutation::Kind::kUpdate: Append8(&payload, kOpUpdate); break;
+    }
+    const int32_t id = op.id;
+    Append(&payload, &id, sizeof id);
+    if (op.kind == Mutation::Kind::kDelete) continue;
+    // Apply validated payload presence before the WAL append; encode the
+    // object as post-normalization probabilities.
+    const UncertainObject& obj = *op.object;
+    Append32(&payload, static_cast<uint32_t>(obj.dim()));
+    Append32(&payload, static_cast<uint32_t>(obj.num_instances()));
+    for (int i = 0; i < obj.num_instances(); ++i) {
+      const Point p = obj.Instance(i);
+      Append(&payload, p.data(), sizeof(double) * obj.dim());
+    }
+    for (int i = 0; i < obj.num_instances(); ++i) {
+      const double prob = obj.Prob(i);
+      Append(&payload, &prob, sizeof prob);
+    }
+  }
+  return payload;
+}
+
+/// Bounds-checked little-endian cursor over a decoded payload.
+struct Cursor {
+  const char* p;
+  size_t n;
+  size_t at = 0;
+  bool Read(void* out, size_t k) {
+    if (at + k > n) return false;
+    std::memcpy(out, p + at, k);
+    at += k;
+    return true;
+  }
+  bool Get8(uint8_t* v) { return Read(v, sizeof *v); }
+  bool Get32(uint32_t* v) { return Read(v, sizeof *v); }
+  bool Get64(uint64_t* v) { return Read(v, sizeof *v); }
+};
+
+/// Decodes and validates one record payload. Returns false (with *why)
+/// when the payload is structurally or semantically malformed — which,
+/// behind a matching CRC, means writer-side damage: treated as corruption,
+/// never a torn tail.
+bool DecodePayload(const char* p, size_t n, WalRecordInfo* rec,
+                   std::string* why) {
+  Cursor cur{p, n};
+  uint8_t type = 0;
+  if (!cur.Get8(&type) || !cur.Get64(&rec->seq)) {
+    *why = "payload shorter than its record header";
+    return false;
+  }
+  if (type == kRecSeal) {
+    if (cur.at != n) {
+      *why = "seal record carries trailing bytes";
+      return false;
+    }
+    rec->seal = true;
+    return true;
+  }
+  if (type != kRecBatch) {
+    *why = "unknown record type " + std::to_string(type);
+    return false;
+  }
+  uint32_t nops = 0;
+  if (!cur.Get32(&nops)) {
+    *why = "truncated op count";
+    return false;
+  }
+  if (nops < 1 || nops > n) {  // each op needs >= 5 payload bytes
+    *why = "implausible op count " + std::to_string(nops);
+    return false;
+  }
+  rec->ops.reserve(nops);
+  for (uint32_t i = 0; i < nops; ++i) {
+    uint8_t kind = 0;
+    int32_t id = 0;
+    if (!cur.Get8(&kind) || !cur.Read(&id, sizeof id)) {
+      *why = "truncated op #" + std::to_string(i);
+      return false;
+    }
+    Mutation op;
+    op.id = id;
+    if (kind == kOpDelete) {
+      op.kind = Mutation::Kind::kDelete;
+      rec->ops.push_back(std::move(op));
+      continue;
+    }
+    if (kind != kOpInsert && kind != kOpUpdate) {
+      *why = "unknown op kind " + std::to_string(kind);
+      return false;
+    }
+    op.kind = kind == kOpInsert ? Mutation::Kind::kInsert
+                                : Mutation::Kind::kUpdate;
+    uint32_t dim = 0, m = 0;
+    if (!cur.Get32(&dim) || !cur.Get32(&m)) {
+      *why = "truncated payload header in op #" + std::to_string(i);
+      return false;
+    }
+    if (dim < 1 || dim > static_cast<uint32_t>(Point::kMaxDim) || m < 1 ||
+        static_cast<uint64_t>(m) * (dim + 1) * 8 > n) {
+      *why = "implausible payload shape in op #" + std::to_string(i);
+      return false;
+    }
+    std::vector<double> coords(static_cast<size_t>(m) * dim);
+    std::vector<double> probs(m);
+    if (!cur.Read(coords.data(), coords.size() * sizeof(double)) ||
+        !cur.Read(probs.data(), probs.size() * sizeof(double))) {
+      *why = "truncated instance data in op #" + std::to_string(i);
+      return false;
+    }
+    auto obj = std::make_shared<UncertainObject>();
+    std::string verr;
+    if (!UncertainObject::TryCreate(id, static_cast<int>(dim),
+                                    std::move(coords), std::move(probs),
+                                    obj.get(), &verr)) {
+      *why = "invalid object payload in op #" + std::to_string(i) + ": " +
+             verr;
+      return false;
+    }
+    op.object = std::move(obj);
+    rec->ops.push_back(std::move(op));
+  }
+  if (cur.at != n) {
+    *why = "trailing bytes after last op";
+    return false;
+  }
+  return true;
+}
+
+/// Attempts a full frame decode at `off`. Returns true iff a structurally
+/// valid, CRC-clean, decodable record starts there.
+bool ValidRecordAt(const std::string& data, size_t off) {
+  if (off + static_cast<size_t>(kWalFrameBytes) > data.size()) return false;
+  uint32_t magic = 0, len = 0, crc = 0;
+  std::memcpy(&magic, data.data() + off, 4);
+  std::memcpy(&len, data.data() + off + 4, 4);
+  std::memcpy(&crc, data.data() + off + 8, 4);
+  if (magic != kWalRecordMagic || len > kMaxWalRecordBytes) return false;
+  if (off + kWalFrameBytes + len > data.size()) return false;
+  const char* payload = data.data() + off + kWalFrameBytes;
+  if (Crc32(payload, len) != crc) return false;
+  WalRecordInfo rec;
+  std::string why;
+  return DecodePayload(payload, len, &rec, &why);
+}
+
+/// True iff any fully valid record starts anywhere in (from, end) — the
+/// discriminator between a torn tail (nothing valid follows the damage)
+/// and mid-log corruption (acked history follows it).
+bool AnyValidRecordAfter(const std::string& data, size_t from) {
+  if (data.size() < static_cast<size_t>(kWalFrameBytes)) return false;
+  for (size_t off = from + 1;
+       off + static_cast<size_t>(kWalFrameBytes) <= data.size(); ++off) {
+    if (ValidRecordAt(data, off)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- WalWriter
+
+WalWriter::~WalWriter() { Close(); }
+
+void WalWriter::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool WalWriter::Poison(std::string* error, const std::string& message) {
+  poisoned_ = true;
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+bool WalWriter::Open(const std::string& path, uint64_t start_seq,
+                     std::string* error) {
+  Close();
+  poisoned_ = false;
+  bytes_written_ = 0;
+  path_ = path;
+  fd_ = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    return Poison(error, "cannot create WAL segment " + path + ": " +
+                             std::strerror(errno));
+  }
+  std::string header;
+  Append32(&header, kWalMagic);
+  Append32(&header, kWalVersion);
+  Append64(&header, start_seq);
+  size_t done = 0;
+  while (done < header.size()) {
+    const ssize_t n =
+        ::write(fd_, header.data() + done, header.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Poison(error, path + ": WAL header write failed: " +
+                               std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  if (::fsync(fd_) != 0) {
+    return Poison(error,
+                  path + ": WAL header fsync failed: " + std::strerror(errno));
+  }
+  // fsync the parent directory so the new segment's name itself is
+  // durable — a checkpoint that later prunes older segments depends on it.
+  const size_t slash = path.rfind('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_CLOEXEC);
+  if (dfd < 0 || ::fsync(dfd) != 0) {
+    if (dfd >= 0) ::close(dfd);
+    return Poison(error, path + ": cannot fsync WAL directory " + dir + ": " +
+                             std::strerror(errno));
+  }
+  ::close(dfd);
+  bytes_written_ = kWalHeaderBytes;
+  return true;
+}
+
+bool WalWriter::WriteRecord(const std::string& payload, std::string* error) {
+  if (poisoned_) {
+    if (error != nullptr) {
+      *error = path_ + ": WAL writer previously failed (poisoned)";
+    }
+    return false;
+  }
+  if (fd_ < 0) {
+    return Poison(error, "WAL segment is not open");
+  }
+  OSD_FAILPOINT_ERROR("io.wal.append",
+                      return Poison(error,
+                                    path_ + ": injected WAL append failure "
+                                            "(failpoint io.wal.append)"));
+  std::string frame;
+  frame.reserve(kWalFrameBytes + payload.size());
+  Append32(&frame, kWalRecordMagic);
+  Append32(&frame, static_cast<uint32_t>(payload.size()));
+  Append32(&frame, Crc32(payload.data(), payload.size()));
+  frame += payload;
+  size_t done = 0;
+  while (done < frame.size()) {
+    const ssize_t n = ::write(fd_, frame.data() + done, frame.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Poison(error,
+                    path_ + ": WAL append failed: " + std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  OSD_FAILPOINT_ERROR("io.wal.fsync",
+                      return Poison(error,
+                                    path_ + ": injected WAL fsync failure "
+                                            "(failpoint io.wal.fsync)"));
+  if (::fsync(fd_) != 0) {
+    return Poison(error,
+                  path_ + ": WAL fsync failed: " + std::strerror(errno));
+  }
+  bytes_written_ += static_cast<int64_t>(frame.size());
+  return true;
+}
+
+bool WalWriter::AppendBatch(uint64_t seq, const std::vector<Mutation>& ops,
+                            std::string* error) {
+  return WriteRecord(EncodeBatchPayload(seq, ops), error);
+}
+
+bool WalWriter::AppendSeal(uint64_t seq, std::string* error) {
+  if (!WriteRecord(EncodeSealPayload(seq), error)) return false;
+  Close();
+  return true;
+}
+
+// ---------------------------------------------------------------- ScanWal
+
+WalScanResult ScanWal(const std::string& path) {
+  WalScanResult out;
+  std::string data;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      out.status = WalScanStatus::kCorrupt;
+      out.detail = "cannot open " + path + ": " + std::strerror(errno);
+      return out;
+    }
+    char buf[64 * 1024];
+    size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) data.append(buf, n);
+    const bool read_error = std::ferror(f) != 0;
+    std::fclose(f);
+    if (read_error) {
+      out.status = WalScanStatus::kCorrupt;
+      out.detail = path + ": read error";
+      return out;
+    }
+  }
+
+  if (data.size() < static_cast<size_t>(kWalHeaderBytes)) {
+    // A crash can die between creating the segment and persisting its
+    // header: an empty or partial header with nothing after it is a torn
+    // (record-free) segment, not corruption.
+    out.status = WalScanStatus::kTornTail;
+    out.valid_bytes = 0;
+    out.detail = path + ": truncated segment header (" +
+                 std::to_string(data.size()) + " bytes)";
+    return out;
+  }
+  uint32_t magic = 0, version = 0;
+  std::memcpy(&magic, data.data(), 4);
+  std::memcpy(&version, data.data() + 4, 4);
+  std::memcpy(&out.start_seq, data.data() + 8, 8);
+  if (magic != kWalMagic) {
+    out.status = WalScanStatus::kCorrupt;
+    out.detail = path + ": bad WAL magic (not a WAL segment)";
+    return out;
+  }
+  if (version != kWalVersion) {
+    out.status = WalScanStatus::kCorrupt;
+    out.detail = path + ": unsupported WAL version " +
+                 std::to_string(version);
+    return out;
+  }
+
+  size_t off = kWalHeaderBytes;
+  uint64_t last_seq = 0;
+  bool have_seq = false;
+  auto damaged = [&](const std::string& what) {
+    // Damage at `off`: a torn tail if nothing valid follows, mid-log
+    // corruption if acked history does.
+    if (AnyValidRecordAfter(data, off)) {
+      out.status = WalScanStatus::kCorrupt;
+      out.detail = path + ": " + what + " at byte " + std::to_string(off) +
+                   " followed by valid records (mid-log corruption)";
+    } else {
+      out.status = WalScanStatus::kTornTail;
+      out.valid_bytes = static_cast<int64_t>(off);
+      out.detail = path + ": " + what + " at byte " + std::to_string(off) +
+                   " (torn tail; " +
+                   std::to_string(data.size() - off) + " trailing bytes)";
+    }
+  };
+
+  while (off < data.size()) {
+    if (out.sealed) {
+      out.status = WalScanStatus::kCorrupt;
+      out.detail = path + ": data after seal record at byte " +
+                   std::to_string(off);
+      return out;
+    }
+    if (off + static_cast<size_t>(kWalFrameBytes) > data.size()) {
+      damaged("truncated record frame");
+      return out;
+    }
+    uint32_t rmagic = 0, len = 0, crc = 0;
+    std::memcpy(&rmagic, data.data() + off, 4);
+    std::memcpy(&len, data.data() + off + 4, 4);
+    std::memcpy(&crc, data.data() + off + 8, 4);
+    if (rmagic != kWalRecordMagic) {
+      damaged("bad record magic");
+      return out;
+    }
+    if (len > kMaxWalRecordBytes) {
+      damaged("implausible record length");
+      return out;
+    }
+    if (off + kWalFrameBytes + len > data.size()) {
+      damaged("record extends past end of file");
+      return out;
+    }
+    const char* payload = data.data() + off + kWalFrameBytes;
+    if (Crc32(payload, len) != crc) {
+      damaged("record CRC mismatch");
+      return out;
+    }
+    WalRecordInfo rec;
+    rec.offset = static_cast<int64_t>(off);
+    std::string why;
+    if (!DecodePayload(payload, len, &rec, &why)) {
+      // The CRC matched, so the bytes are exactly what the writer stored:
+      // an undecodable payload is writer-side damage, never a torn write.
+      out.status = WalScanStatus::kCorrupt;
+      out.detail = path + ": undecodable record at byte " +
+                   std::to_string(off) + ": " + why;
+      return out;
+    }
+    // Batch sequence numbers are strictly increasing; the seal instead
+    // *names* the last covered sequence number, so it may equal (but never
+    // regress past) the preceding batch.
+    if (have_seq &&
+        (rec.seal ? rec.seq < last_seq : rec.seq <= last_seq)) {
+      out.status = WalScanStatus::kCorrupt;
+      out.detail = path + ": sequence number " + std::to_string(rec.seq) +
+                   " at byte " + std::to_string(off) +
+                   " does not advance past " + std::to_string(last_seq) +
+                   " (duplicate or reordered record)";
+      return out;
+    }
+    last_seq = rec.seq;
+    have_seq = true;
+    if (rec.seal) out.sealed = true;
+    off += kWalFrameBytes + len;
+    out.valid_bytes = static_cast<int64_t>(off);
+    out.records.push_back(std::move(rec));
+  }
+  out.status = WalScanStatus::kOk;
+  return out;
+}
+
+}  // namespace osd::io

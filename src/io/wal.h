@@ -1,0 +1,123 @@
+// Write-ahead log for the versioned object store.
+//
+// A WAL segment is an append-only file of CRC32-framed records, one per
+// accepted mutation batch, fsync'd before the batch is acknowledged — an
+// acked write survives any crash. Layout (little-endian):
+//
+//   header:  u32 magic | u32 version | u64 start_seq
+//   record:  u32 record-magic | u32 payload_len | u32 crc32(payload)
+//            | payload
+//   payload: u8 type (1 = batch, 2 = seal) | u64 seq
+//            batch: u32 nops, then per op:
+//              u8 kind (0 insert, 1 delete, 2 update) | i32 id
+//              insert/update: u32 dim | u32 m
+//                             | m*dim doubles (coords) | m doubles (probs)
+//            seal: nothing further (clean-shutdown marker)
+//
+// Sequence numbers are per-batch, dense and strictly increasing across the
+// store's lifetime; `start_seq` names the first sequence number a segment
+// may contain (segments rotate at checkpoints).
+//
+// ScanWal reads a segment back with crash-exact semantics: a torn or
+// corrupt *tail* (the partial record of a write that died mid-flight) is
+// reported as kTornTail so recovery can truncate it with a warning, while
+// damage *followed by a valid record* — a bit flip in the middle of the
+// log, a duplicate or regressing sequence number, data after a seal — is
+// kCorrupt, and recovery must refuse: acknowledged history is missing or
+// ambiguous, and serving anyway would fabricate state.
+//
+// Errors are reported through bool + *error (no exceptions across the
+// API), matching dataset_io.
+
+#ifndef OSD_IO_WAL_H_
+#define OSD_IO_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "object/versioned_dataset.h"
+
+namespace osd::io {
+
+inline constexpr uint32_t kWalMagic = 0x0D5D1062;
+inline constexpr uint32_t kWalVersion = 1;
+inline constexpr uint32_t kWalRecordMagic = 0xA11D0C5D;
+inline constexpr int64_t kWalHeaderBytes = 16;
+inline constexpr int64_t kWalFrameBytes = 12;  // magic + len + crc
+/// Hard cap on one record's payload; anything larger is framing damage.
+inline constexpr uint32_t kMaxWalRecordBytes = 1u << 28;
+
+/// Appends records to one WAL segment. Every append is flushed and
+/// fsync'd before returning success — the durability contract `mutate_ok
+/// implies durable` rests here. A writer that fails once is poisoned:
+/// every later call fails fast (the disk's state is unknown; the owner
+/// flips to read-only degraded mode).
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Creates (or truncates) the segment at `path`, writes the header, and
+  /// fsyncs both the file and its parent directory so the segment itself
+  /// survives a crash.
+  bool Open(const std::string& path, uint64_t start_seq, std::string* error);
+
+  /// Appends one mutation batch under sequence number `seq`, then fsyncs.
+  bool AppendBatch(uint64_t seq, const std::vector<Mutation>& ops,
+                   std::string* error);
+
+  /// Appends the clean-shutdown seal record, fsyncs, and closes.
+  bool AppendSeal(uint64_t seq, std::string* error);
+
+  /// Closes the file descriptor without sealing (crash-like close; used by
+  /// rotation, where the checkpoint supersedes the segment).
+  void Close();
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+  /// Total bytes durably appended through this writer (header included).
+  int64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  bool WriteRecord(const std::string& payload, std::string* error);
+  bool Poison(std::string* error, const std::string& message);
+
+  int fd_ = -1;
+  std::string path_;
+  bool poisoned_ = false;
+  int64_t bytes_written_ = 0;
+};
+
+enum class WalScanStatus {
+  kOk,        // every byte accounted for
+  kTornTail,  // valid prefix + a torn/corrupt tail; truncate and warn
+  kCorrupt,   // mid-log damage or sequencing violation; refuse recovery
+};
+
+struct WalRecordInfo {
+  int64_t offset = 0;  // byte offset of the record's frame
+  uint64_t seq = 0;
+  bool seal = false;
+  std::vector<Mutation> ops;  // empty for seal records
+};
+
+struct WalScanResult {
+  WalScanStatus status = WalScanStatus::kOk;
+  uint64_t start_seq = 0;  // from the segment header
+  bool sealed = false;     // a seal record terminates the segment
+  int64_t valid_bytes = 0;  // bytes up to the last valid record
+  std::string detail;       // human-readable diagnosis for warnings/errors
+  std::vector<WalRecordInfo> records;
+};
+
+/// Scans one segment; see the file comment for the torn-tail vs corrupt
+/// distinction. Payloads are fully validated (UncertainObject::TryCreate),
+/// so every returned Mutation is safe to Apply without aborting.
+WalScanResult ScanWal(const std::string& path);
+
+}  // namespace osd::io
+
+#endif  // OSD_IO_WAL_H_

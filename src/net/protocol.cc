@@ -568,10 +568,12 @@ std::string BuildCancelOkMessage(long id, bool found) {
          ",\"found\":" + (found ? "true" : "false") + "}";
 }
 
-std::string BuildMutateOkMessage(long id, uint64_t epoch, int applied) {
+std::string BuildMutateOkMessage(long id, uint64_t epoch, int applied,
+                                 uint64_t seq) {
   return "{\"type\":\"mutate_ok\",\"id\":" + std::to_string(id) +
          ",\"epoch\":" + std::to_string(epoch) +
-         ",\"applied\":" + std::to_string(applied) + "}";
+         ",\"applied\":" + std::to_string(applied) +
+         ",\"seq\":" + std::to_string(seq) + "}";
 }
 
 std::string BuildDrainOkMessage(long inflight) {

@@ -96,6 +96,10 @@ inline constexpr const char* kErrWriteDenied = "write_denied";
 /// duplicate insert, dimension mismatch, budget refusal). The batch was
 /// applied all-or-nothing: nothing changed.
 inline constexpr const char* kErrBadMutation = "bad_mutation";
+/// The durability tier is in read-only degraded mode (WAL append/fsync
+/// failure, disk full): reads keep serving, this write changed nothing and
+/// is not durable. Operators: see the README runbook.
+inline constexpr const char* kErrStorageUnavailable = "storage_unavailable";
 
 /// True iff `tenant` is a valid tenant identifier: [A-Za-z0-9_-]{1,64}.
 /// Tenant names become Prometheus label values, so the charset is locked
@@ -204,7 +208,11 @@ std::string BuildCoalescedMessage(long id, int attempt, long count,
 /// when present.
 std::string BuildResultMessage(long id, const QueryTicket& ticket);
 std::string BuildCancelOkMessage(long id, bool found);
-std::string BuildMutateOkMessage(long id, uint64_t epoch, int applied);
+/// `seq` is the batch's durable WAL sequence number; 0 when the server
+/// runs without a durability tier (the field is emitted either way so
+/// clients need no presence check).
+std::string BuildMutateOkMessage(long id, uint64_t epoch, int applied,
+                                 uint64_t seq);
 std::string BuildDrainOkMessage(long inflight);
 std::string BuildMetricsOkMessage(const std::string& text);
 std::string BuildErrorMessage(long id, const char* code,

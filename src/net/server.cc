@@ -64,6 +64,10 @@ OsdServer::OsdServer(QueryEngine* engine, ServerOptions options)
       "osd_net_mutations_rejected_total",
       "Mutate frames refused (write_denied, bad_mutation, batch caps, "
       "drain).");
+  hot_.storage_unavailable = &registry_.GetCounter(
+      "osd_net_storage_unavailable_total",
+      "Mutate frames refused because the durability tier is in read-only "
+      "degraded mode (WAL append/fsync failure).");
   hot_.active = &registry_.GetGauge("osd_net_connections_active",
                                     "Currently open client connections.");
   hot_.draining = &registry_.GetGauge(
@@ -146,8 +150,34 @@ void OsdServer::Shutdown() {
 }
 
 std::string OsdServer::MetricsText() const {
-  return engine_->MetricsText() +
-         obs::RenderPrometheusMetrics(registry_.Collect());
+  std::string text = engine_->MetricsText() +
+                     obs::RenderPrometheusMetrics(registry_.Collect());
+  if (options_.durable != nullptr) {
+    const io::DurableStore::Stats d = options_.durable->GetStats();
+    const auto gauge = [&text](const char* name, const char* help,
+                               long long value) {
+      text += "# HELP " + std::string(name) + " " + help + "\n";
+      text += "# TYPE " + std::string(name) + " gauge\n";
+      text += std::string(name) + " " + std::to_string(value) + "\n";
+    };
+    gauge("osd_wal_read_only",
+          "1 while the durability tier is in read-only degraded mode.",
+          d.read_only ? 1 : 0);
+    gauge("osd_wal_appends_total", "Mutation batches durably appended.",
+          static_cast<long long>(d.appends));
+    gauge("osd_wal_append_failures_total",
+          "WAL appends refused or failed (degraded-mode refusals included).",
+          static_cast<long long>(d.append_failures));
+    gauge("osd_wal_checkpoints_total", "Checkpoints durably written.",
+          static_cast<long long>(d.checkpoints));
+    gauge("osd_wal_checkpoint_failures_total",
+          "Checkpoint attempts that failed (previous checkpoint kept).",
+          static_cast<long long>(d.checkpoint_failures));
+    gauge("osd_wal_active_segment_bytes",
+          "Bytes in the active WAL segment (header included).",
+          static_cast<long long>(d.wal_bytes));
+  }
+  return text;
 }
 
 OsdServer::TenantState* OsdServer::ResolveTenant(const std::string& name) {
@@ -772,13 +802,25 @@ void OsdServer::HandleMutate(const ConnPtr& conn, const JsonValue& msg) {
   // happen on the engine's background fold thread.
   const int applied = static_cast<int>(req.ops.size());
   uint64_t epoch = 0;
-  if (!engine_->versioned().Apply(std::move(req.ops), &error, &epoch)) {
+  uint64_t seq = 0;
+  if (!engine_->versioned().Apply(std::move(req.ops), &error, &epoch, &seq)) {
     hot_.mutations_rejected->Increment();
-    AppendFrame(*conn, BuildErrorMessage(req.id, kErrBadMutation, error));
+    // A durability-tier refusal (read-only degraded mode) is not the
+    // client's fault; distinguish it from bad_mutation so operators and
+    // retry logic can tell "fix your batch" from "fix the disk".
+    if (error.rfind(io::kStorageUnavailable, 0) == 0) {
+      hot_.storage_unavailable->Increment();
+      AppendFrame(*conn,
+                  BuildErrorMessage(req.id, kErrStorageUnavailable, error));
+    } else {
+      AppendFrame(*conn, BuildErrorMessage(req.id, kErrBadMutation, error));
+    }
     return;
   }
+  // The ack is built only after Apply returned, i.e. after the WAL fsync
+  // when a durability tier is attached: mutate_ok implies durable.
   hot_.mutations->Increment(applied);
-  AppendFrame(*conn, BuildMutateOkMessage(req.id, epoch, applied));
+  AppendFrame(*conn, BuildMutateOkMessage(req.id, epoch, applied, seq));
 }
 
 void OsdServer::HandleCancel(const ConnPtr& conn, const JsonValue& msg) {
@@ -819,6 +861,22 @@ void OsdServer::HandleStatus(const ConnPtr& conn) {
   msg += std::to_string(vstats.delta_size);
   msg += ",\"folds\":";
   msg += std::to_string(vstats.folds);
+  if (options_.durable != nullptr) {
+    const io::DurableStore::Stats dstats = options_.durable->GetStats();
+    msg += ",\"wal\":{\"last_seq\":";
+    msg += std::to_string(vstats.last_seq);
+    msg += ",\"read_only\":";
+    msg += dstats.read_only ? "true" : "false";
+    msg += ",\"appends\":";
+    msg += std::to_string(dstats.appends);
+    msg += ",\"append_failures\":";
+    msg += std::to_string(dstats.append_failures);
+    msg += ",\"checkpoints\":";
+    msg += std::to_string(dstats.checkpoints);
+    msg += ",\"checkpoint_failures\":";
+    msg += std::to_string(dstats.checkpoint_failures);
+    msg += "}";
+  }
   msg += ",\"engine\":";
   msg += engine_->Snapshot().ToJson();
   msg += "}";

@@ -58,6 +58,7 @@
 #include <vector>
 
 #include "engine/query_engine.h"
+#include "io/durable_store.h"
 #include "net/json.h"
 #include "net/protocol.h"
 #include "net/socket.h"
@@ -117,6 +118,12 @@ struct ServerOptions {
   /// Policy for tenants without an explicit entry in `tenants`.
   TenantPolicy default_policy;
   std::map<std::string, TenantPolicy> tenants;
+  /// Durability tier, when the owner runs one (osd_server --wal-dir). The
+  /// server only *observes* it — status gains a "wal" block, metrics gain
+  /// osd_wal_* series, and store-refused writes whose error carries the
+  /// io::kStorageUnavailable prefix map to the storage_unavailable wire
+  /// code. Attachment/sealing stay with the owner. Must outlive the server.
+  const io::DurableStore* durable = nullptr;
 };
 
 /// The service front end. Does not own the engine: construct the engine
@@ -301,6 +308,7 @@ class OsdServer {
     obs::Counter* candidates_coalesced = nullptr;
     obs::Counter* mutations = nullptr;
     obs::Counter* mutations_rejected = nullptr;
+    obs::Counter* storage_unavailable = nullptr;
     obs::Gauge* active = nullptr;
     obs::Gauge* draining = nullptr;
   };

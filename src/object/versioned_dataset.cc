@@ -263,12 +263,13 @@ void VersionedDataset::ApplyOne(State* s, const Mutation& op) {
 }
 
 bool VersionedDataset::Apply(std::vector<Mutation> ops, std::string* error,
-                             uint64_t* epoch_out) {
+                             uint64_t* epoch_out, uint64_t* seq_out) {
   if (ops.empty()) {
     if (error != nullptr) *error = "empty mutation batch";
     return false;
   }
   uint64_t published = 0;
+  uint64_t seq = 0;
   bool force_fold = false;
   {
     std::lock_guard<std::mutex> lock(state_mu_);
@@ -319,6 +320,16 @@ bool VersionedDataset::Apply(std::vector<Mutation> ops, std::string* error,
       }
       ApplyOne(&work, op);
     }
+    // Durability barrier: the fully validated, budget-charged batch goes
+    // to the sink (which fsyncs) *before* anything is published. A sink
+    // refusal discards `work` exactly like a validation failure — the
+    // budget deleters of charged payloads run when `ops` destructs — so a
+    // batch is either durable and published or neither.
+    if (sink_ != nullptr) {
+      seq = last_seq_ + 1;
+      if (!sink_->Append(seq, ops, error)) return false;
+      last_seq_ = seq;
+    }
     for (Mutation& op : ops) log_.push_back(std::move(op));
     work.log_pos = log_.size();
     dim_ = dim;
@@ -329,6 +340,7 @@ bool VersionedDataset::Apply(std::vector<Mutation> ops, std::string* error,
                  log_.size() >= static_cast<size_t>(fold_backstop_);
   }
   if (epoch_out != nullptr) *epoch_out = published;
+  if (seq_out != nullptr) *seq_out = seq;
   {
     std::lock_guard<std::mutex> lock(fold_thread_mu_);
     fold_kick_ = true;
@@ -359,7 +371,13 @@ uint64_t VersionedDataset::Fold() {
   {
     std::lock_guard<std::mutex> lock(state_mu_);
     s = current_;
-    if (s->delta.empty() && s->tombstone_count == 0) return s->epoch;
+    // A non-empty log with an empty delta (an insert/delete churn cycle
+    // that nets to nothing) must still fold: the log itself is the
+    // resource being bounded, and with a sink attached the fold is what
+    // rotates the WAL and takes the covering checkpoint.
+    if (s->delta.empty() && s->tombstone_count == 0 && log_.empty()) {
+      return s->epoch;
+    }
     replay_from = s->log_pos;
   }
 
@@ -377,6 +395,9 @@ uint64_t VersionedDataset::Fold() {
   auto folded = std::make_shared<const Dataset>(std::move(objs));
 
   uint64_t published = 0;
+  DurabilitySink* sink = nullptr;
+  uint64_t covers_seq = 0;
+  std::shared_ptr<const State> checkpoint_state;
   {
     std::lock_guard<std::mutex> lock(state_mu_);
     std::shared_ptr<State> next =
@@ -394,8 +415,45 @@ uint64_t VersionedDataset::Fold() {
     ++folds_;
     published = next->epoch;
     current_ = std::move(next);
+    // Rotation happens under the write lock, right after the publish:
+    // every appended batch has seq <= last_seq_ and is folded into
+    // `current_`, and no Append can interleave before the sink switches
+    // segments — so the retired segments cover exactly [.., covers_seq].
+    sink = sink_;
+    if (sink != nullptr) {
+      covers_seq = last_seq_;
+      sink->Rotate(covers_seq);
+      checkpoint_state = current_;
+    }
+  }
+  // Checkpoint off the write lock (writers proceed; fold_mu_ still held so
+  // checkpoints never overlap). The pinned snapshot is the exact state at
+  // covers_seq: later batches land in the *new* WAL segment.
+  if (sink != nullptr) {
+    sink->Checkpoint(Snapshot(std::move(checkpoint_state), pins_),
+                     covers_seq);
   }
   return published;
+}
+
+void VersionedDataset::AttachDurability(DurabilitySink* sink,
+                                        uint64_t last_seq) {
+  std::lock_guard<std::mutex> fold_lock(fold_mu_);
+  std::lock_guard<std::mutex> lock(state_mu_);
+  OSD_CHECK(sink != nullptr && sink_ == nullptr);
+  sink_ = sink;
+  last_seq_ = last_seq;
+}
+
+void VersionedDataset::DetachDurability() {
+  std::lock_guard<std::mutex> fold_lock(fold_mu_);
+  std::lock_guard<std::mutex> lock(state_mu_);
+  sink_ = nullptr;
+}
+
+uint64_t VersionedDataset::last_seq() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return last_seq_;
 }
 
 void VersionedDataset::StartFoldThread(double interval_s,
@@ -472,6 +530,8 @@ VersionedDataset::Stats VersionedDataset::GetStats() const {
     st.tombstones = current_->tombstone_count;
     st.folds = folds_;
     st.mutations = mutations_;
+    st.durable = sink_ != nullptr;
+    st.last_seq = last_seq_;
   }
   st.live_snapshots = live_snapshots();
   return st;

@@ -128,6 +128,33 @@ class VersionedDataset {
     std::shared_ptr<PinTable> pins_;
   };
 
+  /// Durability hook (implemented by io::DurableStore; defined here so the
+  /// object layer stays independent of the io layer). When attached:
+  ///
+  ///  - Append() runs under the store's write lock, after a batch is fully
+  ///    validated and budget-charged but *before* it is published. `seq` is
+  ///    the batch's dense, strictly increasing sequence number. Returning
+  ///    false fails the whole Apply with *error and nothing is published —
+  ///    this is how "mutate_ok implies durable" holds: the publish (and
+  ///    hence the ack) happens only after the sink accepted the batch.
+  ///  - Rotate() runs under the write lock immediately after a fold
+  ///    publishes; every sequence number <= covers_seq is folded into the
+  ///    published state, so the sink may start a fresh log segment at
+  ///    covers_seq + 1.
+  ///  - Checkpoint() runs off the write lock (writers proceed) but still
+  ///    fold-serialized, with a pinned snapshot of the freshly folded
+  ///    state covering exactly covers_seq. Failures are the sink's to
+  ///    absorb (keep the previous checkpoint); they must not throw.
+  class DurabilitySink {
+   public:
+    virtual ~DurabilitySink() = default;
+    virtual bool Append(uint64_t seq, const std::vector<Mutation>& ops,
+                        std::string* error) = 0;
+    virtual void Rotate(uint64_t covers_seq) = 0;
+    virtual void Checkpoint(const Snapshot& snapshot,
+                            uint64_t covers_seq) = 0;
+  };
+
   /// Wraps `base` as epoch 0. `budget` (may be null) is charged for every
   /// admitted delta object; the base itself is uncharged, matching how the
   /// engine accounts its seed dataset.
@@ -147,10 +174,14 @@ class VersionedDataset {
   /// *error. Validation covers payload presence and id agreement, external
   /// id freshness (insert) / liveness (delete, update), dimension
   /// agreement with the store, and the memory budget (a TryCharge refusal
-  /// fails the batch recoverably — never an abort). On success *epoch_out
-  /// (if non-null) receives the new epoch.
+  /// fails the batch recoverably — never an abort). With a durability sink
+  /// attached the validated batch is appended to it (fsync'd) before
+  /// publish; a sink refusal fails the batch with the sink's error. On
+  /// success *epoch_out (if non-null) receives the new epoch and *seq_out
+  /// (if non-null) the batch's durable sequence number (0 when no sink is
+  /// attached).
   bool Apply(std::vector<Mutation> ops, std::string* error,
-             uint64_t* epoch_out = nullptr);
+             uint64_t* epoch_out = nullptr, uint64_t* seq_out = nullptr);
 
   /// Synchronously merges the current delta + tombstones into a fresh
   /// STR-built base and publishes it as a new epoch. Concurrent Apply()
@@ -179,6 +210,21 @@ class VersionedDataset {
   void SetFoldBackstop(int max_unfolded_ops);
   static constexpr int kDefaultFoldBackstop = 4096;
 
+  /// Attaches the durability sink; subsequent Apply() batches are numbered
+  /// last_seq + 1, last_seq + 2, ... and appended to it before publish,
+  /// and folds rotate/checkpoint through it. `last_seq` is the sequence
+  /// number already covered by recovery (0 for a fresh store). At most one
+  /// sink may be attached; it must outlive the attachment. Serializes
+  /// against folds, so an in-flight fold never sees the sink appear or
+  /// vanish mid-merge.
+  void AttachDurability(DurabilitySink* sink, uint64_t last_seq);
+  /// Detaches the sink (shutdown path: detach, then seal the log). Safe
+  /// when none is attached.
+  void DetachDurability();
+  /// Sequence number of the last batch accepted by the sink (or the value
+  /// seeded by AttachDurability); 0 when never durable.
+  uint64_t last_seq() const;
+
   /// Current epoch (0 until the first successful Apply or Fold).
   uint64_t epoch() const;
   /// Outstanding Snapshot pins across all epochs (0 when every reader has
@@ -201,6 +247,8 @@ class VersionedDataset {
     uint64_t folds = 0;      // completed Fold() merges
     uint64_t mutations = 0;  // ops accepted across all Apply() batches
     long live_snapshots = 0;
+    bool durable = false;    // a durability sink is attached
+    uint64_t last_seq = 0;   // see last_seq()
   };
   Stats GetStats() const;
 
@@ -253,6 +301,11 @@ class VersionedDataset {
   int dim_ = 0;
   uint64_t folds_ = 0;
   uint64_t mutations_ = 0;
+  // Durability sink and the last sequence number it accepted; guarded by
+  // state_mu_, and additionally stable for the duration of a Fold() (both
+  // Attach/Detach and Fold hold fold_mu_).
+  DurabilitySink* sink_ = nullptr;
+  uint64_t last_seq_ = 0;
 
   std::mutex fold_mu_;  // serializes Fold() builds
 

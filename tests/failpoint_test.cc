@@ -4,6 +4,8 @@
 // tests at the bottom branch on Enabled() to assert injection in ON builds
 // and inertness in OFF builds.
 
+#include <signal.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
@@ -46,6 +48,7 @@ TEST_F(FailpointTest, RejectsMalformedSpecs) {
       "test.site=throw(x)y",    // trailing garbage after ')'
       "test.site=throw)",       // ')' without '('
       "test.site=throw_bad_alloc(msg)",  // throw_bad_alloc takes no argument
+      "test.site=abort(5)",     // abort takes no argument
       "bad site=error",         // invalid character in site name
       "=error",                 // empty site name
       "test.site=error@p=",     // empty probability
@@ -64,6 +67,16 @@ TEST_F(FailpointTest, RejectsMalformedSpecs) {
     EXPECT_TRUE(ArmedSites().empty())
         << "a rejected spec must not arm anything";
   }
+}
+
+TEST_F(FailpointTest, AbortActionParsesAndFires) {
+  // `abort` is the simulated-crash action of the durability kill matrix:
+  // it must parse (with triggers), and firing must die by SIGABRT — no
+  // unwinding, no flushes, exactly like a kill mid-write.
+  std::string error;
+  ASSERT_TRUE(Configure("test.s=abort@2", &error)) << error;
+  EXPECT_FALSE(Evaluate("test.s"));  // count trigger: first hit passes
+  EXPECT_EXIT(Evaluate("test.s"), ::testing::KilledBySignal(SIGABRT), "");
 }
 
 TEST_F(FailpointTest, RejectionIsAtomic) {

@@ -335,11 +335,13 @@ TEST(ProtocolTest, MutateRoundTripsThroughParseAndBuilders) {
   EXPECT_EQ(req.ops[2].id, 7);
   EXPECT_EQ(req.ops[2].object, nullptr);
 
-  const JsonValue ok = MustParse(BuildMutateOkMessage(4, 17, 3));
+  const JsonValue ok = MustParse(BuildMutateOkMessage(4, 17, 3, 42));
   EXPECT_EQ(MessageType(ok), "mutate_ok");
   EXPECT_EQ(ok.Find("id")->AsNumber(), 4.0);
   EXPECT_EQ(ok.Find("epoch")->AsNumber(), 17.0);
   EXPECT_EQ(ok.Find("applied")->AsNumber(), 3.0);
+  ASSERT_NE(ok.Find("seq"), nullptr);
+  EXPECT_EQ(ok.Find("seq")->AsNumber(), 42.0);
 }
 
 TEST(ProtocolTest, MutateRejectsHostileFramesWithPreciseErrors) {

@@ -32,17 +32,39 @@
 // Usage: osd_chaos [--seconds N] [--quick] [--seed S] [--threads T]
 //   --quick   ~3 second smoke (for scripts/server_smoke.sh)
 //   default   30 second soak; CI nightly runs --seconds 180 under ASan
+//
+// Crash persona (exclusive mode, replaces the soak):
+//
+//   osd_chaos --crash-cycles N --wal-dir DIR [--seed S]
+//
+// runs N SIGKILL/restart cycles against a forked child server with the
+// durability tier on DIR. Each cycle the parent streams acked mutate
+// batches (reply read, seq checked dense), then fires two more batches
+// without reading the replies and SIGKILLs the child mid-write. After
+// every kill the parent recovers DIR offline and asserts the durability
+// contract: every acked batch survived verbatim (ids, instance rows,
+// normalized probabilities), unacked batches either applied wholly or
+// not at all (never half), and the recovered sequence is exactly a
+// prefix-extension of the acked history. The final cycle drains via
+// SIGTERM instead and must leave a cleanly sealed log. Any violation
+// exits 1. The child folds aggressively (50 ms interval, tiny delta
+// threshold) so kills land during checkpoint writes and WAL rotations
+// too, not just appends.
 
 #include <signal.h>
 #include <sys/socket.h>
 #include <sys/time.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <random>
 #include <set>
 #include <string>
@@ -52,6 +74,7 @@
 #include "common/failpoint.h"
 #include "datagen/generators.h"
 #include "engine/query_engine.h"
+#include "io/durable_store.h"
 #include "net/client.h"
 #include "net/json.h"
 #include "net/protocol.h"
@@ -507,6 +530,334 @@ void StormLoop(unsigned long long seed, const std::atomic<bool>& stop) {
   osd::failpoint::Clear();
 }
 
+// --- crash persona ----------------------------------------------------------
+
+namespace crash {
+
+using osd::UncertainObject;
+using osd::io::DurableStore;
+
+/// Child half of one kill cycle: recover DIR, serve with the durability
+/// tier attached, report the bound port over `pipe_fd`, run until drained
+/// (SIGTERM), then seal. Never returns to the fork call site.
+[[noreturn]] void ChildServe(const std::string& wal_dir, int pipe_fd) {
+  osd::failpoint::Clear();  // the child runs clean; kills are external
+  DurableStore::RecoverResult rec;
+  std::string error;
+  if (!DurableStore::Recover(wal_dir, &rec, &error)) {
+    std::fprintf(stderr, "crash child: recover refused: %s\n", error.c_str());
+    ::_exit(3);
+  }
+  EngineOptions engine_options;
+  engine_options.num_threads = 1;
+  // Fold hot so kills land during checkpoint writes and WAL rotations.
+  engine_options.fold_interval_s = 0.05;
+  engine_options.fold_delta_threshold = 4;
+  QueryEngine engine(Dataset(std::move(rec.objects)), engine_options);
+
+  DurableStore store;
+  if (!store.Open(wal_dir, rec.last_seq, &error)) {
+    std::fprintf(stderr, "crash child: open: %s\n", error.c_str());
+    ::_exit(3);
+  }
+  engine.versioned().AttachDurability(&store, rec.last_seq);
+  store.Checkpoint(engine.versioned().Acquire(), rec.last_seq);
+
+  ServerOptions server_options;  // default tenant may write
+  server_options.durable = &store;
+  OsdServer server(&engine, server_options);
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "crash child: start: %s\n", error.c_str());
+    ::_exit(3);
+  }
+  g_server.store(&server, std::memory_order_release);
+  ::signal(SIGTERM, OnSigterm);
+  char line[32];
+  const int n = std::snprintf(line, sizeof line, "PORT %d\n", server.port());
+  if (::write(pipe_fd, line, static_cast<size_t>(n)) != n) ::_exit(3);
+  ::close(pipe_fd);
+
+  server.Wait();  // until the SIGTERM drain (or an external SIGKILL)
+  g_server.store(nullptr, std::memory_order_release);
+  engine.versioned().DetachDurability();
+  if (!store.Seal(engine.versioned().last_seq(), &error)) {
+    std::fprintf(stderr, "crash child: seal: %s\n", error.c_str());
+    ::_exit(3);
+  }
+  ::_exit(0);
+}
+
+/// One weighted instance row set ~1e6 away from anything else.
+std::vector<std::vector<double>> Rows(std::mt19937_64& rng) {
+  std::vector<std::vector<double>> rows;
+  const int n = 1 + static_cast<int>(rng() % 3);
+  for (int i = 0; i < n; ++i) {
+    rows.push_back({1e6 + static_cast<double>(rng() % 100'000) / 100.0,
+                    1e6 + static_cast<double>(rng() % 100'000) / 100.0,
+                    1.0 + static_cast<double>(rng() % 3)});
+  }
+  return rows;
+}
+
+/// Replays `batches[0..n)` into the expected id -> weighted-rows state.
+/// Every batch applies atomically, mirroring the store contract.
+std::map<int, std::vector<std::vector<double>>> BuildModel(
+    const std::vector<std::vector<MutateOp>>& batches, size_t n) {
+  std::map<int, std::vector<std::vector<double>>> model;
+  for (size_t b = 0; b < n; ++b) {
+    for (const MutateOp& op : batches[b]) {
+      if (op.action == "delete") {
+        model.erase(op.object_id);
+      } else {
+        model[op.object_id] = op.instances;
+      }
+    }
+  }
+  return model;
+}
+
+/// Asserts the recovered objects equal the model exactly: same ids, same
+/// instance rows, probabilities matching the weight normalization.
+bool StateMatches(const std::vector<UncertainObject>& objects,
+                  const std::map<int, std::vector<std::vector<double>>>& model,
+                  std::string* why) {
+  if (objects.size() != model.size()) {
+    *why = "object count " + std::to_string(objects.size()) + " != model " +
+           std::to_string(model.size());
+    return false;
+  }
+  for (const UncertainObject& o : objects) {
+    const auto it = model.find(o.id());
+    if (it == model.end()) {
+      *why = "unexpected object id " + std::to_string(o.id());
+      return false;
+    }
+    const auto& rows = it->second;
+    if (static_cast<size_t>(o.num_instances()) != rows.size()) {
+      *why = "object " + std::to_string(o.id()) + " has " +
+             std::to_string(o.num_instances()) + " instances, want " +
+             std::to_string(rows.size());
+      return false;
+    }
+    double weight_sum = 0.0;
+    for (const auto& row : rows) weight_sum += row.back();
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const osd::Point p = o.Instance(static_cast<int>(i));
+      for (int d = 0; d < o.dim(); ++d) {
+        if (p[d] != rows[i][static_cast<size_t>(d)]) {
+          *why = "object " + std::to_string(o.id()) + " coordinate drift";
+          return false;
+        }
+      }
+      const double want_prob = rows[i].back() / weight_sum;
+      if (std::fabs(o.Prob(static_cast<int>(i)) - want_prob) > 1e-12) {
+        *why = "object " + std::to_string(o.id()) + " probability drift";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+int Fail(const char* stage, int cycle, const std::string& detail) {
+  std::fprintf(stderr, "FAIL: crash cycle %d, %s: %s\n", cycle, stage,
+               detail.c_str());
+  return 1;
+}
+
+int Run(int cycles, const std::string& wal_dir, unsigned long long seed) {
+  std::mt19937_64 rng(seed * 2654435761ull + 1);
+  std::vector<std::vector<MutateOp>> batches;  // index b <=> WAL seq b+1
+  int next_id = 1000;
+  long killed = 0, acked_total = 0;
+
+  auto make_batch = [&](const std::map<int, std::vector<std::vector<double>>>&
+                            live) {
+    std::vector<MutateOp> ops;
+    const int n = 1 + static_cast<int>(rng() % 3);
+    // Track in-batch effects so updates/deletes stay well-formed even when
+    // an earlier op of the same batch inserted or deleted their target.
+    std::map<int, std::vector<std::vector<double>>> pending = live;
+    for (int i = 0; i < n; ++i) {
+      MutateOp op;
+      const int choice = static_cast<int>(rng() % 5);
+      if (choice < 3 || pending.empty()) {
+        op.action = "insert";
+        op.object_id = next_id++;
+        op.instances = Rows(rng);
+        pending[op.object_id] = op.instances;
+      } else {
+        auto it = pending.begin();
+        std::advance(it, static_cast<long>(rng() % pending.size()));
+        op.object_id = it->first;
+        if (choice == 3) {
+          op.action = "update";
+          op.instances = Rows(rng);
+          it->second = op.instances;
+        } else {
+          op.action = "delete";
+          pending.erase(it);
+        }
+      }
+      ops.push_back(std::move(op));
+    }
+    return ops;
+  };
+
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    const bool final_cycle = cycle == cycles - 1;
+    int fds[2];
+    if (::pipe(fds) != 0) return Fail("pipe", cycle, "pipe() failed");
+    const pid_t pid = ::fork();
+    if (pid < 0) return Fail("fork", cycle, "fork() failed");
+    if (pid == 0) {
+      ::close(fds[0]);
+      ChildServe(wal_dir, fds[1]);
+    }
+    ::close(fds[1]);
+
+    // The child reports its bound port as "PORT n\n" (or dies: EOF).
+    std::string port_line;
+    char c;
+    while (port_line.size() < 64 && ::read(fds[0], &c, 1) == 1 && c != '\n') {
+      port_line.push_back(c);
+    }
+    ::close(fds[0]);
+    int port = 0;
+    if (std::sscanf(port_line.c_str(), "PORT %d", &port) != 1 || port <= 0) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+      return Fail("startup", cycle, "child reported no port");
+    }
+
+    OsdClient client;
+    std::string error;
+    if (!client.Connect("127.0.0.1", port, "default", &error)) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+      return Fail("connect", cycle, error);
+    }
+    SetRecvTimeout(client.fd(), 10'000);
+
+    // Acked phase: every reply read, seq must continue the dense history.
+    std::map<int, std::vector<std::vector<double>>> live =
+        BuildModel(batches, batches.size());
+    const int acked_writes = 3 + static_cast<int>(rng() % 8);
+    for (int i = 0; i < acked_writes; ++i) {
+      std::vector<MutateOp> ops = make_batch(live);
+      if (!client.Send(BuildMutateMessage(i + 1, ops), &error)) {
+        ::kill(pid, SIGKILL);
+        ::waitpid(pid, nullptr, 0);
+        return Fail("send", cycle, error);
+      }
+      JsonValue msg;
+      if (!ReadMutateTerminal(client, &msg) ||
+          MessageType(msg) != "mutate_ok") {
+        ::kill(pid, SIGKILL);
+        ::waitpid(pid, nullptr, 0);
+        return Fail("ack", cycle, "mutate was not acknowledged");
+      }
+      const JsonValue* seq = msg.Find("seq");
+      const uint64_t want_seq = static_cast<uint64_t>(batches.size()) + 1;
+      if (seq == nullptr ||
+          static_cast<uint64_t>(seq->AsNumber()) != want_seq) {
+        ::kill(pid, SIGKILL);
+        ::waitpid(pid, nullptr, 0);
+        return Fail("ack", cycle,
+                    "mutate_ok seq != expected " + std::to_string(want_seq));
+      }
+      batches.push_back(ops);
+      ++acked_total;
+      for (const MutateOp& op : ops) {
+        if (op.action == "delete") live.erase(op.object_id);
+        else live[op.object_id] = op.instances;
+      }
+    }
+    const uint64_t acked_seq = static_cast<uint64_t>(batches.size());
+
+    int status = 0;
+    if (final_cycle) {
+      // Clean drain: everything sent was acked, the log must seal.
+      client.Close();
+      ::kill(pid, SIGTERM);
+      ::waitpid(pid, &status, 0);
+      if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+        return Fail("drain", cycle, "child did not exit cleanly on SIGTERM");
+      }
+    } else {
+      // Kill phase: two batches fired without reading the replies, then
+      // SIGKILL lands mid-write. Their fate is unknown — but must be
+      // all-or-nothing, in order.
+      for (int i = 0; i < 2; ++i) {
+        std::vector<MutateOp> ops = make_batch(live);
+        if (!client.Send(BuildMutateMessage(100 + i, ops), &error)) break;
+        batches.push_back(ops);
+        for (const MutateOp& op : ops) {
+          if (op.action == "delete") live.erase(op.object_id);
+          else live[op.object_id] = op.instances;
+        }
+      }
+      ::kill(pid, SIGKILL);
+      client.Close();
+      ::waitpid(pid, &status, 0);
+      if (!WIFSIGNALED(status) || WTERMSIG(status) != SIGKILL) {
+        return Fail("kill", cycle, "child did not die from SIGKILL");
+      }
+      ++killed;
+    }
+
+    // Offline verification against the acked model.
+    DurableStore::RecoverResult rec;
+    if (!DurableStore::Recover(wal_dir, &rec, &error)) {
+      return Fail("recover", cycle, error);
+    }
+    for (const std::string& w : rec.warnings) {
+      std::fprintf(stderr, "crash cycle %d: recovery warning: %s\n", cycle,
+                   w.c_str());
+    }
+    if (rec.last_seq < acked_seq) {
+      return Fail("durability", cycle,
+                  "acked seq " + std::to_string(acked_seq) +
+                      " lost: recovered only to " +
+                      std::to_string(rec.last_seq));
+    }
+    if (rec.last_seq > batches.size()) {
+      return Fail("durability", cycle,
+                  "recovered seq " + std::to_string(rec.last_seq) +
+                      " beyond anything sent (" +
+                      std::to_string(batches.size()) + ")");
+    }
+    if (final_cycle && !rec.sealed) {
+      return Fail("seal", cycle, "drained child left an unsealed log");
+    }
+    std::string why;
+    if (!StateMatches(rec.objects,
+                      BuildModel(batches, static_cast<size_t>(rec.last_seq)),
+                      &why)) {
+      return Fail("state", cycle, why);
+    }
+    // Unapplied suffix batches were never durable; forget them so the next
+    // cycle's seqs line up with the store's dense history.
+    batches.resize(static_cast<size_t>(rec.last_seq));
+    std::printf("crash cycle %d%s: recovered seq %llu (acked %llu), "
+                "%zu object(s), %llu replayed batch(es)%s\n",
+                cycle, final_cycle ? " (sigterm)" : " (sigkill)",
+                static_cast<unsigned long long>(rec.last_seq),
+                static_cast<unsigned long long>(acked_seq),
+                rec.objects.size(),
+                static_cast<unsigned long long>(rec.replayed_batches),
+                rec.sealed ? ", sealed" : "");
+    std::fflush(stdout);
+  }
+
+  std::printf("PASS: crash soak — %d cycles (%ld SIGKILL), %ld acked "
+              "batch(es), zero acked-write loss\n",
+              cycles, killed, acked_total);
+  return 0;
+}
+
+}  // namespace crash
+
 // --- epoch ------------------------------------------------------------------
 
 struct EpochReport {
@@ -649,6 +1000,8 @@ int main(int argc, char** argv) {
   double total_seconds = 30.0;
   unsigned long long seed = 1;
   int threads = 3;
+  int crash_cycles = 0;
+  std::string wal_dir;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -666,12 +1019,25 @@ int main(int argc, char** argv) {
       seed = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--threads") {
       threads = std::atoi(next());
+    } else if (arg == "--crash-cycles") {
+      crash_cycles = std::atoi(next());
+    } else if (arg == "--wal-dir") {
+      wal_dir = next();
     } else {
       std::fprintf(stderr,
                    "usage: osd_chaos [--seconds N] [--quick] [--seed S] "
-                   "[--threads T]\n");
+                   "[--threads T] | --crash-cycles N --wal-dir DIR\n");
       return 2;
     }
+  }
+
+  if (crash_cycles > 0 || !wal_dir.empty()) {
+    if (crash_cycles <= 0 || wal_dir.empty()) {
+      std::fprintf(stderr,
+                   "--crash-cycles and --wal-dir must be given together\n");
+      return 2;
+    }
+    return crash::Run(crash_cycles, wal_dir, seed);
   }
 
   if (!osd::failpoint::Enabled()) {

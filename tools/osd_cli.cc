@@ -23,6 +23,20 @@
 //     as ONE all-or-nothing batch; the reply is mutate_ok with the new
 //     epoch, or a write_denied / bad_mutation error frame.
 //
+//   osd_cli wal-dump PATH
+//     Offline WAL inspection: PATH is a WAL segment file or a --wal-dir
+//     directory (all segments, ascending). Prints one JSON line per
+//     record ({"type":"record",...} with seq/kind/ops) and a
+//     {"type":"segment",...} summary per file carrying the scan verdict
+//     (ok / torn_tail / corrupt), seal state and valid byte count. Exit
+//     0 iff every segment scanned clean.
+//
+//   osd_cli checkpoint-info PATH
+//     PATH is a checkpoint file or a --wal-dir directory. Prints one
+//     {"type":"checkpoint",...} JSON line per file: covered WAL seq and
+//     object count, or valid:false with the load error (checksum
+//     mismatch, truncation). Exit 0 iff every checkpoint loads.
+//
 //   osd_cli serve-batch --input data.txt [--weighted] [--binary]
 //           (--workload queries.txt | --gen-queries N [--seed S])
 //           [--threads T] [--op ...] [--k ...] [--metric ...] [--filters ...]
@@ -89,6 +103,8 @@
 // deadline, and the engine-level stats (throughput, latency percentiles,
 // summed work counters) are printed as JSON.
 
+#include <sys/stat.h>
+
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -105,7 +121,10 @@
 #include "datagen/workload.h"
 #include "engine/query_engine.h"
 #include "io/dataset_io.h"
+#include "io/durable_store.h"
+#include "io/wal.h"
 #include "net/client.h"
+#include "net/json.h"
 #include "net/protocol.h"
 #include "nnfun/n1_functions.h"
 #include "nnfun/n3_functions.h"
@@ -636,6 +655,129 @@ int RunMutateClient(const MutateClientArgs& args) {
   }
 }
 
+// --- `wal-dump` / `checkpoint-info` durability-inspection subcommands ----
+
+bool IsDirectory(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+/// Scans one WAL segment and prints its records plus a summary line.
+/// Returns true iff the scan verdict is kOk.
+bool DumpWalSegment(const std::string& path) {
+  const io::WalScanResult scan = io::ScanWal(path);
+  for (const io::WalRecordInfo& rec : scan.records) {
+    std::string line = "{\"type\":\"record\",\"file\":";
+    net::AppendJsonString(&line, path);
+    line += ",\"offset\":" + std::to_string(rec.offset);
+    line += ",\"seq\":" + std::to_string(rec.seq);
+    if (rec.seal) {
+      line += ",\"kind\":\"seal\"}";
+    } else {
+      line += ",\"kind\":\"batch\",\"ops\":[";
+      for (size_t i = 0; i < rec.ops.size(); ++i) {
+        const Mutation& op = rec.ops[i];
+        if (i > 0) line += ",";
+        line += "{\"op\":\"";
+        line += op.kind == Mutation::Kind::kInsert   ? "insert"
+                : op.kind == Mutation::Kind::kDelete ? "delete"
+                                                     : "update";
+        line += "\",\"id\":" + std::to_string(op.id);
+        if (op.object != nullptr) {
+          line += ",\"instances\":" +
+                  std::to_string(op.object->num_instances());
+        }
+        line += "}";
+      }
+      line += "]}";
+    }
+    std::printf("%s\n", line.c_str());
+  }
+  const char* status = scan.status == io::WalScanStatus::kOk ? "ok"
+                       : scan.status == io::WalScanStatus::kTornTail
+                           ? "torn_tail"
+                           : "corrupt";
+  std::string line = "{\"type\":\"segment\",\"file\":";
+  net::AppendJsonString(&line, path);
+  line += std::string(",\"status\":\"") + status + "\"";
+  line += ",\"start_seq\":" + std::to_string(scan.start_seq);
+  line += std::string(",\"sealed\":") + (scan.sealed ? "true" : "false");
+  line += ",\"records\":" + std::to_string(scan.records.size());
+  line += ",\"valid_bytes\":" + std::to_string(scan.valid_bytes);
+  if (!scan.detail.empty()) {
+    line += ",\"detail\":";
+    net::AppendJsonString(&line, scan.detail);
+  }
+  line += "}";
+  std::printf("%s\n", line.c_str());
+  return scan.status == io::WalScanStatus::kOk;
+}
+
+int RunWalDump(int argc, char** argv) {
+  if (argc != 3) Die("usage: osd_cli wal-dump FILE_OR_WAL_DIR");
+  const std::string path = argv[2];
+  std::vector<std::string> segments;
+  if (IsDirectory(path)) {
+    std::vector<std::string> checkpoints;
+    std::string error;
+    if (!io::DurableStore::ListFiles(path, &segments, &checkpoints, &error)) {
+      Die(error);
+    }
+    if (segments.empty()) Die("no WAL segments in " + path);
+  } else {
+    segments.push_back(path);
+  }
+  bool all_ok = true;
+  for (const std::string& segment : segments) {
+    if (!DumpWalSegment(segment)) all_ok = false;
+  }
+  std::fflush(stdout);
+  return all_ok ? 0 : 1;
+}
+
+/// Loads one checkpoint and prints a summary line. Returns true iff valid.
+bool DumpCheckpoint(const std::string& path) {
+  std::vector<UncertainObject> objects;
+  uint64_t wal_seq = 0;
+  std::string error;
+  const bool valid = LoadCheckpoint(path, &objects, &wal_seq, &error);
+  std::string line = "{\"type\":\"checkpoint\",\"file\":";
+  net::AppendJsonString(&line, path);
+  if (valid) {
+    line += ",\"valid\":true";
+    line += ",\"wal_seq\":" + std::to_string(wal_seq);
+    line += ",\"objects\":" + std::to_string(objects.size()) + "}";
+  } else {
+    line += ",\"valid\":false,\"error\":";
+    net::AppendJsonString(&line, error);
+    line += "}";
+  }
+  std::printf("%s\n", line.c_str());
+  return valid;
+}
+
+int RunCheckpointInfo(int argc, char** argv) {
+  if (argc != 3) Die("usage: osd_cli checkpoint-info FILE_OR_WAL_DIR");
+  const std::string path = argv[2];
+  std::vector<std::string> checkpoints;
+  if (IsDirectory(path)) {
+    std::vector<std::string> segments;
+    std::string error;
+    if (!io::DurableStore::ListFiles(path, &segments, &checkpoints, &error)) {
+      Die(error);
+    }
+    if (checkpoints.empty()) Die("no checkpoints in " + path);
+  } else {
+    checkpoints.push_back(path);
+  }
+  bool all_ok = true;
+  for (const std::string& checkpoint : checkpoints) {
+    if (!DumpCheckpoint(checkpoint)) all_ok = false;
+  }
+  std::fflush(stdout);
+  return all_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -644,6 +786,12 @@ int main(int argc, char** argv) {
   }
   if (argc > 1 && std::strcmp(argv[1], "mutate") == 0) {
     return RunMutateClient(ParseMutateClient(argc, argv));
+  }
+  if (argc > 1 && std::strcmp(argv[1], "wal-dump") == 0) {
+    return RunWalDump(argc, argv);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "checkpoint-info") == 0) {
+    return RunCheckpointInfo(argc, argv);
   }
   const Args args = Parse(argc, argv);
 

@@ -38,6 +38,27 @@
 //                                    fold thread, leaving the store's
 //                                    synchronous backstop as the only
 //                                    bound on un-folded mutations)
+//   [--wal-dir DIR]                  durability tier: fsync'd write-ahead
+//                                    log + epoch checkpoints in DIR. On
+//                                    startup the store recovers from DIR
+//                                    (latest valid checkpoint + WAL
+//                                    replay; torn tails truncate with a
+//                                    warning, mid-log corruption refuses
+//                                    startup). An initialized DIR is
+//                                    authoritative: --input/--gen-data
+//                                    only seed an empty one. mutate_ok
+//                                    then implies durable; on WAL failure
+//                                    the server degrades to read-only
+//                                    (writes fail with
+//                                    storage_unavailable). With --wal-dir
+//                                    alone a fresh empty store is legal.
+//   [--checkpoint-interval S]        with --wal-dir: fold (and therefore
+//                                    checkpoint + WAL-rotate) at least
+//                                    every S seconds; tightens
+//                                    --fold-interval-s if both are given.
+//                                    Folds triggered by --fold-delta
+//                                    checkpoint too, so this mainly bounds
+//                                    replay time for slow-writing stores
 //   [--tenant NAME:mem=SIZE,inflight=N,retries=R,writes=0|1,mutops=N]
 //                                    per-tenant policy, repeatable; the
 //                                    name "default" sets the policy for
@@ -64,6 +85,7 @@
 #include "datagen/generators.h"
 #include "engine/query_engine.h"
 #include "io/dataset_io.h"
+#include "io/durable_store.h"
 #include "net/server.h"
 
 namespace {
@@ -95,6 +117,8 @@ struct Args {
   double watchdog_ms = 0.0;
   double fold_interval_s = 0.0;
   int fold_delta = 1024;  // default ON: any tenant may write by default
+  std::string wal_dir;
+  double checkpoint_interval_s = 0.0;
   net::TenantPolicy default_policy;
   std::map<std::string, net::TenantPolicy> tenants;
   std::string metrics_out;
@@ -251,6 +275,14 @@ Args Parse(int argc, char** argv) {
     } else if (flag == "--fold-delta") {
       args.fold_delta = std::atoi(need_value(i).c_str());
       if (args.fold_delta < 0) Die("--fold-delta must be >= 0 (0 disables)");
+    } else if (flag == "--wal-dir") {
+      args.wal_dir = need_value(i);
+      if (args.wal_dir.empty()) Die("--wal-dir needs a directory path");
+    } else if (flag == "--checkpoint-interval") {
+      args.checkpoint_interval_s = std::atof(need_value(i).c_str());
+      if (args.checkpoint_interval_s <= 0) {
+        Die("--checkpoint-interval must be > 0 seconds");
+      }
     } else if (flag == "--tenant") {
       ParseTenantFlag(need_value(i), &args);
     } else if (flag == "--metrics-out") {
@@ -261,8 +293,14 @@ Args Parse(int argc, char** argv) {
       Die("unknown flag " + flag);
     }
   }
-  if (args.input.empty() == (args.gen_data == 0)) {
-    Die("exactly one of --input / --gen-data is required");
+  if (!args.input.empty() && args.gen_data > 0) {
+    Die("at most one of --input / --gen-data may be given");
+  }
+  if (args.input.empty() && args.gen_data == 0 && args.wal_dir.empty()) {
+    Die("one of --input / --gen-data / --wal-dir is required");
+  }
+  if (args.checkpoint_interval_s > 0 && args.wal_dir.empty()) {
+    Die("--checkpoint-interval requires --wal-dir");
   }
   return args;
 }
@@ -293,8 +331,42 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Recover the durable state first: an initialized WAL directory is the
+  // authoritative data source, and --input/--gen-data only seed a fresh
+  // (empty) one.
+  io::DurableStore::RecoverResult rec;
+  if (!args.wal_dir.empty()) {
+    std::string rerr;
+    if (!io::DurableStore::Recover(args.wal_dir, &rec, &rerr)) {
+      Die("refusing to start: " + rerr +
+          " (acknowledged writes cannot be reconstructed; repair the WAL "
+          "directory or move it aside to start fresh)");
+    }
+    for (const std::string& warning : rec.warnings) {
+      std::fprintf(stderr, "osd_server: recovery warning: %s\n",
+                   warning.c_str());
+    }
+  }
+
   std::vector<UncertainObject> objects;
-  if (!args.input.empty()) {
+  if (rec.initialized) {
+    if (!args.input.empty() || args.gen_data > 0) {
+      std::fprintf(stderr,
+                   "osd_server: warning: %s is initialized and "
+                   "authoritative; ignoring --input/--gen-data\n",
+                   args.wal_dir.c_str());
+    }
+    objects = std::move(rec.objects);
+    std::fprintf(
+        stderr,
+        "osd_server: recovered %zu object(s) at seq %llu from %s "
+        "(checkpoint seq %llu, %llu batch(es) replayed, %s shutdown)\n",
+        objects.size(), static_cast<unsigned long long>(rec.last_seq),
+        args.wal_dir.c_str(),
+        static_cast<unsigned long long>(rec.checkpoint_seq),
+        static_cast<unsigned long long>(rec.replayed_batches),
+        rec.sealed ? "clean" : "unclean");
+  } else if (!args.input.empty()) {
     std::string error;
     bool ok;
     if (args.binary) {
@@ -305,7 +377,7 @@ int main(int argc, char** argv) {
       ok = LoadText(args.input, &objects, &error);
     }
     if (!ok) Die(error);
-  } else {
+  } else if (args.gen_data > 0) {
     SyntheticParams params;
     params.num_objects = args.gen_data;
     params.dim = args.gen_dim;
@@ -313,7 +385,11 @@ int main(int argc, char** argv) {
     params.seed = args.seed;
     objects = GenerateSyntheticObjects(params);
   }
-  if (objects.empty()) Die("dataset holds no objects");
+  // A durable store may legitimately be empty (fresh, or drained by
+  // deletes); without durability an empty dataset serves nothing useful.
+  if (objects.empty() && args.wal_dir.empty()) {
+    Die("dataset holds no objects");
+  }
 
   EngineOptions engine_options{.num_threads = args.threads,
                                .queue_capacity = args.queue,
@@ -327,8 +403,26 @@ int main(int argc, char** argv) {
     engine_options.watchdog_no_deadline_ms = args.watchdog_ms;
   }
   engine_options.fold_interval_s = args.fold_interval_s;
+  // Checkpoints ride folds, so the checkpoint interval is a fold interval
+  // that may only tighten an explicitly configured one.
+  if (args.checkpoint_interval_s > 0 &&
+      (engine_options.fold_interval_s <= 0 ||
+       engine_options.fold_interval_s > args.checkpoint_interval_s)) {
+    engine_options.fold_interval_s = args.checkpoint_interval_s;
+  }
   engine_options.fold_delta_threshold = args.fold_delta;
   QueryEngine engine(Dataset(std::move(objects)), engine_options);
+
+  io::DurableStore store;
+  const bool durable = !args.wal_dir.empty();
+  if (durable) {
+    std::string serr;
+    if (!store.Open(args.wal_dir, rec.last_seq, &serr)) Die(serr);
+    engine.versioned().AttachDurability(&store, rec.last_seq);
+    // Startup checkpoint: makes --input/--gen-data seeds durable on first
+    // boot and bounds the replay chain after every recovery.
+    store.Checkpoint(engine.versioned().Acquire(), rec.last_seq);
+  }
 
   net::ServerOptions options;
   options.host = args.host;
@@ -350,6 +444,7 @@ int main(int argc, char** argv) {
   options.write_stall_timeout_s = args.write_stall_timeout_s;
   options.default_policy = args.default_policy;
   options.tenants = args.tenants;
+  if (durable) options.durable = &store;
 
   net::OsdServer server(&engine, options);
   std::string error;
@@ -372,6 +467,23 @@ int main(int argc, char** argv) {
 
   server.Wait();
   g_server = nullptr;
+
+  if (durable) {
+    // The loop exit already drained the engine (fold thread stopped, no
+    // query in flight), so no Append can race the seal.
+    engine.versioned().DetachDurability();
+    const uint64_t final_seq = engine.versioned().last_seq();
+    std::string serr;
+    if (store.Seal(final_seq, &serr)) {
+      std::fprintf(stderr, "osd_server: WAL sealed at seq %llu\n",
+                   static_cast<unsigned long long>(final_seq));
+    } else {
+      std::fprintf(stderr,
+                   "osd_server: warning: could not seal WAL (next start "
+                   "will report an unclean shutdown): %s\n",
+                   serr.c_str());
+    }
+  }
 
   std::fprintf(stderr,
                "osd_server: drained; %ld submitted, %ld completed, "
