@@ -1,0 +1,307 @@
+// Aggregate throughput of the cross-query work-sharing layers: the
+// engine-wide profile cache plus multi-query batched traversal, measured
+// on a skewed (Zipf) multi-client workload — the regime the sharing was
+// built for, where a hot set of queries repeats across clients.
+//
+// Usage:
+//   shared_workload [--objects N] [--clients C] [--threads T]
+//                   [--distinct K] [--zipf-s S] [--seconds SECS]
+//                   [--cache-bytes B] [--max-batch M] [--batch-window-us U]
+//                   [--out BENCH_shared.json]
+//
+// Two closed-loop rounds over the identical workload and dataset:
+//   unshared — profile cache off, max_batch 1 (the pre-sharing engine)
+//   shared   — cache + batching on at the flag-configured sizes
+// C client threads each loop {draw a query by Zipf rank over K distinct
+// queries, Submit, Wait}, so offered load self-regulates and latency
+// percentiles are honest. Both rounds get one untimed warmup pass over
+// all K queries.
+//
+// Reported per round: aggregate q/s, p50/p95/p99 ms, and the engine's own
+// executed-based QPS (sheds excluded); for the shared round also cache
+// hit rate, evictions, and resident bytes. The JSON records the headline
+// `speedup` (shared q/s / unshared q/s) and `slo_ok` — whether the shared
+// round held the p99 SLO, fixed at the unshared round's p99 (work sharing
+// must buy throughput without giving back tail latency). Exit is non-zero
+// if any query failed in either round.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/query_engine.h"
+
+namespace {
+
+using namespace osd;
+using namespace osd::bench;
+
+struct Config {
+  int objects = 4000;
+  int clients = 8;
+  int threads = 2;
+  int distinct = 32;    // K: size of the query universe
+  double zipf_s = 1.1;  // Zipf exponent (1.1 ~ web-cache-like skew)
+  double seconds = 2.0;
+  long cache_bytes = 256L << 20;
+  int max_batch = 4;
+  double batch_window_us = 200.0;
+  std::string out = "BENCH_shared.json";
+};
+
+Config ParseArgs(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--objects") {
+      cfg.objects = std::atoi(value().c_str());
+    } else if (flag == "--clients") {
+      cfg.clients = std::atoi(value().c_str());
+    } else if (flag == "--threads") {
+      cfg.threads = std::atoi(value().c_str());
+    } else if (flag == "--distinct") {
+      cfg.distinct = std::atoi(value().c_str());
+    } else if (flag == "--zipf-s") {
+      cfg.zipf_s = std::atof(value().c_str());
+    } else if (flag == "--seconds") {
+      cfg.seconds = std::atof(value().c_str());
+    } else if (flag == "--cache-bytes") {
+      cfg.cache_bytes = std::atol(value().c_str());
+    } else if (flag == "--max-batch") {
+      cfg.max_batch = std::atoi(value().c_str());
+    } else if (flag == "--batch-window-us") {
+      cfg.batch_window_us = std::atof(value().c_str());
+    } else if (flag == "--out") {
+      cfg.out = value();
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      std::exit(2);
+    }
+  }
+  return cfg;
+}
+
+double Percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  return v[static_cast<size_t>(p * (v.size() - 1))];
+}
+
+/// Cumulative Zipf weights over ranks 1..k: weight(r) = r^-s.
+std::vector<double> ZipfCdf(int k, double s) {
+  std::vector<double> cdf(k);
+  double sum = 0.0;
+  for (int r = 0; r < k; ++r) {
+    sum += std::pow(static_cast<double>(r + 1), -s);
+    cdf[r] = sum;
+  }
+  for (double& c : cdf) c /= sum;
+  return cdf;
+}
+
+struct ClientStats {
+  long completed = 0;
+  long errors = 0;
+  std::vector<double> latency_ms;
+};
+
+void ClientLoop(QueryEngine* engine,
+                const std::vector<QueryWorkloadEntry>* workload,
+                const std::vector<double>* zipf_cdf, uint64_t seed,
+                const std::atomic<bool>* stop, ClientStats* stats) {
+  uint64_t rng = seed * 0x9e3779b97f4a7c15ULL + 1;
+  auto next_u01 = [&]() {
+    rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>(rng >> 11) * 0x1.0p-53;
+  };
+  while (!stop->load(std::memory_order_relaxed)) {
+    const double u = next_u01();
+    const size_t idx = static_cast<size_t>(
+        std::lower_bound(zipf_cdf->begin(), zipf_cdf->end(), u) -
+        zipf_cdf->begin());
+    const QueryWorkloadEntry& entry =
+        (*workload)[std::min(idx, workload->size() - 1)];
+    QuerySpec spec;
+    spec.query = entry.query;
+    spec.options.op = Operator::kSSd;
+    spec.options.exclude_id = entry.seeded_from;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto ticket = engine->Submit(std::move(spec));
+    const QueryStatus status = ticket->Wait();
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    if (status == QueryStatus::kOk || status == QueryStatus::kOkDegraded) {
+      ++stats->completed;
+      stats->latency_ms.push_back(ms);
+    } else {
+      ++stats->errors;
+    }
+  }
+}
+
+struct RoundResult {
+  double qps = 0.0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  long completed = 0;
+  long errors = 0;
+  EngineStats engine;
+};
+
+RoundResult RunRound(const Dataset& dataset,
+                     const std::vector<QueryWorkloadEntry>& workload,
+                     const std::vector<double>& zipf_cdf, const Config& cfg,
+                     bool shared) {
+  EngineOptions options;
+  options.num_threads = cfg.threads;
+  if (shared) {
+    options.profile_cache_bytes = cfg.cache_bytes;
+    options.max_batch = cfg.max_batch;
+    options.batch_window_us = cfg.batch_window_us;
+  }
+  QueryEngine engine(dataset, options);
+
+  RoundResult result;
+  // Warmup: one untimed pass over the whole query universe (fills the
+  // cache in the shared round; equalizes page/alloc warmth in both).
+  for (const QueryWorkloadEntry& entry : workload) {
+    QuerySpec spec;
+    spec.query = entry.query;
+    spec.options.op = Operator::kSSd;
+    spec.options.exclude_id = entry.seeded_from;
+    if (engine.Submit(std::move(spec))->Wait() != QueryStatus::kOk) {
+      ++result.errors;
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<ClientStats> stats(cfg.clients);
+  std::vector<std::thread> clients;
+  clients.reserve(cfg.clients);
+  for (int c = 0; c < cfg.clients; ++c) {
+    clients.emplace_back(ClientLoop, &engine, &workload, &zipf_cdf,
+                         static_cast<uint64_t>(c + 1), &stop, &stats[c]);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::duration<double>(cfg.seconds));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : clients) t.join();
+  const double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  // Snapshot before Drain: draining clears the cache, and the resident
+  // byte count at end-of-round is part of the report.
+  result.engine = engine.Snapshot();
+  engine.Drain();
+
+  std::vector<double> latency;
+  for (const ClientStats& cs : stats) {
+    result.completed += cs.completed;
+    result.errors += cs.errors;
+    latency.insert(latency.end(), cs.latency_ms.begin(),
+                   cs.latency_ms.end());
+  }
+  result.qps = result.completed / secs;
+  result.p50 = Percentile(latency, 0.50);
+  result.p95 = Percentile(latency, 0.95);
+  result.p99 = Percentile(latency, 0.99);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config cfg = ParseArgs(argc, argv);
+
+  SyntheticParams sp = DefaultSynthetic(CenterDistribution::kAntiCorrelated);
+  sp.num_objects = cfg.objects;
+  const Dataset dataset = GenerateSynthetic(sp);
+
+  WorkloadParams wp = DefaultWorkload();
+  wp.num_queries = cfg.distinct;
+  const auto workload = GenerateWorkload(dataset, wp);
+  const auto zipf_cdf = ZipfCdf(cfg.distinct, cfg.zipf_s);
+
+  std::printf(
+      "shared_workload: %d objects, %d clients over %d distinct queries "
+      "(zipf s=%.2f), %.1fs rounds\n",
+      cfg.objects, cfg.clients, cfg.distinct, cfg.zipf_s, cfg.seconds);
+
+  const RoundResult unshared =
+      RunRound(dataset, workload, zipf_cdf, cfg, /*shared=*/false);
+  std::printf("  unshared: %8.1f q/s  p50=%.2f p95=%.2f p99=%.2f ms\n",
+              unshared.qps, unshared.p50, unshared.p95, unshared.p99);
+
+  const RoundResult shared =
+      RunRound(dataset, workload, zipf_cdf, cfg, /*shared=*/true);
+  const EngineStats& es = shared.engine;
+  const long lookups = es.profile_cache_hits + es.profile_cache_misses;
+  const double hit_rate =
+      lookups > 0 ? static_cast<double>(es.profile_cache_hits) / lookups
+                  : 0.0;
+  std::printf(
+      "  shared:   %8.1f q/s  p50=%.2f p95=%.2f p99=%.2f ms  "
+      "hit_rate=%.3f evictions=%ld\n",
+      shared.qps, shared.p50, shared.p95, shared.p99, hit_rate,
+      es.profile_cache_evictions);
+
+  // The SLO is the unshared round's own p99: sharing must not trade tail
+  // latency for throughput.
+  const double slo_p99_ms = unshared.p99;
+  const double speedup =
+      unshared.qps > 0.0 ? shared.qps / unshared.qps : 0.0;
+  const bool slo_ok = shared.p99 <= slo_p99_ms;
+  std::printf("  speedup=%.2fx  slo(p99<=%.2fms)=%s\n", speedup, slo_p99_ms,
+              slo_ok ? "met" : "MISSED");
+
+  std::FILE* f = std::fopen(cfg.out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", cfg.out.c_str());
+    return 1;
+  }
+  auto round_json = [&](const char* name, const RoundResult& r) {
+    std::fprintf(f,
+                 "\"%s\":{\"qps\":%.2f,\"p50_ms\":%.3f,\"p95_ms\":%.3f,"
+                 "\"p99_ms\":%.3f,\"completed\":%ld,\"errors\":%ld,"
+                 "\"engine_executed\":%ld,\"engine_qps\":%.2f}",
+                 name, r.qps, r.p50, r.p95, r.p99, r.completed, r.errors,
+                 r.engine.executed, r.engine.qps);
+  };
+  std::fprintf(f,
+               "{\"bench\":\"shared_workload\",\"objects\":%d,"
+               "\"clients\":%d,\"threads\":%d,\"distinct\":%d,"
+               "\"zipf_s\":%.2f,\"seconds\":%.2f,\"cache_bytes\":%ld,"
+               "\"max_batch\":%d,\"batch_window_us\":%.1f,",
+               cfg.objects, cfg.clients, cfg.threads, cfg.distinct,
+               cfg.zipf_s, cfg.seconds, cfg.cache_bytes, cfg.max_batch,
+               cfg.batch_window_us);
+  round_json("unshared", unshared);
+  std::fprintf(f, ",");
+  round_json("shared", shared);
+  std::fprintf(f,
+               ",\"cache\":{\"hits\":%ld,\"misses\":%ld,\"hit_rate\":%.4f,"
+               "\"evictions\":%ld,\"stale_evictions\":%ld,"
+               "\"stale_serves_averted\":%ld,\"peak_resident_hint_bytes\":%ld}"
+               ",\"speedup\":%.3f,\"slo_p99_ms\":%.3f,\"slo_ok\":%s}\n",
+               es.profile_cache_hits, es.profile_cache_misses, hit_rate,
+               es.profile_cache_evictions, es.profile_cache_stale_evictions,
+               es.profile_cache_stale_serves_averted, es.profile_cache_bytes,
+               speedup, slo_p99_ms, slo_ok ? "true" : "false");
+  std::fclose(f);
+  std::printf("  wrote %s\n", cfg.out.c_str());
+  return unshared.errors + shared.errors == 0 ? 0 : 1;
+}

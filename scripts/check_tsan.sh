@@ -18,7 +18,8 @@ cmake -B "$BUILD_DIR" -S . \
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target engine_test engine_concurrency_test engine_resilience_test \
   obs_test mem_budget_test kernels_test net_hardening_test \
-  net_server_test versioned_dataset_test durability_test
+  net_server_test versioned_dataset_test durability_test \
+  shared_cache_test
 
 # halt_on_error makes a detected race fail the test run rather than just
 # printing a report.

@@ -17,6 +17,11 @@
 # read QPS/latency under concurrent write rates plus Fold() latency vs.
 # delta size, and writes BENCH_dynamic.json.
 #
+# The cross-query sharing layers get a fourth pass: shared_workload runs a
+# Zipf-skewed multi-client closed loop with the profile cache + batching
+# off, then on, and writes BENCH_shared.json (aggregate QPS, latency
+# percentiles, speedup at the unshared round's p99 SLO, cache hit rate).
+#
 # Usage: scripts/run_benches.sh [build-dir]   (default: build-bench)
 # Env:   OSD_BENCH_MIN_TIME    google-benchmark min seconds/case (default 0.1)
 #        OSD_BENCH_FIG12_REPS  fig12 repetitions per mode (default 3); the
@@ -29,6 +34,9 @@
 #        OSD_BENCH_DYNAMIC_SECONDS seconds per dynamic_throughput round
 #                              (default 1.5)
 #        OSD_BENCH_DYNAMIC_RATES   write rates in ops/s (default 0,500,5000)
+#        OSD_BENCH_SHARED_SECONDS  seconds per shared_workload round
+#                              (default 2.0)
+#        OSD_BENCH_SHARED_CLIENTS  shared_workload client threads (default 8)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -42,7 +50,7 @@ trap 'rm -rf "$TMP"' EXIT
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target micro_dominance micro_substrates fig12_time_datasets \
-           server_throughput dynamic_throughput
+           server_throughput dynamic_throughput shared_workload
 
 echo "== server_throughput (service tier -> BENCH_server.json) =="
 "$BUILD_DIR/bench/server_throughput" \
@@ -55,6 +63,12 @@ echo "== dynamic_throughput (epoch store -> BENCH_dynamic.json) =="
   --seconds "${OSD_BENCH_DYNAMIC_SECONDS:-1.5}" \
   --write-rates "${OSD_BENCH_DYNAMIC_RATES:-0,500,5000}" \
   --out BENCH_dynamic.json
+
+echo "== shared_workload (cross-query sharing -> BENCH_shared.json) =="
+"$BUILD_DIR/bench/shared_workload" \
+  --seconds "${OSD_BENCH_SHARED_SECONDS:-2.0}" \
+  --clients "${OSD_BENCH_SHARED_CLIENTS:-8}" \
+  --out BENCH_shared.json
 
 echo "== micro_dominance (kernel + scalar captures) =="
 "$BUILD_DIR/bench/micro_dominance" \

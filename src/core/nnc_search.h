@@ -89,6 +89,12 @@ struct NncOptions {
   /// deep call sites (filter stages, flow runs, local-tree builds) record
   /// spans into it; null — the default — disables recording for this query.
   obs::Trace* trace = nullptr;
+  /// Engine-managed cross-query artifact cache (core/profile_cache.h); not
+  /// owned, may be null (the default — no sharing). When set, Run installs
+  /// a ProfileCacheSession keyed by the query's signature and the pinned
+  /// snapshot epoch, so ObjectProfiles adopt cached views on hits and
+  /// publish fresh ones on misses. Results are bit-identical either way.
+  ProfileCache* profile_cache = nullptr;
   /// Anytime mode: when the traversal stops early (deadline, cancel, or a
   /// memory-budget breach), append every object still reachable from the
   /// unexpanded frontier to the candidates and set NncResult::degraded.

@@ -20,6 +20,10 @@ ObjectProfile::ObjectProfile(const UncertainObject& object,
 }
 
 ObjectProfile::~ObjectProfile() {
+  // Publish before releasing: the freshly built vectors move into the
+  // shared entry (the cache charges them to the engine budget itself);
+  // whatever publication leaves behind is recycled as before.
+  PublishToCache();
   memory::Release(charged_bytes_);
   // Donate reusable buffers to the query's scratch arena (Recycle re-charges
   // their capacity, so the bytes stay budget-visible while parked).
@@ -29,6 +33,80 @@ ObjectProfile::~ObjectProfile() {
   RecycleBuffer(std::move(min_q_));
   RecycleBuffer(std::move(mean_q_));
   RecycleBuffer(std::move(max_q_));
+}
+
+void ObjectProfile::MaybeLookupCache() {
+  if (cache_checked_) return;
+  cache_checked_ = true;
+  ProfileCacheSession* session = ProfileCacheSession::Current();
+  if (session == nullptr || session->cache() == nullptr) return;
+  cache_session_ = session;
+  cached_ = session->cache()->Lookup(object_->id(), session->signature(),
+                                     session->epoch());
+  if (cached_ != nullptr && cached_->epoch != session->epoch()) {
+    // Defense in depth: Lookup filters by epoch, so this can never fire —
+    // but a stale bound would silently corrupt pruning, so the guard (and
+    // the chaos assertion that its counter stays zero) is cheap insurance.
+    session->cache()->NoteStaleServeAverted();
+    cached_ = nullptr;
+  }
+}
+
+void ObjectProfile::PublishToCache() noexcept {
+  if (cache_session_ == nullptr) return;
+  if (!built_matrix_ && !built_stats_ && !built_sorted_all_ &&
+      !built_sorted_per_q_ && !built_distribution_) {
+    return;
+  }
+  try {
+    auto artifacts = std::make_shared<ProfileArtifacts>();
+    artifacts->epoch = cache_session_->epoch();
+    if (cached_ != nullptr) {
+      // Carry adopted views forward so the published entry supersedes the
+      // one we found (Publish replaces same-epoch entries only by bigger —
+      // i.e. superset — artifact sets).
+      artifacts->matrix = cached_->matrix;
+      artifacts->stats = cached_->stats;
+      artifacts->sorted_all = cached_->sorted_all;
+      artifacts->sorted_per_q = cached_->sorted_per_q;
+      artifacts->distribution = cached_->distribution;
+    }
+    if (built_matrix_) {
+      artifacts->matrix =
+          std::make_shared<const std::vector<double>>(std::move(matrix_));
+    }
+    if (built_stats_) {
+      auto stats = std::make_shared<ProfileStatsView>();
+      stats->min_all = min_all_;
+      stats->mean_all = mean_all_;
+      stats->max_all = max_all_;
+      stats->min_q = std::move(min_q_);
+      stats->mean_q = std::move(mean_q_);
+      stats->max_q = std::move(max_q_);
+      artifacts->stats = std::move(stats);
+    }
+    if (built_sorted_all_) {
+      auto sorted = std::make_shared<ProfileSortedAllView>();
+      sorted->values = std::move(sorted_values_);
+      sorted->probs = std::move(sorted_probs_);
+      artifacts->sorted_all = std::move(sorted);
+    }
+    if (built_sorted_per_q_) {
+      auto sorted = std::make_shared<ProfileSortedPerQView>();
+      sorted->values = std::move(sorted_q_values_);
+      sorted->probs = std::move(sorted_q_probs_);
+      artifacts->sorted_per_q = std::move(sorted);
+    }
+    if (built_distribution_) {
+      artifacts->distribution = std::make_shared<const DiscreteDistribution>(
+          std::move(distribution_));
+    }
+    artifacts->bytes = ProfileArtifactsBytes(*artifacts);
+    cache_session_->cache()->Publish(
+        object_->id(), cache_session_->signature(), std::move(artifacts));
+  } catch (...) {
+    // Publication is best-effort; the query's own answer is already done.
+  }
 }
 
 std::vector<double> ObjectProfile::AcquireBuffer(size_t n) {
@@ -50,11 +128,27 @@ void ObjectProfile::ChargeView(long bytes, const char* what_label) {
 }
 
 void ObjectProfile::EnsureMatrix() {
-  if (!matrix_.empty()) return;
+  if (have_matrix_) return;
   const int nq = ctx_->num_instances();
   const int m = num_instances();
   const size_t total = static_cast<size_t>(nq) * m;
   OSD_FAILPOINT("mem.profile.matrix");
+  MaybeLookupCache();
+  if (cached_ != nullptr && cached_->matrix != nullptr) {
+    // Cache hit: adopt the pinned immutable matrix with zero rebuild. The
+    // view bytes are charged exactly as a fresh build charges them and
+    // dist_evals advances by the same nq * m, so budget pressure, retry
+    // points, and the Fig. 16 counters stay bit-identical to the unshared
+    // path (the counters meter the logical plan, which sharing preserves).
+    ChargeView(static_cast<long>(total) * static_cast<long>(sizeof(double)),
+               "profile.matrix");
+    matrix_data_ = cached_->matrix->data();
+    have_matrix_ = true;
+    if (stats_ != nullptr) {
+      stats_->dist_evals += static_cast<long>(nq) * m;
+    }
+    return;
+  }
   std::vector<double> buf = AcquireBuffer(total);
   try {
     ChargeView(static_cast<long>(total) * static_cast<long>(sizeof(double)),
@@ -84,6 +178,9 @@ void ObjectProfile::EnsureMatrix() {
     }
   }
   matrix_ = std::move(buf);
+  matrix_data_ = matrix_.data();
+  have_matrix_ = true;
+  built_matrix_ = true;
   if (stats_ != nullptr) {
     stats_->dist_evals += static_cast<long>(nq) * m;
   }
@@ -93,6 +190,24 @@ void ObjectProfile::EnsureStats() {
   if (have_stats_) return;
   const int nq = ctx_->num_instances();
   const int m = num_instances();
+  MaybeLookupCache();
+  if (cached_ != nullptr && cached_->stats != nullptr) {
+    ChargeView(3L * nq * static_cast<long>(sizeof(double)), "profile.stats");
+    const ProfileStatsView& sv = *cached_->stats;
+    min_all_ = sv.min_all;
+    mean_all_ = sv.mean_all;
+    max_all_ = sv.max_all;
+    min_q_view_ = sv.min_q;
+    mean_q_view_ = sv.mean_q;
+    max_q_view_ = sv.max_q;
+    // Fresh builds only pay dist_evals when no matrix exists to fold over;
+    // mirror that branch so the counter stays identical either way.
+    if (!have_matrix_ && stats_ != nullptr) {
+      stats_->dist_evals += static_cast<long>(nq) * m;
+    }
+    have_stats_ = true;
+    return;
+  }
   std::vector<double> mn = AcquireBuffer(nq);
   std::vector<double> mean = AcquireBuffer(nq);
   std::vector<double> mx = AcquireBuffer(nq);
@@ -110,12 +225,12 @@ void ObjectProfile::EnsureStats() {
   min_all_ = std::numeric_limits<double>::infinity();
   max_all_ = 0.0;
   mean_all_ = 0.0;
-  if (!matrix_.empty()) {
+  if (have_matrix_) {
     // The matrix already exists — fold over it rather than recomputing
     // distances (and without re-counting dist_evals).
     for (int qi = 0; qi < nq; ++qi) {
       for (int ui = 0; ui < m; ++ui) {
-        const double d = matrix_[static_cast<size_t>(qi) * m + ui];
+        const double d = matrix_data_[static_cast<size_t>(qi) * m + ui];
         mn[qi] = std::min(mn[qi], d);
         mx[qi] = std::max(mx[qi], d);
         mean[qi] += d * object_->Prob(ui);
@@ -158,16 +273,34 @@ void ObjectProfile::EnsureStats() {
   min_q_ = std::move(mn);
   mean_q_ = std::move(mean);
   max_q_ = std::move(mx);
+  min_q_view_ = min_q_;
+  mean_q_view_ = mean_q_;
+  max_q_view_ = max_q_;
   have_stats_ = true;
+  built_stats_ = true;
 }
 
 void ObjectProfile::EnsureSortedAll() {
-  if (!sorted_values_.empty()) return;
+  if (have_sorted_all_) return;
   EnsureMatrix();
   const int nq = ctx_->num_instances();
   const int m = num_instances();
   const size_t total = static_cast<size_t>(nq) * m;
   OSD_FAILPOINT("mem.profile.sorted");
+  if (cached_ != nullptr && cached_->sorted_all != nullptr) {
+    ChargeView(2L * static_cast<long>(total) * sizeof(double),
+               "profile.sorted_all");
+    {
+      // Replicate the build path's transient sort-scratch charge so a
+      // tight budget breaches at the same point with the cache on or off.
+      memory::ScopedCharge order_mem("profile.sort_scratch");
+      order_mem.Add(static_cast<long>(total) * sizeof(int));
+    }
+    sorted_values_view_ = cached_->sorted_all->values;
+    sorted_probs_view_ = cached_->sorted_all->probs;
+    have_sorted_all_ = true;
+    return;
+  }
   std::vector<double> values = AcquireBuffer(total);
   std::vector<double> probs = AcquireBuffer(total);
   try {
@@ -189,7 +322,8 @@ void ObjectProfile::EnsureSortedAll() {
   // every downstream merge-scan — would differ across standard libraries,
   // breaking the bit-identical determinism contract.
   std::sort(order.begin(), order.end(), [&](int a, int b) {
-    return matrix_[a] != matrix_[b] ? matrix_[a] < matrix_[b] : a < b;
+    return matrix_data_[a] != matrix_data_[b] ? matrix_data_[a] < matrix_data_[b]
+                                              : a < b;
   });
   values.resize(total);
   probs.resize(total);
@@ -197,19 +331,31 @@ void ObjectProfile::EnsureSortedAll() {
     const int idx = order[k];
     const int qi = idx / m;
     const int ui = idx % m;
-    values[k] = matrix_[idx];
+    values[k] = matrix_data_[idx];
     probs[k] = ctx_->probs()[qi] * object_->Prob(ui);
   }
   sorted_values_ = std::move(values);
   sorted_probs_ = std::move(probs);
+  sorted_values_view_ = sorted_values_;
+  sorted_probs_view_ = sorted_probs_;
+  have_sorted_all_ = true;
+  built_sorted_all_ = true;
 }
 
 void ObjectProfile::EnsureSortedPerQ() {
-  if (!sorted_q_values_.empty()) return;
+  if (have_sorted_per_q_) return;
   EnsureMatrix();
   const int nq = ctx_->num_instances();
   const int m = num_instances();
   OSD_FAILPOINT("mem.profile.sorted");
+  if (cached_ != nullptr && cached_->sorted_per_q != nullptr) {
+    ChargeView(2L * nq * m * static_cast<long>(sizeof(double)),
+               "profile.sorted_per_q");
+    sorted_q_values_view_ = &cached_->sorted_per_q->values;
+    sorted_q_probs_view_ = &cached_->sorted_per_q->probs;
+    have_sorted_per_q_ = true;
+    return;
+  }
   ChargeView(2L * nq * m * static_cast<long>(sizeof(double)),
              "profile.sorted_per_q");
   sorted_q_values_.resize(nq);
@@ -217,7 +363,7 @@ void ObjectProfile::EnsureSortedPerQ() {
   std::vector<int> order(m);
   for (int qi = 0; qi < nq; ++qi) {
     std::iota(order.begin(), order.end(), 0);
-    const double* row = matrix_.data() + static_cast<size_t>(qi) * m;
+    const double* row = matrix_data_ + static_cast<size_t>(qi) * m;
     // Same determinism contract as EnsureSortedAll: break distance ties on
     // the instance index so tied probabilities pair identically everywhere.
     std::sort(order.begin(), order.end(), [&](int a, int b) {
@@ -230,6 +376,10 @@ void ObjectProfile::EnsureSortedPerQ() {
       sorted_q_probs_[qi][k] = object_->Prob(order[k]);
     }
   }
+  sorted_q_values_view_ = &sorted_q_values_;
+  sorted_q_probs_view_ = &sorted_q_probs_;
+  have_sorted_per_q_ = true;
+  built_sorted_per_q_ = true;
 }
 
 const DiscreteDistribution& ObjectProfile::Distribution() {
@@ -237,14 +387,20 @@ const DiscreteDistribution& ObjectProfile::Distribution() {
     EnsureSortedAll();
     // The merged distribution holds at most one (value, prob) pair per
     // sorted entry; charge that upper bound.
-    ChargeView(2L * static_cast<long>(sorted_values_.size()) *
+    ChargeView(2L * static_cast<long>(sorted_values_view_.size()) *
                    static_cast<long>(sizeof(double)),
                "profile.distribution");
-    distribution_ =
-        DiscreteDistribution::FromArrays(sorted_values_, sorted_probs_);
+    if (cached_ != nullptr && cached_->distribution != nullptr) {
+      distribution_view_ = cached_->distribution.get();
+    } else {
+      distribution_ = DiscreteDistribution::FromArrays(sorted_values_view_,
+                                                       sorted_probs_view_);
+      distribution_view_ = &distribution_;
+      built_distribution_ = true;
+    }
     have_distribution_ = true;
   }
-  return distribution_;
+  return *distribution_view_;
 }
 
 }  // namespace osd

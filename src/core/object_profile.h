@@ -17,14 +17,26 @@
 // memory budget for — the full matrix. Buffers are drawn from / returned
 // to the per-query ProfileScratch arena when one is installed
 // (core/profile_scratch.h).
+//
+// Cross-query sharing: when a ProfileCacheSession is installed
+// (core/profile_cache.h), the first Ensure* call looks the (object, query
+// signature, epoch) key up in the engine-wide cache. A hit adopts pinned
+// immutable views with zero rebuild — but charges the same bytes under the
+// same labels and advances the same FilterStats counters as a fresh build,
+// so results and instrumentation stay bit-identical to the uncached path.
+// A miss builds as before and the destructor publishes the freshly built
+// views (the mutable profile itself is never shared — only the finished,
+// immutable artifacts are).
 
 #ifndef OSD_CORE_OBJECT_PROFILE_H_
 #define OSD_CORE_OBJECT_PROFILE_H_
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "core/filter_config.h"
+#include "core/profile_cache.h"
 #include "core/query_context.h"
 #include "object/uncertain_object.h"
 #include "prob/discrete_distribution.h"
@@ -36,8 +48,10 @@ namespace osd {
 /// Thread-safety: NOT thread-safe — the lazy views mutate on first access
 /// with no synchronization. A profile belongs to exactly one query
 /// execution: NncSearch::Run constructs fresh profiles per call and never
-/// shares them, which is what makes concurrent Run calls safe. Never cache
-/// profiles across queries or hand one to another thread mid-query.
+/// shares them, which is what makes concurrent Run calls safe. Never share
+/// a profile across queries or hand one to another thread mid-query (the
+/// ProfileCache shares only the finished immutable artifacts, via
+/// shared_ptr pins — never the profile object).
 class ObjectProfile {
  public:
   ObjectProfile(const UncertainObject& object, const QueryContext& ctx,
@@ -56,13 +70,13 @@ class ObjectProfile {
   /// delta(q_i, u_j); materializes the full matrix on first call.
   double Dist(int qi, int ui) {
     EnsureMatrix();
-    return matrix_[static_cast<size_t>(qi) * num_instances() + ui];
+    return matrix_data_[static_cast<size_t>(qi) * num_instances() + ui];
   }
 
   /// Row of distances from query instance qi to all object instances.
   std::span<const double> Row(int qi) {
     EnsureMatrix();
-    return {matrix_.data() + static_cast<size_t>(qi) * num_instances(),
+    return {matrix_data_ + static_cast<size_t>(qi) * num_instances(),
             static_cast<size_t>(num_instances())};
   }
 
@@ -71,7 +85,7 @@ class ObjectProfile {
   /// loops hoist the lazy-init branch out of per-element Dist() calls.
   const double* MatrixData() {
     EnsureMatrix();
-    return matrix_.data();
+    return matrix_data_;
   }
 
   // Overall statistics of U_Q (Theorem 11 pruning).
@@ -91,50 +105,50 @@ class ObjectProfile {
   // Per-query-instance statistics of U_q.
   double MinQ(int qi) {
     EnsureStats();
-    return min_q_[qi];
+    return min_q_view_[qi];
   }
   double MeanQ(int qi) {
     EnsureStats();
-    return mean_q_[qi];
+    return mean_q_view_[qi];
   }
   double MaxQ(int qi) {
     EnsureStats();
-    return max_q_[qi];
+    return max_q_view_[qi];
   }
 
   // Whole per-q statistic vectors, indexed by qi (one EnsureStats branch
   // for a loop over many query instances).
   std::span<const double> MinQs() {
     EnsureStats();
-    return min_q_;
+    return min_q_view_;
   }
   std::span<const double> MeanQs() {
     EnsureStats();
-    return mean_q_;
+    return mean_q_view_;
   }
   std::span<const double> MaxQs() {
     EnsureStats();
-    return max_q_;
+    return max_q_view_;
   }
 
   /// Sorted all-pairs distances (values ascending, parallel probabilities).
   std::span<const double> SortedValues() {
     EnsureSortedAll();
-    return sorted_values_;
+    return sorted_values_view_;
   }
   std::span<const double> SortedProbs() {
     EnsureSortedAll();
-    return sorted_probs_;
+    return sorted_probs_view_;
   }
 
   /// Sorted distances from query instance qi (parallel probabilities).
   std::span<const double> SortedQValues(int qi) {
     EnsureSortedPerQ();
-    return sorted_q_values_[qi];
+    return (*sorted_q_values_view_)[qi];
   }
   std::span<const double> SortedQProbs(int qi) {
     EnsureSortedPerQ();
-    return sorted_q_probs_[qi];
+    return (*sorted_q_probs_view_)[qi];
   }
 
   /// The all-pairs distance distribution U_Q as a merged distribution
@@ -146,6 +160,16 @@ class ObjectProfile {
   void EnsureStats();
   void EnsureSortedAll();
   void EnsureSortedPerQ();
+
+  /// One-shot lookup in the installed ProfileCacheSession's cache (if
+  /// any), pinning a hit entry for the profile's lifetime. Called by the
+  /// first Ensure* that runs, so the cache's hit/miss counts reflect
+  /// profiles that actually materialize views.
+  void MaybeLookupCache();
+  /// Publishes freshly built views to the cache (best-effort, from the
+  /// destructor). Views adopted from an existing entry are carried over so
+  /// the published entry is a superset of what was found.
+  void PublishToCache() noexcept;
 
   /// Pulls a buffer for n doubles from the installed ProfileScratch arena
   /// (empty vector if none / no fit). The caller charges its view bytes
@@ -164,14 +188,35 @@ class ObjectProfile {
   FilterStats* stats_;
   long charged_bytes_ = 0;  // lazy-view bytes owed back to the budget
 
+  // Cross-query cache state. `cached_` pins the hit entry (if any) so its
+  // views outlive every adopted span below; the built_* flags mark views
+  // constructed locally, i.e. the ones the destructor publishes.
+  ProfileCacheSession* cache_session_ = nullptr;
+  std::shared_ptr<const ProfileArtifacts> cached_;
+  bool cache_checked_ = false;
+  bool built_matrix_ = false, built_stats_ = false, built_sorted_all_ = false,
+       built_sorted_per_q_ = false, built_distribution_ = false;
+
+  // Each lazy view is an (owned storage, borrowed view) pair: the view
+  // points either into the owned vectors (fresh build) or into the pinned
+  // cache entry (hit). Readers go through the views only.
+  bool have_matrix_ = false;
   std::vector<double> matrix_;  // |Q| x m, row-major; empty until needed
+  const double* matrix_data_ = nullptr;
   bool have_stats_ = false;
   double min_all_ = 0.0, mean_all_ = 0.0, max_all_ = 0.0;
   std::vector<double> min_q_, mean_q_, max_q_;
+  std::span<const double> min_q_view_, mean_q_view_, max_q_view_;
+  bool have_sorted_all_ = false;
   std::vector<double> sorted_values_, sorted_probs_;
+  std::span<const double> sorted_values_view_, sorted_probs_view_;
+  bool have_sorted_per_q_ = false;
   std::vector<std::vector<double>> sorted_q_values_, sorted_q_probs_;
+  const std::vector<std::vector<double>>* sorted_q_values_view_ = nullptr;
+  const std::vector<std::vector<double>>* sorted_q_probs_view_ = nullptr;
   bool have_distribution_ = false;
   DiscreteDistribution distribution_;
+  const DiscreteDistribution* distribution_view_ = nullptr;
 };
 
 }  // namespace osd

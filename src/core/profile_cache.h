@@ -1,0 +1,245 @@
+// Engine-wide cross-query cache for ObjectProfile artifacts.
+//
+// The distance views ObjectProfile materializes — the |Q| x m matrix, the
+// fused min/mean/max statistics, the sorted U_Q / U_q views, and the merged
+// CDF distribution — are pure functions of (object instances, query
+// signature, metric). Production workloads overlap heavily on hot objects
+// and repeated queries, so recomputing them per query wastes the dominant
+// share of filter time. This cache shares the finished artifacts across
+// queries:
+//
+//  - Key: (external object id, query signature hash). The signature is an
+//    FNV-1a hash over the metric and the query's instance coordinates and
+//    probabilities, so "same query shape" is decided by value, not by
+//    object identity (see ComputeQuerySignature).
+//  - Epoch versioning: every entry records the VersionedDataset epoch it
+//    was built at. A lookup pinned at epoch E only ever returns an entry
+//    built at exactly E; an older entry found under the key is evicted on
+//    the spot (folds and mutations rotate the epoch, so lazily dropping
+//    superseded entries keeps invalidation O(1) with no writer-side scan),
+//    and a newer entry is left for queries pinned at that epoch.
+//  - Memory governance: entry bytes are charged to the engine MemoryBudget
+//    *before* insertion (charge-before-allocate, same contract as the
+//    profile views themselves) and the cache evicts LRU entries until both
+//    its own byte cap and the budget admit the newcomer; if neither can,
+//    the publication is dropped. Clear() — called from QueryEngine::Drain —
+//    releases every charge, so the budget drains to zero.
+//  - Concurrency: kShards independently locked shards (key-hash striped),
+//    mirroring the MemoryBudget/metrics shard layout. Event counters are
+//    additionally mirrored into registry counters (lock-free sharded
+//    atomics) when bound via BindMetrics.
+//
+// Determinism contract: a cache hit hands back bit-identical artifacts to
+// what a fresh build would produce (the build is deterministic by the
+// sorted-view tie-break rules), and the adopting ObjectProfile charges the
+// same bytes under the same labels and advances the same FilterStats
+// counters. Candidate sets, filter counters, and termination statuses are
+// therefore identical with the cache on or off; tests assert this A/B.
+
+#ifndef OSD_CORE_PROFILE_CACHE_H_
+#define OSD_CORE_PROFILE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/metric.h"
+#include "prob/discrete_distribution.h"
+
+namespace osd {
+
+class UncertainObject;
+
+namespace memory {
+class MemoryBudget;
+}
+namespace obs {
+class Counter;
+class Gauge;
+}
+
+/// Fused statistics view (ObjectProfile::EnsureStats output).
+struct ProfileStatsView {
+  double min_all = 0.0, mean_all = 0.0, max_all = 0.0;
+  std::vector<double> min_q, mean_q, max_q;
+};
+
+/// Sorted all-pairs view U_Q (ObjectProfile::EnsureSortedAll output).
+struct ProfileSortedAllView {
+  std::vector<double> values, probs;
+};
+
+/// Per-query-instance sorted views U_q (EnsureSortedPerQ output).
+struct ProfileSortedPerQView {
+  std::vector<std::vector<double>> values, probs;
+};
+
+/// One cache entry: whichever views some query materialized for one
+/// (object, query signature) pair at one epoch. Immutable once published —
+/// readers hold shared_ptr pins, so eviction never invalidates a view a
+/// running query adopted.
+struct ProfileArtifacts {
+  uint64_t epoch = 0;
+  std::shared_ptr<const std::vector<double>> matrix;  // |Q| x m, row-major
+  std::shared_ptr<const ProfileStatsView> stats;
+  std::shared_ptr<const ProfileSortedAllView> sorted_all;
+  std::shared_ptr<const ProfileSortedPerQView> sorted_per_q;
+  std::shared_ptr<const DiscreteDistribution> distribution;
+  long bytes = 0;  // logical bytes, mirrors ObjectProfile's view charges
+};
+
+/// Logical bytes of the views an artifact carries (the same sums the
+/// profile's ChargeView calls use, so cache accounting and per-query
+/// accounting agree on what a view costs).
+long ProfileArtifactsBytes(const ProfileArtifacts& artifacts);
+
+/// FNV-1a hash over (metric, dim, |Q|, instance coordinates, instance
+/// probabilities) identifying "the same query" for artifact-sharing
+/// purposes. Operator, k, and filter switches are deliberately excluded:
+/// the artifacts depend only on the distance geometry, so e.g. an S-SD and
+/// a P-SD query over the same instance set share profiles.
+uint64_t ComputeQuerySignature(const UncertainObject& query, Metric metric);
+
+/// Sharded, epoch-versioned, LRU profile cache. Thread-safe.
+class ProfileCache {
+ public:
+  struct Counters {
+    long hits = 0;
+    long misses = 0;
+    long evictions = 0;        ///< capacity/budget LRU evictions
+    long stale_evictions = 0;  ///< superseded-epoch entries dropped on lookup
+    long inserts = 0;
+    long stale_serves_averted = 0;  ///< adoption-time epoch-guard trips (== 0)
+    long bytes = 0;
+  };
+
+  /// cap_bytes <= 0 still caches but bounds only via the engine budget;
+  /// `engine_budget` may be null (accounting then stays cache-internal).
+  ProfileCache(long cap_bytes, memory::MemoryBudget* engine_budget);
+  ~ProfileCache();
+  ProfileCache(const ProfileCache&) = delete;
+  ProfileCache& operator=(const ProfileCache&) = delete;
+
+  /// The entry for (object_id, signature) built at exactly `epoch`, or
+  /// null. An entry from an older epoch found under the key is evicted
+  /// (lazy invalidation); an entry from a newer epoch is left in place.
+  std::shared_ptr<const ProfileArtifacts> Lookup(int object_id,
+                                                 uint64_t signature,
+                                                 uint64_t epoch);
+
+  /// Publishes freshly built artifacts. Best-effort and never throws: the
+  /// entry is dropped when the byte cap or the engine budget cannot admit
+  /// it even after evicting the shard's LRU tail. An existing entry at the
+  /// same epoch is replaced only by a strictly larger artifact set (the
+  /// publisher unions the views it adopted with the ones it built, so
+  /// larger == superset); an entry at a newer epoch is never clobbered.
+  void Publish(int object_id, uint64_t signature,
+               std::shared_ptr<const ProfileArtifacts> artifacts) noexcept;
+
+  /// Drops every entry and releases every budget charge.
+  void Clear();
+
+  /// Records an adoption-time epoch-guard trip (see ObjectProfile); by
+  /// construction Lookup never lets one happen, and the chaos soak asserts
+  /// the count stays zero.
+  void NoteStaleServeAverted() {
+    stale_serves_averted_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Mirrors hit/miss/eviction events and the byte gauge into registry
+  /// instruments (any may be null). Call before concurrent use.
+  void BindMetrics(obs::Counter* hits, obs::Counter* misses,
+                   obs::Counter* evictions, obs::Gauge* bytes_gauge);
+
+  Counters GetCounters() const;
+  long bytes() const { return bytes_.load(std::memory_order_relaxed); }
+  long cap_bytes() const { return cap_bytes_; }
+
+ private:
+  static constexpr int kShards = 16;
+
+  struct Key {
+    int object_id;
+    uint64_t signature;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      // Mix the id into the (already well-distributed) signature.
+      return static_cast<size_t>(k.signature ^
+                                 (static_cast<uint64_t>(k.object_id) *
+                                  0x9e3779b97f4a7c15ULL));
+    }
+  };
+  struct Node {
+    Key key;
+    std::shared_ptr<const ProfileArtifacts> value;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::list<Node> lru;  // front = most recently used
+    std::unordered_map<Key, std::list<Node>::iterator, KeyHash> index;
+    long bytes = 0;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    return shards_[KeyHash{}(key) % kShards];
+  }
+  /// Drops the shard's least-recently-used entry; returns its bytes (0 when
+  /// the shard is empty). Caller holds the shard mutex.
+  long EvictOneLocked(Shard& shard);
+  void RemoveLocked(Shard& shard, std::list<Node>::iterator it);
+  void UpdateBytes(long delta);
+
+  Shard shards_[kShards];
+  const long cap_bytes_;
+  memory::MemoryBudget* budget_;
+
+  std::atomic<long> bytes_{0};
+  std::atomic<long> hits_{0};
+  std::atomic<long> misses_{0};
+  std::atomic<long> evictions_{0};
+  std::atomic<long> stale_evictions_{0};
+  std::atomic<long> inserts_{0};
+  std::atomic<long> stale_serves_averted_{0};
+
+  obs::Counter* hits_metric_ = nullptr;
+  obs::Counter* misses_metric_ = nullptr;
+  obs::Counter* evictions_metric_ = nullptr;
+  obs::Gauge* bytes_gauge_ = nullptr;
+};
+
+/// Thread-local cache session installed by NncSearch::Run around one query
+/// execution (same save/restore RAII idiom as ProfileScratch / obs::Trace):
+/// it carries the cache pointer, the query's signature, and the pinned
+/// snapshot epoch to every ObjectProfile the run constructs, with no
+/// per-profile plumbing. A null `cache` makes the session inert.
+class ProfileCacheSession {
+ public:
+  ProfileCacheSession(ProfileCache* cache, uint64_t signature,
+                      uint64_t epoch);
+  ~ProfileCacheSession();
+  ProfileCacheSession(const ProfileCacheSession&) = delete;
+  ProfileCacheSession& operator=(const ProfileCacheSession&) = delete;
+
+  /// The session installed on this thread, or null outside a Run.
+  static ProfileCacheSession* Current();
+
+  ProfileCache* cache() const { return cache_; }
+  uint64_t signature() const { return signature_; }
+  uint64_t epoch() const { return epoch_; }
+
+ private:
+  ProfileCache* cache_;
+  uint64_t signature_;
+  uint64_t epoch_;
+  ProfileCacheSession* prev_;  // outer session restored at destruction
+};
+
+}  // namespace osd
+
+#endif  // OSD_CORE_PROFILE_CACHE_H_

@@ -86,6 +86,7 @@ std::string EngineStats::ToJson() const {
   Append(&out, "\"threads\":%d", threads);
   Append(&out, ",\"submitted\":%ld", submitted);
   Append(&out, ",\"completed\":%ld", completed);
+  Append(&out, ",\"executed\":%ld", executed);
   Append(&out, ",\"ok\":%ld", ok);
   Append(&out, ",\"ok_degraded\":%ld", ok_degraded);
   Append(&out, ",\"deadline_exceeded\":%ld", deadline_exceeded);
@@ -137,6 +138,13 @@ std::string EngineStats::ToJson() const {
          mem_breaches, mem_admission_rejected, bad_allocs, mem_current_bytes,
          mem_peak_bytes, mem_engine_cap_bytes, mem_per_query_cap_bytes,
          mem_scratch_reuse_bytes);
+  Append(&out,
+         ",\"profile_cache\":{\"hits\":%ld,\"misses\":%ld,\"evictions\":%ld,"
+         "\"stale_evictions\":%ld,\"stale_serves_averted\":%ld,"
+         "\"bytes\":%ld,\"cap_bytes\":%ld}",
+         profile_cache_hits, profile_cache_misses, profile_cache_evictions,
+         profile_cache_stale_evictions, profile_cache_stale_serves_averted,
+         profile_cache_bytes, profile_cache_cap_bytes);
   out += ",\"operators\":{";
   bool first = true;
   for (int i = 0; i < static_cast<int>(per_operator.size()); ++i) {

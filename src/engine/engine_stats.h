@@ -73,6 +73,9 @@ struct EngineStats {
   int threads = 0;
   long submitted = 0;
   long completed = 0;  ///< reached any terminal state
+  long executed = 0;   ///< completed minus rejected — tickets that actually
+                       ///< ran a traversal (throughput denominators use this;
+                       ///< shed tickets must never inflate QPS)
   long ok = 0;
   long ok_degraded = 0;  ///< anytime superset answers (kOkDegraded)
   long deadline_exceeded = 0;
@@ -88,7 +91,9 @@ struct EngineStats {
 
   /// First submission to latest completion (steady_clock), seconds.
   double wall_seconds = 0.0;
-  /// completed / wall_seconds — the engine-level throughput.
+  /// executed / wall_seconds — the engine-level throughput. Rejected
+  /// (shed) tickets are excluded: they never ran, so counting them would
+  /// make an overloaded engine look faster the more it sheds.
   double qps = 0.0;
 
   double latency_mean_ms = 0.0;
@@ -121,6 +126,19 @@ struct EngineStats {
   /// Bytes of profile-buffer allocation avoided by the per-query scratch
   /// arenas, summed across completed queries.
   long mem_scratch_reuse_bytes = 0;
+
+  // Cross-query profile cache (core/profile_cache.h); all zero when the
+  // cache is disabled (profile_cache_cap_bytes == 0).
+  long profile_cache_hits = 0;
+  long profile_cache_misses = 0;
+  long profile_cache_evictions = 0;        ///< capacity (LRU) evictions
+  long profile_cache_stale_evictions = 0;  ///< lazily dropped on epoch change
+  /// Lookups where a stale-epoch entry reached the final epoch guard and
+  /// was refused; always 0 — any other value is an invariant violation
+  /// (the chaos harness asserts this across mutating soaks).
+  long profile_cache_stale_serves_averted = 0;
+  long profile_cache_bytes = 0;      ///< resident bytes at snapshot time
+  long profile_cache_cap_bytes = 0;  ///< configured capacity; 0 = disabled
 
   /// Indexed by static_cast<int>(Operator).
   std::array<OperatorStats, 5> per_operator{};

@@ -269,6 +269,36 @@ std::vector<obs::MetricSnapshot> FixedSnapshots() {
   threads.value = 8.0;
   out.push_back(threads);
 
+  // The cross-query profile cache exposes three counters and a gauge; all
+  // four ride the standard renderer branches, and pinning them here keeps
+  // the exposition names a wire-format commitment.
+  obs::MetricSnapshot cache_bytes;
+  cache_bytes.name = cache_bytes.family = "osd_profile_cache_bytes";
+  cache_bytes.help = "Resident profile-cache bytes.";
+  cache_bytes.type = obs::MetricType::kGauge;
+  cache_bytes.value = 65536.0;
+  out.push_back(cache_bytes);
+
+  obs::MetricSnapshot cache_evictions;
+  cache_evictions.name = cache_evictions.family =
+      "osd_profile_cache_evictions_total";
+  cache_evictions.help = "Profile-cache LRU evictions.";
+  cache_evictions.type = obs::MetricType::kCounter;
+  cache_evictions.value = 3.0;
+  out.push_back(cache_evictions);
+
+  obs::MetricSnapshot cache_hits = cache_evictions;
+  cache_hits.name = cache_hits.family = "osd_profile_cache_hits_total";
+  cache_hits.help = "Profile-cache hits.";
+  cache_hits.value = 512.0;
+  out.push_back(cache_hits);
+
+  obs::MetricSnapshot cache_misses = cache_evictions;
+  cache_misses.name = cache_misses.family = "osd_profile_cache_misses_total";
+  cache_misses.help = "Profile-cache misses.";
+  cache_misses.value = 64.0;
+  out.push_back(cache_misses);
+
   obs::MetricSnapshot err;
   err.name = "osd_queries_total{status=\"error\"}";
   err.family = "osd_queries_total";

@@ -1,0 +1,458 @@
+// Cross-query work sharing: the engine-wide profile cache and the
+// multi-query batched traversal (core/profile_cache.h, core/batch_scope.h,
+// engine wiring in engine/query_engine.cc).
+//
+// The load-bearing property is BIT-IDENTITY: with the cache and batching
+// on, every query's candidate set, every FilterStats counter, and the
+// termination reason must equal the unshared run exactly — sharing may
+// only change wall-clock, never the answer or the instrumentation. The
+// A/B tests here assert that end-to-end for every operator; the directed
+// tests pin the epoch-invalidation and memory-governance contracts the
+// chaos soak then hammers concurrently.
+
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/memory_budget.h"
+#include "core/profile_cache.h"
+#include "datagen/generators.h"
+#include "datagen/workload.h"
+#include "engine/query_engine.h"
+#include "object/versioned_dataset.h"
+
+namespace osd {
+namespace {
+
+Dataset SmallDataset(int num_objects = 400, uint64_t seed = 17) {
+  SyntheticParams p;
+  p.dim = 2;
+  p.num_objects = num_objects;
+  p.instances_per_object = 6;
+  p.seed = seed;
+  return GenerateSynthetic(p);
+}
+
+std::vector<QueryWorkloadEntry> SmallWorkload(const Dataset& dataset, int n,
+                                              uint64_t seed = 23) {
+  WorkloadParams wp;
+  wp.num_queries = n;
+  wp.query_instances = 5;
+  wp.seed = seed;
+  return GenerateWorkload(dataset, wp);
+}
+
+/// A minimal artifact set for cache-unit tests (a stats view plus an
+/// explicit byte count).
+std::shared_ptr<ProfileArtifacts> MakeArtifacts(uint64_t epoch,
+                                                long bytes = 1024) {
+  auto artifacts = std::make_shared<ProfileArtifacts>();
+  artifacts->epoch = epoch;
+  auto stats = std::make_shared<ProfileStatsView>();
+  stats->min_all = 1.0;
+  stats->mean_all = 2.0;
+  stats->max_all = 3.0;
+  artifacts->stats = std::move(stats);
+  artifacts->bytes = bytes;
+  return artifacts;
+}
+
+void ExpectSameStats(const FilterStats& a, const FilterStats& b) {
+  EXPECT_EQ(a.dist_evals, b.dist_evals);
+  EXPECT_EQ(a.scan_steps, b.scan_steps);
+  EXPECT_EQ(a.pair_tests, b.pair_tests);
+  EXPECT_EQ(a.node_ops, b.node_ops);
+  EXPECT_EQ(a.flow_runs, b.flow_runs);
+  EXPECT_EQ(a.mbr_validations, b.mbr_validations);
+  EXPECT_EQ(a.stat_prunes, b.stat_prunes);
+  EXPECT_EQ(a.cover_prunes, b.cover_prunes);
+  EXPECT_EQ(a.level_decisions, b.level_decisions);
+  EXPECT_EQ(a.exact_checks, b.exact_checks);
+  EXPECT_EQ(a.dominance_checks, b.dominance_checks);
+}
+
+// --- ProfileCache unit semantics -------------------------------------------
+
+TEST(ProfileCacheTest, MissPublishHitRoundTrip) {
+  ProfileCache cache(1 << 20, nullptr);
+  EXPECT_EQ(cache.Lookup(7, 42, 3), nullptr);
+  cache.Publish(7, 42, MakeArtifacts(3));
+  const auto hit = cache.Lookup(7, 42, 3);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->epoch, 3u);
+  ASSERT_NE(hit->stats, nullptr);
+  EXPECT_DOUBLE_EQ(hit->stats->mean_all, 2.0);
+
+  const ProfileCache::Counters c = cache.GetCounters();
+  EXPECT_EQ(c.misses, 1);
+  EXPECT_EQ(c.hits, 1);
+  EXPECT_EQ(c.inserts, 1);
+  EXPECT_EQ(c.bytes, 1024);
+  // Different signature and different object id are distinct keys.
+  EXPECT_EQ(cache.Lookup(7, 43, 3), nullptr);
+  EXPECT_EQ(cache.Lookup(8, 42, 3), nullptr);
+}
+
+// The directed epoch-invalidation contract: a lookup pinned at E+1 must
+// never see an entry built at E — the stale entry is evicted on the spot.
+TEST(ProfileCacheTest, NewerEpochLookupEvictsStaleEntry) {
+  ProfileCache cache(1 << 20, nullptr);
+  cache.Publish(7, 42, MakeArtifacts(/*epoch=*/5));
+  ASSERT_NE(cache.Lookup(7, 42, 5), nullptr);
+
+  EXPECT_EQ(cache.Lookup(7, 42, 6), nullptr);  // pinned at E+1: miss
+  ProfileCache::Counters c = cache.GetCounters();
+  EXPECT_EQ(c.stale_evictions, 1);
+  EXPECT_EQ(c.bytes, 0);  // the stale entry is gone, not just hidden
+  // ... and it stays gone: even the old epoch misses now.
+  EXPECT_EQ(cache.Lookup(7, 42, 5), nullptr);
+  EXPECT_EQ(cache.GetCounters().stale_serves_averted, 0);
+}
+
+// A query still pinned at an OLD epoch must not evict (or be served) an
+// entry some newer-epoch query already published.
+TEST(ProfileCacheTest, OlderEpochLookupLeavesNewerEntryInPlace) {
+  ProfileCache cache(1 << 20, nullptr);
+  cache.Publish(7, 42, MakeArtifacts(/*epoch=*/5));
+  EXPECT_EQ(cache.Lookup(7, 42, 4), nullptr);  // old pin: miss, no eviction
+  EXPECT_EQ(cache.GetCounters().stale_evictions, 0);
+  ASSERT_NE(cache.Lookup(7, 42, 5), nullptr);  // entry survived
+}
+
+TEST(ProfileCacheTest, EvictsLruUnderByteCap) {
+  // Per-shard slices are cap/16, so a 64 KiB cap admits at most two 2 KiB
+  // entries per shard; publishing many distinct keys must evict.
+  ProfileCache cache(64 << 10, nullptr);
+  for (int id = 0; id < 256; ++id) {
+    cache.Publish(id, 42, MakeArtifacts(1, /*bytes=*/2048));
+  }
+  const ProfileCache::Counters c = cache.GetCounters();
+  EXPECT_GT(c.evictions, 0);
+  EXPECT_LE(c.bytes, 64 << 10);
+  EXPECT_EQ(c.bytes, cache.bytes());
+}
+
+TEST(ProfileCacheTest, ChargesAndDrainsEngineBudget) {
+  memory::MemoryBudget budget(0);  // track-only
+  {
+    ProfileCache cache(1 << 20, &budget);
+    cache.Publish(1, 42, MakeArtifacts(1, 4096));
+    cache.Publish(2, 42, MakeArtifacts(1, 4096));
+    EXPECT_EQ(budget.current_bytes(), 8192);
+    cache.Clear();
+    EXPECT_EQ(budget.current_bytes(), 0);
+    EXPECT_EQ(cache.bytes(), 0);
+    // Clearing keeps the event history (counters are cumulative).
+    EXPECT_EQ(cache.GetCounters().inserts, 2);
+  }
+  EXPECT_EQ(budget.current_bytes(), 0);
+}
+
+TEST(ProfileCacheTest, QuerySignatureIsValueBased) {
+  const UncertainObject a =
+      UncertainObject::Uniform(1, 2, {0.0, 0.0, 1.0, 1.0});
+  const UncertainObject same_shape =
+      UncertainObject::Uniform(99, 2, {0.0, 0.0, 1.0, 1.0});
+  const UncertainObject other =
+      UncertainObject::Uniform(1, 2, {0.0, 0.0, 2.0, 1.0});
+  // Same instance geometry => same signature, regardless of object id...
+  EXPECT_EQ(ComputeQuerySignature(a, Metric::kL2),
+            ComputeQuerySignature(same_shape, Metric::kL2));
+  // ...different geometry or metric => different signature.
+  EXPECT_NE(ComputeQuerySignature(a, Metric::kL2),
+            ComputeQuerySignature(other, Metric::kL2));
+  EXPECT_NE(ComputeQuerySignature(a, Metric::kL2),
+            ComputeQuerySignature(a, Metric::kL1));
+}
+
+// --- engine-level A/B bit-identity -----------------------------------------
+
+struct RunOutcome {
+  QueryStatus status;
+  std::vector<int> candidates;
+  FilterStats stats;
+  NncTermination termination;
+  bool degraded;
+};
+
+/// Runs the workload through one engine configuration and captures every
+/// per-query outcome in submission order. Each query is submitted twice so
+/// a caching engine gets intra-run hits.
+std::vector<RunOutcome> RunWorkload(const EngineOptions& engine_options,
+                                    Operator op, int repeats = 2) {
+  QueryEngine engine(SmallDataset(), engine_options);
+  const auto workload = SmallWorkload(engine.dataset(), 6);
+  std::vector<std::shared_ptr<QueryTicket>> tickets;
+  for (int r = 0; r < repeats; ++r) {
+    for (const QueryWorkloadEntry& entry : workload) {
+      QuerySpec spec;
+      spec.query = entry.query;
+      spec.options.op = op;
+      spec.options.exclude_id = entry.seeded_from;
+      tickets.push_back(engine.Submit(std::move(spec)));
+    }
+  }
+  engine.Drain();
+  std::vector<RunOutcome> outcomes;
+  for (const auto& ticket : tickets) {
+    EXPECT_EQ(ticket->Wait(), QueryStatus::kOk) << ticket->error();
+    const NncResult& r = ticket->result();
+    outcomes.push_back(RunOutcome{ticket->status(), r.candidates, r.stats,
+                                  r.termination, r.degraded});
+  }
+  return outcomes;
+}
+
+class SharedVsUnsharedTest : public ::testing::TestWithParam<Operator> {};
+
+// The acceptance criterion of the sharing layers: every operator, every
+// query — candidate sets, all eleven filter counters, and the termination
+// reason are bit-identical with cache + batching on vs off.
+TEST_P(SharedVsUnsharedTest, BitIdenticalResultsAndCounters) {
+  EngineOptions unshared;
+  unshared.num_threads = 2;
+
+  EngineOptions shared;
+  shared.num_threads = 2;
+  shared.profile_cache_bytes = 64 << 20;
+  shared.max_batch = 4;
+  shared.batch_window_us = 2000.0;
+
+  const auto baseline = RunWorkload(unshared, GetParam());
+  const auto cached = RunWorkload(shared, GetParam());
+  ASSERT_EQ(baseline.size(), cached.size());
+  for (size_t i = 0; i < baseline.size(); ++i) {
+    SCOPED_TRACE("query " + std::to_string(i));
+    EXPECT_EQ(baseline[i].status, cached[i].status);
+    EXPECT_EQ(baseline[i].candidates, cached[i].candidates);
+    EXPECT_EQ(baseline[i].termination, cached[i].termination);
+    EXPECT_EQ(baseline[i].degraded, cached[i].degraded);
+    ExpectSameStats(baseline[i].stats, cached[i].stats);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOperators, SharedVsUnsharedTest,
+                         ::testing::Values(Operator::kSSd, Operator::kSsSd,
+                                           Operator::kPSd, Operator::kFSd,
+                                           Operator::kFPlusSd),
+                         [](const auto& info) {
+                           std::string name = OperatorName(info.param);
+                           for (char& c : name) {
+                             if (c == '+') c = 'x';
+                           }
+                           return name;
+                         });
+
+// Repeated identical queries must actually hit the cache (otherwise the
+// A/B test above proves nothing about the hit path).
+TEST(SharedCacheEngineTest, RepeatedQueriesHitTheCache) {
+  EngineOptions options;
+  options.num_threads = 1;
+  options.profile_cache_bytes = 64 << 20;
+  QueryEngine engine(SmallDataset(), options);
+  const auto workload = SmallWorkload(engine.dataset(), 2);
+  for (int r = 0; r < 3; ++r) {
+    for (const QueryWorkloadEntry& entry : workload) {
+      QuerySpec spec;
+      spec.query = entry.query;
+      spec.options.op = Operator::kPSd;
+      spec.options.exclude_id = entry.seeded_from;
+      engine.Submit(std::move(spec))->Wait();
+    }
+  }
+  engine.Drain();
+  const EngineStats stats = engine.Snapshot();
+  EXPECT_GT(stats.profile_cache_hits, 0);
+  EXPECT_GT(stats.profile_cache_misses, 0);
+  EXPECT_EQ(stats.profile_cache_stale_serves_averted, 0);
+  EXPECT_EQ(stats.profile_cache_cap_bytes, 64 << 20);
+}
+
+// Epoch invalidation end-to-end: warm the cache at epoch E, mutate the
+// store (epoch E+1), re-run — the post-write answers must equal a
+// cache-less engine's answers over the same post-write store.
+TEST(SharedCacheEngineTest, WriteInvalidatesAcrossEpochs) {
+  auto far_object = [](int id) {
+    return std::make_shared<const UncertainObject>(
+        UncertainObject::Uniform(id, 2, {9000.0, 9000.0, 9001.0, 9001.0}));
+  };
+  auto run_queries = [](QueryEngine& engine,
+                        const std::vector<QueryWorkloadEntry>& workload) {
+    std::vector<std::vector<int>> all;
+    for (const QueryWorkloadEntry& entry : workload) {
+      QuerySpec spec;
+      spec.query = entry.query;
+      spec.options.op = Operator::kPSd;
+      spec.options.exclude_id = entry.seeded_from;
+      auto ticket = engine.Submit(std::move(spec));
+      EXPECT_EQ(ticket->Wait(), QueryStatus::kOk) << ticket->error();
+      all.push_back(ticket->result().candidates);
+    }
+    return all;
+  };
+  auto mutate = [&](QueryEngine& engine) {
+    Mutation m;
+    m.kind = Mutation::Kind::kInsert;
+    m.id = 100000;
+    m.object = far_object(100000);
+    std::string error;
+    ASSERT_TRUE(engine.versioned().Apply({std::move(m)}, &error)) << error;
+  };
+
+  EngineOptions cached_options;
+  cached_options.num_threads = 1;
+  cached_options.profile_cache_bytes = 64 << 20;
+  QueryEngine cached(SmallDataset(), cached_options);
+  const auto workload = SmallWorkload(cached.dataset(), 4);
+
+  run_queries(cached, workload);  // warm at epoch 0
+  mutate(cached);                 // epoch bump
+  const auto after_write = run_queries(cached, workload);
+
+  EngineOptions plain_options;
+  plain_options.num_threads = 1;
+  QueryEngine plain(SmallDataset(), plain_options);
+  mutate(plain);
+  const auto expected = run_queries(plain, workload);
+
+  EXPECT_EQ(after_write, expected);
+  // The serve-time guard must never have been the thing that saved us.
+  EXPECT_EQ(cached.Snapshot().profile_cache_stale_serves_averted, 0);
+}
+
+// Memory governance: resident entries are charged to the engine budget and
+// Drain() releases every byte.
+TEST(SharedCacheEngineTest, DrainReleasesEveryCachedByte) {
+  EngineOptions options;
+  options.num_threads = 1;
+  options.profile_cache_bytes = 64 << 20;
+  QueryEngine engine(SmallDataset(), options);
+  for (const QueryWorkloadEntry& entry : SmallWorkload(engine.dataset(), 4)) {
+    QuerySpec spec;
+    spec.query = entry.query;
+    spec.options.op = Operator::kPSd;
+    spec.options.exclude_id = entry.seeded_from;
+    engine.Submit(std::move(spec))->Wait();
+  }
+  EXPECT_GT(engine.Snapshot().profile_cache_bytes, 0);
+  EXPECT_GT(engine.memory_budget().current_bytes(), 0);
+  engine.Drain();
+  EXPECT_EQ(engine.Snapshot().profile_cache_bytes, 0);
+  EXPECT_EQ(engine.memory_budget().current_bytes(), 0);
+}
+
+// The operational kill switch: OSD_SHARED_CACHE=0 force-disables both
+// layers no matter what the options request.
+TEST(SharedCacheEngineTest, EnvKillSwitchDisablesSharing) {
+  ::setenv("OSD_SHARED_CACHE", "0", 1);
+  EngineOptions options;
+  options.num_threads = 1;
+  options.profile_cache_bytes = 64 << 20;
+  options.max_batch = 8;
+  QueryEngine engine(SmallDataset(100), options);
+  ::unsetenv("OSD_SHARED_CACHE");
+  const auto workload = SmallWorkload(engine.dataset(), 1);
+  QuerySpec spec;
+  spec.query = workload[0].query;
+  spec.options.op = Operator::kPSd;
+  spec.options.exclude_id = workload[0].seeded_from;
+  EXPECT_EQ(engine.Submit(std::move(spec))->Wait(), QueryStatus::kOk);
+  engine.Drain();
+  const EngineStats stats = engine.Snapshot();
+  EXPECT_EQ(stats.profile_cache_cap_bytes, 0);
+  EXPECT_EQ(stats.profile_cache_hits + stats.profile_cache_misses, 0);
+}
+
+// Mixed-shape submissions must still batch safely: incompatible members
+// (different operators) form separate batches and all complete correctly.
+TEST(SharedCacheEngineTest, IncompatibleQueriesSplitBatchesCorrectly) {
+  EngineOptions options;
+  options.num_threads = 2;
+  options.max_batch = 4;
+  options.batch_window_us = 2000.0;
+  QueryEngine engine(SmallDataset(), options);
+  const auto workload = SmallWorkload(engine.dataset(), 8);
+  static constexpr Operator kOps[] = {Operator::kSSd, Operator::kPSd,
+                                      Operator::kFSd, Operator::kFPlusSd};
+  std::vector<std::shared_ptr<QueryTicket>> tickets;
+  std::vector<Operator> ops;
+  for (size_t i = 0; i < workload.size(); ++i) {
+    QuerySpec spec;
+    spec.query = workload[i].query;
+    spec.options.op = kOps[i % 4];
+    spec.options.exclude_id = workload[i].seeded_from;
+    ops.push_back(spec.options.op);
+    tickets.push_back(engine.Submit(std::move(spec)));
+  }
+  engine.Drain();
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    SCOPED_TRACE("query " + std::to_string(i));
+    ASSERT_EQ(tickets[i]->Wait(), QueryStatus::kOk) << tickets[i]->error();
+    // Cross-check against a solo (unbatched) engine run of the same query.
+    EngineOptions solo_options;
+    solo_options.num_threads = 1;
+    QueryEngine solo(SmallDataset(), solo_options);
+    QuerySpec spec;
+    spec.query = workload[i].query;
+    spec.options.op = ops[i];
+    spec.options.exclude_id = workload[i].seeded_from;
+    auto ticket = solo.Submit(std::move(spec));
+    ASSERT_EQ(ticket->Wait(), QueryStatus::kOk);
+    EXPECT_EQ(tickets[i]->result().candidates, ticket->result().candidates);
+    ExpectSameStats(tickets[i]->result().stats, ticket->result().stats);
+  }
+}
+
+// --- throughput accounting regression --------------------------------------
+
+// Rejected (shed) tickets never ran; the engine's qps must be based on
+// executed = completed - rejected, not on completed. Before the fix a shed
+// storm inflated qps with queries that did zero work.
+TEST(EngineStatsTest, ShedTicketsDoNotInflateThroughput) {
+  EngineOptions options;
+  options.num_threads = 1;
+  options.shed_on_overload = true;
+  options.engine_mem_bytes = 1 << 20;
+  options.mem_high_water_fraction = 0.5;
+  QueryEngine engine(SmallDataset(100), options);
+  const auto workload = SmallWorkload(engine.dataset(), 1);
+
+  // One query that actually runs...
+  {
+    QuerySpec spec;
+    spec.query = workload[0].query;
+    spec.options.op = Operator::kPSd;
+    spec.options.exclude_id = workload[0].seeded_from;
+    ASSERT_EQ(engine.Submit(std::move(spec))->Wait(), QueryStatus::kOk);
+  }
+  engine.Drain();
+
+  // ...then a deterministic shed storm: pre-charge the budget above the
+  // high-water mark so every further Submit is rejected at admission.
+  ASSERT_TRUE(engine.memory_budget().TryCharge(768 << 10));
+  for (int i = 0; i < 50; ++i) {
+    QuerySpec spec;
+    spec.query = workload[0].query;
+    spec.options.op = Operator::kPSd;
+    spec.options.exclude_id = workload[0].seeded_from;
+    EXPECT_EQ(engine.Submit(std::move(spec))->Wait(), QueryStatus::kRejected);
+  }
+  engine.memory_budget().Release(768 << 10);
+
+  const EngineStats stats = engine.Snapshot();
+  EXPECT_EQ(stats.completed, 51);
+  EXPECT_EQ(stats.rejected, 50);
+  EXPECT_EQ(stats.executed, 1);
+  ASSERT_GT(stats.wall_seconds, 0.0);
+  // qps == executed / wall: the 50 rejected tickets contribute nothing.
+  EXPECT_NEAR(stats.qps, stats.executed / stats.wall_seconds, 1e-9);
+  const std::string json = stats.ToJson();
+  EXPECT_NE(json.find("\"executed\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"profile_cache\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace osd

@@ -14,6 +14,11 @@
 //           [--deadline-ms D] [--accept-degraded] [--retries N]
 //           [--mem-budget B] [--no-stream] [--trace]
 //           [--cancel-after-ms X]
+//     A --query-file holding N > 1 objects runs in batch mode: all N are
+//     submitted over the one connection (ids 1..N) before any frame is
+//     read, so a batching server (see osd_server --max-batch) can share
+//     one traversal across them. Frames interleave across ids; exit 0
+//     iff every query ends OK / OK_DEGRADED.
 //
 //   osd_cli mutate --port P [--host H] [--tenant NAME]
 //           [--insert ID:ROWS] [--update ID:ROWS] [--delete ID] ...
@@ -475,69 +480,86 @@ QueryClientArgs ParseQueryClient(int argc, char** argv) {
 }
 
 int RunQueryClient(const QueryClientArgs& args) {
-  UncertainObject inline_query;
-  net::SubmitParams params;
-  params.id = 1;
-  params.op = args.op;
-  params.k = args.k;
-  params.metric = args.metric;
-  params.filters = args.filters;
-  params.deadline_ms = args.deadline_ms;
-  params.accept_degraded = args.accept_degraded;
-  params.retries = args.retries;
-  params.mem_budget_bytes = args.mem_budget_bytes;
-  params.stream = args.stream;
-  params.trace = args.trace;
+  // A --query-file with N objects is a batch: every object is submitted as
+  // its own query (ids 1..N) over this single connection, and the client
+  // reads until all N terminal frames arrive. The server interleaves
+  // candidate/result frames across the in-flight ids; each frame carries
+  // its id, so consumers demultiplex on that. A single-object file (or
+  // --query-id) degenerates to the classic one-query exchange.
+  std::vector<UncertainObject> inline_queries;
   if (!args.query_file.empty()) {
-    std::vector<UncertainObject> qset;
     std::string error;
-    if (!LoadText(args.query_file, &qset, &error)) Die(error);
-    if (qset.size() != 1) Die("--query-file must hold exactly one object");
-    inline_query = std::move(qset[0]);
-    params.query = &inline_query;
-  } else {
-    params.object_id = args.query_id;
+    if (!LoadText(args.query_file, &inline_queries, &error)) Die(error);
+    if (inline_queries.empty()) Die("--query-file holds no query objects");
   }
+  const size_t num_queries =
+      inline_queries.empty() ? 1 : inline_queries.size();
 
   net::OsdClient client;
   std::string error;
   if (!client.Connect(args.host, args.port, args.tenant, &error)) {
     Die("connect: " + error);
   }
-  if (!client.Send(net::BuildSubmitMessage(params), &error)) {
-    Die("submit: " + error);
+  for (size_t i = 0; i < num_queries; ++i) {
+    net::SubmitParams params;
+    params.id = static_cast<int>(i) + 1;
+    params.op = args.op;
+    params.k = args.k;
+    params.metric = args.metric;
+    params.filters = args.filters;
+    params.deadline_ms = args.deadline_ms;
+    params.accept_degraded = args.accept_degraded;
+    params.retries = args.retries;
+    params.mem_budget_bytes = args.mem_budget_bytes;
+    params.stream = args.stream;
+    params.trace = args.trace;
+    if (!inline_queries.empty()) {
+      params.query = &inline_queries[i];
+    } else {
+      params.object_id = args.query_id;
+    }
+    if (!client.Send(net::BuildSubmitMessage(params), &error)) {
+      Die("submit: " + error);
+    }
   }
   if (args.cancel_after_ms >= 0) {
     // Sequential on purpose: candidate frames buffer in the socket while
     // we sleep, and the client is not thread-safe.
     std::this_thread::sleep_for(
         std::chrono::duration<double, std::milli>(args.cancel_after_ms));
-    if (!client.Send(net::BuildCancelMessage(params.id), &error)) {
-      Die("cancel: " + error);
+    for (size_t i = 0; i < num_queries; ++i) {
+      if (!client.Send(net::BuildCancelMessage(static_cast<int>(i) + 1),
+                       &error)) {
+        Die("cancel: " + error);
+      }
     }
   }
 
-  // Print every frame as one JSON line until the terminal frame for our id.
-  while (true) {
+  // Print every frame as one JSON line until each submitted id has its
+  // terminal frame. The exit code is 0 iff every query ended OK/OK_DEGRADED.
+  size_t terminal = 0;
+  bool all_ok = true;
+  while (terminal < num_queries) {
     net::JsonValue msg;
     std::string raw;
     if (!client.Read(&msg, &error, &raw)) Die("read: " + error);
     std::printf("%s\n", raw.c_str());
     const std::string type = net::MessageType(msg);
     if (type == "result") {
-      std::fflush(stdout);
+      ++terminal;
       const net::JsonValue* status = msg.Find("status");
-      if (status != nullptr && status->is_string() &&
-          (status->AsString() == "OK" || status->AsString() == "OK_DEGRADED")) {
-        return 0;
+      if (status == nullptr || !status->is_string() ||
+          (status->AsString() != "OK" &&
+           status->AsString() != "OK_DEGRADED")) {
+        all_ok = false;
       }
-      return 1;
-    }
-    if (type == "error") {
-      std::fflush(stdout);
-      return 1;
+    } else if (type == "error") {
+      ++terminal;
+      all_ok = false;
     }
   }
+  std::fflush(stdout);
+  return all_ok ? 0 : 1;
 }
 
 // --- `mutate` network-client subcommand ----------------------------------
